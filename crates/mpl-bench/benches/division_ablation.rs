@@ -1,0 +1,47 @@
+//! Ablation bench: contribution of each graph-division technique to the
+//! SDP+Backtrack runtime (Section 4 of the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpl_bench::{circuit_layout, table_config};
+use mpl_core::{ColorAlgorithm, Decomposer, DivisionConfig};
+use mpl_layout::gen::IscasCircuit;
+
+fn bench_division(c: &mut Criterion) {
+    let mut group = c.benchmark_group("division_ablation");
+    group.sample_size(10);
+    let layout = circuit_layout(IscasCircuit::C6288);
+    let variants: [(&str, DivisionConfig); 4] = [
+        ("icc_only", DivisionConfig::none()),
+        (
+            "plus_low_degree",
+            DivisionConfig {
+                low_degree_removal: true,
+                ..DivisionConfig::none()
+            },
+        ),
+        (
+            "plus_biconnected",
+            DivisionConfig {
+                low_degree_removal: true,
+                biconnected_split: true,
+                ..DivisionConfig::none()
+            },
+        ),
+        ("full_division", DivisionConfig::default()),
+    ];
+    for (label, division) in variants {
+        group.bench_with_input(
+            BenchmarkId::new("sdp_backtrack", label),
+            &layout,
+            |b, layout| {
+                let config = table_config(4, ColorAlgorithm::SdpBacktrack).with_division(division);
+                let decomposer = Decomposer::new(config);
+                b.iter(|| decomposer.decompose(layout));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_division);
+criterion_main!(benches);

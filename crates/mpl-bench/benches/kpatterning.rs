@@ -1,0 +1,29 @@
+//! General K-patterning bench (Section 5 of the paper): the same flow run
+//! with K = 4, 5, 6 and 8 masks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpl_bench::{circuit_layout, table_config};
+use mpl_core::{ColorAlgorithm, Decomposer};
+use mpl_layout::gen::IscasCircuit;
+
+fn bench_kpatterning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kpatterning");
+    group.sample_size(10);
+    let layout = circuit_layout(IscasCircuit::C3540);
+    for k in [4usize, 5, 6, 8] {
+        for algorithm in [ColorAlgorithm::SdpBacktrack, ColorAlgorithm::Linear] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), format!("k{k}")),
+                &layout,
+                |b, layout| {
+                    let decomposer = Decomposer::new(table_config(k, algorithm));
+                    b.iter(|| decomposer.decompose(layout));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kpatterning);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Coloring-distance bench (the Fig. 7 discussion): decomposition-graph
+//! construction time as the minimum coloring distance grows from the
+//! triple-patterning rule (2·s_m + w_m) to the quadruple and pentuple rules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpl_bench::circuit_layout;
+use mpl_core::{DecompositionGraph, StitchConfig};
+use mpl_layout::{gen::IscasCircuit, Technology};
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minsweep_graph_construction");
+    group.sample_size(10);
+    let tech = Technology::nm20();
+    let layout = circuit_layout(IscasCircuit::C7552);
+    for k in [3usize, 4, 5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("min_s_{}", tech.coloring_distance(k))),
+            &layout,
+            |b, layout| {
+                b.iter(|| DecompositionGraph::build(layout, &tech, k, &StitchConfig::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_construction);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Parameter-sweep bench: the stitch weight α and the SDP merge threshold
+//! t_th, the two tunables the paper fixes at 0.1 and 0.9 respectively.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpl_bench::{circuit_layout, table_config};
+use mpl_core::{ColorAlgorithm, Decomposer};
+use mpl_layout::gen::IscasCircuit;
+
+fn bench_alpha_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_sweep_linear");
+    group.sample_size(10);
+    let layout = circuit_layout(IscasCircuit::C7552);
+    for alpha in [0.01, 0.1, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("alpha_{alpha}")),
+            &layout,
+            |b, layout| {
+                let config = table_config(4, ColorAlgorithm::Linear).with_alpha(alpha);
+                let decomposer = Decomposer::new(config);
+                b.iter(|| decomposer.decompose(layout));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold_sweep_sdp_backtrack");
+    group.sample_size(10);
+    let layout = circuit_layout(IscasCircuit::C3540);
+    for threshold in [0.7, 0.9, 0.99] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("tth_{threshold}")),
+            &layout,
+            |b, layout| {
+                let mut config = table_config(4, ColorAlgorithm::SdpBacktrack);
+                config.sdp_merge_threshold = threshold;
+                let decomposer = Decomposer::new(config);
+                b.iter(|| decomposer.decompose(layout));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha_sweep, bench_threshold_sweep);
+criterion_main!(benches);

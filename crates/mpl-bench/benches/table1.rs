@@ -1,0 +1,33 @@
+//! Criterion timing of the Table 1 cells (quadruple patterning).
+//!
+//! The `table1` binary regenerates the full table; this bench tracks the
+//! per-algorithm decomposition time on a small and a medium circuit so
+//! regressions in any engine show up without taking the minutes a
+//! full-table regeneration needs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpl_bench::{circuit_layout, table_config, TABLE1_ALGORITHMS};
+use mpl_core::Decomposer;
+use mpl_layout::gen::IscasCircuit;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_quadruple");
+    group.sample_size(10);
+    for circuit in [IscasCircuit::C432, IscasCircuit::C6288] {
+        let layout = circuit_layout(circuit);
+        for algorithm in TABLE1_ALGORITHMS {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), circuit.name()),
+                &layout,
+                |b, layout| {
+                    let decomposer = Decomposer::new(table_config(4, algorithm));
+                    b.iter(|| decomposer.decompose(layout));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

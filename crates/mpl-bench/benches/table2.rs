@@ -1,0 +1,28 @@
+//! Criterion timing of the Table 2 cells (pentuple patterning, K = 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpl_bench::{circuit_layout, table_config, TABLE2_ALGORITHMS};
+use mpl_core::Decomposer;
+use mpl_layout::gen::IscasCircuit;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_pentuple");
+    group.sample_size(10);
+    for circuit in [IscasCircuit::C6288, IscasCircuit::C7552] {
+        let layout = circuit_layout(circuit);
+        for algorithm in TABLE2_ALGORITHMS {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), circuit.name()),
+                &layout,
+                |b, layout| {
+                    let decomposer = Decomposer::new(table_config(5, algorithm));
+                    b.iter(|| decomposer.decompose(layout));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

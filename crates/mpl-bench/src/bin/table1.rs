@@ -1,0 +1,21 @@
+//! Regenerates Table 1 of the paper: quadruple patterning layout
+//! decomposition on the 15 benchmark circuits with the four color-assignment
+//! algorithms.
+//!
+//! Usage: `cargo run -p mpl-bench --release --bin table1 [CIRCUIT ...]`
+//! (defaults to all 15 circuits).
+
+use mpl_bench::{circuits_from_args, run_table, TABLE1_ALGORITHMS};
+use mpl_layout::gen::IscasCircuit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let circuits = circuits_from_args(&args, &IscasCircuit::ALL);
+    eprintln!(
+        "Table 1: quadruple patterning (K = 4) on {} circuits",
+        circuits.len()
+    );
+    let report = run_table(&circuits, &TABLE1_ALGORITHMS, 4);
+    println!("\nTable 1: Comparison for Quadruple Patterning");
+    println!("{report}");
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 2 of the paper: pentuple patterning (K = 5) layout
+//! decomposition on the six densest circuits with the three scalable
+//! algorithms.
+//!
+//! Usage: `cargo run -p mpl-bench --release --bin table2 [CIRCUIT ...]`
+//! (defaults to the six densest circuits).
+
+use mpl_bench::{circuits_from_args, run_table, TABLE2_ALGORITHMS};
+use mpl_layout::gen::IscasCircuit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let circuits = circuits_from_args(&args, &IscasCircuit::DENSEST);
+    eprintln!(
+        "Table 2: pentuple patterning (K = 5) on {} circuits",
+        circuits.len()
+    );
+    let report = run_table(&circuits, &TABLE2_ALGORITHMS, 5);
+    println!("\nTable 2: Comparison for Pentuple Patterning");
+    println!("{report}");
+}

@@ -1,0 +1,129 @@
+//! Benchmark harness regenerating the paper's tables and figures.
+//!
+//! The binaries in this crate print the same row structure as the paper:
+//!
+//! * `table1` — quadruple patterning, all 15 circuits, four algorithms
+//!   (`ILP`, `SDP+Backtrack`, `SDP+Greedy`, `Linear`): conflict count,
+//!   stitch count and color-assignment CPU seconds, plus the `avg.` and
+//!   `ratio` summary lines.
+//! * `table2` — pentuple patterning on the six densest circuits with the
+//!   three scalable algorithms.
+//! * `ablation` — the effect of each graph-division technique and of the
+//!   linear engine's design choices (orderings, color-friendly rule).
+//!
+//! The Criterion benches under `benches/` time the same runs for
+//! regression tracking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig, ResultRow, TableReport};
+use mpl_layout::{gen::IscasCircuit, Layout, Technology};
+use std::time::Duration;
+
+/// The algorithms of Table 1, in column order.
+pub const TABLE1_ALGORITHMS: [ColorAlgorithm; 4] = [
+    ColorAlgorithm::Ilp,
+    ColorAlgorithm::SdpBacktrack,
+    ColorAlgorithm::SdpGreedy,
+    ColorAlgorithm::Linear,
+];
+
+/// The algorithms of Table 2 (no exact baseline exists for pentuple
+/// patterning in the paper).
+pub const TABLE2_ALGORITHMS: [ColorAlgorithm; 3] = [
+    ColorAlgorithm::SdpBacktrack,
+    ColorAlgorithm::SdpGreedy,
+    ColorAlgorithm::Linear,
+];
+
+/// Builds the decomposer configuration used throughout the tables.
+pub fn table_config(k: usize, algorithm: ColorAlgorithm) -> DecomposerConfig {
+    DecomposerConfig::k_patterning(k, Technology::nm20())
+        .with_algorithm(algorithm)
+        // The paper's GUROBI runs are capped at one hour per circuit; scale
+        // that down to ten seconds per component so the whole table
+        // regenerates in minutes while preserving the "ILP cannot finish the
+        // dense regions of the largest circuits" behaviour.
+        .with_ilp_time_limit(Duration::from_secs(10))
+}
+
+/// Generates the layout for a circuit with the paper's technology.
+pub fn circuit_layout(circuit: IscasCircuit) -> Layout {
+    circuit.generate(&Technology::nm20())
+}
+
+/// Runs one (circuit, algorithm, K) cell and returns the table row.
+pub fn run_cell(layout: &Layout, k: usize, algorithm: ColorAlgorithm) -> ResultRow {
+    let decomposer = Decomposer::new(table_config(k, algorithm));
+    let result = decomposer.decompose(layout);
+    ResultRow::from_result(&result)
+}
+
+/// Runs a full table: every circuit against every algorithm for the given K.
+pub fn run_table(
+    circuits: &[IscasCircuit],
+    algorithms: &[ColorAlgorithm],
+    k: usize,
+) -> TableReport {
+    let mut report = TableReport::new();
+    for &circuit in circuits {
+        let layout = circuit_layout(circuit);
+        for &algorithm in algorithms {
+            let row = run_cell(&layout, k, algorithm);
+            eprintln!(
+                "  {:<8} {:<14} cn#={:<4} st#={:<5} cpu={:.3}s",
+                row.circuit, row.algorithm, row.conflicts, row.stitches, row.cpu_seconds
+            );
+            report.push(row);
+        }
+    }
+    report
+}
+
+/// Parses circuit names from command-line arguments; an empty argument list
+/// selects `default` circuits.
+pub fn circuits_from_args(args: &[String], default: &[IscasCircuit]) -> Vec<IscasCircuit> {
+    if args.is_empty() {
+        return default.to_vec();
+    }
+    args.iter()
+        .filter_map(|name| {
+            IscasCircuit::ALL
+                .into_iter()
+                .find(|c| c.name().eq_ignore_ascii_case(name))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cell_produces_a_row_for_a_small_circuit() {
+        let layout = circuit_layout(IscasCircuit::C432);
+        let row = run_cell(&layout, 4, ColorAlgorithm::Linear);
+        assert_eq!(row.circuit, "C432");
+        assert_eq!(row.algorithm, "Linear");
+        assert!(row.cpu_seconds >= 0.0);
+    }
+
+    #[test]
+    fn circuits_from_args_matches_case_insensitively_and_defaults() {
+        let default = [IscasCircuit::C432, IscasCircuit::C499];
+        assert_eq!(circuits_from_args(&[], &default), default.to_vec());
+        let picked = circuits_from_args(
+            &["c880".to_string(), "S1488".to_string(), "bogus".to_string()],
+            &default,
+        );
+        assert_eq!(picked, vec![IscasCircuit::C880, IscasCircuit::S1488]);
+    }
+
+    #[test]
+    fn table_config_uses_requested_algorithm_and_k() {
+        let config = table_config(5, ColorAlgorithm::SdpGreedy);
+        assert_eq!(config.k, 5);
+        assert_eq!(config.algorithm, ColorAlgorithm::SdpGreedy);
+    }
+}

@@ -1,0 +1,249 @@
+//! The per-component color-assignment problem handed to the engines.
+
+/// A self-contained color-assignment instance over dense local vertex ids
+/// `0..vertex_count`, produced by graph division and consumed by the
+/// [`crate::assign`] engines.
+///
+/// Besides conflict and stitch edges it carries the *color-friendly* pairs
+/// of Definition 2 (features slightly beyond the coloring distance), which
+/// only the linear engine uses as a tie-breaking hint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentProblem {
+    vertex_count: usize,
+    k: usize,
+    alpha: f64,
+    conflict_edges: Vec<(usize, usize)>,
+    stitch_edges: Vec<(usize, usize)>,
+    color_friendly_pairs: Vec<(usize, usize)>,
+}
+
+impl ComponentProblem {
+    /// Creates an empty problem with `vertex_count` vertices, `k` colors and
+    /// stitch weight `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `alpha` is negative.
+    pub fn new(vertex_count: usize, k: usize, alpha: f64) -> Self {
+        assert!(k >= 2, "at least two colors are required, got {k}");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        ComponentProblem {
+            vertex_count,
+            k,
+            alpha,
+            conflict_edges: Vec::new(),
+            stitch_edges: Vec::new(),
+            color_friendly_pairs: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Number of colors K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Stitch weight α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Adds a conflict edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or a self edge.
+    pub fn add_conflict(&mut self, u: usize, v: usize) {
+        self.check(u, v);
+        self.conflict_edges.push((u, v));
+    }
+
+    /// Adds a stitch edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or a self edge.
+    pub fn add_stitch(&mut self, u: usize, v: usize) {
+        self.check(u, v);
+        self.stitch_edges.push((u, v));
+    }
+
+    /// Records a color-friendly pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or a self edge.
+    pub fn add_color_friendly(&mut self, u: usize, v: usize) {
+        self.check(u, v);
+        self.color_friendly_pairs.push((u, v));
+    }
+
+    fn check(&self, u: usize, v: usize) {
+        assert!(u != v, "self-edge {u}-{v} is not allowed");
+        assert!(
+            u < self.vertex_count && v < self.vertex_count,
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.vertex_count
+        );
+    }
+
+    /// Conflict edges.
+    pub fn conflict_edges(&self) -> &[(usize, usize)] {
+        &self.conflict_edges
+    }
+
+    /// Stitch edges.
+    pub fn stitch_edges(&self) -> &[(usize, usize)] {
+        &self.stitch_edges
+    }
+
+    /// Color-friendly pairs.
+    pub fn color_friendly_pairs(&self) -> &[(usize, usize)] {
+        &self.color_friendly_pairs
+    }
+
+    /// The conflict degree of every vertex.
+    pub fn conflict_degrees(&self) -> Vec<usize> {
+        let mut degrees = vec![0usize; self.vertex_count];
+        for &(u, v) in &self.conflict_edges {
+            degrees[u] += 1;
+            degrees[v] += 1;
+        }
+        degrees
+    }
+
+    /// The stitch degree of every vertex.
+    pub fn stitch_degrees(&self) -> Vec<usize> {
+        let mut degrees = vec![0usize; self.vertex_count];
+        for &(u, v) in &self.stitch_edges {
+            degrees[u] += 1;
+            degrees[v] += 1;
+        }
+        degrees
+    }
+
+    /// Evaluates a coloring, returning `(conflicts, stitches, cost)` with
+    /// `cost = conflicts + α · stitches`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coloring has the wrong length or uses a color `≥ k`.
+    pub fn evaluate(&self, colors: &[u8]) -> (usize, usize, f64) {
+        assert_eq!(colors.len(), self.vertex_count, "coloring length mismatch");
+        assert!(
+            colors.iter().all(|&c| (c as usize) < self.k),
+            "coloring uses a color outside 0..{}",
+            self.k
+        );
+        let conflicts = self
+            .conflict_edges
+            .iter()
+            .filter(|&&(u, v)| colors[u] == colors[v])
+            .count();
+        let stitches = self
+            .stitch_edges
+            .iter()
+            .filter(|&&(u, v)| colors[u] != colors[v])
+            .count();
+        (
+            conflicts,
+            stitches,
+            conflicts as f64 + self.alpha * stitches as f64,
+        )
+    }
+
+    /// Builds the sub-problem induced by `vertices` (local ids), returning it
+    /// together with the mapping from new ids to the ids in `self`.
+    pub fn induced(&self, vertices: &[usize]) -> (ComponentProblem, Vec<usize>) {
+        let mut new_id = vec![usize::MAX; self.vertex_count];
+        let mut original = Vec::with_capacity(vertices.len());
+        for &v in vertices {
+            assert!(v < self.vertex_count, "vertex {v} out of range");
+            if new_id[v] == usize::MAX {
+                new_id[v] = original.len();
+                original.push(v);
+            }
+        }
+        let mut sub = ComponentProblem::new(original.len(), self.k, self.alpha);
+        for &(u, v) in &self.conflict_edges {
+            if new_id[u] != usize::MAX && new_id[v] != usize::MAX {
+                sub.add_conflict(new_id[u], new_id[v]);
+            }
+        }
+        for &(u, v) in &self.stitch_edges {
+            if new_id[u] != usize::MAX && new_id[v] != usize::MAX {
+                sub.add_stitch(new_id[u], new_id[v]);
+            }
+        }
+        for &(u, v) in &self.color_friendly_pairs {
+            if new_id[u] != usize::MAX && new_id[v] != usize::MAX {
+                sub.add_color_friendly(new_id[u], new_id[v]);
+            }
+        }
+        (sub, original)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ComponentProblem {
+        let mut p = ComponentProblem::new(4, 4, 0.1);
+        p.add_conflict(0, 1);
+        p.add_conflict(1, 2);
+        p.add_stitch(2, 3);
+        p.add_color_friendly(0, 3);
+        p
+    }
+
+    #[test]
+    fn accessors_and_degrees() {
+        let p = sample();
+        assert_eq!(p.vertex_count(), 4);
+        assert_eq!(p.k(), 4);
+        assert_eq!(p.alpha(), 0.1);
+        assert_eq!(p.conflict_degrees(), vec![1, 2, 1, 0]);
+        assert_eq!(p.stitch_degrees(), vec![0, 0, 1, 1]);
+        assert_eq!(p.color_friendly_pairs(), &[(0, 3)]);
+    }
+
+    #[test]
+    fn evaluate_counts_conflicts_and_stitches() {
+        let p = sample();
+        let (c, s, cost) = p.evaluate(&[0, 0, 1, 2]);
+        assert_eq!(c, 1); // edge (0, 1) is monochromatic
+        assert_eq!(s, 1); // stitch (2, 3) has different colors
+        assert!((cost - 1.1).abs() < 1e-9);
+        let (c2, s2, _) = p.evaluate(&[0, 1, 0, 0]);
+        assert_eq!((c2, s2), (0, 0));
+    }
+
+    #[test]
+    fn induced_subproblem_remaps_edges() {
+        let p = sample();
+        let (sub, original) = p.induced(&[1, 2, 3]);
+        assert_eq!(original, vec![1, 2, 3]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.conflict_edges(), &[(0, 1)]); // 1-2 in the original
+        assert_eq!(sub.stitch_edges(), &[(1, 2)]); // 2-3 in the original
+        assert!(sub.color_friendly_pairs().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "coloring length mismatch")]
+    fn evaluate_rejects_bad_length() {
+        let _ = sample().evaluate(&[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edges_panic() {
+        let mut p = ComponentProblem::new(2, 4, 0.1);
+        p.add_conflict(0, 7);
+    }
+}

@@ -1,0 +1,220 @@
+//! Decomposer configuration.
+
+use crate::StitchConfig;
+use mpl_layout::Technology;
+use std::time::Duration;
+
+/// The color-assignment engine to run on each divided component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColorAlgorithm {
+    /// Exact conflict/stitch minimisation (the paper's ILP baseline,
+    /// solved here by an equivalent branch and bound with a time limit).
+    Ilp,
+    /// Semidefinite relaxation followed by threshold merging and exhaustive
+    /// backtracking on the merged graph (Section 3.1, Algorithm 1).
+    SdpBacktrack,
+    /// Semidefinite relaxation followed by the greedy mapping of
+    /// Yu et al. (ICCAD 2011).
+    SdpGreedy,
+    /// The linear-time color assignment with color-friendly rules, peer
+    /// selection and post-refinement (Section 3.2, Algorithm 2).
+    Linear,
+}
+
+impl ColorAlgorithm {
+    /// All four engines, in the column order of the paper's Table 1.
+    pub const ALL: [ColorAlgorithm; 4] = [
+        ColorAlgorithm::Ilp,
+        ColorAlgorithm::SdpBacktrack,
+        ColorAlgorithm::SdpGreedy,
+        ColorAlgorithm::Linear,
+    ];
+
+    /// Human-readable name matching the paper's column headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ColorAlgorithm::Ilp => "ILP",
+            ColorAlgorithm::SdpBacktrack => "SDP+Backtrack",
+            ColorAlgorithm::SdpGreedy => "SDP+Greedy",
+            ColorAlgorithm::Linear => "Linear",
+        }
+    }
+}
+
+impl std::fmt::Display for ColorAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which graph-division techniques to apply before color assignment.
+///
+/// All techniques are enabled by default, matching the paper's experimental
+/// setup; individual techniques can be disabled for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivisionConfig {
+    /// Independent (connected) component computation.
+    pub independent_components: bool,
+    /// Iterative removal of vertices with conflict degree < K and stitch
+    /// degree < 2.
+    pub low_degree_removal: bool,
+    /// 2-vertex-connected component splitting at articulation points.
+    pub biconnected_split: bool,
+    /// Gomory–Hu-tree based (K−1)-cut removal with color-rotation merging.
+    pub ghtree_cut_removal: bool,
+}
+
+impl Default for DivisionConfig {
+    fn default() -> Self {
+        DivisionConfig {
+            independent_components: true,
+            low_degree_removal: true,
+            biconnected_split: true,
+            ghtree_cut_removal: true,
+        }
+    }
+}
+
+impl DivisionConfig {
+    /// Disables every division technique (color assignment then sees each
+    /// whole connected component).
+    pub fn none() -> Self {
+        DivisionConfig {
+            independent_components: true,
+            low_degree_removal: false,
+            biconnected_split: false,
+            ghtree_cut_removal: false,
+        }
+    }
+}
+
+/// Full configuration of a [`crate::Decomposer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecomposerConfig {
+    /// Number of masks K (≥ 2).
+    pub k: usize,
+    /// Process technology (coloring distances are derived from it).
+    pub technology: Technology,
+    /// Stitch weight α in the objective `conflicts + α · stitches`.
+    pub alpha: f64,
+    /// Merge threshold t_th of the SDP + backtrack engine.
+    pub sdp_merge_threshold: f64,
+    /// The color-assignment engine.
+    pub algorithm: ColorAlgorithm,
+    /// Graph-division techniques to apply.
+    pub division: DivisionConfig,
+    /// Stitch-candidate generation parameters.
+    pub stitch: StitchConfig,
+    /// Wall-clock budget for the exact (ILP) engine per component.
+    pub ilp_time_limit: Duration,
+}
+
+impl DecomposerConfig {
+    /// The paper's quadruple-patterning setup: K = 4, α = 0.1, t_th = 0.9,
+    /// all division techniques enabled.
+    pub fn quadruple(technology: Technology) -> Self {
+        DecomposerConfig::k_patterning(4, technology)
+    }
+
+    /// The paper's pentuple-patterning setup (K = 5).
+    pub fn pentuple(technology: Technology) -> Self {
+        DecomposerConfig::k_patterning(5, technology)
+    }
+
+    /// General K-patterning with the paper's default parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn k_patterning(k: usize, technology: Technology) -> Self {
+        assert!(k >= 2, "patterning requires at least two masks, got {k}");
+        DecomposerConfig {
+            k,
+            technology,
+            alpha: 0.1,
+            sdp_merge_threshold: 0.9,
+            algorithm: ColorAlgorithm::SdpBacktrack,
+            division: DivisionConfig::default(),
+            stitch: StitchConfig::default(),
+            ilp_time_limit: Duration::from_secs(600),
+        }
+    }
+
+    /// Selects the color-assignment engine.
+    pub fn with_algorithm(mut self, algorithm: ColorAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Overrides the stitch weight α.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Overrides the division configuration.
+    pub fn with_division(mut self, division: DivisionConfig) -> Self {
+        self.division = division;
+        self
+    }
+
+    /// Overrides the per-component time budget of the exact engine.
+    pub fn with_ilp_time_limit(mut self, limit: Duration) -> Self {
+        self.ilp_time_limit = limit;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let config = DecomposerConfig::quadruple(Technology::nm20());
+        assert_eq!(config.k, 4);
+        assert_eq!(config.alpha, 0.1);
+        assert_eq!(config.sdp_merge_threshold, 0.9);
+        assert_eq!(config.algorithm, ColorAlgorithm::SdpBacktrack);
+        assert!(config.division.ghtree_cut_removal);
+        let penta = DecomposerConfig::pentuple(Technology::nm20());
+        assert_eq!(penta.k, 5);
+    }
+
+    #[test]
+    fn builder_methods_override_fields() {
+        let config = DecomposerConfig::quadruple(Technology::nm20())
+            .with_algorithm(ColorAlgorithm::Linear)
+            .with_alpha(0.25)
+            .with_division(DivisionConfig::none())
+            .with_ilp_time_limit(Duration::from_secs(1));
+        assert_eq!(config.algorithm, ColorAlgorithm::Linear);
+        assert_eq!(config.alpha, 0.25);
+        assert!(!config.division.low_degree_removal);
+        assert_eq!(config.ilp_time_limit, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn algorithm_names_match_table_headers() {
+        assert_eq!(ColorAlgorithm::Ilp.name(), "ILP");
+        assert_eq!(ColorAlgorithm::SdpBacktrack.to_string(), "SDP+Backtrack");
+        assert_eq!(ColorAlgorithm::ALL.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two masks")]
+    fn k_one_is_rejected() {
+        let _ = DecomposerConfig::k_patterning(1, Technology::nm20());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_alpha_is_rejected() {
+        let _ = DecomposerConfig::quadruple(Technology::nm20()).with_alpha(-0.1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Coloring cost evaluation and verification.
+
+use crate::DecompositionGraph;
+
+/// The cost of a complete mask assignment on a decomposition graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColoringCost {
+    /// Conflict edges whose endpoints share a mask.
+    pub conflicts: usize,
+    /// Stitch edges whose endpoints are on different masks (i.e. stitches
+    /// actually manufactured).
+    pub stitches: usize,
+    /// The weighted objective `conflicts + α · stitches`.
+    pub cost: f64,
+}
+
+impl ColoringCost {
+    /// Combines two partial costs.
+    pub fn combine(self, other: ColoringCost) -> ColoringCost {
+        ColoringCost {
+            conflicts: self.conflicts + other.conflicts,
+            stitches: self.stitches + other.stitches,
+            cost: self.cost + other.cost,
+        }
+    }
+}
+
+/// Evaluates a complete mask assignment against the decomposition graph.
+///
+/// # Panics
+///
+/// Panics if `colors` does not hold exactly one color per vertex or uses a
+/// color outside `0..graph.k()`.
+pub fn coloring_cost(graph: &DecompositionGraph, colors: &[u8], alpha: f64) -> ColoringCost {
+    assert_eq!(
+        colors.len(),
+        graph.vertex_count(),
+        "coloring length mismatch"
+    );
+    assert!(
+        colors.iter().all(|&c| (c as usize) < graph.k()),
+        "coloring uses a color outside 0..{}",
+        graph.k()
+    );
+    let conflicts = graph
+        .conflict_edges()
+        .iter()
+        .filter(|&&(u, v)| colors[u] == colors[v])
+        .count();
+    let stitches = graph
+        .stitch_edges()
+        .iter()
+        .filter(|&&(u, v)| colors[u] != colors[v])
+        .count();
+    ColoringCost {
+        conflicts,
+        stitches,
+        cost: conflicts as f64 + alpha * stitches as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StitchConfig;
+    use mpl_layout::{gen, Technology};
+
+    #[test]
+    fn cost_of_a_k4_clique() {
+        let tech = Technology::nm20();
+        let layout = gen::fig1_contact_clique(&tech);
+        let graph = DecompositionGraph::build(&layout, &tech, 4, &StitchConfig::default());
+        let clean = coloring_cost(&graph, &[0, 1, 2, 3], 0.1);
+        assert_eq!(clean.conflicts, 0);
+        assert_eq!(clean.stitches, 0);
+        assert_eq!(clean.cost, 0.0);
+        let bad = coloring_cost(&graph, &[0, 0, 1, 2], 0.1);
+        assert_eq!(bad.conflicts, 1);
+        assert_eq!(bad.cost, 1.0);
+    }
+
+    #[test]
+    fn combine_adds_componentwise() {
+        let a = ColoringCost {
+            conflicts: 1,
+            stitches: 2,
+            cost: 1.2,
+        };
+        let b = ColoringCost {
+            conflicts: 0,
+            stitches: 3,
+            cost: 0.3,
+        };
+        let c = a.combine(b);
+        assert_eq!(c.conflicts, 1);
+        assert_eq!(c.stitches, 5);
+        assert!((c.cost - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "coloring length mismatch")]
+    fn wrong_length_panics() {
+        let tech = Technology::nm20();
+        let layout = gen::fig1_contact_clique(&tech);
+        let graph = DecompositionGraph::build(&layout, &tech, 4, &StitchConfig::default());
+        let _ = coloring_cost(&graph, &[0, 1], 0.1);
+    }
+}

@@ -1,0 +1,430 @@
+//! The end-to-end decomposition flow (Fig. 2 of the paper).
+
+use crate::assign::{assigner_for, ColorAssigner};
+use crate::division::{
+    biconnected_blocks, ghtree_pieces, merge_with_rotation, peel_low_degree, permute_to_match,
+};
+use crate::{coloring_cost, ColoringCost, ComponentProblem, DecomposerConfig, DecompositionGraph};
+use mpl_layout::Layout;
+use std::time::{Duration, Instant};
+
+/// The result of decomposing a layout: one mask per decomposition-graph
+/// vertex plus the statistics reported in the paper's tables.
+#[derive(Debug, Clone)]
+pub struct DecompositionResult {
+    layout_name: String,
+    algorithm: &'static str,
+    k: usize,
+    colors: Vec<u8>,
+    cost: ColoringCost,
+    vertex_count: usize,
+    conflict_edge_count: usize,
+    stitch_edge_count: usize,
+    graph_time: Duration,
+    color_time: Duration,
+}
+
+impl DecompositionResult {
+    /// The layout this result was computed for.
+    pub fn layout_name(&self) -> &str {
+        &self.layout_name
+    }
+
+    /// The color-assignment engine used.
+    pub fn algorithm(&self) -> &'static str {
+        self.algorithm
+    }
+
+    /// The number of masks K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The mask assigned to every decomposition-graph vertex.
+    pub fn colors(&self) -> &[u8] {
+        &self.colors
+    }
+
+    /// Number of unresolved conflicts (the paper's `cn#`).
+    pub fn conflicts(&self) -> usize {
+        self.cost.conflicts
+    }
+
+    /// Number of stitches actually inserted (the paper's `st#`).
+    pub fn stitches(&self) -> usize {
+        self.cost.stitches
+    }
+
+    /// The weighted objective `conflicts + α · stitches`.
+    pub fn cost(&self) -> f64 {
+        self.cost.cost
+    }
+
+    /// Number of decomposition-graph vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Number of conflict edges.
+    pub fn conflict_edge_count(&self) -> usize {
+        self.conflict_edge_count
+    }
+
+    /// Number of stitch edges (stitch candidates).
+    pub fn stitch_edge_count(&self) -> usize {
+        self.stitch_edge_count
+    }
+
+    /// Time spent constructing the decomposition graph.
+    pub fn graph_time(&self) -> Duration {
+        self.graph_time
+    }
+
+    /// Time spent in graph division and color assignment (the paper's
+    /// `CPU(s)` column measures this phase).
+    pub fn color_time(&self) -> Duration {
+        self.color_time
+    }
+}
+
+/// The layout decomposer: decomposition-graph construction, graph division
+/// and color assignment, as orchestrated in Fig. 2 of the paper.
+#[derive(Debug, Clone)]
+pub struct Decomposer {
+    config: DecomposerConfig,
+}
+
+impl Decomposer {
+    /// Creates a decomposer with the given configuration.
+    pub fn new(config: DecomposerConfig) -> Self {
+        Decomposer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DecomposerConfig {
+        &self.config
+    }
+
+    /// Decomposes a layout into K masks.
+    pub fn decompose(&self, layout: &Layout) -> DecompositionResult {
+        let graph_start = Instant::now();
+        let graph = DecompositionGraph::build(
+            layout,
+            &self.config.technology,
+            self.config.k,
+            &self.config.stitch,
+        );
+        let graph_time = graph_start.elapsed();
+        let color_start = Instant::now();
+        let colors = self.color_graph(&graph);
+        let color_time = color_start.elapsed();
+        let cost = coloring_cost(&graph, &colors, self.config.alpha);
+        DecompositionResult {
+            layout_name: layout.name().to_string(),
+            algorithm: self.config.algorithm.name(),
+            k: self.config.k,
+            colors,
+            cost,
+            vertex_count: graph.vertex_count(),
+            conflict_edge_count: graph.conflict_edges().len(),
+            stitch_edge_count: graph.stitch_edges().len(),
+            graph_time,
+            color_time,
+        }
+    }
+
+    /// Colors an already-built decomposition graph (exposed for benches that
+    /// want to time color assignment separately from graph construction).
+    pub fn color_graph(&self, graph: &DecompositionGraph) -> Vec<u8> {
+        let assigner = assigner_for(self.config.algorithm, &self.config);
+        let mut colors = vec![0u8; graph.vertex_count()];
+        for component in graph.independent_components() {
+            self.color_component(graph, &component, assigner.as_ref(), &mut colors);
+        }
+        colors
+    }
+
+    /// Colors one independent component, writing into `colors` (global ids).
+    fn color_component(
+        &self,
+        graph: &DecompositionGraph,
+        component: &[usize],
+        assigner: &dyn ColorAssigner,
+        colors: &mut [u8],
+    ) {
+        let (problem, original) = component_problem(graph, component, &self.config);
+        let local_colors = self.color_problem(&problem, assigner);
+        for (local, &global) in original.iter().enumerate() {
+            colors[global] = local_colors[local];
+        }
+    }
+
+    /// Colors a [`ComponentProblem`] with division applied, returning local
+    /// colors.
+    fn color_problem(&self, problem: &ComponentProblem, assigner: &dyn ColorAssigner) -> Vec<u8> {
+        let n = problem.vertex_count();
+        let k = problem.k() as u8;
+        let division = self.config.division;
+        let mut colors = vec![u8::MAX; n];
+
+        // ---- Low-degree peeling. ----
+        let (kernel, stack) = if division.low_degree_removal {
+            let peeling = peel_low_degree(problem);
+            (peeling.kernel, peeling.stack)
+        } else {
+            ((0..n).collect(), Vec::new())
+        };
+
+        // ---- Kernel coloring, block by block. ----
+        if !kernel.is_empty() {
+            let blocks = if division.biconnected_split {
+                biconnected_blocks(problem, &kernel)
+            } else {
+                vec![kernel.clone()]
+            };
+            for block in blocks {
+                // Remember which block vertices were colored before (shared
+                // articulation vertices) so the block can be permuted to
+                // agree with them afterwards.
+                let anchors: Vec<usize> = block
+                    .iter()
+                    .copied()
+                    .filter(|&v| colors[v] != u8::MAX)
+                    .collect();
+                let anchor_colors: Vec<u8> = anchors.iter().map(|&v| colors[v]).collect();
+
+                if division.ghtree_cut_removal {
+                    let pieces = ghtree_pieces(problem, &block);
+                    for piece in &pieces {
+                        self.color_piece(problem, piece, assigner, &mut colors);
+                    }
+                    if pieces.len() > 1 {
+                        merge_with_rotation(problem, &pieces, &mut colors);
+                    }
+                } else {
+                    self.color_piece(problem, &block, assigner, &mut colors);
+                }
+
+                // Reconcile with the previously colored articulation vertex.
+                if let (Some(&anchor), Some(&target)) = (anchors.first(), anchor_colors.first()) {
+                    permute_to_match(&block, &mut colors, anchor, target);
+                }
+            }
+        }
+
+        // ---- Pop the peeled vertices, cheapest legal color first. ----
+        let mut conflict_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(u, v) in problem.conflict_edges() {
+            conflict_adj[u].push(v);
+            conflict_adj[v].push(u);
+        }
+        let mut stitch_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(u, v) in problem.stitch_edges() {
+            stitch_adj[u].push(v);
+            stitch_adj[v].push(u);
+        }
+        for &v in stack.iter().rev() {
+            let mut penalty = vec![0.0f64; k as usize];
+            for &u in &conflict_adj[v] {
+                if colors[u] != u8::MAX {
+                    penalty[colors[u] as usize] += 1.0;
+                }
+            }
+            for &u in &stitch_adj[v] {
+                if colors[u] != u8::MAX {
+                    for (color, slot) in penalty.iter_mut().enumerate() {
+                        if color != colors[u] as usize {
+                            *slot += problem.alpha();
+                        }
+                    }
+                }
+            }
+            colors[v] = penalty
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(c, _)| c as u8)
+                .unwrap_or(0);
+        }
+        for color in colors.iter_mut() {
+            if *color == u8::MAX {
+                *color = 0;
+            }
+        }
+        colors
+    }
+
+    /// Runs the engine on the sub-problem induced by `piece` and writes the
+    /// colors back (skipping nothing: pieces are disjoint by construction).
+    fn color_piece(
+        &self,
+        problem: &ComponentProblem,
+        piece: &[usize],
+        assigner: &dyn ColorAssigner,
+        colors: &mut [u8],
+    ) {
+        if piece.is_empty() {
+            return;
+        }
+        let (sub, original) = problem.induced(piece);
+        let sub_colors = assigner.assign(&sub);
+        for (local, &global) in original.iter().enumerate() {
+            colors[global] = sub_colors[local];
+        }
+    }
+}
+
+/// Extracts the [`ComponentProblem`] induced by `component` from the
+/// decomposition graph, returning it with the local → global vertex mapping.
+fn component_problem(
+    graph: &DecompositionGraph,
+    component: &[usize],
+    config: &DecomposerConfig,
+) -> (ComponentProblem, Vec<usize>) {
+    let mut local = vec![usize::MAX; graph.vertex_count()];
+    let mut original = Vec::with_capacity(component.len());
+    for &v in component {
+        if local[v] == usize::MAX {
+            local[v] = original.len();
+            original.push(v);
+        }
+    }
+    let mut problem = ComponentProblem::new(original.len(), config.k, config.alpha);
+    for &(u, v) in graph.conflict_edges() {
+        if local[u] != usize::MAX && local[v] != usize::MAX {
+            problem.add_conflict(local[u], local[v]);
+        }
+    }
+    for &(u, v) in graph.stitch_edges() {
+        if local[u] != usize::MAX && local[v] != usize::MAX {
+            problem.add_stitch(local[u], local[v]);
+        }
+    }
+    for &(u, v) in graph.color_friendly_pairs() {
+        if local[u] != usize::MAX && local[v] != usize::MAX {
+            problem.add_color_friendly(local[u], local[v]);
+        }
+    }
+    (problem, original)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColorAlgorithm, DivisionConfig};
+    use mpl_layout::{gen, Technology};
+
+    fn quad_config(algorithm: ColorAlgorithm) -> DecomposerConfig {
+        DecomposerConfig::quadruple(Technology::nm20()).with_algorithm(algorithm)
+    }
+
+    #[test]
+    fn fig1_clique_is_clean_under_quadruple_patterning() {
+        for algorithm in ColorAlgorithm::ALL {
+            let layout = gen::fig1_contact_clique(&Technology::nm20());
+            let result = Decomposer::new(quad_config(algorithm)).decompose(&layout);
+            assert_eq!(result.conflicts(), 0, "{algorithm}");
+            assert_eq!(result.stitches(), 0, "{algorithm}");
+            assert_eq!(result.vertex_count(), 4);
+            assert_eq!(result.k(), 4);
+        }
+    }
+
+    #[test]
+    fn k5_cluster_forces_one_conflict_under_quadruple_patterning() {
+        for algorithm in ColorAlgorithm::ALL {
+            let layout = gen::k5_cluster_layout(&Technology::nm20());
+            let result = Decomposer::new(quad_config(algorithm)).decompose(&layout);
+            assert_eq!(result.conflicts(), 1, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn k5_cluster_is_clean_under_pentuple_patterning() {
+        let layout = gen::k5_cluster_layout(&Technology::nm20());
+        let config = DecomposerConfig::pentuple(Technology::nm20())
+            .with_algorithm(ColorAlgorithm::SdpBacktrack);
+        let result = Decomposer::new(config).decompose(&layout);
+        assert_eq!(result.conflicts(), 0);
+        assert_eq!(result.k(), 5);
+    }
+
+    #[test]
+    fn reported_cost_matches_recomputation() {
+        let layout = gen::generate_row_layout(
+            &gen::RowLayoutConfig::small("verify", 3),
+            &Technology::nm20(),
+        );
+        for algorithm in [ColorAlgorithm::Linear, ColorAlgorithm::SdpGreedy] {
+            let decomposer = Decomposer::new(quad_config(algorithm));
+            let result = decomposer.decompose(&layout);
+            let graph = DecompositionGraph::build(
+                &layout,
+                &Technology::nm20(),
+                4,
+                &decomposer.config().stitch,
+            );
+            let recomputed = coloring_cost(&graph, result.colors(), 0.1);
+            assert_eq!(recomputed.conflicts, result.conflicts());
+            assert_eq!(recomputed.stitches, result.stitches());
+        }
+    }
+
+    #[test]
+    fn division_does_not_change_small_circuit_results_much() {
+        // On a small layout the exact engine must reach the same optimum
+        // with and without division (division is cost-preserving).
+        let layout =
+            gen::generate_row_layout(&gen::RowLayoutConfig::small("div", 5), &Technology::nm20());
+        let with_division = Decomposer::new(quad_config(ColorAlgorithm::Ilp)).decompose(&layout);
+        let without_division =
+            Decomposer::new(quad_config(ColorAlgorithm::Ilp).with_division(DivisionConfig::none()))
+                .decompose(&layout);
+        assert_eq!(with_division.conflicts(), without_division.conflicts());
+    }
+
+    #[test]
+    fn engine_quality_ordering_holds_on_the_small_benchmark() {
+        // The generated small layout embeds at least one K5 cluster (plus
+        // whatever native conflicts the dense routing creates), so the exact
+        // engine reports a non-zero conflict count; the heuristics may not
+        // beat it and SDP+Backtrack stays within a small gap of the optimum,
+        // mirroring the quality ordering of the paper's Table 1.
+        let layout = gen::generate_row_layout(
+            &gen::RowLayoutConfig::small("agree", 9),
+            &Technology::nm20(),
+        );
+        let exact = Decomposer::new(quad_config(ColorAlgorithm::Ilp)).decompose(&layout);
+        let backtrack =
+            Decomposer::new(quad_config(ColorAlgorithm::SdpBacktrack)).decompose(&layout);
+        let linear = Decomposer::new(quad_config(ColorAlgorithm::Linear)).decompose(&layout);
+        assert!(exact.conflicts() >= 1);
+        assert!(backtrack.conflicts() >= exact.conflicts());
+        assert!(backtrack.conflicts() <= exact.conflicts() + 2);
+        assert!(linear.conflicts() >= exact.conflicts());
+    }
+
+    #[test]
+    fn empty_layout_decomposes_trivially() {
+        let layout = Layout::builder("empty").build();
+        let result = Decomposer::new(quad_config(ColorAlgorithm::Linear)).decompose(&layout);
+        assert_eq!(result.vertex_count(), 0);
+        assert_eq!(result.conflicts(), 0);
+        assert_eq!(result.stitches(), 0);
+        assert_eq!(result.layout_name(), "empty");
+        assert_eq!(result.algorithm(), "Linear");
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let layout = gen::fig1_contact_clique(&Technology::nm20());
+        let result = Decomposer::new(quad_config(ColorAlgorithm::Linear)).decompose(&layout);
+        // Durations are always non-negative; just ensure the accessors work
+        // and the graph statistics are plausible.
+        assert!(result.graph_time() >= Duration::ZERO);
+        assert!(result.color_time() >= Duration::ZERO);
+        assert_eq!(result.conflict_edge_count(), 6);
+        assert_eq!(result.stitch_edge_count(), 0);
+        assert!(result.cost() >= 0.0);
+    }
+}

@@ -1,0 +1,397 @@
+//! Graph-division techniques (Section 4 of the paper).
+//!
+//! Division shrinks the instances handed to the color-assignment engines
+//! without changing the achievable cost:
+//!
+//! * [`peel_low_degree`] — iteratively removes vertices with conflict degree
+//!   < K and stitch degree < 2; they are re-colored last, when a
+//!   conflict-free color always exists.
+//! * [`biconnected_blocks`] — splits a component at its articulation
+//!   points; blocks are colored independently and reconciled with a color
+//!   permutation (free: permutations preserve both conflict and stitch
+//!   costs inside a block).
+//! * [`ghtree_pieces`] — the paper's novel Gomory–Hu-tree based (K−1)-cut
+//!   removal (Algorithm 3): vertices whose pairwise min-cut is at least K
+//!   stay together, everything else is split apart.
+//! * [`merge_with_rotation`] — re-joins split pieces by rotating whole
+//!   pieces (Lemma 1 / Theorem 2: with fewer than K cut edges a rotation
+//!   that avoids every cross-piece conflict always exists).
+
+use crate::ComponentProblem;
+use mpl_graph::{Biconnectivity, GomoryHuTree, Graph};
+
+/// The result of the iterative low-degree removal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Peeling {
+    /// Vertices that survive (conflict degree ≥ K or stitch degree ≥ 2 at
+    /// the end of the peeling), in ascending order.
+    pub kernel: Vec<usize>,
+    /// Removed vertices in removal order; they must be re-colored in
+    /// *reverse* order.
+    pub stack: Vec<usize>,
+}
+
+/// Iteratively removes non-critical vertices (conflict degree < K and stitch
+/// degree < 2), mirroring lines 1–4 of Algorithm 2 and the division rule of
+/// Section 4.
+pub fn peel_low_degree(problem: &ComponentProblem) -> Peeling {
+    let n = problem.vertex_count();
+    let k = problem.k();
+    let mut conflict_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v) in problem.conflict_edges() {
+        conflict_adj[u].push(v);
+        conflict_adj[v].push(u);
+    }
+    let mut stitch_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v) in problem.stitch_edges() {
+        stitch_adj[u].push(v);
+        stitch_adj[v].push(u);
+    }
+    let mut conflict_degree: Vec<usize> = conflict_adj.iter().map(Vec::len).collect();
+    let mut stitch_degree: Vec<usize> = stitch_adj.iter().map(Vec::len).collect();
+    let mut removed = vec![false; n];
+    let mut stack = Vec::new();
+    let mut worklist: Vec<usize> = (0..n)
+        .filter(|&v| conflict_degree[v] < k && stitch_degree[v] < 2)
+        .collect();
+    while let Some(v) = worklist.pop() {
+        if removed[v] || conflict_degree[v] >= k || stitch_degree[v] >= 2 {
+            continue;
+        }
+        removed[v] = true;
+        stack.push(v);
+        for &u in &conflict_adj[v] {
+            if !removed[u] {
+                conflict_degree[u] -= 1;
+                if conflict_degree[u] < k && stitch_degree[u] < 2 {
+                    worklist.push(u);
+                }
+            }
+        }
+        for &u in &stitch_adj[v] {
+            if !removed[u] {
+                stitch_degree[u] -= 1;
+                if conflict_degree[u] < k && stitch_degree[u] < 2 {
+                    worklist.push(u);
+                }
+            }
+        }
+    }
+    Peeling {
+        kernel: (0..n).filter(|&v| !removed[v]).collect(),
+        stack,
+    }
+}
+
+/// Builds the union graph (conflict ∪ stitch edges) induced by `vertices`
+/// (identity mapping: graph vertex `i` is `vertices[i]`).
+fn union_graph(problem: &ComponentProblem, vertices: &[usize]) -> (Graph, Vec<usize>) {
+    let mut local = vec![usize::MAX; problem.vertex_count()];
+    for (index, &v) in vertices.iter().enumerate() {
+        local[v] = index;
+    }
+    let mut graph = Graph::new(vertices.len());
+    for &(u, v) in problem
+        .conflict_edges()
+        .iter()
+        .chain(problem.stitch_edges())
+    {
+        if local[u] != usize::MAX && local[v] != usize::MAX {
+            graph.add_edge(local[u], local[v]);
+        }
+    }
+    (graph, vertices.to_vec())
+}
+
+/// Splits the sub-graph induced by `vertices` into 2-vertex-connected blocks
+/// (each block is a list of the problem's vertex ids).  Vertices without any
+/// incident edge inside `vertices` are returned as singleton blocks.
+pub fn biconnected_blocks(problem: &ComponentProblem, vertices: &[usize]) -> Vec<Vec<usize>> {
+    if vertices.is_empty() {
+        return Vec::new();
+    }
+    let (graph, original) = union_graph(problem, vertices);
+    let biconnectivity = Biconnectivity::compute(&graph);
+    let mut blocks: Vec<Vec<usize>> = biconnectivity
+        .vertex_components(&graph)
+        .into_iter()
+        .map(|component| component.into_iter().map(|v| original[v]).collect())
+        .collect();
+    // Isolated vertices (no incident edges) appear in no block.
+    let mut covered = vec![false; graph.vertex_count()];
+    for component in biconnectivity.vertex_components(&graph) {
+        for v in component {
+            covered[v] = true;
+        }
+    }
+    for v in 0..graph.vertex_count() {
+        if !covered[v] {
+            blocks.push(vec![original[v]]);
+        }
+    }
+    blocks
+}
+
+/// Splits the sub-graph induced by `vertices` with the GH-tree based
+/// (K−1)-cut removal: pieces are the groups of vertices whose pairwise
+/// min-cut (in the induced union graph) is at least K.
+pub fn ghtree_pieces(problem: &ComponentProblem, vertices: &[usize]) -> Vec<Vec<usize>> {
+    if vertices.is_empty() {
+        return Vec::new();
+    }
+    let (graph, original) = union_graph(problem, vertices);
+    let tree = GomoryHuTree::build(&graph);
+    tree.components_after_removing(problem.k() as i64)
+        .into_iter()
+        .map(|piece| piece.into_iter().map(|v| original[v]).collect())
+        .collect()
+}
+
+/// Re-joins independently colored pieces by color rotation.
+///
+/// `colors` holds a (possibly partial) coloring over the problem's vertices;
+/// all vertices of every piece must already be colored.  Pieces are merged
+/// one at a time: for each piece the rotation `c ← (c + r) mod K` minimising
+/// the conflict-then-stitch cost towards the already-merged vertices is
+/// applied.  Rotations never change costs inside a piece, so per Lemma 1 the
+/// merge cannot increase the conflict count when the cut is smaller than K.
+pub fn merge_with_rotation(problem: &ComponentProblem, pieces: &[Vec<usize>], colors: &mut [u8]) {
+    let k = problem.k() as u8;
+    let mut merged = vec![false; problem.vertex_count()];
+    for piece in pieces {
+        if piece.is_empty() {
+            continue;
+        }
+        let in_piece: std::collections::HashSet<usize> = piece.iter().copied().collect();
+        // Cost of each rotation against the already-merged region.
+        let mut best_rotation = 0u8;
+        let mut best_cost = f64::INFINITY;
+        for rotation in 0..k {
+            let mut cost = 0.0;
+            for &(u, v) in problem.conflict_edges() {
+                let (inside, outside) = if in_piece.contains(&u) && merged[v] {
+                    (u, v)
+                } else if in_piece.contains(&v) && merged[u] {
+                    (v, u)
+                } else {
+                    continue;
+                };
+                if (colors[inside] + rotation) % k == colors[outside] {
+                    cost += 1.0;
+                }
+            }
+            for &(u, v) in problem.stitch_edges() {
+                let (inside, outside) = if in_piece.contains(&u) && merged[v] {
+                    (u, v)
+                } else if in_piece.contains(&v) && merged[u] {
+                    (v, u)
+                } else {
+                    continue;
+                };
+                if (colors[inside] + rotation) % k != colors[outside] {
+                    cost += problem.alpha();
+                }
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best_rotation = rotation;
+            }
+        }
+        if best_rotation != 0 {
+            for &v in piece {
+                colors[v] = (colors[v] + best_rotation) % k;
+            }
+        }
+        for &v in piece {
+            merged[v] = true;
+        }
+    }
+}
+
+/// Applies a color permutation to `piece` so that `anchor`'s color becomes
+/// `target`, swapping the two colors involved everywhere in the piece.
+/// Used when re-joining biconnected blocks at an articulation vertex.
+pub fn permute_to_match(piece: &[usize], colors: &mut [u8], anchor: usize, target: u8) {
+    let current = colors[anchor];
+    if current == target {
+        return;
+    }
+    for &v in piece {
+        if colors[v] == current {
+            colors[v] = target;
+        } else if colors[v] == target {
+            colors[v] = current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k_clique(n: usize, k: usize) -> ComponentProblem {
+        let mut p = ComponentProblem::new(n, k, 0.1);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                p.add_conflict(i, j);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn peeling_removes_everything_from_sparse_graphs() {
+        let mut p = ComponentProblem::new(6, 4, 0.1);
+        for i in 0..5 {
+            p.add_conflict(i, i + 1);
+        }
+        let peeling = peel_low_degree(&p);
+        assert!(peeling.kernel.is_empty());
+        assert_eq!(peeling.stack.len(), 6);
+    }
+
+    #[test]
+    fn peeling_keeps_dense_cores() {
+        // A K5 core with a pendant path: the path peels away, the K5 stays.
+        let mut p = k_clique(5, 4);
+        let mut p2 = ComponentProblem::new(8, 4, 0.1);
+        for &(u, v) in p.conflict_edges() {
+            p2.add_conflict(u, v);
+        }
+        p2.add_conflict(4, 5);
+        p2.add_conflict(5, 6);
+        p2.add_conflict(6, 7);
+        p = p2;
+        let peeling = peel_low_degree(&p);
+        assert_eq!(peeling.kernel, vec![0, 1, 2, 3, 4]);
+        assert_eq!(peeling.stack.len(), 3);
+    }
+
+    #[test]
+    fn peeling_respects_stitch_degree() {
+        // A vertex with two stitch edges is critical even with no conflicts.
+        let mut p = ComponentProblem::new(3, 4, 0.1);
+        p.add_stitch(0, 1);
+        p.add_stitch(1, 2);
+        let peeling = peel_low_degree(&p);
+        // Vertices 0 and 2 (stitch degree 1) peel; removing them drops vertex
+        // 1's stitch degree below 2, so it peels too.
+        assert!(peeling.kernel.is_empty());
+        assert_eq!(peeling.stack.len(), 3);
+    }
+
+    #[test]
+    fn biconnected_blocks_split_bowties() {
+        // Two K4s sharing vertex 3.
+        let mut p = ComponentProblem::new(7, 4, 0.1);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                p.add_conflict(i, j);
+            }
+        }
+        for i in 3..7 {
+            for j in (i + 1)..7 {
+                p.add_conflict(i, j);
+            }
+        }
+        let vertices: Vec<usize> = (0..7).collect();
+        let mut blocks = biconnected_blocks(&p, &vertices);
+        blocks.iter_mut().for_each(|b| b.sort_unstable());
+        blocks.sort();
+        assert_eq!(blocks, vec![vec![0, 1, 2, 3], vec![3, 4, 5, 6]]);
+    }
+
+    #[test]
+    fn biconnected_blocks_keep_isolated_vertices() {
+        let p = ComponentProblem::new(3, 4, 0.1);
+        let blocks = biconnected_blocks(&p, &[0, 2]);
+        assert_eq!(blocks.len(), 2);
+    }
+
+    #[test]
+    fn ghtree_split_detects_three_cuts() {
+        // Two K5s connected by three edges: the 3-cut splits them for K = 4.
+        let mut p = ComponentProblem::new(10, 4, 0.1);
+        for base in [0, 5] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    p.add_conflict(base + i, base + j);
+                }
+            }
+        }
+        p.add_conflict(0, 5);
+        p.add_conflict(1, 6);
+        p.add_conflict(2, 7);
+        let vertices: Vec<usize> = (0..10).collect();
+        let mut pieces = ghtree_pieces(&p, &vertices);
+        pieces.iter_mut().for_each(|piece| piece.sort_unstable());
+        pieces.sort();
+        assert_eq!(pieces, vec![vec![0, 1, 2, 3, 4], vec![5, 6, 7, 8, 9]]);
+    }
+
+    #[test]
+    fn ghtree_keeps_well_connected_graphs_whole() {
+        let p = k_clique(6, 4);
+        let vertices: Vec<usize> = (0..6).collect();
+        let pieces = ghtree_pieces(&p, &vertices);
+        assert_eq!(pieces.len(), 1);
+    }
+
+    #[test]
+    fn rotation_merge_removes_cross_conflicts() {
+        // Two triangles joined by one edge (a 1-cut).  Color both triangles
+        // identically, then let the rotation fix the cut edge.
+        let mut p = ComponentProblem::new(6, 4, 0.1);
+        for base in [0, 3] {
+            p.add_conflict(base, base + 1);
+            p.add_conflict(base + 1, base + 2);
+            p.add_conflict(base, base + 2);
+        }
+        p.add_conflict(2, 3);
+        let mut colors = vec![0, 1, 2, 0, 1, 2];
+        // Before merging, edge (2, 3) is fine (2 vs 0), but force the bad
+        // case by rotating the second triangle to collide.
+        colors[3] = 2;
+        colors[4] = 0;
+        colors[5] = 1;
+        let pieces = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        merge_with_rotation(&p, &pieces, &mut colors);
+        let (conflicts, _, _) = p.evaluate(&colors);
+        assert_eq!(conflicts, 0);
+    }
+
+    #[test]
+    fn rotation_merge_considers_stitches() {
+        // A stitch edge across two singleton pieces: the rotation aligns the
+        // colors so no stitch is paid.
+        let mut p = ComponentProblem::new(2, 4, 0.1);
+        p.add_stitch(0, 1);
+        let mut colors = vec![1, 3];
+        merge_with_rotation(&p, &[vec![0], vec![1]], &mut colors);
+        let (_, stitches, _) = p.evaluate(&colors);
+        assert_eq!(stitches, 0);
+    }
+
+    #[test]
+    fn permutation_matches_anchor_and_preserves_internal_structure() {
+        let mut p = ComponentProblem::new(4, 4, 0.1);
+        p.add_conflict(0, 1);
+        p.add_conflict(1, 2);
+        p.add_conflict(2, 3);
+        let mut colors = vec![0, 1, 0, 1];
+        let piece: Vec<usize> = vec![0, 1, 2, 3];
+        let (before_conflicts, _, _) = p.evaluate(&colors);
+        permute_to_match(&piece, &mut colors, 0, 3);
+        assert_eq!(colors[0], 3);
+        let (after_conflicts, _, _) = p.evaluate(&colors);
+        assert_eq!(before_conflicts, after_conflicts);
+        assert_eq!(colors, vec![3, 1, 3, 1]);
+    }
+
+    #[test]
+    fn permutation_is_a_no_op_when_colors_already_match() {
+        let mut colors = vec![2, 0];
+        permute_to_match(&[0, 1], &mut colors, 0, 2);
+        assert_eq!(colors, vec![2, 0]);
+    }
+}

@@ -1,0 +1,203 @@
+//! 1-D closed intervals used for projection/overlap reasoning.
+
+use crate::Nm;
+use std::fmt;
+
+/// A closed 1-D interval `[lo, hi]` in nanometres.
+///
+/// Intervals are used when generating stitch candidates: the projection of a
+/// shape's conflict neighbours onto the shape's long axis is a set of
+/// intervals, and legal stitch positions are the gaps between those
+/// projections.
+///
+/// # Example
+///
+/// ```
+/// use mpl_geometry::{Interval, Nm};
+///
+/// let a = Interval::new(Nm(0), Nm(50));
+/// let b = Interval::new(Nm(30), Nm(80));
+/// assert_eq!(a.overlap(&b), Nm(20));
+/// assert!(a.intersects(&b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Interval {
+    lo: Nm,
+    hi: Nm,
+}
+
+impl Interval {
+    /// Creates an interval from its two endpoints (in either order).
+    pub fn new(a: Nm, b: Nm) -> Self {
+        Interval {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// Lower endpoint.
+    #[inline]
+    pub fn lo(&self) -> Nm {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[inline]
+    pub fn hi(&self) -> Nm {
+        self.hi
+    }
+
+    /// Length of the interval.
+    #[inline]
+    pub fn length(&self) -> Nm {
+        self.hi - self.lo
+    }
+
+    /// Returns `true` if the two intervals share at least one point.
+    pub fn intersects(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Returns the length of the overlap, or zero if they are disjoint.
+    pub fn overlap(&self, other: &Interval) -> Nm {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (hi - lo).max(Nm::ZERO)
+    }
+
+    /// Returns `true` if `x` lies inside the closed interval.
+    pub fn contains(&self, x: Nm) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Returns `true` if `other` lies entirely within `self`.
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// The gap between two disjoint intervals, or zero if they intersect.
+    pub fn gap(&self, other: &Interval) -> Nm {
+        if self.intersects(other) {
+            Nm::ZERO
+        } else if self.hi < other.lo {
+            other.lo - self.hi
+        } else {
+            self.lo - other.hi
+        }
+    }
+
+    /// Merges a set of intervals into a minimal sorted set of disjoint
+    /// intervals covering the same points.
+    ///
+    /// The result is sorted by lower endpoint and pairwise disjoint (touching
+    /// intervals are merged).
+    pub fn merge_all(mut intervals: Vec<Interval>) -> Vec<Interval> {
+        intervals.sort();
+        let mut merged: Vec<Interval> = Vec::with_capacity(intervals.len());
+        for iv in intervals {
+            match merged.last_mut() {
+                Some(last) if last.hi >= iv.lo => {
+                    last.hi = last.hi.max(iv.hi);
+                }
+                _ => merged.push(iv),
+            }
+        }
+        merged
+    }
+
+    /// Computes the maximal sub-intervals of `span` not covered by any
+    /// interval in `covered` (which need not be disjoint or sorted).
+    ///
+    /// This is the primitive behind stitch-candidate generation: the free gaps
+    /// along a wire are where a stitch may legally be inserted.
+    pub fn complement_within(span: Interval, covered: &[Interval]) -> Vec<Interval> {
+        let clipped: Vec<Interval> = covered
+            .iter()
+            .filter(|iv| iv.intersects(&span))
+            .map(|iv| Interval::new(iv.lo.max(span.lo), iv.hi.min(span.hi)))
+            .collect();
+        let merged = Interval::merge_all(clipped);
+        let mut gaps = Vec::new();
+        let mut cursor = span.lo;
+        for iv in &merged {
+            if iv.lo > cursor {
+                gaps.push(Interval::new(cursor, iv.lo));
+            }
+            cursor = cursor.max(iv.hi);
+        }
+        if cursor < span.hi {
+            gaps.push(Interval::new(cursor, span.hi));
+        }
+        gaps
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(Nm(a), Nm(b))
+    }
+
+    #[test]
+    fn construction_normalises_order() {
+        let i = iv(10, 3);
+        assert_eq!(i.lo(), Nm(3));
+        assert_eq!(i.hi(), Nm(10));
+        assert_eq!(i.length(), Nm(7));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        assert!(iv(0, 5).intersects(&iv(5, 8)));
+        assert!(!iv(0, 5).intersects(&iv(6, 8)));
+        assert_eq!(iv(0, 5).overlap(&iv(3, 9)), Nm(2));
+        assert_eq!(iv(0, 5).overlap(&iv(7, 9)), Nm(0));
+    }
+
+    #[test]
+    fn gap_between_disjoint_intervals() {
+        assert_eq!(iv(0, 5).gap(&iv(9, 12)), Nm(4));
+        assert_eq!(iv(9, 12).gap(&iv(0, 5)), Nm(4));
+        assert_eq!(iv(0, 5).gap(&iv(3, 12)), Nm(0));
+    }
+
+    #[test]
+    fn containment() {
+        assert!(iv(0, 10).contains(Nm(10)));
+        assert!(!iv(0, 10).contains(Nm(11)));
+        assert!(iv(0, 10).contains_interval(&iv(2, 8)));
+        assert!(!iv(0, 10).contains_interval(&iv(2, 11)));
+    }
+
+    #[test]
+    fn merge_all_merges_touching_and_overlapping() {
+        let merged = Interval::merge_all(vec![iv(5, 8), iv(0, 2), iv(2, 4), iv(7, 12)]);
+        assert_eq!(merged, vec![iv(0, 4), iv(5, 12)]);
+    }
+
+    #[test]
+    fn complement_finds_gaps() {
+        let gaps = Interval::complement_within(iv(0, 100), &[iv(10, 30), iv(50, 60)]);
+        assert_eq!(gaps, vec![iv(0, 10), iv(30, 50), iv(60, 100)]);
+    }
+
+    #[test]
+    fn complement_with_full_cover_is_empty() {
+        let gaps = Interval::complement_within(iv(0, 10), &[iv(-5, 20)]);
+        assert!(gaps.is_empty());
+    }
+
+    #[test]
+    fn complement_ignores_outside_cover() {
+        let gaps = Interval::complement_within(iv(0, 10), &[iv(50, 60)]);
+        assert_eq!(gaps, vec![iv(0, 10)]);
+    }
+}

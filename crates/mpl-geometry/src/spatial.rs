@@ -1,0 +1,248 @@
+//! Uniform-grid spatial index for neighbour queries.
+
+use crate::{Nm, Rect};
+use std::collections::HashMap;
+
+/// A uniform-grid spatial index mapping rectangles to user-supplied ids.
+///
+/// Decomposition-graph construction needs, for every feature, the set of
+/// features within the minimum coloring distance `min_s` (conflict
+/// neighbours) and within `min_s + half_pitch` (color-friendly neighbours).
+/// A uniform grid with a cell size on the order of the query distance answers
+/// those queries in time proportional to the number of true neighbours, which
+/// keeps graph construction linear in practice for realistic layouts.
+///
+/// # Example
+///
+/// ```
+/// use mpl_geometry::{GridIndex, Nm, Rect};
+///
+/// let mut index = GridIndex::new(Nm(100));
+/// index.insert(0, Rect::new(Nm(0), Nm(0), Nm(20), Nm(20)));
+/// index.insert(1, Rect::new(Nm(60), Nm(0), Nm(80), Nm(20)));
+/// index.insert(2, Rect::new(Nm(500), Nm(500), Nm(520), Nm(520)));
+///
+/// let query = Rect::new(Nm(0), Nm(0), Nm(20), Nm(20));
+/// let mut near = index.query_within(&query, Nm(80));
+/// near.sort();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell: i64,
+    cells: HashMap<(i64, i64), Vec<usize>>,
+    entries: Vec<(usize, Rect)>,
+}
+
+impl GridIndex {
+    /// Creates an empty index with the given grid cell size.
+    ///
+    /// A good cell size is the largest distance that will be queried (e.g.
+    /// `min_s + half_pitch`); smaller cells work but waste memory, larger
+    /// cells work but scan more candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive.
+    pub fn new(cell_size: Nm) -> Self {
+        assert!(
+            cell_size > Nm::ZERO,
+            "grid cell size must be positive, got {cell_size}"
+        );
+        GridIndex {
+            cell: cell_size.value(),
+            cells: HashMap::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rectangles stored in the index.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the index holds no rectangles.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn cell_range(&self, rect: &Rect, margin: Nm) -> (i64, i64, i64, i64) {
+        let r = rect.expanded(margin);
+        (
+            r.xlo().value().div_euclid(self.cell),
+            r.ylo().value().div_euclid(self.cell),
+            r.xhi().value().div_euclid(self.cell),
+            r.yhi().value().div_euclid(self.cell),
+        )
+    }
+
+    /// Inserts a rectangle with an associated id.
+    ///
+    /// Ids are arbitrary; the same id may be inserted several times (e.g. one
+    /// entry per component rectangle of a polygon) and will then be reported
+    /// at most once per query.
+    pub fn insert(&mut self, id: usize, rect: Rect) {
+        let slot = self.entries.len();
+        self.entries.push((id, rect));
+        let (cx0, cy0, cx1, cy1) = self.cell_range(&rect, Nm::ZERO);
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                self.cells.entry((cx, cy)).or_default().push(slot);
+            }
+        }
+    }
+
+    /// Returns the ids of all rectangles whose Euclidean distance to `rect`
+    /// is strictly less than `limit`, deduplicated, in unspecified order.
+    pub fn query_within(&self, rect: &Rect, limit: Nm) -> Vec<usize> {
+        let mut seen: Vec<usize> = Vec::new();
+        let mut result: Vec<usize> = Vec::new();
+        let (cx0, cy0, cx1, cy1) = self.cell_range(rect, limit);
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                let Some(slots) = self.cells.get(&(cx, cy)) else {
+                    continue;
+                };
+                for &slot in slots {
+                    let (id, candidate) = self.entries[slot];
+                    if seen.contains(&id) {
+                        continue;
+                    }
+                    if rect.within_distance(&candidate, limit) {
+                        seen.push(id);
+                        result.push(id);
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Returns `(id, distance_squared)` pairs for all rectangles whose
+    /// distance to `rect` is strictly less than `limit`.
+    ///
+    /// When the same id was inserted with several rectangles, the minimum
+    /// distance over its rectangles is reported.
+    pub fn query_within_with_distance(&self, rect: &Rect, limit: Nm) -> Vec<(usize, i64)> {
+        let mut best: HashMap<usize, i64> = HashMap::new();
+        let (cx0, cy0, cx1, cy1) = self.cell_range(rect, limit);
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                let Some(slots) = self.cells.get(&(cx, cy)) else {
+                    continue;
+                };
+                for &slot in slots {
+                    let (id, candidate) = self.entries[slot];
+                    let d2 = rect.distance_squared(&candidate);
+                    if d2 < limit.squared() {
+                        best.entry(id)
+                            .and_modify(|cur| *cur = (*cur).min(d2))
+                            .or_insert(d2);
+                    }
+                }
+            }
+        }
+        best.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: i64, b: i64, c: i64, d: i64) -> Rect {
+        Rect::new(Nm(a), Nm(b), Nm(c), Nm(d))
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_panics() {
+        let _ = GridIndex::new(Nm(0));
+    }
+
+    #[test]
+    fn empty_index_reports_nothing() {
+        let index = GridIndex::new(Nm(50));
+        assert!(index.is_empty());
+        assert_eq!(index.len(), 0);
+        assert!(index.query_within(&r(0, 0, 10, 10), Nm(100)).is_empty());
+    }
+
+    #[test]
+    fn finds_only_close_neighbours() {
+        let mut index = GridIndex::new(Nm(100));
+        index.insert(0, r(0, 0, 20, 20));
+        index.insert(1, r(60, 0, 80, 20)); // 40 away from id 0
+        index.insert(2, r(300, 300, 320, 320)); // far away
+        let mut near = index.query_within(&r(0, 0, 20, 20), Nm(80));
+        near.sort();
+        assert_eq!(near, vec![0, 1]);
+    }
+
+    #[test]
+    fn query_across_cell_boundaries() {
+        let mut index = GridIndex::new(Nm(10));
+        // Spread rects across many cells; the query margin must reach them.
+        index.insert(7, r(95, 0, 105, 10));
+        let near = index.query_within(&r(0, 0, 10, 10), Nm(90));
+        assert_eq!(near, vec![7]);
+        let none = index.query_within(&r(0, 0, 10, 10), Nm(85));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn duplicate_ids_are_reported_once() {
+        let mut index = GridIndex::new(Nm(50));
+        index.insert(3, r(0, 0, 10, 10));
+        index.insert(3, r(5, 5, 15, 15));
+        let near = index.query_within(&r(0, 0, 1, 1), Nm(100));
+        assert_eq!(near, vec![3]);
+    }
+
+    #[test]
+    fn distances_report_minimum_over_duplicate_ids() {
+        let mut index = GridIndex::new(Nm(50));
+        index.insert(3, r(100, 0, 110, 10)); // 90 away from query
+        index.insert(3, r(40, 0, 50, 10)); // 30 away from query
+        let query = r(0, 0, 10, 10);
+        let result = index.query_within_with_distance(&query, Nm(200));
+        assert_eq!(result, vec![(3, 900)]);
+    }
+
+    #[test]
+    fn negative_coordinates_are_handled() {
+        let mut index = GridIndex::new(Nm(64));
+        index.insert(0, r(-200, -200, -180, -180));
+        index.insert(1, r(-100, -100, -80, -80));
+        let near = index.query_within(&r(-210, -210, -190, -190), Nm(40));
+        assert_eq!(near, vec![0]);
+    }
+
+    #[test]
+    fn brute_force_agreement_on_a_grid_of_rects() {
+        // Cross-check the index against a brute-force scan.
+        let mut index = GridIndex::new(Nm(70));
+        let mut rects = Vec::new();
+        let mut id = 0usize;
+        for i in 0..12 {
+            for j in 0..9 {
+                let rect = r(i * 55, j * 85, i * 55 + 20, j * 85 + 30);
+                rects.push((id, rect));
+                index.insert(id, rect);
+                id += 1;
+            }
+        }
+        let query = r(160, 250, 180, 280);
+        for limit in [Nm(1), Nm(40), Nm(90), Nm(200)] {
+            let mut expected: Vec<usize> = rects
+                .iter()
+                .filter(|(_, rc)| query.within_distance(rc, limit))
+                .map(|(i, _)| *i)
+                .collect();
+            expected.sort();
+            let mut got = index.query_within(&query, limit);
+            got.sort();
+            assert_eq!(got, expected, "limit {limit}");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Greedy clique cover — a certified lower bound on unresolved conflicts.
+//!
+//! A clique of `K + 1` mutually conflicting vertices cannot be colored with
+//! `K` masks without at least one conflict; more generally a clique of size
+//! `c` forces at least `c − K` conflicts.  A set of *vertex-disjoint*
+//! cliques therefore certifies a lower bound on the conflict count of any
+//! K-coloring — the bound the integration tests use to confirm that the
+//! exact engine's results are genuinely optimal and that the heuristics are
+//! compared against a sound baseline.
+
+use crate::Graph;
+
+/// Greedily extracts vertex-disjoint cliques, largest first.
+///
+/// The procedure repeatedly grows a maximal clique from the highest-degree
+/// unused vertex and removes it from further consideration.  It is a
+/// heuristic: the returned cliques are maximal but not necessarily maximum,
+/// so the derived bound is valid but possibly loose.
+pub fn greedy_disjoint_cliques(graph: &Graph) -> Vec<Vec<usize>> {
+    let n = graph.vertex_count();
+    let mut used = vec![false; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+    let mut cliques = Vec::new();
+    for &seed in &order {
+        if used[seed] {
+            continue;
+        }
+        let mut clique = vec![seed];
+        // Candidate set: unused neighbours of the seed (deduplicated).
+        let mut candidates: Vec<usize> = graph
+            .neighbors(seed)
+            .iter()
+            .copied()
+            .filter(|&v| !used[v] && v != seed)
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        // Grow the clique by repeatedly taking the candidate with the most
+        // neighbours among the remaining candidates (a standard maximal-
+        // clique heuristic that avoids being distracted by bridge edges).
+        while !candidates.is_empty() {
+            let best = candidates
+                .iter()
+                .copied()
+                .max_by_key(|&c| {
+                    candidates
+                        .iter()
+                        .filter(|&&other| other != c && graph.has_edge(c, other))
+                        .count()
+                })
+                .expect("candidates is non-empty");
+            clique.push(best);
+            candidates.retain(|&c| c != best && graph.has_edge(c, best));
+        }
+        for &member in &clique {
+            used[member] = true;
+        }
+        if clique.len() > 1 {
+            cliques.push(clique);
+        }
+    }
+    cliques
+}
+
+/// A certified lower bound on the number of conflicts of any `k`-coloring of
+/// `graph`: the sum of `max(0, |clique| − k)` over a set of vertex-disjoint
+/// cliques.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn conflict_lower_bound(graph: &Graph, k: usize) -> usize {
+    assert!(k >= 1, "at least one color is required");
+    greedy_disjoint_cliques(graph)
+        .iter()
+        .map(|clique| clique.len().saturating_sub(k))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(i, j);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs_have_no_cliques() {
+        assert!(greedy_disjoint_cliques(&Graph::new(0)).is_empty());
+        assert!(greedy_disjoint_cliques(&Graph::new(5)).is_empty());
+        assert_eq!(conflict_lower_bound(&Graph::new(5), 4), 0);
+    }
+
+    #[test]
+    fn single_clique_is_recovered_whole() {
+        let g = clique_graph(6);
+        let cliques = greedy_disjoint_cliques(&g);
+        assert_eq!(cliques.len(), 1);
+        assert_eq!(cliques[0].len(), 6);
+        assert_eq!(conflict_lower_bound(&g, 4), 2);
+        assert_eq!(conflict_lower_bound(&g, 6), 0);
+    }
+
+    #[test]
+    fn disjoint_cliques_are_all_found() {
+        // Two K5s joined by a single edge.
+        let mut g = Graph::new(10);
+        for base in [0, 5] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    g.add_edge(base + i, base + j);
+                }
+            }
+        }
+        g.add_edge(4, 5);
+        let cliques = greedy_disjoint_cliques(&g);
+        assert_eq!(cliques.iter().filter(|c| c.len() == 5).count(), 2);
+        assert_eq!(conflict_lower_bound(&g, 4), 2);
+    }
+
+    #[test]
+    fn bound_is_sound_for_a_cycle() {
+        // A 5-cycle is 3-colorable: the bound must be 0 for k >= 2 because
+        // the largest clique is an edge.
+        let mut g = Graph::new(5);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+        }
+        assert_eq!(conflict_lower_bound(&g, 4), 0);
+        assert_eq!(conflict_lower_bound(&g, 2), 0);
+        // With one color every edge conflicts; the clique bound only
+        // certifies the disjoint-edge part (2 disjoint edges).
+        assert_eq!(conflict_lower_bound(&g, 1), 2);
+    }
+
+    #[test]
+    fn cliques_are_vertex_disjoint() {
+        let mut g = clique_graph(7);
+        g.add_edge(0, 7 - 1); // already present; add some extra structure
+        let cliques = greedy_disjoint_cliques(&g);
+        let mut seen = std::collections::HashSet::new();
+        for clique in &cliques {
+            for &v in clique {
+                assert!(seen.insert(v), "vertex {v} appears in two cliques");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one color")]
+    fn zero_colors_panics() {
+        let _ = conflict_lower_bound(&Graph::new(3), 0);
+    }
+}

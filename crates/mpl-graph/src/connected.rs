@@ -1,0 +1,141 @@
+//! Connected components (independent component computation).
+
+use crate::Graph;
+
+/// The result of a connected-component decomposition.
+///
+/// Independent component computation is the first and cheapest graph-division
+/// technique in the decomposition flow: color assignment is solved separately
+/// per component, so splitting into components shrinks the instances handed
+/// to the expensive solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectedComponents {
+    label: Vec<usize>,
+    count: usize,
+}
+
+impl ConnectedComponents {
+    /// The number of components.
+    pub fn component_count(&self) -> usize {
+        self.count
+    }
+
+    /// The component label (in `0..component_count()`) of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn component_of(&self, v: usize) -> usize {
+        self.label[v]
+    }
+
+    /// The component labels for every vertex.
+    pub fn labels(&self) -> &[usize] {
+        &self.label
+    }
+
+    /// Groups vertex ids by component, in ascending vertex order within each
+    /// component.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (v, &c) in self.label.iter().enumerate() {
+            groups[c].push(v);
+        }
+        groups
+    }
+}
+
+/// Computes the connected components of `graph` with an iterative DFS.
+///
+/// # Example
+///
+/// ```
+/// use mpl_graph::{connected_components, Graph};
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1);
+/// let comps = connected_components(&g);
+/// assert_eq!(comps.component_count(), 3);
+/// assert_eq!(comps.groups(), vec![vec![0, 1], vec![2], vec![3]]);
+/// ```
+pub fn connected_components(graph: &Graph) -> ConnectedComponents {
+    let n = graph.vertex_count();
+    let mut label = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = count;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &v in graph.neighbors(u) {
+                if label[v] == usize::MAX {
+                    label[v] = count;
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    ConnectedComponents { label, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let comps = connected_components(&Graph::new(0));
+        assert_eq!(comps.component_count(), 0);
+        assert!(comps.groups().is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_are_singleton_components() {
+        let comps = connected_components(&Graph::new(3));
+        assert_eq!(comps.component_count(), 3);
+        assert_eq!(comps.labels(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn path_is_one_component() {
+        let mut g = Graph::new(5);
+        for i in 0..4 {
+            g.add_edge(i, i + 1);
+        }
+        let comps = connected_components(&g);
+        assert_eq!(comps.component_count(), 1);
+        assert!(comps.labels().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn two_cliques_are_two_components() {
+        let mut g = Graph::new(6);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                g.add_edge(i, j);
+                g.add_edge(i + 3, j + 3);
+            }
+        }
+        let comps = connected_components(&g);
+        assert_eq!(comps.component_count(), 2);
+        assert_eq!(comps.component_of(0), comps.component_of(2));
+        assert_ne!(comps.component_of(0), comps.component_of(5));
+        assert_eq!(comps.groups(), vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn labels_are_dense_and_start_at_zero() {
+        let mut g = Graph::new(7);
+        g.add_edge(5, 6);
+        g.add_edge(2, 3);
+        let comps = connected_components(&g);
+        let mut labels: Vec<usize> = comps.labels().to_vec();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels, (0..comps.component_count()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,240 @@
+//! A compact undirected graph.
+
+use std::fmt;
+
+/// An undirected graph over dense vertex ids `0..n`, stored as adjacency
+/// lists plus an edge list.
+///
+/// Parallel edges are permitted (and are counted separately by [`Graph::degree`]);
+/// self-loops are rejected because they are meaningless for both coloring and
+/// cut computation.
+///
+/// # Example
+///
+/// ```
+/// use mpl_graph::Graph;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// assert_eq!(g.vertex_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(0, 1));
+/// assert!(!g.has_edge(0, 2));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    adjacency: Vec<Vec<usize>>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges (parallel edges counted individually).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Adds a vertex and returns its id.
+    pub fn add_vertex(&mut self) -> usize {
+        self.adjacency.push(Vec::new());
+        self.adjacency.len() - 1
+    }
+
+    /// Adds an undirected edge between `u` and `v` and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or if `u == v`.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> usize {
+        assert!(u != v, "self-loop {u}-{v} is not allowed");
+        assert!(
+            u < self.vertex_count() && v < self.vertex_count(),
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.vertex_count()
+        );
+        let index = self.edges.len();
+        self.edges.push((u, v));
+        self.adjacency[u].push(v);
+        self.adjacency[v].push(u);
+        index
+    }
+
+    /// The neighbours of `u` (with multiplicity for parallel edges).
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adjacency[u]
+    }
+
+    /// The degree of `u` (parallel edges counted individually).
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// Returns `true` if at least one edge joins `u` and `v`.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        // Scan the smaller adjacency list.
+        if self.degree(u) <= self.degree(v) {
+            self.adjacency[u].contains(&v)
+        } else {
+            self.adjacency[v].contains(&u)
+        }
+    }
+
+    /// The edge list, in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertices(&self) -> std::ops::Range<usize> {
+        0..self.vertex_count()
+    }
+
+    /// Builds the subgraph induced by `vertices`.
+    ///
+    /// Returns the induced graph together with the mapping from new (dense)
+    /// vertex ids to the original ids, in the order given by `vertices`.
+    /// Duplicate entries in `vertices` are ignored after the first
+    /// occurrence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced vertex is out of range.
+    pub fn induced_subgraph(&self, vertices: &[usize]) -> (Graph, Vec<usize>) {
+        let mut new_id = vec![usize::MAX; self.vertex_count()];
+        let mut original = Vec::with_capacity(vertices.len());
+        for &v in vertices {
+            assert!(v < self.vertex_count(), "vertex {v} out of range");
+            if new_id[v] == usize::MAX {
+                new_id[v] = original.len();
+                original.push(v);
+            }
+        }
+        let mut sub = Graph::new(original.len());
+        for &(u, v) in &self.edges {
+            if new_id[u] != usize::MAX && new_id[v] != usize::MAX {
+                sub.add_edge(new_id[u], new_id[v]);
+            }
+        }
+        (sub, original)
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(|V|={}, |E|={})",
+            self.vertex_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.has_edge(3, 2));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.to_string(), "Graph(|V|=4, |E|=3)");
+    }
+
+    #[test]
+    fn add_vertex_grows_graph() {
+        let mut g = Graph::new(0);
+        assert!(g.is_empty());
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        g.add_edge(a, b);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.degree(a), 1);
+    }
+
+    #[test]
+    fn parallel_edges_are_counted() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_are_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        g.add_edge(4, 0);
+        let (sub, original) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(original, vec![1, 2, 3]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 2); // 1-2 and 2-3
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        let (sub, original) = g.induced_subgraph(&[1, 1, 0]);
+        assert_eq!(original, vec![1, 0]);
+        assert_eq!(sub.edge_count(), 1);
+    }
+
+    #[test]
+    fn vertices_iterates_all_ids() {
+        let g = Graph::new(3);
+        assert_eq!(g.vertices().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,327 @@
+//! Dinic's blocking-flow maximum-flow algorithm.
+
+use crate::Graph;
+
+const INF: i64 = i64::MAX / 4;
+
+#[derive(Debug, Clone)]
+struct FlowEdge {
+    to: usize,
+    capacity: i64,
+    flow: i64,
+}
+
+/// A maximum-flow solver (Dinic's algorithm) over a directed flow network.
+///
+/// The decomposition flow uses max-flow in two places:
+///
+/// * directly, to compute minimum s–t cuts between candidate vertices, and
+/// * inside [Gusfield's Gomory–Hu construction](crate::GomoryHuTree), which
+///   solves exactly `n - 1` max-flow problems to obtain all-pairs min-cuts.
+///
+/// Undirected edges are modelled as two directed arcs of equal capacity, per
+/// the standard reduction.
+///
+/// # Example
+///
+/// ```
+/// use mpl_graph::MaxFlow;
+///
+/// // A 4-vertex diamond: two disjoint paths from 0 to 3.
+/// let mut flow = MaxFlow::new(4);
+/// flow.add_undirected_edge(0, 1, 1);
+/// flow.add_undirected_edge(1, 3, 1);
+/// flow.add_undirected_edge(0, 2, 1);
+/// flow.add_undirected_edge(2, 3, 1);
+/// assert_eq!(flow.max_flow(0, 3), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxFlow {
+    adjacency: Vec<Vec<usize>>,
+    edges: Vec<FlowEdge>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl MaxFlow {
+    /// Creates an empty flow network with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        MaxFlow {
+            adjacency: vec![Vec::new(); n],
+            edges: Vec::new(),
+            level: vec![-1; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Builds a unit-capacity flow network from an undirected [`Graph`];
+    /// every graph edge becomes an undirected capacity-1 connection, so the
+    /// resulting max-flow values are edge-connectivities, as required for the
+    /// paper's (K−1)-cut detection.
+    pub fn from_unit_graph(graph: &Graph) -> Self {
+        let mut flow = MaxFlow::new(graph.vertex_count());
+        for &(u, v) in graph.edges() {
+            flow.add_undirected_edge(u, v, 1);
+        }
+        flow
+    }
+
+    /// Number of vertices in the network.
+    pub fn vertex_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Adds a directed arc `from -> to` with the given capacity (and its
+    /// zero-capacity reverse arc).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or the capacity is negative.
+    pub fn add_edge(&mut self, from: usize, to: usize, capacity: i64) {
+        assert!(
+            from < self.vertex_count() && to < self.vertex_count(),
+            "arc ({from}, {to}) out of range"
+        );
+        assert!(capacity >= 0, "capacity must be non-negative");
+        let forward = self.edges.len();
+        self.edges.push(FlowEdge {
+            to,
+            capacity,
+            flow: 0,
+        });
+        self.adjacency[from].push(forward);
+        let backward = self.edges.len();
+        self.edges.push(FlowEdge {
+            to: from,
+            capacity: 0,
+            flow: 0,
+        });
+        self.adjacency[to].push(backward);
+    }
+
+    /// Adds an undirected edge of the given capacity (capacity in both
+    /// directions).
+    pub fn add_undirected_edge(&mut self, u: usize, v: usize, capacity: i64) {
+        assert!(
+            u < self.vertex_count() && v < self.vertex_count(),
+            "edge ({u}, {v}) out of range"
+        );
+        assert!(capacity >= 0, "capacity must be non-negative");
+        let forward = self.edges.len();
+        self.edges.push(FlowEdge {
+            to: v,
+            capacity,
+            flow: 0,
+        });
+        self.adjacency[u].push(forward);
+        let backward = self.edges.len();
+        self.edges.push(FlowEdge {
+            to: u,
+            capacity,
+            flow: 0,
+        });
+        self.adjacency[v].push(backward);
+    }
+
+    fn residual(&self, edge: usize) -> i64 {
+        self.edges[edge].capacity - self.edges[edge].flow
+    }
+
+    fn bfs(&mut self, source: usize, sink: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[source] = 0;
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.adjacency[u] {
+                let to = self.edges[e].to;
+                if self.residual(e) > 0 && self.level[to] < 0 {
+                    self.level[to] = self.level[u] + 1;
+                    queue.push_back(to);
+                }
+            }
+        }
+        self.level[sink] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, sink: usize, pushed: i64) -> i64 {
+        if u == sink {
+            return pushed;
+        }
+        while self.iter[u] < self.adjacency[u].len() {
+            let e = self.adjacency[u][self.iter[u]];
+            let to = self.edges[e].to;
+            if self.residual(e) > 0 && self.level[to] == self.level[u] + 1 {
+                let amount = self.dfs(to, sink, pushed.min(self.residual(e)));
+                if amount > 0 {
+                    self.edges[e].flow += amount;
+                    self.edges[e ^ 1].flow -= amount;
+                    return amount;
+                }
+            }
+            self.iter[u] += 1;
+        }
+        0
+    }
+
+    /// Resets all flow to zero, allowing the network to be reused.
+    pub fn reset(&mut self) {
+        for edge in &mut self.edges {
+            edge.flow = 0;
+        }
+    }
+
+    /// Computes the maximum flow (equivalently, the minimum cut value) from
+    /// `source` to `sink`.  The flow state is retained so that
+    /// [`MaxFlow::min_cut_side`] can recover the source side of a minimum cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink` or either is out of range.
+    pub fn max_flow(&mut self, source: usize, sink: usize) -> i64 {
+        assert!(source != sink, "source and sink must differ");
+        assert!(
+            source < self.vertex_count() && sink < self.vertex_count(),
+            "source/sink out of range"
+        );
+        self.reset();
+        let mut total = 0;
+        while self.bfs(source, sink) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let pushed = self.dfs(source, sink, INF);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+
+    /// After [`MaxFlow::max_flow`], returns the set of vertices reachable from
+    /// `source` in the residual network — the source side of a minimum cut.
+    pub fn min_cut_side(&self, source: usize) -> Vec<bool> {
+        let mut side = vec![false; self.vertex_count()];
+        let mut stack = vec![source];
+        side[source] = true;
+        while let Some(u) = stack.pop() {
+            for &e in &self.adjacency[u] {
+                let to = self.edges[e].to;
+                if self.residual(e) > 0 && !side[to] {
+                    side[to] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path_capacity_limits_flow() {
+        let mut f = MaxFlow::new(3);
+        f.add_edge(0, 1, 5);
+        f.add_edge(1, 2, 3);
+        assert_eq!(f.max_flow(0, 2), 3);
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        let mut f = MaxFlow::new(4);
+        f.add_edge(0, 1, 2);
+        f.add_edge(1, 3, 2);
+        f.add_edge(0, 2, 3);
+        f.add_edge(2, 3, 1);
+        assert_eq!(f.max_flow(0, 3), 3);
+    }
+
+    #[test]
+    fn classic_textbook_network() {
+        // CLRS figure 26.1-style network.
+        let mut f = MaxFlow::new(6);
+        f.add_edge(0, 1, 16);
+        f.add_edge(0, 2, 13);
+        f.add_edge(1, 2, 10);
+        f.add_edge(2, 1, 4);
+        f.add_edge(1, 3, 12);
+        f.add_edge(3, 2, 9);
+        f.add_edge(2, 4, 14);
+        f.add_edge(4, 3, 7);
+        f.add_edge(3, 5, 20);
+        f.add_edge(4, 5, 4);
+        assert_eq!(f.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn undirected_edge_connectivity_of_cycle_is_two() {
+        let mut g = Graph::new(5);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+        }
+        let mut f = MaxFlow::from_unit_graph(&g);
+        assert_eq!(f.max_flow(0, 2), 2);
+    }
+
+    #[test]
+    fn edge_connectivity_of_complete_graph() {
+        let n = 5;
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(i, j);
+            }
+        }
+        let mut f = MaxFlow::from_unit_graph(&g);
+        for s in 0..n {
+            for t in 0..n {
+                if s != t {
+                    assert_eq!(f.max_flow(s, t), (n - 1) as i64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_cut_side_separates_source_from_sink() {
+        let mut f = MaxFlow::new(4);
+        // Bottleneck between 1 and 2.
+        f.add_undirected_edge(0, 1, 10);
+        f.add_undirected_edge(1, 2, 1);
+        f.add_undirected_edge(2, 3, 10);
+        assert_eq!(f.max_flow(0, 3), 1);
+        let side = f.min_cut_side(0);
+        assert_eq!(side, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn disconnected_vertices_have_zero_flow() {
+        let mut f = MaxFlow::new(4);
+        f.add_undirected_edge(0, 1, 7);
+        assert_eq!(f.max_flow(0, 3), 0);
+        let side = f.min_cut_side(0);
+        assert!(side[0] && side[1] && !side[2] && !side[3]);
+    }
+
+    #[test]
+    fn reuse_after_reset_gives_same_answer() {
+        let mut f = MaxFlow::new(3);
+        f.add_undirected_edge(0, 1, 2);
+        f.add_undirected_edge(1, 2, 3);
+        assert_eq!(f.max_flow(0, 2), 2);
+        assert_eq!(f.max_flow(0, 2), 2);
+        assert_eq!(f.max_flow(2, 0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_source_and_sink_panics() {
+        let mut f = MaxFlow::new(2);
+        f.add_undirected_edge(0, 1, 1);
+        let _ = f.max_flow(1, 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the graph substrate.
+//!
+//! The key invariants checked here back the correctness arguments of the
+//! decomposition flow: the Gomory–Hu tree must report exactly the same
+//! min-cut values as direct max-flow computations, and biconnected /
+//! connected component structure must be consistent with reachability.
+
+use mpl_graph::{connected_components, Biconnectivity, GomoryHuTree, Graph, MaxFlow};
+use proptest::prelude::*;
+
+/// A random sparse-to-medium-density graph on up to 12 vertices described by
+/// an adjacency bit matrix.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let pairs = n * (n - 1) / 2;
+        prop::collection::vec(prop::bool::weighted(0.45), pairs).prop_map(move |bits| {
+            let mut g = Graph::new(n);
+            let mut k = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if bits[k] {
+                        g.add_edge(i, j);
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gomory_hu_matches_direct_min_cuts(g in arb_graph(9)) {
+        let tree = GomoryHuTree::build(&g);
+        let mut flow = MaxFlow::from_unit_graph(&g);
+        for u in 0..g.vertex_count() {
+            for v in (u + 1)..g.vertex_count() {
+                prop_assert_eq!(tree.min_cut(u, v), flow.max_flow(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn min_cut_zero_iff_different_components(g in arb_graph(10)) {
+        let tree = GomoryHuTree::build(&g);
+        let comps = connected_components(&g);
+        for u in 0..g.vertex_count() {
+            for v in (u + 1)..g.vertex_count() {
+                let same = comps.component_of(u) == comps.component_of(v);
+                prop_assert_eq!(tree.min_cut(u, v) > 0, same);
+            }
+        }
+    }
+
+    #[test]
+    fn cut_removal_groups_refine_connected_components(g in arb_graph(10), k in 1i64..5) {
+        let tree = GomoryHuTree::build(&g);
+        let comps = connected_components(&g);
+        for group in tree.components_after_removing(k) {
+            // All vertices in a surviving group are in the same connected
+            // component (their pairwise min cut is >= k >= 1 > 0).
+            if group.len() > 1 {
+                let c0 = comps.component_of(group[0]);
+                for &v in &group[1..] {
+                    prop_assert_eq!(comps.component_of(v), c0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cut_removal_keeps_high_connectivity_pairs_together(g in arb_graph(8), k in 1i64..5) {
+        let tree = GomoryHuTree::build(&g);
+        let groups = tree.components_after_removing(k);
+        let group_of = |v: usize| groups.iter().position(|grp| grp.contains(&v)).expect("covered");
+        let mut flow = MaxFlow::from_unit_graph(&g);
+        for u in 0..g.vertex_count() {
+            for v in (u + 1)..g.vertex_count() {
+                // Lemma 2 direction used by the paper: a pair with min cut >= k
+                // must stay in the same group after (k-1)-cut removal.
+                if flow.max_flow(u, v) >= k {
+                    prop_assert_eq!(group_of(u), group_of(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bridges_disconnect_their_endpoints(g in arb_graph(10)) {
+        let bc = Biconnectivity::compute(&g);
+        let comps_before = connected_components(&g).component_count();
+        for &(u, v) in bc.bridges() {
+            // Rebuild the graph without one copy of that bridge.
+            let mut h = Graph::new(g.vertex_count());
+            let mut skipped = false;
+            for &(a, b) in g.edges() {
+                if !skipped && ((a, b) == (u, v) || (a, b) == (v, u)) {
+                    skipped = true;
+                    continue;
+                }
+                h.add_edge(a, b);
+            }
+            let comps_after = connected_components(&h).component_count();
+            prop_assert_eq!(comps_after, comps_before + 1);
+        }
+    }
+
+    #[test]
+    fn biconnected_components_partition_edges(g in arb_graph(10)) {
+        let bc = Biconnectivity::compute(&g);
+        let mut seen = vec![false; g.edge_count()];
+        for comp in bc.components() {
+            for &e in comp {
+                prop_assert!(!seen[e], "edge {} appears in two components", e);
+                seen[e] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every edge belongs to a component");
+    }
+
+    #[test]
+    fn connected_components_agree_with_bfs_reachability(g in arb_graph(10)) {
+        let comps = connected_components(&g);
+        // BFS from vertex 0 and compare membership.
+        let mut reach = vec![false; g.vertex_count()];
+        let mut stack = vec![0usize];
+        reach[0] = true;
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if !reach[v] {
+                    reach[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        for (v, &reachable) in reach.iter().enumerate() {
+            prop_assert_eq!(reachable, comps.component_of(v) == comps.component_of(0));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_adjacency(g in arb_graph(10)) {
+        let n = g.vertex_count();
+        let subset: Vec<usize> = (0..n).filter(|v| v % 2 == 0).collect();
+        let (sub, original) = g.induced_subgraph(&subset);
+        for i in 0..sub.vertex_count() {
+            for j in 0..sub.vertex_count() {
+                if i != j {
+                    prop_assert_eq!(sub.has_edge(i, j), g.has_edge(original[i], original[j]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! Exact conflict/stitch-minimising K-coloring by branch and bound.
+
+use std::time::{Duration, Instant};
+
+/// A K-coloring instance over `n` vertices with conflict and stitch edges.
+///
+/// The discrete problem matches the paper's ILP formulation exactly: assign
+/// each vertex one of `k` colors so as to minimise
+/// `conflicts + α · stitches`, where a conflict edge costs 1 when its
+/// endpoints share a color and a stitch edge costs α when its endpoints
+/// differ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColoringInstance {
+    vertex_count: usize,
+    k: usize,
+    alpha: f64,
+    conflict_edges: Vec<(usize, usize)>,
+    stitch_edges: Vec<(usize, usize)>,
+}
+
+impl ColoringInstance {
+    /// Creates an empty instance with `vertex_count` vertices and `k` colors
+    /// and the paper's default stitch weight α = 0.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(vertex_count: usize, k: usize) -> Self {
+        assert!(k >= 1, "at least one color is required");
+        ColoringInstance {
+            vertex_count,
+            k,
+            alpha: 0.1,
+            conflict_edges: Vec::new(),
+            stitch_edges: Vec::new(),
+        }
+    }
+
+    /// Overrides the stitch weight α.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Number of colors K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The stitch weight α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Adds a conflict edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `u == v`.
+    pub fn add_conflict(&mut self, u: usize, v: usize) {
+        self.check(u, v);
+        self.conflict_edges.push((u, v));
+    }
+
+    /// Adds a stitch edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `u == v`.
+    pub fn add_stitch(&mut self, u: usize, v: usize) {
+        self.check(u, v);
+        self.stitch_edges.push((u, v));
+    }
+
+    fn check(&self, u: usize, v: usize) {
+        assert!(u != v, "self-edge {u}-{v} is not allowed");
+        assert!(
+            u < self.vertex_count && v < self.vertex_count,
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.vertex_count
+        );
+    }
+
+    /// The conflict edges.
+    pub fn conflict_edges(&self) -> &[(usize, usize)] {
+        &self.conflict_edges
+    }
+
+    /// The stitch edges.
+    pub fn stitch_edges(&self) -> &[(usize, usize)] {
+        &self.stitch_edges
+    }
+
+    /// Evaluates a complete coloring, returning `(conflicts, stitches, cost)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `colors` has the wrong length or contains a color `≥ k`.
+    pub fn evaluate(&self, colors: &[u8]) -> (usize, usize, f64) {
+        assert_eq!(colors.len(), self.vertex_count, "coloring length mismatch");
+        assert!(
+            colors.iter().all(|&c| (c as usize) < self.k),
+            "coloring uses a color outside 0..{}",
+            self.k
+        );
+        let conflicts = self
+            .conflict_edges
+            .iter()
+            .filter(|&&(u, v)| colors[u] == colors[v])
+            .count();
+        let stitches = self
+            .stitch_edges
+            .iter()
+            .filter(|&&(u, v)| colors[u] != colors[v])
+            .count();
+        (
+            conflicts,
+            stitches,
+            conflicts as f64 + self.alpha * stitches as f64,
+        )
+    }
+}
+
+/// Options for the exact branch-and-bound solve.
+#[derive(Debug, Clone, Default)]
+pub struct ExactOptions {
+    /// Abandon the proof of optimality after this much wall-clock time; the
+    /// incumbent found so far is returned with `proven_optimal == false`.
+    pub time_limit: Option<Duration>,
+    /// An externally known feasible solution used to seed the incumbent
+    /// (for instance the greedy solution), as `(colors, cost)`.
+    pub warm_start: Option<Vec<u8>>,
+}
+
+/// The result of an exact solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSolution {
+    /// The best coloring found.
+    pub colors: Vec<u8>,
+    /// Number of conflict edges whose endpoints share a color.
+    pub conflicts: usize,
+    /// Number of stitch edges whose endpoints differ in color.
+    pub stitches: usize,
+    /// Objective value `conflicts + α · stitches`.
+    pub cost: f64,
+    /// `true` when the search completed and the result is a proven optimum.
+    pub proven_optimal: bool,
+    /// Number of search nodes explored.
+    pub nodes: u64,
+}
+
+struct Searcher<'a> {
+    instance: &'a ColoringInstance,
+    /// Adjacency lists: (neighbor, is_conflict).
+    incident: Vec<Vec<(usize, bool)>>,
+    order: Vec<usize>,
+    position: Vec<usize>,
+    best_cost: f64,
+    best_colors: Vec<u8>,
+    nodes: u64,
+    deadline: Option<Instant>,
+    timed_out: bool,
+}
+
+impl Searcher<'_> {
+    fn search(
+        &mut self,
+        depth: usize,
+        colors: &mut Vec<u8>,
+        partial_cost: f64,
+        max_color_used: u8,
+    ) {
+        self.nodes += 1;
+        if self.nodes.is_multiple_of(2048) {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    self.timed_out = true;
+                }
+            }
+        }
+        if self.timed_out || partial_cost >= self.best_cost - 1e-9 {
+            return;
+        }
+        if depth == self.order.len() {
+            self.best_cost = partial_cost;
+            self.best_colors = colors.clone();
+            return;
+        }
+        let vertex = self.order[depth];
+        let k = self.instance.k() as u8;
+        // Symmetry breaking: only allow one fresh (so-far unused) color.
+        let color_limit = (max_color_used + 1).min(k - 1);
+        for color in 0..=color_limit {
+            colors[vertex] = color;
+            // Incremental cost against already-assigned neighbours.
+            let mut delta = 0.0;
+            for &(neighbor, is_conflict) in &self.incident[vertex] {
+                if self.position[neighbor] < depth {
+                    if is_conflict && colors[neighbor] == color {
+                        delta += 1.0;
+                    } else if !is_conflict && colors[neighbor] != color {
+                        delta += self.instance.alpha();
+                    }
+                }
+            }
+            let next_max = max_color_used.max(color);
+            self.search(depth + 1, colors, partial_cost + delta, next_max);
+            if self.timed_out {
+                return;
+            }
+        }
+    }
+}
+
+/// Solves a [`ColoringInstance`] to proven optimality (or to the time
+/// limit) by depth-first branch and bound.
+///
+/// Vertices are branched in descending conflict-degree order; a node is
+/// pruned as soon as the cost of the already-colored subgraph reaches the
+/// incumbent.  Color symmetry is broken by allowing at most one previously
+/// unused color per branch level.  A greedy warm start seeds the incumbent
+/// so that conflict-free components are proven optimal almost immediately.
+pub fn solve_exact(instance: &ColoringInstance, options: &ExactOptions) -> ExactSolution {
+    let n = instance.vertex_count();
+    if n == 0 {
+        return ExactSolution {
+            colors: Vec::new(),
+            conflicts: 0,
+            stitches: 0,
+            cost: 0.0,
+            proven_optimal: true,
+            nodes: 0,
+        };
+    }
+
+    let mut incident: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n];
+    for &(u, v) in instance.conflict_edges() {
+        incident[u].push((v, true));
+        incident[v].push((u, true));
+    }
+    for &(u, v) in instance.stitch_edges() {
+        incident[u].push((v, false));
+        incident[v].push((u, false));
+    }
+
+    // Branch order: highest conflict degree first.
+    let mut order: Vec<usize> = (0..n).collect();
+    let conflict_degree = |v: usize| incident[v].iter().filter(|(_, c)| *c).count();
+    order.sort_by_key(|&v| std::cmp::Reverse(conflict_degree(v)));
+    let mut position = vec![0usize; n];
+    for (depth, &v) in order.iter().enumerate() {
+        position[v] = depth;
+    }
+
+    // Incumbent: warm start if provided, otherwise a greedy coloring in the
+    // branch order.
+    let warm = options.warm_start.clone().unwrap_or_else(|| {
+        let mut colors = vec![0u8; n];
+        for &v in &order {
+            let mut penalty = vec![0.0f64; instance.k()];
+            for &(neighbor, is_conflict) in &incident[v] {
+                if position[neighbor] < position[v] {
+                    for (color, slot) in penalty.iter_mut().enumerate() {
+                        if is_conflict && colors[neighbor] as usize == color {
+                            *slot += 1.0;
+                        } else if !is_conflict && colors[neighbor] as usize != color {
+                            *slot += instance.alpha();
+                        }
+                    }
+                }
+            }
+            let best = penalty
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            colors[v] = best as u8;
+        }
+        colors
+    });
+    let (_, _, warm_cost) = instance.evaluate(&warm);
+
+    let mut searcher = Searcher {
+        instance,
+        incident,
+        order,
+        position,
+        best_cost: warm_cost + 1e-9,
+        best_colors: warm.clone(),
+        nodes: 0,
+        deadline: options.time_limit.map(|limit| Instant::now() + limit),
+        timed_out: false,
+    };
+    let mut colors = vec![0u8; n];
+    searcher.search(0, &mut colors, 0.0, 0);
+
+    let best = searcher.best_colors;
+    let (conflicts, stitches, cost) = instance.evaluate(&best);
+    ExactSolution {
+        colors: best,
+        conflicts,
+        stitches,
+        cost,
+        proven_optimal: !searcher.timed_out,
+        nodes: searcher.nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique(n: usize, k: usize) -> ColoringInstance {
+        let mut instance = ColoringInstance::new(n, k);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                instance.add_conflict(i, j);
+            }
+        }
+        instance
+    }
+
+    #[test]
+    fn empty_instance_is_trivially_optimal() {
+        let solution = solve_exact(&ColoringInstance::new(0, 4), &ExactOptions::default());
+        assert_eq!(solution.cost, 0.0);
+        assert!(solution.proven_optimal);
+    }
+
+    #[test]
+    fn k4_is_four_colorable_without_conflicts() {
+        let solution = solve_exact(&clique(4, 4), &ExactOptions::default());
+        assert_eq!(solution.conflicts, 0);
+        assert!(solution.proven_optimal);
+        // All four colors must be distinct.
+        let mut seen = solution.colors.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn k5_under_four_colors_has_exactly_one_conflict() {
+        let solution = solve_exact(&clique(5, 4), &ExactOptions::default());
+        assert_eq!(solution.conflicts, 1);
+        assert_eq!(solution.stitches, 0);
+        assert!(solution.proven_optimal);
+    }
+
+    #[test]
+    fn k6_under_four_colors_has_three_conflicts() {
+        // K6 with 4 colors: the best partition is 2+2+1+1, giving C(2,2)*2 = 2
+        // monochromatic edges... actually 2 pairs of doubled colors -> 2
+        // conflicts; verify against brute force below.
+        let instance = clique(6, 4);
+        let solution = solve_exact(&instance, &ExactOptions::default());
+        let brute = brute_force(&instance);
+        assert_eq!(solution.cost, brute);
+        assert!(solution.proven_optimal);
+    }
+
+    #[test]
+    fn k5_under_five_colors_is_clean() {
+        let solution = solve_exact(&clique(5, 5), &ExactOptions::default());
+        assert_eq!(solution.conflicts, 0);
+        assert!(solution.proven_optimal);
+    }
+
+    #[test]
+    fn stitch_edges_prefer_same_color() {
+        let mut instance = ColoringInstance::new(3, 4);
+        instance.add_stitch(0, 1);
+        instance.add_stitch(1, 2);
+        let solution = solve_exact(&instance, &ExactOptions::default());
+        assert_eq!(solution.stitches, 0);
+        assert_eq!(solution.colors[0], solution.colors[1]);
+        assert_eq!(solution.colors[1], solution.colors[2]);
+    }
+
+    #[test]
+    fn stitch_is_used_when_it_avoids_a_conflict() {
+        // Vertices 0 and 1 are two halves of a wire (stitch edge); 0
+        // conflicts with 2, 3, 4 and 1 conflicts with 5, 6, 7; together with
+        // cross conflicts the wire cannot keep a single color for free.
+        let mut instance = ColoringInstance::new(5, 2).with_alpha(0.1);
+        // Two colors only: 0-1 stitch, 0 conflicts with 2, 1 conflicts with 3,
+        // and 2-3 must also differ from each other ... construct an odd cycle
+        // that forces the stitch: 0-2 conflict, 2-3 conflict, 3-1 conflict,
+        // and 0-3 conflict.
+        instance.add_stitch(0, 1);
+        instance.add_conflict(0, 2);
+        instance.add_conflict(2, 3);
+        instance.add_conflict(3, 1);
+        instance.add_conflict(0, 3);
+        instance.add_conflict(2, 4);
+        instance.add_conflict(3, 4);
+        let solution = solve_exact(&instance, &ExactOptions::default());
+        let brute = brute_force(&instance);
+        assert!((solution.cost - brute).abs() < 1e-9);
+        assert!(solution.proven_optimal);
+    }
+
+    #[test]
+    fn evaluate_reports_components() {
+        let mut instance = ColoringInstance::new(4, 4);
+        instance.add_conflict(0, 1);
+        instance.add_stitch(2, 3);
+        let (conflicts, stitches, cost) = instance.evaluate(&[1, 1, 0, 2]);
+        assert_eq!(conflicts, 1);
+        assert_eq!(stitches, 1);
+        assert!((cost - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_bounds_the_search() {
+        let mut instance = clique(5, 4);
+        instance.add_stitch(0, 1);
+        let warm = vec![0, 1, 2, 3, 0];
+        let with_warm = solve_exact(
+            &instance,
+            &ExactOptions {
+                warm_start: Some(warm),
+                ..ExactOptions::default()
+            },
+        );
+        let without = solve_exact(&instance, &ExactOptions::default());
+        assert!((with_warm.cost - without.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_limit_zero_returns_the_warm_start_unproven() {
+        let instance = clique(9, 4);
+        let solution = solve_exact(
+            &instance,
+            &ExactOptions {
+                time_limit: Some(Duration::from_secs(0)),
+                ..ExactOptions::default()
+            },
+        );
+        // The greedy incumbent is still a valid coloring.
+        assert_eq!(solution.colors.len(), 9);
+        // With a zero budget the proof of optimality is abandoned quickly;
+        // the solver may still finish tiny instances before the first clock
+        // check, so only the solution validity is asserted here.
+        let (c, s, cost) = instance.evaluate(&solution.colors);
+        assert_eq!((c, s), (solution.conflicts, solution.stitches));
+        assert!((cost - solution.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        let mut seed: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..10 {
+            let n = 5 + (case % 3);
+            let k = 3 + (case % 3);
+            let mut instance = ColoringInstance::new(n, k);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    match next() % 10 {
+                        0..=4 => instance.add_conflict(i, j),
+                        5 => instance.add_stitch(i, j),
+                        _ => {}
+                    }
+                }
+            }
+            let exact = solve_exact(&instance, &ExactOptions::default());
+            let brute = brute_force(&instance);
+            assert!(
+                (exact.cost - brute).abs() < 1e-9,
+                "case {case}: exact {} vs brute {}",
+                exact.cost,
+                brute
+            );
+            assert!(exact.proven_optimal);
+        }
+    }
+
+    /// Exhaustive reference: minimum cost over all k^n colorings.
+    fn brute_force(instance: &ColoringInstance) -> f64 {
+        let n = instance.vertex_count();
+        let k = instance.k();
+        let mut best = f64::INFINITY;
+        let mut colors = vec![0u8; n];
+        loop {
+            let (_, _, cost) = instance.evaluate(&colors);
+            best = best.min(cost);
+            // Increment the mixed-radix counter.
+            let mut index = 0;
+            loop {
+                if index == n {
+                    return best;
+                }
+                colors[index] += 1;
+                if (colors[index] as usize) < k {
+                    break;
+                }
+                colors[index] = 0;
+                index += 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one color")]
+    fn zero_colors_panics() {
+        let _ = ColoringInstance::new(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coloring length mismatch")]
+    fn evaluate_rejects_wrong_length() {
+        let instance = ColoringInstance::new(3, 4);
+        let _ = instance.evaluate(&[0, 1]);
+    }
+}

@@ -1,0 +1,418 @@
+//! A small 0-1 linear program with a branch-and-bound solver.
+
+use std::fmt;
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// `Σ aᵢ·xᵢ ≤ b`
+    LessEq,
+    /// `Σ aᵢ·xᵢ ≥ b`
+    GreaterEq,
+    /// `Σ aᵢ·xᵢ = b`
+    Equal,
+}
+
+#[derive(Debug, Clone)]
+struct Constraint {
+    terms: Vec<(usize, f64)>,
+    comparison: Comparison,
+    rhs: f64,
+}
+
+/// Outcome category of a [`BinaryProgram`] solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// An optimal solution was found and proven optimal.
+    Optimal,
+    /// The search space was exhausted without finding a feasible point.
+    Infeasible,
+    /// The node budget ran out; the incumbent (if any) may be suboptimal.
+    Truncated,
+}
+
+/// The result of solving a [`BinaryProgram`].
+#[derive(Debug, Clone)]
+pub struct ProgramSolution {
+    /// Solve outcome.
+    pub status: SolveStatus,
+    /// Best assignment found (empty when infeasible).
+    pub assignment: Vec<bool>,
+    /// Objective value of `assignment` (meaningless when infeasible).
+    pub objective: f64,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: u64,
+}
+
+/// A minimisation 0-1 integer linear program.
+///
+/// # Example
+///
+/// ```
+/// use mpl_ilp::{BinaryProgram, Comparison};
+///
+/// // Minimise x0 + x1 subject to x0 + x1 >= 1 (a vertex cover of one edge).
+/// let mut program = BinaryProgram::new(2);
+/// program.set_objective_coefficient(0, 1.0);
+/// program.set_objective_coefficient(1, 1.0);
+/// program.add_constraint(vec![(0, 1.0), (1, 1.0)], Comparison::GreaterEq, 1.0);
+/// let solution = program.solve(100_000);
+/// assert_eq!(solution.objective, 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinaryProgram {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl BinaryProgram {
+    /// Creates a program with `variables` binary variables and an all-zero
+    /// objective.
+    pub fn new(variables: usize) -> Self {
+        BinaryProgram {
+            objective: vec![0.0; variables],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn variable_count(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_objective_coefficient(&mut self, var: usize, coefficient: f64) {
+        assert!(var < self.objective.len(), "variable {var} out of range");
+        self.objective[var] = coefficient;
+    }
+
+    /// Adds a linear constraint `Σ aᵢ·xᵢ (cmp) rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable is out of range.
+    pub fn add_constraint(&mut self, terms: Vec<(usize, f64)>, comparison: Comparison, rhs: f64) {
+        for &(var, _) in &terms {
+            assert!(var < self.objective.len(), "variable {var} out of range");
+        }
+        self.constraints.push(Constraint {
+            terms,
+            comparison,
+            rhs,
+        });
+    }
+
+    /// Solves the program by depth-first branch and bound, exploring at most
+    /// `node_limit` nodes.
+    ///
+    /// Pruning uses (a) an objective bound that assumes every unfixed
+    /// variable takes the cheaper of its two values, and (b) per-constraint
+    /// reachability: a node is cut when some constraint can no longer be
+    /// satisfied by any completion.
+    pub fn solve(&self, node_limit: u64) -> ProgramSolution {
+        let n = self.variable_count();
+        let mut best_assignment: Option<Vec<bool>> = None;
+        let mut best_objective = f64::INFINITY;
+        let mut nodes: u64 = 0;
+        let mut truncated = false;
+
+        // Branch order: variables with the largest absolute objective impact
+        // first, so the objective bound bites early.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            self.objective[b]
+                .abs()
+                .partial_cmp(&self.objective[a].abs())
+                .expect("objective coefficients are finite")
+        });
+
+        let mut assignment: Vec<Option<bool>> = vec![None; n];
+        self.branch(
+            &order,
+            0,
+            &mut assignment,
+            0.0,
+            &mut best_assignment,
+            &mut best_objective,
+            &mut nodes,
+            node_limit,
+            &mut truncated,
+        );
+
+        match best_assignment {
+            Some(assignment) => ProgramSolution {
+                status: if truncated {
+                    SolveStatus::Truncated
+                } else {
+                    SolveStatus::Optimal
+                },
+                objective: best_objective,
+                assignment,
+                nodes,
+            },
+            None => ProgramSolution {
+                status: if truncated {
+                    SolveStatus::Truncated
+                } else {
+                    SolveStatus::Infeasible
+                },
+                assignment: Vec::new(),
+                objective: f64::INFINITY,
+                nodes,
+            },
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn branch(
+        &self,
+        order: &[usize],
+        depth: usize,
+        assignment: &mut Vec<Option<bool>>,
+        fixed_cost: f64,
+        best_assignment: &mut Option<Vec<bool>>,
+        best_objective: &mut f64,
+        nodes: &mut u64,
+        node_limit: u64,
+        truncated: &mut bool,
+    ) {
+        if *nodes >= node_limit {
+            *truncated = true;
+            return;
+        }
+        *nodes += 1;
+
+        // Objective bound: unfixed variables contribute at best min(0, c).
+        let optimistic: f64 = fixed_cost
+            + order[depth..]
+                .iter()
+                .map(|&v| self.objective[v].min(0.0))
+                .sum::<f64>();
+        if optimistic >= *best_objective - 1e-9 {
+            return;
+        }
+        // Constraint reachability.
+        if !self.constraints_reachable(assignment) {
+            return;
+        }
+        if depth == order.len() {
+            let complete: Vec<bool> = assignment.iter().map(|x| x.unwrap_or(false)).collect();
+            if self.is_feasible(&complete) && fixed_cost < *best_objective {
+                *best_objective = fixed_cost;
+                *best_assignment = Some(complete);
+            }
+            return;
+        }
+        let var = order[depth];
+        // Try the cheaper value first.
+        let order_of_values = if self.objective[var] >= 0.0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for value in order_of_values {
+            assignment[var] = Some(value);
+            let cost = fixed_cost + if value { self.objective[var] } else { 0.0 };
+            self.branch(
+                order,
+                depth + 1,
+                assignment,
+                cost,
+                best_assignment,
+                best_objective,
+                nodes,
+                node_limit,
+                truncated,
+            );
+            assignment[var] = None;
+        }
+    }
+
+    /// Checks whether every constraint can still be satisfied by some
+    /// completion of the partial assignment.
+    fn constraints_reachable(&self, assignment: &[Option<bool>]) -> bool {
+        for constraint in &self.constraints {
+            let mut min_lhs = 0.0;
+            let mut max_lhs = 0.0;
+            for &(var, coefficient) in &constraint.terms {
+                match assignment[var] {
+                    Some(true) => {
+                        min_lhs += coefficient;
+                        max_lhs += coefficient;
+                    }
+                    Some(false) => {}
+                    None => {
+                        min_lhs += coefficient.min(0.0);
+                        max_lhs += coefficient.max(0.0);
+                    }
+                }
+            }
+            let reachable = match constraint.comparison {
+                Comparison::LessEq => min_lhs <= constraint.rhs + 1e-9,
+                Comparison::GreaterEq => max_lhs >= constraint.rhs - 1e-9,
+                Comparison::Equal => {
+                    min_lhs <= constraint.rhs + 1e-9 && max_lhs >= constraint.rhs - 1e-9
+                }
+            };
+            if !reachable {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks a complete assignment against every constraint.
+    pub fn is_feasible(&self, assignment: &[bool]) -> bool {
+        self.constraints.iter().all(|constraint| {
+            let lhs: f64 = constraint
+                .terms
+                .iter()
+                .map(|&(var, coefficient)| if assignment[var] { coefficient } else { 0.0 })
+                .sum();
+            match constraint.comparison {
+                Comparison::LessEq => lhs <= constraint.rhs + 1e-9,
+                Comparison::GreaterEq => lhs >= constraint.rhs - 1e-9,
+                Comparison::Equal => (lhs - constraint.rhs).abs() < 1e-9,
+            }
+        })
+    }
+
+    /// Evaluates the objective for a complete assignment.
+    pub fn objective_value(&self, assignment: &[bool]) -> f64 {
+        self.objective
+            .iter()
+            .zip(assignment)
+            .map(|(c, &x)| if x { *c } else { 0.0 })
+            .sum()
+    }
+}
+
+impl fmt::Display for BinaryProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BinaryProgram({} vars, {} constraints)",
+            self.variable_count(),
+            self.constraint_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_minimum_picks_negative_coefficients() {
+        let mut p = BinaryProgram::new(3);
+        p.set_objective_coefficient(0, -2.0);
+        p.set_objective_coefficient(1, 3.0);
+        p.set_objective_coefficient(2, -0.5);
+        let s = p.solve(1000);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_eq!(s.assignment, vec![true, false, true]);
+        assert_eq!(s.objective, -2.5);
+    }
+
+    #[test]
+    fn vertex_cover_of_a_triangle_needs_two_vertices() {
+        let mut p = BinaryProgram::new(3);
+        for v in 0..3 {
+            p.set_objective_coefficient(v, 1.0);
+        }
+        for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+            p.add_constraint(vec![(u, 1.0), (v, 1.0)], Comparison::GreaterEq, 1.0);
+        }
+        let s = p.solve(10_000);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_eq!(s.objective, 2.0);
+        assert_eq!(s.assignment.iter().filter(|&&x| x).count(), 2);
+    }
+
+    #[test]
+    fn equality_constraints_are_respected() {
+        // Choose exactly two of four items, minimising weight.
+        let mut p = BinaryProgram::new(4);
+        let weights = [5.0, 1.0, 3.0, 2.0];
+        for (v, w) in weights.iter().enumerate() {
+            p.set_objective_coefficient(v, *w);
+        }
+        p.add_constraint((0..4).map(|v| (v, 1.0)).collect(), Comparison::Equal, 2.0);
+        let s = p.solve(10_000);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_eq!(s.objective, 3.0);
+        assert!(s.assignment[1] && s.assignment[3]);
+    }
+
+    #[test]
+    fn infeasible_program_is_detected() {
+        let mut p = BinaryProgram::new(2);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Comparison::GreaterEq, 3.0);
+        let s = p.solve(10_000);
+        assert_eq!(s.status, SolveStatus::Infeasible);
+        assert!(s.assignment.is_empty());
+    }
+
+    #[test]
+    fn node_limit_truncates_search() {
+        let mut p = BinaryProgram::new(16);
+        for v in 0..16 {
+            p.set_objective_coefficient(v, 1.0);
+        }
+        // Force a deep search with a constraint that is tight only at the end.
+        p.add_constraint(
+            (0..16).map(|v| (v, 1.0)).collect(),
+            Comparison::GreaterEq,
+            8.0,
+        );
+        let s = p.solve(3);
+        assert_eq!(s.status, SolveStatus::Truncated);
+    }
+
+    #[test]
+    fn less_equal_knapsack() {
+        // Maximise value 〜 minimise negative value subject to weight <= 4.
+        let mut p = BinaryProgram::new(3);
+        let values = [3.0, 4.0, 5.0];
+        let weights = [2.0, 3.0, 4.0];
+        for (v, value) in values.iter().enumerate() {
+            p.set_objective_coefficient(v, -value);
+        }
+        p.add_constraint(
+            (0..3).map(|v| (v, weights[v])).collect(),
+            Comparison::LessEq,
+            4.0,
+        );
+        let s = p.solve(10_000);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_eq!(s.objective, -5.0);
+        assert_eq!(s.assignment, vec![false, false, true]);
+    }
+
+    #[test]
+    fn feasibility_and_objective_helpers() {
+        let mut p = BinaryProgram::new(2);
+        p.set_objective_coefficient(0, 1.5);
+        p.add_constraint(vec![(0, 1.0)], Comparison::LessEq, 0.0);
+        assert!(p.is_feasible(&[false, true]));
+        assert!(!p.is_feasible(&[true, false]));
+        assert_eq!(p.objective_value(&[true, true]), 1.5);
+        assert_eq!(p.to_string(), "BinaryProgram(2 vars, 1 constraints)");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_variable_panics() {
+        let mut p = BinaryProgram::new(1);
+        p.add_constraint(vec![(3, 1.0)], Comparison::LessEq, 1.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Named synthetic stand-ins for the ISCAS-85/89 benchmark layouts.
+
+use crate::gen::{generate_row_layout, RowLayoutConfig};
+use crate::{Layout, Technology};
+use std::fmt;
+
+/// The benchmark circuits evaluated in the paper (Tables 1 and 2).
+///
+/// The original Metal1 layouts derived from the ISCAS-85/89 netlists are not
+/// redistributable, so each variant here maps to a deterministic
+/// [`RowLayoutConfig`] whose size and native-conflict density are calibrated
+/// to the corresponding circuit: the `C*` combinational circuits are small,
+/// the `S*` sequential circuits are one to two orders of magnitude larger and
+/// carry many more embedded K5 clusters, mirroring the conflict counts the
+/// paper reports.
+///
+/// # Example
+///
+/// ```
+/// use mpl_layout::{gen::IscasCircuit, Technology};
+///
+/// let layout = IscasCircuit::S38417.generate(&Technology::nm20());
+/// assert!(layout.shape_count() > IscasCircuit::C432.generate(&Technology::nm20()).shape_count());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum IscasCircuit {
+    C432,
+    C499,
+    C880,
+    C1355,
+    C1908,
+    C2670,
+    C3540,
+    C5315,
+    C6288,
+    C7552,
+    S1488,
+    S38417,
+    S35932,
+    S38584,
+    S15850,
+}
+
+impl IscasCircuit {
+    /// All circuits in the order of the paper's Table 1.
+    pub const ALL: [IscasCircuit; 15] = [
+        IscasCircuit::C432,
+        IscasCircuit::C499,
+        IscasCircuit::C880,
+        IscasCircuit::C1355,
+        IscasCircuit::C1908,
+        IscasCircuit::C2670,
+        IscasCircuit::C3540,
+        IscasCircuit::C5315,
+        IscasCircuit::C6288,
+        IscasCircuit::C7552,
+        IscasCircuit::S1488,
+        IscasCircuit::S38417,
+        IscasCircuit::S35932,
+        IscasCircuit::S38584,
+        IscasCircuit::S15850,
+    ];
+
+    /// The six densest circuits, used by the paper's Table 2 (pentuple
+    /// patterning).
+    pub const DENSEST: [IscasCircuit; 6] = [
+        IscasCircuit::C6288,
+        IscasCircuit::C7552,
+        IscasCircuit::S38417,
+        IscasCircuit::S35932,
+        IscasCircuit::S38584,
+        IscasCircuit::S15850,
+    ];
+
+    /// The circuit's display name, matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IscasCircuit::C432 => "C432",
+            IscasCircuit::C499 => "C499",
+            IscasCircuit::C880 => "C880",
+            IscasCircuit::C1355 => "C1355",
+            IscasCircuit::C1908 => "C1908",
+            IscasCircuit::C2670 => "C2670",
+            IscasCircuit::C3540 => "C3540",
+            IscasCircuit::C5315 => "C5315",
+            IscasCircuit::C6288 => "C6288",
+            IscasCircuit::C7552 => "C7552",
+            IscasCircuit::S1488 => "S1488",
+            IscasCircuit::S38417 => "S38417",
+            IscasCircuit::S35932 => "S35932",
+            IscasCircuit::S38584 => "S38584",
+            IscasCircuit::S15850 => "S15850",
+        }
+    }
+
+    /// The generator configuration standing in for this circuit.
+    ///
+    /// Sizes grow with the original circuit size; the number of embedded K5
+    /// clusters and dense strips tracks the conflict counts the paper
+    /// reports for the corresponding benchmark (small handfuls for the
+    /// combinational circuits, tens for the large sequential ones), and the
+    /// strips give the exact engines the same kind of hard dense regions
+    /// that make the ILP baseline struggle on the real benchmarks.
+    pub fn config(&self) -> RowLayoutConfig {
+        let (rows, cells_per_row, k5_clusters, dense_strips, strip_length, seed) = match self {
+            IscasCircuit::C432 => (6, 20, 2, 0, 8, 0x0432),
+            IscasCircuit::C499 => (6, 22, 1, 0, 8, 0x0499),
+            IscasCircuit::C880 => (7, 24, 1, 0, 8, 0x0880),
+            IscasCircuit::C1355 => (7, 26, 0, 0, 8, 0x1355),
+            IscasCircuit::C1908 => (8, 28, 2, 0, 8, 0x1908),
+            IscasCircuit::C2670 => (9, 30, 0, 0, 8, 0x2670),
+            IscasCircuit::C3540 => (10, 32, 1, 0, 8, 0x3540),
+            IscasCircuit::C5315 => (11, 36, 1, 0, 8, 0x5315),
+            IscasCircuit::C6288 => (12, 40, 7, 1, 8, 0x6288),
+            IscasCircuit::C7552 => (13, 44, 2, 0, 8, 0x7552),
+            IscasCircuit::S1488 => (8, 24, 0, 0, 8, 0x1488),
+            // The large sequential circuits embed long dense strips: these
+            // are the regions that push the exact (ILP) engine into hour-long
+            // searches in the paper, while the SDP and linear engines stay
+            // fast.
+            IscasCircuit::S38417 => (26, 80, 6, 2, 16, 0x38417),
+            IscasCircuit::S35932 => (34, 96, 22, 4, 16, 0x35932),
+            IscasCircuit::S38584 => (32, 92, 20, 3, 16, 0x38584),
+            IscasCircuit::S15850 => (30, 88, 21, 3, 16, 0x15850),
+        };
+        RowLayoutConfig {
+            name: self.name().to_string(),
+            rows,
+            cells_per_row,
+            contact_density: 0.68,
+            wire_density: 0.6,
+            k5_clusters,
+            dense_strips,
+            strip_length,
+            seed,
+        }
+    }
+
+    /// Generates the synthetic layout for this circuit.
+    pub fn generate(&self, tech: &Technology) -> Layout {
+        generate_row_layout(&self.config(), tech)
+    }
+}
+
+impl fmt::Display for IscasCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_circuits_generate_nonempty_layouts() {
+        let tech = Technology::nm20();
+        for circuit in IscasCircuit::ALL {
+            let layout = circuit.generate(&tech);
+            assert!(!layout.is_empty(), "{circuit} generated an empty layout");
+            assert_eq!(layout.name(), circuit.name());
+        }
+    }
+
+    #[test]
+    fn densest_circuits_are_a_subset_of_all() {
+        for circuit in IscasCircuit::DENSEST {
+            assert!(IscasCircuit::ALL.contains(&circuit));
+        }
+    }
+
+    #[test]
+    fn sequential_circuits_are_larger_than_combinational_ones() {
+        let tech = Technology::nm20();
+        let c432 = IscasCircuit::C432.generate(&tech).shape_count();
+        let s38417 = IscasCircuit::S38417.generate(&tech).shape_count();
+        let s35932 = IscasCircuit::S35932.generate(&tech).shape_count();
+        assert!(s38417 > c432 * 10);
+        assert!(s35932 > s38417);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let tech = Technology::nm20();
+        let a = IscasCircuit::C1908.generate(&tech);
+        let b = IscasCircuit::C1908.generate(&tech);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(IscasCircuit::S15850.to_string(), "S15850");
+        assert_eq!(IscasCircuit::C432.name(), "C432");
+    }
+
+    #[test]
+    fn cluster_counts_follow_paper_ordering() {
+        // The large sequential circuits must embed many more native
+        // conflicts than the combinational ones, mirroring Table 1.
+        assert!(
+            IscasCircuit::S35932.config().k5_clusters > IscasCircuit::C6288.config().k5_clusters
+        );
+        assert!(IscasCircuit::C6288.config().k5_clusters > IscasCircuit::C432.config().k5_clusters);
+        assert_eq!(IscasCircuit::C1355.config().k5_clusters, 0);
+    }
+}

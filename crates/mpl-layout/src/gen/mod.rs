@@ -1,0 +1,29 @@
+//! Deterministic synthetic layout generators.
+//!
+//! The paper evaluates on ISCAS-85/89 benchmark layouts scaled to a 20 nm
+//! half pitch.  Those layouts are not redistributable, so this module
+//! provides generators that produce layouts with the same *structural*
+//! characteristics the decomposition algorithms care about:
+//!
+//! * long standard-cell-style contact rows whose conflict chains are broken
+//!   up by the graph-division techniques,
+//! * wire tracks running close to contact rows (stitch candidates),
+//! * occasional dense clusters (quincunx contact patterns) that are K5
+//!   structures under the quadruple-patterning coloring distance and
+//!   therefore native conflicts, and
+//! * the constructive patterns of Fig. 1 (four-contact clique) and Fig. 7
+//!   (K5 under `2·s_m + w_m`).
+//!
+//! All generators are deterministic: the same configuration and seed always
+//! produce the same layout.
+
+mod iscas;
+mod patterns;
+mod rows;
+
+pub use iscas::IscasCircuit;
+pub use patterns::{
+    contact_array, dense_parallel_lines, dense_strip, dense_strip_layout, fig1_contact_clique,
+    k5_cluster, k5_cluster_layout,
+};
+pub use rows::{generate_row_layout, RowLayoutConfig};

@@ -1,0 +1,273 @@
+//! Small constructive layout patterns from the paper's figures.
+
+use crate::{Layout, LayoutBuilder, Technology};
+use mpl_geometry::{Nm, Point, Rect};
+
+/// Adds a square contact of the technology's minimum width at `(x, y)`.
+fn add_contact_at(builder: &mut LayoutBuilder, tech: &Technology, x: Nm, y: Nm) {
+    builder.add_contact(x, y, tech.min_width());
+}
+
+/// The four-contact clique of Fig. 1: a 2×2 contact array at minimum pitch.
+///
+/// Under the triple-patterning coloring distance this pattern is a K4 and
+/// therefore indecomposable with three masks; with four masks (quadruple
+/// patterning) it decomposes without conflicts — exactly the motivating
+/// example of the paper.
+///
+/// # Example
+///
+/// ```
+/// use mpl_layout::{gen, Technology};
+///
+/// let layout = gen::fig1_contact_clique(&Technology::nm20());
+/// assert_eq!(layout.shape_count(), 4);
+/// ```
+pub fn fig1_contact_clique(tech: &Technology) -> Layout {
+    let mut b = Layout::builder("fig1-contact-clique");
+    let pitch = tech.pitch();
+    for j in 0..2 {
+        for i in 0..2 {
+            add_contact_at(&mut b, tech, pitch * i, pitch * j);
+        }
+    }
+    b.build()
+}
+
+/// Adds a five-contact "pyramid" cluster (three contacts in a bottom row at
+/// minimum pitch plus two contacts centred above the gaps) anchored at
+/// `origin`.
+///
+/// All five contacts respect the minimum spacing `s_m` yet are pairwise
+/// closer than the quadruple-patterning coloring distance `2·s_m + 2·w_m`,
+/// so the cluster is a K5: a *native conflict* that quadruple patterning
+/// cannot resolve and only a fifth mask (pentuple patterning) removes.  This
+/// is the kind of dense contact pattern the paper points to when motivating
+/// patterning beyond K = 4.
+pub fn k5_cluster(builder: &mut LayoutBuilder, tech: &Technology, origin: Point) {
+    let p = tech.pitch();
+    let half = p / 2;
+    let offsets = [
+        (Nm::ZERO, Nm::ZERO),
+        (p, Nm::ZERO),
+        (p * 2, Nm::ZERO),
+        (half, p),
+        (half + p, p),
+    ];
+    for (dx, dy) in offsets {
+        add_contact_at(builder, tech, origin.x + dx, origin.y + dy);
+    }
+}
+
+/// Adds a *dense strip*: a bottom row of `length` contacts at minimum pitch
+/// plus a staggered top row of `length − 1` contacts, anchored at `origin`.
+///
+/// Every vertex of the strip keeps conflict degree ≥ 4 under the
+/// quadruple-patterning coloring distance and the strip contains a chain of
+/// overlapping K5 structures, so it survives every graph-division technique
+/// and forces the exact engines into a genuine branch-and-bound search —
+/// the kind of dense, natively conflicting region that makes the ILP
+/// baseline slow on the paper's large benchmarks.
+///
+/// # Panics
+///
+/// Panics if `length < 3`.
+pub fn dense_strip(builder: &mut LayoutBuilder, tech: &Technology, origin: Point, length: usize) {
+    assert!(length >= 3, "a dense strip needs at least three columns");
+    let p = tech.pitch();
+    let half = p / 2;
+    for i in 0..length {
+        add_contact_at(builder, tech, origin.x + p * i as i64, origin.y);
+    }
+    for i in 0..length - 1 {
+        add_contact_at(builder, tech, origin.x + half + p * i as i64, origin.y + p);
+    }
+}
+
+/// A standalone layout containing a single dense strip of the given length.
+pub fn dense_strip_layout(tech: &Technology, length: usize) -> Layout {
+    let mut b = Layout::builder(format!("dense-strip-{length}"));
+    dense_strip(&mut b, tech, Point::ORIGIN, length);
+    b.build()
+}
+
+/// A standalone layout containing a single K5 contact cluster.
+///
+/// Used by the tests and benches that reproduce the paper's observation that
+/// realistic contact patterns contain K5 structures, defeating any
+/// four-color-theorem style argument (the decomposition graph is not
+/// planar).
+pub fn k5_cluster_layout(tech: &Technology) -> Layout {
+    let mut b = Layout::builder("k5-cluster");
+    k5_cluster(&mut b, tech, Point::ORIGIN);
+    b.build()
+}
+
+/// A `rows × cols` contact array at the given pitch.
+///
+/// With `pitch = 2·half_pitch` this is the dense contact fabric found in
+/// SRAM-like regions; with larger pitches the array becomes multiple
+/// patterning friendly.
+///
+/// # Panics
+///
+/// Panics if `pitch` is not strictly positive.
+pub fn contact_array(tech: &Technology, rows: usize, cols: usize, pitch: Nm) -> Layout {
+    assert!(pitch > Nm::ZERO, "pitch must be positive");
+    let mut b = Layout::builder(format!("contact-array-{rows}x{cols}"));
+    for j in 0..rows {
+        for i in 0..cols {
+            add_contact_at(&mut b, tech, pitch * i as i64, pitch * j as i64);
+        }
+    }
+    b.build()
+}
+
+/// `count` dense parallel vertical lines at minimum width and spacing — the
+/// one-dimensional regular pattern of Fig. 7.
+///
+/// Under the classical double/triple patterning coloring distance
+/// `2·s_m + w_m` every line already conflicts with its second neighbour,
+/// which is why the paper adopts `2·s_m + 2·w_m` for quadruple patterning
+/// (and why planarity-based four-coloring arguments do not apply).
+///
+/// # Panics
+///
+/// Panics if `length` is not strictly positive.
+pub fn dense_parallel_lines(tech: &Technology, count: usize, length: Nm) -> Layout {
+    assert!(length > Nm::ZERO, "line length must be positive");
+    let mut b = Layout::builder(format!("parallel-lines-{count}"));
+    let pitch = tech.pitch();
+    for i in 0..count {
+        let x = pitch * i as i64;
+        b.add_rect(Rect::new(x, Nm::ZERO, x + tech.min_width(), length));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_clique_is_pairwise_conflicting_under_tpl_distance() {
+        let tech = Technology::nm20();
+        let layout = fig1_contact_clique(&tech);
+        let min_s3 = tech.coloring_distance(3);
+        for a in layout.iter() {
+            for b in layout.iter() {
+                if a.id() != b.id() {
+                    assert!(a.polygon().within_distance(b.polygon(), min_s3));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k5_cluster_is_a_k5_under_qpl_distance() {
+        let tech = Technology::nm20();
+        let layout = k5_cluster_layout(&tech);
+        assert_eq!(layout.shape_count(), 5);
+        let min_s4 = tech.coloring_distance(4);
+        for a in layout.iter() {
+            for b in layout.iter() {
+                if a.id() != b.id() {
+                    assert!(
+                        a.polygon().within_distance(b.polygon(), min_s4),
+                        "{} and {} should conflict",
+                        a.id(),
+                        b.id()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k5_cluster_spacing_is_drc_legal() {
+        // Every pair of contacts must still respect the minimum spacing s_m.
+        let tech = Technology::nm20();
+        let layout = k5_cluster_layout(&tech);
+        for a in layout.iter() {
+            for b in layout.iter() {
+                if a.id() < b.id() {
+                    let d2 = a.polygon().distance_squared(b.polygon());
+                    assert!(
+                        d2 >= tech.min_spacing().squared(),
+                        "{} and {} are closer than the minimum spacing",
+                        a.id(),
+                        b.id()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k5_cluster_is_not_a_k5_under_pentuple_friendly_view() {
+        // Sanity: under the larger pentuple-patterning distance the cluster
+        // is still a clique (distances only grow the edge set), so the
+        // interesting claim is about K = 4 vs. the fifth mask, not geometry.
+        let tech = Technology::nm20();
+        let layout = k5_cluster_layout(&tech);
+        let min_s5 = tech.coloring_distance(5);
+        let count = layout
+            .iter()
+            .flat_map(|a| layout.iter().map(move |b| (a, b)))
+            .filter(|(a, b)| a.id() < b.id())
+            .filter(|(a, b)| a.polygon().within_distance(b.polygon(), min_s5))
+            .count();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn contact_array_has_expected_count_and_extent() {
+        let tech = Technology::nm20();
+        let layout = contact_array(&tech, 3, 4, Nm(40));
+        assert_eq!(layout.shape_count(), 12);
+        let bb = layout.bounding_box().expect("non-empty");
+        assert_eq!(bb.width(), Nm(3 * 40 + 20));
+        assert_eq!(bb.height(), Nm(2 * 40 + 20));
+    }
+
+    #[test]
+    fn parallel_lines_conflict_with_second_neighbours_under_qpl() {
+        let tech = Technology::nm20();
+        let layout = dense_parallel_lines(&tech, 5, Nm(200));
+        let min_s4 = tech.coloring_distance(4);
+        let shapes = layout.shapes();
+        // Adjacent lines: 20 nm apart; second neighbours: 60 nm apart — both
+        // conflict under the 80 nm quadruple-patterning distance; third
+        // neighbours (100 nm) do not.
+        assert!(shapes[0]
+            .polygon()
+            .within_distance(shapes[1].polygon(), min_s4));
+        assert!(shapes[0]
+            .polygon()
+            .within_distance(shapes[2].polygon(), min_s4));
+        assert!(!shapes[0]
+            .polygon()
+            .within_distance(shapes[3].polygon(), min_s4));
+    }
+
+    #[test]
+    fn parallel_lines_second_neighbours_do_not_conflict_under_tpl_strict() {
+        let tech = Technology::nm20();
+        let layout = dense_parallel_lines(&tech, 4, Nm(200));
+        let min_s3 = tech.coloring_distance(3);
+        let shapes = layout.shapes();
+        assert!(shapes[0]
+            .polygon()
+            .within_distance(shapes[1].polygon(), min_s3));
+        // Exactly at 60 nm: the conflict predicate is strict, so no edge.
+        assert!(!shapes[0]
+            .polygon()
+            .within_distance(shapes[2].polygon(), min_s3));
+    }
+
+    #[test]
+    #[should_panic(expected = "pitch must be positive")]
+    fn contact_array_rejects_zero_pitch() {
+        let _ = contact_array(&Technology::nm20(), 1, 1, Nm(0));
+    }
+}

@@ -1,0 +1,385 @@
+//! Standard-cell-row style synthetic layout generator.
+
+use crate::gen::{dense_strip, k5_cluster};
+use crate::{Layout, Technology};
+use mpl_geometry::{Nm, Point, Rect};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the row-based synthetic layout generator.
+///
+/// The generator emits a standard-cell-like Metal1/contact layer:
+///
+/// * `rows` horizontal cell rows, vertically separated so that different
+///   rows never conflict under the quadruple- or pentuple-patterning
+///   coloring distances;
+/// * each row has a lower and an upper contact track plus a routing track in
+///   between; wires on the routing track run close enough to both contact
+///   tracks to conflict with them and to receive stitch candidates;
+/// * a configurable number of cells are replaced by a dense five-contact K5
+///   cluster (an isolated native conflict for quadruple patterning);
+/// * a configurable number of cells are replaced by a *dense strip* — a
+///   two-row staggered contact block whose every vertex keeps conflict
+///   degree ≥ 4, which therefore survives graph division and exercises the
+///   exact engines.
+///
+/// The same configuration always generates the same layout (the RNG is
+/// seeded from `seed`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowLayoutConfig {
+    /// Layout/benchmark name.
+    pub name: String,
+    /// Number of cell rows.
+    pub rows: usize,
+    /// Number of cells per row (each cell spans four contact pitches).
+    pub cells_per_row: usize,
+    /// Probability that a contact slot is occupied, in `[0, 1]`.
+    pub contact_density: f64,
+    /// Probability that a wire starts at a free routing-track slot, in
+    /// `[0, 1]`.
+    pub wire_density: f64,
+    /// Number of K5 clusters (isolated native quadruple-patterning
+    /// conflicts) to embed.
+    pub k5_clusters: usize,
+    /// Number of dense strips to embed.
+    pub dense_strips: usize,
+    /// Number of bottom-row contacts per dense strip.
+    pub strip_length: usize,
+    /// RNG seed; fixed seed ⇒ reproducible layout.
+    pub seed: u64,
+}
+
+impl RowLayoutConfig {
+    /// A small, quick-to-decompose configuration useful in examples and
+    /// tests.
+    pub fn small(name: impl Into<String>, seed: u64) -> Self {
+        RowLayoutConfig {
+            name: name.into(),
+            rows: 4,
+            cells_per_row: 12,
+            contact_density: 0.65,
+            wire_density: 0.55,
+            k5_clusters: 1,
+            dense_strips: 0,
+            strip_length: 7,
+            seed,
+        }
+    }
+}
+
+/// Geometry constants derived from the technology for the row generator.
+struct RowGeometry {
+    contact: Nm,
+    pitch: Nm,
+    cell_width: Nm,
+    row_height: Nm,
+    lower_track_y: Nm,
+    wire_track_y: Nm,
+    upper_track_y: Nm,
+}
+
+impl RowGeometry {
+    fn new(tech: &Technology) -> Self {
+        let contact = tech.min_width();
+        let pitch = tech.pitch();
+        // Tracks: lower contacts at y = 0, wires three pitches up (60 nm gap
+        // at the 20 nm node — close enough to conflict under both the 80 nm
+        // and 110 nm coloring distances, far enough that a contact rarely
+        // reaches two different wires), upper contacts mirrored above.
+        let lower_track_y = Nm::ZERO;
+        let wire_track_y = lower_track_y + contact + pitch + pitch / 2;
+        let upper_track_y = wire_track_y + contact + pitch + pitch / 2;
+        let row_height = upper_track_y + contact + pitch * 4;
+        RowGeometry {
+            contact,
+            pitch,
+            cell_width: pitch * 4,
+            row_height,
+            lower_track_y,
+            wire_track_y,
+            upper_track_y,
+        }
+    }
+}
+
+/// Which special structure (if any) occupies a cell.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CellRole {
+    Normal,
+    Cluster,
+    Strip,
+    /// Deliberately left empty to isolate an adjacent cluster or strip.
+    Spacer,
+}
+
+/// Generates a row-based synthetic layout.
+///
+/// # Example
+///
+/// ```
+/// use mpl_layout::{gen, Technology};
+///
+/// let cfg = gen::RowLayoutConfig::small("demo", 7);
+/// let layout = gen::generate_row_layout(&cfg, &Technology::nm20());
+/// assert_eq!(layout.name(), "demo");
+/// assert!(layout.shape_count() > 50);
+/// ```
+///
+/// # Panics
+///
+/// Panics if a density is outside `[0, 1]` or `strip_length < 3`.
+pub fn generate_row_layout(config: &RowLayoutConfig, tech: &Technology) -> Layout {
+    assert!(
+        (0.0..=1.0).contains(&config.contact_density) && (0.0..=1.0).contains(&config.wire_density),
+        "densities must lie in [0, 1]"
+    );
+    assert!(config.strip_length >= 3, "strip_length must be at least 3");
+    let geom = RowGeometry::new(tech);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut builder = Layout::builder(config.name.clone());
+
+    // Reserve cells for clusters and strips, spreading them evenly and
+    // padding each with spacer cells so the embedded structure stays an
+    // isolated, controlled source of native conflicts.
+    let total_cells = config.rows * config.cells_per_row;
+    let strip_cells = 1
+        + (config.strip_length * tech.pitch().value() as usize)
+            .div_ceil(geom.cell_width.value() as usize);
+    let mut roles = vec![CellRole::Normal; total_cells];
+    let special_count = config.k5_clusters + config.dense_strips;
+    if special_count > 0 && total_cells > special_count * (strip_cells + 2) {
+        let stride = total_cells / special_count;
+        for index in 0..special_count {
+            let anchor = index * stride + stride / 2;
+            let is_strip = index >= config.k5_clusters;
+            let span = if is_strip { strip_cells } else { 1 };
+            // Spacer, structure cells, spacer.
+            if anchor == 0 || anchor + span + 1 > total_cells {
+                continue;
+            }
+            // Keep the whole structure inside one row.
+            let row = anchor / config.cells_per_row;
+            if (anchor + span) / config.cells_per_row != row {
+                continue;
+            }
+            roles[anchor - 1] = CellRole::Spacer;
+            roles[anchor] = if is_strip {
+                CellRole::Strip
+            } else {
+                CellRole::Cluster
+            };
+            for slot in 1..span {
+                roles[anchor + slot] = CellRole::Spacer;
+            }
+            if anchor + span < total_cells {
+                roles[anchor + span] = CellRole::Spacer;
+            }
+        }
+    }
+
+    for row in 0..config.rows {
+        let row_y = geom.row_height * row as i64;
+        // Contact tracks, cell by cell.
+        for cell in 0..config.cells_per_row {
+            let cell_index = row * config.cells_per_row + cell;
+            let cell_x = geom.cell_width * cell as i64;
+            match roles[cell_index] {
+                CellRole::Spacer => continue,
+                CellRole::Cluster => {
+                    k5_cluster(
+                        &mut builder,
+                        tech,
+                        Point::new(cell_x + geom.pitch / 2, row_y + geom.lower_track_y),
+                    );
+                    continue;
+                }
+                CellRole::Strip => {
+                    dense_strip(
+                        &mut builder,
+                        tech,
+                        Point::new(cell_x + geom.pitch / 2, row_y + geom.lower_track_y),
+                        config.strip_length,
+                    );
+                    continue;
+                }
+                CellRole::Normal => {}
+            }
+            for slot in 0..4 {
+                let x = cell_x + geom.pitch * slot;
+                if rng.gen_bool(config.contact_density) {
+                    builder.add_contact(x, row_y + geom.lower_track_y, geom.contact);
+                }
+                if rng.gen_bool(config.contact_density * 0.8) {
+                    builder.add_contact(x, row_y + geom.upper_track_y, geom.contact);
+                }
+            }
+        }
+
+        // Routing track: wires run along the whole row, spanning one to two
+        // cells, with at least one free slot between consecutive wires.
+        // Wires are suppressed above special cells so clusters and strips
+        // stay isolated.
+        let total_slots = config.cells_per_row * 4;
+        let mut slot = 0usize;
+        while slot + 2 < total_slots {
+            let cell_here = row * config.cells_per_row + slot / 4;
+            if roles[cell_here] != CellRole::Normal {
+                slot += 4 - slot % 4;
+                continue;
+            }
+            if rng.gen_bool(config.wire_density) {
+                let max_len = (total_slots - slot - 1).min(8);
+                if max_len >= 2 {
+                    let len = rng.gen_range(2..=max_len);
+                    // Clip the wire if it would run over a special cell.
+                    let mut clipped_len = len;
+                    for l in 0..len {
+                        let cell_there = row * config.cells_per_row + (slot + l) / 4;
+                        if roles[cell_there] != CellRole::Normal {
+                            clipped_len = l;
+                            break;
+                        }
+                    }
+                    if clipped_len >= 2 {
+                        let x0 = geom.pitch * slot as i64;
+                        let x1 = geom.pitch * (slot + clipped_len) as i64 - tech.min_spacing();
+                        builder.add_rect(Rect::new(
+                            x0,
+                            row_y + geom.wire_track_y,
+                            x1,
+                            row_y + geom.wire_track_y + geom.contact,
+                        ));
+                        slot += clipped_len + 2;
+                        continue;
+                    }
+                }
+            }
+            slot += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let tech = Technology::nm20();
+        let cfg = RowLayoutConfig::small("det", 42);
+        let a = generate_row_layout(&cfg, &tech);
+        let b = generate_row_layout(&cfg, &tech);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let tech = Technology::nm20();
+        let a = generate_row_layout(&RowLayoutConfig::small("a", 1), &tech);
+        let b = generate_row_layout(&RowLayoutConfig::small("a", 2), &tech);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shape_count_scales_with_size() {
+        let tech = Technology::nm20();
+        let small = generate_row_layout(&RowLayoutConfig::small("s", 3), &tech);
+        let mut big_cfg = RowLayoutConfig::small("b", 3);
+        big_cfg.rows *= 4;
+        big_cfg.cells_per_row *= 4;
+        let big = generate_row_layout(&big_cfg, &tech);
+        assert!(big.shape_count() > small.shape_count() * 8);
+    }
+
+    #[test]
+    fn rows_are_vertically_isolated() {
+        // Shapes in different rows must never conflict even under the
+        // pentuple-patterning distance, otherwise the per-row structure
+        // assumption breaks.
+        let tech = Technology::nm20();
+        let mut cfg = RowLayoutConfig::small("iso", 5);
+        cfg.rows = 2;
+        cfg.cells_per_row = 6;
+        cfg.k5_clusters = 0;
+        let layout = generate_row_layout(&cfg, &tech);
+        let row_height = RowGeometry::new(&tech).row_height;
+        let min_s = tech.coloring_distance(5);
+        for a in layout.iter() {
+            for b in layout.iter() {
+                if a.id() < b.id() {
+                    let row_a = a.polygon().bounding_box().ylo().value() / row_height.value();
+                    let row_b = b.polygon().bounding_box().ylo().value() / row_height.value();
+                    if row_a != row_b {
+                        assert!(!a.polygon().within_distance(b.polygon(), min_s));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn requested_special_structures_are_embedded() {
+        let tech = Technology::nm20();
+        let mut cfg = RowLayoutConfig::small("clusters", 9);
+        cfg.rows = 3;
+        cfg.cells_per_row = 20;
+        cfg.k5_clusters = 4;
+        cfg.dense_strips = 2;
+        cfg.strip_length = 6;
+        cfg.contact_density = 0.0;
+        cfg.wire_density = 0.0;
+        let layout = generate_row_layout(&cfg, &tech);
+        // With all other content disabled, only the special structures
+        // remain: 4 clusters x 5 contacts + 2 strips x (6 + 5) contacts.
+        assert_eq!(layout.shape_count(), 4 * 5 + 2 * 11);
+    }
+
+    #[test]
+    fn zero_density_layout_with_no_structures_is_empty() {
+        let tech = Technology::nm20();
+        let cfg = RowLayoutConfig {
+            name: "empty".into(),
+            rows: 2,
+            cells_per_row: 4,
+            contact_density: 0.0,
+            wire_density: 0.0,
+            k5_clusters: 0,
+            dense_strips: 0,
+            strip_length: 7,
+            seed: 0,
+        };
+        assert!(generate_row_layout(&cfg, &tech).is_empty());
+    }
+
+    #[test]
+    fn wires_are_present_and_respect_minimum_spacing_on_the_track() {
+        let tech = Technology::nm20();
+        let mut cfg = RowLayoutConfig::small("wires", 13);
+        cfg.contact_density = 0.5;
+        cfg.wire_density = 0.9;
+        let layout = generate_row_layout(&cfg, &tech);
+        let wires: Vec<_> = layout
+            .iter()
+            .filter(|s| s.polygon().bounding_box().width() > tech.min_width())
+            .collect();
+        assert!(!wires.is_empty());
+        for a in &wires {
+            for b in &wires {
+                if a.id() < b.id() {
+                    let d2 = a.polygon().distance_squared(b.polygon());
+                    assert!(d2 >= tech.min_spacing().squared());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "densities")]
+    fn invalid_density_panics() {
+        let tech = Technology::nm20();
+        let mut cfg = RowLayoutConfig::small("bad", 0);
+        cfg.contact_density = 1.5;
+        let _ = generate_row_layout(&cfg, &tech);
+    }
+}

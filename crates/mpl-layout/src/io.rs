@@ -1,0 +1,244 @@
+//! Minimal text serialisation for layouts.
+//!
+//! The format is deliberately simple so that layouts can be inspected,
+//! diffed, and checked into test fixtures:
+//!
+//! ```text
+//! # layout <name>
+//! <shape-index> <xlo> <ylo> <xhi> <yhi>
+//! <shape-index> <xlo> <ylo> <xhi> <yhi>
+//! ...
+//! ```
+//!
+//! Consecutive lines sharing the same shape index describe one polygon built
+//! from several rectangles.  Blank lines and lines starting with `#` (other
+//! than the header) are ignored.
+
+use crate::{Layout, LayoutBuilder};
+use mpl_geometry::{Nm, Polygon, Rect};
+use std::fmt;
+
+/// Error produced when parsing a layout from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseLayoutError {
+    /// The `# layout <name>` header line is missing.
+    MissingHeader,
+    /// A data line did not contain exactly five integer fields.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// Shape indices must be non-decreasing and dense.
+    BadShapeIndex {
+        /// 1-based line number.
+        line: usize,
+        /// The index found.
+        found: usize,
+        /// The largest acceptable index at this point.
+        expected_at_most: usize,
+    },
+}
+
+impl fmt::Display for ParseLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseLayoutError::MissingHeader => write!(f, "missing `# layout <name>` header"),
+            ParseLayoutError::MalformedLine { line, content } => {
+                write!(f, "malformed layout line {line}: {content:?}")
+            }
+            ParseLayoutError::BadShapeIndex {
+                line,
+                found,
+                expected_at_most,
+            } => write!(
+                f,
+                "shape index {found} on line {line} is not dense (expected at most {expected_at_most})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseLayoutError {}
+
+/// Serialises a layout to the text format.
+///
+/// # Example
+///
+/// ```
+/// use mpl_geometry::{Nm, Rect};
+/// use mpl_layout::{io, Layout};
+///
+/// let mut b = Layout::builder("tiny");
+/// b.add_rect(Rect::new(Nm(0), Nm(0), Nm(20), Nm(20)));
+/// let layout = b.build();
+/// let text = io::to_text(&layout);
+/// let parsed = io::from_text(&text)?;
+/// assert_eq!(parsed, layout);
+/// # Ok::<(), io::ParseLayoutError>(())
+/// ```
+pub fn to_text(layout: &Layout) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# layout {}\n", layout.name()));
+    for shape in layout.iter() {
+        for rect in shape.polygon().rects() {
+            out.push_str(&format!(
+                "{} {} {} {} {}\n",
+                shape.id().index(),
+                rect.xlo().value(),
+                rect.ylo().value(),
+                rect.xhi().value(),
+                rect.yhi().value()
+            ));
+        }
+    }
+    out
+}
+
+/// Parses a layout from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseLayoutError`] when the header is missing, a line is
+/// malformed, or shape indices are not dense and non-decreasing.
+pub fn from_text(text: &str) -> Result<Layout, ParseLayoutError> {
+    let mut lines = text.lines().enumerate();
+    let name = loop {
+        match lines.next() {
+            Some((_, line)) if line.trim().is_empty() => continue,
+            Some((_, line)) => {
+                let line = line.trim();
+                if let Some(rest) = line.strip_prefix("# layout ") {
+                    break rest.trim().to_string();
+                }
+                return Err(ParseLayoutError::MissingHeader);
+            }
+            None => return Err(ParseLayoutError::MissingHeader),
+        }
+    };
+
+    let mut builder: LayoutBuilder = Layout::builder(name);
+    let mut pending: Vec<(usize, Rect)> = Vec::new();
+    for (index, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<i64> = line
+            .split_whitespace()
+            .map(|f| f.parse::<i64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| ParseLayoutError::MalformedLine {
+                line: index + 1,
+                content: line.to_string(),
+            })?;
+        if fields.len() != 5 {
+            return Err(ParseLayoutError::MalformedLine {
+                line: index + 1,
+                content: line.to_string(),
+            });
+        }
+        let shape_index = fields[0] as usize;
+        let next_dense = pending.last().map_or(0, |(i, _)| i + 1);
+        if shape_index > next_dense {
+            return Err(ParseLayoutError::BadShapeIndex {
+                line: index + 1,
+                found: shape_index,
+                expected_at_most: next_dense,
+            });
+        }
+        let rect = Rect::new(Nm(fields[1]), Nm(fields[2]), Nm(fields[3]), Nm(fields[4]));
+        pending.push((shape_index, rect));
+    }
+
+    // Group consecutive rects by shape index.
+    let mut current_index: Option<usize> = None;
+    let mut current_rects: Vec<Rect> = Vec::new();
+    for (shape_index, rect) in pending {
+        match current_index {
+            Some(ci) if ci == shape_index => current_rects.push(rect),
+            Some(_) => {
+                let polygon =
+                    Polygon::from_rects(std::mem::take(&mut current_rects)).expect("non-empty");
+                builder.add_polygon(polygon);
+                current_index = Some(shape_index);
+                current_rects.push(rect);
+            }
+            None => {
+                current_index = Some(shape_index);
+                current_rects.push(rect);
+            }
+        }
+    }
+    if !current_rects.is_empty() {
+        let polygon = Polygon::from_rects(current_rects).expect("non-empty");
+        builder.add_polygon(polygon);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_layout() -> Layout {
+        let mut b = Layout::builder("sample");
+        b.add_rect(Rect::new(Nm(0), Nm(0), Nm(20), Nm(20)));
+        b.add_polygon(
+            Polygon::from_rects(vec![
+                Rect::new(Nm(100), Nm(0), Nm(200), Nm(20)),
+                Rect::new(Nm(100), Nm(0), Nm(120), Nm(100)),
+            ])
+            .expect("non-empty"),
+        );
+        b.add_rect(Rect::new(Nm(-40), Nm(-40), Nm(-20), Nm(-20)));
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_layout() {
+        let layout = sample_layout();
+        let text = to_text(&layout);
+        let parsed = from_text(&text).expect("parse");
+        assert_eq!(parsed, layout);
+    }
+
+    #[test]
+    fn header_is_required() {
+        assert_eq!(
+            from_text("0 0 0 1 1\n"),
+            Err(ParseLayoutError::MissingHeader)
+        );
+        assert_eq!(from_text(""), Err(ParseLayoutError::MissingHeader));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let err = from_text("# layout x\n0 1 2 3\n").unwrap_err();
+        assert!(matches!(
+            err,
+            ParseLayoutError::MalformedLine { line: 2, .. }
+        ));
+        let err = from_text("# layout x\n0 a b c d\n").unwrap_err();
+        assert!(matches!(err, ParseLayoutError::MalformedLine { .. }));
+        assert!(err.to_string().contains("malformed"));
+    }
+
+    #[test]
+    fn shape_indices_must_be_dense() {
+        let err = from_text("# layout x\n0 0 0 1 1\n2 0 0 1 1\n").unwrap_err();
+        assert!(matches!(
+            err,
+            ParseLayoutError::BadShapeIndex { found: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# layout y\n\n# a comment\n0 0 0 5 5\n\n";
+        let layout = from_text(text).expect("parse");
+        assert_eq!(layout.name(), "y");
+        assert_eq!(layout.shape_count(), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! The layout data model.
+
+use crate::LayoutStats;
+use mpl_geometry::{Nm, Polygon, Rect};
+use std::fmt;
+
+/// A stable identifier for a layout shape.
+///
+/// Shape ids are dense indices assigned in insertion order; they are the
+/// link between decomposition-graph vertices and the geometry they came
+/// from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShapeId(pub usize);
+
+impl ShapeId {
+    /// The underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ShapeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A single layout feature: an id plus its rectilinear geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shape {
+    id: ShapeId,
+    polygon: Polygon,
+}
+
+impl Shape {
+    /// The shape's identifier.
+    pub fn id(&self) -> ShapeId {
+        self.id
+    }
+
+    /// The shape's geometry.
+    pub fn polygon(&self) -> &Polygon {
+        &self.polygon
+    }
+}
+
+/// A single-layer layout: a named, ordered collection of rectilinear shapes.
+///
+/// # Example
+///
+/// ```
+/// use mpl_geometry::{Nm, Rect};
+/// use mpl_layout::Layout;
+///
+/// let mut builder = Layout::builder("demo");
+/// builder.add_rect(Rect::new(Nm(0), Nm(0), Nm(20), Nm(20)));
+/// builder.add_rect(Rect::new(Nm(60), Nm(0), Nm(80), Nm(20)));
+/// let layout = builder.build();
+/// assert_eq!(layout.shape_count(), 2);
+/// assert_eq!(layout.name(), "demo");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    name: String,
+    shapes: Vec<Shape>,
+}
+
+impl Layout {
+    /// Starts building a layout with the given name.
+    pub fn builder(name: impl Into<String>) -> LayoutBuilder {
+        LayoutBuilder {
+            name: name.into(),
+            shapes: Vec::new(),
+        }
+    }
+
+    /// The layout name (typically the benchmark circuit name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of shapes.
+    pub fn shape_count(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Returns `true` if the layout has no shapes.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// The shapes in id order.
+    pub fn shapes(&self) -> &[Shape] {
+        &self.shapes
+    }
+
+    /// Looks up a shape by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn shape(&self, id: ShapeId) -> &Shape {
+        &self.shapes[id.index()]
+    }
+
+    /// Iterates over the shapes.
+    pub fn iter(&self) -> std::slice::Iter<'_, Shape> {
+        self.shapes.iter()
+    }
+
+    /// The bounding box of the whole layout, or `None` for an empty layout.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        let mut iter = self.shapes.iter().map(|s| s.polygon.bounding_box());
+        let first = iter.next()?;
+        Some(iter.fold(first, |acc, bb| acc.union_bbox(&bb)))
+    }
+
+    /// Computes summary statistics for the layout.
+    pub fn stats(&self) -> LayoutStats {
+        LayoutStats::compute(self)
+    }
+}
+
+impl<'a> IntoIterator for &'a Layout {
+    type Item = &'a Shape;
+    type IntoIter = std::slice::Iter<'a, Shape>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.shapes.iter()
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Layout({}, {} shapes)", self.name, self.shapes.len())
+    }
+}
+
+/// Incremental builder for [`Layout`].
+#[derive(Debug, Clone)]
+pub struct LayoutBuilder {
+    name: String,
+    shapes: Vec<Shape>,
+}
+
+impl LayoutBuilder {
+    /// Adds a rectangular shape and returns its id.
+    pub fn add_rect(&mut self, rect: Rect) -> ShapeId {
+        self.add_polygon(Polygon::rect(rect))
+    }
+
+    /// Adds a square contact of the given width with lower-left corner at
+    /// `(x, y)` and returns its id.
+    pub fn add_contact(&mut self, x: Nm, y: Nm, width: Nm) -> ShapeId {
+        self.add_rect(Rect::new(x, y, x + width, y + width))
+    }
+
+    /// Adds a polygonal shape and returns its id.
+    pub fn add_polygon(&mut self, polygon: Polygon) -> ShapeId {
+        let id = ShapeId(self.shapes.len());
+        self.shapes.push(Shape { id, polygon });
+        id
+    }
+
+    /// Number of shapes added so far.
+    pub fn shape_count(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Finishes the layout.
+    pub fn build(self) -> Layout {
+        Layout {
+            name: self.name,
+            shapes: self.shapes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: i64, b: i64, c: i64, d: i64) -> Rect {
+        Rect::new(Nm(a), Nm(b), Nm(c), Nm(d))
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = Layout::builder("t");
+        let id0 = b.add_rect(r(0, 0, 10, 10));
+        let id1 = b.add_contact(Nm(50), Nm(0), Nm(20));
+        assert_eq!(id0, ShapeId(0));
+        assert_eq!(id1, ShapeId(1));
+        assert_eq!(b.shape_count(), 2);
+        let layout = b.build();
+        assert_eq!(layout.shape(id1).polygon().bounding_box(), r(50, 0, 70, 20));
+        assert_eq!(layout.shape(id0).id(), id0);
+    }
+
+    #[test]
+    fn empty_layout() {
+        let layout = Layout::builder("empty").build();
+        assert!(layout.is_empty());
+        assert_eq!(layout.bounding_box(), None);
+        assert_eq!(layout.to_string(), "Layout(empty, 0 shapes)");
+    }
+
+    #[test]
+    fn bounding_box_covers_all_shapes() {
+        let mut b = Layout::builder("bb");
+        b.add_rect(r(0, 0, 10, 10));
+        b.add_rect(r(100, -50, 120, 0));
+        let layout = b.build();
+        assert_eq!(layout.bounding_box(), Some(r(0, -50, 120, 10)));
+    }
+
+    #[test]
+    fn iteration_and_display() {
+        let mut b = Layout::builder("iter");
+        b.add_rect(r(0, 0, 10, 10));
+        b.add_rect(r(20, 0, 30, 10));
+        let layout = b.build();
+        assert_eq!(layout.iter().count(), 2);
+        assert_eq!((&layout).into_iter().count(), 2);
+        assert_eq!(ShapeId(3).to_string(), "s3");
+        assert_eq!(ShapeId(3).index(), 3);
+    }
+}

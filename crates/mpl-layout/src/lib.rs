@@ -1,0 +1,41 @@
+//! Layout substrate for multiple-patterning layout decomposition.
+//!
+//! This crate models the *input* side of the decomposition problem:
+//!
+//! * [`Technology`] — the process parameters of the paper's experimental
+//!   setup (20 nm half pitch, 20 nm minimum width/spacing) and the derived
+//!   minimum coloring distances for quadruple (80 nm) and pentuple (110 nm)
+//!   patterning.
+//! * [`Layout`] and [`Shape`] — a named collection of rectilinear polygon
+//!   features on a single layer (Metal1/contact), which is all the
+//!   decomposition flow needs.
+//! * [`gen`] — deterministic synthetic layout generators, including the
+//!   ISCAS-85/89-style named benchmark suite used to stand in for the
+//!   original (unavailable) benchmark layouts, the Fig. 1 contact-clique
+//!   pattern and the Fig. 7 dense-line pattern.
+//! * [`io`] — a minimal text serialisation so layouts can be saved, diffed
+//!   and reloaded.
+//!
+//! # Example
+//!
+//! ```
+//! use mpl_layout::{gen::IscasCircuit, Technology};
+//!
+//! let tech = Technology::nm20();
+//! let layout = IscasCircuit::C432.generate(&tech);
+//! assert_eq!(layout.name(), "C432");
+//! assert!(layout.shape_count() > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod io;
+mod layout;
+mod stats;
+mod technology;
+
+pub use layout::{Layout, LayoutBuilder, Shape, ShapeId};
+pub use stats::LayoutStats;
+pub use technology::Technology;

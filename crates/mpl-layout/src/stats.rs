@@ -1,0 +1,83 @@
+//! Layout summary statistics.
+
+use crate::Layout;
+use mpl_geometry::Rect;
+use std::fmt;
+
+/// Summary statistics for a layout, used in benchmark reporting and for
+/// calibrating the synthetic generators against the paper's benchmark sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayoutStats {
+    /// Number of polygonal shapes (decomposition-graph vertices before
+    /// stitch insertion).
+    pub shape_count: usize,
+    /// Total number of component rectangles over all shapes.
+    pub rect_count: usize,
+    /// Sum of shape areas (upper bound), in nm².
+    pub total_area: i64,
+    /// Bounding box of the layout, if non-empty.
+    pub bounding_box: Option<Rect>,
+    /// Fraction of the bounding-box area covered by features (upper bound),
+    /// in `[0, 1]`; zero for an empty layout.
+    pub density: f64,
+}
+
+impl LayoutStats {
+    /// Computes statistics for `layout`.
+    pub fn compute(layout: &Layout) -> Self {
+        let shape_count = layout.shape_count();
+        let rect_count = layout.iter().map(|s| s.polygon().rect_count()).sum();
+        let total_area: i64 = layout.iter().map(|s| s.polygon().area_upper_bound()).sum();
+        let bounding_box = layout.bounding_box();
+        let density = match bounding_box {
+            Some(bb) if bb.area() > 0 => total_area as f64 / bb.area() as f64,
+            _ => 0.0,
+        };
+        LayoutStats {
+            shape_count,
+            rect_count,
+            total_area,
+            bounding_box,
+            density,
+        }
+    }
+}
+
+impl fmt::Display for LayoutStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shapes, {} rects, density {:.3}",
+            self.shape_count, self.rect_count, self.density
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_geometry::Nm;
+
+    #[test]
+    fn stats_of_empty_layout_are_zero() {
+        let stats = Layout::builder("e").build().stats();
+        assert_eq!(stats.shape_count, 0);
+        assert_eq!(stats.rect_count, 0);
+        assert_eq!(stats.total_area, 0);
+        assert_eq!(stats.bounding_box, None);
+        assert_eq!(stats.density, 0.0);
+    }
+
+    #[test]
+    fn stats_count_rects_and_area() {
+        let mut b = Layout::builder("s");
+        b.add_rect(Rect::new(Nm(0), Nm(0), Nm(10), Nm(10)));
+        b.add_rect(Rect::new(Nm(10), Nm(0), Nm(20), Nm(10)));
+        let stats = b.build().stats();
+        assert_eq!(stats.shape_count, 2);
+        assert_eq!(stats.rect_count, 2);
+        assert_eq!(stats.total_area, 200);
+        assert_eq!(stats.density, 1.0);
+        assert_eq!(stats.to_string(), "2 shapes, 2 rects, density 1.000");
+    }
+}

@@ -1,0 +1,161 @@
+//! Process technology parameters.
+
+use mpl_geometry::Nm;
+
+/// Process parameters governing conflict and stitch rules.
+///
+/// The paper's experiments scale the Metal1 layer to a 20 nm half pitch with
+/// minimum feature width `w_m = 20 nm` and minimum spacing `s_m = 20 nm`, and
+/// derive the minimum coloring distance `min_s` from the patterning order:
+///
+/// * quadruple patterning: `min_s = 2·s_m + 2·w_m = 80 nm`,
+/// * pentuple patterning: `min_s = 3·s_m + 2.5·w_m = 110 nm`.
+///
+/// The *color-friendly* band of Definition 2 extends from `min_s` to
+/// `min_s + half_pitch`.
+///
+/// # Example
+///
+/// ```
+/// use mpl_geometry::Nm;
+/// use mpl_layout::Technology;
+///
+/// let tech = Technology::nm20();
+/// assert_eq!(tech.coloring_distance(4), Nm(80));
+/// assert_eq!(tech.coloring_distance(5), Nm(110));
+/// assert_eq!(tech.color_friendly_distance(4), Nm(100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Technology {
+    half_pitch: Nm,
+    min_width: Nm,
+    min_spacing: Nm,
+}
+
+impl Technology {
+    /// The paper's experimental setup: 20 nm half pitch, 20 nm minimum
+    /// width, 20 nm minimum spacing.
+    pub fn nm20() -> Self {
+        Technology {
+            half_pitch: Nm(20),
+            min_width: Nm(20),
+            min_spacing: Nm(20),
+        }
+    }
+
+    /// Creates a technology from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is not strictly positive.
+    pub fn new(half_pitch: Nm, min_width: Nm, min_spacing: Nm) -> Self {
+        assert!(
+            half_pitch > Nm::ZERO && min_width > Nm::ZERO && min_spacing > Nm::ZERO,
+            "technology parameters must be positive"
+        );
+        Technology {
+            half_pitch,
+            min_width,
+            min_spacing,
+        }
+    }
+
+    /// The half pitch `hp`.
+    pub fn half_pitch(&self) -> Nm {
+        self.half_pitch
+    }
+
+    /// The minimum feature width `w_m`.
+    pub fn min_width(&self) -> Nm {
+        self.min_width
+    }
+
+    /// The minimum spacing `s_m`.
+    pub fn min_spacing(&self) -> Nm {
+        self.min_spacing
+    }
+
+    /// The wire/contact pitch `w_m + s_m`.
+    pub fn pitch(&self) -> Nm {
+        self.min_width + self.min_spacing
+    }
+
+    /// The minimum coloring distance `min_s` for `k`-patterning, following
+    /// the paper's experimental choices:
+    ///
+    /// * `k ≤ 3`: `2·s_m + w_m` (the classical double/triple patterning rule,
+    ///   shown in Fig. 7 to already create K5 structures),
+    /// * `k = 4`: `2·s_m + 2·w_m`,
+    /// * `k ≥ 5`: `3·s_m + 2.5·w_m` (expressed in integer nanometres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn coloring_distance(&self, k: usize) -> Nm {
+        assert!(k >= 2, "patterning requires at least two masks, got {k}");
+        let s = self.min_spacing;
+        let w = self.min_width;
+        match k {
+            2 | 3 => s * 2 + w,
+            4 => s * 2 + w * 2,
+            _ => s * 3 + Nm(w.value() * 5 / 2),
+        }
+    }
+
+    /// The outer radius of the color-friendly band for `k`-patterning:
+    /// `min_s + half_pitch` (Definition 2).
+    pub fn color_friendly_distance(&self, k: usize) -> Nm {
+        self.coloring_distance(k) + self.half_pitch
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::nm20()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_distances() {
+        let tech = Technology::nm20();
+        assert_eq!(tech.coloring_distance(3), Nm(60));
+        assert_eq!(tech.coloring_distance(4), Nm(80));
+        assert_eq!(tech.coloring_distance(5), Nm(110));
+        assert_eq!(tech.coloring_distance(6), Nm(110));
+        assert_eq!(tech.color_friendly_distance(4), Nm(100));
+        assert_eq!(tech.color_friendly_distance(5), Nm(130));
+    }
+
+    #[test]
+    fn accessors_and_pitch() {
+        let tech = Technology::nm20();
+        assert_eq!(tech.half_pitch(), Nm(20));
+        assert_eq!(tech.min_width(), Nm(20));
+        assert_eq!(tech.min_spacing(), Nm(20));
+        assert_eq!(tech.pitch(), Nm(40));
+        assert_eq!(Technology::default(), tech);
+    }
+
+    #[test]
+    fn custom_technology() {
+        let tech = Technology::new(Nm(16), Nm(16), Nm(18));
+        assert_eq!(tech.coloring_distance(4), Nm(68));
+        assert_eq!(tech.color_friendly_distance(4), Nm(84));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_parameters_are_rejected() {
+        let _ = Technology::new(Nm(0), Nm(20), Nm(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two masks")]
+    fn k_below_two_panics() {
+        let _ = Technology::nm20().coloring_distance(1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the layout substrate: text-IO round trips and
+//! generator invariants.
+
+use mpl_geometry::{Nm, Polygon, Rect};
+use mpl_layout::{gen, io, Layout, Technology};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-2000i64..2000, -2000i64..2000, 1i64..400, 1i64..400)
+        .prop_map(|(x, y, w, h)| Rect::new(Nm(x), Nm(y), Nm(x + w), Nm(y + h)))
+}
+
+fn arb_layout() -> impl Strategy<Value = Layout> {
+    prop::collection::vec(prop::collection::vec(arb_rect(), 1..4), 0..30).prop_map(|shapes| {
+        let mut builder = Layout::builder("prop-io");
+        for rects in shapes {
+            builder.add_polygon(Polygon::from_rects(rects).expect("non-empty"));
+        }
+        builder.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn text_io_round_trips_arbitrary_layouts(layout in arb_layout()) {
+        let text = io::to_text(&layout);
+        let parsed = io::from_text(&text).expect("serialised layouts always parse");
+        prop_assert_eq!(parsed, layout);
+    }
+
+    #[test]
+    fn row_generator_is_deterministic_and_respects_density_zero(
+        seed in 0u64..1000,
+        rows in 1usize..4,
+        cells in 2usize..10,
+    ) {
+        let tech = Technology::nm20();
+        let config = gen::RowLayoutConfig {
+            name: "prop-rows".into(),
+            rows,
+            cells_per_row: cells,
+            contact_density: 0.5,
+            wire_density: 0.5,
+            k5_clusters: 0,
+            dense_strips: 0,
+            strip_length: 6,
+            seed,
+        };
+        let a = gen::generate_row_layout(&config, &tech);
+        let b = gen::generate_row_layout(&config, &tech);
+        prop_assert_eq!(&a, &b);
+        // Every generated feature respects the minimum width.
+        for shape in a.iter() {
+            let bbox = shape.polygon().bounding_box();
+            prop_assert!(bbox.width() >= tech.min_width());
+            prop_assert!(bbox.height() >= tech.min_width());
+        }
+    }
+
+    #[test]
+    fn generated_features_respect_minimum_spacing(seed in 0u64..200) {
+        // DRC sanity for the synthetic benchmarks: no two distinct features
+        // are closer than the minimum spacing (they may touch only if they
+        // belong to the same shape, which the generator never produces).
+        let tech = Technology::nm20();
+        let config = gen::RowLayoutConfig {
+            name: "prop-drc".into(),
+            rows: 1,
+            cells_per_row: 8,
+            contact_density: 0.7,
+            wire_density: 0.7,
+            k5_clusters: 1,
+            dense_strips: 1,
+            strip_length: 5,
+            seed,
+        };
+        let layout = gen::generate_row_layout(&config, &tech);
+        for a in layout.iter() {
+            for b in layout.iter() {
+                if a.id() < b.id() {
+                    let d2 = a.polygon().distance_squared(b.polygon());
+                    prop_assert!(
+                        d2 >= tech.min_spacing().squared(),
+                        "shapes {} and {} are only {} nm² apart",
+                        a.id(), b.id(), d2
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_iscas_circuit_round_trips_through_text_io() {
+    let tech = Technology::nm20();
+    for circuit in [
+        gen::IscasCircuit::C432,
+        gen::IscasCircuit::S1488,
+        gen::IscasCircuit::C6288,
+    ] {
+        let layout = circuit.generate(&tech);
+        let parsed = io::from_text(&io::to_text(&layout)).expect("parse");
+        assert_eq!(parsed, layout);
+    }
+}

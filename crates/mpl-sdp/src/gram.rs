@@ -1,0 +1,152 @@
+//! Dense symmetric Gram matrices.
+
+use std::fmt;
+
+/// A dense symmetric matrix storing the pairwise inner products
+/// `x_ij = v_i · v_j` of the relaxation solution.
+///
+/// Only the lower triangle (including the diagonal) is stored.
+///
+/// # Example
+///
+/// ```
+/// use mpl_sdp::GramMatrix;
+///
+/// let mut gram = GramMatrix::identity(3);
+/// gram.set(0, 2, -0.33);
+/// assert_eq!(gram.value(2, 0), -0.33);
+/// assert_eq!(gram.value(1, 1), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GramMatrix {
+    n: usize,
+    // Row-major lower triangle: entry (i, j) with j <= i lives at
+    // i*(i+1)/2 + j.
+    data: Vec<f64>,
+}
+
+impl GramMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        GramMatrix {
+            n,
+            data: vec![0.0; n * (n + 1) / 2],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix (every vector has unit norm, all
+    /// pairs orthogonal).
+    pub fn identity(n: usize) -> Self {
+        let mut m = GramMatrix::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds the Gram matrix `V Vᵀ` of a set of row vectors.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n = rows.len();
+        let mut m = GramMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let dot = rows[i].iter().zip(rows[j].iter()).map(|(a, b)| a * b).sum();
+                m.set(i, j, dot);
+            }
+        }
+        m
+    }
+
+    /// The matrix dimension.
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        let (hi, lo) = if i >= j { (i, j) } else { (j, i) };
+        hi * (hi + 1) / 2 + lo
+    }
+
+    /// The entry `x_ij` (symmetric access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index ({i}, {j}) out of range");
+        self.data[self.index(i, j)]
+    }
+
+    /// Sets the entry `x_ij` (and by symmetry `x_ji`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.n && j < self.n, "index ({i}, {j}) out of range");
+        let idx = self.index(i, j);
+        self.data[idx] = value;
+    }
+}
+
+impl fmt::Display for GramMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "GramMatrix({}x{})", self.n, self.n)?;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                write!(f, "{:7.3}", self.value(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = GramMatrix::zeros(3);
+        assert_eq!(z.value(2, 1), 0.0);
+        let id = GramMatrix::identity(3);
+        assert_eq!(id.value(1, 1), 1.0);
+        assert_eq!(id.value(0, 1), 0.0);
+        assert_eq!(id.dimension(), 3);
+    }
+
+    #[test]
+    fn set_is_symmetric() {
+        let mut m = GramMatrix::zeros(4);
+        m.set(1, 3, 0.5);
+        assert_eq!(m.value(3, 1), 0.5);
+        m.set(3, 1, -0.25);
+        assert_eq!(m.value(1, 3), -0.25);
+    }
+
+    #[test]
+    fn from_rows_computes_inner_products() {
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.8]];
+        let gram = GramMatrix::from_rows(&rows);
+        assert!((gram.value(0, 0) - 1.0).abs() < 1e-12);
+        assert!((gram.value(0, 1)).abs() < 1e-12);
+        assert!((gram.value(2, 2) - 1.0).abs() < 1e-12);
+        assert!((gram.value(0, 2) - 0.6).abs() < 1e-12);
+        assert!((gram.value(1, 2) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_access_panics() {
+        let m = GramMatrix::zeros(2);
+        let _ = m.value(0, 2);
+    }
+
+    #[test]
+    fn display_contains_dimension() {
+        let m = GramMatrix::identity(2);
+        assert!(m.to_string().contains("GramMatrix(2x2)"));
+    }
+}

@@ -1,0 +1,209 @@
+//! The vector-program relaxation of K-patterning color assignment.
+
+use crate::solver::{solve_low_rank, SdpSolution, SolverOptions};
+
+/// The relaxed color-assignment problem of the paper's formulations (2) and
+/// (3):
+///
+/// ```text
+/// min   Σ_{(i,j) ∈ CE} v_i · v_j  −  α · Σ_{(i,j) ∈ SE} v_i · v_j
+/// s.t.  ‖v_i‖ = 1,                     v_i · v_j ≥ −1/(K−1)  ∀ (i,j) ∈ CE
+/// ```
+///
+/// Conflict edges push incident vectors apart (towards the simplex angle);
+/// stitch edges pull them together (a stitch is only paid when the two
+/// sub-shapes end up on different masks).
+///
+/// # Example
+///
+/// ```
+/// use mpl_sdp::{SdpRelaxation, SolverOptions};
+///
+/// let mut sdp = SdpRelaxation::new(2, 4);
+/// sdp.add_stitch(0, 1);
+/// let solution = sdp.solve(&SolverOptions::default());
+/// // Stitch-only pairs align: the relaxation keeps them on the same mask.
+/// assert!(solution.gram().value(0, 1) > 0.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SdpRelaxation {
+    vertex_count: usize,
+    k: usize,
+    alpha: f64,
+    conflict_edges: Vec<(usize, usize)>,
+    stitch_edges: Vec<(usize, usize)>,
+}
+
+impl SdpRelaxation {
+    /// Creates a relaxation over `vertex_count` vertices for `k`-patterning
+    /// with the paper's default stitch weight α = 0.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(vertex_count: usize, k: usize) -> Self {
+        assert!(k >= 2, "need at least two masks, got {k}");
+        SdpRelaxation {
+            vertex_count,
+            k,
+            alpha: 0.1,
+            conflict_edges: Vec::new(),
+            stitch_edges: Vec::new(),
+        }
+    }
+
+    /// Overrides the stitch weight α.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// The number of masks K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The stitch weight α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The conflict edges added so far.
+    pub fn conflict_edges(&self) -> &[(usize, usize)] {
+        &self.conflict_edges
+    }
+
+    /// The stitch edges added so far.
+    pub fn stitch_edges(&self) -> &[(usize, usize)] {
+        &self.stitch_edges
+    }
+
+    /// Adds a conflict edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `u == v`.
+    pub fn add_conflict(&mut self, u: usize, v: usize) {
+        self.check(u, v);
+        self.conflict_edges.push((u, v));
+    }
+
+    /// Adds a stitch edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `u == v`.
+    pub fn add_stitch(&mut self, u: usize, v: usize) {
+        self.check(u, v);
+        self.stitch_edges.push((u, v));
+    }
+
+    fn check(&self, u: usize, v: usize) {
+        assert!(u != v, "self-edge {u}-{v} is not allowed");
+        assert!(
+            u < self.vertex_count && v < self.vertex_count,
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.vertex_count
+        );
+    }
+
+    /// The relaxation objective `Σ_CE x_ij − α Σ_SE x_ij` for a given Gram
+    /// matrix.
+    pub fn objective(&self, gram: &crate::GramMatrix) -> f64 {
+        let conflict: f64 = self
+            .conflict_edges
+            .iter()
+            .map(|&(u, v)| gram.value(u, v))
+            .sum();
+        let stitch: f64 = self
+            .stitch_edges
+            .iter()
+            .map(|&(u, v)| gram.value(u, v))
+            .sum();
+        conflict - self.alpha * stitch
+    }
+
+    /// A lower bound on the relaxation objective: every conflict edge
+    /// contributes at least `−1/(K−1)` and every stitch edge at most `+1`.
+    pub fn objective_lower_bound(&self) -> f64 {
+        let ideal = crate::vectors::ideal_inner_product(self.k);
+        self.conflict_edges.len() as f64 * ideal - self.alpha * self.stitch_edges.len() as f64
+    }
+
+    /// Solves the relaxation and returns the Gram matrix of the optimised
+    /// vectors along with convergence diagnostics.
+    pub fn solve(&self, options: &SolverOptions) -> SdpSolution {
+        solve_low_rank(self, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GramMatrix;
+
+    #[test]
+    fn builder_collects_edges() {
+        let mut sdp = SdpRelaxation::new(4, 4).with_alpha(0.2);
+        sdp.add_conflict(0, 1);
+        sdp.add_conflict(1, 2);
+        sdp.add_stitch(2, 3);
+        assert_eq!(sdp.vertex_count(), 4);
+        assert_eq!(sdp.k(), 4);
+        assert_eq!(sdp.alpha(), 0.2);
+        assert_eq!(sdp.conflict_edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(sdp.stitch_edges(), &[(2, 3)]);
+    }
+
+    #[test]
+    fn objective_matches_hand_computation() {
+        let mut sdp = SdpRelaxation::new(3, 4);
+        sdp.add_conflict(0, 1);
+        sdp.add_stitch(1, 2);
+        let mut gram = GramMatrix::identity(3);
+        gram.set(0, 1, -0.3);
+        gram.set(1, 2, 0.8);
+        let expected = -0.3 - 0.1 * 0.8;
+        assert!((sdp.objective(&gram) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_is_consistent() {
+        let mut sdp = SdpRelaxation::new(3, 4);
+        sdp.add_conflict(0, 1);
+        sdp.add_conflict(1, 2);
+        sdp.add_stitch(0, 2);
+        let bound = sdp.objective_lower_bound();
+        assert!((bound - (2.0 * (-1.0 / 3.0) - 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut sdp = SdpRelaxation::new(2, 4);
+        sdp.add_conflict(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-edge")]
+    fn self_edge_panics() {
+        let mut sdp = SdpRelaxation::new(2, 4);
+        sdp.add_stitch(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two masks")]
+    fn k_one_panics() {
+        let _ = SdpRelaxation::new(2, 1);
+    }
+}

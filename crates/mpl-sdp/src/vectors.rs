@@ -1,0 +1,119 @@
+//! The ideal K-coloring unit vectors of the paper's Fig. 3.
+//!
+//! To encode K colors the paper assigns each color a unit vector such that
+//! the inner product of two distinct color vectors is exactly `−1/(K−1)` —
+//! the vertices of a regular simplex.  For K = 4 these are the four vectors
+//! shown in Fig. 3:
+//!
+//! ```text
+//! (0, 0, 1),  (0, 2√2/3, −1/3),  (√6/3, −√2/3, −1/3),  (−√6/3, −√2/3, −1/3)
+//! ```
+//!
+//! The functions here construct the simplex for arbitrary K (up to an
+//! orthogonal rotation of the paper's explicit coordinates), which is used
+//! by tests to validate the relaxation bound and by documentation examples.
+
+/// The ideal pairwise inner product `−1/(K−1)` of two distinct color vectors.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+///
+/// # Example
+///
+/// ```
+/// assert!((mpl_sdp::vectors::ideal_inner_product(4) + 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn ideal_inner_product(k: usize) -> f64 {
+    assert!(k >= 2, "need at least two colors, got {k}");
+    -1.0 / (k as f64 - 1.0)
+}
+
+/// Constructs `k` unit vectors (each of dimension `k`, spanning a `k−1`
+/// dimensional subspace) forming a regular simplex, so that every pair of
+/// distinct vectors has inner product `−1/(K−1)`.
+///
+/// The construction centres and normalises the standard basis: take
+/// `u_i = e_i − (1/k)·𝟙` and scale to unit norm.  For `k = 4` this
+/// reproduces the paper's Fig. 3 vectors up to rotation.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn simplex_vectors(k: usize) -> Vec<Vec<f64>> {
+    assert!(k >= 2, "need at least two colors, got {k}");
+    let kf = k as f64;
+    let norm = ((kf - 1.0) / kf).sqrt();
+    (0..k)
+        .map(|i| {
+            (0..k)
+                .map(|d| {
+                    let centred = if d == i { 1.0 - 1.0 / kf } else { -1.0 / kf };
+                    centred / norm
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn ideal_inner_products() {
+        assert_eq!(ideal_inner_product(2), -1.0);
+        assert!((ideal_inner_product(3) + 0.5).abs() < 1e-12);
+        assert!((ideal_inner_product(4) + 1.0 / 3.0).abs() < 1e-12);
+        assert!((ideal_inner_product(5) + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplex_vectors_are_unit_norm_with_ideal_angles() {
+        for k in 2..=8 {
+            let vs = simplex_vectors(k);
+            assert_eq!(vs.len(), k);
+            for (i, vi) in vs.iter().enumerate() {
+                assert!(
+                    (dot(vi, vi) - 1.0).abs() < 1e-9,
+                    "k={k}: vector {i} is not unit norm: {vi:?}"
+                );
+                for vj in vs.iter().skip(i + 1) {
+                    assert!(
+                        (dot(vi, vj) - ideal_inner_product(k)).abs() < 1e-9,
+                        "k={k}: pair ({i}, ..) has inner product {}",
+                        dot(vi, vj)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_inner_products_for_k4() {
+        // The paper's explicit K = 4 vectors: check they satisfy the same
+        // angle structure as our rotated construction.
+        let fig3 = [
+            [0.0, 0.0, 1.0],
+            [0.0, 2.0 * 2f64.sqrt() / 3.0, -1.0 / 3.0],
+            [6f64.sqrt() / 3.0, -2f64.sqrt() / 3.0, -1.0 / 3.0],
+            [-(6f64.sqrt()) / 3.0, -2f64.sqrt() / 3.0, -1.0 / 3.0],
+        ];
+        for (i, vi) in fig3.iter().enumerate() {
+            assert!((dot(vi, vi) - 1.0).abs() < 1e-9);
+            for vj in fig3.iter().skip(i + 1) {
+                assert!((dot(vi, vj) - ideal_inner_product(4)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two colors")]
+    fn k_one_panics() {
+        let _ = simplex_vectors(1);
+    }
+}

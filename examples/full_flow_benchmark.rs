@@ -1,0 +1,55 @@
+//! Full-flow walkthrough on one benchmark circuit: generate the synthetic
+//! layout, build the decomposition graph, report the graph-division
+//! statistics, run all four color-assignment engines and compare them —
+//! a single-circuit slice of the paper's Table 1.
+//!
+//! Run with: `cargo run --release --example full_flow_benchmark [CIRCUIT]`
+
+use mpl_core::{
+    ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionGraph, ResultRow, StitchConfig,
+    TableReport,
+};
+use mpl_layout::{gen::IscasCircuit, io, Technology};
+use std::time::Duration;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "C5315".to_string());
+    let circuit = IscasCircuit::ALL
+        .into_iter()
+        .find(|c| c.name().eq_ignore_ascii_case(&name))
+        .unwrap_or(IscasCircuit::C5315);
+    let tech = Technology::nm20();
+    let layout = circuit.generate(&tech);
+    let stats = layout.stats();
+    println!("circuit {}: {}", circuit.name(), stats);
+
+    // The layout can be serialised for inspection with external tools.
+    let text = io::to_text(&layout);
+    println!("layout text serialisation: {} bytes", text.len());
+
+    // Decomposition-graph statistics.
+    let graph = DecompositionGraph::build(&layout, &tech, 4, &StitchConfig::default());
+    let components = graph.independent_components();
+    let largest = components.iter().map(Vec::len).max().unwrap_or(0);
+    println!(
+        "decomposition graph: {} vertices, {} conflict edges, {} stitch edges, {} components (largest {})",
+        graph.vertex_count(),
+        graph.conflict_edges().len(),
+        graph.stitch_edges().len(),
+        components.len(),
+        largest
+    );
+
+    // One Table-1 row per engine.
+    let mut report = TableReport::new();
+    for algorithm in ColorAlgorithm::ALL {
+        let config = DecomposerConfig::quadruple(tech)
+            .with_algorithm(algorithm)
+            .with_ilp_time_limit(Duration::from_secs(10));
+        let result = Decomposer::new(config).decompose(&layout);
+        report.push(ResultRow::from_result(&result));
+    }
+    println!("\n{report}");
+}

@@ -1,0 +1,41 @@
+//! General K-patterning sweep (Section 5 of the paper): run the same
+//! decomposition flow with K = 3 … 8 masks on one benchmark circuit and
+//! watch the conflict count fall as masks are added.
+//!
+//! Run with: `cargo run --release --example kpatterning_sweep [CIRCUIT]`
+
+use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig};
+use mpl_layout::{gen::IscasCircuit, Technology};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "C6288".to_string());
+    let circuit = IscasCircuit::ALL
+        .into_iter()
+        .find(|c| c.name().eq_ignore_ascii_case(&name))
+        .unwrap_or(IscasCircuit::C6288);
+    let tech = Technology::nm20();
+    let layout = circuit.generate(&tech);
+    println!(
+        "circuit {} ({} shapes), linear color assignment, K = 3..8",
+        circuit.name(),
+        layout.shape_count()
+    );
+    println!(
+        "{:>3} {:>8} {:>10} {:>10} {:>12}",
+        "K", "min_s", "conflicts", "stitches", "CPU(s)"
+    );
+    for k in 3..=8usize {
+        let config = DecomposerConfig::k_patterning(k, tech).with_algorithm(ColorAlgorithm::Linear);
+        let result = Decomposer::new(config).decompose(&layout);
+        println!(
+            "{:>3} {:>8} {:>10} {:>10} {:>12.3}",
+            k,
+            tech.coloring_distance(k).to_string(),
+            result.conflicts(),
+            result.stitches(),
+            result.color_time().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! `qpl-decompose` — command-line front end to the decomposition flow.
+//!
+//! Decomposes a layout (either a text-format layout file or a named
+//! synthetic benchmark circuit) into K masks and reports conflicts,
+//! stitches, per-mask statistics and optional same-mask spacing
+//! verification.
+//!
+//! ```text
+//! Usage:
+//!   qpl-decompose --circuit C6288 [options]
+//!   qpl-decompose --layout path/to/layout.txt [options]
+//!
+//! Options:
+//!   --k <N>              number of masks (default 4)
+//!   --algorithm <NAME>   ilp | sdp-backtrack | sdp-greedy | linear (default sdp-backtrack)
+//!   --alpha <F>          stitch weight (default 0.1)
+//!   --no-stitches        disable stitch-candidate generation
+//!   --balance            rebalance mask densities after coloring
+//!   --verify             re-check same-mask spacing from scratch
+//!   --output <PATH>      write the mask assignment (one `shape segment mask` line per vertex)
+//! ```
+
+use mpl_core::{
+    extract_masks, rebalance_masks, verify_spacing, ColorAlgorithm, Decomposer, DecomposerConfig,
+    DecompositionGraph, StitchConfig, VertexId,
+};
+use mpl_layout::{gen::IscasCircuit, io, Layout, Technology};
+use std::process::ExitCode;
+
+struct Options {
+    layout: Layout,
+    k: usize,
+    algorithm: ColorAlgorithm,
+    alpha: f64,
+    stitches: bool,
+    balance: bool,
+    verify: bool,
+    output: Option<String>,
+}
+
+fn parse_algorithm(name: &str) -> Result<ColorAlgorithm, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "ilp" | "exact" => Ok(ColorAlgorithm::Ilp),
+        "sdp-backtrack" | "sdp_backtrack" | "backtrack" => Ok(ColorAlgorithm::SdpBacktrack),
+        "sdp-greedy" | "sdp_greedy" | "greedy" => Ok(ColorAlgorithm::SdpGreedy),
+        "linear" => Ok(ColorAlgorithm::Linear),
+        other => Err(format!("unknown algorithm {other:?}")),
+    }
+}
+
+fn parse_options(tech: &Technology) -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut layout: Option<Layout> = None;
+    let mut k = 4usize;
+    let mut algorithm = ColorAlgorithm::SdpBacktrack;
+    let mut alpha = 0.1f64;
+    let mut stitches = true;
+    let mut balance = false;
+    let mut verify = false;
+    let mut output = None;
+
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--circuit" => {
+                let name = value("--circuit")?;
+                let circuit = IscasCircuit::ALL
+                    .into_iter()
+                    .find(|c| c.name().eq_ignore_ascii_case(&name))
+                    .ok_or_else(|| format!("unknown circuit {name:?}"))?;
+                layout = Some(circuit.generate(tech));
+            }
+            "--layout" => {
+                let path = value("--layout")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                layout =
+                    Some(io::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))?);
+            }
+            "--k" => {
+                k = value("--k")?
+                    .parse()
+                    .map_err(|e| format!("invalid --k value: {e}"))?;
+            }
+            "--algorithm" => algorithm = parse_algorithm(&value("--algorithm")?)?,
+            "--alpha" => {
+                alpha = value("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("invalid --alpha value: {e}"))?;
+            }
+            "--no-stitches" => stitches = false,
+            "--balance" => balance = true,
+            "--verify" => verify = true,
+            "--output" => output = Some(value("--output")?),
+            "--help" | "-h" => {
+                return Err("usage: qpl-decompose --circuit <NAME> | --layout <FILE> \
+                            [--k N] [--algorithm ilp|sdp-backtrack|sdp-greedy|linear] \
+                            [--alpha F] [--no-stitches] [--balance] [--verify] [--output FILE]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let layout = layout.ok_or_else(|| "either --circuit or --layout is required".to_string())?;
+    if k < 2 {
+        return Err("--k must be at least 2".to_string());
+    }
+    Ok(Options {
+        layout,
+        k,
+        algorithm,
+        alpha,
+        stitches,
+        balance,
+        verify,
+        output,
+    })
+}
+
+fn main() -> ExitCode {
+    let tech = Technology::nm20();
+    let options = match parse_options(&tech) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = DecomposerConfig::k_patterning(options.k, tech)
+        .with_algorithm(options.algorithm)
+        .with_alpha(options.alpha);
+    if !options.stitches {
+        config.stitch = StitchConfig::disabled();
+    }
+    let decomposer = Decomposer::new(config.clone());
+    let result = decomposer.decompose(&options.layout);
+
+    println!(
+        "{}: {} shapes, K = {}, algorithm = {}",
+        result.layout_name(),
+        options.layout.shape_count(),
+        result.k(),
+        result.algorithm()
+    );
+    println!(
+        "graph: {} vertices, {} conflict edges, {} stitch candidates",
+        result.vertex_count(),
+        result.conflict_edge_count(),
+        result.stitch_edge_count()
+    );
+    println!(
+        "result: {} conflicts, {} stitches (cost {:.2}) in {:.3}s + {:.3}s",
+        result.conflicts(),
+        result.stitches(),
+        result.cost(),
+        result.graph_time().as_secs_f64(),
+        result.color_time().as_secs_f64()
+    );
+
+    let graph = DecompositionGraph::build(&options.layout, &tech, options.k, &config.stitch);
+    let mut colors = result.colors().to_vec();
+
+    if options.balance {
+        let report = rebalance_masks(&graph, &mut colors);
+        println!(
+            "balance: {} moves, imbalance {:.3} -> {:.3}",
+            report.moves, report.imbalance_before, report.imbalance_after
+        );
+    }
+
+    let masks = extract_masks(&graph, &colors);
+    for mask in &masks {
+        println!(
+            "  mask {}: {} features, {} nm² area",
+            mask.index,
+            mask.feature_count(),
+            mask.area
+        );
+    }
+
+    if options.verify {
+        let violations = verify_spacing(&graph, &colors, tech.coloring_distance(options.k));
+        println!(
+            "verification: {} same-mask spacing violations",
+            violations.len()
+        );
+        for violation in violations.iter().take(10) {
+            println!("  {violation}");
+        }
+        if violations.len() != result.conflicts() && !options.balance {
+            eprintln!(
+                "warning: verification count {} differs from reported conflicts {}",
+                violations.len(),
+                result.conflicts()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = options.output {
+        let mut text = String::new();
+        text.push_str(&format!("# masks {} {}\n", result.layout_name(), options.k));
+        for (vertex, &color) in colors.iter().enumerate() {
+            text.push_str(&format!(
+                "{} {} {}\n",
+                graph.shape_of(VertexId(vertex)).index(),
+                vertex,
+                color
+            ));
+        }
+        if let Err(error) = std::fs::write(&path, text) {
+            eprintln!("cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        println!("mask assignment written to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the quadruple-patterning layout decomposition
+//! reproduction.
+//!
+//! This crate re-exports the workspace members so that the runnable examples
+//! under `examples/` and the integration tests under `tests/` can exercise
+//! the full public API from a single dependency:
+//!
+//! * [`mpl_geometry`] — geometric primitives (nanometre units, rectangles,
+//!   polygons, spatial index).
+//! * [`mpl_layout`] — layout model, technology parameters, and the synthetic
+//!   ISCAS-style benchmark generators.
+//! * [`mpl_graph`] — graph algorithms (connectivity, biconnectivity, max
+//!   flow, Gomory–Hu trees).
+//! * [`mpl_sdp`] — the semidefinite-programming relaxation solver.
+//! * [`mpl_ilp`] — the 0-1 branch-and-bound / exact coloring solver.
+//! * [`mpl_core`] — the layout decomposition framework itself (decomposition
+//!   graph, graph division, color assignment, reporting).
+
+pub use mpl_core;
+pub use mpl_geometry;
+pub use mpl_graph;
+pub use mpl_ilp;
+pub use mpl_layout;
+pub use mpl_sdp;

@@ -1,0 +1,133 @@
+//! Constructive reproductions of the paper's figures.
+
+use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionGraph, StitchConfig};
+use mpl_layout::{gen, Technology};
+
+#[test]
+fn fig1_contact_clique_is_a_k4_in_the_decomposition_graph() {
+    // Fig. 1(a): the standard-cell contact pattern forms a 4-clique.
+    let tech = Technology::nm20();
+    let layout = gen::fig1_contact_clique(&tech);
+    let graph = DecompositionGraph::build(&layout, &tech, 3, &StitchConfig::default());
+    assert_eq!(graph.vertex_count(), 4);
+    assert_eq!(graph.conflict_edges().len(), 6);
+}
+
+#[test]
+fn fig1_resolved_by_four_masks_with_all_distinct_colors() {
+    // Fig. 1(b): with four masks every contact gets its own mask.
+    let tech = Technology::nm20();
+    let layout = gen::fig1_contact_clique(&tech);
+    let config = DecomposerConfig::quadruple(tech).with_algorithm(ColorAlgorithm::Ilp);
+    let result = Decomposer::new(config).decompose(&layout);
+    assert_eq!(result.conflicts(), 0);
+    let mut colors = result.colors().to_vec();
+    colors.sort_unstable();
+    colors.dedup();
+    assert_eq!(colors.len(), 4);
+}
+
+#[test]
+fn fig3_simplex_vectors_have_the_stated_inner_products() {
+    // Fig. 3: four unit vectors with pairwise inner product -1/3.
+    let vectors = mpl_sdp::vectors::simplex_vectors(4);
+    for (i, vi) in vectors.iter().enumerate() {
+        for vj in vectors.iter().skip(i + 1) {
+            let dot: f64 = vi.iter().zip(vj).map(|(a, b)| a * b).sum();
+            assert!((dot + 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn fig5_three_cut_rotation_reconnects_components_without_conflicts() {
+    // Fig. 5: two components joined by a 3-cut are colored independently and
+    // reconnected by rotating one of them.
+    use mpl_core::division::{ghtree_pieces, merge_with_rotation};
+    use mpl_core::ComponentProblem;
+
+    // Two internally 4-edge-connected components (K5s) joined by a 3-cut
+    // (a-d, b-e, c-f in the figure's notation).
+    let mut problem = ComponentProblem::new(10, 4, 0.1);
+    for base in [0, 5] {
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                problem.add_conflict(base + i, base + j);
+            }
+        }
+    }
+    problem.add_conflict(0, 5);
+    problem.add_conflict(1, 6);
+    problem.add_conflict(2, 7);
+    let vertices: Vec<usize> = (0..10).collect();
+    let mut pieces = ghtree_pieces(&problem, &vertices);
+    pieces.sort_by_key(|piece| piece[0]);
+    assert_eq!(pieces.len(), 2, "the 3-cut must split the graph for K = 4");
+
+    // Color both K5s with the same pattern (one unavoidable internal conflict
+    // each, and every cut edge monochromatic), then let the rotation fix the
+    // cut edges without touching the internal cost.
+    let mut colors: Vec<u8> = vec![0, 1, 2, 3, 0, 0, 1, 2, 3, 0];
+    let before = problem.evaluate(&colors);
+    assert_eq!(
+        before.0,
+        2 + 3,
+        "two internal conflicts plus the three cut edges"
+    );
+    merge_with_rotation(&problem, &pieces, &mut colors);
+    let (conflicts, _, _) = problem.evaluate(&colors);
+    assert_eq!(
+        conflicts, 2,
+        "rotation removes every cut-edge conflict and preserves the internal ones"
+    );
+}
+
+#[test]
+fn fig6_ghtree_divides_exactly_at_small_cuts() {
+    // Fig. 6: the GH-tree reports pairwise min-cuts; edges lighter than K
+    // are removed and the remaining groups are colored independently.
+    use mpl_graph::{GomoryHuTree, Graph};
+    let mut g = Graph::new(5);
+    // A K4 core {0,1,2,3} plus vertex 4 attached by three edges.
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            g.add_edge(i, j);
+        }
+    }
+    g.add_edge(4, 0);
+    g.add_edge(4, 1);
+    g.add_edge(4, 2);
+    let tree = GomoryHuTree::build(&g);
+    assert_eq!(tree.min_cut(4, 3), 3);
+    let groups = tree.components_after_removing(4);
+    assert!(groups.iter().any(|group| group == &vec![0, 1, 2]));
+}
+
+#[test]
+fn fig7_tpl_coloring_distance_already_couples_second_neighbours() {
+    // Fig. 7: under min_s = 2 s_m + w_m even regular line patterns stop
+    // being sparsely coupled; under the QPL distance second neighbours
+    // conflict outright, which is why planarity arguments do not apply.
+    let tech = Technology::nm20();
+    let layout = gen::dense_parallel_lines(&tech, 8, mpl_geometry::Nm(400));
+    let tpl = DecompositionGraph::build(&layout, &tech, 3, &StitchConfig::disabled());
+    let qpl = DecompositionGraph::build(&layout, &tech, 4, &StitchConfig::disabled());
+    // Triple patterning distance: only adjacent lines conflict (7 edges).
+    assert_eq!(tpl.conflict_edges().len(), 7);
+    // Quadruple patterning distance: adjacent and second neighbours (7 + 6).
+    assert_eq!(qpl.conflict_edges().len(), 13);
+}
+
+#[test]
+fn fig7_dense_contact_pattern_contains_a_k5_and_defeats_four_coloring() {
+    let tech = Technology::nm20();
+    let layout = gen::k5_cluster_layout(&tech);
+    let graph = DecompositionGraph::build(&layout, &tech, 4, &StitchConfig::default());
+    // K5: five vertices, ten conflict edges, so the graph is not planar and
+    // no four-coloring is conflict-free.
+    assert_eq!(graph.vertex_count(), 5);
+    assert_eq!(graph.conflict_edges().len(), 10);
+    let config = DecomposerConfig::quadruple(tech).with_algorithm(ColorAlgorithm::Ilp);
+    let result = Decomposer::new(config).decompose(&layout);
+    assert_eq!(result.conflicts(), 1);
+}

@@ -1,0 +1,88 @@
+//! Certifying decomposition quality with clique-cover lower bounds.
+//!
+//! A set of vertex-disjoint cliques in the conflict graph certifies a lower
+//! bound on the conflicts of *any* K-coloring.  These tests sandwich the
+//! engines between that bound and the exact optimum, which is the strongest
+//! statement that can be made without re-proving optimality by brute force.
+
+use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionGraph, StitchConfig};
+use mpl_graph::{conflict_lower_bound, Graph};
+use mpl_layout::{gen, gen::IscasCircuit, Technology};
+use std::time::Duration;
+
+fn conflict_graph(graph: &DecompositionGraph) -> Graph {
+    let mut g = Graph::new(graph.vertex_count());
+    for &(u, v) in graph.conflict_edges() {
+        g.add_edge(u, v);
+    }
+    g
+}
+
+fn config(k: usize, algorithm: ColorAlgorithm) -> DecomposerConfig {
+    DecomposerConfig::k_patterning(k, Technology::nm20())
+        .with_algorithm(algorithm)
+        .with_ilp_time_limit(Duration::from_secs(5))
+}
+
+#[test]
+fn k5_cluster_bound_is_tight() {
+    let tech = Technology::nm20();
+    let layout = gen::k5_cluster_layout(&tech);
+    let graph = DecompositionGraph::build(&layout, &tech, 4, &StitchConfig::default());
+    let bound = conflict_lower_bound(&conflict_graph(&graph), 4);
+    assert_eq!(bound, 1);
+    let result = Decomposer::new(config(4, ColorAlgorithm::Ilp)).decompose(&layout);
+    assert_eq!(result.conflicts(), bound);
+}
+
+#[test]
+fn dense_strip_results_respect_the_clique_bound() {
+    let tech = Technology::nm20();
+    for length in [6usize, 8, 10] {
+        let layout = gen::dense_strip_layout(&tech, length);
+        let graph = DecompositionGraph::build(&layout, &tech, 4, &StitchConfig::default());
+        let bound = conflict_lower_bound(&conflict_graph(&graph), 4);
+        let exact = Decomposer::new(config(4, ColorAlgorithm::Ilp)).decompose(&layout);
+        let linear = Decomposer::new(config(4, ColorAlgorithm::Linear)).decompose(&layout);
+        assert!(
+            exact.conflicts() >= bound,
+            "strip {length}: exact {} below the certified bound {bound}",
+            exact.conflicts()
+        );
+        assert!(linear.conflicts() >= exact.conflicts());
+        // The strip embeds at least one K5, so the bound is non-trivial.
+        assert!(
+            bound >= 1,
+            "strip {length} should certify at least one conflict"
+        );
+    }
+}
+
+#[test]
+fn benchmark_circuit_conflicts_are_bounded_below_by_the_clique_cover() {
+    let tech = Technology::nm20();
+    let layout = IscasCircuit::C432.generate(&tech);
+    let graph = DecompositionGraph::build(&layout, &tech, 4, &StitchConfig::default());
+    let bound = conflict_lower_bound(&conflict_graph(&graph), 4);
+    for algorithm in ColorAlgorithm::ALL {
+        let result = Decomposer::new(config(4, algorithm)).decompose(&layout);
+        assert!(
+            result.conflicts() >= bound,
+            "{algorithm} reported {} conflicts, below the certified bound {bound}",
+            result.conflicts()
+        );
+    }
+}
+
+#[test]
+fn bound_vanishes_when_enough_masks_are_available() {
+    let tech = Technology::nm20();
+    let layout = gen::k5_cluster_layout(&tech);
+    let graph = DecompositionGraph::build(&layout, &tech, 5, &StitchConfig::default());
+    // Under the pentuple-patterning distance the cluster is still a K5, but
+    // five masks suffice: the bound and the optimum both drop to zero.
+    let bound = conflict_lower_bound(&conflict_graph(&graph), 5);
+    assert_eq!(bound, 0);
+    let result = Decomposer::new(config(5, ColorAlgorithm::SdpBacktrack)).decompose(&layout);
+    assert_eq!(result.conflicts(), 0);
+}
