@@ -1,0 +1,66 @@
+//! Benchmarks arbitrary layout files (text format or GDSII) with the same
+//! row structure as the paper's tables.
+//!
+//! Usage: `cargo run -p mpl-bench --release --bin workload -- \
+//!     [--k N] [--layer L[:D] ...] FILE [FILE ...]`
+//!
+//! Each file is decomposed with every Table 1 algorithm; GDSII inputs can
+//! be restricted to specific layers with `--layer`.
+
+use mpl_bench::workload::{load_layout, run_layout_table};
+use mpl_bench::TABLE1_ALGORITHMS;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut k = 4usize;
+    let mut layer_specs: Vec<String> = Vec::new();
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--k" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(value)) if value >= 2 => k = value,
+                _ => {
+                    eprintln!("--k requires an integer value >= 2");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--layer" => match args.next() {
+                Some(spec) => layer_specs.push(spec),
+                None => {
+                    eprintln!("--layer requires a L[:D] value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: workload [--k N] [--layer L[:D] ...] FILE [FILE ...]");
+                return ExitCode::SUCCESS;
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: workload [--k N] [--layer L[:D] ...] FILE [FILE ...]");
+        return ExitCode::FAILURE;
+    }
+
+    let mut layouts = Vec::with_capacity(paths.len());
+    for path in &paths {
+        match load_layout(path, &layer_specs) {
+            Ok(layout) => {
+                eprintln!("{path}: {} shapes", layout.shape_count());
+                layouts.push(layout);
+            }
+            Err(error) => {
+                eprintln!("{error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("Workload table: K = {k} on {} layout(s)", layouts.len());
+    let report = run_layout_table(&layouts, &TABLE1_ALGORITHMS, k);
+    println!("\nWorkload table (K = {k})");
+    println!("{report}");
+    ExitCode::SUCCESS
+}

@@ -10,12 +10,16 @@
 //!   three scalable algorithms.
 //! * `ablation` — the effect of each graph-division technique and of the
 //!   linear engine's design choices (orderings, color-friendly rule).
+//! * `workload` — the same row structure over arbitrary layout files
+//!   (text format or GDSII), via [`workload::load_layout`].
 //!
 //! The Criterion benches under `benches/` time the same runs for
 //! regression tracking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod workload;
 
 use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig, ResultRow, TableReport};
 use mpl_layout::{gen::IscasCircuit, Layout, Technology};

@@ -1,0 +1,101 @@
+//! Workload ingestion: benchmark tables over real layout files.
+//!
+//! The original tables run on the synthetic ISCAS-style circuits; this
+//! module opens arbitrary layout files — the text format or GDSII — as
+//! additional table rows, so real routed benchmarks can be measured with
+//! the same harness. Format dispatch and error reporting live in
+//! [`mpl_gds::load_layout_file`]; this module only adds the `--layer`
+//! specification plumbing and the table loop.
+
+use mpl_core::{ColorAlgorithm, TableReport};
+use mpl_gds::{LayerMap, ReadOptions};
+use mpl_layout::Layout;
+
+pub use mpl_gds::LoadLayoutError as WorkloadError;
+
+/// Loads a layout file, dispatching on the detected format (text or GDSII).
+///
+/// `layer_specs` restricts GDSII imports to the given `L[:D]` pairs; it is
+/// ignored for text layouts, which are single-layer by construction.
+///
+/// # Errors
+///
+/// Returns a [`WorkloadError`] describing the failing path and cause.
+pub fn load_layout(path: &str, layer_specs: &[String]) -> Result<Layout, WorkloadError> {
+    let map = LayerMap::from_specs(layer_specs).map_err(|error| WorkloadError::Gds {
+        path: path.to_string(),
+        error,
+    })?;
+    mpl_gds::load_layout_file(path, &map, &ReadOptions::default())
+}
+
+/// Runs the table cells for a list of pre-loaded layouts.
+pub fn run_layout_table(
+    layouts: &[Layout],
+    algorithms: &[ColorAlgorithm],
+    k: usize,
+) -> TableReport {
+    let mut report = TableReport::new();
+    for layout in layouts {
+        for &algorithm in algorithms {
+            let row = crate::run_cell(layout, k, algorithm);
+            eprintln!(
+                "  {:<8} {:<14} cn#={:<4} st#={:<5} cpu={:.3}s",
+                row.circuit, row.algorithm, row.conflicts, row.stitches, row.cpu_seconds
+            );
+            report.push(row);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_layout::{gen, io, Technology};
+
+    fn temp_path(name: &str) -> String {
+        let mut path = std::env::temp_dir();
+        path.push(format!("mpl-bench-workload-{}-{name}", std::process::id()));
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn loads_text_and_gds_workloads_identically() {
+        let tech = Technology::nm20();
+        let layout = gen::fig1_contact_clique(&tech);
+
+        let text_path = temp_path("fig1.txt");
+        std::fs::write(&text_path, io::to_text(&layout)).expect("write text");
+        let from_text = load_layout(&text_path, &[]).expect("load text");
+
+        let gds_path = temp_path("fig1.gds");
+        mpl_gds::write_layout_file(&gds_path, &layout, 1, 0).expect("write gds");
+        let from_gds = load_layout(&gds_path, &[]).expect("load gds");
+
+        assert_eq!(from_text, layout);
+        assert_eq!(from_gds.shape_count(), layout.shape_count());
+
+        std::fs::remove_file(&text_path).ok();
+        std::fs::remove_file(&gds_path).ok();
+    }
+
+    #[test]
+    fn missing_files_error_with_the_path() {
+        let error = load_layout("/nonexistent/x.gds", &[]).unwrap_err();
+        assert!(error.to_string().contains("/nonexistent/x.gds"));
+    }
+
+    #[test]
+    fn gds_workloads_feed_the_table_harness() {
+        let tech = Technology::nm20();
+        let layout = gen::fig1_contact_clique(&tech);
+        let gds_path = temp_path("table.gds");
+        mpl_gds::write_layout_file(&gds_path, &layout, 1, 0).expect("write gds");
+        let loaded = load_layout(&gds_path, &[]).expect("load");
+        let report = run_layout_table(&[loaded], &[ColorAlgorithm::Linear], 4);
+        assert_eq!(report.rows().len(), 1);
+        assert_eq!(report.rows()[0].conflicts, 0);
+        std::fs::remove_file(&gds_path).ok();
+    }
+}

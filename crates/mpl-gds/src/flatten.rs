@@ -1,0 +1,466 @@
+//! Structure flattening: expands SREF/AREF hierarchies into flat geometry.
+//!
+//! Real layouts are deeply hierarchical; the decomposition flow wants a flat
+//! bag of polygons. [`flatten`] walks the reference tree from a top
+//! structure, applying reference transforms (translation, reflection about
+//! x, and rotations in 90° multiples — the transforms that keep rectilinear
+//! geometry rectilinear) and converting every boundary, box and path into
+//! rectangle lists in database units.
+
+use crate::model::{GdsElement, GdsLibrary, GdsStrans, GdsStruct};
+use crate::poly::{loop_to_rects, path_to_rects, DbRect};
+use crate::GdsError;
+
+/// One flattened feature: a rectangle union on a layer:datatype pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatShape {
+    /// GDS layer number.
+    pub layer: i16,
+    /// GDS datatype number (boxtype for `BOX` elements).
+    pub datatype: i16,
+    /// Disjoint-or-touching rectangles in database units.
+    pub rects: Vec<DbRect>,
+}
+
+/// Maximum reference depth before declaring the hierarchy recursive.
+const MAX_DEPTH: usize = 64;
+
+/// An affine placement restricted to Manhattan transforms.
+#[derive(Debug, Clone, Copy)]
+struct Placement {
+    /// Translation in database units.
+    dx: i64,
+    dy: i64,
+    /// Number of 90° counter-clockwise rotations (0..4).
+    rot: u8,
+    /// Reflect about the x axis (applied before rotation, GDS order).
+    reflect: bool,
+}
+
+impl Placement {
+    const IDENTITY: Placement = Placement {
+        dx: 0,
+        dy: 0,
+        rot: 0,
+        reflect: false,
+    };
+
+    fn apply(&self, (x, y): (i64, i64)) -> (i64, i64) {
+        let (x, y) = if self.reflect { (x, -y) } else { (x, y) };
+        let (x, y) = match self.rot {
+            0 => (x, y),
+            1 => (-y, x),
+            2 => (-x, -y),
+            _ => (y, -x),
+        };
+        (x + self.dx, y + self.dy)
+    }
+
+    /// Composes `self` (outer) with a child reference placement.
+    fn then(&self, child: &Placement) -> Placement {
+        let (dx, dy) = self.apply((child.dx, child.dy));
+        let child_rot = if self.reflect {
+            // Reflection conjugates the rotation direction.
+            (4 - child.rot) % 4
+        } else {
+            child.rot
+        };
+        Placement {
+            dx,
+            dy,
+            rot: (self.rot + child_rot) % 4,
+            reflect: self.reflect ^ child.reflect,
+        }
+    }
+}
+
+/// Converts a reference transform into a Manhattan placement.
+fn placement_of(name: &str, strans: &GdsStrans, origin: (i64, i64)) -> Result<Placement, GdsError> {
+    let angle = strans.angle.rem_euclid(360.0);
+    let quarter = angle / 90.0;
+    let rot = quarter.round();
+    if (quarter - rot).abs() > 1e-9 || (strans.mag - 1.0).abs() > 1e-9 {
+        return Err(GdsError::UnsupportedTransform {
+            name: name.to_string(),
+            angle: strans.angle,
+            mag: strans.mag,
+        });
+    }
+    Ok(Placement {
+        dx: origin.0,
+        dy: origin.1,
+        rot: (rot as u8) % 4,
+        reflect: strans.reflect,
+    })
+}
+
+/// Flattens the library from `top` (or the inferred top structure) into
+/// rectangle-union shapes in database units.
+///
+/// # Errors
+///
+/// Propagates [`GdsError::UndefinedStruct`], [`GdsError::RecursiveStruct`],
+/// [`GdsError::UnsupportedTransform`] and [`GdsError::NonRectilinear`].
+pub fn flatten(library: &GdsLibrary, top: Option<&str>) -> Result<Vec<FlatShape>, GdsError> {
+    let top = library.top_struct(top)?;
+    let mut shapes = Vec::new();
+    walk(library, top, Placement::IDENTITY, 0, &mut shapes)?;
+    Ok(shapes)
+}
+
+fn walk(
+    library: &GdsLibrary,
+    current: &GdsStruct,
+    placement: Placement,
+    depth: usize,
+    shapes: &mut Vec<FlatShape>,
+) -> Result<(), GdsError> {
+    if depth > MAX_DEPTH {
+        return Err(GdsError::RecursiveStruct {
+            name: current.name.clone(),
+        });
+    }
+    for (index, element) in current.elements.iter().enumerate() {
+        match element {
+            GdsElement::Boundary {
+                layer,
+                datatype,
+                xy,
+            } => {
+                let points = transform_points(xy, &placement);
+                let rects = loop_to_rects(&points).ok_or_else(|| GdsError::NonRectilinear {
+                    structure: current.name.clone(),
+                    element: index,
+                })?;
+                shapes.push(FlatShape {
+                    layer: *layer,
+                    datatype: *datatype,
+                    rects,
+                });
+            }
+            GdsElement::Box { layer, boxtype, xy } => {
+                let points = transform_points(xy, &placement);
+                let rects = loop_to_rects(&points).ok_or_else(|| GdsError::NonRectilinear {
+                    structure: current.name.clone(),
+                    element: index,
+                })?;
+                shapes.push(FlatShape {
+                    layer: *layer,
+                    datatype: *boxtype,
+                    rects,
+                });
+            }
+            GdsElement::Path {
+                layer,
+                datatype,
+                pathtype,
+                width,
+                xy,
+            } => {
+                let points = transform_points(xy, &placement);
+                let rects = path_to_rects(&points, i64::from(width.unsigned_abs()), *pathtype)
+                    .ok_or_else(|| GdsError::NonRectilinear {
+                        structure: current.name.clone(),
+                        element: index,
+                    })?;
+                shapes.push(FlatShape {
+                    layer: *layer,
+                    datatype: *datatype,
+                    rects,
+                });
+            }
+            GdsElement::Sref {
+                name,
+                strans,
+                origin,
+            } => {
+                let target = library
+                    .find_struct(name)
+                    .ok_or_else(|| GdsError::UndefinedStruct { name: name.clone() })?;
+                let child = placement_of(name, strans, (i64::from(origin.0), i64::from(origin.1)))?;
+                walk(library, target, placement.then(&child), depth + 1, shapes)?;
+            }
+            GdsElement::Aref {
+                name,
+                strans,
+                cols,
+                rows,
+                xy,
+            } => {
+                let target = library
+                    .find_struct(name)
+                    .ok_or_else(|| GdsError::UndefinedStruct { name: name.clone() })?;
+                let cols = i64::from((*cols).max(1));
+                let rows = i64::from((*rows).max(1));
+                let origin = (i64::from(xy[0].0), i64::from(xy[0].1));
+                // Per the spec, xy[1] is origin displaced by cols inter-column
+                // spacings and xy[2] by rows inter-row spacings. Divide with
+                // rounding: a tool that rounds the lattice endpoint must not
+                // shift every instance by a truncated step.
+                let col_step = (
+                    div_round(i64::from(xy[1].0) - origin.0, cols),
+                    div_round(i64::from(xy[1].1) - origin.1, cols),
+                );
+                let row_step = (
+                    div_round(i64::from(xy[2].0) - origin.0, rows),
+                    div_round(i64::from(xy[2].1) - origin.1, rows),
+                );
+                for row in 0..rows {
+                    for col in 0..cols {
+                        let instance_origin = (
+                            origin.0 + col * col_step.0 + row * row_step.0,
+                            origin.1 + col * col_step.1 + row * row_step.1,
+                        );
+                        let child = placement_of(name, strans, instance_origin)?;
+                        walk(library, target, placement.then(&child), depth + 1, shapes)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Signed division rounding to the nearest integer (ties away from zero).
+fn div_round(numerator: i64, denominator: i64) -> i64 {
+    let half = denominator.abs() / 2;
+    if numerator >= 0 {
+        (numerator + half) / denominator
+    } else {
+        (numerator - half) / denominator
+    }
+}
+
+fn transform_points(points: &[(i32, i32)], placement: &Placement) -> Vec<(i64, i64)> {
+    points
+        .iter()
+        .map(|&(x, y)| placement.apply((i64::from(x), i64::from(y))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GdsElement, GdsLibrary, GdsStrans, GdsStruct};
+
+    fn unit_square(layer: i16) -> GdsElement {
+        GdsElement::Boundary {
+            layer,
+            datatype: 0,
+            xy: vec![(0, 0), (10, 0), (10, 10), (0, 10), (0, 0)],
+        }
+    }
+
+    fn library_with(structs: Vec<GdsStruct>) -> GdsLibrary {
+        let mut library = GdsLibrary::new("T");
+        library.structs = structs;
+        library
+    }
+
+    #[test]
+    fn sref_translates_geometry() {
+        let library = library_with(vec![
+            GdsStruct {
+                name: "LEAF".into(),
+                elements: vec![unit_square(1)],
+            },
+            GdsStruct {
+                name: "TOP".into(),
+                elements: vec![GdsElement::Sref {
+                    name: "LEAF".into(),
+                    strans: GdsStrans::default(),
+                    origin: (100, 200),
+                }],
+            },
+        ]);
+        let shapes = flatten(&library, None).expect("flatten");
+        assert_eq!(shapes.len(), 1);
+        assert_eq!(shapes[0].rects, vec![(100, 200, 110, 210)]);
+    }
+
+    #[test]
+    fn top_structure_is_inferred_as_the_unreferenced_one() {
+        let library = library_with(vec![
+            GdsStruct {
+                name: "LEAF".into(),
+                elements: vec![unit_square(1)],
+            },
+            GdsStruct {
+                name: "TOP".into(),
+                elements: vec![GdsElement::Sref {
+                    name: "LEAF".into(),
+                    strans: GdsStrans::default(),
+                    origin: (0, 0),
+                }],
+            },
+        ]);
+        assert_eq!(library.top_struct(None).unwrap().name, "TOP");
+    }
+
+    #[test]
+    fn rotation_by_90_degrees_is_applied() {
+        let library = library_with(vec![
+            GdsStruct {
+                name: "LEAF".into(),
+                elements: vec![GdsElement::Boundary {
+                    layer: 1,
+                    datatype: 0,
+                    xy: vec![(0, 0), (30, 0), (30, 10), (0, 10), (0, 0)],
+                }],
+            },
+            GdsStruct {
+                name: "TOP".into(),
+                elements: vec![GdsElement::Sref {
+                    name: "LEAF".into(),
+                    strans: GdsStrans {
+                        reflect: false,
+                        mag: 1.0,
+                        angle: 90.0,
+                    },
+                    origin: (0, 0),
+                }],
+            },
+        ]);
+        let shapes = flatten(&library, None).expect("flatten");
+        // (x, y) -> (-y, x): the 30x10 bar becomes a 10x30 bar at x in [-10, 0].
+        assert_eq!(shapes[0].rects, vec![(-10, 0, 0, 30)]);
+    }
+
+    #[test]
+    fn aref_expands_the_full_grid() {
+        let library = library_with(vec![
+            GdsStruct {
+                name: "LEAF".into(),
+                elements: vec![unit_square(3)],
+            },
+            GdsStruct {
+                name: "TOP".into(),
+                elements: vec![GdsElement::Aref {
+                    name: "LEAF".into(),
+                    strans: GdsStrans::default(),
+                    cols: 3,
+                    rows: 2,
+                    // Origin (0,0); columns 40 apart; rows 50 apart.
+                    xy: [(0, 0), (120, 0), (0, 100)],
+                }],
+            },
+        ]);
+        let shapes = flatten(&library, None).expect("flatten");
+        assert_eq!(shapes.len(), 6);
+        assert!(shapes.iter().any(|s| s.rects == vec![(80, 50, 90, 60)]));
+    }
+
+    #[test]
+    fn aref_steps_round_instead_of_truncating() {
+        let library = library_with(vec![
+            GdsStruct {
+                name: "LEAF".into(),
+                elements: vec![unit_square(1)],
+            },
+            GdsStruct {
+                name: "TOP".into(),
+                elements: vec![GdsElement::Aref {
+                    name: "LEAF".into(),
+                    strans: GdsStrans::default(),
+                    cols: 4,
+                    rows: 1,
+                    // Column reference point at 110: spacing 27.5 rounds to
+                    // 28, not a truncated 27 that would shift every column.
+                    xy: [(0, 0), (110, 0), (0, 40)],
+                }],
+            },
+        ]);
+        let shapes = flatten(&library, None).expect("flatten");
+        let mut xs: Vec<i64> = shapes.iter().map(|s| s.rects[0].0).collect();
+        xs.sort_unstable();
+        assert_eq!(xs, vec![0, 28, 56, 84]);
+    }
+
+    #[test]
+    fn non_manhattan_transforms_are_rejected() {
+        let library = library_with(vec![
+            GdsStruct {
+                name: "LEAF".into(),
+                elements: vec![unit_square(1)],
+            },
+            GdsStruct {
+                name: "TOP".into(),
+                elements: vec![GdsElement::Sref {
+                    name: "LEAF".into(),
+                    strans: GdsStrans {
+                        reflect: false,
+                        mag: 1.0,
+                        angle: 45.0,
+                    },
+                    origin: (0, 0),
+                }],
+            },
+        ]);
+        assert!(matches!(
+            flatten(&library, None),
+            Err(GdsError::UnsupportedTransform { .. })
+        ));
+    }
+
+    #[test]
+    fn undefined_references_are_reported() {
+        let library = library_with(vec![GdsStruct {
+            name: "TOP".into(),
+            elements: vec![GdsElement::Sref {
+                name: "GHOST".into(),
+                strans: GdsStrans::default(),
+                origin: (0, 0),
+            }],
+        }]);
+        assert_eq!(
+            flatten(&library, None),
+            Err(GdsError::UndefinedStruct {
+                name: "GHOST".into()
+            })
+        );
+    }
+
+    #[test]
+    fn recursive_hierarchies_are_reported() {
+        let library = library_with(vec![GdsStruct {
+            name: "A".into(),
+            elements: vec![GdsElement::Sref {
+                name: "A".into(),
+                strans: GdsStrans::default(),
+                origin: (1, 1),
+            }],
+        }]);
+        assert!(matches!(
+            flatten(&library, None),
+            Err(GdsError::RecursiveStruct { .. })
+        ));
+    }
+
+    #[test]
+    fn reflection_flips_about_the_x_axis() {
+        let library = library_with(vec![
+            GdsStruct {
+                name: "LEAF".into(),
+                elements: vec![GdsElement::Boundary {
+                    layer: 1,
+                    datatype: 0,
+                    xy: vec![(0, 0), (10, 0), (10, 30), (0, 30), (0, 0)],
+                }],
+            },
+            GdsStruct {
+                name: "TOP".into(),
+                elements: vec![GdsElement::Sref {
+                    name: "LEAF".into(),
+                    strans: GdsStrans {
+                        reflect: true,
+                        mag: 1.0,
+                        angle: 0.0,
+                    },
+                    origin: (0, 0),
+                }],
+            },
+        ]);
+        let shapes = flatten(&library, None).expect("flatten");
+        assert_eq!(shapes[0].rects, vec![(0, -30, 10, 0)]);
+    }
+}

@@ -1,0 +1,114 @@
+//! GDSII I/O for multiple-patterning layout decomposition.
+//!
+//! GDSII is the universal binary interchange format for mask layouts; every
+//! production decomposer ingests it. This crate opens real layouts as
+//! decomposition workloads and exports decomposition results as *colored*
+//! GDS that loads directly in a layout viewer:
+//!
+//! * [`record`] — the stream layer: a zero-copy record lexer
+//!   ([`record::RecordReader`]), typed payload decoders (big-endian i16/i32,
+//!   8-byte excess-64 reals, ASCII) and a length/padding-correct emitter.
+//! * [`GdsLibrary`] / [`GdsStruct`] / [`GdsElement`] — the object model,
+//!   with [`GdsLibrary::from_bytes`] / [`GdsLibrary::to_bytes`] and file
+//!   helpers [`GdsLibrary::load`] / [`GdsLibrary::save`].
+//! * [`flatten`] — reference expansion: SREF/AREF hierarchies are walked
+//!   with Manhattan transforms (translation, x-reflection, 90° rotations)
+//!   and every boundary, box and path becomes a rectangle union, the
+//!   polygon model the decomposition flow works on.
+//! * [`LayerMap`] + [`layout_from_library`] — select which `layer:datatype`
+//!   pairs become [`mpl_layout::Layout`] shapes; touching polygons merge
+//!   back into connected features by default.
+//! * [`library_from_layout`] / [`library_from_masks`] — write layouts, and
+//!   colored decompositions with one layer per mask (`base_layer + k`).
+//! * [`GdsError`] — every failure is typed and carries the byte offset of
+//!   the offending record where applicable.
+//!
+//! # Example
+//!
+//! ```
+//! use mpl_geometry::{Nm, Rect};
+//! use mpl_gds::{layout_from_library, library_from_layout, LayerMap, ReadOptions};
+//! use mpl_layout::Layout;
+//!
+//! let mut builder = Layout::builder("demo");
+//! builder.add_rect(Rect::new(Nm(0), Nm(0), Nm(20), Nm(20)));
+//! let layout = builder.build();
+//!
+//! // Layout -> GDS bytes -> Layout.
+//! let library = library_from_layout(&layout, 17, 0)?;
+//! let bytes = library.to_bytes()?;
+//! let parsed = mpl_gds::GdsLibrary::from_bytes(&bytes)?;
+//! let round_tripped = layout_from_library(&parsed, &LayerMap::all(), &ReadOptions::default())?;
+//! assert_eq!(round_tripped, layout);
+//! # Ok::<(), mpl_gds::GdsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod convert;
+mod error;
+mod flatten;
+mod load;
+mod model;
+mod poly;
+pub mod record;
+mod write;
+
+pub use convert::{
+    layout_from_library, library_from_layout, library_from_masks, LayerMap, ReadOptions,
+};
+pub use error::GdsError;
+pub use flatten::{flatten, FlatShape};
+pub use load::{load_layout_file, LoadLayoutError};
+pub use model::{GdsElement, GdsLibrary, GdsStrans, GdsStruct};
+pub use poly::{loop_to_rects, path_to_rects, DbRect};
+pub use record::{decode_real8, encode_real8};
+
+use mpl_layout::Layout;
+
+/// Reads a GDSII file straight into a [`Layout`].
+///
+/// Convenience wrapper: [`GdsLibrary::load`] followed by
+/// [`layout_from_library`].
+///
+/// # Errors
+///
+/// Any I/O, parse, flattening or conversion error, as a [`GdsError`].
+pub fn read_layout_file(
+    path: &str,
+    map: &LayerMap,
+    options: &ReadOptions,
+) -> Result<Layout, GdsError> {
+    let library = GdsLibrary::load(path)?;
+    layout_from_library(&library, map, options)
+}
+
+/// Writes a [`Layout`] to a GDSII file on `layer:datatype`.
+///
+/// # Errors
+///
+/// Any conversion or I/O error, as a [`GdsError`].
+pub fn write_layout_file(
+    path: &str,
+    layout: &Layout,
+    layer: i16,
+    datatype: i16,
+) -> Result<(), GdsError> {
+    library_from_layout(layout, layer, datatype)?.save(path)
+}
+
+/// Writes a colored decomposition to a GDSII file, one layer per mask
+/// (`base_layer + k`).
+///
+/// # Errors
+///
+/// Any conversion or I/O error, as a [`GdsError`].
+pub fn write_colored_file(
+    path: &str,
+    name: &str,
+    masks: &[Vec<mpl_geometry::Polygon>],
+    base_layer: i16,
+) -> Result<(), GdsError> {
+    library_from_masks(name, masks, base_layer)?.save(path)
+}

@@ -1,0 +1,263 @@
+//! GDSII serialisation: turns a [`GdsLibrary`] back into a record stream.
+//!
+//! The emitter produces deterministic output (fixed timestamps) so written
+//! files are byte-for-byte reproducible and diff-friendly in tests.
+
+use crate::model::{GdsElement, GdsLibrary, GdsStrans};
+use crate::record::{
+    emit_ascii, emit_f64s, emit_i16s, emit_i32s, emit_record, RecordType, DATA_BITS, DATA_NONE,
+};
+use crate::GdsError;
+
+/// Fixed timestamp written into `BGNLIB`/`BGNSTR` (year, month, day, hour,
+/// minute, second — twice, for modification and access). Deterministic
+/// output matters more to this workspace than real wall-clock stamps.
+const TIMESTAMP: [i16; 12] = [2026, 1, 1, 0, 0, 0, 2026, 1, 1, 0, 0, 0];
+
+impl GdsLibrary {
+    /// Serialises the library to GDSII bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdsError::RecordTooLong`] when a name or vertex list does
+    /// not fit the 16-bit GDSII record length.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, GdsError> {
+        let mut out = Vec::new();
+        emit_i16s(&mut out, RecordType::Header, &[600])?;
+        emit_i16s(&mut out, RecordType::BgnLib, &TIMESTAMP)?;
+        emit_ascii(&mut out, RecordType::LibName, &self.name)?;
+        emit_f64s(
+            &mut out,
+            RecordType::Units,
+            &[self.user_unit, self.meter_unit],
+        )?;
+        for st in &self.structs {
+            emit_i16s(&mut out, RecordType::BgnStr, &TIMESTAMP)?;
+            emit_ascii(&mut out, RecordType::StrName, &st.name)?;
+            for element in &st.elements {
+                emit_element(&mut out, element)?;
+            }
+            emit_record(&mut out, RecordType::EndStr, DATA_NONE, &[])?;
+        }
+        emit_record(&mut out, RecordType::EndLib, DATA_NONE, &[])?;
+        Ok(out)
+    }
+
+    /// Writes the library to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdsError::Io`] when the file cannot be written, or any
+    /// serialisation error from [`GdsLibrary::to_bytes`].
+    pub fn save(&self, path: &str) -> Result<(), GdsError> {
+        std::fs::write(path, self.to_bytes()?).map_err(|error| GdsError::Io {
+            path: path.to_string(),
+            message: error.to_string(),
+        })
+    }
+
+    /// Reads and parses a library from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdsError::Io`] when the file cannot be read, or any parse
+    /// error from [`GdsLibrary::from_bytes`].
+    pub fn load(path: &str) -> Result<GdsLibrary, GdsError> {
+        let bytes = std::fs::read(path).map_err(|error| GdsError::Io {
+            path: path.to_string(),
+            message: error.to_string(),
+        })?;
+        GdsLibrary::from_bytes(&bytes)
+    }
+}
+
+fn emit_strans(out: &mut Vec<u8>, strans: &GdsStrans) -> Result<(), GdsError> {
+    let default = GdsStrans::default();
+    if *strans == default {
+        return Ok(());
+    }
+    let bits: i16 = if strans.reflect { -0x8000 } else { 0 };
+    emit_record(out, RecordType::Strans, DATA_BITS, &bits.to_be_bytes())?;
+    if strans.mag != 1.0 {
+        emit_f64s(out, RecordType::Mag, &[strans.mag])?;
+    }
+    if strans.angle != 0.0 {
+        emit_f64s(out, RecordType::Angle, &[strans.angle])?;
+    }
+    Ok(())
+}
+
+fn emit_xy(out: &mut Vec<u8>, points: &[(i32, i32)]) -> Result<(), GdsError> {
+    let mut flat = Vec::with_capacity(points.len() * 2);
+    for &(x, y) in points {
+        flat.push(x);
+        flat.push(y);
+    }
+    emit_i32s(out, RecordType::Xy, &flat)
+}
+
+fn emit_element(out: &mut Vec<u8>, element: &GdsElement) -> Result<(), GdsError> {
+    match element {
+        GdsElement::Boundary {
+            layer,
+            datatype,
+            xy,
+        } => {
+            emit_record(out, RecordType::Boundary, DATA_NONE, &[])?;
+            emit_i16s(out, RecordType::Layer, &[*layer])?;
+            emit_i16s(out, RecordType::Datatype, &[*datatype])?;
+            emit_xy(out, xy)?;
+        }
+        GdsElement::Box { layer, boxtype, xy } => {
+            emit_record(out, RecordType::Box, DATA_NONE, &[])?;
+            emit_i16s(out, RecordType::Layer, &[*layer])?;
+            emit_i16s(out, RecordType::BoxType, &[*boxtype])?;
+            emit_xy(out, xy)?;
+        }
+        GdsElement::Path {
+            layer,
+            datatype,
+            pathtype,
+            width,
+            xy,
+        } => {
+            emit_record(out, RecordType::Path, DATA_NONE, &[])?;
+            emit_i16s(out, RecordType::Layer, &[*layer])?;
+            emit_i16s(out, RecordType::Datatype, &[*datatype])?;
+            if *pathtype != 0 {
+                emit_i16s(out, RecordType::PathType, &[*pathtype])?;
+            }
+            if *width != 0 {
+                emit_i32s(out, RecordType::Width, &[*width])?;
+            }
+            emit_xy(out, xy)?;
+        }
+        GdsElement::Sref {
+            name,
+            strans,
+            origin,
+        } => {
+            emit_record(out, RecordType::Sref, DATA_NONE, &[])?;
+            emit_ascii(out, RecordType::Sname, name)?;
+            emit_strans(out, strans)?;
+            emit_xy(out, &[*origin])?;
+        }
+        GdsElement::Aref {
+            name,
+            strans,
+            cols,
+            rows,
+            xy,
+        } => {
+            emit_record(out, RecordType::Aref, DATA_NONE, &[])?;
+            emit_ascii(out, RecordType::Sname, name)?;
+            emit_strans(out, strans)?;
+            emit_i16s(out, RecordType::ColRow, &[*cols, *rows])?;
+            emit_xy(out, xy.as_slice())?;
+        }
+    }
+    emit_record(out, RecordType::EndEl, DATA_NONE, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GdsStruct;
+
+    fn sample_library() -> GdsLibrary {
+        let mut library = GdsLibrary::new("RT");
+        library.structs.push(GdsStruct {
+            name: "TOP".into(),
+            elements: vec![
+                GdsElement::Boundary {
+                    layer: 5,
+                    datatype: 2,
+                    xy: vec![(0, 0), (40, 0), (40, 20), (0, 20), (0, 0)],
+                },
+                GdsElement::Path {
+                    layer: 5,
+                    datatype: 0,
+                    pathtype: 2,
+                    width: 8,
+                    xy: vec![(100, 0), (200, 0), (200, 80)],
+                },
+                GdsElement::Sref {
+                    name: "CELL".into(),
+                    strans: GdsStrans {
+                        reflect: true,
+                        mag: 1.0,
+                        angle: 270.0,
+                    },
+                    origin: (-30, 60),
+                },
+                GdsElement::Aref {
+                    name: "CELL".into(),
+                    strans: GdsStrans::default(),
+                    cols: 4,
+                    rows: 2,
+                    xy: [(0, 0), (400, 0), (0, 100)],
+                },
+            ],
+        });
+        library.structs.push(GdsStruct {
+            name: "CELL".into(),
+            elements: vec![GdsElement::Box {
+                layer: 6,
+                boxtype: 1,
+                xy: vec![(0, 0), (10, 0), (10, 10), (0, 10), (0, 0)],
+            }],
+        });
+        library
+    }
+
+    #[test]
+    fn library_round_trips_through_bytes() {
+        let library = sample_library();
+        let bytes = library.to_bytes().unwrap();
+        let parsed = GdsLibrary::from_bytes(&bytes).expect("parse");
+        assert_eq!(parsed, library);
+    }
+
+    #[test]
+    fn oversized_records_are_typed_errors_not_panics() {
+        // A boundary with more vertices than one XY record can carry (the
+        // payload limit is 65531 bytes, i.e. 8191 x/y pairs).
+        let mut library = GdsLibrary::new("BIG");
+        library.structs.push(GdsStruct {
+            name: "TOP".into(),
+            elements: vec![GdsElement::Boundary {
+                layer: 1,
+                datatype: 0,
+                xy: (0..9000).map(|i| (i, 0)).collect(),
+            }],
+        });
+        assert!(matches!(
+            library.to_bytes(),
+            Err(GdsError::RecordTooLong { record: "XY", .. })
+        ));
+    }
+
+    #[test]
+    fn serialisation_is_deterministic() {
+        let library = sample_library();
+        assert_eq!(library.to_bytes().unwrap(), library.to_bytes().unwrap());
+    }
+
+    #[test]
+    fn records_are_even_sized_and_stream_starts_with_header() {
+        let bytes = sample_library().to_bytes().unwrap();
+        assert_eq!(&bytes[..4], &[0x00, 0x06, 0x00, 0x02]);
+        assert_eq!(bytes.len() % 2, 0);
+        // Odd-length names must be NUL-padded: library "RT" is even, but a
+        // 3-character structure name exercises the padding path.
+        let mut library = GdsLibrary::new("ODD");
+        library.structs.push(GdsStruct {
+            name: "TOP".into(),
+            elements: vec![],
+        });
+        let bytes = library.to_bytes().unwrap();
+        let parsed = GdsLibrary::from_bytes(&bytes).expect("parse");
+        assert_eq!(parsed.name, "ODD");
+        assert_eq!(parsed.structs[0].name, "TOP");
+    }
+}

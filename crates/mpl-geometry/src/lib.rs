@@ -40,6 +40,7 @@ mod point;
 mod polygon;
 mod rect;
 mod spatial;
+mod union;
 
 pub use coord::Nm;
 pub use interval::Interval;
@@ -47,3 +48,4 @@ pub use point::Point;
 pub use polygon::{EmptyPolygonError, Polygon};
 pub use rect::Rect;
 pub use spatial::GridIndex;
+pub use union::union_rects;

@@ -136,6 +136,14 @@ impl Polygon {
         self.distance_squared(other) == 0
     }
 
+    /// The canonical disjoint decomposition of this polygon's region (see
+    /// [`crate::union_rects`]): identical for any fragmentation of the same
+    /// covered point set, which makes polygons comparable across I/O round
+    /// trips that re-slice geometry.
+    pub fn canonical_rects(&self) -> Vec<Rect> {
+        crate::union_rects(&self.rects)
+    }
+
     /// Translates the whole polygon by `(dx, dy)`.
     pub fn translated(&self, dx: Nm, dy: Nm) -> Polygon {
         Polygon {

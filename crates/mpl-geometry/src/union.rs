@@ -1,0 +1,136 @@
+//! Canonical rectangle unions.
+//!
+//! Polygons in this workspace are stored as rectangle lists that may touch
+//! or overlap, and different pipelines fragment the same region differently
+//! (e.g. a GDSII round trip re-slices polygons into horizontal slabs). This
+//! module computes a *canonical* disjoint decomposition of a rectangle
+//! union, so two representations of the same region can be compared — and
+//! redundant overlap can be squeezed out — independently of how they were
+//! fragmented.
+
+use crate::{Nm, Rect};
+
+/// Computes the canonical disjoint decomposition of a rectangle union.
+///
+/// The result covers exactly the union of `rects`, contains no overlapping
+/// or zero-area rectangles, and depends only on the covered point set (not
+/// on the input fragmentation). Rectangles are produced in slab order
+/// (bottom to top, left to right) with vertically adjacent same-span
+/// rectangles merged.
+pub fn union_rects(rects: &[Rect]) -> Vec<Rect> {
+    let mut nonempty: Vec<&Rect> = rects
+        .iter()
+        .filter(|r| r.xlo() < r.xhi() && r.ylo() < r.yhi())
+        .collect();
+    let mut ys: Vec<i64> = Vec::with_capacity(nonempty.len() * 2);
+    for rect in &nonempty {
+        ys.push(rect.ylo().value());
+        ys.push(rect.yhi().value());
+    }
+    ys.sort_unstable();
+    ys.dedup();
+    // Sweep from the bottom: rectangles enter the active set when their
+    // bottom edge is reached and are retired once their top edge passes,
+    // so each slab only inspects rectangles that actually span it.
+    nonempty.sort_unstable_by_key(|r| r.ylo().value());
+    let mut next_entering = 0usize;
+    let mut active: Vec<&Rect> = Vec::new();
+
+    let mut result: Vec<Rect> = Vec::new();
+    // Indices into `result` of rectangles whose top edge is the previous
+    // slab boundary: the only candidates for vertical extension. Searching
+    // just these keeps the merge linear in the slab width instead of
+    // quadratic in the total output.
+    let mut previous_slab: Vec<usize> = Vec::new();
+    for slab in ys.windows(2) {
+        let (ylo, yhi) = (slab[0], slab[1]);
+        while next_entering < nonempty.len() && nonempty[next_entering].ylo().value() <= ylo {
+            active.push(nonempty[next_entering]);
+            next_entering += 1;
+        }
+        active.retain(|r| r.yhi().value() >= yhi);
+        // X intervals of every input rectangle spanning this slab.
+        let mut intervals: Vec<(i64, i64)> = active
+            .iter()
+            .map(|r| (r.xlo().value(), r.xhi().value()))
+            .collect();
+        intervals.sort_unstable();
+        let mut merged: Vec<(i64, i64)> = Vec::with_capacity(intervals.len());
+        for (lo, hi) in intervals {
+            match merged.last_mut() {
+                Some((_, last_hi)) if lo <= *last_hi => *last_hi = (*last_hi).max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        let mut current_slab: Vec<usize> = Vec::with_capacity(merged.len());
+        for (xlo, xhi) in merged {
+            // Extend the rectangle from the previous slab when the x span
+            // matches exactly and the slabs are contiguous.
+            let extendable = previous_slab.iter().copied().find(|&i| {
+                result[i].xlo().value() == xlo
+                    && result[i].xhi().value() == xhi
+                    && result[i].yhi().value() == ylo
+            });
+            match extendable {
+                Some(i) => {
+                    result[i] = Rect::new(result[i].xlo(), result[i].ylo(), Nm(xhi), Nm(yhi));
+                    current_slab.push(i);
+                }
+                None => {
+                    current_slab.push(result.len());
+                    result.push(Rect::new(Nm(xlo), Nm(ylo), Nm(xhi), Nm(yhi)));
+                }
+            }
+        }
+        previous_slab = current_slab;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: i64, b: i64, c: i64, d: i64) -> Rect {
+        Rect::new(Nm(a), Nm(b), Nm(c), Nm(d))
+    }
+
+    #[test]
+    fn single_rect_is_its_own_canonical_form() {
+        assert_eq!(union_rects(&[r(0, 0, 10, 20)]), vec![r(0, 0, 10, 20)]);
+    }
+
+    #[test]
+    fn overlapping_rects_are_deduplicated() {
+        let canonical = union_rects(&[r(0, 0, 10, 10), r(0, 0, 10, 10), r(5, 0, 15, 10)]);
+        assert_eq!(canonical, vec![r(0, 0, 15, 10)]);
+    }
+
+    #[test]
+    fn fragmentation_does_not_change_the_canonical_form() {
+        // The same L-shape, fragmented two different ways.
+        let a = union_rects(&[r(0, 0, 100, 20), r(0, 0, 20, 100)]);
+        let b = union_rects(&[r(0, 0, 100, 20), r(0, 20, 20, 100)]);
+        assert_eq!(a, b);
+        let area: i64 = a.iter().map(Rect::area).sum();
+        assert_eq!(area, 100 * 20 + 20 * 80);
+    }
+
+    #[test]
+    fn disjoint_rects_stay_disjoint() {
+        let canonical = union_rects(&[r(0, 0, 10, 10), r(50, 0, 60, 10)]);
+        assert_eq!(canonical, vec![r(0, 0, 10, 10), r(50, 0, 60, 10)]);
+    }
+
+    #[test]
+    fn zero_area_rects_are_dropped() {
+        assert!(union_rects(&[r(5, 5, 5, 50)]).is_empty());
+        assert!(union_rects(&[]).is_empty());
+    }
+
+    #[test]
+    fn vertical_merge_restores_tall_rects() {
+        let canonical = union_rects(&[r(0, 0, 10, 10), r(0, 10, 10, 30), r(0, 30, 10, 35)]);
+        assert_eq!(canonical, vec![r(0, 0, 10, 35)]);
+    }
+}

@@ -18,6 +18,47 @@ use crate::{Layout, LayoutBuilder};
 use mpl_geometry::{Nm, Polygon, Rect};
 use std::fmt;
 
+/// The on-disk layout formats the workspace understands.
+///
+/// This crate only implements the text format; GDSII parsing lives in the
+/// `mpl-gds` crate (which depends on this one). [`LayoutFormat::detect`] is
+/// the shared dispatch point: front ends sniff the format here and route to
+/// the right reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutFormat {
+    /// The line-oriented text format of [`to_text`] / [`from_text`].
+    Text,
+    /// GDSII binary stream format (handled by the `mpl-gds` crate).
+    Gds,
+}
+
+impl LayoutFormat {
+    /// Detects the format of a layout file from its path and leading bytes.
+    ///
+    /// A `.gds` / `.gds2` / `.gdsii` extension, or a leading GDSII
+    /// `HEADER` record (`00 06 00 02`), selects [`LayoutFormat::Gds`];
+    /// everything else is treated as text.
+    pub fn detect(path: &str, bytes: &[u8]) -> LayoutFormat {
+        let lower = path.to_ascii_lowercase();
+        if [".gds", ".gds2", ".gdsii"]
+            .iter()
+            .any(|ext| lower.ends_with(ext))
+        {
+            return LayoutFormat::Gds;
+        }
+        // HEADER record: length 6, record type 0x00, data type 0x02.
+        if bytes.len() >= 4
+            && bytes[0] == 0x00
+            && bytes[1] == 0x06
+            && bytes[2] == 0x00
+            && bytes[3] == 0x02
+        {
+            return LayoutFormat::Gds;
+        }
+        LayoutFormat::Text
+    }
+}
+
 /// Error produced when parsing a layout from text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseLayoutError {
@@ -232,6 +273,22 @@ mod tests {
             err,
             ParseLayoutError::BadShapeIndex { found: 2, .. }
         ));
+    }
+
+    #[test]
+    fn format_detection_uses_extension_and_magic() {
+        assert_eq!(LayoutFormat::detect("x.gds", b""), LayoutFormat::Gds);
+        assert_eq!(LayoutFormat::detect("X.GDS2", b""), LayoutFormat::Gds);
+        assert_eq!(LayoutFormat::detect("x.gdsii", b""), LayoutFormat::Gds);
+        assert_eq!(
+            LayoutFormat::detect("mystery.bin", &[0x00, 0x06, 0x00, 0x02, 0x02, 0x58]),
+            LayoutFormat::Gds
+        );
+        assert_eq!(
+            LayoutFormat::detect("layout.txt", b"# layout x\n"),
+            LayoutFormat::Text
+        );
+        assert_eq!(LayoutFormat::detect("layout", b""), LayoutFormat::Text);
     }
 
     #[test]

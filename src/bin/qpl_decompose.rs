@@ -1,14 +1,16 @@
 //! `qpl-decompose` — command-line front end to the decomposition flow.
 //!
-//! Decomposes a layout (either a text-format layout file or a named
+//! Decomposes a layout (a text-format layout file, a GDSII file, or a named
 //! synthetic benchmark circuit) into K masks and reports conflicts,
 //! stitches, per-mask statistics and optional same-mask spacing
-//! verification.
+//! verification. Results can be exported as a *colored* GDSII file with one
+//! layer per mask, ready to open in a layout viewer.
 //!
 //! ```text
 //! Usage:
 //!   qpl-decompose --circuit C6288 [options]
 //!   qpl-decompose --layout path/to/layout.txt [options]
+//!   qpl-decompose --gds path/to/layout.gds [--layer L[:D] ...] [options]
 //!
 //! Options:
 //!   --k <N>              number of masks (default 4)
@@ -18,14 +20,23 @@
 //!   --balance            rebalance mask densities after coloring
 //!   --verify             re-check same-mask spacing from scratch
 //!   --output <PATH>      write the mask assignment (one `shape segment mask` line per vertex)
+//!   --gds <PATH>         read a GDSII layout (also auto-detected from --layout)
+//!   --layer <L[:D]>      import only this GDS layer (repeatable; default: all layers)
+//!   --top <NAME>         flatten from this GDS structure (default: the unique top)
+//!   --output-gds <PATH>  write the colored decomposition: mask k on GDS layer 100+k
 //! ```
 
 use mpl_core::{
     extract_masks, rebalance_masks, verify_spacing, ColorAlgorithm, Decomposer, DecomposerConfig,
     DecompositionGraph, StitchConfig, VertexId,
 };
-use mpl_layout::{gen::IscasCircuit, io, Layout, Technology};
+use mpl_gds::{LayerMap, ReadOptions};
+use mpl_layout::{gen::IscasCircuit, io::LayoutFormat, Layout, Technology};
 use std::process::ExitCode;
+
+/// GDS layer holding mask 0 in `--output-gds` files (mask k lands on
+/// `COLORED_BASE_LAYER + k`).
+const COLORED_BASE_LAYER: i16 = 100;
 
 struct Options {
     layout: Layout,
@@ -36,6 +47,7 @@ struct Options {
     balance: bool,
     verify: bool,
     output: Option<String>,
+    output_gds: Option<String>,
 }
 
 fn parse_algorithm(name: &str) -> Result<ColorAlgorithm, String> {
@@ -48,9 +60,57 @@ fn parse_algorithm(name: &str) -> Result<ColorAlgorithm, String> {
     }
 }
 
+/// Reads a layout file through the shared format-dispatching loader
+/// ([`mpl_gds::load_layout_file`]). `--layer` on a text input is an error,
+/// not a silent no-op, and `force_gds` (the `--gds` flag) rejects inputs
+/// that are not GDSII.
+fn read_layout(path: &str, options: &GdsInputOptions, force_gds: bool) -> Result<Layout, String> {
+    let layer_specs = options.layer_specs.as_slice();
+    let map = LayerMap::from_specs(layer_specs).map_err(|e| e.to_string())?;
+    if force_gds || !layer_specs.is_empty() || options.top.is_some() {
+        // Sniff only the 4-byte HEADER, not the whole file.
+        use std::io::Read;
+        let mut head = [0u8; 4];
+        let mut file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut filled = 0usize;
+        // A single read() may legally return short; loop until the 4-byte
+        // header is filled or EOF.
+        while filled < head.len() {
+            match file.read(&mut head[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("cannot read {path}: {e}")),
+            }
+        }
+        if LayoutFormat::detect(path, &head[..filled]) != LayoutFormat::Gds {
+            return Err(if force_gds {
+                format!("{path} is not a GDSII stream (missing HEADER record)")
+            } else {
+                format!("--layer/--top only apply to GDSII inputs, but {path} is a text layout")
+            });
+        }
+    }
+    let read_options = ReadOptions {
+        top: options.top.clone(),
+        ..ReadOptions::default()
+    };
+    mpl_gds::load_layout_file(path, &map, &read_options).map_err(|e| e.to_string())
+}
+
+/// GDS-specific input selection collected from the command line.
+#[derive(Default)]
+struct GdsInputOptions {
+    layer_specs: Vec<String>,
+    top: Option<String>,
+}
+
 fn parse_options(tech: &Technology) -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
-    let mut layout: Option<Layout> = None;
+    let mut layout_path: Option<String> = None;
+    let mut gds_path: Option<String> = None;
+    let mut circuit: Option<IscasCircuit> = None;
+    let mut gds_input = GdsInputOptions::default();
     let mut k = 4usize;
     let mut algorithm = ColorAlgorithm::SdpBacktrack;
     let mut alpha = 0.1f64;
@@ -58,6 +118,7 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
     let mut balance = false;
     let mut verify = false;
     let mut output = None;
+    let mut output_gds = None;
 
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -67,19 +128,17 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
         match flag.as_str() {
             "--circuit" => {
                 let name = value("--circuit")?;
-                let circuit = IscasCircuit::ALL
-                    .into_iter()
-                    .find(|c| c.name().eq_ignore_ascii_case(&name))
-                    .ok_or_else(|| format!("unknown circuit {name:?}"))?;
-                layout = Some(circuit.generate(tech));
+                circuit = Some(
+                    IscasCircuit::ALL
+                        .into_iter()
+                        .find(|c| c.name().eq_ignore_ascii_case(&name))
+                        .ok_or_else(|| format!("unknown circuit {name:?}"))?,
+                );
             }
-            "--layout" => {
-                let path = value("--layout")?;
-                let text = std::fs::read_to_string(&path)
-                    .map_err(|e| format!("cannot read {path}: {e}"))?;
-                layout =
-                    Some(io::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))?);
-            }
+            "--layout" => layout_path = Some(value("--layout")?),
+            "--gds" => gds_path = Some(value("--gds")?),
+            "--layer" => gds_input.layer_specs.push(value("--layer")?),
+            "--top" => gds_input.top = Some(value("--top")?),
             "--k" => {
                 k = value("--k")?
                     .parse()
@@ -95,16 +154,40 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
             "--balance" => balance = true,
             "--verify" => verify = true,
             "--output" => output = Some(value("--output")?),
+            "--output-gds" => output_gds = Some(value("--output-gds")?),
             "--help" | "-h" => {
-                return Err("usage: qpl-decompose --circuit <NAME> | --layout <FILE> \
-                            [--k N] [--algorithm ilp|sdp-backtrack|sdp-greedy|linear] \
-                            [--alpha F] [--no-stitches] [--balance] [--verify] [--output FILE]"
-                    .to_string())
+                return Err(
+                    "usage: qpl-decompose --circuit <NAME> | --layout <FILE> | --gds <FILE> \
+                            [--layer L[:D] ...] [--top NAME] [--k N] \
+                            [--algorithm ilp|sdp-backtrack|sdp-greedy|linear] \
+                            [--alpha F] [--no-stitches] [--balance] [--verify] \
+                            [--output FILE] [--output-gds FILE]"
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    let layout = layout.ok_or_else(|| "either --circuit or --layout is required".to_string())?;
+    let layout = match (circuit, layout_path, gds_path) {
+        (Some(circuit), None, None) => {
+            if !gds_input.layer_specs.is_empty() || gds_input.top.is_some() {
+                return Err(
+                    "--layer/--top only apply to GDSII inputs (--gds or a GDS --layout)"
+                        .to_string(),
+                );
+            }
+            circuit.generate(tech)
+        }
+        (None, Some(path), None) => read_layout(&path, &gds_input, false)?,
+        (None, None, Some(path)) => read_layout(&path, &gds_input, true)?,
+        (None, None, None) => {
+            return Err("one of --circuit, --layout or --gds is required".to_string())
+        }
+        _ => return Err("--circuit, --layout and --gds are mutually exclusive".to_string()),
+    };
+    if layout.is_empty() {
+        return Err("the input layout contains no shapes".to_string());
+    }
     if k < 2 {
         return Err("--k must be at least 2".to_string());
     }
@@ -117,6 +200,7 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
         balance,
         verify,
         output,
+        output_gds,
     })
 }
 
@@ -217,6 +301,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("mask assignment written to {path}");
+    }
+
+    if let Some(path) = options.output_gds {
+        let mut per_mask = vec![Vec::new(); options.k];
+        for mask in &masks {
+            for &vertex in &mask.vertices {
+                per_mask[mask.index].push(graph.polygon(vertex).clone());
+            }
+        }
+        if let Err(error) =
+            mpl_gds::write_colored_file(&path, result.layout_name(), &per_mask, COLORED_BASE_LAYER)
+        {
+            eprintln!("cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "colored GDS written to {path} (mask k on layer {}+k)",
+            COLORED_BASE_LAYER
+        );
     }
     ExitCode::SUCCESS
 }

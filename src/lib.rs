@@ -9,6 +9,8 @@
 //!   polygons, spatial index).
 //! * [`mpl_layout`] — layout model, technology parameters, and the synthetic
 //!   ISCAS-style benchmark generators.
+//! * [`mpl_gds`] — GDSII I/O: opens real mask layouts as workloads and
+//!   exports colored decompositions (one layer per mask).
 //! * [`mpl_graph`] — graph algorithms (connectivity, biconnectivity, max
 //!   flow, Gomory–Hu trees).
 //! * [`mpl_sdp`] — the semidefinite-programming relaxation solver.
@@ -17,6 +19,7 @@
 //!   graph, graph division, color assignment, reporting).
 
 pub use mpl_core;
+pub use mpl_gds;
 pub use mpl_geometry;
 pub use mpl_graph;
 pub use mpl_ilp;

@@ -1,0 +1,146 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand) crate (0.8 API).
+//!
+//! The workspace must build without network access, so this vendored crate
+//! implements the subset of the rand API used here: [`rngs::SmallRng`],
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] /
+//! [`Rng::gen_bool`] over integer and float ranges.
+//!
+//! The generator is splitmix64: deterministic, fast, and statistically fine
+//! for synthetic-layout generation and solver initialisation, but **not**
+//! cryptographically secure.
+
+#![forbid(unsafe_code)]
+
+/// Types that can seed an RNG, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core random-value interface, mirroring the parts of `rand::Rng` in use.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value within a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `probability` (must be in `[0, 1]`).
+    fn gen_bool(&mut self, probability: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "gen_bool probability {probability} outside [0, 1]"
+        );
+        uniform_f64(self.next_u64()) < probability
+    }
+}
+
+fn uniform_f64(raw: u64) -> f64 {
+    (raw >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Ranges that [`Rng::gen_range`] can sample, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let offset = (rng.next_u64() % span) as i128;
+                (self.start as i128 + offset) as $ty
+            }
+        }
+
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as i128 - start as i128 + 1) as u64;
+                let offset = (rng.next_u64() % span) as i128;
+                (start as i128 + offset) as $ty
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + uniform_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+/// Concrete RNG implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Small, fast, deterministic generator (splitmix64 underneath).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3i64..9);
+            assert!((-3..9).contains(&v));
+            let w = rng.gen_range(2usize..=5);
+            assert!((2..=5).contains(&w));
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+}
