@@ -45,7 +45,9 @@ fn main() {
         let layout = circuit_layout(circuit);
         for (label, division) in divisions {
             let config = table_config(4, ColorAlgorithm::SdpBacktrack).with_division(division);
-            let result = Decomposer::new(config).decompose(&layout);
+            let result = Decomposer::new(config)
+                .decompose(&layout)
+                .expect("valid config");
             println!(
                 "{:<10} {:<34} {:>6} {:>6} {:>10.3}",
                 circuit.name(),
@@ -68,7 +70,9 @@ fn main() {
             ("Linear (full)", ColorAlgorithm::Linear),
             ("SDP+Greedy (reference)", ColorAlgorithm::SdpGreedy),
         ] {
-            let result = Decomposer::new(table_config(4, algorithm)).decompose(&layout);
+            let result = Decomposer::new(table_config(4, algorithm))
+                .decompose(&layout)
+                .expect("valid config");
             println!(
                 "{:<10} {:<34} {:>6} {:>6} {:>10.3}",
                 circuit.name(),

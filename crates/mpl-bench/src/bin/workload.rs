@@ -2,26 +2,39 @@
 //! row structure as the paper's tables.
 //!
 //! Usage: `cargo run -p mpl-bench --release --bin workload -- \
-//!     [--k N] [--layer L[:D] ...] FILE [FILE ...]`
+//!     [--k N] [--threads N] [--layer L[:D] ...] FILE [FILE ...]`
 //!
 //! Each file is decomposed with every Table 1 algorithm; GDSII inputs can
-//! be restricted to specific layers with `--layer`.
+//! be restricted to specific layers with `--layer`, and `--threads` colors
+//! independent components on a thread pool.  Invalid mask counts, thread
+//! counts and degenerate layouts are reported as the pipeline's typed
+//! errors.
 
-use mpl_bench::workload::{load_layout, run_layout_table};
-use mpl_bench::TABLE1_ALGORITHMS;
+use mpl_bench::workload::{load_layout, run_layout_table_on};
+use mpl_bench::{executor_for_threads, table_config, threads_from_args, TABLE1_ALGORITHMS};
+use mpl_core::ColorAlgorithm;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, threads) = match threads_from_args(&raw_args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let mut k = 4usize;
     let mut layer_specs: Vec<String> = Vec::new();
     let mut paths: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = rest.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--k" => match args.next().map(|v| v.parse::<usize>()) {
-                Some(Ok(value)) if value >= 2 => k = value,
+                Some(Ok(value)) => k = value,
                 _ => {
-                    eprintln!("--k requires an integer value >= 2");
+                    eprintln!("--k requires an integer value");
                     return ExitCode::FAILURE;
                 }
             },
@@ -33,14 +46,22 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: workload [--k N] [--layer L[:D] ...] FILE [FILE ...]");
+                eprintln!(
+                    "usage: workload [--k N] [--threads N] [--layer L[:D] ...] FILE [FILE ...]"
+                );
                 return ExitCode::SUCCESS;
             }
             _ => paths.push(arg),
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: workload [--k N] [--layer L[:D] ...] FILE [FILE ...]");
+        eprintln!("usage: workload [--k N] [--threads N] [--layer L[:D] ...] FILE [FILE ...]");
+        return ExitCode::FAILURE;
+    }
+    // Surface bad mask counts (e.g. --k 1 or --k 300) as the pipeline's
+    // typed error before any file is loaded.
+    if let Err(error) = table_config(k, ColorAlgorithm::Linear).validate() {
+        eprintln!("{error}");
         return ExitCode::FAILURE;
     }
 
@@ -58,9 +79,21 @@ fn main() -> ExitCode {
         }
     }
 
-    eprintln!("Workload table: K = {k} on {} layout(s)", layouts.len());
-    let report = run_layout_table(&layouts, &TABLE1_ALGORITHMS, k);
-    println!("\nWorkload table (K = {k})");
-    println!("{report}");
-    ExitCode::SUCCESS
+    let executor = executor_for_threads(threads);
+    eprintln!(
+        "Workload table: K = {k} on {} layout(s) ({} executor)",
+        layouts.len(),
+        executor.name()
+    );
+    match run_layout_table_on(&layouts, &TABLE1_ALGORITHMS, k, executor.as_ref()) {
+        Ok(report) => {
+            println!("\nWorkload table (K = {k})");
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("{error}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -21,7 +21,10 @@
 
 pub mod workload;
 
-use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig, ResultRow, TableReport};
+use mpl_core::{
+    ColorAlgorithm, DecomposeError, Decomposer, DecomposerConfig, Executor, ResultRow,
+    SerialExecutor, TableReport, ThreadPoolExecutor,
+};
 use mpl_layout::{gen::IscasCircuit, Layout, Technology};
 use std::time::Duration;
 
@@ -57,24 +60,87 @@ pub fn circuit_layout(circuit: IscasCircuit) -> Layout {
     circuit.generate(&Technology::nm20())
 }
 
-/// Runs one (circuit, algorithm, K) cell and returns the table row.
-pub fn run_cell(layout: &Layout, k: usize, algorithm: ColorAlgorithm) -> ResultRow {
-    let decomposer = Decomposer::new(table_config(k, algorithm));
-    let result = decomposer.decompose(layout);
-    ResultRow::from_result(&result)
+/// Picks the executor for a `--threads` knob: `0` or `1` selects the serial
+/// executor, anything larger a thread pool of that size.
+pub fn executor_for_threads(threads: usize) -> Box<dyn Executor> {
+    if threads <= 1 {
+        Box::new(SerialExecutor)
+    } else {
+        Box::new(ThreadPoolExecutor::new(threads).expect("non-zero thread count"))
+    }
 }
 
-/// Runs a full table: every circuit against every algorithm for the given K.
-pub fn run_table(
+/// Parses an optional `--threads N` flag out of `args`, returning the
+/// remaining arguments and the thread count (default 1 = serial).
+pub fn threads_from_args(args: &[String]) -> Result<(Vec<String>, usize), String> {
+    let mut rest = Vec::new();
+    let mut threads = 1usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            threads = iter
+                .next()
+                .ok_or_else(|| "--threads requires a value".to_string())?
+                .parse()
+                .map_err(|e| format!("invalid --threads value: {e}"))?;
+            if threads == 0 {
+                return Err(mpl_core::ConfigError::ThreadCount.to_string());
+            }
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, threads))
+}
+
+/// Runs one (circuit, algorithm, K) cell on the given executor and returns
+/// the table row.
+///
+/// # Errors
+///
+/// Propagates the typed planning errors of [`Decomposer::plan`] (invalid
+/// K/α, degenerate shapes in a user-supplied layout file).
+pub fn run_cell_on(
+    layout: &Layout,
+    k: usize,
+    algorithm: ColorAlgorithm,
+    executor: &dyn Executor,
+) -> Result<ResultRow, DecomposeError> {
+    let decomposer = Decomposer::new(table_config(k, algorithm));
+    let plan = decomposer.plan(layout)?;
+    Ok(ResultRow::from_result(&plan.execute(executor)))
+}
+
+/// Runs one (circuit, algorithm, K) cell serially and returns the table row.
+///
+/// # Errors
+///
+/// Propagates the typed planning errors of [`Decomposer::plan`].
+pub fn run_cell(
+    layout: &Layout,
+    k: usize,
+    algorithm: ColorAlgorithm,
+) -> Result<ResultRow, DecomposeError> {
+    run_cell_on(layout, k, algorithm, &SerialExecutor)
+}
+
+/// Runs a full table on the given executor: every circuit against every
+/// algorithm for the given K.
+///
+/// # Errors
+///
+/// Propagates the first cell's typed planning error, if any.
+pub fn run_table_on(
     circuits: &[IscasCircuit],
     algorithms: &[ColorAlgorithm],
     k: usize,
-) -> TableReport {
+    executor: &dyn Executor,
+) -> Result<TableReport, DecomposeError> {
     let mut report = TableReport::new();
     for &circuit in circuits {
         let layout = circuit_layout(circuit);
         for &algorithm in algorithms {
-            let row = run_cell(&layout, k, algorithm);
+            let row = run_cell_on(&layout, k, algorithm, executor)?;
             eprintln!(
                 "  {:<8} {:<14} cn#={:<4} st#={:<5} cpu={:.3}s",
                 row.circuit, row.algorithm, row.conflicts, row.stitches, row.cpu_seconds
@@ -82,7 +148,20 @@ pub fn run_table(
             report.push(row);
         }
     }
-    report
+    Ok(report)
+}
+
+/// Runs a full table serially: every circuit against every algorithm.
+///
+/// # Errors
+///
+/// Propagates the first cell's typed planning error, if any.
+pub fn run_table(
+    circuits: &[IscasCircuit],
+    algorithms: &[ColorAlgorithm],
+    k: usize,
+) -> Result<TableReport, DecomposeError> {
+    run_table_on(circuits, algorithms, k, &SerialExecutor)
 }
 
 /// Parses circuit names from command-line arguments; an empty argument list
@@ -107,7 +186,7 @@ mod tests {
     #[test]
     fn run_cell_produces_a_row_for_a_small_circuit() {
         let layout = circuit_layout(IscasCircuit::C432);
-        let row = run_cell(&layout, 4, ColorAlgorithm::Linear);
+        let row = run_cell(&layout, 4, ColorAlgorithm::Linear).expect("valid config");
         assert_eq!(row.circuit, "C432");
         assert_eq!(row.algorithm, "Linear");
         assert!(row.cpu_seconds >= 0.0);
@@ -129,5 +208,36 @@ mod tests {
         let config = table_config(5, ColorAlgorithm::SdpGreedy);
         assert_eq!(config.k, 5);
         assert_eq!(config.algorithm, ColorAlgorithm::SdpGreedy);
+    }
+
+    #[test]
+    fn threaded_cells_match_serial_cells() {
+        let layout = circuit_layout(IscasCircuit::C432);
+        let serial = run_cell(&layout, 4, ColorAlgorithm::Linear).expect("valid config");
+        let threaded = run_cell_on(
+            &layout,
+            4,
+            ColorAlgorithm::Linear,
+            executor_for_threads(4).as_ref(),
+        )
+        .expect("valid config");
+        assert_eq!(serial.conflicts, threaded.conflicts);
+        assert_eq!(serial.stitches, threaded.stitches);
+    }
+
+    #[test]
+    fn threads_flag_parses_and_validates() {
+        let args = vec![
+            "C432".to_string(),
+            "--threads".to_string(),
+            "4".to_string(),
+            "C499".to_string(),
+        ];
+        let (rest, threads) = threads_from_args(&args).expect("valid");
+        assert_eq!(rest, vec!["C432".to_string(), "C499".to_string()]);
+        assert_eq!(threads, 4);
+        assert!(threads_from_args(&["--threads".to_string()]).is_err());
+        assert!(threads_from_args(&["--threads".to_string(), "0".to_string()]).is_err());
+        assert!(threads_from_args(&["--threads".to_string(), "x".to_string()]).is_err());
     }
 }

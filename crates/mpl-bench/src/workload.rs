@@ -7,7 +7,7 @@
 //! [`mpl_gds::load_layout_file`]; this module only adds the `--layer`
 //! specification plumbing and the table loop.
 
-use mpl_core::{ColorAlgorithm, TableReport};
+use mpl_core::{ColorAlgorithm, DecomposeError, Executor, SerialExecutor, TableReport};
 use mpl_gds::{LayerMap, ReadOptions};
 use mpl_layout::Layout;
 
@@ -29,16 +29,22 @@ pub fn load_layout(path: &str, layer_specs: &[String]) -> Result<Layout, Workloa
     mpl_gds::load_layout_file(path, &map, &ReadOptions::default())
 }
 
-/// Runs the table cells for a list of pre-loaded layouts.
-pub fn run_layout_table(
+/// Runs the table cells for a list of pre-loaded layouts on an executor.
+///
+/// # Errors
+///
+/// Propagates the first cell's typed planning error (e.g. a degenerate
+/// shape in a user-supplied layout file).
+pub fn run_layout_table_on(
     layouts: &[Layout],
     algorithms: &[ColorAlgorithm],
     k: usize,
-) -> TableReport {
+    executor: &dyn Executor,
+) -> Result<TableReport, DecomposeError> {
     let mut report = TableReport::new();
     for layout in layouts {
         for &algorithm in algorithms {
-            let row = crate::run_cell(layout, k, algorithm);
+            let row = crate::run_cell_on(layout, k, algorithm, executor)?;
             eprintln!(
                 "  {:<8} {:<14} cn#={:<4} st#={:<5} cpu={:.3}s",
                 row.circuit, row.algorithm, row.conflicts, row.stitches, row.cpu_seconds
@@ -46,7 +52,20 @@ pub fn run_layout_table(
             report.push(row);
         }
     }
-    report
+    Ok(report)
+}
+
+/// Runs the table cells for a list of pre-loaded layouts serially.
+///
+/// # Errors
+///
+/// Propagates the first cell's typed planning error, if any.
+pub fn run_layout_table(
+    layouts: &[Layout],
+    algorithms: &[ColorAlgorithm],
+    k: usize,
+) -> Result<TableReport, DecomposeError> {
+    run_layout_table_on(layouts, algorithms, k, &SerialExecutor)
 }
 
 #[cfg(test)]
@@ -93,7 +112,8 @@ mod tests {
         let gds_path = temp_path("table.gds");
         mpl_gds::write_layout_file(&gds_path, &layout, 1, 0).expect("write gds");
         let loaded = load_layout(&gds_path, &[]).expect("load");
-        let report = run_layout_table(&[loaded], &[ColorAlgorithm::Linear], 4);
+        let report =
+            run_layout_table(&[loaded], &[ColorAlgorithm::Linear], 4).expect("clean layout");
         assert_eq!(report.rows().len(), 1);
         assert_eq!(report.rows()[0].conflicts, 0);
         std::fs::remove_file(&gds_path).ok();

@@ -1,6 +1,6 @@
 //! Color-assignment engines.
 //!
-//! Every engine consumes a [`ComponentProblem`](crate::ComponentProblem) —
+//! Every engine consumes a [`crate::ComponentProblem`] —
 //! a small color-assignment instance produced by graph division — and
 //! returns one color in `0..K` per vertex.  The four engines mirror the
 //! four columns of the paper's Table 1:

@@ -122,7 +122,7 @@ mod tests {
         let layout = gen::generate_row_layout(&gen::RowLayoutConfig::small("bal", 31), &tech());
         let config = DecomposerConfig::quadruple(tech()).with_algorithm(ColorAlgorithm::Linear);
         let decomposer = Decomposer::new(config);
-        let result = decomposer.decompose(&layout);
+        let result = decomposer.decompose(&layout).expect("valid config");
         let graph = DecompositionGraph::build(&layout, &tech(), 4, &decomposer.config().stitch);
         let before = coloring_cost(&graph, result.colors(), 0.1);
         let mut colors = result.colors().to_vec();

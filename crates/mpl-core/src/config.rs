@@ -1,6 +1,6 @@
 //! Decomposer configuration.
 
-use crate::StitchConfig;
+use crate::{ConfigError, StitchConfig};
 use mpl_layout::Technology;
 use std::time::Duration;
 
@@ -123,11 +123,10 @@ impl DecomposerConfig {
 
     /// General K-patterning with the paper's default parameters.
     ///
-    /// # Panics
-    ///
-    /// Panics if `k < 2`.
+    /// The mask count is not checked here; [`DecomposerConfig::validate`]
+    /// (called by [`crate::Decomposer::plan`]) rejects `k` outside `2..=255`
+    /// with a typed [`ConfigError`] instead of panicking.
     pub fn k_patterning(k: usize, technology: Technology) -> Self {
-        assert!(k >= 2, "patterning requires at least two masks, got {k}");
         DecomposerConfig {
             k,
             technology,
@@ -146,13 +145,9 @@ impl DecomposerConfig {
         self
     }
 
-    /// Overrides the stitch weight α.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `alpha` is negative.
+    /// Overrides the stitch weight α (validated by
+    /// [`DecomposerConfig::validate`], not here).
     pub fn with_alpha(mut self, alpha: f64) -> Self {
-        assert!(alpha >= 0.0, "alpha must be non-negative");
         self.alpha = alpha;
         self
     }
@@ -167,6 +162,31 @@ impl DecomposerConfig {
     pub fn with_ilp_time_limit(mut self, limit: Duration) -> Self {
         self.ilp_time_limit = limit;
         self
+    }
+
+    /// Checks the configuration, returning the first violated constraint.
+    ///
+    /// Colors are stored as `u8`, so the mask count must fit `2..=255`; the
+    /// stitch weight must be a finite non-negative number; and the SDP merge
+    /// threshold is a cosine similarity, so it must be a finite value in
+    /// `[-1, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] describing the first invalid field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.k < 2 || self.k > u8::MAX as usize {
+            return Err(ConfigError::MaskCount { k: self.k });
+        }
+        if !self.alpha.is_finite() || self.alpha < 0.0 {
+            return Err(ConfigError::Alpha { alpha: self.alpha });
+        }
+        if !self.sdp_merge_threshold.is_finite() || self.sdp_merge_threshold.abs() > 1.0 {
+            return Err(ConfigError::MergeThreshold {
+                threshold: self.sdp_merge_threshold,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -207,14 +227,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two masks")]
-    fn k_one_is_rejected() {
-        let _ = DecomposerConfig::k_patterning(1, Technology::nm20());
+    fn validate_accepts_the_paper_defaults() {
+        assert_eq!(
+            DecomposerConfig::quadruple(Technology::nm20()).validate(),
+            Ok(())
+        );
     }
 
     #[test]
-    #[should_panic(expected = "non-negative")]
-    fn negative_alpha_is_rejected() {
-        let _ = DecomposerConfig::quadruple(Technology::nm20()).with_alpha(-0.1);
+    fn validate_rejects_bad_mask_counts() {
+        use crate::ConfigError;
+        for k in [0usize, 1, 256, 1000] {
+            let config = DecomposerConfig::k_patterning(k, Technology::nm20());
+            assert_eq!(config.validate(), Err(ConfigError::MaskCount { k }));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_alpha_and_threshold() {
+        use crate::ConfigError;
+        let negative = DecomposerConfig::quadruple(Technology::nm20()).with_alpha(-0.1);
+        assert_eq!(negative.validate(), Err(ConfigError::Alpha { alpha: -0.1 }));
+        let nan = DecomposerConfig::quadruple(Technology::nm20()).with_alpha(f64::NAN);
+        assert!(matches!(nan.validate(), Err(ConfigError::Alpha { .. })));
+        let mut bad_threshold = DecomposerConfig::quadruple(Technology::nm20());
+        bad_threshold.sdp_merge_threshold = 1.5;
+        assert_eq!(
+            bad_threshold.validate(),
+            Err(ConfigError::MergeThreshold { threshold: 1.5 })
+        );
     }
 }

@@ -1,30 +1,80 @@
 //! The end-to-end decomposition flow (Fig. 2 of the paper).
+//!
+//! The flow is staged: [`Decomposer::plan`] builds the decomposition graph
+//! and materialises the independent components as [`ComponentTask`]s, and
+//! [`DecompositionPlan::execute`] colors them through a pluggable
+//! [`Executor`](crate::Executor).  [`Decomposer::decompose`] is the
+//! one-call convenience wrapper that plans and executes serially.
 
 use crate::assign::{assigner_for, ColorAssigner};
+#[cfg(test)]
+use crate::coloring_cost;
 use crate::division::{
-    biconnected_blocks, ghtree_pieces, merge_with_rotation, peel_low_degree, permute_to_match,
+    biconnected_blocks, ghtree_pieces, merge_with_rotation, peel_low_degree,
+    permute_to_match_anchors,
 };
-use crate::{coloring_cost, ColoringCost, ComponentProblem, DecomposerConfig, DecompositionGraph};
+use crate::pipeline::{ComponentStats, ComponentTask, DecompositionPlan};
+use crate::{
+    ColoringCost, ComponentProblem, DecomposeError, DecomposerConfig, DecompositionGraph,
+    SerialExecutor, VertexId,
+};
+use mpl_geometry::Nm;
 use mpl_layout::Layout;
 use std::time::{Duration, Instant};
 
 /// The result of decomposing a layout: one mask per decomposition-graph
-/// vertex plus the statistics reported in the paper's tables.
+/// vertex plus the statistics reported in the paper's tables, a
+/// per-component breakdown, and the colored geometry itself.
 #[derive(Debug, Clone)]
 pub struct DecompositionResult {
     layout_name: String,
     algorithm: &'static str,
+    executor: String,
     k: usize,
     colors: Vec<u8>,
     cost: ColoringCost,
     vertex_count: usize,
     conflict_edge_count: usize,
     stitch_edge_count: usize,
+    components: Vec<ComponentStats>,
+    /// Shared (not copied) with the plan that produced this result; used
+    /// for the geometry lookups of [`DecompositionResult::mask_layouts`].
+    graph: std::sync::Arc<DecompositionGraph>,
     graph_time: Duration,
     color_time: Duration,
 }
 
 impl DecompositionResult {
+    /// Assembles a result from an executed plan (crate-internal; see
+    /// [`DecompositionPlan::execute`]).
+    pub(crate) fn from_execution(
+        plan: &DecompositionPlan,
+        executor: &str,
+        colors: Vec<u8>,
+        cost: ColoringCost,
+        components: Vec<ComponentStats>,
+        color_time: Duration,
+    ) -> Self {
+        let graph = plan.graph();
+        DecompositionResult {
+            layout_name: plan.layout_name().to_string(),
+            algorithm: graph_algorithm_name(plan),
+            executor: executor.to_string(),
+            k: graph.k(),
+            colors,
+            cost,
+            vertex_count: graph.vertex_count(),
+            conflict_edge_count: graph.conflict_edges().len(),
+            stitch_edge_count: graph.stitch_edges().len(),
+            components,
+            // An Arc clone: the graph (and its geometry) is shared with the
+            // plan, never copied per execution.
+            graph: plan.graph_arc().clone(),
+            graph_time: plan.graph_time(),
+            color_time,
+        }
+    }
+
     /// The layout this result was computed for.
     pub fn layout_name(&self) -> &str {
         &self.layout_name
@@ -33,6 +83,12 @@ impl DecompositionResult {
     /// The color-assignment engine used.
     pub fn algorithm(&self) -> &'static str {
         self.algorithm
+    }
+
+    /// The executor that ran the component tasks (e.g. `"serial"` or
+    /// `"threads:4"`).
+    pub fn executor(&self) -> &str {
+        &self.executor
     }
 
     /// The number of masks K.
@@ -75,6 +131,32 @@ impl DecompositionResult {
         self.stitch_edge_count
     }
 
+    /// Per-component conflict/stitch/time breakdown, in task order.
+    pub fn component_stats(&self) -> &[ComponentStats] {
+        &self.components
+    }
+
+    /// Number of independent components that were colored.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Splits the decomposed geometry into K colored layouts, one per mask
+    /// (mask `m` is named `<layout>.mask<m>`) — the artefact a mask shop
+    /// would receive, ready for GDS export or per-mask verification.
+    pub fn mask_layouts(&self) -> Vec<Layout> {
+        let mut builders: Vec<_> = (0..self.k)
+            .map(|mask| Layout::builder(format!("{}.mask{mask}", self.layout_name)))
+            .collect();
+        for (vertex, &color) in self.colors.iter().enumerate() {
+            builders[color as usize].add_polygon(self.graph.polygon(VertexId(vertex)).clone());
+        }
+        builders
+            .into_iter()
+            .map(|builder| builder.build())
+            .collect()
+    }
+
     /// Time spent constructing the decomposition graph.
     pub fn graph_time(&self) -> Duration {
         self.graph_time
@@ -87,6 +169,11 @@ impl DecompositionResult {
     }
 }
 
+/// The engine name recorded on results for a plan.
+fn graph_algorithm_name(plan: &DecompositionPlan) -> &'static str {
+    plan.config().algorithm.name()
+}
+
 /// The layout decomposer: decomposition-graph construction, graph division
 /// and color assignment, as orchestrated in Fig. 2 of the paper.
 #[derive(Debug, Clone)]
@@ -96,6 +183,9 @@ pub struct Decomposer {
 
 impl Decomposer {
     /// Creates a decomposer with the given configuration.
+    ///
+    /// The configuration is validated lazily by [`Decomposer::plan`], so
+    /// construction never fails.
     pub fn new(config: DecomposerConfig) -> Self {
         Decomposer { config }
     }
@@ -105,8 +195,32 @@ impl Decomposer {
         &self.config
     }
 
-    /// Decomposes a layout into K masks.
-    pub fn decompose(&self, layout: &Layout) -> DecompositionResult {
+    /// Builds the decomposition plan for a layout: validates the
+    /// configuration and the layout, constructs the decomposition graph,
+    /// and materialises one [`ComponentTask`] per independent component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecomposeError::Config`] when the configuration is invalid
+    /// (mask count outside `2..=255`, non-finite or negative α, merge
+    /// threshold outside `[-1, 1]`) and [`DecomposeError::DegenerateShape`]
+    /// when a layout shape has no geometry or a zero-area rectangle.  An
+    /// *empty* layout is not an error: it plans zero tasks and decomposes
+    /// trivially.
+    pub fn plan(&self, layout: &Layout) -> Result<DecompositionPlan, DecomposeError> {
+        self.config.validate()?;
+        for shape in layout.iter() {
+            let rects = shape.polygon().rects();
+            if rects.is_empty()
+                || rects
+                    .iter()
+                    .any(|r| r.width() <= Nm(0) || r.height() <= Nm(0))
+            {
+                return Err(DecomposeError::DegenerateShape {
+                    shape: shape.id().index(),
+                });
+            }
+        }
         let graph_start = Instant::now();
         let graph = DecompositionGraph::build(
             layout,
@@ -114,34 +228,65 @@ impl Decomposer {
             self.config.k,
             &self.config.stitch,
         );
+        let components = self.graph_components(&graph);
+        let tasks = components
+            .iter()
+            .enumerate()
+            .map(|(index, component)| {
+                let (problem, to_global) = component_problem(&graph, component, &self.config);
+                ComponentTask::new(index, problem, to_global)
+            })
+            .collect();
         let graph_time = graph_start.elapsed();
-        let color_start = Instant::now();
-        let colors = self.color_graph(&graph);
-        let color_time = color_start.elapsed();
-        let cost = coloring_cost(&graph, &colors, self.config.alpha);
-        DecompositionResult {
-            layout_name: layout.name().to_string(),
-            algorithm: self.config.algorithm.name(),
-            k: self.config.k,
-            colors,
-            cost,
-            vertex_count: graph.vertex_count(),
-            conflict_edge_count: graph.conflict_edges().len(),
-            stitch_edge_count: graph.stitch_edges().len(),
+        Ok(DecompositionPlan::new(
+            self.clone(),
+            layout.name().to_string(),
+            graph,
+            tasks,
             graph_time,
-            color_time,
-        }
+        ))
     }
 
-    /// Colors an already-built decomposition graph (exposed for benches that
-    /// want to time color assignment separately from graph construction).
-    pub fn color_graph(&self, graph: &DecompositionGraph) -> Vec<u8> {
+    /// Decomposes a layout into K masks: a thin convenience wrapper that
+    /// plans and executes on the [`SerialExecutor`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the planning errors of [`Decomposer::plan`].
+    pub fn decompose(&self, layout: &Layout) -> Result<DecompositionResult, DecomposeError> {
+        Ok(self.plan(layout)?.execute(&SerialExecutor))
+    }
+
+    /// Colors an already-built decomposition graph (exposed for harnesses
+    /// that want to time color assignment separately from graph
+    /// construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecomposeError::Config`] when the configuration is invalid
+    /// (same validation as [`Decomposer::plan`]).
+    pub fn color_graph(&self, graph: &DecompositionGraph) -> Result<Vec<u8>, DecomposeError> {
+        self.config.validate()?;
         let assigner = assigner_for(self.config.algorithm, &self.config);
         let mut colors = vec![0u8; graph.vertex_count()];
-        for component in graph.independent_components() {
+        for component in self.graph_components(graph) {
             self.color_component(graph, &component, assigner.as_ref(), &mut colors);
         }
-        colors
+        Ok(colors)
+    }
+
+    /// The component partition both [`Decomposer::plan`] and
+    /// [`Decomposer::color_graph`] color: independent components, or the
+    /// whole graph as one component when that division technique is
+    /// disabled (the ablation knob).
+    fn graph_components(&self, graph: &DecompositionGraph) -> Vec<Vec<usize>> {
+        if self.config.division.independent_components {
+            graph.independent_components()
+        } else if graph.vertex_count() == 0 {
+            Vec::new()
+        } else {
+            vec![(0..graph.vertex_count()).collect()]
+        }
     }
 
     /// Colors one independent component, writing into `colors` (global ids).
@@ -161,7 +306,11 @@ impl Decomposer {
 
     /// Colors a [`ComponentProblem`] with division applied, returning local
     /// colors.
-    fn color_problem(&self, problem: &ComponentProblem, assigner: &dyn ColorAssigner) -> Vec<u8> {
+    pub(crate) fn color_problem(
+        &self,
+        problem: &ComponentProblem,
+        assigner: &dyn ColorAssigner,
+    ) -> Vec<u8> {
         let n = problem.vertex_count();
         let k = problem.k() as u8;
         let division = self.config.division;
@@ -205,10 +354,11 @@ impl Decomposer {
                     self.color_piece(problem, &block, assigner, &mut colors);
                 }
 
-                // Reconcile with the previously colored articulation vertex.
-                if let (Some(&anchor), Some(&target)) = (anchors.first(), anchor_colors.first()) {
-                    permute_to_match(&block, &mut colors, anchor, target);
-                }
+                // Reconcile with every previously colored articulation
+                // vertex at once: the color permutation minimising the total
+                // anchor mismatch is free (permutations preserve the block's
+                // internal conflicts and stitches).
+                permute_to_match_anchors(&block, &mut colors, &anchors, &anchor_colors, k);
             }
         }
 
@@ -311,7 +461,7 @@ fn component_problem(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ColorAlgorithm, DivisionConfig};
+    use crate::{ColorAlgorithm, ConfigError, DivisionConfig, ThreadPoolExecutor};
     use mpl_layout::{gen, Technology};
 
     fn quad_config(algorithm: ColorAlgorithm) -> DecomposerConfig {
@@ -322,11 +472,14 @@ mod tests {
     fn fig1_clique_is_clean_under_quadruple_patterning() {
         for algorithm in ColorAlgorithm::ALL {
             let layout = gen::fig1_contact_clique(&Technology::nm20());
-            let result = Decomposer::new(quad_config(algorithm)).decompose(&layout);
+            let result = Decomposer::new(quad_config(algorithm))
+                .decompose(&layout)
+                .expect("valid config");
             assert_eq!(result.conflicts(), 0, "{algorithm}");
             assert_eq!(result.stitches(), 0, "{algorithm}");
             assert_eq!(result.vertex_count(), 4);
             assert_eq!(result.k(), 4);
+            assert_eq!(result.executor(), "serial");
         }
     }
 
@@ -334,7 +487,9 @@ mod tests {
     fn k5_cluster_forces_one_conflict_under_quadruple_patterning() {
         for algorithm in ColorAlgorithm::ALL {
             let layout = gen::k5_cluster_layout(&Technology::nm20());
-            let result = Decomposer::new(quad_config(algorithm)).decompose(&layout);
+            let result = Decomposer::new(quad_config(algorithm))
+                .decompose(&layout)
+                .expect("valid config");
             assert_eq!(result.conflicts(), 1, "{algorithm}");
         }
     }
@@ -344,7 +499,9 @@ mod tests {
         let layout = gen::k5_cluster_layout(&Technology::nm20());
         let config = DecomposerConfig::pentuple(Technology::nm20())
             .with_algorithm(ColorAlgorithm::SdpBacktrack);
-        let result = Decomposer::new(config).decompose(&layout);
+        let result = Decomposer::new(config)
+            .decompose(&layout)
+            .expect("valid config");
         assert_eq!(result.conflicts(), 0);
         assert_eq!(result.k(), 5);
     }
@@ -357,7 +514,7 @@ mod tests {
         );
         for algorithm in [ColorAlgorithm::Linear, ColorAlgorithm::SdpGreedy] {
             let decomposer = Decomposer::new(quad_config(algorithm));
-            let result = decomposer.decompose(&layout);
+            let result = decomposer.decompose(&layout).expect("valid config");
             let graph = DecompositionGraph::build(
                 &layout,
                 &Technology::nm20(),
@@ -376,10 +533,13 @@ mod tests {
         // with and without division (division is cost-preserving).
         let layout =
             gen::generate_row_layout(&gen::RowLayoutConfig::small("div", 5), &Technology::nm20());
-        let with_division = Decomposer::new(quad_config(ColorAlgorithm::Ilp)).decompose(&layout);
+        let with_division = Decomposer::new(quad_config(ColorAlgorithm::Ilp))
+            .decompose(&layout)
+            .expect("valid config");
         let without_division =
             Decomposer::new(quad_config(ColorAlgorithm::Ilp).with_division(DivisionConfig::none()))
-                .decompose(&layout);
+                .decompose(&layout)
+                .expect("valid config");
         assert_eq!(with_division.conflicts(), without_division.conflicts());
     }
 
@@ -394,10 +554,15 @@ mod tests {
             &gen::RowLayoutConfig::small("agree", 9),
             &Technology::nm20(),
         );
-        let exact = Decomposer::new(quad_config(ColorAlgorithm::Ilp)).decompose(&layout);
-        let backtrack =
-            Decomposer::new(quad_config(ColorAlgorithm::SdpBacktrack)).decompose(&layout);
-        let linear = Decomposer::new(quad_config(ColorAlgorithm::Linear)).decompose(&layout);
+        let exact = Decomposer::new(quad_config(ColorAlgorithm::Ilp))
+            .decompose(&layout)
+            .expect("valid config");
+        let backtrack = Decomposer::new(quad_config(ColorAlgorithm::SdpBacktrack))
+            .decompose(&layout)
+            .expect("valid config");
+        let linear = Decomposer::new(quad_config(ColorAlgorithm::Linear))
+            .decompose(&layout)
+            .expect("valid config");
         assert!(exact.conflicts() >= 1);
         assert!(backtrack.conflicts() >= exact.conflicts());
         assert!(backtrack.conflicts() <= exact.conflicts() + 2);
@@ -407,18 +572,24 @@ mod tests {
     #[test]
     fn empty_layout_decomposes_trivially() {
         let layout = Layout::builder("empty").build();
-        let result = Decomposer::new(quad_config(ColorAlgorithm::Linear)).decompose(&layout);
+        let result = Decomposer::new(quad_config(ColorAlgorithm::Linear))
+            .decompose(&layout)
+            .expect("an empty layout is not an error");
         assert_eq!(result.vertex_count(), 0);
         assert_eq!(result.conflicts(), 0);
         assert_eq!(result.stitches(), 0);
         assert_eq!(result.layout_name(), "empty");
         assert_eq!(result.algorithm(), "Linear");
+        assert_eq!(result.component_count(), 0);
+        assert!(result.mask_layouts().iter().all(|mask| mask.is_empty()));
     }
 
     #[test]
     fn timings_are_populated() {
         let layout = gen::fig1_contact_clique(&Technology::nm20());
-        let result = Decomposer::new(quad_config(ColorAlgorithm::Linear)).decompose(&layout);
+        let result = Decomposer::new(quad_config(ColorAlgorithm::Linear))
+            .decompose(&layout)
+            .expect("valid config");
         // Durations are always non-negative; just ensure the accessors work
         // and the graph statistics are plausible.
         assert!(result.graph_time() >= Duration::ZERO);
@@ -426,5 +597,167 @@ mod tests {
         assert_eq!(result.conflict_edge_count(), 6);
         assert_eq!(result.stitch_edge_count(), 0);
         assert!(result.cost() >= 0.0);
+    }
+
+    #[test]
+    fn invalid_mask_count_is_a_typed_error() {
+        let layout = gen::fig1_contact_clique(&Technology::nm20());
+        for k in [0usize, 1, 300] {
+            let config = DecomposerConfig::k_patterning(k, Technology::nm20());
+            let error = Decomposer::new(config).decompose(&layout).unwrap_err();
+            assert_eq!(error, DecomposeError::Config(ConfigError::MaskCount { k }));
+        }
+    }
+
+    #[test]
+    fn invalid_alpha_is_a_typed_error() {
+        let layout = gen::fig1_contact_clique(&Technology::nm20());
+        let config = DecomposerConfig::quadruple(Technology::nm20()).with_alpha(-1.0);
+        let error = Decomposer::new(config).plan(&layout).unwrap_err();
+        assert_eq!(
+            error,
+            DecomposeError::Config(ConfigError::Alpha { alpha: -1.0 })
+        );
+    }
+
+    #[test]
+    fn degenerate_shapes_are_a_typed_error() {
+        use mpl_geometry::Rect;
+        let mut builder = Layout::builder("degenerate");
+        builder.add_contact(Nm(0), Nm(0), Nm(20));
+        builder.add_rect(Rect::new(Nm(100), Nm(0), Nm(100), Nm(20))); // zero width
+        let layout = builder.build();
+        let error = Decomposer::new(quad_config(ColorAlgorithm::Linear))
+            .decompose(&layout)
+            .unwrap_err();
+        assert_eq!(error, DecomposeError::DegenerateShape { shape: 1 });
+    }
+
+    #[test]
+    fn plan_exposes_component_tasks_with_vertex_maps() {
+        use mpl_geometry::Rect;
+        let mut builder = Layout::builder("two-islands");
+        builder.add_contact(Nm(0), Nm(0), Nm(20));
+        builder.add_contact(Nm(40), Nm(0), Nm(20));
+        builder.add_rect(Rect::new(Nm(1000), Nm(0), Nm(1020), Nm(20)));
+        let layout = builder.build();
+        let plan = Decomposer::new(quad_config(ColorAlgorithm::Linear))
+            .plan(&layout)
+            .expect("valid config");
+        assert_eq!(plan.layout_name(), "two-islands");
+        assert_eq!(plan.tasks().len(), 2);
+        assert_eq!(plan.tasks()[0].to_global(), &[0, 1]);
+        assert_eq!(plan.tasks()[1].to_global(), &[2]);
+        assert_eq!(plan.tasks()[0].problem().conflict_edges(), &[(0, 1)]);
+        // Every graph vertex is covered exactly once.
+        let mut covered: Vec<usize> = plan
+            .tasks()
+            .iter()
+            .flat_map(|t| t.to_global().iter().copied())
+            .collect();
+        covered.sort_unstable();
+        assert_eq!(covered, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn execute_matches_the_convenience_wrapper_and_reports_components() {
+        let layout = gen::generate_row_layout(
+            &gen::RowLayoutConfig::small("staged", 5),
+            &Technology::nm20(),
+        );
+        let decomposer = Decomposer::new(quad_config(ColorAlgorithm::Linear));
+        let plan = decomposer.plan(&layout).expect("valid config");
+        let serial = plan.execute(&SerialExecutor);
+        let pooled = plan.execute(&ThreadPoolExecutor::new(4).expect("non-zero threads"));
+        let wrapper = decomposer.decompose(&layout).expect("valid config");
+        assert_eq!(serial.colors(), wrapper.colors());
+        assert_eq!(serial.colors(), pooled.colors());
+        assert_eq!(pooled.executor(), "threads:4");
+        assert_eq!(serial.component_count(), plan.tasks().len());
+        // Component stats sum to the totals.
+        let sum_conflicts: usize = serial.component_stats().iter().map(|s| s.conflicts).sum();
+        let sum_vertices: usize = serial
+            .component_stats()
+            .iter()
+            .map(|s| s.vertex_count)
+            .sum();
+        assert_eq!(sum_conflicts, serial.conflicts());
+        assert_eq!(sum_vertices, serial.vertex_count());
+    }
+
+    #[test]
+    fn mask_layouts_partition_the_geometry() {
+        let layout = gen::fig1_contact_clique(&Technology::nm20());
+        let result = Decomposer::new(quad_config(ColorAlgorithm::Ilp))
+            .decompose(&layout)
+            .expect("valid config");
+        let masks = result.mask_layouts();
+        assert_eq!(masks.len(), 4);
+        let total: usize = masks.iter().map(|mask| mask.shape_count()).sum();
+        assert_eq!(total, result.vertex_count());
+        // The clique needs all four masks, one contact each.
+        assert!(masks.iter().all(|mask| mask.shape_count() == 1));
+        assert!(masks[0].name().starts_with("fig1"));
+        assert!(masks[3].name().ends_with(".mask3"));
+    }
+
+    /// Colors local vertices `0, 1, 2, …` in ascending order, wrapping at K
+    /// — a deterministic stand-in engine so block colorings (and therefore
+    /// anchor targets) are fully predictable in reconciliation tests.
+    struct IdentityAssigner;
+
+    impl ColorAssigner for IdentityAssigner {
+        fn assign(&self, problem: &ComponentProblem) -> Vec<u8> {
+            (0..problem.vertex_count())
+                .map(|v| (v % problem.k()) as u8)
+                .collect()
+        }
+
+        fn name(&self) -> &'static str {
+            "identity"
+        }
+    }
+
+    #[test]
+    fn chain_with_two_articulation_anchors_reconciles_cleanly() {
+        // Regression test for multi-anchor reconciliation: a middle K4 block
+        // whose two articulation vertices are colored by *other* blocks
+        // first.  The biconnected-component DFS starts at vertex 0, so
+        // putting vertex 0 in the middle K4 makes both pendant K4s pop (and
+        // get colored) before the middle one, which then has two previously
+        // colored anchors.  Block vertex lists are sorted, so with the
+        // identity engine the anchor targets are predictable: vertex 1 is
+        // first in its pendant block (target color 0) and vertex 9 is second
+        // in its pendant block (target color 1).  Reconciling only the first
+        // anchor (the old behaviour) leaves vertex 9 on color 3 and costs a
+        // conflict inside the right pendant; the permutation matching *both*
+        // anchors reaches the optimum of zero conflicts.
+        let mut problem = ComponentProblem::new(12, 4, 0.1);
+        let middle = [0usize, 1, 8, 9];
+        let left = [1usize, 4, 5, 6]; // articulation vertex 1, local id 0
+        let right = [2usize, 9, 10, 11]; // articulation vertex 9, local id 1
+        for clique in [&middle, &left, &right] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    problem.add_conflict(clique[i], clique[j]);
+                }
+            }
+        }
+        // Disable peeling (every K4 vertex has conflict degree 3 < K and
+        // would peel away) so the biconnected reconciliation path runs.
+        let division = DivisionConfig {
+            independent_components: true,
+            low_degree_removal: false,
+            biconnected_split: true,
+            ghtree_cut_removal: false,
+        };
+        let config = quad_config(ColorAlgorithm::Linear).with_division(division);
+        let decomposer = Decomposer::new(config);
+        let colors = decomposer.color_problem(&problem, &IdentityAssigner);
+        let (conflicts, _, _) = problem.evaluate(&colors);
+        assert_eq!(conflicts, 0, "colors: {colors:?}");
+        // Both anchors kept the colors their pendant blocks assumed.
+        assert_eq!(colors[1], 0);
+        assert_eq!(colors[9], 1);
     }
 }

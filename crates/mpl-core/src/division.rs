@@ -225,6 +225,131 @@ pub fn permute_to_match(piece: &[usize], colors: &mut [u8], anchor: usize, targe
     }
 }
 
+/// Reconciles a freshly colored block with *all* of its previously colored
+/// articulation vertices at once.
+///
+/// `anchors[i]` is a vertex of `piece` whose color before the block was
+/// re-colored is `targets[i]`.  Color permutations preserve every conflict
+/// and stitch inside the block, so the permutation that maps the most
+/// anchors back onto their targets is free; with a single anchor an exact
+/// match always exists (the classic two-color swap), with several anchors
+/// the demands can be contradictory and the permutation minimising the
+/// number of mismatched anchors is applied instead.
+pub fn permute_to_match_anchors(
+    piece: &[usize],
+    colors: &mut [u8],
+    anchors: &[usize],
+    targets: &[u8],
+    k: u8,
+) {
+    debug_assert_eq!(anchors.len(), targets.len());
+    match anchors.len() {
+        0 => return,
+        1 => return permute_to_match(piece, colors, anchors[0], targets[0]),
+        _ => {}
+    }
+    let k = k as usize;
+    // matches[c][t]: how many anchors currently colored c want target t.
+    let mut matches = vec![0usize; k * k];
+    for (&anchor, &target) in anchors.iter().zip(targets) {
+        matches[colors[anchor] as usize * k + target as usize] += 1;
+    }
+    let permutation = best_color_permutation(&matches, k);
+    if permutation
+        .iter()
+        .enumerate()
+        .all(|(c, &t)| c == t as usize)
+    {
+        return;
+    }
+    for &v in piece {
+        colors[v] = permutation[colors[v] as usize];
+    }
+}
+
+/// Finds the permutation π of `0..k` maximising `Σ_c matches[c][π(c)]` —
+/// exhaustively for small K (at most 720 candidates for K ≤ 6), greedily
+/// above that.  Ties prefer the identity-most (lexicographically smallest)
+/// permutation so reconciliation is deterministic and a no-op when nothing
+/// is gained.
+fn best_color_permutation(matches: &[usize], k: usize) -> Vec<u8> {
+    let score = |perm: &[u8]| -> usize {
+        perm.iter()
+            .enumerate()
+            .map(|(c, &t)| matches[c * k + t as usize])
+            .sum()
+    };
+    if k <= 6 {
+        // Lexicographic enumeration starts at the identity, and only a
+        // strictly better score replaces the incumbent.
+        let mut perm: Vec<u8> = (0..k as u8).collect();
+        let mut best = perm.clone();
+        let mut best_score = score(&perm);
+        while next_permutation(&mut perm) {
+            let s = score(&perm);
+            if s > best_score {
+                best_score = s;
+                best = perm.clone();
+            }
+        }
+        best
+    } else {
+        // Greedy assignment by descending pair weight; leftovers keep their
+        // own color when possible.
+        let mut pairs: Vec<(usize, usize, usize)> = (0..k)
+            .flat_map(|c| (0..k).map(move |t| (matches[c * k + t], c, t)))
+            .filter(|&(w, _, _)| w > 0)
+            .collect();
+        pairs.sort_by_key(|&(w, c, t)| (std::cmp::Reverse(w), c, t));
+        let mut permutation = vec![u8::MAX; k];
+        let mut target_taken = vec![false; k];
+        for (_, c, t) in pairs {
+            if permutation[c] == u8::MAX && !target_taken[t] {
+                permutation[c] = t as u8;
+                target_taken[t] = true;
+            }
+        }
+        for c in 0..k {
+            if permutation[c] != u8::MAX {
+                continue;
+            }
+            let t = if !target_taken[c] {
+                c
+            } else {
+                (0..k)
+                    .find(|&t| !target_taken[t])
+                    .expect("a free color remains")
+            };
+            permutation[c] = t as u8;
+            target_taken[t] = true;
+        }
+        permutation
+    }
+}
+
+/// Advances `perm` to its lexicographic successor, returning `false` once
+/// the last permutation has been reached.
+fn next_permutation(perm: &mut [u8]) -> bool {
+    let n = perm.len();
+    if n < 2 {
+        return false;
+    }
+    let mut i = n - 1;
+    while i > 0 && perm[i - 1] >= perm[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = n - 1;
+    while perm[j] <= perm[i - 1] {
+        j -= 1;
+    }
+    perm.swap(i - 1, j);
+    perm[i..].reverse();
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,5 +518,63 @@ mod tests {
         let mut colors = vec![2, 0];
         permute_to_match(&[0, 1], &mut colors, 0, 2);
         assert_eq!(colors, vec![2, 0]);
+    }
+
+    #[test]
+    fn anchor_reconciliation_satisfies_two_compatible_anchors() {
+        // Block {0, 1, 2, 3} was re-colored 0, 1, 2, 3; anchors 0 and 3 were
+        // previously 2 and 1.  A single swap can satisfy only one of them,
+        // but the permutation 0→2, 1→x, 2→y, 3→1 satisfies both.
+        let piece = vec![0, 1, 2, 3];
+        let mut colors = vec![0, 1, 2, 3];
+        permute_to_match_anchors(&piece, &mut colors, &[0, 3], &[2, 1], 4);
+        assert_eq!(colors[0], 2);
+        assert_eq!(colors[3], 1);
+        // Still a permutation: all four colors distinct.
+        let mut sorted = colors.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn anchor_reconciliation_minimises_mismatch_on_contradictory_demands() {
+        // Three anchors share the block color 0 but want targets 1, 1, 2: no
+        // permutation can satisfy all three, so the majority (two anchors
+        // wanting 1) must win.
+        let piece = vec![0, 1, 2, 3, 4];
+        let mut colors = vec![0, 0, 0, 2, 3];
+        permute_to_match_anchors(&piece, &mut colors, &[0, 1, 2], &[1, 1, 2], 4);
+        assert_eq!(colors[0], 1);
+        assert_eq!(colors[1], 1);
+    }
+
+    #[test]
+    fn anchor_reconciliation_is_identity_when_anchors_already_match() {
+        let piece = vec![0, 1, 2];
+        let mut colors = vec![3, 1, 0];
+        permute_to_match_anchors(&piece, &mut colors, &[0, 2], &[3, 0], 4);
+        assert_eq!(colors, vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn anchor_reconciliation_handles_large_k_greedily() {
+        // K = 8 takes the greedy path (8! would be enumerable but the
+        // exhaustive cut-off is 6); both anchors are satisfiable.
+        let piece = vec![0, 1];
+        let mut colors = vec![0, 1];
+        permute_to_match_anchors(&piece, &mut colors, &[0, 1], &[7, 5], 8);
+        assert_eq!(colors, vec![7, 5]);
+    }
+
+    #[test]
+    fn lexicographic_permutations_enumerate_everything() {
+        let mut perm = vec![0u8, 1, 2];
+        let mut count = 1;
+        while next_permutation(&mut perm) {
+            count += 1;
+        }
+        assert_eq!(count, 6);
+        assert_eq!(perm, vec![2, 1, 0]);
+        assert!(!next_permutation(&mut [0u8]));
     }
 }

@@ -23,21 +23,56 @@
 //!    and post-refinement.
 //!
 //! The [`Decomposer`] ties the three stages together and produces a
-//! [`DecompositionResult`] carrying the mask assignment and the
-//! conflict/stitch/runtime statistics the paper reports in its tables.
+//! [`DecompositionResult`] carrying the mask assignment, a per-component
+//! breakdown, and the conflict/stitch/runtime statistics the paper reports
+//! in its tables.
+//!
+//! # The plan → execute lifecycle
+//!
+//! The flow above is staged behind a two-phase API:
+//!
+//! 1. [`Decomposer::plan`] validates the configuration and the layout
+//!    (typed [`DecomposeError`]s instead of panics), builds the
+//!    decomposition graph, and materialises every independent component as
+//!    a self-contained [`ComponentTask`] inside a [`DecompositionPlan`].
+//! 2. [`DecompositionPlan::execute`] runs the tasks through a pluggable
+//!    [`Executor`] — [`SerialExecutor`] for the classic single-threaded
+//!    run, or [`ThreadPoolExecutor`] to color independent components on a
+//!    scoped thread pool (largest component first).  Components share no
+//!    edges, so every executor produces bit-identical colors (provided no
+//!    engine wall-clock cut-off fires mid-component; see
+//!    [`DecompositionPlan::execute_observed`]).
+//!
+//! Progress can be traced with a [`DecompositionObserver`]
+//! (component started/finished callbacks plus stage timings), and
+//! [`Decomposer::decompose`] remains as the one-call serial convenience
+//! wrapper.
 //!
 //! # Quick start
 //!
 //! ```
-//! use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig};
+//! use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig, SerialExecutor,
+//!                ThreadPoolExecutor};
 //! use mpl_layout::{gen, Technology};
 //!
 //! let tech = Technology::nm20();
 //! let layout = gen::fig1_contact_clique(&tech);
 //! let config = DecomposerConfig::quadruple(tech).with_algorithm(ColorAlgorithm::Linear);
-//! let result = Decomposer::new(config).decompose(&layout);
+//! let decomposer = Decomposer::new(config);
+//!
+//! // Stage 1: plan — inspect the independent components before running.
+//! let plan = decomposer.plan(&layout)?;
+//! assert_eq!(plan.tasks().len(), 1);
+//!
+//! // Stage 2: execute — serial and thread-pool schedules agree bit for bit.
+//! let serial = plan.execute(&SerialExecutor);
+//! let parallel = plan.execute(&ThreadPoolExecutor::new(2)?);
+//! assert_eq!(serial.colors(), parallel.colors());
+//!
 //! // The Fig. 1 pattern is a K4: indecomposable with three masks, clean with four.
-//! assert_eq!(result.conflicts(), 0);
+//! assert_eq!(serial.conflicts(), 0);
+//! assert_eq!(serial.mask_layouts().len(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -51,6 +86,9 @@ mod cost;
 mod decomp_graph;
 mod decomposer;
 pub mod division;
+mod error;
+mod executor;
+mod pipeline;
 mod report;
 mod stitch;
 pub mod verify;
@@ -61,6 +99,12 @@ pub use config::{ColorAlgorithm, DecomposerConfig, DivisionConfig};
 pub use cost::{coloring_cost, ColoringCost};
 pub use decomp_graph::{DecompositionGraph, VertexId};
 pub use decomposer::{Decomposer, DecompositionResult};
+pub use error::{ConfigError, DecomposeError};
+pub use executor::{Executor, SerialExecutor, TaskWork, ThreadPoolExecutor};
+pub use pipeline::{
+    ComponentOutcome, ComponentStats, ComponentTask, DecompositionObserver, DecompositionPlan,
+    NoopObserver,
+};
 pub use report::{ResultRow, TableReport};
 pub use stitch::StitchConfig;
 pub use verify::{density_imbalance, extract_masks, verify_spacing, Mask, SpacingViolation};

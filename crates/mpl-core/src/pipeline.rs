@@ -1,0 +1,279 @@
+//! The staged decomposition pipeline: an inspectable plan of per-component
+//! color-assignment tasks.
+//!
+//! [`crate::Decomposer::plan`] builds the decomposition graph and
+//! materialises every independent component as a self-contained
+//! [`ComponentTask`]; [`DecompositionPlan::execute`] then runs the tasks
+//! through a pluggable [`Executor`](crate::Executor).  Because components are
+//! independent by construction (no conflict or stitch edge crosses them),
+//! tasks can run in any order — or in parallel — without changing the
+//! result.
+//!
+//! Progress can be traced with a [`DecompositionObserver`]; per-component
+//! conflict/stitch/time breakdowns are reported as [`ComponentStats`] on the
+//! final [`DecompositionResult`](crate::DecompositionResult).
+
+use crate::assign::assigner_for;
+use crate::{coloring_cost, ComponentProblem, Decomposer, DecompositionGraph, DecompositionResult};
+use crate::{Executor, SerialExecutor};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One independent component of the decomposition graph, packaged as a
+/// self-contained color-assignment task.
+#[derive(Debug, Clone)]
+pub struct ComponentTask {
+    index: usize,
+    problem: ComponentProblem,
+    to_global: Vec<usize>,
+}
+
+impl ComponentTask {
+    pub(crate) fn new(index: usize, problem: ComponentProblem, to_global: Vec<usize>) -> Self {
+        ComponentTask {
+            index,
+            problem,
+            to_global,
+        }
+    }
+
+    /// Position of this task in [`DecompositionPlan::tasks`].
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The induced color-assignment problem (local dense vertex ids).
+    pub fn problem(&self) -> &ComponentProblem {
+        &self.problem
+    }
+
+    /// Maps each local vertex id to its decomposition-graph vertex id.
+    pub fn to_global(&self) -> &[usize] {
+        &self.to_global
+    }
+
+    /// Number of vertices in the component.
+    pub fn vertex_count(&self) -> usize {
+        self.problem.vertex_count()
+    }
+}
+
+/// Per-component statistics reported after execution — the task-level
+/// breakdown of the totals on [`DecompositionResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentStats {
+    /// The task index this entry belongs to.
+    pub index: usize,
+    /// Number of vertices in the component.
+    pub vertex_count: usize,
+    /// Number of conflict edges in the component.
+    pub conflict_edge_count: usize,
+    /// Number of stitch edges in the component.
+    pub stitch_edge_count: usize,
+    /// Unresolved conflicts after color assignment.
+    pub conflicts: usize,
+    /// Stitches inserted by color assignment.
+    pub stitches: usize,
+    /// The component's weighted objective `conflicts + α · stitches`.
+    pub cost: f64,
+    /// Wall-clock time spent coloring the component.
+    pub time: Duration,
+}
+
+/// The colored outcome of one [`ComponentTask`], produced by the per-task
+/// work function an [`Executor`] drives.
+#[derive(Debug, Clone)]
+pub struct ComponentOutcome {
+    /// One color per local vertex of the task's problem.
+    pub colors: Vec<u8>,
+    /// The task's statistics.
+    pub stats: ComponentStats,
+}
+
+/// Progress callbacks fired while a plan executes.
+///
+/// Parallel executors invoke these from worker threads, so implementations
+/// must be `Sync`; use atomics or locks for mutable state.  All methods have
+/// empty default bodies — implement only what you need.
+pub trait DecompositionObserver: Sync {
+    /// Execution is about to start on `plan`.
+    fn execution_started(&self, plan: &DecompositionPlan) {
+        let _ = plan;
+    }
+
+    /// A component task was picked up by a worker.
+    fn component_started(&self, task: &ComponentTask) {
+        let _ = task;
+    }
+
+    /// A component task finished with the given statistics.
+    fn component_finished(&self, task: &ComponentTask, stats: &ComponentStats) {
+        let _ = (task, stats);
+    }
+
+    /// Every task finished; `result` is the assembled decomposition.
+    fn execution_finished(&self, result: &DecompositionResult) {
+        let _ = result;
+    }
+}
+
+/// An observer that ignores every event (the default for
+/// [`DecompositionPlan::execute`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl DecompositionObserver for NoopObserver {}
+
+/// A planned decomposition: the decomposition graph plus one
+/// [`ComponentTask`] per independent component, ready to execute.
+///
+/// The plan is immutable and self-contained; executing it does not mutate
+/// it, so the same plan can be executed several times (e.g. once per
+/// executor when comparing schedules).
+#[derive(Debug, Clone)]
+pub struct DecompositionPlan {
+    decomposer: Decomposer,
+    layout_name: String,
+    /// Shared with every result this plan produces (geometry lookups for
+    /// `mask_layouts()`), so executing never copies the graph.
+    graph: Arc<DecompositionGraph>,
+    tasks: Vec<ComponentTask>,
+    graph_time: Duration,
+}
+
+impl DecompositionPlan {
+    pub(crate) fn new(
+        decomposer: Decomposer,
+        layout_name: String,
+        graph: DecompositionGraph,
+        tasks: Vec<ComponentTask>,
+        graph_time: Duration,
+    ) -> Self {
+        DecompositionPlan {
+            decomposer,
+            layout_name,
+            graph: Arc::new(graph),
+            tasks,
+            graph_time,
+        }
+    }
+
+    /// The shared graph handle handed to results.
+    pub(crate) fn graph_arc(&self) -> &Arc<DecompositionGraph> {
+        &self.graph
+    }
+
+    /// The layout the plan was built for.
+    pub fn layout_name(&self) -> &str {
+        &self.layout_name
+    }
+
+    /// The configuration the plan was built with.
+    pub fn config(&self) -> &crate::DecomposerConfig {
+        self.decomposer.config()
+    }
+
+    /// The decomposition graph.
+    pub fn graph(&self) -> &DecompositionGraph {
+        &self.graph
+    }
+
+    /// The independent component tasks, in discovery order.
+    pub fn tasks(&self) -> &[ComponentTask] {
+        &self.tasks
+    }
+
+    /// Time spent constructing the decomposition graph and the tasks.
+    pub fn graph_time(&self) -> Duration {
+        self.graph_time
+    }
+
+    /// Executes every task through `executor` and assembles the result.
+    pub fn execute(&self, executor: &dyn Executor) -> DecompositionResult {
+        self.execute_observed(executor, &NoopObserver)
+    }
+
+    /// Executes every task on the serial executor (convenience).
+    pub fn execute_serial(&self) -> DecompositionResult {
+        self.execute(&SerialExecutor)
+    }
+
+    /// Executes every task through `executor`, reporting progress to
+    /// `observer`.
+    ///
+    /// The coloring work itself is a function of each task alone, so the
+    /// assembled colors are identical for every executor; only the
+    /// scheduling (and the wall-clock `color_time`) differs.  One caveat:
+    /// engines with *wall-clock* cut-offs (the exact engine's
+    /// [`ilp_time_limit`](crate::DecomposerConfig::ilp_time_limit), the SDP
+    /// solve budget) stop at whatever incumbent they reached when the
+    /// deadline fires, so on components large enough to hit a deadline the
+    /// result can depend on machine load.  Raise the limits when exact
+    /// reproducibility across executors matters.
+    pub fn execute_observed(
+        &self,
+        executor: &dyn Executor,
+        observer: &dyn DecompositionObserver,
+    ) -> DecompositionResult {
+        let color_start = Instant::now();
+        observer.execution_started(self);
+        let config = self.decomposer.config();
+        let decomposer = &self.decomposer;
+        let work = |task: &ComponentTask| {
+            observer.component_started(task);
+            let task_start = Instant::now();
+            let assigner = assigner_for(config.algorithm, config);
+            let colors = decomposer.color_problem(task.problem(), assigner.as_ref());
+            let (conflicts, stitches, cost) = task.problem().evaluate(&colors);
+            let stats = ComponentStats {
+                index: task.index(),
+                vertex_count: task.problem().vertex_count(),
+                conflict_edge_count: task.problem().conflict_edges().len(),
+                stitch_edge_count: task.problem().stitch_edges().len(),
+                conflicts,
+                stitches,
+                cost,
+                time: task_start.elapsed(),
+            };
+            observer.component_finished(task, &stats);
+            ComponentOutcome { colors, stats }
+        };
+        let outcomes = executor.run(&self.tasks, &work);
+        // The Executor contract requires one outcome per task, in task
+        // order; a broken custom executor must fail loudly here rather than
+        // silently producing a truncated (wrong) coloring.
+        assert_eq!(
+            outcomes.len(),
+            self.tasks.len(),
+            "executor {:?} returned {} outcomes for {} tasks",
+            executor.name(),
+            outcomes.len(),
+            self.tasks.len()
+        );
+        let mut colors = vec![0u8; self.graph.vertex_count()];
+        for (task, outcome) in self.tasks.iter().zip(&outcomes) {
+            assert_eq!(
+                outcome.stats.index,
+                task.index(),
+                "executor {:?} returned outcomes out of task order",
+                executor.name()
+            );
+            for (local, &global) in task.to_global.iter().enumerate() {
+                colors[global] = outcome.colors[local];
+            }
+        }
+        let color_time = color_start.elapsed();
+        let cost = coloring_cost(&self.graph, &colors, config.alpha);
+        let components = outcomes.into_iter().map(|outcome| outcome.stats).collect();
+        let result = DecompositionResult::from_execution(
+            self,
+            executor.name(),
+            colors,
+            cost,
+            components,
+            color_time,
+        );
+        observer.execution_finished(&result);
+        result
+    }
+}

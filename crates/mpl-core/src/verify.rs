@@ -201,7 +201,7 @@ mod tests {
         let layout = gen::k5_cluster_layout(&tech());
         let config = DecomposerConfig::quadruple(tech()).with_algorithm(ColorAlgorithm::Ilp);
         let decomposer = Decomposer::new(config);
-        let result = decomposer.decompose(&layout);
+        let result = decomposer.decompose(&layout).expect("valid config");
         let graph = DecompositionGraph::build(&layout, &tech(), 4, &decomposer.config().stitch);
         let violations = verify_spacing(&graph, result.colors(), tech().coloring_distance(4));
         assert_eq!(violations.len(), result.conflicts());
@@ -216,7 +216,7 @@ mod tests {
         let layout = gen::generate_row_layout(&gen::RowLayoutConfig::small("verify", 21), &tech());
         let config = DecomposerConfig::quadruple(tech()).with_algorithm(ColorAlgorithm::Linear);
         let decomposer = Decomposer::new(config);
-        let result = decomposer.decompose(&layout);
+        let result = decomposer.decompose(&layout).expect("valid config");
         let graph = DecompositionGraph::build(&layout, &tech(), 4, &decomposer.config().stitch);
         let violations = verify_spacing(&graph, result.colors(), tech().coloring_distance(4));
         assert_eq!(violations.len(), result.conflicts());

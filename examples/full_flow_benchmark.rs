@@ -1,18 +1,19 @@
 //! Full-flow walkthrough on one benchmark circuit: generate the synthetic
-//! layout, build the decomposition graph, report the graph-division
-//! statistics, run all four color-assignment engines and compare them —
-//! a single-circuit slice of the paper's Table 1.
+//! layout, plan the decomposition (graph construction + component tasks),
+//! execute the plan with both the serial and the thread-pool executor, and
+//! compare all four color-assignment engines — a single-circuit slice of
+//! the paper's Table 1, staged through the plan → execute API.
 //!
 //! Run with: `cargo run --release --example full_flow_benchmark [CIRCUIT]`
 
 use mpl_core::{
-    ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionGraph, ResultRow, StitchConfig,
-    TableReport,
+    ColorAlgorithm, Decomposer, DecomposerConfig, ResultRow, SerialExecutor, TableReport,
+    ThreadPoolExecutor,
 };
 use mpl_layout::{gen::IscasCircuit, io, Technology};
 use std::time::Duration;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "C5315".to_string());
@@ -29,17 +30,37 @@ fn main() {
     let text = io::to_text(&layout);
     println!("layout text serialisation: {} bytes", text.len());
 
-    // Decomposition-graph statistics.
-    let graph = DecompositionGraph::build(&layout, &tech, 4, &StitchConfig::default());
-    let components = graph.independent_components();
-    let largest = components.iter().map(Vec::len).max().unwrap_or(0);
+    // Stage 1: plan — decomposition-graph statistics come from the plan.
+    let planner =
+        Decomposer::new(DecomposerConfig::quadruple(tech).with_algorithm(ColorAlgorithm::Linear));
+    let plan = planner.plan(&layout)?;
+    let graph = plan.graph();
+    let largest = plan
+        .tasks()
+        .iter()
+        .map(|task| task.vertex_count())
+        .max()
+        .unwrap_or(0);
     println!(
         "decomposition graph: {} vertices, {} conflict edges, {} stitch edges, {} components (largest {})",
         graph.vertex_count(),
         graph.conflict_edges().len(),
         graph.stitch_edges().len(),
-        components.len(),
+        plan.tasks().len(),
         largest
+    );
+
+    // Stage 2: serial and thread-pool executors agree bit for bit.
+    let serial = plan.execute(&SerialExecutor);
+    let pool = ThreadPoolExecutor::new(4)?;
+    let parallel = plan.execute(&pool);
+    assert_eq!(serial.colors(), parallel.colors());
+    println!(
+        "executors agree: {} conflicts each (serial {:.3}s vs {} {:.3}s)",
+        serial.conflicts(),
+        serial.color_time().as_secs_f64(),
+        parallel.executor(),
+        parallel.color_time().as_secs_f64()
     );
 
     // One Table-1 row per engine.
@@ -48,8 +69,9 @@ fn main() {
         let config = DecomposerConfig::quadruple(tech)
             .with_algorithm(algorithm)
             .with_ilp_time_limit(Duration::from_secs(10));
-        let result = Decomposer::new(config).decompose(&layout);
+        let result = Decomposer::new(config).plan(&layout)?.execute(&pool);
         report.push(ResultRow::from_result(&result));
     }
     println!("\n{report}");
+    Ok(())
 }

@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --release --example kpatterning_sweep [CIRCUIT]`
 
-use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig};
+use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig, ThreadPoolExecutor};
 use mpl_layout::{gen::IscasCircuit, Technology};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "C6288".to_string());
@@ -26,9 +26,12 @@ fn main() {
         "{:>3} {:>8} {:>10} {:>10} {:>12}",
         "K", "min_s", "conflicts", "stitches", "CPU(s)"
     );
+    // Each K builds its own plan (the coloring distance changes with K);
+    // independent components are colored on a small thread pool.
+    let pool = ThreadPoolExecutor::new(4)?;
     for k in 3..=8usize {
         let config = DecomposerConfig::k_patterning(k, tech).with_algorithm(ColorAlgorithm::Linear);
-        let result = Decomposer::new(config).decompose(&layout);
+        let result = Decomposer::new(config).plan(&layout)?.execute(&pool);
         println!(
             "{:>3} {:>8} {:>10} {:>10} {:>12.3}",
             k,
@@ -38,4 +41,5 @@ fn main() {
             result.color_time().as_secs_f64()
         );
     }
+    Ok(())
 }

@@ -1,13 +1,14 @@
-//! Quickstart: build a tiny layout by hand, decompose it for quadruple
-//! patterning, and print the resulting mask assignment.
+//! Quickstart: build a tiny layout by hand, plan its decomposition for
+//! quadruple patterning, execute the plan, and print the resulting mask
+//! assignment.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionGraph, StitchConfig};
+use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig, SerialExecutor};
 use mpl_geometry::{Nm, Rect};
 use mpl_layout::{Layout, Technology};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 20 nm half-pitch technology: minimum width and spacing are 20 nm,
     // and the quadruple-patterning coloring distance is 80 nm.
     let tech = Technology::nm20();
@@ -21,18 +22,31 @@ fn main() {
     builder.add_rect(Rect::new(Nm(-200), Nm(120), Nm(260), Nm(140)));
     let layout = builder.build();
 
-    // Inspect the decomposition graph first.
-    let graph = DecompositionGraph::build(&layout, &tech, 4, &StitchConfig::default());
+    // Stage 1: plan. The plan exposes the decomposition graph and the
+    // independent component tasks before any coloring happens.
+    let config = DecomposerConfig::quadruple(tech).with_algorithm(ColorAlgorithm::SdpBacktrack);
+    let decomposer = Decomposer::new(config);
+    let plan = decomposer.plan(&layout)?;
+    let graph = plan.graph();
     println!(
-        "decomposition graph: {} vertices, {} conflict edges, {} stitch edges",
+        "plan: {} vertices, {} conflict edges, {} stitch edges, {} independent component(s)",
         graph.vertex_count(),
         graph.conflict_edges().len(),
-        graph.stitch_edges().len()
+        graph.stitch_edges().len(),
+        plan.tasks().len()
     );
+    for task in plan.tasks() {
+        println!(
+            "  task {}: {} vertices, {} conflict edges",
+            task.index(),
+            task.vertex_count(),
+            task.problem().conflict_edges().len()
+        );
+    }
 
-    // Decompose with the SDP + backtracking engine (the paper's flagship).
-    let config = DecomposerConfig::quadruple(tech).with_algorithm(ColorAlgorithm::SdpBacktrack);
-    let result = Decomposer::new(config).decompose(&layout);
+    // Stage 2: execute (serially here; see full_flow_benchmark for the
+    // thread-pool executor).
+    let result = plan.execute(&SerialExecutor);
 
     println!(
         "{}: {} conflicts, {} stitches (K = {})",
@@ -44,4 +58,10 @@ fn main() {
     for (vertex, color) in result.colors().iter().enumerate() {
         println!("  vertex {vertex} -> mask {color}");
     }
+
+    // The result can split the geometry into one layout per mask.
+    for mask in result.mask_layouts() {
+        println!("  {mask}");
+    }
+    Ok(())
 }

@@ -27,7 +27,9 @@ fn main() {
         for k in [3usize, 4, 5] {
             let config = DecomposerConfig::k_patterning(k, tech)
                 .with_algorithm(ColorAlgorithm::SdpBacktrack);
-            let result = Decomposer::new(config).decompose(layout);
+            let result = Decomposer::new(config)
+                .decompose(layout)
+                .expect("valid config");
             println!(
                 "{:<12} {:>4} {:>10} {:>10} {:>10}",
                 layout.name(),

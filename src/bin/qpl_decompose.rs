@@ -6,6 +6,12 @@
 //! verification. Results can be exported as a *colored* GDSII file with one
 //! layer per mask, ready to open in a layout viewer.
 //!
+//! The decomposition runs through the staged plan → execute pipeline:
+//! `--threads N` colors independent components on a thread pool,
+//! `--progress` streams per-component progress to stderr, and `--json`
+//! replaces the human-readable summary with a machine-readable one.
+//! Invalid configurations are reported as typed errors, not panics.
+//!
 //! ```text
 //! Usage:
 //!   qpl-decompose --circuit C6288 [options]
@@ -16,6 +22,9 @@
 //!   --k <N>              number of masks (default 4)
 //!   --algorithm <NAME>   ilp | sdp-backtrack | sdp-greedy | linear (default sdp-backtrack)
 //!   --alpha <F>          stitch weight (default 0.1)
+//!   --threads <N>        color independent components on N worker threads
+//!   --progress           report per-component progress on stderr
+//!   --json               print a machine-readable JSON summary on stdout
 //!   --no-stitches        disable stitch-candidate generation
 //!   --balance            rebalance mask densities after coloring
 //!   --verify             re-check same-mask spacing from scratch
@@ -27,12 +36,14 @@
 //! ```
 
 use mpl_core::{
-    extract_masks, rebalance_masks, verify_spacing, ColorAlgorithm, Decomposer, DecomposerConfig,
-    DecompositionGraph, StitchConfig, VertexId,
+    extract_masks, rebalance_masks, verify_spacing, ColorAlgorithm, ComponentStats, ComponentTask,
+    Decomposer, DecomposerConfig, DecompositionObserver, DecompositionResult, Executor,
+    SerialExecutor, StitchConfig, ThreadPoolExecutor, VertexId,
 };
 use mpl_gds::{LayerMap, ReadOptions};
 use mpl_layout::{gen::IscasCircuit, io::LayoutFormat, Layout, Technology};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// GDS layer holding mask 0 in `--output-gds` files (mask k lands on
 /// `COLORED_BASE_LAYER + k`).
@@ -43,6 +54,9 @@ struct Options {
     k: usize,
     algorithm: ColorAlgorithm,
     alpha: f64,
+    threads: Option<usize>,
+    progress: bool,
+    json: bool,
     stitches: bool,
     balance: bool,
     verify: bool,
@@ -114,6 +128,9 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
     let mut k = 4usize;
     let mut algorithm = ColorAlgorithm::SdpBacktrack;
     let mut alpha = 0.1f64;
+    let mut threads: Option<usize> = None;
+    let mut progress = false;
+    let mut json = false;
     let mut stitches = true;
     let mut balance = false;
     let mut verify = false;
@@ -150,6 +167,15 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("invalid --alpha value: {e}"))?;
             }
+            "--threads" => {
+                threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("invalid --threads value: {e}"))?,
+                );
+            }
+            "--progress" => progress = true,
+            "--json" => json = true,
             "--no-stitches" => stitches = false,
             "--balance" => balance = true,
             "--verify" => verify = true,
@@ -160,7 +186,8 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
                     "usage: qpl-decompose --circuit <NAME> | --layout <FILE> | --gds <FILE> \
                             [--layer L[:D] ...] [--top NAME] [--k N] \
                             [--algorithm ilp|sdp-backtrack|sdp-greedy|linear] \
-                            [--alpha F] [--no-stitches] [--balance] [--verify] \
+                            [--alpha F] [--threads N] [--progress] [--json] \
+                            [--no-stitches] [--balance] [--verify] \
                             [--output FILE] [--output-gds FILE]"
                         .to_string(),
                 )
@@ -188,20 +215,155 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
     if layout.is_empty() {
         return Err("the input layout contains no shapes".to_string());
     }
-    if k < 2 {
-        return Err("--k must be at least 2".to_string());
-    }
     Ok(Options {
         layout,
         k,
         algorithm,
         alpha,
+        threads,
+        progress,
+        json,
         stitches,
         balance,
         verify,
         output,
         output_gds,
     })
+}
+
+/// Streams one stderr line per finished component (`--progress`).
+///
+/// Parallel executors call the observer from worker threads, so the counter
+/// is atomic.
+struct StderrProgress {
+    total: usize,
+    finished: AtomicUsize,
+}
+
+impl DecompositionObserver for StderrProgress {
+    fn component_started(&self, task: &ComponentTask) {
+        if task.vertex_count() >= 1000 {
+            eprintln!(
+                "component {} started ({} vertices)",
+                task.index(),
+                task.vertex_count()
+            );
+        }
+    }
+
+    fn component_finished(&self, task: &ComponentTask, stats: &ComponentStats) {
+        let finished = self.finished.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!(
+            "[{finished}/{}] component {}: {} vertices, cn#={} st#={} in {:.3}s",
+            self.total,
+            task.index(),
+            stats.vertex_count,
+            stats.conflicts,
+            stats.stitches,
+            stats.time.as_secs_f64()
+        );
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable summary for `--json`.
+///
+/// `conflicts`/`stitches`/`cost`/`component_breakdown` describe the raw
+/// decomposition; when `balance` is present, `masks` (and
+/// `spacing_violations`, if verification ran) describe the *rebalanced*
+/// coloring, and the `balance` object records the difference.
+fn render_json(
+    result: &DecompositionResult,
+    masks: &[mpl_core::Mask],
+    violations: Option<usize>,
+    balance: Option<&mpl_core::BalanceReport>,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"layout\": \"{}\",\n",
+        json_escape(result.layout_name())
+    ));
+    out.push_str(&format!("  \"algorithm\": \"{}\",\n", result.algorithm()));
+    out.push_str(&format!(
+        "  \"executor\": \"{}\",\n",
+        json_escape(result.executor())
+    ));
+    out.push_str(&format!("  \"k\": {},\n", result.k()));
+    out.push_str(&format!("  \"vertices\": {},\n", result.vertex_count()));
+    out.push_str(&format!(
+        "  \"conflict_edges\": {},\n",
+        result.conflict_edge_count()
+    ));
+    out.push_str(&format!(
+        "  \"stitch_edges\": {},\n",
+        result.stitch_edge_count()
+    ));
+    out.push_str(&format!(
+        "  \"components\": {},\n",
+        result.component_count()
+    ));
+    out.push_str(&format!("  \"conflicts\": {},\n", result.conflicts()));
+    out.push_str(&format!("  \"stitches\": {},\n", result.stitches()));
+    out.push_str(&format!("  \"cost\": {},\n", result.cost()));
+    out.push_str(&format!(
+        "  \"graph_seconds\": {},\n",
+        result.graph_time().as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "  \"color_seconds\": {},\n",
+        result.color_time().as_secs_f64()
+    ));
+    if let Some(violations) = violations {
+        out.push_str(&format!("  \"spacing_violations\": {violations},\n"));
+    }
+    if let Some(balance) = balance {
+        out.push_str(&format!(
+            "  \"balance\": {{\"moves\": {}, \"imbalance_before\": {}, \"imbalance_after\": {}}},\n",
+            balance.moves, balance.imbalance_before, balance.imbalance_after
+        ));
+    }
+    out.push_str("  \"masks\": [");
+    for (index, mask) in masks.iter().enumerate() {
+        if index > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"index\": {}, \"features\": {}, \"area\": {}}}",
+            mask.index,
+            mask.feature_count(),
+            mask.area
+        ));
+    }
+    out.push_str("],\n");
+    out.push_str("  \"component_breakdown\": [");
+    for (index, stats) in result.component_stats().iter().enumerate() {
+        if index > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"index\": {}, \"vertices\": {}, \"conflicts\": {}, \"stitches\": {}, \"seconds\": {}}}",
+            stats.index,
+            stats.vertex_count,
+            stats.conflicts,
+            stats.stitches,
+            stats.time.as_secs_f64()
+        ));
+    }
+    out.push_str("]\n}");
+    out
 }
 
 fn main() -> ExitCode {
@@ -220,60 +382,115 @@ fn main() -> ExitCode {
     if !options.stitches {
         config.stitch = StitchConfig::disabled();
     }
-    let decomposer = Decomposer::new(config.clone());
-    let result = decomposer.decompose(&options.layout);
 
-    println!(
-        "{}: {} shapes, K = {}, algorithm = {}",
-        result.layout_name(),
-        options.layout.shape_count(),
-        result.k(),
-        result.algorithm()
-    );
-    println!(
-        "graph: {} vertices, {} conflict edges, {} stitch candidates",
-        result.vertex_count(),
-        result.conflict_edge_count(),
-        result.stitch_edge_count()
-    );
-    println!(
-        "result: {} conflicts, {} stitches (cost {:.2}) in {:.3}s + {:.3}s",
-        result.conflicts(),
-        result.stitches(),
-        result.cost(),
-        result.graph_time().as_secs_f64(),
-        result.color_time().as_secs_f64()
-    );
+    // The executor is part of the typed-error surface: `--threads 0` is a
+    // ConfigError, not a panic.
+    let executor: Box<dyn Executor> = match options.threads {
+        None => Box::new(SerialExecutor),
+        Some(threads) => match ThreadPoolExecutor::new(threads) {
+            Ok(pool) => Box::new(pool),
+            Err(error) => {
+                eprintln!("{error}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
 
-    let graph = DecompositionGraph::build(&options.layout, &tech, options.k, &config.stitch);
+    // Stage 1: plan. Invalid configurations (e.g. `--k 1`, negative
+    // `--alpha`) and degenerate layouts surface here as typed errors.
+    let decomposer = Decomposer::new(config);
+    let plan = match decomposer.plan(&options.layout) {
+        Ok(plan) => plan,
+        Err(error) => {
+            eprintln!("{error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Stage 2: execute, optionally with progress reporting.
+    let result = if options.progress {
+        let observer = StderrProgress {
+            total: plan.tasks().len(),
+            finished: AtomicUsize::new(0),
+        };
+        plan.execute_observed(executor.as_ref(), &observer)
+    } else {
+        plan.execute(executor.as_ref())
+    };
+
+    if !options.json {
+        println!(
+            "{}: {} shapes, K = {}, algorithm = {}, executor = {}",
+            result.layout_name(),
+            options.layout.shape_count(),
+            result.k(),
+            result.algorithm(),
+            result.executor()
+        );
+        let largest = plan
+            .tasks()
+            .iter()
+            .map(ComponentTask::vertex_count)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "graph: {} vertices, {} conflict edges, {} stitch candidates, {} components (largest {})",
+            result.vertex_count(),
+            result.conflict_edge_count(),
+            result.stitch_edge_count(),
+            result.component_count(),
+            largest
+        );
+        println!(
+            "result: {} conflicts, {} stitches (cost {:.2}) in {:.3}s + {:.3}s",
+            result.conflicts(),
+            result.stitches(),
+            result.cost(),
+            result.graph_time().as_secs_f64(),
+            result.color_time().as_secs_f64()
+        );
+    }
+
+    let graph = plan.graph();
     let mut colors = result.colors().to_vec();
 
+    let mut balance_report = None;
     if options.balance {
-        let report = rebalance_masks(&graph, &mut colors);
-        println!(
-            "balance: {} moves, imbalance {:.3} -> {:.3}",
-            report.moves, report.imbalance_before, report.imbalance_after
-        );
+        let report = rebalance_masks(graph, &mut colors);
+        if !options.json {
+            println!(
+                "balance: {} moves, imbalance {:.3} -> {:.3}",
+                report.moves, report.imbalance_before, report.imbalance_after
+            );
+        }
+        balance_report = Some(report);
     }
 
-    let masks = extract_masks(&graph, &colors);
-    for mask in &masks {
-        println!(
-            "  mask {}: {} features, {} nm² area",
-            mask.index,
-            mask.feature_count(),
-            mask.area
-        );
+    let masks = extract_masks(graph, &colors);
+    if !options.json {
+        for mask in &masks {
+            println!(
+                "  mask {}: {} features, {} nm² area",
+                mask.index,
+                mask.feature_count(),
+                mask.area
+            );
+        }
     }
 
+    let mut verified_violations = None;
+    let mut verify_mismatch = false;
     if options.verify {
-        let violations = verify_spacing(&graph, &colors, tech.coloring_distance(options.k));
-        println!(
-            "verification: {} same-mask spacing violations",
-            violations.len()
-        );
-        for violation in violations.iter().take(10) {
-            println!("  {violation}");
+        let violations = verify_spacing(graph, &colors, tech.coloring_distance(options.k));
+        verified_violations = Some(violations.len());
+        if !options.json {
+            println!(
+                "verification: {} same-mask spacing violations",
+                violations.len()
+            );
+            for violation in violations.iter().take(10) {
+                println!("  {violation}");
+            }
         }
         if violations.len() != result.conflicts() && !options.balance {
             eprintln!(
@@ -281,8 +498,26 @@ fn main() -> ExitCode {
                 violations.len(),
                 result.conflicts()
             );
-            return ExitCode::FAILURE;
+            verify_mismatch = true;
         }
+    }
+
+    // The JSON summary is emitted even when verification found a mismatch:
+    // machine consumers get both counts (conflicts vs spacing_violations)
+    // and the process still exits with failure below.
+    if options.json {
+        println!(
+            "{}",
+            render_json(
+                &result,
+                &masks,
+                verified_violations,
+                balance_report.as_ref()
+            )
+        );
+    }
+    if verify_mismatch {
+        return ExitCode::FAILURE;
     }
 
     if let Some(path) = options.output {
@@ -300,7 +535,9 @@ fn main() -> ExitCode {
             eprintln!("cannot write {path}: {error}");
             return ExitCode::FAILURE;
         }
-        println!("mask assignment written to {path}");
+        if !options.json {
+            println!("mask assignment written to {path}");
+        }
     }
 
     if let Some(path) = options.output_gds {
@@ -316,10 +553,12 @@ fn main() -> ExitCode {
             eprintln!("cannot write {path}: {error}");
             return ExitCode::FAILURE;
         }
-        println!(
-            "colored GDS written to {path} (mask k on layer {}+k)",
-            COLORED_BASE_LAYER
-        );
+        if !options.json {
+            println!(
+                "colored GDS written to {path} (mask k on layer {}+k)",
+                COLORED_BASE_LAYER
+            );
+        }
     }
     ExitCode::SUCCESS
 }

@@ -19,7 +19,9 @@ fn fig1_resolved_by_four_masks_with_all_distinct_colors() {
     let tech = Technology::nm20();
     let layout = gen::fig1_contact_clique(&tech);
     let config = DecomposerConfig::quadruple(tech).with_algorithm(ColorAlgorithm::Ilp);
-    let result = Decomposer::new(config).decompose(&layout);
+    let result = Decomposer::new(config)
+        .decompose(&layout)
+        .expect("valid config");
     assert_eq!(result.conflicts(), 0);
     let mut colors = result.colors().to_vec();
     colors.sort_unstable();
@@ -128,6 +130,8 @@ fn fig7_dense_contact_pattern_contains_a_k5_and_defeats_four_coloring() {
     assert_eq!(graph.vertex_count(), 5);
     assert_eq!(graph.conflict_edges().len(), 10);
     let config = DecomposerConfig::quadruple(tech).with_algorithm(ColorAlgorithm::Ilp);
-    let result = Decomposer::new(config).decompose(&layout);
+    let result = Decomposer::new(config)
+        .decompose(&layout)
+        .expect("valid config");
     assert_eq!(result.conflicts(), 1);
 }

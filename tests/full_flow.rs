@@ -18,8 +18,12 @@ fn fig1_motivating_example_tpl_fails_qpl_succeeds() {
     // The paper's Fig. 1: the 2x2 contact clique is indecomposable with
     // three masks but clean with four.
     let layout = gen::fig1_contact_clique(&Technology::nm20());
-    let triple = Decomposer::new(config(3, ColorAlgorithm::Ilp)).decompose(&layout);
-    let quad = Decomposer::new(config(4, ColorAlgorithm::Ilp)).decompose(&layout);
+    let triple = Decomposer::new(config(3, ColorAlgorithm::Ilp))
+        .decompose(&layout)
+        .expect("valid config");
+    let quad = Decomposer::new(config(4, ColorAlgorithm::Ilp))
+        .decompose(&layout)
+        .expect("valid config");
     assert_eq!(triple.conflicts(), 1);
     assert_eq!(quad.conflicts(), 0);
 }
@@ -27,8 +31,12 @@ fn fig1_motivating_example_tpl_fails_qpl_succeeds() {
 #[test]
 fn k5_cluster_needs_a_fifth_mask() {
     let layout = gen::k5_cluster_layout(&Technology::nm20());
-    let quad = Decomposer::new(config(4, ColorAlgorithm::SdpBacktrack)).decompose(&layout);
-    let penta = Decomposer::new(config(5, ColorAlgorithm::SdpBacktrack)).decompose(&layout);
+    let quad = Decomposer::new(config(4, ColorAlgorithm::SdpBacktrack))
+        .decompose(&layout)
+        .expect("valid config");
+    let penta = Decomposer::new(config(5, ColorAlgorithm::SdpBacktrack))
+        .decompose(&layout)
+        .expect("valid config");
     assert_eq!(quad.conflicts(), 1);
     assert_eq!(penta.conflicts(), 0);
 }
@@ -39,7 +47,7 @@ fn reported_statistics_match_an_independent_recomputation() {
     let layout = IscasCircuit::C432.generate(&tech);
     for algorithm in ColorAlgorithm::ALL {
         let decomposer = Decomposer::new(config(4, algorithm));
-        let result = decomposer.decompose(&layout);
+        let result = decomposer.decompose(&layout).expect("valid config");
         let graph = DecompositionGraph::build(&layout, &tech, 4, &decomposer.config().stitch);
         let recomputed = coloring_cost(&graph, result.colors(), decomposer.config().alpha);
         assert_eq!(recomputed.conflicts, result.conflicts(), "{algorithm}");
@@ -52,13 +60,17 @@ fn reported_statistics_match_an_independent_recomputation() {
 fn exact_engine_is_never_worse_than_the_heuristics_on_a_small_circuit() {
     let tech = Technology::nm20();
     let layout = IscasCircuit::C880.generate(&tech);
-    let exact = Decomposer::new(config(4, ColorAlgorithm::Ilp)).decompose(&layout);
+    let exact = Decomposer::new(config(4, ColorAlgorithm::Ilp))
+        .decompose(&layout)
+        .expect("valid config");
     for algorithm in [
         ColorAlgorithm::SdpBacktrack,
         ColorAlgorithm::SdpGreedy,
         ColorAlgorithm::Linear,
     ] {
-        let other = Decomposer::new(config(4, algorithm)).decompose(&layout);
+        let other = Decomposer::new(config(4, algorithm))
+            .decompose(&layout)
+            .expect("valid config");
         assert!(
             exact.cost() <= other.cost() + 1e-9,
             "{algorithm} beat the exact engine: {} < {}",
@@ -74,7 +86,9 @@ fn more_masks_never_increase_the_optimal_conflict_count() {
     let layout = IscasCircuit::C1908.generate(&tech);
     let mut previous = usize::MAX;
     for k in [4usize, 5, 6] {
-        let result = Decomposer::new(config(k, ColorAlgorithm::SdpBacktrack)).decompose(&layout);
+        let result = Decomposer::new(config(k, ColorAlgorithm::SdpBacktrack))
+            .decompose(&layout)
+            .expect("valid config");
         assert!(
             result.conflicts() <= previous,
             "conflicts increased from {previous} to {} at K = {k}",
@@ -92,15 +106,21 @@ fn stitch_insertion_never_hurts_the_conflict_count() {
     with_stitches.stitch = StitchConfig::default();
     let mut without_stitches = config(4, ColorAlgorithm::SdpBacktrack);
     without_stitches.stitch = StitchConfig::disabled();
-    let with_result = Decomposer::new(with_stitches).decompose(&layout);
-    let without_result = Decomposer::new(without_stitches).decompose(&layout);
+    let with_result = Decomposer::new(with_stitches)
+        .decompose(&layout)
+        .expect("valid config");
+    let without_result = Decomposer::new(without_stitches)
+        .decompose(&layout)
+        .expect("valid config");
     assert!(with_result.conflicts() <= without_result.conflicts());
 }
 
 #[test]
 fn pentuple_patterning_runs_on_a_dense_circuit() {
     let layout = IscasCircuit::C7552.generate(&Technology::nm20());
-    let result = Decomposer::new(config(5, ColorAlgorithm::Linear)).decompose(&layout);
+    let result = Decomposer::new(config(5, ColorAlgorithm::Linear))
+        .decompose(&layout)
+        .expect("valid config");
     assert_eq!(result.k(), 5);
     assert!(result.colors().iter().all(|&c| c < 5));
 }
@@ -111,10 +131,18 @@ fn table_row_shapes_match_paper_ordering_on_a_medium_circuit() {
     // good as SDP+Backtrack, which is at least as good as SDP+Greedy; the
     // linear engine is the fastest.
     let layout = IscasCircuit::C6288.generate(&Technology::nm20());
-    let exact = Decomposer::new(config(4, ColorAlgorithm::Ilp)).decompose(&layout);
-    let backtrack = Decomposer::new(config(4, ColorAlgorithm::SdpBacktrack)).decompose(&layout);
-    let greedy = Decomposer::new(config(4, ColorAlgorithm::SdpGreedy)).decompose(&layout);
-    let linear = Decomposer::new(config(4, ColorAlgorithm::Linear)).decompose(&layout);
+    let exact = Decomposer::new(config(4, ColorAlgorithm::Ilp))
+        .decompose(&layout)
+        .expect("valid config");
+    let backtrack = Decomposer::new(config(4, ColorAlgorithm::SdpBacktrack))
+        .decompose(&layout)
+        .expect("valid config");
+    let greedy = Decomposer::new(config(4, ColorAlgorithm::SdpGreedy))
+        .decompose(&layout)
+        .expect("valid config");
+    let linear = Decomposer::new(config(4, ColorAlgorithm::Linear))
+        .decompose(&layout)
+        .expect("valid config");
     assert!(exact.conflicts() <= backtrack.conflicts());
     assert!(backtrack.conflicts() <= greedy.conflicts());
     assert!(linear.color_time() <= backtrack.color_time());

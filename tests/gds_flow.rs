@@ -63,7 +63,9 @@ fn colored_gds_round_trip_verifies_clean_per_mask() {
     // per-mask layers partition the layout exactly.
     let mut config = DecomposerConfig::quadruple(tech).with_algorithm(ColorAlgorithm::SdpBacktrack);
     config.stitch = StitchConfig::disabled();
-    let result = Decomposer::new(config.clone()).decompose(&read_back);
+    let result = Decomposer::new(config.clone())
+        .decompose(&read_back)
+        .expect("valid config");
     assert_eq!(
         result.conflicts(),
         0,

@@ -31,7 +31,9 @@ fn k5_cluster_bound_is_tight() {
     let graph = DecompositionGraph::build(&layout, &tech, 4, &StitchConfig::default());
     let bound = conflict_lower_bound(&conflict_graph(&graph), 4);
     assert_eq!(bound, 1);
-    let result = Decomposer::new(config(4, ColorAlgorithm::Ilp)).decompose(&layout);
+    let result = Decomposer::new(config(4, ColorAlgorithm::Ilp))
+        .decompose(&layout)
+        .expect("valid config");
     assert_eq!(result.conflicts(), bound);
 }
 
@@ -42,8 +44,12 @@ fn dense_strip_results_respect_the_clique_bound() {
         let layout = gen::dense_strip_layout(&tech, length);
         let graph = DecompositionGraph::build(&layout, &tech, 4, &StitchConfig::default());
         let bound = conflict_lower_bound(&conflict_graph(&graph), 4);
-        let exact = Decomposer::new(config(4, ColorAlgorithm::Ilp)).decompose(&layout);
-        let linear = Decomposer::new(config(4, ColorAlgorithm::Linear)).decompose(&layout);
+        let exact = Decomposer::new(config(4, ColorAlgorithm::Ilp))
+            .decompose(&layout)
+            .expect("valid config");
+        let linear = Decomposer::new(config(4, ColorAlgorithm::Linear))
+            .decompose(&layout)
+            .expect("valid config");
         assert!(
             exact.conflicts() >= bound,
             "strip {length}: exact {} below the certified bound {bound}",
@@ -65,7 +71,9 @@ fn benchmark_circuit_conflicts_are_bounded_below_by_the_clique_cover() {
     let graph = DecompositionGraph::build(&layout, &tech, 4, &StitchConfig::default());
     let bound = conflict_lower_bound(&conflict_graph(&graph), 4);
     for algorithm in ColorAlgorithm::ALL {
-        let result = Decomposer::new(config(4, algorithm)).decompose(&layout);
+        let result = Decomposer::new(config(4, algorithm))
+            .decompose(&layout)
+            .expect("valid config");
         assert!(
             result.conflicts() >= bound,
             "{algorithm} reported {} conflicts, below the certified bound {bound}",
@@ -83,6 +91,8 @@ fn bound_vanishes_when_enough_masks_are_available() {
     // five masks suffice: the bound and the optimum both drop to zero.
     let bound = conflict_lower_bound(&conflict_graph(&graph), 5);
     assert_eq!(bound, 0);
-    let result = Decomposer::new(config(5, ColorAlgorithm::SdpBacktrack)).decompose(&layout);
+    let result = Decomposer::new(config(5, ColorAlgorithm::SdpBacktrack))
+        .decompose(&layout)
+        .expect("valid config");
     assert_eq!(result.conflicts(), 0);
 }

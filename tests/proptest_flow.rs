@@ -61,7 +61,7 @@ proptest! {
         let tech = Technology::nm20();
         let config = DecomposerConfig::quadruple(tech)
             .with_algorithm(ColorAlgorithm::Linear);
-        let result = Decomposer::new(config.clone()).decompose(&layout);
+        let result = Decomposer::new(config.clone()).decompose(&layout).expect("valid config");
         prop_assert!(result.colors().iter().all(|&c| (c as usize) < 4));
         // Reported statistics must match an independent recomputation.
         let graph = DecompositionGraph::build(&layout, &tech, 4, &config.stitch);

@@ -3,7 +3,7 @@
 //! The workspace must build without network access, so this vendored crate
 //! reimplements the subset of the proptest API used by the test suites:
 //!
-//! * [`Strategy`] with `prop_map` and `prop_flat_map` combinators,
+//! * [`strategy::Strategy`] with `prop_map` and `prop_flat_map` combinators,
 //! * integer range strategies (`0i64..100`, `2usize..=5`, …),
 //! * tuple strategies up to arity 6,
 //! * [`collection::vec`] and [`bool::weighted`],
@@ -110,7 +110,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and combinator types.
+/// The `Strategy` trait and combinator types.
 pub mod strategy {
     use crate::test_runner::TestRng;
 
@@ -241,7 +241,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// A size specification for [`vec`]: a fixed length or a length range.
+    /// A size specification for [`vec()`]: a fixed length or a length range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
