@@ -1,0 +1,294 @@
+//! Batch benchmarking: many layouts through one [`DecompositionSession`]
+//! on a shared executor, with machine-readable `BENCH_*.json` reports.
+//!
+//! The table harness measures one (circuit, algorithm) cell at a time; this
+//! module measures *fleets* of layouts the way a production decomposer is
+//! driven — every layout's components in one largest-first queue — and
+//! reports aggregate throughput (layouts/sec, components/sec) alongside the
+//! per-layout breakdown.  Parse (file load) time is tracked separately from
+//! planning (graph build) and coloring time, so I/O regressions never hide
+//! inside decomposition numbers and vice versa.
+//!
+//! [`BatchBenchReport::to_json`] renders a stable schema
+//! (`mpl-bench/batch-v1`) intended to be committed or archived per PR, so
+//! the performance trajectory is tracked across changes.
+
+use crate::workload::TimedLayout;
+use mpl_core::{
+    json_escape, ColorAlgorithm, DecomposeError, Decomposer, DecompositionSession, Executor,
+};
+use std::time::Instant;
+
+/// Per-layout measurements of one batch run.
+#[derive(Debug, Clone)]
+pub struct LayoutBenchStats {
+    /// The layout's name (from the file or generator).
+    pub name: String,
+    /// The path the layout was loaded from (empty for generated layouts).
+    pub path: String,
+    /// Number of shapes in the input layout.
+    pub shapes: usize,
+    /// Decomposition-graph vertices.
+    pub vertices: usize,
+    /// Independent components (= scheduled tasks).
+    pub components: usize,
+    /// Unresolved conflicts.
+    pub conflicts: usize,
+    /// Inserted stitches.
+    pub stitches: usize,
+    /// Seconds spent parsing the input file (0 for generated layouts).
+    pub parse_seconds: f64,
+    /// Seconds spent building the decomposition graph and tasks.
+    pub plan_seconds: f64,
+    /// Seconds from batch start until this layout's last component
+    /// finished coloring.
+    pub color_seconds: f64,
+}
+
+/// The result of one batch benchmark run: per-layout rows plus the batch
+/// aggregate.
+#[derive(Debug, Clone)]
+pub struct BatchBenchReport {
+    /// Mask count K.
+    pub k: usize,
+    /// The color-assignment engine used for every layout.
+    pub algorithm: String,
+    /// The executor that drained the batch (e.g. `threads:2`).
+    pub executor: String,
+    /// Wall-clock seconds spent draining the whole batch.
+    pub batch_wall_seconds: f64,
+    /// Per-layout rows, in submission order.
+    pub layouts: Vec<LayoutBenchStats>,
+}
+
+impl BatchBenchReport {
+    /// Total number of component tasks across the batch.
+    pub fn component_count(&self) -> usize {
+        self.layouts.iter().map(|row| row.components).sum()
+    }
+
+    /// Total seconds spent parsing input files.
+    pub fn total_parse_seconds(&self) -> f64 {
+        self.layouts.iter().map(|row| row.parse_seconds).sum()
+    }
+
+    /// Total seconds spent planning (graph construction).
+    pub fn total_plan_seconds(&self) -> f64 {
+        self.layouts.iter().map(|row| row.plan_seconds).sum()
+    }
+
+    /// Layouts decomposed per second of batch wall time.
+    pub fn layouts_per_sec(&self) -> f64 {
+        self.layouts.len() as f64 / self.batch_wall_seconds.max(1e-12)
+    }
+
+    /// Component tasks colored per second of batch wall time.
+    pub fn components_per_sec(&self) -> f64 {
+        self.component_count() as f64 / self.batch_wall_seconds.max(1e-12)
+    }
+
+    /// Renders the machine-readable report (schema `mpl-bench/batch-v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"mpl-bench/batch-v1\",\n");
+        out.push_str(&format!("  \"k\": {},\n", self.k));
+        out.push_str(&format!(
+            "  \"algorithm\": \"{}\",\n",
+            json_escape(&self.algorithm)
+        ));
+        out.push_str(&format!(
+            "  \"executor\": \"{}\",\n",
+            json_escape(&self.executor)
+        ));
+        out.push_str("  \"batch\": {\n");
+        out.push_str(&format!("    \"layouts\": {},\n", self.layouts.len()));
+        out.push_str(&format!(
+            "    \"components\": {},\n",
+            self.component_count()
+        ));
+        out.push_str(&format!(
+            "    \"parse_seconds\": {},\n",
+            self.total_parse_seconds()
+        ));
+        out.push_str(&format!(
+            "    \"plan_seconds\": {},\n",
+            self.total_plan_seconds()
+        ));
+        out.push_str(&format!(
+            "    \"wall_seconds\": {},\n",
+            self.batch_wall_seconds
+        ));
+        out.push_str(&format!(
+            "    \"layouts_per_sec\": {},\n",
+            self.layouts_per_sec()
+        ));
+        out.push_str(&format!(
+            "    \"components_per_sec\": {}\n",
+            self.components_per_sec()
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"layouts\": [\n");
+        for (index, row) in self.layouts.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\", ", json_escape(&row.name)));
+            out.push_str(&format!("\"path\": \"{}\", ", json_escape(&row.path)));
+            out.push_str(&format!("\"shapes\": {}, ", row.shapes));
+            out.push_str(&format!("\"vertices\": {}, ", row.vertices));
+            out.push_str(&format!("\"components\": {}, ", row.components));
+            out.push_str(&format!("\"conflicts\": {}, ", row.conflicts));
+            out.push_str(&format!("\"stitches\": {}, ", row.stitches));
+            out.push_str(&format!("\"parse_seconds\": {}, ", row.parse_seconds));
+            out.push_str(&format!("\"plan_seconds\": {}, ", row.plan_seconds));
+            out.push_str(&format!("\"color_seconds\": {}}}", row.color_seconds));
+            out.push_str(if index + 1 < self.layouts.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+/// Runs `layouts` as one batch through `executor` and measures everything.
+///
+/// # Errors
+///
+/// Propagates the first layout's typed planning error (e.g. a degenerate
+/// shape in a user-supplied file).
+pub fn run_batch_bench(
+    layouts: &[TimedLayout],
+    k: usize,
+    algorithm: ColorAlgorithm,
+    executor: &dyn Executor,
+) -> Result<BatchBenchReport, DecomposeError> {
+    let decomposer = Decomposer::new(crate::table_config(k, algorithm));
+    let mut session = DecompositionSession::new();
+    for timed in layouts {
+        session.submit_layout(&decomposer, &timed.layout)?;
+    }
+    let batch_start = Instant::now();
+    let results = session.run(executor);
+    let batch_wall_seconds = batch_start.elapsed().as_secs_f64();
+
+    let rows = results
+        .iter()
+        .zip(layouts)
+        .map(|((id, result), timed)| {
+            let plan = session.plan(*id).expect("session keeps every plan");
+            LayoutBenchStats {
+                name: result.layout_name().to_string(),
+                path: timed.path.clone(),
+                shapes: timed.layout.shape_count(),
+                vertices: result.vertex_count(),
+                components: result.component_count(),
+                conflicts: result.conflicts(),
+                stitches: result.stitches(),
+                parse_seconds: timed.parse_seconds,
+                plan_seconds: plan.graph_time().as_secs_f64(),
+                color_seconds: result.color_time().as_secs_f64(),
+            }
+        })
+        .collect();
+    Ok(BatchBenchReport {
+        k,
+        algorithm: algorithm.name().to_string(),
+        executor: executor.name().to_string(),
+        batch_wall_seconds,
+        layouts: rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_core::SerialExecutor;
+    use mpl_layout::{gen, io, Technology};
+
+    fn timed(name: &str, seed: u64) -> TimedLayout {
+        TimedLayout {
+            path: format!("<generated {name}>"),
+            layout: gen::generate_row_layout(
+                &gen::RowLayoutConfig::small(name, seed),
+                &Technology::nm20(),
+            ),
+            parse_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn batch_bench_reports_per_layout_and_aggregate_numbers() {
+        let layouts = [timed("bb-a", 3), timed("bb-b", 7)];
+        let report =
+            run_batch_bench(&layouts, 4, ColorAlgorithm::Linear, &SerialExecutor).expect("valid");
+        assert_eq!(report.layouts.len(), 2);
+        assert_eq!(report.k, 4);
+        assert_eq!(report.algorithm, "Linear");
+        assert_eq!(report.executor, "serial");
+        assert!(report.batch_wall_seconds > 0.0);
+        assert!(report.layouts_per_sec() > 0.0);
+        assert!(report.components_per_sec() >= report.layouts_per_sec());
+        let components: usize = report.layouts.iter().map(|row| row.components).sum();
+        assert_eq!(report.component_count(), components);
+        for row in &report.layouts {
+            assert!(row.vertices > 0);
+            assert!(row.components > 0);
+            assert!(row.plan_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn batch_results_match_the_single_layout_flow() {
+        let layouts = [timed("bb-x", 5), timed("bb-y", 9)];
+        let report =
+            run_batch_bench(&layouts, 4, ColorAlgorithm::Linear, &SerialExecutor).expect("valid");
+        for (row, timed) in report.layouts.iter().zip(&layouts) {
+            let standalone = Decomposer::new(crate::table_config(4, ColorAlgorithm::Linear))
+                .decompose(&timed.layout)
+                .expect("valid");
+            assert_eq!(row.conflicts, standalone.conflicts());
+            assert_eq!(row.stitches, standalone.stitches());
+        }
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough_to_round_trip_key_fields() {
+        let layouts = [timed("bb-json \"quoted\"", 3)];
+        let report =
+            run_batch_bench(&layouts, 4, ColorAlgorithm::Linear, &SerialExecutor).expect("valid");
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"mpl-bench/batch-v1\""));
+        assert!(json.contains("\"layouts_per_sec\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        // Balanced braces/brackets — a cheap structural sanity check that
+        // catches trailing-comma/unclosed-array regressions without a JSON
+        // parser dependency.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = json.matches(open).count();
+            let closes = json.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close} in {json}");
+        }
+    }
+
+    #[test]
+    fn parse_time_is_reported_separately_from_decompose_time() {
+        let tech = Technology::nm20();
+        let layout = gen::fig1_contact_clique(&tech);
+        let mut path = std::env::temp_dir();
+        path.push(format!("mpl-bench-batch-parse-{}.txt", std::process::id()));
+        let path = path.to_string_lossy().into_owned();
+        std::fs::write(&path, io::to_text(&layout)).expect("write text");
+        let timed = crate::workload::load_layout_timed(&path, &[]).expect("load");
+        assert!(timed.parse_seconds > 0.0);
+        assert_eq!(timed.path, path);
+        let report =
+            run_batch_bench(&[timed], 4, ColorAlgorithm::Linear, &SerialExecutor).expect("valid");
+        assert_eq!(
+            report.layouts[0].parse_seconds,
+            report.total_parse_seconds()
+        );
+        assert!(report.to_json().contains("parse_seconds"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,16 +1,25 @@
 //! Benchmarks arbitrary layout files (text format or GDSII) with the same
-//! row structure as the paper's tables.
+//! row structure as the paper's tables, or — with `--batch` — as one
+//! cross-layout batch on a shared executor.
 //!
 //! Usage: `cargo run -p mpl-bench --release --bin workload -- \
-//!     [--k N] [--threads N] [--layer L[:D] ...] FILE [FILE ...]`
+//!     [--k N] [--threads N] [--layer L[:D] ...] \
+//!     [--batch] [--algorithm NAME] [--bench-json PATH] FILE [FILE ...]`
 //!
-//! Each file is decomposed with every Table 1 algorithm; GDSII inputs can
-//! be restricted to specific layers with `--layer`, and `--threads` colors
-//! independent components on a thread pool.  Invalid mask counts, thread
-//! counts and degenerate layouts are reported as the pipeline's typed
-//! errors.
+//! Table mode (the default) decomposes each file with every Table 1
+//! algorithm.  Batch mode (`--batch`) submits every file to one
+//! [`mpl_core::DecompositionSession`] and drains all component tasks
+//! through one shared executor, reporting per-layout rows plus aggregate
+//! throughput (layouts/sec, components/sec) with parse time separated from
+//! decompose time; `--bench-json PATH` additionally writes the
+//! machine-readable `BENCH_*.json` report (schema `mpl-bench/batch-v1`)
+//! for tracking the performance trajectory across changes.  GDSII inputs
+//! can be restricted to specific layers with `--layer`.  Invalid mask
+//! counts, thread counts and degenerate layouts are reported as the
+//! pipeline's typed errors.
 
-use mpl_bench::workload::{load_layout, run_layout_table_on};
+use mpl_bench::batch::run_batch_bench;
+use mpl_bench::workload::{load_layout_timed, run_layout_table_on, TimedLayout};
 use mpl_bench::{executor_for_threads, table_config, threads_from_args, TABLE1_ALGORITHMS};
 use mpl_core::ColorAlgorithm;
 use std::process::ExitCode;
@@ -25,9 +34,14 @@ fn main() -> ExitCode {
         }
     };
 
+    let usage = "usage: workload [--k N] [--threads N] [--layer L[:D] ...] \
+                 [--batch] [--algorithm NAME] [--bench-json PATH] FILE [FILE ...]";
     let mut k = 4usize;
     let mut layer_specs: Vec<String> = Vec::new();
     let mut paths: Vec<String> = Vec::new();
+    let mut batch = false;
+    let mut algorithm: Option<ColorAlgorithm> = None;
+    let mut bench_json: Option<String> = None;
     let mut args = rest.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,19 +59,45 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--batch" => batch = true,
+            "--algorithm" => match args.next().as_deref().map(ColorAlgorithm::from_cli_name) {
+                Some(Ok(value)) => algorithm = Some(value),
+                Some(Err(message)) => {
+                    eprintln!("{message}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--algorithm requires a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bench-json" => match args.next() {
+                Some(path) => bench_json = Some(path),
+                None => {
+                    eprintln!("--bench-json requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: workload [--k N] [--threads N] [--layer L[:D] ...] FILE [FILE ...]"
-                );
+                eprintln!("{usage}");
                 return ExitCode::SUCCESS;
             }
             _ => paths.push(arg),
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: workload [--k N] [--threads N] [--layer L[:D] ...] FILE [FILE ...]");
+        eprintln!("{usage}");
         return ExitCode::FAILURE;
     }
+    if !batch && bench_json.is_some() {
+        eprintln!("--bench-json only applies to --batch mode");
+        return ExitCode::FAILURE;
+    }
+    if !batch && algorithm.is_some() {
+        eprintln!("--algorithm only applies to --batch mode (table mode runs every engine)");
+        return ExitCode::FAILURE;
+    }
+    let algorithm = algorithm.unwrap_or(ColorAlgorithm::Linear);
     // Surface bad mask counts (e.g. --k 1 or --k 300) as the pipeline's
     // typed error before any file is loaded.
     if let Err(error) = table_config(k, ColorAlgorithm::Linear).validate() {
@@ -65,12 +105,16 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut layouts = Vec::with_capacity(paths.len());
+    let mut layouts: Vec<TimedLayout> = Vec::with_capacity(paths.len());
     for path in &paths {
-        match load_layout(path, &layer_specs) {
-            Ok(layout) => {
-                eprintln!("{path}: {} shapes", layout.shape_count());
-                layouts.push(layout);
+        match load_layout_timed(path, &layer_specs) {
+            Ok(timed) => {
+                eprintln!(
+                    "{path}: {} shapes (parsed in {:.3}s)",
+                    timed.layout.shape_count(),
+                    timed.parse_seconds
+                );
+                layouts.push(timed);
             }
             Err(error) => {
                 eprintln!("{error}");
@@ -80,12 +124,66 @@ fn main() -> ExitCode {
     }
 
     let executor = executor_for_threads(threads);
+    if batch {
+        eprintln!(
+            "Batch workload: K = {k}, {} on {} layout(s) ({} executor, one shared queue)",
+            algorithm.name(),
+            layouts.len(),
+            executor.name()
+        );
+        let report = match run_batch_bench(&layouts, k, algorithm, executor.as_ref()) {
+            Ok(report) => report,
+            Err(error) => {
+                eprintln!("{error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("\nBatch workload (K = {k}, {})", report.algorithm);
+        println!(
+            "{:<24} {:>8} {:>9} {:>6} {:>6} {:>9} {:>9} {:>9}",
+            "layout", "vertices", "comps", "cn#", "st#", "parse(s)", "plan(s)", "color(s)"
+        );
+        for row in &report.layouts {
+            println!(
+                "{:<24} {:>8} {:>9} {:>6} {:>6} {:>9.3} {:>9.3} {:>9.3}",
+                row.name,
+                row.vertices,
+                row.components,
+                row.conflicts,
+                row.stitches,
+                row.parse_seconds,
+                row.plan_seconds,
+                row.color_seconds
+            );
+        }
+        println!(
+            "batch: {} layouts, {} components in {:.3}s on {} ({:.1} layouts/s, {:.1} components/s); parse {:.3}s, plan {:.3}s",
+            report.layouts.len(),
+            report.component_count(),
+            report.batch_wall_seconds,
+            report.executor,
+            report.layouts_per_sec(),
+            report.components_per_sec(),
+            report.total_parse_seconds(),
+            report.total_plan_seconds()
+        );
+        if let Some(path) = bench_json {
+            if let Err(error) = std::fs::write(&path, report.to_json()) {
+                eprintln!("cannot write {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("benchmark report written to {path}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
     eprintln!(
         "Workload table: K = {k} on {} layout(s) ({} executor)",
         layouts.len(),
         executor.name()
     );
-    match run_layout_table_on(&layouts, &TABLE1_ALGORITHMS, k, executor.as_ref()) {
+    let table_inputs: Vec<_> = layouts.into_iter().map(|timed| timed.layout).collect();
+    match run_layout_table_on(&table_inputs, &TABLE1_ALGORITHMS, k, executor.as_ref()) {
         Ok(report) => {
             println!("\nWorkload table (K = {k})");
             println!("{report}");

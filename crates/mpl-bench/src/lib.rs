@@ -11,7 +11,12 @@
 //! * `ablation` — the effect of each graph-division technique and of the
 //!   linear engine's design choices (orderings, color-friendly rule).
 //! * `workload` — the same row structure over arbitrary layout files
-//!   (text format or GDSII), via [`workload::load_layout`].
+//!   (text format or GDSII), via [`workload::load_layout`].  Its `--batch`
+//!   mode instead drives all files as **one** [`mpl_core::DecompositionSession`]
+//!   on a shared executor and reports aggregate throughput (layouts/sec,
+//!   components/sec) plus a machine-readable `BENCH_*.json` via
+//!   [`batch::BatchBenchReport`], with parse time tracked separately from
+//!   decompose time.
 //!
 //! The Criterion benches under `benches/` time the same runs for
 //! regression tracking.
@@ -19,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod workload;
 
 use mpl_core::{

@@ -29,6 +29,35 @@ pub fn load_layout(path: &str, layer_specs: &[String]) -> Result<Layout, Workloa
     mpl_gds::load_layout_file(path, &map, &ReadOptions::default())
 }
 
+/// A loaded layout together with where it came from and how long the load
+/// (parse) took — the input unit of the batch benchmark harness
+/// ([`crate::batch`]), which reports parse time separately from decompose
+/// time.
+#[derive(Debug, Clone)]
+pub struct TimedLayout {
+    /// The file the layout was loaded from (or a `<generated …>` marker).
+    pub path: String,
+    /// The layout itself.
+    pub layout: Layout,
+    /// Wall-clock seconds spent loading and parsing the file.
+    pub parse_seconds: f64,
+}
+
+/// Loads a layout file like [`load_layout`], timing the load.
+///
+/// # Errors
+///
+/// Returns a [`WorkloadError`] describing the failing path and cause.
+pub fn load_layout_timed(path: &str, layer_specs: &[String]) -> Result<TimedLayout, WorkloadError> {
+    let parse_start = std::time::Instant::now();
+    let layout = load_layout(path, layer_specs)?;
+    Ok(TimedLayout {
+        path: path.to_string(),
+        layout,
+        parse_seconds: parse_start.elapsed().as_secs_f64(),
+    })
+}
+
 /// Runs the table cells for a list of pre-loaded layouts on an executor.
 ///
 /// # Errors

@@ -39,6 +39,22 @@ impl ColorAlgorithm {
             ColorAlgorithm::Linear => "Linear",
         }
     }
+
+    /// Parses a command-line engine name (the shared alias list of the
+    /// `qpl-decompose` and `workload` binaries), case-insensitively.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the rejected input.
+    pub fn from_cli_name(name: &str) -> Result<Self, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "ilp" | "exact" => Ok(ColorAlgorithm::Ilp),
+            "sdp-backtrack" | "sdp_backtrack" | "backtrack" => Ok(ColorAlgorithm::SdpBacktrack),
+            "sdp-greedy" | "sdp_greedy" | "greedy" => Ok(ColorAlgorithm::SdpGreedy),
+            "linear" => Ok(ColorAlgorithm::Linear),
+            other => Err(format!("unknown algorithm {other:?}")),
+        }
+    }
 }
 
 impl std::fmt::Display for ColorAlgorithm {

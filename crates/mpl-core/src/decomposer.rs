@@ -1,10 +1,12 @@
 //! The end-to-end decomposition flow (Fig. 2 of the paper).
 //!
 //! The flow is staged: [`Decomposer::plan`] builds the decomposition graph
-//! and materialises the independent components as [`ComponentTask`]s, and
-//! [`DecompositionPlan::execute`] colors them through a pluggable
-//! [`Executor`](crate::Executor).  [`Decomposer::decompose`] is the
-//! one-call convenience wrapper that plans and executes serially.
+//! and materialises the independent components as [`ComponentTask`]s, which
+//! then color through a pluggable [`Executor`](crate::Executor) — either
+//! alone ([`DecompositionPlan::execute`]) or batched with other layouts'
+//! tasks in a [`DecompositionSession`](crate::DecompositionSession).
+//! [`Decomposer::decompose`] is the one-call convenience wrapper that plans
+//! and executes serially.
 
 use crate::assign::{assigner_for, ColorAssigner};
 #[cfg(test)]
@@ -198,6 +200,9 @@ impl Decomposer {
     /// Builds the decomposition plan for a layout: validates the
     /// configuration and the layout, constructs the decomposition graph,
     /// and materialises one [`ComponentTask`] per independent component.
+    /// The plan can be executed directly or submitted to a
+    /// [`DecompositionSession`](crate::DecompositionSession) to run batched
+    /// with other layouts on one shared executor.
     ///
     /// # Errors
     ///

@@ -27,51 +27,79 @@
 //! breakdown, and the conflict/stitch/runtime statistics the paper reports
 //! in its tables.
 //!
-//! # The plan → execute lifecycle
+//! # The session lifecycle: plan → submit → run
 //!
-//! The flow above is staged behind a two-phase API:
+//! The flow above is staged behind a batch-first API.  Production
+//! decomposers are driven as services over *streams* of layouts, so the
+//! execution layer schedules the component tasks of **many** layouts on
+//! one shared executor; a single layout is just the degenerate batch.
 //!
-//! 1. [`Decomposer::plan`] validates the configuration and the layout
-//!    (typed [`DecomposeError`]s instead of panics), builds the
+//! 1. **Plan.** [`Decomposer::plan`] validates the configuration and the
+//!    layout (typed [`DecomposeError`]s instead of panics), builds the
 //!    decomposition graph, and materialises every independent component as
 //!    a self-contained [`ComponentTask`] inside a [`DecompositionPlan`].
-//! 2. [`DecompositionPlan::execute`] runs the tasks through a pluggable
-//!    [`Executor`] — [`SerialExecutor`] for the classic single-threaded
-//!    run, or [`ThreadPoolExecutor`] to color independent components on a
-//!    scoped thread pool (largest component first).  Components share no
-//!    edges, so every executor produces bit-identical colors (provided no
-//!    engine wall-clock cut-off fires mid-component; see
+//! 2. **Submit.** A [`DecompositionSession`] collects plans:
+//!    [`submit`](DecompositionSession::submit) enqueues a plan's tasks
+//!    into one shared, largest-first global queue — each tagged with the
+//!    [`LayoutId`] returned by the submission —
+//!    ([`submit_layout`](DecompositionSession::submit_layout) plans
+//!    internally).  Batches may mix configurations: every task carries its
+//!    own plan's engine, K and α.
+//! 3. **Run.** [`DecompositionSession::run`] drains the whole batch
+//!    through a pluggable [`Executor`] — [`SerialExecutor`] for the
+//!    classic single-threaded run, or [`ThreadPoolExecutor`] to color
+//!    components on a scoped thread pool, largest component first *across
+//!    layouts*, so small layouts never leave pool workers idle — and
+//!    returns one [`DecompositionResult`] per layout, in submission order.
+//!    Components share no edges, so every executor and every batching
+//!    produces bit-identical colors per layout (provided no engine
+//!    wall-clock cut-off fires mid-component; see
 //!    [`DecompositionPlan::execute_observed`]).
 //!
-//! Progress can be traced with a [`DecompositionObserver`]
-//! (component started/finished callbacks plus stage timings), and
-//! [`Decomposer::decompose`] remains as the one-call serial convenience
-//! wrapper.
+//! [`DecompositionPlan::execute`] is the one-plan session (same engine,
+//! layout id `0`), and [`Decomposer::decompose`] remains as the one-call
+//! serial convenience wrapper.  Progress can be traced with a
+//! [`DecompositionObserver`]: batch started/finished bracketing plus
+//! per-layout and per-component callbacks, each tagged with the
+//! [`LayoutId`] it belongs to.  Custom executors written against the old
+//! single-layout trait shape still run through the deprecated
+//! `LayoutExecutor` + [`BatchAdapter`] shim.
 //!
 //! # Quick start
 //!
 //! ```
-//! use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig, SerialExecutor,
-//!                ThreadPoolExecutor};
+//! use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionSession,
+//!                SerialExecutor, ThreadPoolExecutor};
 //! use mpl_layout::{gen, Technology};
 //!
 //! let tech = Technology::nm20();
-//! let layout = gen::fig1_contact_clique(&tech);
 //! let config = DecomposerConfig::quadruple(tech).with_algorithm(ColorAlgorithm::Linear);
 //! let decomposer = Decomposer::new(config);
 //!
-//! // Stage 1: plan — inspect the independent components before running.
-//! let plan = decomposer.plan(&layout)?;
-//! assert_eq!(plan.tasks().len(), 1);
+//! // Stage 1+2: plan each layout and submit it to a shared session.
+//! let mut session = DecompositionSession::new();
+//! let clique = session.submit_layout(&decomposer, &gen::fig1_contact_clique(&tech))?;
+//! let cluster = session.submit_layout(&decomposer, &gen::k5_cluster_layout(&tech))?;
 //!
-//! // Stage 2: execute — serial and thread-pool schedules agree bit for bit.
-//! let serial = plan.execute(&SerialExecutor);
-//! let parallel = plan.execute(&ThreadPoolExecutor::new(2)?);
-//! assert_eq!(serial.colors(), parallel.colors());
+//! // Stage 3: run the whole batch on one executor; results come back in
+//! // submission order, and every schedule agrees bit for bit.
+//! let pooled = session.run(&ThreadPoolExecutor::new(2)?);
+//! let serial = session.run(&SerialExecutor);
+//! assert_eq!(pooled.len(), 2);
+//! for ((id_a, a), (id_b, b)) in pooled.iter().zip(&serial) {
+//!     assert_eq!(id_a, id_b);
+//!     assert_eq!(a.colors(), b.colors());
+//! }
 //!
 //! // The Fig. 1 pattern is a K4: indecomposable with three masks, clean with four.
-//! assert_eq!(serial.conflicts(), 0);
-//! assert_eq!(serial.mask_layouts().len(), 4);
+//! assert_eq!(pooled[clique.index()].1.conflicts(), 0);
+//! assert_eq!(pooled[clique.index()].1.mask_layouts().len(), 4);
+//! // The K5 cluster needs a fifth mask, so quadruple patterning costs one conflict.
+//! assert_eq!(pooled[cluster.index()].1.conflicts(), 1);
+//!
+//! // The degenerate batch: execute one plan directly.
+//! let plan = decomposer.plan(&gen::fig1_contact_clique(&tech))?;
+//! assert_eq!(plan.execute(&SerialExecutor).conflicts(), 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -90,6 +118,7 @@ mod error;
 mod executor;
 mod pipeline;
 mod report;
+mod session;
 mod stitch;
 pub mod verify;
 
@@ -100,11 +129,16 @@ pub use cost::{coloring_cost, ColoringCost};
 pub use decomp_graph::{DecompositionGraph, VertexId};
 pub use decomposer::{Decomposer, DecompositionResult};
 pub use error::{ConfigError, DecomposeError};
-pub use executor::{Executor, SerialExecutor, TaskWork, ThreadPoolExecutor};
+#[allow(deprecated)]
+pub use executor::LayoutExecutor;
+pub use executor::{
+    BatchAdapter, BatchWork, Executor, SerialExecutor, TaskWork, ThreadPoolExecutor,
+};
 pub use pipeline::{
     ComponentOutcome, ComponentStats, ComponentTask, DecompositionObserver, DecompositionPlan,
     NoopObserver,
 };
-pub use report::{ResultRow, TableReport};
+pub use report::{json_escape, ResultRow, TableReport};
+pub use session::{BatchTask, DecompositionSession, LayoutId};
 pub use stitch::StitchConfig;
 pub use verify::{density_imbalance, extract_masks, verify_spacing, Mask, SpacingViolation};

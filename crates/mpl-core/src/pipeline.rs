@@ -3,21 +3,23 @@
 //!
 //! [`crate::Decomposer::plan`] builds the decomposition graph and
 //! materialises every independent component as a self-contained
-//! [`ComponentTask`]; [`DecompositionPlan::execute`] then runs the tasks
-//! through a pluggable [`Executor`](crate::Executor).  Because components are
-//! independent by construction (no conflict or stitch edge crosses them),
-//! tasks can run in any order — or in parallel — without changing the
-//! result.
+//! [`ComponentTask`]; the tasks then execute through a pluggable
+//! [`Executor`](crate::Executor), either alone
+//! ([`DecompositionPlan::execute`]) or batched with other layouts' tasks
+//! in a [`DecompositionSession`](crate::DecompositionSession).  Because
+//! components are independent by construction (no conflict or stitch edge
+//! crosses them), tasks can run in any order — or in parallel, interleaved
+//! with another layout's tasks — without changing the result.
 //!
 //! Progress can be traced with a [`DecompositionObserver`]; per-component
 //! conflict/stitch/time breakdowns are reported as [`ComponentStats`] on the
 //! final [`DecompositionResult`](crate::DecompositionResult).
 
-use crate::assign::assigner_for;
-use crate::{coloring_cost, ComponentProblem, Decomposer, DecompositionGraph, DecompositionResult};
+use crate::session::{execute_batch, LayoutId};
+use crate::{ComponentProblem, Decomposer, DecompositionGraph, DecompositionResult};
 use crate::{Executor, SerialExecutor};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One independent component of the decomposition graph, packaged as a
 /// self-contained color-assignment task.
@@ -90,35 +92,57 @@ pub struct ComponentOutcome {
     pub stats: ComponentStats,
 }
 
-/// Progress callbacks fired while a plan executes.
+/// Progress callbacks fired while a batch executes.
 ///
-/// Parallel executors invoke these from worker threads, so implementations
-/// must be `Sync`; use atomics or locks for mutable state.  All methods have
-/// empty default bodies — implement only what you need.
+/// Every callback carries the [`LayoutId`] of the layout the event belongs
+/// to, so one observer can demultiplex an interleaved cross-layout batch;
+/// the batch-level hooks bracket the whole run.  A single plan's
+/// [`execute`](DecompositionPlan::execute) is the degenerate one-layout
+/// batch (id `0`) and fires the same sequence.
+///
+/// Parallel executors invoke the component callbacks from worker threads,
+/// so implementations must be `Sync`; use atomics or locks for mutable
+/// state.  All methods have empty default bodies — implement only what you
+/// need.
 pub trait DecompositionObserver: Sync {
-    /// Execution is about to start on `plan`.
-    fn execution_started(&self, plan: &DecompositionPlan) {
-        let _ = plan;
+    /// A batch of `layouts` layouts totalling `tasks` component tasks is
+    /// about to execute.
+    fn batch_started(&self, layouts: usize, tasks: usize) {
+        let _ = (layouts, tasks);
     }
 
-    /// A component task was picked up by a worker.
-    fn component_started(&self, task: &ComponentTask) {
-        let _ = task;
+    /// Execution is about to start on `plan` (fired once per layout, in
+    /// submission order, before any component runs).
+    fn execution_started(&self, layout: LayoutId, plan: &DecompositionPlan) {
+        let _ = (layout, plan);
     }
 
-    /// A component task finished with the given statistics.
-    fn component_finished(&self, task: &ComponentTask, stats: &ComponentStats) {
-        let _ = (task, stats);
+    /// A component task of `layout` was picked up by a worker.
+    fn component_started(&self, layout: LayoutId, task: &ComponentTask) {
+        let _ = (layout, task);
     }
 
-    /// Every task finished; `result` is the assembled decomposition.
-    fn execution_finished(&self, result: &DecompositionResult) {
-        let _ = result;
+    /// A component task of `layout` finished with the given statistics.
+    fn component_finished(&self, layout: LayoutId, task: &ComponentTask, stats: &ComponentStats) {
+        let _ = (layout, task, stats);
+    }
+
+    /// Every task of `layout` finished; `result` is its assembled
+    /// decomposition.
+    fn execution_finished(&self, layout: LayoutId, result: &DecompositionResult) {
+        let _ = (layout, result);
+    }
+
+    /// Every layout of the batch finished; `results` is what the run
+    /// returns, in submission order.
+    fn batch_finished(&self, results: &[(LayoutId, DecompositionResult)]) {
+        let _ = results;
     }
 }
 
 /// An observer that ignores every event (the default for
-/// [`DecompositionPlan::execute`]).
+/// [`DecompositionPlan::execute`] and
+/// [`DecompositionSession::run`](crate::DecompositionSession::run)).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoopObserver;
 
@@ -129,7 +153,9 @@ impl DecompositionObserver for NoopObserver {}
 ///
 /// The plan is immutable and self-contained; executing it does not mutate
 /// it, so the same plan can be executed several times (e.g. once per
-/// executor when comparing schedules).
+/// executor when comparing schedules) or submitted to a
+/// [`DecompositionSession`](crate::DecompositionSession) to run batched
+/// with other layouts.
 #[derive(Debug, Clone)]
 pub struct DecompositionPlan {
     decomposer: Decomposer,
@@ -163,6 +189,12 @@ impl DecompositionPlan {
         &self.graph
     }
 
+    /// The decomposer the plan was built by (the batch engine colors each
+    /// task with its own plan's configuration).
+    pub(crate) fn decomposer(&self) -> &Decomposer {
+        &self.decomposer
+    }
+
     /// The layout the plan was built for.
     pub fn layout_name(&self) -> &str {
         &self.layout_name
@@ -188,7 +220,8 @@ impl DecompositionPlan {
         self.graph_time
     }
 
-    /// Executes every task through `executor` and assembles the result.
+    /// Executes every task through `executor` and assembles the result —
+    /// the degenerate one-plan batch.
     pub fn execute(&self, executor: &dyn Executor) -> DecompositionResult {
         self.execute_observed(executor, &NoopObserver)
     }
@@ -201,10 +234,16 @@ impl DecompositionPlan {
     /// Executes every task through `executor`, reporting progress to
     /// `observer`.
     ///
+    /// This is a one-plan batch through the same engine that drives
+    /// [`DecompositionSession::run_observed`](crate::DecompositionSession::run_observed);
+    /// the plan's tasks are tagged with [`LayoutId`] `0` and observers see
+    /// the full batch event sequence.
+    ///
     /// The coloring work itself is a function of each task alone, so the
-    /// assembled colors are identical for every executor; only the
-    /// scheduling (and the wall-clock `color_time`) differs.  One caveat:
-    /// engines with *wall-clock* cut-offs (the exact engine's
+    /// assembled colors are identical for every executor (and for every
+    /// batch the plan is submitted to); only the scheduling (and the
+    /// wall-clock `color_time`) differs.  One caveat: engines with
+    /// *wall-clock* cut-offs (the exact engine's
     /// [`ilp_time_limit`](crate::DecomposerConfig::ilp_time_limit), the SDP
     /// solve budget) stop at whatever incumbent they reached when the
     /// deadline fires, so on components large enough to hit a deadline the
@@ -215,65 +254,11 @@ impl DecompositionPlan {
         executor: &dyn Executor,
         observer: &dyn DecompositionObserver,
     ) -> DecompositionResult {
-        let color_start = Instant::now();
-        observer.execution_started(self);
-        let config = self.decomposer.config();
-        let decomposer = &self.decomposer;
-        let work = |task: &ComponentTask| {
-            observer.component_started(task);
-            let task_start = Instant::now();
-            let assigner = assigner_for(config.algorithm, config);
-            let colors = decomposer.color_problem(task.problem(), assigner.as_ref());
-            let (conflicts, stitches, cost) = task.problem().evaluate(&colors);
-            let stats = ComponentStats {
-                index: task.index(),
-                vertex_count: task.problem().vertex_count(),
-                conflict_edge_count: task.problem().conflict_edges().len(),
-                stitch_edge_count: task.problem().stitch_edges().len(),
-                conflicts,
-                stitches,
-                cost,
-                time: task_start.elapsed(),
-            };
-            observer.component_finished(task, &stats);
-            ComponentOutcome { colors, stats }
-        };
-        let outcomes = executor.run(&self.tasks, &work);
-        // The Executor contract requires one outcome per task, in task
-        // order; a broken custom executor must fail loudly here rather than
-        // silently producing a truncated (wrong) coloring.
-        assert_eq!(
-            outcomes.len(),
-            self.tasks.len(),
-            "executor {:?} returned {} outcomes for {} tasks",
-            executor.name(),
-            outcomes.len(),
-            self.tasks.len()
-        );
-        let mut colors = vec![0u8; self.graph.vertex_count()];
-        for (task, outcome) in self.tasks.iter().zip(&outcomes) {
-            assert_eq!(
-                outcome.stats.index,
-                task.index(),
-                "executor {:?} returned outcomes out of task order",
-                executor.name()
-            );
-            for (local, &global) in task.to_global.iter().enumerate() {
-                colors[global] = outcome.colors[local];
-            }
-        }
-        let color_time = color_start.elapsed();
-        let cost = coloring_cost(&self.graph, &colors, config.alpha);
-        let components = outcomes.into_iter().map(|outcome| outcome.stats).collect();
-        let result = DecompositionResult::from_execution(
-            self,
-            executor.name(),
-            colors,
-            cost,
-            components,
-            color_time,
-        );
-        observer.execution_finished(&result);
-        result
+        let entries = [(LayoutId::new(0), self)];
+        let mut results = execute_batch(&entries, executor, observer);
+        results
+            .pop()
+            .expect("a one-plan batch produces exactly one result")
+            .1
     }
 }

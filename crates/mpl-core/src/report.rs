@@ -3,6 +3,23 @@
 use crate::DecompositionResult;
 use std::fmt;
 
+/// Minimal JSON string escaping (quotes, backslashes, control characters)
+/// — the shared helper behind the hand-rolled JSON emitters of the
+/// `qpl-decompose` CLI and the `mpl-bench` batch reports (the workspace
+/// has no serde dependency).
+pub fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// One row of a comparison table: the conflict count, stitch count and
 /// color-assignment CPU time of a single (circuit, algorithm) pair — the
 /// `cn#`, `st#`, `CPU(s)` triple of the paper's tables.

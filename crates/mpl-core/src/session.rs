@@ -1,0 +1,570 @@
+//! Batch-first execution: a [`DecompositionSession`] schedules the
+//! component tasks of **many** layouts on one shared executor.
+//!
+//! The paper's graph-division stage deliberately shatters a layout into
+//! many small independent coloring problems.  Scheduling those problems
+//! per layout leaves pool workers idle whenever a layout is small; a
+//! session instead collects every submitted plan's [`ComponentTask`]s into
+//! one shared, largest-first global queue — each task tagged with the
+//! [`LayoutId`] of the layout it belongs to — and drains the whole batch
+//! through a single [`Executor`].  Because components are independent by
+//! construction, the per-layout results are bit-identical to running each
+//! layout alone on the [`SerialExecutor`](crate::SerialExecutor); only the
+//! schedule (and the wall clock) changes.
+//!
+//! [`DecompositionPlan::execute`](crate::DecompositionPlan::execute) is the
+//! degenerate one-plan batch and shares this module's engine.
+
+use crate::assign::assigner_for;
+use crate::pipeline::{
+    ComponentOutcome, ComponentStats, ComponentTask, DecompositionObserver, DecompositionPlan,
+    NoopObserver,
+};
+use crate::{coloring_cost, DecomposeError, Decomposer, DecompositionResult, Executor};
+use mpl_layout::Layout;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Identifies one layout within a [`DecompositionSession`] batch.
+///
+/// Ids are assigned by [`DecompositionSession::submit`] in submission order
+/// (`0, 1, 2, …`) and tag every [`BatchTask`], observer callback and result
+/// of the batch, so cross-layout consumers can tell whose component just
+/// finished.  A plan executed on its own ([`DecompositionPlan::execute`])
+/// is the degenerate batch and uses id `0`.
+///
+/// [`DecompositionPlan::execute`]: crate::DecompositionPlan::execute
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LayoutId(usize);
+
+impl LayoutId {
+    /// Creates an id with the given index (useful when hand-building
+    /// batches for custom executors; sessions assign ids themselves).
+    pub fn new(index: usize) -> Self {
+        LayoutId(index)
+    }
+
+    /// The position of the layout in its batch's submission order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LayoutId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layout#{}", self.0)
+    }
+}
+
+/// A [`ComponentTask`] tagged with the layout it belongs to — the unit of
+/// work an [`Executor`] schedules within a batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchTask<'a> {
+    layout: LayoutId,
+    task: &'a ComponentTask,
+}
+
+impl<'a> BatchTask<'a> {
+    /// Tags `task` with the layout it came from.
+    pub fn new(layout: LayoutId, task: &'a ComponentTask) -> Self {
+        BatchTask { layout, task }
+    }
+
+    /// The layout this task belongs to.
+    pub fn layout(&self) -> LayoutId {
+        self.layout
+    }
+
+    /// The underlying component task.
+    pub fn task(&self) -> &'a ComponentTask {
+        self.task
+    }
+
+    /// Number of vertices in the component (the scheduling weight).
+    pub fn vertex_count(&self) -> usize {
+        self.task.vertex_count()
+    }
+}
+
+/// A batch of decomposition plans executed on one shared executor.
+///
+/// Plans are added with [`submit`](DecompositionSession::submit) (or
+/// [`submit_layout`](DecompositionSession::submit_layout), which plans
+/// internally) and executed together by
+/// [`run`](DecompositionSession::run): every plan's component tasks enter
+/// one largest-first global queue, so a pool executor keeps all workers
+/// busy as long as *any* layout still has components left — small layouts
+/// no longer serialise behind each other.
+///
+/// Running does not consume the session; like a single plan, the same
+/// batch can be executed several times (e.g. once per executor when
+/// comparing schedules) and yields bit-identical colors every time.
+///
+/// # Example
+///
+/// ```
+/// use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionSession,
+///                SerialExecutor, ThreadPoolExecutor};
+/// use mpl_layout::{gen, Technology};
+///
+/// let tech = Technology::nm20();
+/// let decomposer = Decomposer::new(
+///     DecomposerConfig::quadruple(tech).with_algorithm(ColorAlgorithm::Linear),
+/// );
+///
+/// let mut session = DecompositionSession::new();
+/// let a = session.submit_layout(&decomposer, &gen::fig1_contact_clique(&tech))?;
+/// let b = session.submit_layout(&decomposer, &gen::k5_cluster_layout(&tech))?;
+///
+/// // One shared pool drains both layouts' components...
+/// let results = session.run(&ThreadPoolExecutor::new(2)?);
+/// assert_eq!(results.len(), 2);
+/// // ...and every layout's colors match its standalone serial run.
+/// for (id, result) in &results {
+///     let plan = session.plan(*id).unwrap();
+///     assert_eq!(result.colors(), plan.execute(&SerialExecutor).colors());
+/// }
+/// assert_eq!(results[0].0, a);
+/// assert_eq!(results[1].0, b);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DecompositionSession {
+    plans: Vec<DecompositionPlan>,
+}
+
+impl DecompositionSession {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        DecompositionSession { plans: Vec::new() }
+    }
+
+    /// Enqueues an already-built plan, returning the id its tasks and
+    /// results will be tagged with.
+    pub fn submit(&mut self, plan: DecompositionPlan) -> LayoutId {
+        let id = LayoutId(self.plans.len());
+        self.plans.push(plan);
+        id
+    }
+
+    /// Plans `layout` with `decomposer` and enqueues the plan.
+    ///
+    /// Different submissions may use different decomposers (mixed K,
+    /// engines or α within one batch are fine — each task carries its own
+    /// configuration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the typed planning errors of [`Decomposer::plan`]; the
+    /// session is left unchanged on error.
+    pub fn submit_layout(
+        &mut self,
+        decomposer: &Decomposer,
+        layout: &Layout,
+    ) -> Result<LayoutId, DecomposeError> {
+        Ok(self.submit(decomposer.plan(layout)?))
+    }
+
+    /// Number of layouts submitted so far.
+    pub fn layout_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Total number of component tasks across all submitted plans.
+    pub fn task_count(&self) -> usize {
+        self.plans.iter().map(|plan| plan.tasks().len()).sum()
+    }
+
+    /// Whether no layout has been submitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// The submitted plans with their ids, in submission order.
+    pub fn plans(&self) -> impl Iterator<Item = (LayoutId, &DecompositionPlan)> {
+        self.plans
+            .iter()
+            .enumerate()
+            .map(|(index, plan)| (LayoutId(index), plan))
+    }
+
+    /// The plan submitted under `id`, if any.
+    pub fn plan(&self, id: LayoutId) -> Option<&DecompositionPlan> {
+        self.plans.get(id.index())
+    }
+
+    /// Executes the whole batch through `executor` and returns one result
+    /// per layout, in submission order.
+    ///
+    /// Every layout's colors/conflicts/stitches are bit-identical to that
+    /// layout's standalone [`SerialExecutor`](crate::SerialExecutor) run
+    /// (see [`DecompositionPlan::execute_observed`] for the wall-clock
+    /// cut-off caveat shared by all schedules).
+    pub fn run(&self, executor: &dyn Executor) -> Vec<(LayoutId, DecompositionResult)> {
+        self.run_observed(executor, &NoopObserver)
+    }
+
+    /// Executes the whole batch through `executor`, reporting batch,
+    /// per-layout and per-component progress to `observer`.
+    pub fn run_observed(
+        &self,
+        executor: &dyn Executor,
+        observer: &dyn DecompositionObserver,
+    ) -> Vec<(LayoutId, DecompositionResult)> {
+        let entries: Vec<(LayoutId, &DecompositionPlan)> = self.plans().collect();
+        execute_batch(&entries, executor, observer)
+    }
+}
+
+/// The shared batch engine behind [`DecompositionSession::run_observed`]
+/// and [`DecompositionPlan::execute_observed`] (a one-entry batch).
+///
+/// Builds the largest-first global queue of tagged tasks, drains it through
+/// `executor`, and assembles one [`DecompositionResult`] per entry, in
+/// entry order.  Each entry's `LayoutId` must be unique within the batch.
+pub(crate) fn execute_batch(
+    entries: &[(LayoutId, &DecompositionPlan)],
+    executor: &dyn Executor,
+    observer: &dyn DecompositionObserver,
+) -> Vec<(LayoutId, DecompositionResult)> {
+    let batch_start = Instant::now();
+    let mut slots: HashMap<LayoutId, usize> = HashMap::with_capacity(entries.len());
+    for (slot, &(id, _)) in entries.iter().enumerate() {
+        let previous = slots.insert(id, slot);
+        assert!(previous.is_none(), "duplicate {id} in one batch");
+    }
+    observer.batch_started(
+        entries.len(),
+        entries.iter().map(|(_, p)| p.tasks().len()).sum(),
+    );
+    for &(id, plan) in entries {
+        observer.execution_started(id, plan);
+    }
+
+    // The shared global queue: every task of every plan, largest first.
+    // Ties keep (submission, task) order so the schedule is deterministic;
+    // the outcomes are schedule-independent anyway.
+    let mut batch: Vec<BatchTask<'_>> = entries
+        .iter()
+        .flat_map(|&(id, plan)| {
+            plan.tasks()
+                .iter()
+                .map(move |task| BatchTask::new(id, task))
+        })
+        .collect();
+    batch.sort_by_key(|tagged| {
+        (
+            std::cmp::Reverse(tagged.vertex_count()),
+            slots[&tagged.layout()],
+            tagged.task().index(),
+        )
+    });
+
+    // Per-layout completion instants: a layout's color time in a batch is
+    // the time from batch start until its last component finished.
+    let finished_at: Mutex<Vec<Option<Instant>>> = Mutex::new(vec![None; entries.len()]);
+    let work = |tagged: &BatchTask<'_>| -> ComponentOutcome {
+        let slot = slots[&tagged.layout()];
+        let plan = entries[slot].1;
+        let task = tagged.task();
+        observer.component_started(tagged.layout(), task);
+        let task_start = Instant::now();
+        let config = plan.config();
+        let assigner = assigner_for(config.algorithm, config);
+        let colors = plan
+            .decomposer()
+            .color_problem(task.problem(), assigner.as_ref());
+        let (conflicts, stitches, cost) = task.problem().evaluate(&colors);
+        let stats = ComponentStats {
+            index: task.index(),
+            vertex_count: task.problem().vertex_count(),
+            conflict_edge_count: task.problem().conflict_edges().len(),
+            stitch_edge_count: task.problem().stitch_edges().len(),
+            conflicts,
+            stitches,
+            cost,
+            time: task_start.elapsed(),
+        };
+        observer.component_finished(tagged.layout(), task, &stats);
+        // Keep the latest completion per layout.  The instant is taken
+        // *while holding the lock* (an assignment's right operand would
+        // evaluate before the place expression locks), and the max guards
+        // against a late-locking worker overwriting a later completion.
+        {
+            let mut finished = finished_at.lock().expect("no panics while timing");
+            let now = Instant::now();
+            if finished[slot].is_none_or(|previous| previous < now) {
+                finished[slot] = Some(now);
+            }
+        }
+        ComponentOutcome { colors, stats }
+    };
+
+    let outcomes = executor.run(&batch, &work);
+    // The Executor contract requires one outcome per batch task, in batch
+    // order; a broken custom executor must fail loudly here rather than
+    // silently producing a truncated (wrong) coloring.
+    assert_eq!(
+        outcomes.len(),
+        batch.len(),
+        "executor {:?} returned {} outcomes for {} tasks",
+        executor.name(),
+        outcomes.len(),
+        batch.len()
+    );
+
+    // Scatter the outcomes back to their layouts.
+    let mut per_layout: Vec<Vec<(usize, ComponentOutcome)>> =
+        (0..entries.len()).map(|_| Vec::new()).collect();
+    for (tagged, outcome) in batch.iter().zip(outcomes) {
+        assert_eq!(
+            outcome.stats.index,
+            tagged.task().index(),
+            "executor {:?} returned outcomes out of batch order",
+            executor.name()
+        );
+        per_layout[slots[&tagged.layout()]].push((tagged.task().index(), outcome));
+    }
+
+    let finished_at = finished_at.into_inner().expect("no panics while timing");
+    let mut results = Vec::with_capacity(entries.len());
+    for (slot, &(id, plan)) in entries.iter().enumerate() {
+        let mut outcomes = std::mem::take(&mut per_layout[slot]);
+        outcomes.sort_by_key(|(index, _)| *index);
+        assert_eq!(
+            outcomes.len(),
+            plan.tasks().len(),
+            "executor {:?} dropped tasks of {id}",
+            executor.name()
+        );
+        let mut colors = vec![0u8; plan.graph().vertex_count()];
+        for ((_, outcome), task) in outcomes.iter().zip(plan.tasks()) {
+            for (local, &global) in task.to_global().iter().enumerate() {
+                colors[global] = outcome.colors[local];
+            }
+        }
+        let color_time = finished_at[slot]
+            .map(|instant| instant.duration_since(batch_start))
+            .unwrap_or(Duration::ZERO);
+        let cost = coloring_cost(plan.graph(), &colors, plan.config().alpha);
+        let components = outcomes
+            .into_iter()
+            .map(|(_, outcome)| outcome.stats)
+            .collect();
+        let result = DecompositionResult::from_execution(
+            plan,
+            executor.name(),
+            colors,
+            cost,
+            components,
+            color_time,
+        );
+        observer.execution_finished(id, &result);
+        results.push((id, result));
+    }
+    observer.batch_finished(&results);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColorAlgorithm, DecomposerConfig, SerialExecutor, ThreadPoolExecutor};
+    use mpl_layout::{gen, Technology};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn decomposer(algorithm: ColorAlgorithm) -> Decomposer {
+        Decomposer::new(DecomposerConfig::quadruple(Technology::nm20()).with_algorithm(algorithm))
+    }
+
+    fn row_layout(name: &str, seed: u64) -> Layout {
+        gen::generate_row_layout(
+            &gen::RowLayoutConfig::small(name, seed),
+            &Technology::nm20(),
+        )
+    }
+
+    #[test]
+    fn ids_are_sequential_and_results_come_back_in_submission_order() {
+        let decomposer = decomposer(ColorAlgorithm::Linear);
+        let mut session = DecompositionSession::new();
+        let a = session
+            .submit_layout(&decomposer, &row_layout("a", 3))
+            .expect("valid config");
+        let b = session
+            .submit_layout(&decomposer, &row_layout("b", 7))
+            .expect("valid config");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(a.to_string(), "layout#0");
+        assert_eq!(session.layout_count(), 2);
+        assert!(session.task_count() >= 2);
+        let results = session.run(&SerialExecutor);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].0, a);
+        assert_eq!(results[1].0, b);
+        assert_eq!(results[0].1.layout_name(), "a");
+        assert_eq!(results[1].1.layout_name(), "b");
+    }
+
+    #[test]
+    fn batch_results_match_standalone_serial_runs() {
+        let decomposer = decomposer(ColorAlgorithm::Linear);
+        let layouts = [row_layout("x", 3), row_layout("y", 5), row_layout("z", 7)];
+        let mut session = DecompositionSession::new();
+        for layout in &layouts {
+            session
+                .submit_layout(&decomposer, layout)
+                .expect("valid config");
+        }
+        let pool = ThreadPoolExecutor::new(4).expect("non-zero threads");
+        let batch = session.run(&pool);
+        for ((id, result), layout) in batch.iter().zip(&layouts) {
+            let standalone = decomposer.decompose(layout).expect("valid config");
+            assert_eq!(result.colors(), standalone.colors(), "{id}");
+            assert_eq!(result.conflicts(), standalone.conflicts());
+            assert_eq!(result.stitches(), standalone.stitches());
+            assert_eq!(result.executor(), "threads:4");
+        }
+    }
+
+    #[test]
+    fn mixed_configurations_share_one_batch() {
+        // Different K and engines per submission: each task carries its own
+        // configuration through the shared queue.
+        let quad = decomposer(ColorAlgorithm::Linear);
+        let penta = Decomposer::new(
+            DecomposerConfig::pentuple(Technology::nm20())
+                .with_algorithm(ColorAlgorithm::SdpGreedy),
+        );
+        let layout = gen::k5_cluster_layout(&Technology::nm20());
+        let mut session = DecompositionSession::new();
+        session.submit_layout(&quad, &layout).expect("valid config");
+        session
+            .submit_layout(&penta, &layout)
+            .expect("valid config");
+        let results = session.run(&ThreadPoolExecutor::new(2).expect("non-zero threads"));
+        assert_eq!(results[0].1.k(), 4);
+        assert_eq!(results[1].1.k(), 5);
+        assert_eq!(results[0].1.conflicts(), 1); // K5 needs five masks
+        assert_eq!(results[1].1.conflicts(), 0);
+    }
+
+    #[test]
+    fn empty_sessions_and_empty_layouts_run_trivially() {
+        let session = DecompositionSession::new();
+        assert!(session.is_empty());
+        assert!(session.run(&SerialExecutor).is_empty());
+
+        let decomposer = decomposer(ColorAlgorithm::Linear);
+        let mut session = DecompositionSession::default();
+        let id = session
+            .submit_layout(&decomposer, &Layout::builder("empty").build())
+            .expect("an empty layout is not an error");
+        let results = session.run(&SerialExecutor);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, id);
+        assert_eq!(results[0].1.vertex_count(), 0);
+        assert_eq!(results[0].1.color_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn submit_errors_leave_the_session_unchanged() {
+        let bad = Decomposer::new(
+            DecomposerConfig::k_patterning(1, Technology::nm20())
+                .with_algorithm(ColorAlgorithm::Linear),
+        );
+        let mut session = DecompositionSession::new();
+        assert!(session.submit_layout(&bad, &row_layout("bad", 3)).is_err());
+        assert!(session.is_empty());
+    }
+
+    /// Counts every callback and checks layout tags stay in range.
+    #[derive(Default)]
+    struct CountingObserver {
+        batch_started: AtomicUsize,
+        batch_finished: AtomicUsize,
+        layouts_started: AtomicUsize,
+        layouts_finished: AtomicUsize,
+        components_started: AtomicUsize,
+        components_finished: AtomicUsize,
+        max_layout: AtomicUsize,
+    }
+
+    impl DecompositionObserver for CountingObserver {
+        fn batch_started(&self, layouts: usize, tasks: usize) {
+            assert!(tasks >= layouts.min(1));
+            self.batch_started.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn execution_started(&self, layout: LayoutId, plan: &DecompositionPlan) {
+            assert!(!plan.layout_name().is_empty());
+            self.max_layout.fetch_max(layout.index(), Ordering::Relaxed);
+            self.layouts_started.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn component_started(&self, layout: LayoutId, _task: &ComponentTask) {
+            self.max_layout.fetch_max(layout.index(), Ordering::Relaxed);
+            self.components_started.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn component_finished(
+            &self,
+            layout: LayoutId,
+            task: &ComponentTask,
+            stats: &ComponentStats,
+        ) {
+            assert_eq!(stats.index, task.index());
+            self.max_layout.fetch_max(layout.index(), Ordering::Relaxed);
+            self.components_finished.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn execution_finished(&self, _layout: LayoutId, result: &DecompositionResult) {
+            assert_eq!(result.component_count(), result.component_stats().len());
+            self.layouts_finished.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn batch_finished(&self, results: &[(LayoutId, DecompositionResult)]) {
+            assert_eq!(results.len(), 2);
+            self.batch_finished.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn observers_see_batch_layout_and_component_events() {
+        let decomposer = decomposer(ColorAlgorithm::Linear);
+        let mut session = DecompositionSession::new();
+        session
+            .submit_layout(&decomposer, &row_layout("obs-a", 3))
+            .expect("valid config");
+        session
+            .submit_layout(&decomposer, &row_layout("obs-b", 5))
+            .expect("valid config");
+        let observer = CountingObserver::default();
+        let results =
+            session.run_observed(&ThreadPoolExecutor::new(2).expect("threads"), &observer);
+        let tasks = session.task_count();
+        assert_eq!(observer.batch_started.load(Ordering::Relaxed), 1);
+        assert_eq!(observer.batch_finished.load(Ordering::Relaxed), 1);
+        assert_eq!(observer.layouts_started.load(Ordering::Relaxed), 2);
+        assert_eq!(observer.layouts_finished.load(Ordering::Relaxed), 2);
+        assert_eq!(observer.components_started.load(Ordering::Relaxed), tasks);
+        assert_eq!(observer.components_finished.load(Ordering::Relaxed), tasks);
+        assert_eq!(observer.max_layout.load(Ordering::Relaxed), 1);
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn rerunning_a_session_is_deterministic() {
+        let decomposer = decomposer(ColorAlgorithm::SdpBacktrack);
+        let mut session = DecompositionSession::new();
+        session
+            .submit_layout(&decomposer, &row_layout("rerun", 9))
+            .expect("valid config");
+        let first = session.run(&SerialExecutor);
+        let second = session.run(&ThreadPoolExecutor::new(3).expect("threads"));
+        assert_eq!(first[0].1.colors(), second[0].1.colors());
+    }
+}

@@ -44,8 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // Stage 2: execute (serially here; see full_flow_benchmark for the
-    // thread-pool executor).
+    // Stage 2: execute — the degenerate one-plan batch (see
+    // full_flow_benchmark for the thread-pool executor and
+    // batch_throughput for batching many layouts through one
+    // DecompositionSession).
     let result = plan.execute(&SerialExecutor);
 
     println!(

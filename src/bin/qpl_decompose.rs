@@ -1,56 +1,70 @@
 //! `qpl-decompose` — command-line front end to the decomposition flow.
 //!
-//! Decomposes a layout (a text-format layout file, a GDSII file, or a named
-//! synthetic benchmark circuit) into K masks and reports conflicts,
-//! stitches, per-mask statistics and optional same-mask spacing
-//! verification. Results can be exported as a *colored* GDSII file with one
-//! layer per mask, ready to open in a layout viewer.
+//! Decomposes one or more layouts (text-format layout files, GDSII files —
+//! freely mixed — or named synthetic benchmark circuits) into K masks and
+//! reports conflicts, stitches, per-mask statistics and optional same-mask
+//! spacing verification.  Results can be exported as *colored* GDSII files
+//! with one layer per mask, ready to open in a layout viewer.
 //!
-//! The decomposition runs through the staged plan → execute pipeline:
-//! `--threads N` colors independent components on a thread pool,
-//! `--progress` streams per-component progress to stderr, and `--json`
-//! replaces the human-readable summary with a machine-readable one.
-//! Invalid configurations are reported as typed errors, not panics.
+//! All inputs are decomposed as **one batch** through a
+//! [`DecompositionSession`]: every layout's independent components enter a
+//! single largest-first queue, so `--threads N` keeps one shared pool busy
+//! across layouts instead of parallelising each layout alone.  `--progress`
+//! streams per-component progress (tagged with the layout) to stderr, and
+//! `--json` replaces the human-readable summary with a machine-readable
+//! one.  Invalid configurations are reported as typed errors, not panics.
 //!
 //! ```text
 //! Usage:
+//!   qpl-decompose FILE [FILE ...] [options]        # format auto-detected
 //!   qpl-decompose --circuit C6288 [options]
 //!   qpl-decompose --layout path/to/layout.txt [options]
 //!   qpl-decompose --gds path/to/layout.gds [--layer L[:D] ...] [options]
+//!
+//! Inputs (repeatable and mixable; all decompose as one batch):
+//!   FILE                 a text layout or GDSII file (auto-detected)
+//!   --circuit <NAME>     a named synthetic benchmark circuit
+//!   --layout <PATH>      a layout file (same auto-detection as positional)
+//!   --gds <PATH>         a GDSII file (rejects non-GDS inputs)
 //!
 //! Options:
 //!   --k <N>              number of masks (default 4)
 //!   --algorithm <NAME>   ilp | sdp-backtrack | sdp-greedy | linear (default sdp-backtrack)
 //!   --alpha <F>          stitch weight (default 0.1)
-//!   --threads <N>        color independent components on N worker threads
+//!   --threads <N>        color the batch on N shared worker threads
 //!   --progress           report per-component progress on stderr
 //!   --json               print a machine-readable JSON summary on stdout
 //!   --no-stitches        disable stitch-candidate generation
 //!   --balance            rebalance mask densities after coloring
 //!   --verify             re-check same-mask spacing from scratch
 //!   --output <PATH>      write the mask assignment (one `shape segment mask` line per vertex)
-//!   --gds <PATH>         read a GDSII layout (also auto-detected from --layout)
-//!   --layer <L[:D]>      import only this GDS layer (repeatable; default: all layers)
+//!   --layer <L[:D]>      import only this GDS layer (repeatable; applies to every GDS input)
 //!   --top <NAME>         flatten from this GDS structure (default: the unique top)
 //!   --output-gds <PATH>  write the colored decomposition: mask k on GDS layer 100+k
+//!
+//! With more than one input, `--output`/`--output-gds` write one file per
+//! layout, inserting the batch index before the extension (`out.gds` →
+//! `out.0.gds`, `out.1.gds`, …).
 //! ```
 
 use mpl_core::{
-    extract_masks, rebalance_masks, verify_spacing, ColorAlgorithm, ComponentStats, ComponentTask,
-    Decomposer, DecomposerConfig, DecompositionObserver, DecompositionResult, Executor,
-    SerialExecutor, StitchConfig, ThreadPoolExecutor, VertexId,
+    extract_masks, json_escape, rebalance_masks, verify_spacing, ColorAlgorithm, ComponentStats,
+    ComponentTask, Decomposer, DecomposerConfig, DecompositionObserver, DecompositionPlan,
+    DecompositionResult, DecompositionSession, Executor, LayoutId, SerialExecutor, StitchConfig,
+    ThreadPoolExecutor, VertexId,
 };
 use mpl_gds::{LayerMap, ReadOptions};
 use mpl_layout::{gen::IscasCircuit, io::LayoutFormat, Layout, Technology};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// GDS layer holding mask 0 in `--output-gds` files (mask k lands on
 /// `COLORED_BASE_LAYER + k`).
 const COLORED_BASE_LAYER: i16 = 100;
 
 struct Options {
-    layout: Layout,
+    layouts: Vec<Layout>,
     k: usize,
     algorithm: ColorAlgorithm,
     alpha: f64,
@@ -64,24 +78,20 @@ struct Options {
     output_gds: Option<String>,
 }
 
-fn parse_algorithm(name: &str) -> Result<ColorAlgorithm, String> {
-    match name.to_ascii_lowercase().as_str() {
-        "ilp" | "exact" => Ok(ColorAlgorithm::Ilp),
-        "sdp-backtrack" | "sdp_backtrack" | "backtrack" => Ok(ColorAlgorithm::SdpBacktrack),
-        "sdp-greedy" | "sdp_greedy" | "greedy" => Ok(ColorAlgorithm::SdpGreedy),
-        "linear" => Ok(ColorAlgorithm::Linear),
-        other => Err(format!("unknown algorithm {other:?}")),
-    }
-}
-
 /// Reads a layout file through the shared format-dispatching loader
-/// ([`mpl_gds::load_layout_file`]). `--layer` on a text input is an error,
-/// not a silent no-op, and `force_gds` (the `--gds` flag) rejects inputs
-/// that are not GDSII.
-fn read_layout(path: &str, options: &GdsInputOptions, force_gds: bool) -> Result<Layout, String> {
+/// ([`mpl_gds::load_layout_file`]), reporting whether the input was GDSII.
+/// `force_gds` (the `--gds` flag) rejects inputs that are not GDSII; in a
+/// mixed batch, `--layer`/`--top` apply to the GDS inputs and leave text
+/// inputs untouched (the caller rejects batches where they would apply to
+/// nothing).
+fn read_layout(
+    path: &str,
+    options: &GdsInputOptions,
+    force_gds: bool,
+) -> Result<(Layout, bool), String> {
     let layer_specs = options.layer_specs.as_slice();
     let map = LayerMap::from_specs(layer_specs).map_err(|e| e.to_string())?;
-    if force_gds || !layer_specs.is_empty() || options.top.is_some() {
+    let is_gds = {
         // Sniff only the 4-byte HEADER, not the whole file.
         use std::io::Read;
         let mut head = [0u8; 4];
@@ -97,19 +107,19 @@ fn read_layout(path: &str, options: &GdsInputOptions, force_gds: bool) -> Result
                 Err(e) => return Err(format!("cannot read {path}: {e}")),
             }
         }
-        if LayoutFormat::detect(path, &head[..filled]) != LayoutFormat::Gds {
-            return Err(if force_gds {
-                format!("{path} is not a GDSII stream (missing HEADER record)")
-            } else {
-                format!("--layer/--top only apply to GDSII inputs, but {path} is a text layout")
-            });
-        }
+        LayoutFormat::detect(path, &head[..filled]) == LayoutFormat::Gds
+    };
+    if force_gds && !is_gds {
+        return Err(format!(
+            "{path} is not a GDSII stream (missing HEADER record)"
+        ));
     }
     let read_options = ReadOptions {
         top: options.top.clone(),
         ..ReadOptions::default()
     };
-    mpl_gds::load_layout_file(path, &map, &read_options).map_err(|e| e.to_string())
+    let layout = mpl_gds::load_layout_file(path, &map, &read_options).map_err(|e| e.to_string())?;
+    Ok((layout, is_gds))
 }
 
 /// GDS-specific input selection collected from the command line.
@@ -119,11 +129,15 @@ struct GdsInputOptions {
     top: Option<String>,
 }
 
+/// One requested input, before loading.
+enum InputSpec {
+    Circuit(IscasCircuit),
+    Path { path: String, force_gds: bool },
+}
+
 fn parse_options(tech: &Technology) -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
-    let mut layout_path: Option<String> = None;
-    let mut gds_path: Option<String> = None;
-    let mut circuit: Option<IscasCircuit> = None;
+    let mut inputs: Vec<InputSpec> = Vec::new();
     let mut gds_input = GdsInputOptions::default();
     let mut k = 4usize;
     let mut algorithm = ColorAlgorithm::SdpBacktrack;
@@ -145,15 +159,21 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
         match flag.as_str() {
             "--circuit" => {
                 let name = value("--circuit")?;
-                circuit = Some(
+                inputs.push(InputSpec::Circuit(
                     IscasCircuit::ALL
                         .into_iter()
                         .find(|c| c.name().eq_ignore_ascii_case(&name))
                         .ok_or_else(|| format!("unknown circuit {name:?}"))?,
-                );
+                ));
             }
-            "--layout" => layout_path = Some(value("--layout")?),
-            "--gds" => gds_path = Some(value("--gds")?),
+            "--layout" => inputs.push(InputSpec::Path {
+                path: value("--layout")?,
+                force_gds: false,
+            }),
+            "--gds" => inputs.push(InputSpec::Path {
+                path: value("--gds")?,
+                force_gds: true,
+            }),
             "--layer" => gds_input.layer_specs.push(value("--layer")?),
             "--top" => gds_input.top = Some(value("--top")?),
             "--k" => {
@@ -161,7 +181,7 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("invalid --k value: {e}"))?;
             }
-            "--algorithm" => algorithm = parse_algorithm(&value("--algorithm")?)?,
+            "--algorithm" => algorithm = ColorAlgorithm::from_cli_name(&value("--algorithm")?)?,
             "--alpha" => {
                 alpha = value("--alpha")?
                     .parse()
@@ -183,7 +203,8 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
             "--output-gds" => output_gds = Some(value("--output-gds")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: qpl-decompose --circuit <NAME> | --layout <FILE> | --gds <FILE> \
+                    "usage: qpl-decompose FILE [FILE ...] | --circuit <NAME> | --layout <FILE> \
+                            | --gds <FILE> (inputs repeat and mix; one shared batch) \
                             [--layer L[:D] ...] [--top NAME] [--k N] \
                             [--algorithm ilp|sdp-backtrack|sdp-greedy|linear] \
                             [--alpha F] [--threads N] [--progress] [--json] \
@@ -192,31 +213,43 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
                         .to_string(),
                 )
             }
-            other => return Err(format!("unknown flag {other:?}")),
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            path => inputs.push(InputSpec::Path {
+                path: path.to_string(),
+                force_gds: false,
+            }),
         }
     }
-    let layout = match (circuit, layout_path, gds_path) {
-        (Some(circuit), None, None) => {
-            if !gds_input.layer_specs.is_empty() || gds_input.top.is_some() {
-                return Err(
-                    "--layer/--top only apply to GDSII inputs (--gds or a GDS --layout)"
-                        .to_string(),
-                );
+    if inputs.is_empty() {
+        return Err(
+            "at least one input is required: FILE, --circuit, --layout or --gds".to_string(),
+        );
+    }
+    let mut layouts = Vec::with_capacity(inputs.len());
+    let mut any_gds = false;
+    for input in &inputs {
+        let layout = match input {
+            InputSpec::Circuit(circuit) => circuit.generate(tech),
+            InputSpec::Path { path, force_gds } => {
+                let (layout, is_gds) = read_layout(path, &gds_input, *force_gds)?;
+                any_gds |= is_gds;
+                layout
             }
-            circuit.generate(tech)
+        };
+        if layout.is_empty() {
+            return Err(format!("input {:?} contains no shapes", layout.name()));
         }
-        (None, Some(path), None) => read_layout(&path, &gds_input, false)?,
-        (None, None, Some(path)) => read_layout(&path, &gds_input, true)?,
-        (None, None, None) => {
-            return Err("one of --circuit, --layout or --gds is required".to_string())
-        }
-        _ => return Err("--circuit, --layout and --gds are mutually exclusive".to_string()),
-    };
-    if layout.is_empty() {
-        return Err("the input layout contains no shapes".to_string());
+        layouts.push(layout);
+    }
+    // A --layer/--top selection that never met a GDS input would be a
+    // silent no-op; reject it (the GDS loads above already applied it).
+    if (!gds_input.layer_specs.is_empty() || gds_input.top.is_some()) && !any_gds {
+        return Err(
+            "--layer/--top only apply to GDSII inputs, but no input is a GDSII file".to_string(),
+        );
     }
     Ok(Options {
-        layout,
+        layouts,
         k,
         algorithm,
         alpha,
@@ -231,31 +264,41 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
     })
 }
 
-/// Streams one stderr line per finished component (`--progress`).
+/// Streams one stderr line per finished component (`--progress`), tagged
+/// with the layout it belongs to.
 ///
 /// Parallel executors call the observer from worker threads, so the counter
 /// is atomic.
 struct StderrProgress {
+    names: Vec<String>,
     total: usize,
     finished: AtomicUsize,
 }
 
 impl DecompositionObserver for StderrProgress {
-    fn component_started(&self, task: &ComponentTask) {
+    fn batch_started(&self, layouts: usize, tasks: usize) {
+        if layouts > 1 {
+            eprintln!("batch: {layouts} layouts, {tasks} component tasks in one shared queue");
+        }
+    }
+
+    fn component_started(&self, layout: LayoutId, task: &ComponentTask) {
         if task.vertex_count() >= 1000 {
             eprintln!(
-                "component {} started ({} vertices)",
+                "{}: component {} started ({} vertices)",
+                self.names[layout.index()],
                 task.index(),
                 task.vertex_count()
             );
         }
     }
 
-    fn component_finished(&self, task: &ComponentTask, stats: &ComponentStats) {
+    fn component_finished(&self, layout: LayoutId, task: &ComponentTask, stats: &ComponentStats) {
         let finished = self.finished.fetch_add(1, Ordering::Relaxed) + 1;
         eprintln!(
-            "[{finished}/{}] component {}: {} vertices, cn#={} st#={} in {:.3}s",
+            "[{finished}/{}] {}: component {}: {} vertices, cn#={} st#={} in {:.3}s",
             self.total,
+            self.names[layout.index()],
             task.index(),
             stats.vertex_count,
             stats.conflicts,
@@ -263,23 +306,15 @@ impl DecompositionObserver for StderrProgress {
             stats.time.as_secs_f64()
         );
     }
-}
 
-/// Minimal JSON string escaping (quotes, backslashes, control characters).
-fn json_escape(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for c in text.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+    fn batch_finished(&self, results: &[(LayoutId, DecompositionResult)]) {
+        if results.len() > 1 {
+            eprintln!("batch: all {} layouts finished", results.len());
         }
     }
-    out
 }
 
-/// Renders the machine-readable summary for `--json`.
+/// Renders the machine-readable summary of one layout's decomposition.
 ///
 /// `conflicts`/`stitches`/`cost`/`component_breakdown` describe the raw
 /// decomposition; when `balance` is present, `masks` (and
@@ -366,63 +401,51 @@ fn render_json(
     out
 }
 
-fn main() -> ExitCode {
-    let tech = Technology::nm20();
-    let options = match parse_options(&tech) {
-        Ok(options) => options,
-        Err(message) => {
-            eprintln!("{message}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    let mut config = DecomposerConfig::k_patterning(options.k, tech)
-        .with_algorithm(options.algorithm)
-        .with_alpha(options.alpha);
-    if !options.stitches {
-        config.stitch = StitchConfig::disabled();
+/// Inserts the batch index before the path's extension when the batch has
+/// more than one layout (`out.gds` → `out.2.gds`); single-layout batches
+/// keep the path unchanged.
+fn per_layout_path(path: &str, index: usize, batch_size: usize) -> String {
+    if batch_size <= 1 {
+        return path.to_string();
     }
-
-    // The executor is part of the typed-error surface: `--threads 0` is a
-    // ConfigError, not a panic.
-    let executor: Box<dyn Executor> = match options.threads {
-        None => Box::new(SerialExecutor),
-        Some(threads) => match ThreadPoolExecutor::new(threads) {
-            Ok(pool) => Box::new(pool),
-            Err(error) => {
-                eprintln!("{error}");
-                return ExitCode::FAILURE;
-            }
-        },
-    };
-
-    // Stage 1: plan. Invalid configurations (e.g. `--k 1`, negative
-    // `--alpha`) and degenerate layouts surface here as typed errors.
-    let decomposer = Decomposer::new(config);
-    let plan = match decomposer.plan(&options.layout) {
-        Ok(plan) => plan,
-        Err(error) => {
-            eprintln!("{error}");
-            return ExitCode::FAILURE;
+    match path.rfind('.') {
+        // A dot inside the final path component splits name from extension;
+        // a dot before the last separator (e.g. `./out`) does not count.
+        Some(dot) if !path[dot..].contains('/') && dot > 0 => {
+            format!("{}.{index}{}", &path[..dot], &path[dot..])
         }
-    };
+        _ => format!("{path}.{index}"),
+    }
+}
 
-    // Stage 2: execute, optionally with progress reporting.
-    let result = if options.progress {
-        let observer = StderrProgress {
-            total: plan.tasks().len(),
-            finished: AtomicUsize::new(0),
-        };
-        plan.execute_observed(executor.as_ref(), &observer)
-    } else {
-        plan.execute(executor.as_ref())
-    };
+/// Everything `main` needs from one layout's post-processing.
+struct LayoutArtifacts {
+    json: String,
+    verify_mismatch: bool,
+    /// The first failed `--output`/`--output-gds` write, if any (reported
+    /// after the JSON summary is printed, so machine consumers still get
+    /// their output).
+    write_error: Option<String>,
+}
 
+/// Post-processes one layout of the batch: balance, mask extraction,
+/// verification and file outputs.  Returns the JSON fragment (always
+/// rendered; cheap), whether verification disagreed with the reported
+/// conflicts (in which case the suspect coloring is *not* written to any
+/// output file), and any failed output write.
+fn process_layout(
+    options: &Options,
+    tech: &Technology,
+    plan: &DecompositionPlan,
+    result: &DecompositionResult,
+    index: usize,
+    batch_size: usize,
+) -> LayoutArtifacts {
     if !options.json {
         println!(
             "{}: {} shapes, K = {}, algorithm = {}, executor = {}",
             result.layout_name(),
-            options.layout.shape_count(),
+            options.layouts[index].shape_count(),
             result.k(),
             result.algorithm(),
             result.executor()
@@ -494,7 +517,8 @@ fn main() -> ExitCode {
         }
         if violations.len() != result.conflicts() && !options.balance {
             eprintln!(
-                "warning: verification count {} differs from reported conflicts {}",
+                "warning: {}: verification count {} differs from reported conflicts {}",
+                result.layout_name(),
                 violations.len(),
                 result.conflicts()
             );
@@ -502,25 +526,11 @@ fn main() -> ExitCode {
         }
     }
 
-    // The JSON summary is emitted even when verification found a mismatch:
-    // machine consumers get both counts (conflicts vs spacing_violations)
-    // and the process still exits with failure below.
-    if options.json {
-        println!(
-            "{}",
-            render_json(
-                &result,
-                &masks,
-                verified_violations,
-                balance_report.as_ref()
-            )
-        );
-    }
-    if verify_mismatch {
-        return ExitCode::FAILURE;
-    }
-
-    if let Some(path) = options.output {
+    // A verification mismatch means the coloring is suspect: never write
+    // it to an output file (the process will exit with failure anyway).
+    let mut write_error = None;
+    if let (Some(path), false) = (&options.output, verify_mismatch) {
+        let path = per_layout_path(path, index, batch_size);
         let mut text = String::new();
         text.push_str(&format!("# masks {} {}\n", result.layout_name(), options.k));
         for (vertex, &color) in colors.iter().enumerate() {
@@ -531,34 +541,166 @@ fn main() -> ExitCode {
                 color
             ));
         }
-        if let Err(error) = std::fs::write(&path, text) {
-            eprintln!("cannot write {path}: {error}");
-            return ExitCode::FAILURE;
-        }
-        if !options.json {
-            println!("mask assignment written to {path}");
+        match std::fs::write(&path, text) {
+            Ok(()) if !options.json => println!("mask assignment written to {path}"),
+            Ok(()) => {}
+            Err(error) => write_error = Some(format!("cannot write {path}: {error}")),
         }
     }
 
-    if let Some(path) = options.output_gds {
+    if let (Some(path), false, None) = (&options.output_gds, verify_mismatch, &write_error) {
+        let path = per_layout_path(path, index, batch_size);
         let mut per_mask = vec![Vec::new(); options.k];
         for mask in &masks {
             for &vertex in &mask.vertices {
                 per_mask[mask.index].push(graph.polygon(vertex).clone());
             }
         }
-        if let Err(error) =
-            mpl_gds::write_colored_file(&path, result.layout_name(), &per_mask, COLORED_BASE_LAYER)
-        {
-            eprintln!("cannot write {path}: {error}");
-            return ExitCode::FAILURE;
-        }
-        if !options.json {
-            println!(
+        match mpl_gds::write_colored_file(
+            &path,
+            result.layout_name(),
+            &per_mask,
+            COLORED_BASE_LAYER,
+        ) {
+            Ok(()) if !options.json => println!(
                 "colored GDS written to {path} (mask k on layer {}+k)",
                 COLORED_BASE_LAYER
-            );
+            ),
+            Ok(()) => {}
+            Err(error) => write_error = Some(format!("cannot write {path}: {error}")),
         }
+    }
+
+    LayoutArtifacts {
+        json: render_json(result, &masks, verified_violations, balance_report.as_ref()),
+        verify_mismatch,
+        write_error,
+    }
+}
+
+fn main() -> ExitCode {
+    let tech = Technology::nm20();
+    let options = match parse_options(&tech) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = DecomposerConfig::k_patterning(options.k, tech)
+        .with_algorithm(options.algorithm)
+        .with_alpha(options.alpha);
+    if !options.stitches {
+        config.stitch = StitchConfig::disabled();
+    }
+
+    // The executor is part of the typed-error surface: `--threads 0` is a
+    // ConfigError, not a panic.
+    let executor: Box<dyn Executor> = match options.threads {
+        None => Box::new(SerialExecutor),
+        Some(threads) => match ThreadPoolExecutor::new(threads) {
+            Ok(pool) => Box::new(pool),
+            Err(error) => {
+                eprintln!("{error}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    // Stage 1: plan every input and submit it to one shared session.
+    // Invalid configurations (e.g. `--k 1`, negative `--alpha`) and
+    // degenerate layouts surface here as typed errors.
+    let decomposer = Decomposer::new(config);
+    let mut session = DecompositionSession::new();
+    for layout in &options.layouts {
+        if let Err(error) = session.submit_layout(&decomposer, layout) {
+            eprintln!("{}: {error}", layout.name());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Stage 2: drain the whole batch through the executor, optionally with
+    // progress reporting.
+    let batch_start = Instant::now();
+    let results = if options.progress {
+        let observer = StderrProgress {
+            names: options
+                .layouts
+                .iter()
+                .map(|layout| layout.name().to_string())
+                .collect(),
+            total: session.task_count(),
+            finished: AtomicUsize::new(0),
+        };
+        session.run_observed(executor.as_ref(), &observer)
+    } else {
+        session.run(executor.as_ref())
+    };
+    let batch_wall = batch_start.elapsed();
+
+    let batch_size = results.len();
+    let mut any_mismatch = false;
+    let mut write_errors = Vec::new();
+    let mut layout_json = Vec::with_capacity(batch_size);
+    for (index, (id, result)) in results.iter().enumerate() {
+        if !options.json && index > 0 {
+            println!();
+        }
+        let plan = session.plan(*id).expect("session keeps every plan");
+        let artifacts = process_layout(&options, &tech, plan, result, index, batch_size);
+        any_mismatch |= artifacts.verify_mismatch;
+        write_errors.extend(artifacts.write_error);
+        layout_json.push(artifacts.json);
+    }
+
+    if options.json {
+        if batch_size == 1 {
+            // The single-layout summary keeps the pre-batch shape.
+            println!("{}", layout_json[0]);
+        } else {
+            let components = session.task_count();
+            let wall = batch_wall.as_secs_f64();
+            let mut out = String::from("{\n\"batch\": {\n");
+            out.push_str(&format!("  \"layouts\": {batch_size},\n"));
+            out.push_str(&format!("  \"components\": {components},\n"));
+            out.push_str(&format!(
+                "  \"executor\": \"{}\",\n",
+                json_escape(executor.name())
+            ));
+            out.push_str(&format!("  \"wall_seconds\": {wall},\n"));
+            out.push_str(&format!(
+                "  \"layouts_per_sec\": {},\n",
+                batch_size as f64 / wall.max(1e-12)
+            ));
+            out.push_str(&format!(
+                "  \"components_per_sec\": {}\n",
+                components as f64 / wall.max(1e-12)
+            ));
+            out.push_str("},\n\"layouts\": [\n");
+            out.push_str(&layout_json.join(",\n"));
+            out.push_str("\n]\n}");
+            println!("{out}");
+        }
+    } else if batch_size > 1 {
+        println!(
+            "\nbatch: {} layouts, {} component tasks in {:.3}s on {} ({:.1} layouts/s, {:.1} components/s)",
+            batch_size,
+            session.task_count(),
+            batch_wall.as_secs_f64(),
+            executor.name(),
+            batch_size as f64 / batch_wall.as_secs_f64().max(1e-12),
+            session.task_count() as f64 / batch_wall.as_secs_f64().max(1e-12)
+        );
+    }
+
+    // Write failures are reported *after* the JSON summary so machine
+    // consumers always get their output; they still fail the process.
+    for message in &write_errors {
+        eprintln!("{message}");
+    }
+    if any_mismatch || !write_errors.is_empty() {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

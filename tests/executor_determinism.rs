@@ -6,7 +6,9 @@
 //! count or schedule.  These tests pin that property across all four
 //! color-assignment engines, on generated row layouts and on a layout that
 //! went through a GDSII round trip, and demonstrate the wall-clock speedup
-//! on a many-component benchmark.
+//! on a many-component benchmark.  The cross-layout counterpart — batches
+//! of many layouts on one shared executor — is pinned in
+//! `tests/session_determinism.rs`.
 
 use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig, SerialExecutor, ThreadPoolExecutor};
 use mpl_layout::{gen, Layout, Technology};
