@@ -1,27 +1,34 @@
 //! Benchmarks arbitrary layout files (text format or GDSII) with the same
 //! row structure as the paper's tables, or — with `--batch` — as one
-//! cross-layout batch on a shared executor.
+//! cross-layout batch on a shared executor, or — with `--serve ADDR` — as
+//! a client-driven request stream against a running `qpl-serve`.
 //!
 //! Usage: `cargo run -p mpl-bench --release --bin workload -- \
 //!     [--k N] [--threads N] [--layer L[:D] ...] \
-//!     [--batch] [--algorithm NAME] [--bench-json PATH] FILE [FILE ...]`
+//!     [--batch | --serve ADDR [--executor serial|pool]] \
+//!     [--algorithm NAME] [--bench-json PATH] FILE [FILE ...]`
 //!
 //! Table mode (the default) decomposes each file with every Table 1
 //! algorithm.  Batch mode (`--batch`) submits every file to one
 //! [`mpl_core::DecompositionSession`] and drains all component tasks
 //! through one shared executor, reporting per-layout rows plus aggregate
 //! throughput (layouts/sec, components/sec) with parse time separated from
-//! decompose time; `--bench-json PATH` additionally writes the
-//! machine-readable `BENCH_*.json` report (schema `mpl-bench/batch-v1`)
-//! for tracking the performance trajectory across changes.  GDSII inputs
-//! can be restricted to specific layers with `--layer`.  Invalid mask
-//! counts, thread counts and degenerate layouts are reported as the
-//! pipeline's typed errors.
+//! decompose time.  Serve mode (`--serve ADDR`) instead streams every file
+//! as a `submit` request to the decomposition service at ADDR and measures
+//! client-observed requests/sec — the socket round trips and scheduler
+//! coalescing included.  In both modes `--bench-json PATH` writes the
+//! machine-readable `BENCH_*.json` report (schemas `mpl-bench/batch-v1` /
+//! `mpl-bench/serve-v1`) for tracking the performance trajectory across
+//! changes.  GDSII inputs can be restricted to specific layers with
+//! `--layer`.  Invalid mask counts, thread counts and degenerate layouts
+//! are reported as the pipeline's typed errors.
 
 use mpl_bench::batch::run_batch_bench;
+use mpl_bench::serve::run_serve_bench;
 use mpl_bench::workload::{load_layout_timed, run_layout_table_on, TimedLayout};
 use mpl_bench::{executor_for_threads, table_config, threads_from_args, TABLE1_ALGORITHMS};
 use mpl_core::ColorAlgorithm;
+use mpl_serve::ExecutorChoice;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -35,16 +42,34 @@ fn main() -> ExitCode {
     };
 
     let usage = "usage: workload [--k N] [--threads N] [--layer L[:D] ...] \
-                 [--batch] [--algorithm NAME] [--bench-json PATH] FILE [FILE ...]";
+                 [--batch | --serve ADDR [--executor serial|pool]] \
+                 [--algorithm NAME] [--bench-json PATH] FILE [FILE ...]";
     let mut k = 4usize;
     let mut layer_specs: Vec<String> = Vec::new();
     let mut paths: Vec<String> = Vec::new();
     let mut batch = false;
+    let mut serve: Option<String> = None;
+    let mut executor_choice: Option<ExecutorChoice> = None;
     let mut algorithm: Option<ColorAlgorithm> = None;
     let mut bench_json: Option<String> = None;
     let mut args = rest.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--serve" => match args.next() {
+                Some(addr) => serve = Some(addr),
+                None => {
+                    eprintln!("--serve requires a HOST:PORT value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--executor" => match args.next().as_deref() {
+                Some("serial") => executor_choice = Some(ExecutorChoice::Serial),
+                Some("pool") => executor_choice = Some(ExecutorChoice::Pool),
+                other => {
+                    eprintln!("--executor requires \"serial\" or \"pool\", got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--k" => match args.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(value)) => k = value,
                 _ => {
@@ -89,12 +114,23 @@ fn main() -> ExitCode {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
     }
-    if !batch && bench_json.is_some() {
-        eprintln!("--bench-json only applies to --batch mode");
+    if batch && serve.is_some() {
+        eprintln!("--batch and --serve are mutually exclusive");
         return ExitCode::FAILURE;
     }
-    if !batch && algorithm.is_some() {
-        eprintln!("--algorithm only applies to --batch mode (table mode runs every engine)");
+    if serve.is_none() && executor_choice.is_some() {
+        eprintln!("--executor only applies to --serve mode (use --threads locally)");
+        return ExitCode::FAILURE;
+    }
+    let executor_choice = executor_choice.unwrap_or(ExecutorChoice::Pool);
+    if !batch && serve.is_none() && bench_json.is_some() {
+        eprintln!("--bench-json only applies to --batch or --serve mode");
+        return ExitCode::FAILURE;
+    }
+    if !batch && serve.is_none() && algorithm.is_some() {
+        eprintln!(
+            "--algorithm only applies to --batch or --serve mode (table mode runs every engine)"
+        );
         return ExitCode::FAILURE;
     }
     let algorithm = algorithm.unwrap_or(ColorAlgorithm::Linear);
@@ -121,6 +157,55 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(addr) = serve {
+        eprintln!(
+            "Serve workload: K = {k}, {} on {} layout(s) against {addr} ({} executor)",
+            algorithm.name(),
+            layouts.len(),
+            executor_choice.as_str()
+        );
+        let report = match run_serve_bench(&addr, &layouts, k, algorithm, executor_choice) {
+            Ok(report) => report,
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("\nServe workload (K = {k}, {})", report.algorithm);
+        println!(
+            "{:<24} {:>8} {:>9} {:>6} {:>6} {:>9}",
+            "layout", "vertices", "comps", "cn#", "st#", "color(s)"
+        );
+        for row in &report.requests {
+            println!(
+                "{:<24} {:>8} {:>9} {:>6} {:>6} {:>9.3}",
+                row.name,
+                row.vertices,
+                row.components,
+                row.conflicts,
+                row.stitches,
+                row.color_seconds
+            );
+        }
+        println!(
+            "serve: {} requests, {} components in {:.3}s against {} ({:.1} requests/s, {:.1} components/s)",
+            report.requests.len(),
+            report.component_count(),
+            report.wall_seconds,
+            report.addr,
+            report.requests_per_sec(),
+            report.components_per_sec()
+        );
+        if let Some(path) = bench_json {
+            if let Err(error) = std::fs::write(&path, report.to_json()) {
+                eprintln!("cannot write {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("benchmark report written to {path}");
+        }
+        return ExitCode::SUCCESS;
     }
 
     let executor = executor_for_threads(threads);

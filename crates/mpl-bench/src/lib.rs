@@ -16,7 +16,10 @@
 //!   on a shared executor and reports aggregate throughput (layouts/sec,
 //!   components/sec) plus a machine-readable `BENCH_*.json` via
 //!   [`batch::BatchBenchReport`], with parse time tracked separately from
-//!   decompose time.
+//!   decompose time.  Its `--serve ADDR` mode streams the files as
+//!   `submit` requests to a running `qpl-serve` and measures
+//!   client-observed requests/sec ([`serve::ServeBenchReport`], schema
+//!   `mpl-bench/serve-v1`).
 //!
 //! The Criterion benches under `benches/` time the same runs for
 //! regression tracking.
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod serve;
 pub mod workload;
 
 use mpl_core::{

@@ -1,0 +1,278 @@
+//! Client-driven throughput benchmarking of a running `qpl-serve`.
+//!
+//! [`run_batch_bench`](crate::batch::run_batch_bench) measures the batch
+//! engine in-process; this module measures the *service* the way a client
+//! fleet sees it — open one connection, stream every layout as a `submit`
+//! request, and wait for all results — so the wire protocol, the scheduler
+//! coalescing and the socket round trips are all inside the measured
+//! window.  [`ServeBenchReport::to_json`] renders the machine-readable
+//! `mpl-bench/serve-v1` schema (requests/sec alongside the per-request
+//! rows) for `BENCH_*.json` archiving, like the batch schema.
+//!
+//! [`run_serve_bench`] needs a server that is already listening (start one
+//! with `qpl-serve`, or in-process via `mpl_serve::Server::spawn`).
+
+use crate::workload::TimedLayout;
+use mpl_core::{json_escape, ColorAlgorithm};
+use mpl_layout::io;
+use mpl_serve::{Client, ExecutorChoice, LayoutSource, Request, Response, SubmitRequest};
+use std::time::Instant;
+
+/// Per-request measurements of one serve benchmark run.
+#[derive(Debug, Clone)]
+pub struct ServeRequestStats {
+    /// The layout's name.
+    pub name: String,
+    /// The path the layout was loaded from (empty for generated layouts).
+    pub path: String,
+    /// Decomposition-graph vertices.
+    pub vertices: usize,
+    /// Independent components.
+    pub components: usize,
+    /// Unresolved conflicts.
+    pub conflicts: usize,
+    /// Inserted stitches.
+    pub stitches: usize,
+    /// Seconds from batch start until the layout finished coloring, as
+    /// reported by the server.
+    pub color_seconds: f64,
+}
+
+/// The result of one serve benchmark: per-request rows plus aggregate
+/// client-observed throughput.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// The server address the requests were sent to.
+    pub addr: String,
+    /// Mask count K.
+    pub k: usize,
+    /// The color-assignment engine requested for every submission.
+    pub algorithm: String,
+    /// The executor choice requested for every submission.
+    pub executor: String,
+    /// Wall-clock seconds from the first submit until the last result,
+    /// as observed by the client.
+    pub wall_seconds: f64,
+    /// Per-request rows, in submission order.
+    pub requests: Vec<ServeRequestStats>,
+}
+
+impl ServeBenchReport {
+    /// Requests completed per second of client-observed wall time.
+    pub fn requests_per_sec(&self) -> f64 {
+        self.requests.len() as f64 / self.wall_seconds.max(1e-12)
+    }
+
+    /// Total components colored across all requests.
+    pub fn component_count(&self) -> usize {
+        self.requests.iter().map(|row| row.components).sum()
+    }
+
+    /// Components colored per second of client-observed wall time.
+    pub fn components_per_sec(&self) -> f64 {
+        self.component_count() as f64 / self.wall_seconds.max(1e-12)
+    }
+
+    /// Renders the machine-readable report (schema `mpl-bench/serve-v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"mpl-bench/serve-v1\",\n");
+        out.push_str(&format!("  \"addr\": \"{}\",\n", json_escape(&self.addr)));
+        out.push_str(&format!("  \"k\": {},\n", self.k));
+        out.push_str(&format!(
+            "  \"algorithm\": \"{}\",\n",
+            json_escape(&self.algorithm)
+        ));
+        out.push_str(&format!(
+            "  \"executor\": \"{}\",\n",
+            json_escape(&self.executor)
+        ));
+        out.push_str("  \"batch\": {\n");
+        out.push_str(&format!("    \"requests\": {},\n", self.requests.len()));
+        out.push_str(&format!(
+            "    \"components\": {},\n",
+            self.component_count()
+        ));
+        out.push_str(&format!("    \"wall_seconds\": {},\n", self.wall_seconds));
+        out.push_str(&format!(
+            "    \"requests_per_sec\": {},\n",
+            self.requests_per_sec()
+        ));
+        out.push_str(&format!(
+            "    \"components_per_sec\": {}\n",
+            self.components_per_sec()
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"requests\": [\n");
+        for (index, row) in self.requests.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\", ", json_escape(&row.name)));
+            out.push_str(&format!("\"path\": \"{}\", ", json_escape(&row.path)));
+            out.push_str(&format!("\"vertices\": {}, ", row.vertices));
+            out.push_str(&format!("\"components\": {}, ", row.components));
+            out.push_str(&format!("\"conflicts\": {}, ", row.conflicts));
+            out.push_str(&format!("\"stitches\": {}, ", row.stitches));
+            out.push_str(&format!("\"color_seconds\": {}}}", row.color_seconds));
+            out.push_str(if index + 1 < self.requests.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+/// Streams `layouts` to the server at `addr` as one wave of `submit`
+/// requests and waits for every result.
+///
+/// # Errors
+///
+/// A human-readable message on connection failures, protocol violations,
+/// or any in-band error response.
+pub fn run_serve_bench(
+    addr: &str,
+    layouts: &[TimedLayout],
+    k: usize,
+    algorithm: ColorAlgorithm,
+    executor: ExecutorChoice,
+) -> Result<ServeBenchReport, String> {
+    let mut client =
+        Client::connect(addr).map_err(|error| format!("cannot connect to {addr}: {error}"))?;
+    let bench_start = Instant::now();
+    for (index, timed) in layouts.iter().enumerate() {
+        let mut submit = SubmitRequest::new(
+            index.to_string(),
+            LayoutSource::Text(io::to_text(&timed.layout)),
+        );
+        submit.k = k;
+        submit.algorithm = algorithm;
+        submit.executor = executor;
+        client
+            .send(&Request::Submit(submit))
+            .map_err(|error| format!("cannot send to {addr}: {error}"))?;
+    }
+
+    let mut rows: Vec<Option<ServeRequestStats>> = layouts.iter().map(|_| None).collect();
+    let mut remaining = layouts.len();
+    while remaining > 0 {
+        match client.recv().map_err(|error| error.to_string())? {
+            Response::Result(payload) => {
+                let index: usize = payload
+                    .id
+                    .parse()
+                    .ok()
+                    .filter(|&index| index < rows.len())
+                    .ok_or_else(|| format!("unexpected result id {:?}", payload.id))?;
+                if rows[index].is_some() {
+                    return Err(format!("duplicate result for id {:?}", payload.id));
+                }
+                rows[index] = Some(ServeRequestStats {
+                    name: payload.layout,
+                    path: layouts[index].path.clone(),
+                    vertices: payload.vertices,
+                    components: payload.components,
+                    conflicts: payload.conflicts,
+                    stitches: payload.stitches,
+                    color_seconds: payload.color_seconds,
+                });
+                remaining -= 1;
+            }
+            Response::Error { id, code, message } => {
+                return Err(format!(
+                    "server rejected {}: {} error: {message}",
+                    id.as_deref().unwrap_or("<untagged>"),
+                    code.as_str()
+                ));
+            }
+            _ => {} // queued frames
+        }
+    }
+    let wall_seconds = bench_start.elapsed().as_secs_f64();
+    Ok(ServeBenchReport {
+        addr: addr.to_string(),
+        k,
+        algorithm: algorithm.name().to_string(),
+        executor: executor.as_str().to_string(),
+        wall_seconds,
+        requests: rows
+            .into_iter()
+            .map(|row| row.expect("all results collected"))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_layout::{gen, Technology};
+    use mpl_serve::{Server, ServerConfig};
+
+    fn timed(name: &str, seed: u64) -> TimedLayout {
+        TimedLayout {
+            path: format!("<generated {name}>"),
+            layout: gen::generate_row_layout(
+                &gen::RowLayoutConfig::small(name, seed),
+                &Technology::nm20(),
+            ),
+            parse_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn serve_bench_measures_a_live_server_and_matches_direct_results() {
+        let handle = Server::spawn(&ServerConfig::default()).expect("bind ephemeral port");
+        let layouts = [timed("sb-a", 3), timed("sb-b", 7)];
+        let report = run_serve_bench(
+            &handle.addr().to_string(),
+            &layouts,
+            4,
+            ColorAlgorithm::Linear,
+            ExecutorChoice::Pool,
+        )
+        .expect("bench succeeds");
+        assert_eq!(report.requests.len(), 2);
+        assert_eq!(report.k, 4);
+        assert_eq!(report.algorithm, "Linear");
+        assert_eq!(report.executor, "pool");
+        assert!(report.wall_seconds > 0.0);
+        assert!(report.requests_per_sec() > 0.0);
+        assert!(report.components_per_sec() >= report.requests_per_sec());
+
+        // The served numbers agree with the in-process batch flow.
+        for (row, timed) in report.requests.iter().zip(&layouts) {
+            let direct = mpl_core::Decomposer::new(crate::table_config(4, ColorAlgorithm::Linear))
+                .decompose(&timed.layout)
+                .expect("valid config");
+            assert_eq!(row.conflicts, direct.conflicts());
+            assert_eq!(row.stitches, direct.stitches());
+            assert_eq!(row.vertices, direct.vertex_count());
+        }
+
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"mpl-bench/serve-v1\""));
+        assert!(json.contains("\"requests_per_sec\""));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
+        handle.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn serve_bench_surfaces_in_band_errors() {
+        let handle = Server::spawn(&ServerConfig::default()).expect("bind ephemeral port");
+        let layouts = [timed("sb-bad", 3)];
+        let error = run_serve_bench(
+            &handle.addr().to_string(),
+            &layouts,
+            0, // invalid mask count → typed config error frame
+            ColorAlgorithm::Linear,
+            ExecutorChoice::Serial,
+        )
+        .expect_err("K=0 must fail");
+        assert!(error.contains("config error"), "{error}");
+        assert!(error.contains("mask count"), "{error}");
+        handle.shutdown().expect("clean shutdown");
+    }
+}

@@ -136,7 +136,7 @@ pub use executor::{
 };
 pub use pipeline::{
     ComponentOutcome, ComponentStats, ComponentTask, DecompositionObserver, DecompositionPlan,
-    NoopObserver,
+    NoopObserver, ProgressObserver, ProgressSink,
 };
 pub use report::{json_escape, ResultRow, TableReport};
 pub use session::{BatchTask, DecompositionSession, LayoutId};

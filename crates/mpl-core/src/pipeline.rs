@@ -18,7 +18,8 @@
 use crate::session::{execute_batch, LayoutId};
 use crate::{ComponentProblem, Decomposer, DecompositionGraph, DecompositionResult};
 use crate::{Executor, SerialExecutor};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// One independent component of the decomposition graph, packaged as a
@@ -147,6 +148,112 @@ pub trait DecompositionObserver: Sync {
 pub struct NoopObserver;
 
 impl DecompositionObserver for NoopObserver {}
+
+/// A per-layout progress consumer for streaming front ends.
+///
+/// [`DecompositionObserver`] reports raw events; a service that streams
+/// progress *per layout* (a queue position, `done`/`total` counters, the
+/// final result) would have to re-derive the counters itself — and every
+/// front end would redo the same bookkeeping.  Implement this trait instead
+/// and wrap it in a [`ProgressObserver`]: the adapter tracks each layout's
+/// completed-component count and calls the sink with ready-to-forward
+/// numbers.
+///
+/// Like observers, sinks are called from executor worker threads and must
+/// be `Sync`.
+pub trait ProgressSink: Sync {
+    /// `layout` entered execution; its plan has `total` component tasks.
+    fn layout_started(&self, layout: LayoutId, total: usize) {
+        let _ = (layout, total);
+    }
+
+    /// A component of `layout` finished; `done` of `total` are complete.
+    ///
+    /// `done` is strictly increasing per layout (1, 2, …, `total`), even
+    /// when components finish concurrently on a pool executor.
+    fn component_done(&self, layout: LayoutId, done: usize, total: usize) {
+        let _ = (layout, done, total);
+    }
+
+    /// Every component of `layout` finished and its result is assembled.
+    fn layout_finished(&self, layout: LayoutId, result: &DecompositionResult) {
+        let _ = (layout, result);
+    }
+}
+
+impl<S: ProgressSink + ?Sized> ProgressSink for &S {
+    fn layout_started(&self, layout: LayoutId, total: usize) {
+        (**self).layout_started(layout, total);
+    }
+
+    fn component_done(&self, layout: LayoutId, done: usize, total: usize) {
+        (**self).component_done(layout, done, total);
+    }
+
+    fn layout_finished(&self, layout: LayoutId, result: &DecompositionResult) {
+        (**self).layout_finished(layout, result);
+    }
+}
+
+/// Adapts a [`ProgressSink`] to the [`DecompositionObserver`] interface,
+/// maintaining the per-layout `done`/`total` counters.
+///
+/// The counter update and the sink call happen under one lock per layout
+/// batch, so `done` values reach the sink in order even when a pool
+/// executor finishes components concurrently.
+pub struct ProgressObserver<S> {
+    sink: S,
+    counts: Mutex<HashMap<LayoutId, (usize, usize)>>,
+}
+
+impl<S: ProgressSink> ProgressObserver<S> {
+    /// Wraps `sink` (pass `&sink` to keep ownership).
+    pub fn new(sink: S) -> Self {
+        ProgressObserver {
+            sink,
+            counts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+}
+
+impl<S: ProgressSink> DecompositionObserver for ProgressObserver<S> {
+    fn execution_started(&self, layout: LayoutId, plan: &DecompositionPlan) {
+        let total = plan.tasks().len();
+        self.counts
+            .lock()
+            .expect("no panics while counting progress")
+            .insert(layout, (0, total));
+        self.sink.layout_started(layout, total);
+    }
+
+    fn component_finished(&self, layout: LayoutId, _task: &ComponentTask, _stats: &ComponentStats) {
+        // Hold the lock across the sink call so two workers finishing
+        // components of the same layout cannot deliver `done` out of order.
+        let mut counts = self
+            .counts
+            .lock()
+            .expect("no panics while counting progress");
+        let entry = counts
+            .get_mut(&layout)
+            .expect("component_finished after execution_started");
+        entry.0 += 1;
+        let (done, total) = *entry;
+        self.sink.component_done(layout, done, total);
+    }
+
+    fn execution_finished(&self, layout: LayoutId, result: &DecompositionResult) {
+        self.counts
+            .lock()
+            .expect("no panics while counting progress")
+            .remove(&layout);
+        self.sink.layout_finished(layout, result);
+    }
+}
 
 /// A planned decomposition: the decomposition graph plus one
 /// [`ComponentTask`] per independent component, ready to execute.

@@ -133,20 +133,65 @@ impl<'a> BatchTask<'a> {
 #[derive(Debug, Clone, Default)]
 pub struct DecompositionSession {
     plans: Vec<DecompositionPlan>,
+    /// Id of the first plan in `plans`.  Starts at zero and advances by
+    /// [`clear`](DecompositionSession::clear), so a long-running service
+    /// that reuses one session batch after batch never sees two layouts
+    /// share a [`LayoutId`].
+    base: usize,
 }
 
 impl DecompositionSession {
     /// Creates an empty session.
     pub fn new() -> Self {
-        DecompositionSession { plans: Vec::new() }
+        DecompositionSession::default()
     }
 
     /// Enqueues an already-built plan, returning the id its tasks and
     /// results will be tagged with.
     pub fn submit(&mut self, plan: DecompositionPlan) -> LayoutId {
-        let id = LayoutId(self.plans.len());
+        let id = LayoutId(self.base + self.plans.len());
         self.plans.push(plan);
         id
+    }
+
+    /// Retires the current batch so the session can be reused for the next
+    /// one: submitted plans are dropped, but the id counter keeps running,
+    /// so ids stay unique across every batch the session ever ran.
+    ///
+    /// A streaming service drains submissions in waves — submit whatever is
+    /// pending, [`run`](DecompositionSession::run), report, `clear`, repeat
+    /// — and needs the ids it handed out for wave N to never collide with
+    /// wave N+1.
+    ///
+    /// ```
+    /// use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionSession,
+    ///                SerialExecutor};
+    /// use mpl_layout::{gen, Technology};
+    ///
+    /// let tech = Technology::nm20();
+    /// let decomposer = Decomposer::new(DecomposerConfig::quadruple(tech));
+    /// let layout = gen::fig1_contact_clique(&tech);
+    ///
+    /// let mut session = DecompositionSession::new();
+    /// let first = session.submit_layout(&decomposer, &layout)?;
+    /// session.run(&SerialExecutor);
+    /// session.clear();
+    /// let second = session.submit_layout(&decomposer, &layout)?;
+    /// assert_ne!(first, second);
+    /// assert_eq!(second.index(), 1);
+    /// assert!(session.plan(first).is_none()); // retired with its batch
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn clear(&mut self) {
+        self.base += self.plans.len();
+        self.plans.clear();
+    }
+
+    /// Total number of layouts ever submitted, including batches already
+    /// retired by [`clear`](DecompositionSession::clear) (equals the index
+    /// the next submission will receive).
+    pub fn submitted_count(&self) -> usize {
+        self.base + self.plans.len()
     }
 
     /// Plans `layout` with `decomposer` and enqueues the plan.
@@ -182,17 +227,21 @@ impl DecompositionSession {
         self.plans.is_empty()
     }
 
-    /// The submitted plans with their ids, in submission order.
+    /// The submitted plans of the current batch with their ids, in
+    /// submission order.
     pub fn plans(&self) -> impl Iterator<Item = (LayoutId, &DecompositionPlan)> {
+        let base = self.base;
         self.plans
             .iter()
             .enumerate()
-            .map(|(index, plan)| (LayoutId(index), plan))
+            .map(move |(index, plan)| (LayoutId(base + index), plan))
     }
 
-    /// The plan submitted under `id`, if any.
+    /// The plan submitted under `id`, if it belongs to the current batch
+    /// (plans of batches retired by [`clear`](DecompositionSession::clear)
+    /// are gone).
     pub fn plan(&self, id: LayoutId) -> Option<&DecompositionPlan> {
-        self.plans.get(id.index())
+        self.plans.get(id.index().checked_sub(self.base)?)
     }
 
     /// Executes the whole batch through `executor` and returns one result
@@ -554,6 +603,112 @@ mod tests {
         assert_eq!(observer.components_finished.load(Ordering::Relaxed), tasks);
         assert_eq!(observer.max_layout.load(Ordering::Relaxed), 1);
         assert_eq!(results.len(), 2);
+    }
+
+    /// Records every sink call so the adapter's counting can be audited.
+    #[derive(Default)]
+    struct RecordingSink {
+        events: Mutex<Vec<(usize, String)>>,
+    }
+
+    impl crate::ProgressSink for RecordingSink {
+        fn layout_started(&self, layout: LayoutId, total: usize) {
+            self.events
+                .lock()
+                .unwrap()
+                .push((layout.index(), format!("started/{total}")));
+        }
+
+        fn component_done(&self, layout: LayoutId, done: usize, total: usize) {
+            self.events
+                .lock()
+                .unwrap()
+                .push((layout.index(), format!("{done}/{total}")));
+        }
+
+        fn layout_finished(&self, layout: LayoutId, result: &DecompositionResult) {
+            self.events
+                .lock()
+                .unwrap()
+                .push((layout.index(), format!("finished {}", result.layout_name())));
+        }
+    }
+
+    #[test]
+    fn progress_observer_streams_in_order_per_layout_counts() {
+        let decomposer = decomposer(ColorAlgorithm::Linear);
+        let mut session = DecompositionSession::new();
+        session
+            .submit_layout(&decomposer, &row_layout("prog-a", 3))
+            .expect("valid config");
+        session
+            .submit_layout(&decomposer, &row_layout("prog-b", 5))
+            .expect("valid config");
+        let sink = RecordingSink::default();
+        let observer = crate::ProgressObserver::new(&sink);
+        let results =
+            session.run_observed(&ThreadPoolExecutor::new(4).expect("threads"), &observer);
+        assert_eq!(results.len(), 2);
+
+        let events = sink.events.into_inner().unwrap();
+        for (id, plan) in session.plans() {
+            let total = plan.tasks().len();
+            let mine: Vec<&str> = events
+                .iter()
+                .filter(|(layout, _)| *layout == id.index())
+                .map(|(_, event)| event.as_str())
+                .collect();
+            // started, one in-order tick per component, finished.
+            assert_eq!(mine.len(), total + 2, "{id}");
+            assert_eq!(mine[0], format!("started/{total}"));
+            for (tick, event) in mine[1..=total].iter().enumerate() {
+                assert_eq!(*event, format!("{}/{total}", tick + 1), "{id}");
+            }
+            assert_eq!(mine[total + 1], format!("finished {}", plan.layout_name()));
+        }
+    }
+
+    #[test]
+    fn clearing_a_session_keeps_ids_unique_across_batches() {
+        let decomposer = decomposer(ColorAlgorithm::Linear);
+        let mut session = DecompositionSession::new();
+        let a = session
+            .submit_layout(&decomposer, &row_layout("wave1-a", 3))
+            .expect("valid config");
+        let b = session
+            .submit_layout(&decomposer, &row_layout("wave1-b", 5))
+            .expect("valid config");
+        let first_wave = session.run(&SerialExecutor);
+        assert_eq!(first_wave.len(), 2);
+
+        session.clear();
+        assert!(session.is_empty());
+        assert_eq!(session.layout_count(), 0);
+        assert_eq!(session.submitted_count(), 2);
+        assert!(session.plan(a).is_none());
+        assert!(session.plan(b).is_none());
+        assert!(session.run(&SerialExecutor).is_empty());
+
+        let c = session
+            .submit_layout(&decomposer, &row_layout("wave2-c", 7))
+            .expect("valid config");
+        assert_eq!(c.index(), 2);
+        assert_ne!(c, a);
+        assert_ne!(c, b);
+        assert_eq!(session.submitted_count(), 3);
+        assert!(session.plan(c).is_some());
+        assert_eq!(
+            session.plans().map(|(id, _)| id).collect::<Vec<_>>(),
+            vec![c]
+        );
+
+        let second_wave = session.run(&ThreadPoolExecutor::new(2).expect("threads"));
+        assert_eq!(second_wave.len(), 1);
+        assert_eq!(second_wave[0].0, c);
+        let standalone = decomposer
+            .decompose(&row_layout("wave2-c", 7))
+            .expect("valid config");
+        assert_eq!(second_wave[0].1.colors(), standalone.colors());
     }
 
     #[test]

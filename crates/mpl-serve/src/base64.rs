@@ -1,0 +1,163 @@
+//! Standard (RFC 4648) base64 with padding, implemented in-tree because
+//! the workspace builds without crates.io access.
+//!
+//! GDSII layouts are binary streams; the wire protocol is line-oriented
+//! JSON, so GDS payloads travel base64-encoded in the `gds_base64` field of
+//! a `submit` request.
+
+use std::fmt;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// A base64 decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Base64Error {
+    /// The input length is not a multiple of four.
+    BadLength {
+        /// The rejected length.
+        length: usize,
+    },
+    /// A byte outside the alphabet (or misplaced padding) was found.
+    BadCharacter {
+        /// Offset of the offending byte.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for Base64Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Base64Error::BadLength { length } => {
+                write!(f, "base64 length {length} is not a multiple of 4")
+            }
+            Base64Error::BadCharacter { offset } => {
+                write!(f, "invalid base64 character at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Base64Error {}
+
+/// Encodes `bytes` as padded standard base64.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn decode_digit(byte: u8) -> Option<u32> {
+    match byte {
+        b'A'..=b'Z' => Some(u32::from(byte - b'A')),
+        b'a'..=b'z' => Some(u32::from(byte - b'a') + 26),
+        b'0'..=b'9' => Some(u32::from(byte - b'0') + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes padded standard base64.
+///
+/// # Errors
+///
+/// Returns a [`Base64Error`] on a length that is not a multiple of four,
+/// on bytes outside the alphabet, or on misplaced padding.
+pub fn decode(text: &str) -> Result<Vec<u8>, Base64Error> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(Base64Error::BadLength {
+            length: bytes.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (group_index, group) in bytes.chunks(4).enumerate() {
+        let is_last = (group_index + 1) * 4 == bytes.len();
+        let padding = group.iter().rev().take_while(|&&b| b == b'=').count();
+        if padding > 2 || (padding > 0 && !is_last) {
+            let offset = group_index * 4 + group.iter().position(|&b| b == b'=').unwrap();
+            return Err(Base64Error::BadCharacter { offset });
+        }
+        let mut triple = 0u32;
+        for (index, &byte) in group.iter().enumerate() {
+            let digit = if index >= 4 - padding {
+                0
+            } else {
+                decode_digit(byte).ok_or(Base64Error::BadCharacter {
+                    offset: group_index * 4 + index,
+                })?
+            };
+            triple = (triple << 6) | digit;
+        }
+        out.push((triple >> 16) as u8);
+        if padding < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if padding < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        let vectors: [(&[u8], &str); 7] = [
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (raw, encoded) in vectors {
+            assert_eq!(encode(raw), encoded);
+            assert_eq!(decode(encoded).unwrap(), raw);
+        }
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let bytes: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&bytes)).unwrap(), bytes);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(
+            decode("abc").unwrap_err(),
+            Base64Error::BadLength { length: 3 }
+        );
+        assert!(matches!(
+            decode("ab!d").unwrap_err(),
+            Base64Error::BadCharacter { offset: 2 }
+        ));
+        // Padding in a non-final group, or more than two pads.
+        assert!(decode("Zg==Zm8=").is_err());
+        assert!(decode("Z===").is_err());
+        // Pad in the middle of a group.
+        assert!(decode("Z=g=").is_err());
+    }
+}

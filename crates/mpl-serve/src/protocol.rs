@@ -1,0 +1,757 @@
+//! The typed request/response vocabulary of the wire protocol, and its
+//! JSON encoding.
+//!
+//! Every frame on the wire is one JSON object with a `"type"` field.  This
+//! module converts between those objects and the typed [`Request`] /
+//! [`Response`] enums, so the server, the client, the benchmarks and the
+//! tests all agree on one schema — and the property tests can round-trip
+//! arbitrary values through encode → chunked transport → decode.
+//!
+//! Failures are [`ServeError`]s: the decomposition pipeline's typed
+//! [`ConfigError`] / [`DecomposeError`] values are carried as-is (not
+//! stringly re-invented), and protocol/parse/io problems get their own
+//! variants.  On the wire an error becomes an `"error"` frame with a
+//! machine-checkable [`ErrorCode`] plus the human-readable message.
+
+use crate::json::Json;
+use mpl_core::{ColorAlgorithm, ConfigError, DecomposeError};
+use std::fmt;
+
+/// Where a submitted layout's geometry comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutSource {
+    /// Inline text in the workspace's line-oriented layout format
+    /// (`# layout <name>` header + one rectangle per line).
+    Text(String),
+    /// A base64-encoded GDSII stream.
+    GdsBase64(String),
+    /// A path on the **server's** filesystem (text or GDSII,
+    /// auto-detected) — for clients co-located with the layout store.
+    Path(String),
+}
+
+/// Which persistent executor the server should drain this layout on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorChoice {
+    /// The server's shared thread pool (the default).
+    #[default]
+    Pool,
+    /// The serial executor.
+    Serial,
+}
+
+impl ExecutorChoice {
+    /// The wire name (`"pool"` / `"serial"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecutorChoice::Pool => "pool",
+            ExecutorChoice::Serial => "serial",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_wire(name: &str) -> Result<Self, ServeError> {
+        match name {
+            "pool" => Ok(ExecutorChoice::Pool),
+            "serial" => Ok(ExecutorChoice::Serial),
+            other => Err(ServeError::Protocol(format!(
+                "unknown executor {other:?} (expected \"serial\" or \"pool\")"
+            ))),
+        }
+    }
+}
+
+/// One `submit` request: a layout plus its per-request decomposition
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Client-chosen tag echoed on every response frame for this layout.
+    pub id: String,
+    /// The layout geometry.
+    pub source: LayoutSource,
+    /// Mask count K (validated server-side; a bad value comes back as a
+    /// typed `config` error).
+    pub k: usize,
+    /// The color-assignment engine.
+    pub algorithm: ColorAlgorithm,
+    /// Stitch weight α.
+    pub alpha: f64,
+    /// Which persistent executor drains this layout.
+    pub executor: ExecutorChoice,
+    /// Stream per-component `progress` frames while the layout colors.
+    pub progress: bool,
+    /// Re-verify same-mask spacing server-side and report the violation
+    /// count on the result frame.
+    pub verify: bool,
+}
+
+impl SubmitRequest {
+    /// A submission with the protocol defaults (K=4, SDP+Backtrack,
+    /// α=0.1, pool executor, no progress streaming, no verification).
+    pub fn new(id: impl Into<String>, source: LayoutSource) -> Self {
+        SubmitRequest {
+            id: id.into(),
+            source,
+            k: 4,
+            algorithm: ColorAlgorithm::SdpBacktrack,
+            alpha: 0.1,
+            executor: ExecutorChoice::default(),
+            progress: false,
+            verify: false,
+        }
+    }
+}
+
+/// A client-to-server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit one layout for decomposition.
+    Submit(SubmitRequest),
+    /// Liveness probe; the server answers with [`Response::Pong`].
+    Ping,
+    /// Ask the whole server (not just this connection) to stop accepting
+    /// work and exit once the current batch drains.
+    Shutdown,
+}
+
+/// The final per-layout payload of a successful decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultPayload {
+    /// The submission's client-chosen id.
+    pub id: String,
+    /// The layout's name.
+    pub layout: String,
+    /// Mask count K.
+    pub k: usize,
+    /// Engine name (the paper's column header, e.g. `"Linear"`).
+    pub algorithm: String,
+    /// Executor that drained the layout (e.g. `"serial"`, `"threads:4"`).
+    pub executor: String,
+    /// Decomposition-graph vertices.
+    pub vertices: usize,
+    /// Independent components.
+    pub components: usize,
+    /// Unresolved conflicts.
+    pub conflicts: usize,
+    /// Inserted stitches.
+    pub stitches: usize,
+    /// Weighted objective `conflicts + α · stitches`.
+    pub cost: f64,
+    /// Seconds from batch start until this layout's last component
+    /// finished.
+    pub color_seconds: f64,
+    /// One mask index per decomposition-graph vertex — the full coloring,
+    /// so clients can compare served results bit-for-bit with local runs.
+    pub colors: Vec<u8>,
+    /// Same-mask spacing violations found by server-side re-verification
+    /// (present only when the submission set `verify`).
+    pub spacing_violations: Option<usize>,
+}
+
+/// Machine-checkable category of an error frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed frame, unknown type, missing/ill-typed field.
+    Protocol,
+    /// The layout payload failed to parse (bad text, truncated GDS, …).
+    Parse,
+    /// An invalid decomposer configuration ([`ConfigError`]).
+    Config,
+    /// Planning failed ([`DecomposeError`], e.g. a degenerate shape).
+    Decompose,
+    /// A server-side I/O failure (e.g. an unreadable `path` submission).
+    Io,
+}
+
+impl ErrorCode {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Config => "config",
+            ErrorCode::Decompose => "decompose",
+            ErrorCode::Io => "io",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_wire(name: &str) -> Result<Self, ServeError> {
+        match name {
+            "protocol" => Ok(ErrorCode::Protocol),
+            "parse" => Ok(ErrorCode::Parse),
+            "config" => Ok(ErrorCode::Config),
+            "decompose" => Ok(ErrorCode::Decompose),
+            "io" => Ok(ErrorCode::Io),
+            other => Err(ServeError::Protocol(format!(
+                "unknown error code {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A server-to-client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A submission was accepted and queued for the next batch.
+    Queued {
+        /// The submission's id.
+        id: String,
+        /// The layout's name.
+        layout: String,
+        /// Decomposition-graph vertices.
+        vertices: usize,
+        /// Independent components (= the `total` of progress frames).
+        components: usize,
+    },
+    /// `done` of `total` components of a submission have colored.
+    Progress {
+        /// The submission's id.
+        id: String,
+        /// Components finished so far (strictly increasing).
+        done: usize,
+        /// Total components of the layout.
+        total: usize,
+    },
+    /// A submission finished; the full coloring and statistics.
+    Result(ResultPayload),
+    /// A request failed.  The connection stays open.
+    Error {
+        /// The submission's id, when the failing frame carried one.
+        id: Option<String>,
+        /// Machine-checkable category.
+        code: ErrorCode,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Acknowledges [`Request::Shutdown`]; the server exits afterwards.
+    ShuttingDown,
+}
+
+/// A service failure: either a carried-through typed pipeline error or a
+/// protocol-level problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Malformed frame, unknown type, missing or ill-typed field.
+    Protocol(String),
+    /// The layout payload failed to parse.
+    Parse(String),
+    /// The decomposition pipeline's typed configuration error.
+    Config(ConfigError),
+    /// The decomposition pipeline's typed planning error.
+    Decompose(DecomposeError),
+    /// A server-side I/O failure.
+    Io(String),
+}
+
+impl ServeError {
+    /// The wire category of this error.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServeError::Protocol(_) => ErrorCode::Protocol,
+            ServeError::Parse(_) => ErrorCode::Parse,
+            ServeError::Config(_) => ErrorCode::Config,
+            ServeError::Decompose(DecomposeError::Config(_)) => ErrorCode::Config,
+            ServeError::Decompose(_) => ErrorCode::Decompose,
+            ServeError::Io(_) => ErrorCode::Io,
+        }
+    }
+
+    /// Renders this error as the `error` frame for `id`.
+    pub fn to_response(&self, id: Option<String>) -> Response {
+        Response::Error {
+            id,
+            code: self.code(),
+            message: self.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Protocol(message)
+            | ServeError::Parse(message)
+            | ServeError::Io(message) => f.write_str(message),
+            ServeError::Config(error) => write!(f, "{error}"),
+            ServeError::Decompose(error) => write!(f, "{error}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Config(error) => Some(error),
+            ServeError::Decompose(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ServeError {
+    fn from(error: ConfigError) -> Self {
+        ServeError::Config(error)
+    }
+}
+
+impl From<DecomposeError> for ServeError {
+    fn from(error: DecomposeError) -> Self {
+        match error {
+            DecomposeError::Config(config) => ServeError::Config(config),
+            other => ServeError::Decompose(other),
+        }
+    }
+}
+
+/// The wire name of an engine (the `--algorithm` alias the CLI also
+/// accepts).
+pub fn algorithm_wire_name(algorithm: ColorAlgorithm) -> &'static str {
+    match algorithm {
+        ColorAlgorithm::Ilp => "ilp",
+        ColorAlgorithm::SdpBacktrack => "sdp-backtrack",
+        ColorAlgorithm::SdpGreedy => "sdp-greedy",
+        ColorAlgorithm::Linear => "linear",
+    }
+}
+
+fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json, ServeError> {
+    json.get(key)
+        .ok_or_else(|| ServeError::Protocol(format!("missing field {key:?}")))
+}
+
+fn string_field(json: &Json, key: &str) -> Result<String, ServeError> {
+    field(json, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| ServeError::Protocol(format!("field {key:?} must be a string")))
+}
+
+fn usize_field(json: &Json, key: &str) -> Result<usize, ServeError> {
+    field(json, key)?.as_usize().ok_or_else(|| {
+        ServeError::Protocol(format!("field {key:?} must be a non-negative integer"))
+    })
+}
+
+fn f64_field(json: &Json, key: &str) -> Result<f64, ServeError> {
+    field(json, key)?
+        .as_f64()
+        .ok_or_else(|| ServeError::Protocol(format!("field {key:?} must be a number")))
+}
+
+/// Decodes a client frame.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] describing the first violated expectation.
+pub fn decode_request(json: &Json) -> Result<Request, ServeError> {
+    let frame_type = string_field(json, "type")?;
+    match frame_type.as_str() {
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        "submit" => {
+            let id = string_field(json, "id")?;
+            let sources: Vec<LayoutSource> = [
+                ("layout_text", LayoutSource::Text as fn(String) -> _),
+                ("gds_base64", LayoutSource::GdsBase64 as fn(String) -> _),
+                ("path", LayoutSource::Path as fn(String) -> _),
+            ]
+            .iter()
+            .filter_map(|(key, build)| {
+                json.get(key).map(|value| {
+                    value
+                        .as_str()
+                        .map(|text| build(text.to_string()))
+                        .ok_or_else(|| {
+                            ServeError::Protocol(format!("field {key:?} must be a string"))
+                        })
+                })
+            })
+            .collect::<Result<_, _>>()?;
+            let source =
+                match sources.len() {
+                    1 => sources.into_iter().next().expect("length checked"),
+                    0 => return Err(ServeError::Protocol(
+                        "submit needs exactly one of \"layout_text\", \"gds_base64\" or \"path\""
+                            .to_string(),
+                    )),
+                    _ => {
+                        return Err(ServeError::Protocol(
+                            "submit got more than one layout source".to_string(),
+                        ))
+                    }
+                };
+            let mut submit = SubmitRequest::new(id, source);
+            if json.get("k").is_some() {
+                submit.k = usize_field(json, "k")?;
+            }
+            if let Some(value) = json.get("algorithm") {
+                let name = value.as_str().ok_or_else(|| {
+                    ServeError::Protocol("field \"algorithm\" must be a string".to_string())
+                })?;
+                submit.algorithm =
+                    ColorAlgorithm::from_cli_name(name).map_err(ServeError::Protocol)?;
+            }
+            if json.get("alpha").is_some() {
+                submit.alpha = f64_field(json, "alpha")?;
+            }
+            if let Some(value) = json.get("executor") {
+                let name = value.as_str().ok_or_else(|| {
+                    ServeError::Protocol("field \"executor\" must be a string".to_string())
+                })?;
+                submit.executor = ExecutorChoice::from_wire(name)?;
+            }
+            if let Some(value) = json.get("progress") {
+                submit.progress = value.as_bool().ok_or_else(|| {
+                    ServeError::Protocol("field \"progress\" must be a boolean".to_string())
+                })?;
+            }
+            if let Some(value) = json.get("verify") {
+                submit.verify = value.as_bool().ok_or_else(|| {
+                    ServeError::Protocol("field \"verify\" must be a boolean".to_string())
+                })?;
+            }
+            Ok(Request::Submit(submit))
+        }
+        other => Err(ServeError::Protocol(format!(
+            "unknown request type {other:?}"
+        ))),
+    }
+}
+
+/// Encodes a client frame.
+pub fn encode_request(request: &Request) -> Json {
+    match request {
+        Request::Ping => Json::object(vec![("type", Json::string("ping"))]),
+        Request::Shutdown => Json::object(vec![("type", Json::string("shutdown"))]),
+        Request::Submit(submit) => {
+            let mut pairs = vec![
+                ("type", Json::string("submit")),
+                ("id", Json::string(submit.id.clone())),
+            ];
+            let (source_key, source_value) = match &submit.source {
+                LayoutSource::Text(text) => ("layout_text", text),
+                LayoutSource::GdsBase64(data) => ("gds_base64", data),
+                LayoutSource::Path(path) => ("path", path),
+            };
+            pairs.push((source_key, Json::string(source_value.clone())));
+            pairs.push(("k", Json::Number(submit.k as f64)));
+            pairs.push((
+                "algorithm",
+                Json::string(algorithm_wire_name(submit.algorithm)),
+            ));
+            pairs.push(("alpha", Json::Number(submit.alpha)));
+            pairs.push(("executor", Json::string(submit.executor.as_str())));
+            pairs.push(("progress", Json::Bool(submit.progress)));
+            pairs.push(("verify", Json::Bool(submit.verify)));
+            Json::object(pairs)
+        }
+    }
+}
+
+/// Decodes a server frame.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] describing the first violated expectation.
+pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
+    let frame_type = string_field(json, "type")?;
+    match frame_type.as_str() {
+        "pong" => Ok(Response::Pong),
+        "shutting_down" => Ok(Response::ShuttingDown),
+        "queued" => Ok(Response::Queued {
+            id: string_field(json, "id")?,
+            layout: string_field(json, "layout")?,
+            vertices: usize_field(json, "vertices")?,
+            components: usize_field(json, "components")?,
+        }),
+        "progress" => Ok(Response::Progress {
+            id: string_field(json, "id")?,
+            done: usize_field(json, "done")?,
+            total: usize_field(json, "total")?,
+        }),
+        "error" => {
+            let id = match json.get("id") {
+                None | Some(Json::Null) => None,
+                Some(value) => Some(value.as_str().map(str::to_string).ok_or_else(|| {
+                    ServeError::Protocol("field \"id\" must be a string".to_string())
+                })?),
+            };
+            Ok(Response::Error {
+                id,
+                code: ErrorCode::from_wire(&string_field(json, "code")?)?,
+                message: string_field(json, "message")?,
+            })
+        }
+        "result" => {
+            let colors = field(json, "colors")?
+                .as_array()
+                .ok_or_else(|| {
+                    ServeError::Protocol("field \"colors\" must be an array".to_string())
+                })?
+                .iter()
+                .map(|value| {
+                    value
+                        .as_usize()
+                        .filter(|&color| color <= u8::MAX as usize)
+                        .map(|color| color as u8)
+                        .ok_or_else(|| {
+                            ServeError::Protocol(
+                                "field \"colors\" must hold mask indices 0..=255".to_string(),
+                            )
+                        })
+                })
+                .collect::<Result<Vec<u8>, _>>()?;
+            let spacing_violations = match json.get("spacing_violations") {
+                None | Some(Json::Null) => None,
+                Some(value) => Some(value.as_usize().ok_or_else(|| {
+                    ServeError::Protocol(
+                        "field \"spacing_violations\" must be a non-negative integer".to_string(),
+                    )
+                })?),
+            };
+            Ok(Response::Result(ResultPayload {
+                id: string_field(json, "id")?,
+                layout: string_field(json, "layout")?,
+                k: usize_field(json, "k")?,
+                algorithm: string_field(json, "algorithm")?,
+                executor: string_field(json, "executor")?,
+                vertices: usize_field(json, "vertices")?,
+                components: usize_field(json, "components")?,
+                conflicts: usize_field(json, "conflicts")?,
+                stitches: usize_field(json, "stitches")?,
+                cost: f64_field(json, "cost")?,
+                color_seconds: f64_field(json, "color_seconds")?,
+                colors,
+                spacing_violations,
+            }))
+        }
+        other => Err(ServeError::Protocol(format!(
+            "unknown response type {other:?}"
+        ))),
+    }
+}
+
+/// Encodes a server frame.
+pub fn encode_response(response: &Response) -> Json {
+    match response {
+        Response::Pong => Json::object(vec![("type", Json::string("pong"))]),
+        Response::ShuttingDown => Json::object(vec![("type", Json::string("shutting_down"))]),
+        Response::Queued {
+            id,
+            layout,
+            vertices,
+            components,
+        } => Json::object(vec![
+            ("type", Json::string("queued")),
+            ("id", Json::string(id.clone())),
+            ("layout", Json::string(layout.clone())),
+            ("vertices", Json::Number(*vertices as f64)),
+            ("components", Json::Number(*components as f64)),
+        ]),
+        Response::Progress { id, done, total } => Json::object(vec![
+            ("type", Json::string("progress")),
+            ("id", Json::string(id.clone())),
+            ("done", Json::Number(*done as f64)),
+            ("total", Json::Number(*total as f64)),
+        ]),
+        Response::Error { id, code, message } => {
+            let mut pairs = vec![("type", Json::string("error"))];
+            if let Some(id) = id {
+                pairs.push(("id", Json::string(id.clone())));
+            }
+            pairs.push(("code", Json::string(code.as_str())));
+            pairs.push(("message", Json::string(message.clone())));
+            Json::object(pairs)
+        }
+        Response::Result(payload) => {
+            let mut pairs = vec![
+                ("type", Json::string("result")),
+                ("id", Json::string(payload.id.clone())),
+                ("layout", Json::string(payload.layout.clone())),
+                ("k", Json::Number(payload.k as f64)),
+                ("algorithm", Json::string(payload.algorithm.clone())),
+                ("executor", Json::string(payload.executor.clone())),
+                ("vertices", Json::Number(payload.vertices as f64)),
+                ("components", Json::Number(payload.components as f64)),
+                ("conflicts", Json::Number(payload.conflicts as f64)),
+                ("stitches", Json::Number(payload.stitches as f64)),
+                ("cost", Json::Number(payload.cost)),
+                ("color_seconds", Json::Number(payload.color_seconds)),
+            ];
+            if let Some(violations) = payload.spacing_violations {
+                pairs.push(("spacing_violations", Json::Number(violations as f64)));
+            }
+            pairs.push((
+                "colors",
+                Json::Array(
+                    payload
+                        .colors
+                        .iter()
+                        .map(|&color| Json::Number(f64::from(color)))
+                        .collect(),
+                ),
+            ));
+            Json::object(pairs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(request: Request) {
+        let json = encode_request(&request);
+        let reparsed = Json::parse(&json.to_string()).expect("writer emits valid JSON");
+        assert_eq!(decode_request(&reparsed).expect("decodes"), request);
+    }
+
+    fn round_trip_response(response: Response) {
+        let json = encode_response(&response);
+        let reparsed = Json::parse(&json.to_string()).expect("writer emits valid JSON");
+        assert_eq!(decode_response(&reparsed).expect("decodes"), response);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Shutdown);
+        let mut submit = SubmitRequest::new("a", LayoutSource::Text("# layout x\n".into()));
+        submit.k = 5;
+        submit.algorithm = ColorAlgorithm::Linear;
+        submit.alpha = 0.25;
+        submit.executor = ExecutorChoice::Serial;
+        submit.progress = true;
+        submit.verify = true;
+        round_trip_request(Request::Submit(submit));
+        round_trip_request(Request::Submit(SubmitRequest::new(
+            "gds \"quoted\"",
+            LayoutSource::GdsBase64("AAECAw==".into()),
+        )));
+        round_trip_request(Request::Submit(SubmitRequest::new(
+            "p",
+            LayoutSource::Path("/tmp/x.gds".into()),
+        )));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Pong);
+        round_trip_response(Response::ShuttingDown);
+        round_trip_response(Response::Queued {
+            id: "7".into(),
+            layout: "chip".into(),
+            vertices: 10,
+            components: 3,
+        });
+        round_trip_response(Response::Progress {
+            id: "7".into(),
+            done: 2,
+            total: 3,
+        });
+        round_trip_response(Response::Error {
+            id: None,
+            code: ErrorCode::Protocol,
+            message: "bad frame".into(),
+        });
+        round_trip_response(Response::Error {
+            id: Some("x".into()),
+            code: ErrorCode::Config,
+            message: "mask count K must be in 2..=255, got 0".into(),
+        });
+        round_trip_response(Response::Result(ResultPayload {
+            id: "7".into(),
+            layout: "chip".into(),
+            k: 4,
+            algorithm: "Linear".into(),
+            executor: "threads:2".into(),
+            vertices: 4,
+            components: 2,
+            conflicts: 1,
+            stitches: 2,
+            cost: 1.2,
+            color_seconds: 0.25,
+            colors: vec![0, 3, 2, 1],
+            spacing_violations: Some(1),
+        }));
+    }
+
+    #[test]
+    fn submit_defaults_apply_when_fields_are_omitted() {
+        let json = Json::parse(r##"{"type":"submit","id":"d","layout_text":"# layout d\n"}"##)
+            .expect("valid JSON");
+        let Request::Submit(submit) = decode_request(&json).expect("decodes") else {
+            panic!("expected submit");
+        };
+        assert_eq!(submit.k, 4);
+        assert_eq!(submit.algorithm, ColorAlgorithm::SdpBacktrack);
+        assert_eq!(submit.alpha, 0.1);
+        assert_eq!(submit.executor, ExecutorChoice::Pool);
+        assert!(!submit.progress);
+        assert!(!submit.verify);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_protocol_errors() {
+        for (bad, needle) in [
+            (r#"{"id":"x"}"#, "missing field \"type\""),
+            (r#"{"type":"nope"}"#, "unknown request type"),
+            (r#"{"type":"submit","id":"x"}"#, "exactly one of"),
+            (
+                r#"{"type":"submit","id":"x","layout_text":"a","path":"b"}"#,
+                "more than one layout source",
+            ),
+            (
+                r#"{"type":"submit","layout_text":"a"}"#,
+                "missing field \"id\"",
+            ),
+            (
+                r#"{"type":"submit","id":"x","layout_text":"a","k":-1}"#,
+                "non-negative integer",
+            ),
+            (
+                r#"{"type":"submit","id":"x","layout_text":"a","algorithm":"magic"}"#,
+                "unknown algorithm",
+            ),
+            (
+                r#"{"type":"submit","id":"x","layout_text":"a","executor":"gpu"}"#,
+                "unknown executor",
+            ),
+            (
+                r#"{"type":"submit","id":"x","layout_text":"a","progress":"yes"}"#,
+                "must be a boolean",
+            ),
+            (r#"{"type":7}"#, "must be a string"),
+        ] {
+            let json = Json::parse(bad).expect("valid JSON");
+            let error = decode_request(&json).expect_err(bad);
+            assert_eq!(error.code(), ErrorCode::Protocol, "{bad}");
+            assert!(error.to_string().contains(needle), "{bad}: {error}");
+        }
+    }
+
+    #[test]
+    fn pipeline_errors_keep_their_types_and_map_to_codes() {
+        let config: ServeError = ConfigError::MaskCount { k: 0 }.into();
+        assert_eq!(config.code(), ErrorCode::Config);
+        assert!(config.to_string().contains("got 0"));
+
+        // DecomposeError::Config flattens to the config code…
+        let nested: ServeError = DecomposeError::Config(ConfigError::ThreadCount).into();
+        assert_eq!(nested.code(), ErrorCode::Config);
+        // …while genuine planning failures keep the decompose code.
+        let planning: ServeError = DecomposeError::DegenerateShape { shape: 3 }.into();
+        assert_eq!(planning.code(), ErrorCode::Decompose);
+        assert!(matches!(
+            planning.to_response(Some("q".into())),
+            Response::Error {
+                code: ErrorCode::Decompose,
+                ..
+            }
+        ));
+        assert!(std::error::Error::source(&planning).is_some());
+    }
+}

@@ -1,0 +1,536 @@
+//! The streaming decomposition server.
+//!
+//! One listener thread accepts TCP connections; each connection gets a
+//! reader thread that parses newline-delimited JSON frames and answers
+//! protocol errors immediately.  Accepted `submit` requests are planned on
+//! the connection thread (so parse/config errors surface before anything
+//! queues) and handed to the single **scheduler** thread, which coalesces
+//! everything pending into one [`DecompositionSession`] batch per executor
+//! choice and drains it on the server's persistent executors.  While a
+//! batch runs, per-component progress streams back to each submission's
+//! connection through the session's [`ProgressObserver`] plumbing; the
+//! final `result` frame carries the full coloring.
+//!
+//! Submissions that arrive while a batch is draining simply pile up and
+//! form the next batch — incremental submission never blocks on execution.
+//! The session is reused across batches ([`DecompositionSession::clear`]),
+//! so every submission the server ever accepts gets a unique
+//! [`LayoutId`].
+//!
+//! Back-pressure caveat: result and progress frames are written directly to
+//! the submitting connection under its write lock, so a client that stops
+//! reading can stall the scheduler once the socket buffer fills.  A
+//! production deployment would add per-connection output queues; the
+//! in-tree server keeps the write path synchronous for determinism.
+
+use crate::codec::{encode_frame, FrameDecoder, FrameError, DEFAULT_MAX_FRAME_LEN};
+use crate::json::Json;
+use crate::protocol::{
+    decode_request, encode_response, ExecutorChoice, LayoutSource, Request, Response,
+    ResultPayload, ServeError, SubmitRequest,
+};
+use mpl_core::{
+    verify_spacing, Decomposer, DecomposerConfig, DecompositionPlan, DecompositionSession,
+    Executor, LayoutId, ProgressObserver, ProgressSink, SerialExecutor, ThreadPoolExecutor,
+};
+use mpl_gds::{
+    layout_from_library, load_layout_file, GdsLibrary, LayerMap, LoadLayoutError, ReadOptions,
+};
+use mpl_layout::{io, Layout, Technology};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads of the persistent pool executor (≥ 1; serial-choice
+    /// submissions use the serial executor regardless).
+    pub pool_threads: usize,
+    /// Maximum accepted frame length in bytes.
+    pub max_frame_len: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            pool_threads: 2,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// A submission accepted by a connection, waiting for the next batch.
+struct Pending {
+    plan: DecompositionPlan,
+    submit: SubmitRequest,
+    writer: ConnectionWriter,
+}
+
+/// State shared between the listener, connections and the scheduler.
+struct Shared {
+    pending: Mutex<Vec<Pending>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    pool: ThreadPoolExecutor,
+    max_frame_len: usize,
+    addr: SocketAddr,
+    technology: Technology,
+}
+
+impl Shared {
+    /// Queues a planned submission for the next batch.  Returns `false`
+    /// when shutdown has begun and the scheduler can no longer be relied
+    /// on to drain it — the flag is checked under the queue lock, and
+    /// [`begin_shutdown`](Shared::begin_shutdown) sets it under the same
+    /// lock, so an accepted submission is always either drained by the
+    /// scheduler's final wave or rejected here, never silently dropped.
+    fn enqueue(&self, pending: Pending) -> bool {
+        let mut queue = self.pending.lock().expect("no panics while queueing");
+        if self.shutting_down() {
+            return false;
+        }
+        queue.push(pending);
+        self.wake.notify_one();
+        true
+    }
+
+    /// Flags shutdown and unblocks both the scheduler (condvar) and the
+    /// accept loop (a throwaway connection to ourselves).
+    fn begin_shutdown(&self) {
+        {
+            // Under the queue lock: see `enqueue` for the invariant.
+            let _queue = self.pending.lock().expect("no panics while queueing");
+            self.shutdown.store(true, Ordering::Release);
+        }
+        self.wake.notify_all();
+        // `TcpListener::incoming` has no timeout; poke it awake.  A
+        // wildcard bind (0.0.0.0 / ::) is not connectable on every
+        // platform, so aim the poke at the loopback of the same family.
+        let mut poke = self.addr;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(match poke {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        drop(TcpStream::connect(poke));
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A shareable, mutex-serialised frame writer over one connection.
+///
+/// Frames are written whole under the lock, so responses from the
+/// connection thread (errors, pongs, queued acks) and from the scheduler
+/// (progress, results) never interleave mid-frame.  The first write error
+/// marks the connection dead and later frames are dropped silently — a
+/// vanished client must not take the scheduler down.
+#[derive(Clone)]
+struct ConnectionWriter {
+    inner: Arc<Mutex<WriterInner>>,
+}
+
+struct WriterInner {
+    stream: TcpStream,
+    dead: bool,
+}
+
+impl ConnectionWriter {
+    fn new(stream: TcpStream) -> Self {
+        ConnectionWriter {
+            inner: Arc::new(Mutex::new(WriterInner {
+                stream,
+                dead: false,
+            })),
+        }
+    }
+
+    fn send(&self, response: &Response) {
+        let frame = encode_frame(&encode_response(response));
+        let mut inner = self.inner.lock().expect("no panics while writing");
+        if inner.dead {
+            return;
+        }
+        if inner.stream.write_all(frame.as_bytes()).is_err() {
+            inner.dead = true;
+        }
+    }
+}
+
+/// Streams progress frames for one running batch.
+struct BatchSink<'a> {
+    submissions: &'a HashMap<LayoutId, (SubmitRequest, ConnectionWriter)>,
+}
+
+impl ProgressSink for BatchSink<'_> {
+    fn component_done(&self, layout: LayoutId, done: usize, total: usize) {
+        if let Some((submit, writer)) = self.submissions.get(&layout) {
+            if submit.progress {
+                writer.send(&Response::Progress {
+                    id: submit.id.clone(),
+                    done,
+                    total,
+                });
+            }
+        }
+    }
+}
+
+/// The streaming decomposition server (see the crate-level documentation
+/// for the wire protocol).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener.  The server does not accept connections until
+    /// [`run`](Server::run) (or [`spawn`](Server::spawn) internally) is
+    /// called.
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure, or a zero `pool_threads`.
+    pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
+        let pool = ThreadPoolExecutor::new(config.pool_threads).map_err(|error| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, error.to_string())
+        })?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                pending: Mutex::new(Vec::new()),
+                wake: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                pool,
+                max_frame_len: config.max_frame_len,
+                addr,
+                technology: Technology::nm20(),
+            }),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Runs the accept loop on the calling thread until a client sends a
+    /// `shutdown` request, then drains the last batch and returns.
+    pub fn run(self) {
+        let scheduler_shared = Arc::clone(&self.shared);
+        let scheduler = thread::Builder::new()
+            .name("mpl-serve-scheduler".to_string())
+            .spawn(move || scheduler_loop(scheduler_shared))
+            .expect("spawn scheduler thread");
+
+        for stream in self.listener.incoming() {
+            if self.shared.shutting_down() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(&self.shared);
+            // Connection threads are detached: they exit on client EOF and
+            // must not delay shutdown.
+            let _ = thread::Builder::new()
+                .name("mpl-serve-connection".to_string())
+                .spawn(move || connection_loop(&shared, stream));
+        }
+        scheduler.join().expect("scheduler thread panicked");
+    }
+
+    /// Binds and runs the server on a background thread, returning a
+    /// handle with the bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Server::bind`] failures.
+    pub fn spawn(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+        let server = Server::bind(config)?;
+        let addr = server.local_addr();
+        let thread = thread::Builder::new()
+            .name("mpl-serve-listener".to_string())
+            .spawn(move || server.run())?;
+        Ok(ServerHandle { addr, thread })
+    }
+}
+
+/// A running [`Server`] on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends a `shutdown` request and waits for the server to exit.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure while delivering the request; the server thread is
+    /// still joined.
+    pub fn shutdown(self) -> std::io::Result<()> {
+        let deliver = (|| -> std::io::Result<()> {
+            let mut stream = TcpStream::connect(self.addr)?;
+            stream.write_all(
+                encode_frame(&Json::object(vec![("type", Json::string("shutdown"))])).as_bytes(),
+            )?;
+            // Half-close the write side so the server's connection thread
+            // sees EOF and hangs up after acknowledging — then draining to
+            // EOF here confirms the request reached the server without the
+            // two sides waiting on each other.
+            stream.shutdown(std::net::Shutdown::Write)?;
+            let mut sink = [0u8; 256];
+            while stream.read(&mut sink)? > 0 {}
+            Ok(())
+        })();
+        self.thread.join().expect("server thread panicked");
+        deliver
+    }
+
+    /// Waits for the server to exit without requesting it — for callers
+    /// that already delivered a `shutdown` frame over their own connection.
+    pub fn join(self) {
+        self.thread.join().expect("server thread panicked");
+    }
+}
+
+/// Reads frames from one connection until EOF, a fatal framing error, or a
+/// read failure.
+fn connection_loop(shared: &Shared, stream: TcpStream) {
+    let writer = match stream.try_clone() {
+        Ok(clone) => ConnectionWriter::new(clone),
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    let mut decoder = FrameDecoder::with_max_frame_len(shared.max_frame_len);
+    let mut chunk = vec![0u8; 64 * 1024];
+    loop {
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    if frame.trim().is_empty() {
+                        continue;
+                    }
+                    handle_frame(shared, &writer, &frame);
+                }
+                Ok(None) => break,
+                Err(error @ FrameError::NotUtf8) => {
+                    // The bad frame was discarded; the stream is still
+                    // newline-synchronised, so the connection survives.
+                    writer.send(&ServeError::Protocol(error.to_string()).to_response(None));
+                }
+                Err(error @ FrameError::TooLong { .. }) => {
+                    // No resynchronisation point exists; drop the peer.
+                    writer.send(&ServeError::Protocol(error.to_string()).to_response(None));
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(read) => decoder.push(&chunk[..read]),
+            Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_frame(shared: &Shared, writer: &ConnectionWriter, frame: &str) {
+    let json = match Json::parse(frame) {
+        Ok(json) => json,
+        Err(error) => {
+            writer.send(&ServeError::Protocol(error.to_string()).to_response(None));
+            return;
+        }
+    };
+    // Attribute errors to the frame's id when one is present, even if the
+    // rest of the frame is malformed.
+    let id = json.get("id").and_then(Json::as_str).map(str::to_string);
+    match decode_request(&json) {
+        Err(error) => writer.send(&error.to_response(id)),
+        Ok(Request::Ping) => writer.send(&Response::Pong),
+        Ok(Request::Shutdown) => {
+            writer.send(&Response::ShuttingDown);
+            shared.begin_shutdown();
+        }
+        Ok(Request::Submit(submit)) => match plan_submission(shared, &submit) {
+            Err(error) => writer.send(&error.to_response(Some(submit.id))),
+            Ok(plan) => {
+                writer.send(&Response::Queued {
+                    id: submit.id.clone(),
+                    layout: plan.layout_name().to_string(),
+                    vertices: plan.graph().vertex_count(),
+                    components: plan.tasks().len(),
+                });
+                let id = submit.id.clone();
+                let accepted = shared.enqueue(Pending {
+                    plan,
+                    submit,
+                    writer: writer.clone(),
+                });
+                if !accepted {
+                    // Shutdown won the race after the queued frame went
+                    // out; a terminal error beats a submission that would
+                    // silently never resolve.
+                    writer.send(
+                        &ServeError::Protocol(
+                            "server is shutting down; submission not accepted".to_string(),
+                        )
+                        .to_response(Some(id)),
+                    );
+                }
+            }
+        },
+    }
+}
+
+/// Resolves a submission's layout source and plans it — every failure is a
+/// typed [`ServeError`] answered on the submitting connection.
+fn plan_submission(
+    shared: &Shared,
+    submit: &SubmitRequest,
+) -> Result<DecompositionPlan, ServeError> {
+    let layout = load_source(&submit.source)?;
+    let config = DecomposerConfig::k_patterning(submit.k, shared.technology)
+        .with_algorithm(submit.algorithm)
+        .with_alpha(submit.alpha);
+    Decomposer::new(config)
+        .plan(&layout)
+        .map_err(ServeError::from)
+}
+
+fn load_source(source: &LayoutSource) -> Result<Layout, ServeError> {
+    match source {
+        LayoutSource::Text(text) => io::from_text(text)
+            .map_err(|error| ServeError::Parse(format!("cannot parse layout text: {error}"))),
+        LayoutSource::GdsBase64(data) => {
+            let bytes = crate::base64::decode(data)
+                .map_err(|error| ServeError::Parse(format!("cannot decode gds_base64: {error}")))?;
+            let library = GdsLibrary::from_bytes(&bytes)
+                .map_err(|error| ServeError::Parse(format!("cannot parse GDS stream: {error}")))?;
+            layout_from_library(&library, &LayerMap::all(), &ReadOptions::default())
+                .map_err(|error| ServeError::Parse(format!("cannot convert GDS stream: {error}")))
+        }
+        LayoutSource::Path(path) => {
+            load_layout_file(path, &LayerMap::all(), &ReadOptions::default()).map_err(|error| {
+                match &error {
+                    LoadLayoutError::Io { .. } => ServeError::Io(error.to_string()),
+                    _ => ServeError::Parse(error.to_string()),
+                }
+            })
+        }
+    }
+}
+
+/// Drains pending submissions into coalesced batches until shutdown.
+fn scheduler_loop(shared: Arc<Shared>) {
+    // One reusable session per executor choice: ids stay unique across all
+    // the batches this server ever runs.
+    let mut sessions: [(ExecutorChoice, DecompositionSession); 2] = [
+        (ExecutorChoice::Serial, DecompositionSession::new()),
+        (ExecutorChoice::Pool, DecompositionSession::new()),
+    ];
+    loop {
+        let drained = {
+            let mut pending = shared.pending.lock().expect("no panics while queueing");
+            while pending.is_empty() && !shared.shutting_down() {
+                pending = shared.wake.wait(pending).expect("no panics while queueing");
+            }
+            if pending.is_empty() {
+                return; // shutdown with nothing left to drain
+            }
+            std::mem::take(&mut *pending)
+        };
+        run_wave(&shared, &mut sessions, drained);
+    }
+}
+
+/// Runs one drained wave of submissions: one session batch per executor
+/// choice that has work.
+fn run_wave(
+    shared: &Shared,
+    sessions: &mut [(ExecutorChoice, DecompositionSession); 2],
+    drained: Vec<Pending>,
+) {
+    let mut groups: [Vec<Pending>; 2] = [Vec::new(), Vec::new()];
+    for pending in drained {
+        let slot = sessions
+            .iter()
+            .position(|(choice, _)| *choice == pending.submit.executor)
+            .expect("every executor choice has a session");
+        groups[slot].push(pending);
+    }
+    for (slot, group) in groups.into_iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        let (choice, session) = &mut sessions[slot];
+        let executor: &dyn Executor = match choice {
+            ExecutorChoice::Serial => &SerialExecutor,
+            ExecutorChoice::Pool => &shared.pool,
+        };
+        run_batch(shared, session, executor, group);
+    }
+}
+
+fn run_batch(
+    shared: &Shared,
+    session: &mut DecompositionSession,
+    executor: &dyn Executor,
+    group: Vec<Pending>,
+) {
+    let mut submissions: HashMap<LayoutId, (SubmitRequest, ConnectionWriter)> =
+        HashMap::with_capacity(group.len());
+    for pending in group {
+        let id = session.submit(pending.plan);
+        submissions.insert(id, (pending.submit, pending.writer));
+    }
+    let sink = BatchSink {
+        submissions: &submissions,
+    };
+    let results = session.run_observed(executor, &ProgressObserver::new(&sink));
+    for (id, result) in results {
+        let (submit, writer) = &submissions[&id];
+        let spacing_violations = submit.verify.then(|| {
+            let plan = session.plan(id).expect("session keeps the batch's plans");
+            verify_spacing(
+                plan.graph(),
+                result.colors(),
+                shared.technology.coloring_distance(result.k()),
+            )
+            .len()
+        });
+        writer.send(&Response::Result(ResultPayload {
+            id: submit.id.clone(),
+            layout: result.layout_name().to_string(),
+            k: result.k(),
+            algorithm: result.algorithm().to_string(),
+            executor: result.executor().to_string(),
+            vertices: result.vertex_count(),
+            components: result.component_count(),
+            conflicts: result.conflicts(),
+            stitches: result.stitches(),
+            cost: result.cost(),
+            color_seconds: result.color_time().as_secs_f64(),
+            colors: result.colors().to_vec(),
+            spacing_violations,
+        }));
+    }
+    session.clear();
+}

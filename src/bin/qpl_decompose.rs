@@ -20,6 +20,8 @@
 //!   qpl-decompose --circuit C6288 [options]
 //!   qpl-decompose --layout path/to/layout.txt [options]
 //!   qpl-decompose --gds path/to/layout.gds [--layer L[:D] ...] [options]
+//!   qpl-decompose --connect HOST:PORT FILE [FILE ...] [options]
+//!   qpl-decompose --connect HOST:PORT --shutdown
 //!
 //! Inputs (repeatable and mixable; all decompose as one batch):
 //!   FILE                 a text layout or GDSII file (auto-detected)
@@ -42,6 +44,18 @@
 //!   --top <NAME>         flatten from this GDS structure (default: the unique top)
 //!   --output-gds <PATH>  write the colored decomposition: mask k on GDS layer 100+k
 //!
+//! Client mode (`--connect`): inputs are streamed to a running `qpl-serve`
+//! instead of being decomposed in-process — text layouts and circuits
+//! inline, GDSII files as base64 — and results stream back per layout.
+//!   --connect <ADDR>     submit to the server at ADDR (HOST:PORT)
+//!   --executor <NAME>    serial | pool: which server executor drains the
+//!                        submissions (default pool)
+//!   --shutdown           after the results (or alone: immediately), ask
+//!                        the server to shut down
+//! `--verify` maps to server-side spacing re-verification; `--threads`,
+//! `--balance`, `--no-stitches`, `--layer`, `--top`, `--output` and
+//! `--output-gds` are local-mode-only and rejected with `--connect`.
+//!
 //! With more than one input, `--output`/`--output-gds` write one file per
 //! layout, inserting the batch index before the extension (`out.gds` →
 //! `out.0.gds`, `out.1.gds`, …).
@@ -55,6 +69,9 @@ use mpl_core::{
 };
 use mpl_gds::{LayerMap, ReadOptions};
 use mpl_layout::{gen::IscasCircuit, io::LayoutFormat, Layout, Technology};
+use mpl_serve::{
+    Client, ExecutorChoice, Json, LayoutSource, Request, Response, ResultPayload, SubmitRequest,
+};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -64,7 +81,8 @@ use std::time::Instant;
 const COLORED_BASE_LAYER: i16 = 100;
 
 struct Options {
-    layouts: Vec<Layout>,
+    inputs: Vec<InputSpec>,
+    gds_input: GdsInputOptions,
     k: usize,
     algorithm: ColorAlgorithm,
     alpha: f64,
@@ -76,6 +94,9 @@ struct Options {
     verify: bool,
     output: Option<String>,
     output_gds: Option<String>,
+    connect: Option<String>,
+    executor_choice: ExecutorChoice,
+    shutdown: bool,
 }
 
 /// Reads a layout file through the shared format-dispatching loader
@@ -135,7 +156,7 @@ enum InputSpec {
     Path { path: String, force_gds: bool },
 }
 
-fn parse_options(tech: &Technology) -> Result<Options, String> {
+fn parse_options() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let mut inputs: Vec<InputSpec> = Vec::new();
     let mut gds_input = GdsInputOptions::default();
@@ -150,6 +171,9 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
     let mut verify = false;
     let mut output = None;
     let mut output_gds = None;
+    let mut connect: Option<String> = None;
+    let mut executor_choice: Option<ExecutorChoice> = None;
+    let mut shutdown = false;
 
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -201,6 +225,15 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
             "--verify" => verify = true,
             "--output" => output = Some(value("--output")?),
             "--output-gds" => output_gds = Some(value("--output-gds")?),
+            "--connect" => connect = Some(value("--connect")?),
+            "--executor" => {
+                executor_choice = Some(match value("--executor")?.as_str() {
+                    "serial" => ExecutorChoice::Serial,
+                    "pool" => ExecutorChoice::Pool,
+                    other => return Err(format!("unknown executor {other:?}")),
+                })
+            }
+            "--shutdown" => shutdown = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: qpl-decompose FILE [FILE ...] | --circuit <NAME> | --layout <FILE> \
@@ -209,7 +242,8 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
                             [--algorithm ilp|sdp-backtrack|sdp-greedy|linear] \
                             [--alpha F] [--threads N] [--progress] [--json] \
                             [--no-stitches] [--balance] [--verify] \
-                            [--output FILE] [--output-gds FILE]"
+                            [--output FILE] [--output-gds FILE] \
+                            | --connect HOST:PORT [--executor serial|pool] [--shutdown]"
                         .to_string(),
                 )
             }
@@ -220,36 +254,40 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
             }),
         }
     }
-    if inputs.is_empty() {
+    if connect.is_none() {
+        // Serve-only flags make no sense locally.
+        if shutdown {
+            return Err("--shutdown only applies to --connect mode".to_string());
+        }
+        if executor_choice.is_some() {
+            return Err(
+                "--executor only applies to --connect mode (use --threads locally)".to_string(),
+            );
+        }
+    } else {
+        // Local-only post-processing cannot run on the server.
+        for (set, flag) in [
+            (threads.is_some(), "--threads"),
+            (balance, "--balance"),
+            (!stitches, "--no-stitches"),
+            (output.is_some(), "--output"),
+            (output_gds.is_some(), "--output-gds"),
+            (!gds_input.layer_specs.is_empty(), "--layer"),
+            (gds_input.top.is_some(), "--top"),
+        ] {
+            if set {
+                return Err(format!("{flag} does not apply to --connect mode"));
+            }
+        }
+    }
+    if inputs.is_empty() && !(connect.is_some() && shutdown) {
         return Err(
             "at least one input is required: FILE, --circuit, --layout or --gds".to_string(),
         );
     }
-    let mut layouts = Vec::with_capacity(inputs.len());
-    let mut any_gds = false;
-    for input in &inputs {
-        let layout = match input {
-            InputSpec::Circuit(circuit) => circuit.generate(tech),
-            InputSpec::Path { path, force_gds } => {
-                let (layout, is_gds) = read_layout(path, &gds_input, *force_gds)?;
-                any_gds |= is_gds;
-                layout
-            }
-        };
-        if layout.is_empty() {
-            return Err(format!("input {:?} contains no shapes", layout.name()));
-        }
-        layouts.push(layout);
-    }
-    // A --layer/--top selection that never met a GDS input would be a
-    // silent no-op; reject it (the GDS loads above already applied it).
-    if (!gds_input.layer_specs.is_empty() || gds_input.top.is_some()) && !any_gds {
-        return Err(
-            "--layer/--top only apply to GDSII inputs, but no input is a GDSII file".to_string(),
-        );
-    }
     Ok(Options {
-        layouts,
+        inputs,
+        gds_input,
         k,
         algorithm,
         alpha,
@@ -261,7 +299,40 @@ fn parse_options(tech: &Technology) -> Result<Options, String> {
         verify,
         output,
         output_gds,
+        connect,
+        executor_choice: executor_choice.unwrap_or_default(),
+        shutdown,
     })
+}
+
+/// Loads every input as a [`Layout`] for local decomposition (the
+/// pre-`--connect` behaviour): circuits generate, files load through the
+/// shared format-dispatching reader.
+fn load_local_layouts(options: &Options, tech: &Technology) -> Result<Vec<Layout>, String> {
+    let mut layouts = Vec::with_capacity(options.inputs.len());
+    let mut any_gds = false;
+    for input in &options.inputs {
+        let layout = match input {
+            InputSpec::Circuit(circuit) => circuit.generate(tech),
+            InputSpec::Path { path, force_gds } => {
+                let (layout, is_gds) = read_layout(path, &options.gds_input, *force_gds)?;
+                any_gds |= is_gds;
+                layout
+            }
+        };
+        if layout.is_empty() {
+            return Err(format!("input {:?} contains no shapes", layout.name()));
+        }
+        layouts.push(layout);
+    }
+    // A --layer/--top selection that never met a GDS input would be a
+    // silent no-op; reject it (the GDS loads above already applied it).
+    if (!options.gds_input.layer_specs.is_empty() || options.gds_input.top.is_some()) && !any_gds {
+        return Err(
+            "--layer/--top only apply to GDSII inputs, but no input is a GDSII file".to_string(),
+        );
+    }
+    Ok(layouts)
 }
 
 /// Streams one stderr line per finished component (`--progress`), tagged
@@ -436,6 +507,7 @@ struct LayoutArtifacts {
 fn process_layout(
     options: &Options,
     tech: &Technology,
+    layout: &Layout,
     plan: &DecompositionPlan,
     result: &DecompositionResult,
     index: usize,
@@ -445,7 +517,7 @@ fn process_layout(
         println!(
             "{}: {} shapes, K = {}, algorithm = {}, executor = {}",
             result.layout_name(),
-            options.layouts[index].shape_count(),
+            layout.shape_count(),
             result.k(),
             result.algorithm(),
             result.executor()
@@ -578,10 +650,251 @@ fn process_layout(
     }
 }
 
+/// One submission built from a CLI input for `--connect` mode.
+struct WireInput {
+    id: String,
+    label: String,
+    source: LayoutSource,
+}
+
+/// Turns the CLI inputs into wire submissions: circuits and text files
+/// travel inline as layout text, GDSII files as base64 of the raw stream
+/// (the server parses them; `--layer`/`--top` are local-mode-only).
+fn build_wire_inputs(options: &Options, tech: &Technology) -> Result<Vec<WireInput>, String> {
+    options
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(index, input)| {
+            let (label, source) = match input {
+                InputSpec::Circuit(circuit) => {
+                    let layout = circuit.generate(tech);
+                    (
+                        layout.name().to_string(),
+                        LayoutSource::Text(mpl_layout::io::to_text(&layout)),
+                    )
+                }
+                InputSpec::Path { path, force_gds } => {
+                    let bytes =
+                        std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                    let is_gds = LayoutFormat::detect(path, &bytes) == LayoutFormat::Gds;
+                    if *force_gds && !is_gds {
+                        return Err(format!(
+                            "{path} is not a GDSII stream (missing HEADER record)"
+                        ));
+                    }
+                    if is_gds {
+                        (
+                            path.clone(),
+                            LayoutSource::GdsBase64(mpl_serve::base64::encode(&bytes)),
+                        )
+                    } else {
+                        let text = String::from_utf8(bytes)
+                            .map_err(|_| format!("cannot parse {path}: not valid UTF-8 text"))?;
+                        (path.clone(), LayoutSource::Text(text))
+                    }
+                }
+            };
+            Ok(WireInput {
+                id: index.to_string(),
+                label,
+                source,
+            })
+        })
+        .collect()
+}
+
+/// Renders the connect-mode JSON summary (one object per result, without
+/// the full color array — clients that need colors speak the protocol
+/// directly).
+fn render_connect_json(
+    addr: &str,
+    results: &[Option<ResultPayload>],
+    errors: &[(Option<String>, String, String)],
+) -> String {
+    let results_json: Vec<Json> = results
+        .iter()
+        .flatten()
+        .map(|payload| {
+            // One source of truth for the field list: the wire encoder.
+            // The CLI summary only strips the frame discriminator and the
+            // bulky per-vertex color array.
+            let mut json = mpl_serve::encode_response(&Response::Result(payload.clone()));
+            if let Json::Object(pairs) = &mut json {
+                pairs.retain(|(key, _)| key != "type" && key != "colors");
+            }
+            json
+        })
+        .collect();
+    let errors_json: Vec<Json> = errors
+        .iter()
+        .map(|(id, code, message)| {
+            Json::object(vec![
+                (
+                    "id",
+                    id.as_ref()
+                        .map_or(Json::Null, |id| Json::string(id.clone())),
+                ),
+                ("code", Json::string(code.clone())),
+                ("message", Json::string(message.clone())),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("connect", Json::string(addr)),
+        ("results", Json::Array(results_json)),
+        ("errors", Json::Array(errors_json)),
+    ])
+    .to_string()
+}
+
+/// Client mode: stream the inputs to a running `qpl-serve` and report the
+/// results as they come back.
+fn run_connect(addr: &str, options: &Options, tech: &Technology) -> ExitCode {
+    let wire_inputs = match build_wire_inputs(options, tech) {
+        Ok(inputs) => inputs,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(error) => {
+            eprintln!("cannot connect to {addr}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for input in &wire_inputs {
+        let mut submit = SubmitRequest::new(input.id.clone(), input.source.clone());
+        submit.k = options.k;
+        submit.algorithm = options.algorithm;
+        submit.alpha = options.alpha;
+        submit.executor = options.executor_choice;
+        submit.progress = options.progress;
+        submit.verify = options.verify;
+        if let Err(error) = client.send(&Request::Submit(submit)) {
+            eprintln!("cannot send to {addr}: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let index_of = |id: &str| wire_inputs.iter().position(|input| input.id == *id);
+    let label_of =
+        |id: &str| index_of(id).map_or_else(|| id.to_string(), |i| wire_inputs[i].label.clone());
+    let mut results: Vec<Option<ResultPayload>> = wire_inputs.iter().map(|_| None).collect();
+    let mut errors: Vec<(Option<String>, String, String)> = Vec::new();
+    let mut remaining = wire_inputs.len();
+    while remaining > 0 {
+        match client.recv() {
+            Ok(Response::Queued {
+                id,
+                layout,
+                vertices,
+                components,
+            }) => {
+                if !options.json {
+                    eprintln!(
+                        "queued {}: layout {layout}, {vertices} vertices, {components} components",
+                        label_of(&id)
+                    );
+                }
+            }
+            Ok(Response::Progress { id, done, total }) => {
+                if options.progress {
+                    eprintln!("[{done}/{total}] {}", label_of(&id));
+                }
+            }
+            Ok(Response::Result(payload)) => match index_of(&payload.id) {
+                Some(index) if results[index].is_none() => {
+                    results[index] = Some(payload);
+                    remaining -= 1;
+                }
+                _ => {
+                    eprintln!("unexpected result for id {:?}", payload.id);
+                    return ExitCode::FAILURE;
+                }
+            },
+            Ok(Response::Error { id, code, message }) => {
+                eprintln!(
+                    "{}: {} error: {message}",
+                    id.as_deref().map_or_else(|| "server".to_string(), label_of),
+                    code.as_str()
+                );
+                let tagged = id.as_deref().and_then(index_of);
+                errors.push((id, code.as_str().to_string(), message));
+                match tagged {
+                    Some(index) if results[index].is_none() => remaining -= 1,
+                    // An untagged (or duplicate) error cannot be matched to
+                    // a pending submission; keep waiting for the rest.
+                    _ => {}
+                }
+            }
+            Ok(_) => {}
+            Err(error) => {
+                eprintln!("{error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if options.shutdown {
+        if let Err(error) = client.shutdown() {
+            eprintln!("shutdown failed: {error}");
+            return ExitCode::FAILURE;
+        }
+        if !options.json {
+            eprintln!("server at {addr} is shutting down");
+        }
+    }
+
+    if options.json {
+        println!("{}", render_connect_json(addr, &results, &errors));
+    } else {
+        for (input, result) in wire_inputs.iter().zip(&results) {
+            let Some(payload) = result else { continue };
+            println!(
+                "{}: layout {}, K = {}, algorithm = {}, executor = {}",
+                input.label, payload.layout, payload.k, payload.algorithm, payload.executor
+            );
+            println!(
+                "  {} vertices, {} components, {} conflicts, {} stitches (cost {:.2}) in {:.3}s",
+                payload.vertices,
+                payload.components,
+                payload.conflicts,
+                payload.stitches,
+                payload.cost,
+                payload.color_seconds
+            );
+            if let Some(violations) = payload.spacing_violations {
+                println!("  verification: {violations} same-mask spacing violations");
+            }
+        }
+    }
+    if errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let tech = Technology::nm20();
-    let options = match parse_options(&tech) {
+    let options = match parse_options() {
         Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(addr) = options.connect.clone() {
+        return run_connect(&addr, &options, &tech);
+    }
+
+    let layouts = match load_local_layouts(&options, &tech) {
+        Ok(layouts) => layouts,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
@@ -613,7 +926,7 @@ fn main() -> ExitCode {
     // degenerate layouts surface here as typed errors.
     let decomposer = Decomposer::new(config);
     let mut session = DecompositionSession::new();
-    for layout in &options.layouts {
+    for layout in &layouts {
         if let Err(error) = session.submit_layout(&decomposer, layout) {
             eprintln!("{}: {error}", layout.name());
             return ExitCode::FAILURE;
@@ -625,8 +938,7 @@ fn main() -> ExitCode {
     let batch_start = Instant::now();
     let results = if options.progress {
         let observer = StderrProgress {
-            names: options
-                .layouts
+            names: layouts
                 .iter()
                 .map(|layout| layout.name().to_string())
                 .collect(),
@@ -648,7 +960,15 @@ fn main() -> ExitCode {
             println!();
         }
         let plan = session.plan(*id).expect("session keeps every plan");
-        let artifacts = process_layout(&options, &tech, plan, result, index, batch_size);
+        let artifacts = process_layout(
+            &options,
+            &tech,
+            &layouts[index],
+            plan,
+            result,
+            index,
+            batch_size,
+        );
         any_mismatch |= artifacts.verify_mismatch;
         write_errors.extend(artifacts.write_error);
         layout_json.push(artifacts.json);

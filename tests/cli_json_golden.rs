@@ -1,0 +1,177 @@
+//! Golden-file tests pinning the `qpl-decompose --json` output schemas.
+//!
+//! The single-layout and batch JSON shapes are consumed by scripts, CI
+//! checks and now the wire protocol's siblings — they must not drift
+//! silently.  Each test runs the real binary on committed fixture layouts
+//! and compares the parsed output against a committed golden document
+//! after **float normalisation**: every timing/throughput field (keys
+//! ending in `seconds` or `_per_sec`) is zeroed on both sides, everything
+//! else — including key order, which the parser preserves — must match
+//! exactly.
+//!
+//! To regenerate after an *intentional* schema change:
+//!
+//! ```text
+//! cargo run --bin qpl-decompose -- --layout tests/fixtures/golden_a.txt \
+//!     --algorithm linear --verify --json > tests/golden/single_layout.json
+//! cargo run --bin qpl-decompose -- tests/fixtures/golden_a.txt \
+//!     tests/fixtures/golden_b.txt --algorithm linear --verify --json \
+//!     > tests/golden/batch.json
+//! ```
+
+use mpl_serve::Json;
+use std::path::Path;
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Zeroes every timing/throughput number so wall-clock noise cannot fail
+/// the comparison; everything structural stays.
+fn normalize(value: &mut Json) {
+    match value {
+        Json::Array(items) => items.iter_mut().for_each(normalize),
+        Json::Object(pairs) => {
+            for (key, child) in pairs {
+                if key.ends_with("seconds") || key.ends_with("_per_sec") {
+                    if let Json::Number(number) = child {
+                        *number = 0.0;
+                    }
+                }
+                normalize(child);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn run_cli(args: &[&str]) -> Json {
+    let output = Command::new(env!("CARGO_BIN_EXE_qpl-decompose"))
+        .args(args)
+        .output()
+        .expect("run qpl-decompose");
+    assert!(
+        output.status.success(),
+        "qpl-decompose failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("JSON output is UTF-8");
+    Json::parse(&stdout).expect("stdout is one valid JSON document")
+}
+
+fn golden(name: &str) -> Json {
+    let path = fixture(&format!("golden/{name}"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|error| panic!("cannot read golden file {path}: {error}"));
+    Json::parse(&text).expect("golden file is valid JSON")
+}
+
+fn assert_matches_golden(mut actual: Json, golden_name: &str) {
+    let mut expected = golden(golden_name);
+    normalize(&mut actual);
+    normalize(&mut expected);
+    assert_eq!(
+        actual, expected,
+        "`qpl-decompose --json` drifted from tests/golden/{golden_name} \
+         (after float normalisation).\n  actual: {actual}\nexpected: {expected}\n\
+         If the schema change is intentional, regenerate the golden file \
+         (see this test file's module docs)."
+    );
+}
+
+#[test]
+fn single_layout_json_schema_matches_the_golden_file() {
+    let actual = run_cli(&[
+        "--layout",
+        &fixture("fixtures/golden_a.txt"),
+        "--algorithm",
+        "linear",
+        "--verify",
+        "--json",
+    ]);
+    // Spot-check the deterministic load-bearing fields before the full
+    // structural comparison, so failures name the likely culprit.
+    assert_eq!(
+        actual.get("layout").and_then(Json::as_str),
+        Some("golden-a")
+    );
+    assert_eq!(actual.get("conflicts").and_then(Json::as_usize), Some(0));
+    assert_eq!(
+        actual.get("spacing_violations").and_then(Json::as_usize),
+        Some(0)
+    );
+    assert_matches_golden(actual, "single_layout.json");
+}
+
+#[test]
+fn batch_json_schema_matches_the_golden_file() {
+    let actual = run_cli(&[
+        &fixture("fixtures/golden_a.txt"),
+        &fixture("fixtures/golden_b.txt"),
+        "--algorithm",
+        "linear",
+        "--verify",
+        "--json",
+    ]);
+    let layouts = actual
+        .get("layouts")
+        .and_then(Json::as_array)
+        .expect("batch JSON has a layouts array");
+    assert_eq!(layouts.len(), 2);
+    // golden-b embeds a five-clique: quadruple patterning must report
+    // exactly one conflict, and verification must agree.
+    assert_eq!(
+        layouts[1].get("conflicts").and_then(Json::as_usize),
+        Some(1)
+    );
+    assert_eq!(
+        layouts[1]
+            .get("spacing_violations")
+            .and_then(Json::as_usize),
+        Some(1)
+    );
+    assert_matches_golden(actual, "batch.json");
+}
+
+#[test]
+fn single_and_batch_schemas_stay_consistent_per_layout() {
+    // The per-layout objects of the batch schema must carry exactly the
+    // same keys as the single-layout schema — consumers share one reader.
+    let single = run_cli(&[
+        "--layout",
+        &fixture("fixtures/golden_a.txt"),
+        "--algorithm",
+        "linear",
+        "--verify",
+        "--json",
+    ]);
+    let batch = run_cli(&[
+        &fixture("fixtures/golden_a.txt"),
+        &fixture("fixtures/golden_b.txt"),
+        "--algorithm",
+        "linear",
+        "--verify",
+        "--json",
+    ]);
+    let keys = |value: &Json| -> Vec<String> {
+        match value {
+            Json::Object(pairs) => pairs.iter().map(|(key, _)| key.clone()).collect(),
+            _ => panic!("expected an object"),
+        }
+    };
+    let batch_layouts = batch
+        .get("layouts")
+        .and_then(Json::as_array)
+        .expect("layouts");
+    assert_eq!(keys(&single), keys(&batch_layouts[0]));
+    assert_eq!(keys(&single), keys(&batch_layouts[1]));
+    assert_eq!(
+        keys(&batch),
+        vec!["batch".to_string(), "layouts".to_string()]
+    );
+}

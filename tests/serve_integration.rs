@@ -1,0 +1,534 @@
+//! Black-box integration harness for the `mpl-serve` wire protocol.
+//!
+//! The server is spawned in-process on an ephemeral port and driven with
+//! **raw TCP sockets** (hand-built frames, not the typed client), so these
+//! tests pin the protocol itself: frame format, response ordering, typed
+//! error codes — and the core acceptance property that results streamed
+//! over TCP are **bit-identical** to a direct [`DecompositionSession`] run
+//! for all four engines, under interleaved concurrent submissions, and
+//! after in-band error responses.
+
+use mpl_core::{
+    ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionResult, DecompositionSession,
+    SerialExecutor,
+};
+use mpl_layout::{gen, io, Layout, Technology};
+use mpl_serve::{algorithm_wire_name, base64, FrameDecoder, Json, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A deliberately low-level protocol driver: writes hand-built lines,
+/// reads frames straight off the socket.
+struct RawClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Terminal frames received while waiting for a different submission:
+    /// per-submission ordering is guaranteed by the protocol, cross-
+    /// submission ordering (e.g. serial-choice vs pool-choice results of
+    /// one wave) is not.
+    stashed: Vec<Json>,
+}
+
+impl RawClient {
+    fn connect(addr: SocketAddr) -> RawClient {
+        RawClient {
+            stream: TcpStream::connect(addr).expect("connect to test server"),
+            decoder: FrameDecoder::new(),
+            stashed: Vec::new(),
+        }
+    }
+
+    fn send_line(&mut self, line: &str) {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write frame");
+    }
+
+    /// Blocks until the next frame arrives and parses it.
+    fn recv(&mut self) -> Json {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(frame) = self.decoder.next_frame().expect("well-framed response") {
+                return Json::parse(&frame).expect("server frames are valid JSON");
+            }
+            let read = self.stream.read(&mut chunk).expect("read from server");
+            assert!(read > 0, "server closed the connection unexpectedly");
+            self.decoder.push(&chunk[..read]);
+        }
+    }
+
+    /// Skips `queued`/`progress` frames until the terminal frame (`result`
+    /// or `error`) for `id` arrives; terminal frames for other submissions
+    /// are stashed for their own `await_terminal` calls.
+    fn await_terminal(&mut self, id: &str) -> Json {
+        if let Some(position) = self
+            .stashed
+            .iter()
+            .position(|frame| frame.get("id").and_then(Json::as_str) == Some(id))
+        {
+            return self.stashed.remove(position);
+        }
+        loop {
+            let frame = self.recv();
+            let frame_type = frame.get("type").and_then(Json::as_str).expect("type");
+            match frame_type {
+                "queued" | "progress" => continue,
+                "result" | "error" => {
+                    if frame.get("id").and_then(Json::as_str) == Some(id) {
+                        return frame;
+                    }
+                    self.stashed.push(frame);
+                }
+                other => panic!("unexpected frame type {other:?}: {frame}"),
+            }
+        }
+    }
+}
+
+fn spawn_server() -> mpl_serve::ServerHandle {
+    Server::spawn(&ServerConfig::default()).expect("bind ephemeral port")
+}
+
+/// Builds a `submit` frame through the JSON writer so escaping is always
+/// correct, whatever the layout text contains.
+fn submit_frame(
+    id: &str,
+    source_key: &str,
+    source_value: &str,
+    engine: ColorAlgorithm,
+    executor: &str,
+) -> String {
+    Json::object(vec![
+        ("type", Json::string("submit")),
+        ("id", Json::string(id)),
+        (source_key, Json::string(source_value)),
+        ("algorithm", Json::string(algorithm_wire_name(engine))),
+        ("executor", Json::string(executor)),
+    ])
+    .to_string()
+}
+
+/// The exact configuration the server builds for a default submission —
+/// the baseline runs must match it parameter for parameter.
+fn server_side_config(engine: ColorAlgorithm) -> DecomposerConfig {
+    DecomposerConfig::k_patterning(4, Technology::nm20()).with_algorithm(engine)
+}
+
+fn colors_of(frame: &Json) -> Vec<u8> {
+    frame
+        .get("colors")
+        .and_then(Json::as_array)
+        .expect("result carries colors")
+        .iter()
+        .map(|value| value.as_usize().expect("mask index") as u8)
+        .collect()
+}
+
+fn assert_result_matches(frame: &Json, baseline: &DecompositionResult, context: &str) {
+    assert_eq!(
+        frame.get("type").and_then(Json::as_str),
+        Some("result"),
+        "{context}: expected a result frame, got {frame}"
+    );
+    assert_eq!(colors_of(frame), baseline.colors(), "{context}: colors");
+    assert_eq!(
+        frame.get("conflicts").and_then(Json::as_usize),
+        Some(baseline.conflicts()),
+        "{context}: conflicts"
+    );
+    assert_eq!(
+        frame.get("stitches").and_then(Json::as_usize),
+        Some(baseline.stitches()),
+        "{context}: stitches"
+    );
+    assert_eq!(
+        frame.get("vertices").and_then(Json::as_usize),
+        Some(baseline.vertex_count()),
+        "{context}: vertices"
+    );
+    assert_eq!(
+        frame.get("components").and_then(Json::as_usize),
+        Some(baseline.component_count()),
+        "{context}: components"
+    );
+    // The objective is computed identically on both sides and f64 survives
+    // the JSON round trip exactly (shortest-round-trip formatting).
+    assert_eq!(
+        frame.get("cost").and_then(Json::as_f64),
+        Some(baseline.cost()),
+        "{context}: cost"
+    );
+}
+
+fn test_layouts() -> Vec<Layout> {
+    let tech = Technology::nm20();
+    vec![
+        gen::fig1_contact_clique(&tech),
+        gen::k5_cluster_layout(&tech),
+        gen::generate_row_layout(&gen::RowLayoutConfig::small("serve-row", 11), &tech),
+    ]
+}
+
+/// Direct (no server) baseline: the same layouts through one
+/// [`DecompositionSession`] on the serial executor.
+fn direct_session_results(engine: ColorAlgorithm, layouts: &[Layout]) -> Vec<DecompositionResult> {
+    let decomposer = Decomposer::new(server_side_config(engine));
+    let mut session = DecompositionSession::new();
+    for layout in layouts {
+        session
+            .submit_layout(&decomposer, layout)
+            .expect("valid config");
+    }
+    session
+        .run(&SerialExecutor)
+        .into_iter()
+        .map(|(_, result)| result)
+        .collect()
+}
+
+#[test]
+fn streamed_results_are_bit_identical_to_direct_session_runs_for_all_engines() {
+    let handle = spawn_server();
+    let layouts = test_layouts();
+    for engine in ColorAlgorithm::ALL {
+        let baselines = direct_session_results(engine, &layouts);
+        let mut client = RawClient::connect(handle.addr());
+        // Stream every layout before reading anything back: the server
+        // coalesces what it can into shared batches.
+        for (index, layout) in layouts.iter().enumerate() {
+            let id = format!("{}-{index}", algorithm_wire_name(engine));
+            client.send_line(&submit_frame(
+                &id,
+                "layout_text",
+                &io::to_text(layout),
+                engine,
+                if index % 2 == 0 { "pool" } else { "serial" },
+            ));
+        }
+        for (index, baseline) in baselines.iter().enumerate() {
+            let id = format!("{}-{index}", algorithm_wire_name(engine));
+            let frame = client.await_terminal(&id);
+            assert_result_matches(&frame, baseline, &id);
+            // The executor that served the layout is reported and honours
+            // the per-request choice.
+            let executor = frame
+                .get("executor")
+                .and_then(Json::as_str)
+                .expect("executor");
+            if index % 2 == 0 {
+                assert!(executor.starts_with("threads:"), "pool choice: {executor}");
+            } else {
+                assert_eq!(executor, "serial");
+            }
+        }
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn interleaved_concurrent_submissions_do_not_change_any_layout_output() {
+    let handle = spawn_server();
+    let layouts = test_layouts();
+    let engine = ColorAlgorithm::SdpBacktrack;
+    let baselines = direct_session_results(engine, &layouts);
+
+    // Phase 1 — two connections submit the same layouts in opposite
+    // orders, sequentially, so the scheduler sees interleaved queues.
+    let mut forward = RawClient::connect(handle.addr());
+    let mut backward = RawClient::connect(handle.addr());
+    for (index, layout) in layouts.iter().enumerate() {
+        forward.send_line(&submit_frame(
+            &format!("fwd-{index}"),
+            "layout_text",
+            &io::to_text(layout),
+            engine,
+            "pool",
+        ));
+    }
+    for (index, layout) in layouts.iter().enumerate().rev() {
+        backward.send_line(&submit_frame(
+            &format!("bwd-{index}"),
+            "layout_text",
+            &io::to_text(layout),
+            engine,
+            "pool",
+        ));
+    }
+    for (index, baseline) in baselines.iter().enumerate() {
+        let frame = forward.await_terminal(&format!("fwd-{index}"));
+        assert_result_matches(&frame, baseline, &format!("forward order, layout {index}"));
+    }
+    for (index, baseline) in baselines.iter().enumerate().rev() {
+        let frame = backward.await_terminal(&format!("bwd-{index}"));
+        assert_result_matches(&frame, baseline, &format!("backward order, layout {index}"));
+    }
+
+    // Phase 2 — genuinely concurrent clients racing their submissions.
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for worker in 0..3usize {
+            let layouts = &layouts;
+            let baselines = &baselines;
+            let addr = handle.addr();
+            workers.push(scope.spawn(move || {
+                let mut client = RawClient::connect(addr);
+                // Each worker interleaves its own submission order.
+                let order: Vec<usize> = (0..layouts.len())
+                    .map(|index| (index + worker) % layouts.len())
+                    .collect();
+                for &index in &order {
+                    client.send_line(&submit_frame(
+                        &format!("w{worker}-{index}"),
+                        "layout_text",
+                        &io::to_text(&layouts[index]),
+                        engine,
+                        if worker % 2 == 0 { "pool" } else { "serial" },
+                    ));
+                }
+                for &index in &order {
+                    let frame = client.await_terminal(&format!("w{worker}-{index}"));
+                    assert_result_matches(
+                        &frame,
+                        &baselines[index],
+                        &format!("worker {worker}, layout {index}"),
+                    );
+                }
+            }));
+        }
+        for worker in workers {
+            worker.join().expect("concurrent client panicked");
+        }
+    });
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn gds_base64_submissions_match_local_decomposition_of_the_same_bytes() {
+    let handle = spawn_server();
+    let tech = Technology::nm20();
+    let source = gen::generate_row_layout(&gen::RowLayoutConfig::small("serve-gds", 5), &tech);
+    let bytes = mpl_gds::library_from_layout(&source, 1, 0)
+        .expect("convert layout")
+        .to_bytes()
+        .expect("encode GDS");
+
+    // What the server will decompose: the re-read of those exact bytes.
+    let library = mpl_gds::GdsLibrary::from_bytes(&bytes).expect("parse GDS");
+    let read_back = mpl_gds::layout_from_library(
+        &library,
+        &mpl_gds::LayerMap::all(),
+        &mpl_gds::ReadOptions::default(),
+    )
+    .expect("convert GDS");
+    let engine = ColorAlgorithm::Linear;
+    let baseline = Decomposer::new(server_side_config(engine))
+        .decompose(&read_back)
+        .expect("valid config");
+
+    let mut client = RawClient::connect(handle.addr());
+    client.send_line(&submit_frame(
+        "gds",
+        "gds_base64",
+        &base64::encode(&bytes),
+        engine,
+        "pool",
+    ));
+    let frame = client.await_terminal("gds");
+    assert_result_matches(&frame, &baseline, "gds round trip");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn errors_are_typed_and_leave_the_connection_usable() {
+    let handle = spawn_server();
+    let mut client = RawClient::connect(handle.addr());
+    let expect_error = |client: &mut RawClient, id: Option<&str>, code: &str, needle: &str| {
+        let frame = client.recv();
+        assert_eq!(
+            frame.get("type").and_then(Json::as_str),
+            Some("error"),
+            "expected error frame, got {frame}"
+        );
+        assert_eq!(frame.get("id").and_then(Json::as_str), id, "{frame}");
+        assert_eq!(
+            frame.get("code").and_then(Json::as_str),
+            Some(code),
+            "{frame}"
+        );
+        let message = frame
+            .get("message")
+            .and_then(Json::as_str)
+            .expect("message");
+        assert!(message.contains(needle), "{message:?} lacks {needle:?}");
+    };
+
+    // 1. A frame that is not JSON at all.
+    client.send_line("this is not json");
+    expect_error(&mut client, None, "protocol", "invalid JSON");
+
+    // 2. Valid JSON, unknown request type (id still echoed).
+    client.send_line(r#"{"type":"frobnicate","id":"t2"}"#);
+    expect_error(&mut client, Some("t2"), "protocol", "unknown request type");
+
+    // 3. K = 0: decodes fine, fails config validation with the pipeline's
+    //    typed error.
+    let layout_text = io::to_text(&gen::fig1_contact_clique(&Technology::nm20()));
+    client.send_line(
+        &Json::object(vec![
+            ("type", Json::string("submit")),
+            ("id", Json::string("t3")),
+            ("layout_text", Json::string(layout_text.clone())),
+            ("k", Json::Number(0.0)),
+        ])
+        .to_string(),
+    );
+    expect_error(
+        &mut client,
+        Some("t3"),
+        "config",
+        "mask count K must be in 2..=255",
+    );
+
+    // 4. Unknown engine name.
+    client.send_line(r#"{"type":"submit","id":"t4","layout_text":"x","algorithm":"warp-drive"}"#);
+    expect_error(&mut client, Some("t4"), "protocol", "unknown algorithm");
+
+    // 5. Truncated GDS payload: valid base64 of a cut-off stream.
+    let full = mpl_gds::library_from_layout(&gen::k5_cluster_layout(&Technology::nm20()), 1, 0)
+        .expect("convert")
+        .to_bytes()
+        .expect("encode");
+    let truncated = base64::encode(&full[..full.len() / 2]);
+    client.send_line(
+        &Json::object(vec![
+            ("type", Json::string("submit")),
+            ("id", Json::string("t5")),
+            ("gds_base64", Json::string(truncated)),
+        ])
+        .to_string(),
+    );
+    expect_error(&mut client, Some("t5"), "parse", "cannot parse GDS stream");
+
+    // 6. Base64 that is not even base64.
+    client.send_line(r#"{"type":"submit","id":"t6","gds_base64":"!!!not base64!!!"}"#);
+    expect_error(&mut client, Some("t6"), "parse", "cannot decode gds_base64");
+
+    // 7. An unreadable server-side path.
+    client.send_line(r#"{"type":"submit","id":"t7","path":"/nonexistent/serve-integration.gds"}"#);
+    expect_error(&mut client, Some("t7"), "io", "cannot read");
+
+    // 8. The connection is still fully usable: ping, then a real submission
+    //    whose result is bit-identical to the direct run.
+    client.send_line(r#"{"type":"ping"}"#);
+    assert_eq!(
+        client.recv().get("type").and_then(Json::as_str),
+        Some("pong")
+    );
+    let engine = ColorAlgorithm::SdpGreedy;
+    let layout = gen::k5_cluster_layout(&Technology::nm20());
+    let baseline = Decomposer::new(server_side_config(engine))
+        .decompose(&layout)
+        .expect("valid config");
+    client.send_line(&submit_frame(
+        "t8",
+        "layout_text",
+        &io::to_text(&layout),
+        engine,
+        "serial",
+    ));
+    let frame = client.await_terminal("t8");
+    assert_result_matches(&frame, &baseline, "post-error submission");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn progress_frames_count_every_component_in_order() {
+    let handle = spawn_server();
+    let tech = Technology::nm20();
+    let layout = gen::generate_row_layout(&gen::RowLayoutConfig::small("serve-progress", 3), &tech);
+    let mut client = RawClient::connect(handle.addr());
+    client.send_line(
+        &Json::object(vec![
+            ("type", Json::string("submit")),
+            ("id", Json::string("p")),
+            ("layout_text", Json::string(io::to_text(&layout))),
+            ("algorithm", Json::string("linear")),
+            ("progress", Json::Bool(true)),
+        ])
+        .to_string(),
+    );
+
+    let queued = client.recv();
+    assert_eq!(queued.get("type").and_then(Json::as_str), Some("queued"));
+    let total = queued
+        .get("components")
+        .and_then(Json::as_usize)
+        .expect("components");
+    assert!(total >= 2, "need a multi-component layout for this test");
+
+    let mut expected_done = 1usize;
+    loop {
+        let frame = client.recv();
+        match frame.get("type").and_then(Json::as_str) {
+            Some("progress") => {
+                assert_eq!(frame.get("id").and_then(Json::as_str), Some("p"));
+                assert_eq!(
+                    frame.get("done").and_then(Json::as_usize),
+                    Some(expected_done),
+                    "progress ticks arrive in order"
+                );
+                assert_eq!(frame.get("total").and_then(Json::as_usize), Some(total));
+                expected_done += 1;
+            }
+            Some("result") => {
+                assert_eq!(
+                    expected_done,
+                    total + 1,
+                    "exactly one progress frame per component before the result"
+                );
+                break;
+            }
+            other => panic!("unexpected frame type {other:?}"),
+        }
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn empty_layouts_and_session_reuse_across_waves() {
+    let handle = spawn_server();
+    let mut client = RawClient::connect(handle.addr());
+    // An empty layout is legal: zero components, an immediate empty result.
+    client.send_line(&submit_frame(
+        "e0",
+        "layout_text",
+        "# layout empty\n",
+        ColorAlgorithm::Linear,
+        "pool",
+    ));
+    let frame = client.await_terminal("e0");
+    assert_eq!(frame.get("type").and_then(Json::as_str), Some("result"));
+    assert_eq!(frame.get("vertices").and_then(Json::as_usize), Some(0));
+    assert!(colors_of(&frame).is_empty());
+
+    // Waves submitted strictly after the previous result still work — the
+    // server's sessions are reused across batches (unique ids internally).
+    let tech = Technology::nm20();
+    let layout = gen::fig1_contact_clique(&tech);
+    let baseline = Decomposer::new(server_side_config(ColorAlgorithm::Linear))
+        .decompose(&layout)
+        .expect("valid config");
+    for wave in 0..3 {
+        let id = format!("wave-{wave}");
+        client.send_line(&submit_frame(
+            &id,
+            "layout_text",
+            &io::to_text(&layout),
+            ColorAlgorithm::Linear,
+            "pool",
+        ));
+        let frame = client.await_terminal(&id);
+        assert_result_matches(&frame, &baseline, &id);
+    }
+    handle.shutdown().expect("clean shutdown");
+}
