@@ -20,6 +20,11 @@
 //!   `submit` requests to a running `qpl-serve` and measures
 //!   client-observed requests/sec ([`serve::ServeBenchReport`], schema
 //!   `mpl-bench/serve-v1`).
+//! * `perfbench` — the hot-path microbenchmark ([`perf::run_perf_suite`],
+//!   schema `mpl-bench/perf-v1`): per-stage timings plus deterministic
+//!   work counters (branch-and-bound nodes, division augmenting paths vs
+//!   the `n · K` ceiling, scratch allocations) on generated layouts and
+//!   dense-clique instances; `--check` pins counter ceilings in CI.
 //!
 //! The Criterion benches under `benches/` time the same runs for
 //! regression tracking.
@@ -28,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod perf;
 pub mod serve;
 pub mod workload;
 

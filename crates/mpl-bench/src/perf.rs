@@ -1,0 +1,517 @@
+//! Hot-path performance suite: per-stage timings plus hardware-independent
+//! work counters on deterministic generated workloads.
+//!
+//! The suite behind the `perfbench` binary.  Two kinds of cases:
+//!
+//! * **Layout cases** — full `plan` + `execute` runs on generated layouts
+//!   (a large standard-cell-row benchmark and a dense contact grid),
+//!   reporting graph-build and color wall seconds alongside the work
+//!   counters accumulated by the engines (branch-and-bound nodes, division
+//!   augmenting paths, scratch allocation events).
+//! * **Branch-and-bound cases** — standalone [`mpl_ilp`] instances (dense
+//!   cliques, overlapping cliques, dense random graphs) whose explored
+//!   node counts measure the pruning strength of the exact search
+//!   independently of any layout.
+//!
+//! Wall-clock numbers vary with the machine (the dev container is
+//! single-CPU); the counters are deterministic, which is why
+//! [`PerfReport::check_ceilings`] pins ceilings on counters only.
+
+use mpl_core::{json_escape, ColorAlgorithm, Decomposer, DecomposerConfig, SerialExecutor};
+use mpl_geometry::Nm;
+use mpl_ilp::{solve_exact, ColoringInstance, ExactOptions};
+use mpl_layout::{gen, Layout, Technology};
+use std::time::{Duration, Instant};
+
+/// Options for [`run_perf_suite`].
+#[derive(Debug, Clone)]
+pub struct PerfOptions {
+    /// Free-form label recorded in the report (e.g. `baseline`, `pr5`).
+    pub label: String,
+    /// Whether the caller intends to run [`PerfReport::check_ceilings`].
+    pub check: bool,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions {
+            label: "current".to_string(),
+            check: false,
+        }
+    }
+}
+
+/// One full plan + color measurement on a generated layout.
+#[derive(Debug, Clone)]
+pub struct LayoutPerfCase {
+    /// Case name (stable across runs; used by the trajectory record).
+    pub name: String,
+    /// Engine used for color assignment.
+    pub algorithm: String,
+    /// Mask count K.
+    pub k: usize,
+    /// Input shapes.
+    pub shapes: usize,
+    /// Decomposition-graph vertices.
+    pub vertices: usize,
+    /// Conflict edges.
+    pub conflict_edges: usize,
+    /// Independent components (scheduled tasks).
+    pub components: usize,
+    /// Unresolved conflicts.
+    pub conflicts: usize,
+    /// Inserted stitches.
+    pub stitches: usize,
+    /// Seconds building the decomposition graph and the plan.
+    pub plan_seconds: f64,
+    /// Seconds dividing and coloring every component.
+    pub color_seconds: f64,
+    /// Seconds of `color_seconds` spent inside graph division, when the
+    /// engines report it.
+    pub division_seconds: Option<f64>,
+    /// Branch-and-bound nodes expanded by the exact engine across all
+    /// components, when reported.
+    pub bnb_nodes: Option<u64>,
+    /// Max-flow augmenting paths pushed during (K−1)-cut division, when
+    /// reported.
+    pub augmenting_paths: Option<u64>,
+    /// The `n · K` ceiling the augmenting-path count must stay under
+    /// (summed per component), when reported.
+    pub augmenting_path_bound: Option<u64>,
+    /// Scratch-buffer allocation (growth) events across all components,
+    /// when reported.
+    pub scratch_allocs: Option<u64>,
+    /// Whether any component's exact solve was truncated by its time limit.
+    pub hit_time_limit: Option<bool>,
+}
+
+/// One standalone branch-and-bound instance measurement.
+#[derive(Debug, Clone)]
+pub struct BnbPerfCase {
+    /// Case name.
+    pub name: String,
+    /// Vertices of the instance.
+    pub vertices: usize,
+    /// Conflict edges of the instance.
+    pub conflict_edges: usize,
+    /// Colors K.
+    pub k: usize,
+    /// Optimal cost found.
+    pub cost: f64,
+    /// Whether the search proved optimality.
+    pub proven_optimal: bool,
+    /// Nodes expanded.
+    pub nodes: u64,
+    /// Wall seconds for the solve.
+    pub seconds: f64,
+}
+
+/// The full perf report (schema `mpl-bench/perf-v1`).
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// The label the run was taken under.
+    pub label: String,
+    /// Layout cases, in suite order.
+    pub layouts: Vec<LayoutPerfCase>,
+    /// Branch-and-bound cases, in suite order.
+    pub bnb: Vec<BnbPerfCase>,
+}
+
+/// xorshift64* — deterministic instance generation without a RNG crate.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Adds every edge of a clique over `vertices` to `instance`.
+fn add_clique(instance: &mut ColoringInstance, vertices: &[usize]) {
+    for (position, &u) in vertices.iter().enumerate() {
+        for &v in &vertices[position + 1..] {
+            if u != v {
+                instance.add_conflict(u.min(v), u.max(v));
+            }
+        }
+    }
+}
+
+/// The standalone branch-and-bound instances: dense cliques (the native
+/// conflict structures of quadruple patterning), two overlapping cliques,
+/// and dense pseudo-random graphs.
+fn bnb_instances() -> Vec<(String, ColoringInstance)> {
+    let mut cases = Vec::new();
+    for n in [9usize, 10, 11] {
+        let mut instance = ColoringInstance::new(n, 4);
+        let vertices: Vec<usize> = (0..n).collect();
+        add_clique(&mut instance, &vertices);
+        cases.push((format!("clique-{n}"), instance));
+    }
+    // Two K7s sharing two vertices: clique bounds must compose.
+    let mut shared = ColoringInstance::new(12, 4);
+    add_clique(&mut shared, &(0..7).collect::<Vec<_>>());
+    add_clique(&mut shared, &(5..12).collect::<Vec<_>>());
+    cases.push(("two-k7-share2".to_string(), shared));
+    // Dense pseudo-random graphs (seeded xorshift, stable forever).
+    for (n, per_mille, seed) in [
+        (16usize, 550u64, 0x9E3779B97F4A7C15u64),
+        (18, 500, 0xD1B54A32D192ED03),
+    ] {
+        let mut state = seed;
+        let mut instance = ColoringInstance::new(n, 4);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if xorshift(&mut state) % 1000 < per_mille {
+                    instance.add_conflict(u, v);
+                }
+            }
+        }
+        cases.push((format!("random-{n}-p{per_mille}"), instance));
+    }
+    cases
+}
+
+/// The generated layouts of the suite, with the engines to run on each.
+fn layout_cases() -> Vec<(Layout, Vec<ColorAlgorithm>, Duration)> {
+    let tech = Technology::nm20();
+    let large = gen::generate_row_layout(
+        &gen::RowLayoutConfig {
+            name: "perf-large".to_string(),
+            rows: 24,
+            cells_per_row: 400,
+            contact_density: 0.7,
+            wire_density: 0.6,
+            k5_clusters: 40,
+            dense_strips: 24,
+            strip_length: 8,
+            seed: 42,
+        },
+        &tech,
+    );
+    // Contact grids at 70 nm pitch: orthogonal *and* diagonal neighbours
+    // conflict (degree-8 lattice), so a large kernel survives peeling and
+    // the (K−1)-cut division does real max-flow work on one big component.
+    let grid_small = gen::contact_array(&tech, 32, 32, Nm(70));
+    let grid_large = gen::contact_array(&tech, 48, 48, Nm(70));
+    vec![
+        (
+            large,
+            vec![ColorAlgorithm::Linear, ColorAlgorithm::Ilp],
+            Duration::from_secs(2),
+        ),
+        (
+            grid_small,
+            vec![ColorAlgorithm::Linear],
+            Duration::from_secs(2),
+        ),
+        (
+            grid_large,
+            vec![ColorAlgorithm::Linear],
+            Duration::from_secs(2),
+        ),
+    ]
+}
+
+/// Runs the whole suite.
+///
+/// # Errors
+///
+/// Returns a human-readable message when a generated layout unexpectedly
+/// fails to plan (which would indicate a generator/config bug).
+pub fn run_perf_suite(options: &PerfOptions) -> Result<PerfReport, String> {
+    let mut layouts = Vec::new();
+    for (layout, algorithms, ilp_limit) in layout_cases() {
+        for algorithm in algorithms {
+            let config = DecomposerConfig::quadruple(Technology::nm20())
+                .with_algorithm(algorithm)
+                .with_ilp_time_limit(ilp_limit);
+            let decomposer = Decomposer::new(config);
+            let plan_start = Instant::now();
+            let plan = decomposer
+                .plan(&layout)
+                .map_err(|error| format!("{}: {error}", layout.name()))?;
+            let plan_seconds = plan_start.elapsed().as_secs_f64();
+            let color_start = Instant::now();
+            let result = plan.execute(&SerialExecutor);
+            let color_seconds = color_start.elapsed().as_secs_f64();
+            let stats = result.component_stats();
+            let division_seconds: f64 = stats.iter().map(|s| s.division_time.as_secs_f64()).sum();
+            let bnb_nodes: u64 = stats.iter().map(|s| s.bnb_nodes).sum();
+            let augmenting_paths: u64 = stats.iter().map(|s| s.augmenting_paths).sum();
+            let augmenting_path_bound: u64 = stats.iter().map(|s| s.augmenting_path_bound).sum();
+            let scratch_allocs: u64 = stats.iter().map(|s| s.scratch_allocs).sum();
+            let hit_time_limit = stats.iter().any(|s| s.hit_time_limit);
+            eprintln!(
+                "  {:<18} {:<14} |V|={:<6} comps={:<5} plan={:.3}s color={:.3}s cn#={} st#={}",
+                layout.name(),
+                result.algorithm(),
+                result.vertex_count(),
+                result.component_count(),
+                plan_seconds,
+                color_seconds,
+                result.conflicts(),
+                result.stitches(),
+            );
+            layouts.push(LayoutPerfCase {
+                name: layout.name().to_string(),
+                algorithm: result.algorithm().to_string(),
+                k: result.k(),
+                shapes: layout.shape_count(),
+                vertices: result.vertex_count(),
+                conflict_edges: result.conflict_edge_count(),
+                components: result.component_count(),
+                conflicts: result.conflicts(),
+                stitches: result.stitches(),
+                plan_seconds,
+                color_seconds,
+                division_seconds: Some(division_seconds),
+                bnb_nodes: Some(bnb_nodes),
+                augmenting_paths: Some(augmenting_paths),
+                augmenting_path_bound: Some(augmenting_path_bound),
+                scratch_allocs: Some(scratch_allocs),
+                hit_time_limit: Some(hit_time_limit),
+            });
+        }
+    }
+
+    let mut bnb = Vec::new();
+    for (name, instance) in bnb_instances() {
+        let start = Instant::now();
+        let solution = solve_exact(&instance, &ExactOptions::default());
+        let seconds = start.elapsed().as_secs_f64();
+        eprintln!(
+            "  bnb {:<18} n={:<3} |CE|={:<4} nodes={:<10} cost={} ({:.3}s)",
+            name,
+            instance.vertex_count(),
+            instance.conflict_edges().len(),
+            solution.nodes,
+            solution.cost,
+            seconds,
+        );
+        bnb.push(BnbPerfCase {
+            name,
+            vertices: instance.vertex_count(),
+            conflict_edges: instance.conflict_edges().len(),
+            k: instance.k(),
+            cost: solution.cost,
+            proven_optimal: solution.proven_optimal,
+            nodes: solution.nodes,
+            seconds,
+        });
+    }
+
+    Ok(PerfReport {
+        label: options.label.clone(),
+        layouts,
+        bnb,
+    })
+}
+
+fn json_opt_u64(value: Option<u64>) -> String {
+    value.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+fn json_opt_f64(value: Option<f64>) -> String {
+    value.map_or_else(|| "null".to_string(), |v| format!("{v}"))
+}
+
+fn json_opt_bool(value: Option<bool>) -> String {
+    value.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+impl PerfReport {
+    /// Renders the machine-readable report (schema `mpl-bench/perf-v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"mpl-bench/perf-v1\",\n");
+        out.push_str(&format!("  \"label\": \"{}\",\n", json_escape(&self.label)));
+        out.push_str("  \"layouts\": [\n");
+        for (index, case) in self.layouts.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\", ", json_escape(&case.name)));
+            out.push_str(&format!(
+                "\"algorithm\": \"{}\", ",
+                json_escape(&case.algorithm)
+            ));
+            out.push_str(&format!("\"k\": {}, ", case.k));
+            out.push_str(&format!("\"shapes\": {}, ", case.shapes));
+            out.push_str(&format!("\"vertices\": {}, ", case.vertices));
+            out.push_str(&format!("\"conflict_edges\": {}, ", case.conflict_edges));
+            out.push_str(&format!("\"components\": {}, ", case.components));
+            out.push_str(&format!("\"conflicts\": {}, ", case.conflicts));
+            out.push_str(&format!("\"stitches\": {}, ", case.stitches));
+            out.push_str(&format!("\"plan_seconds\": {}, ", case.plan_seconds));
+            out.push_str(&format!("\"color_seconds\": {}, ", case.color_seconds));
+            out.push_str(&format!(
+                "\"division_seconds\": {}, ",
+                json_opt_f64(case.division_seconds)
+            ));
+            out.push_str(&format!(
+                "\"bnb_nodes\": {}, ",
+                json_opt_u64(case.bnb_nodes)
+            ));
+            out.push_str(&format!(
+                "\"augmenting_paths\": {}, ",
+                json_opt_u64(case.augmenting_paths)
+            ));
+            out.push_str(&format!(
+                "\"augmenting_path_bound\": {}, ",
+                json_opt_u64(case.augmenting_path_bound)
+            ));
+            out.push_str(&format!(
+                "\"scratch_allocs\": {}, ",
+                json_opt_u64(case.scratch_allocs)
+            ));
+            out.push_str(&format!(
+                "\"hit_time_limit\": {}}}",
+                json_opt_bool(case.hit_time_limit)
+            ));
+            out.push_str(if index + 1 < self.layouts.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"bnb_cases\": [\n");
+        for (index, case) in self.bnb.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\", ", json_escape(&case.name)));
+            out.push_str(&format!("\"vertices\": {}, ", case.vertices));
+            out.push_str(&format!("\"conflict_edges\": {}, ", case.conflict_edges));
+            out.push_str(&format!("\"k\": {}, ", case.k));
+            out.push_str(&format!("\"cost\": {}, ", case.cost));
+            out.push_str(&format!("\"proven_optimal\": {}, ", case.proven_optimal));
+            out.push_str(&format!("\"nodes\": {}, ", case.nodes));
+            out.push_str(&format!("\"seconds\": {}}}", case.seconds));
+            out.push_str(if index + 1 < self.bnb.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Verifies the deterministic work counters against pinned ceilings.
+    ///
+    /// Ceilings are deliberately loose (≈2× the measured values at the time
+    /// they were pinned) so they catch order-of-magnitude regressions — a
+    /// lost pruning rule, an uncapped max-flow — without flaking on small
+    /// search-order drift.  Wall-clock numbers are never checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns one message per violated ceiling.
+    pub fn check_ceilings(&self) -> Result<(), Vec<String>> {
+        let mut violations = Vec::new();
+        for case in &self.bnb {
+            // Measured on the PR-5 overhaul (see BENCH_perf.json): cliques
+            // close at the root node (1), two-k7-share2 at ~201k (the
+            // vertex-disjoint clique cover cannot see its overlap),
+            // random-16 at ~19k, random-18 at ~0.8k.
+            let ceiling = match case.name.as_str() {
+                "clique-9" | "clique-10" | "clique-11" => 2_000,
+                "two-k7-share2" => 300_000,
+                "random-16-p550" => 40_000,
+                "random-18-p500" => 5_000,
+                _ => continue,
+            };
+            if case.nodes > ceiling {
+                violations.push(format!(
+                    "bnb case {}: {} nodes expanded exceeds the pinned ceiling {}",
+                    case.name, case.nodes, ceiling
+                ));
+            }
+            if !case.proven_optimal {
+                violations.push(format!(
+                    "bnb case {}: search no longer proves optimality",
+                    case.name
+                ));
+            }
+        }
+        for case in &self.layouts {
+            match (case.augmenting_paths, case.augmenting_path_bound) {
+                (Some(paths), Some(bound)) => {
+                    if paths > bound {
+                        violations.push(format!(
+                            "layout {} ({}): {} augmenting paths exceeds the n·K bound {}",
+                            case.name, case.algorithm, paths, bound
+                        ));
+                    }
+                }
+                _ => violations.push(format!(
+                    "layout {} ({}): augmenting-path counters missing from the report",
+                    case.name, case.algorithm
+                )),
+            }
+            match case.scratch_allocs {
+                // Warm-path allocation discipline: a serial run of the whole
+                // suite grows its scratch buffers a handful of times, not
+                // once per component (911 components measured 5 events).
+                Some(allocs) => {
+                    if allocs > 64 {
+                        violations.push(format!(
+                            "layout {} ({}): {} scratch allocation events exceeds the ceiling 64",
+                            case.name, case.algorithm, allocs
+                        ));
+                    }
+                }
+                None => violations.push(format!(
+                    "layout {} ({}): scratch allocation counters missing from the report",
+                    case.name, case.algorithm
+                )),
+            }
+            if case.name == "perf-large" && case.algorithm == "ILP" {
+                match case.bnb_nodes {
+                    // Measured ~50k nodes across 911 components.
+                    Some(nodes) => {
+                        if nodes > 150_000 {
+                            violations.push(format!(
+                                "layout perf-large (ILP): {nodes} B&B nodes exceeds the ceiling 150000"
+                            ));
+                        }
+                    }
+                    None => violations.push(
+                        "layout perf-large (ILP): B&B node counters missing from the report"
+                            .to_string(),
+                    ),
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bnb_instances_are_deterministic() {
+        let a = bnb_instances();
+        let b = bnb_instances();
+        assert_eq!(a.len(), b.len());
+        for ((name_a, inst_a), (name_b, inst_b)) in a.iter().zip(&b) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(inst_a.conflict_edges(), inst_b.conflict_edges());
+        }
+    }
+
+    #[test]
+    fn report_json_has_the_schema_header() {
+        let report = PerfReport {
+            label: "test".to_string(),
+            layouts: Vec::new(),
+            bnb: Vec::new(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"mpl-bench/perf-v1\""));
+        assert!(json.contains("\"label\": \"test\""));
+    }
+}

@@ -27,6 +27,10 @@ impl ExactAssigner {
 
 impl ColorAssigner for ExactAssigner {
     fn assign(&self, problem: &ComponentProblem) -> Vec<u8> {
+        self.assign_with_stats(problem).colors
+    }
+
+    fn assign_with_stats(&self, problem: &ComponentProblem) -> super::AssignOutcome {
         let mut instance =
             ColoringInstance::new(problem.vertex_count(), problem.k()).with_alpha(problem.alpha());
         for &(u, v) in problem.conflict_edges() {
@@ -42,7 +46,11 @@ impl ColorAssigner for ExactAssigner {
                 warm_start: None,
             },
         );
-        solution.colors
+        super::AssignOutcome {
+            colors: solution.colors,
+            bnb_nodes: solution.nodes,
+            hit_time_limit: solution.hit_time_limit,
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -2,6 +2,7 @@
 
 use super::ColorAssigner;
 use crate::ComponentProblem;
+use mpl_graph::Csr;
 
 /// The vertex orders tried by *peer selection* (Algorithm 2, lines 6-9).
 ///
@@ -125,17 +126,17 @@ impl LinearAssigner {
         colors: &[u8],
         k: usize,
         alpha: f64,
-        conflict_adj: &[Vec<usize>],
-        stitch_adj: &[Vec<usize>],
-        friendly_adj: &[Vec<usize>],
+        conflict_adj: &Csr,
+        stitch_adj: &Csr,
+        friendly_adj: &Csr,
     ) -> u8 {
         let mut penalty = vec![0.0f64; k];
-        for &n in &conflict_adj[vertex] {
+        for &n in conflict_adj.neighbors(vertex) {
             if colors[n] != u8::MAX {
                 penalty[colors[n] as usize] += 1.0;
             }
         }
-        for &n in &stitch_adj[vertex] {
+        for &n in stitch_adj.neighbors(vertex) {
             if colors[n] != u8::MAX {
                 for (color, slot) in penalty.iter_mut().enumerate() {
                     if color != colors[n] as usize {
@@ -145,7 +146,7 @@ impl LinearAssigner {
             }
         }
         if self.color_friendly_bonus > 0.0 {
-            for &n in &friendly_adj[vertex] {
+            for &n in friendly_adj.neighbors(vertex) {
                 if colors[n] != u8::MAX {
                     penalty[colors[n] as usize] -= self.color_friendly_bonus;
                 }
@@ -169,25 +170,15 @@ impl ColorAssigner for LinearAssigner {
         let k = problem.k();
         let alpha = problem.alpha();
 
-        let mut conflict_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for &(u, v) in problem.conflict_edges() {
-            conflict_adj[u].push(v);
-            conflict_adj[v].push(u);
-        }
-        let mut stitch_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for &(u, v) in problem.stitch_edges() {
-            stitch_adj[u].push(v);
-            stitch_adj[v].push(u);
-        }
-        let mut friendly_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for &(u, v) in problem.color_friendly_pairs() {
-            friendly_adj[u].push(v);
-            friendly_adj[v].push(u);
-        }
+        // The problem's shared flat adjacency (built once, reused by every
+        // stage; no per-vertex Vecs).
+        let conflict_adj = problem.conflict_adjacency();
+        let stitch_adj = problem.stitch_adjacency();
+        let friendly_adj = problem.friendly_adjacency();
 
         // ---- Stage 1: iterative removal of non-critical vertices. ----
-        let mut conflict_degree: Vec<usize> = conflict_adj.iter().map(Vec::len).collect();
-        let mut stitch_degree: Vec<usize> = stitch_adj.iter().map(Vec::len).collect();
+        let mut conflict_degree: Vec<usize> = (0..n).map(|v| conflict_adj.degree(v)).collect();
+        let mut stitch_degree: Vec<usize> = (0..n).map(|v| stitch_adj.degree(v)).collect();
         let mut removed = vec![false; n];
         let mut stack: Vec<usize> = Vec::new();
         let mut worklist: Vec<usize> = (0..n)
@@ -199,7 +190,7 @@ impl ColorAssigner for LinearAssigner {
             }
             removed[v] = true;
             stack.push(v);
-            for &u in &conflict_adj[v] {
+            for &u in conflict_adj.neighbors(v) {
                 if !removed[u] {
                     conflict_degree[u] -= 1;
                     if conflict_degree[u] < k && stitch_degree[u] < 2 {
@@ -207,7 +198,7 @@ impl ColorAssigner for LinearAssigner {
                     }
                 }
             }
-            for &u in &stitch_adj[v] {
+            for &u in stitch_adj.neighbors(v) {
                 if !removed[u] {
                     stitch_degree[u] -= 1;
                     if conflict_degree[u] < k && stitch_degree[u] < 2 {
@@ -220,7 +211,13 @@ impl ColorAssigner for LinearAssigner {
 
         // ---- Stage 2: peer selection over the kernel. ----
         let kernel_conflict_degree: Vec<usize> = (0..n)
-            .map(|v| conflict_adj[v].iter().filter(|&&u| !removed[u]).count())
+            .map(|v| {
+                conflict_adj
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| !removed[u])
+                    .count()
+            })
             .collect();
         let score = |colors: &[u8]| -> f64 {
             let mut conflicts = 0usize;
@@ -244,15 +241,8 @@ impl ColorAssigner for LinearAssigner {
             let order = self.order_vertices(ordering, &kernel, &kernel_conflict_degree, k);
             let mut colors = vec![u8::MAX; n];
             for &v in &order {
-                colors[v] = self.best_color(
-                    v,
-                    &colors,
-                    k,
-                    alpha,
-                    &conflict_adj,
-                    &stitch_adj,
-                    &friendly_adj,
-                );
+                colors[v] =
+                    self.best_color(v, &colors, k, alpha, conflict_adj, stitch_adj, friendly_adj);
             }
             let value = score(&colors);
             if value < best_score {
@@ -268,29 +258,15 @@ impl ColorAssigner for LinearAssigner {
                 // Re-choosing the locally cheapest color (with the vertex
                 // itself masked out) can only keep or reduce the total cost.
                 colors[v] = u8::MAX;
-                colors[v] = self.best_color(
-                    v,
-                    &colors,
-                    k,
-                    alpha,
-                    &conflict_adj,
-                    &stitch_adj,
-                    &friendly_adj,
-                );
+                colors[v] =
+                    self.best_color(v, &colors, k, alpha, conflict_adj, stitch_adj, friendly_adj);
             }
         }
 
         // ---- Pop the stack: a legal color always exists. ----
         for &v in stack.iter().rev() {
-            colors[v] = self.best_color(
-                v,
-                &colors,
-                k,
-                alpha,
-                &conflict_adj,
-                &stitch_adj,
-                &friendly_adj,
-            );
+            colors[v] =
+                self.best_color(v, &colors, k, alpha, conflict_adj, stitch_adj, friendly_adj);
         }
         // Any vertex that never received a color (isolated) defaults to 0.
         for color in colors.iter_mut() {

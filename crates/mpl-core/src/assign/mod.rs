@@ -23,13 +23,45 @@ pub use sdp::{SdpBacktrackAssigner, SdpGreedyAssigner};
 
 use crate::ComponentProblem;
 
+/// The colors produced by one engine run plus the engine's work counters
+/// (all zero for engines without an internal search).
+#[derive(Debug, Clone)]
+pub struct AssignOutcome {
+    /// One color per vertex of the problem.
+    pub colors: Vec<u8>,
+    /// Branch-and-bound nodes expanded (exact engine only).
+    pub bnb_nodes: u64,
+    /// Whether a wall-clock budget truncated the search, making the colors
+    /// an incumbent rather than a proven optimum.
+    pub hit_time_limit: bool,
+}
+
+impl AssignOutcome {
+    /// Wraps plain colors with zeroed counters.
+    pub fn plain(colors: Vec<u8>) -> Self {
+        AssignOutcome {
+            colors,
+            bnb_nodes: 0,
+            hit_time_limit: false,
+        }
+    }
+}
+
 /// A color-assignment engine.
 ///
 /// Implementations must return exactly one color per vertex, each in
-/// `0..problem.k()`.
-pub trait ColorAssigner {
+/// `0..problem.k()`.  Engines are `Sync` so one boxed instance can serve
+/// every executor worker thread of a batch.
+pub trait ColorAssigner: Sync {
     /// Assigns a color to every vertex of `problem`.
     fn assign(&self, problem: &ComponentProblem) -> Vec<u8>;
+
+    /// Assigns colors and reports the engine's work counters.  The default
+    /// wraps [`ColorAssigner::assign`] with zeroed counters; engines with
+    /// an internal search (the exact engine) override it.
+    fn assign_with_stats(&self, problem: &ComponentProblem) -> AssignOutcome {
+        AssignOutcome::plain(self.assign(problem))
+    }
 
     /// Human-readable engine name (used in reports).
     fn name(&self) -> &'static str;

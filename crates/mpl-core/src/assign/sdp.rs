@@ -236,26 +236,23 @@ impl ColorAssigner for SdpGreedyAssigner {
         let mut order: Vec<usize> = (0..group_count).collect();
         order.sort_by_key(|&g| std::cmp::Reverse(group_size[g]));
 
-        let mut incident: Vec<Vec<(usize, bool)>> = vec![Vec::new(); group_count];
-        for &(u, v) in merged.conflict_edges() {
-            incident[u].push((v, true));
-            incident[v].push((u, true));
-        }
-        for &(u, v) in merged.stitch_edges() {
-            incident[u].push((v, false));
-            incident[v].push((u, false));
-        }
+        let conflict_adj = merged.conflict_adjacency();
+        let stitch_adj = merged.stitch_adjacency();
         let mut group_color = vec![u8::MAX; group_count];
         for &g in &order {
             let mut penalty = vec![0.0f64; k];
-            for &(other, is_conflict) in &incident[g] {
+            for &other in conflict_adj.neighbors(g) {
+                if group_color[other] != u8::MAX {
+                    penalty[group_color[other] as usize] += 1.0;
+                }
+            }
+            for &other in stitch_adj.neighbors(g) {
                 if group_color[other] == u8::MAX {
                     continue;
                 }
+                let keep = group_color[other] as usize;
                 for (color, slot) in penalty.iter_mut().enumerate() {
-                    if is_conflict && group_color[other] as usize == color {
-                        *slot += 1.0;
-                    } else if !is_conflict && group_color[other] as usize != color {
+                    if color != keep {
                         *slot += merged.alpha();
                     }
                 }

@@ -1,5 +1,8 @@
 //! The per-component color-assignment problem handed to the engines.
 
+use mpl_graph::Csr;
+use std::sync::OnceLock;
+
 /// A self-contained color-assignment instance over dense local vertex ids
 /// `0..vertex_count`, produced by graph division and consumed by the
 /// [`crate::assign`] engines.
@@ -7,7 +10,11 @@
 /// Besides conflict and stitch edges it carries the *color-friendly* pairs
 /// of Definition 2 (features slightly beyond the coloring distance), which
 /// only the linear engine uses as a tie-breaking hint.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Adjacency views are flat [`Csr`] arrays, built lazily on first use and
+/// shared by every stage that walks neighbours (peeling, division, the
+/// engines), so no per-vertex `Vec`s are ever materialised for a component.
+#[derive(Debug, Clone)]
 pub struct ComponentProblem {
     vertex_count: usize,
     k: usize,
@@ -15,6 +22,21 @@ pub struct ComponentProblem {
     conflict_edges: Vec<(usize, usize)>,
     stitch_edges: Vec<(usize, usize)>,
     color_friendly_pairs: Vec<(usize, usize)>,
+    conflict_adjacency: OnceLock<Csr>,
+    stitch_adjacency: OnceLock<Csr>,
+    friendly_adjacency: OnceLock<Csr>,
+}
+
+impl PartialEq for ComponentProblem {
+    fn eq(&self, other: &Self) -> bool {
+        // The adjacency caches are derived data; equality is the instance.
+        self.vertex_count == other.vertex_count
+            && self.k == other.k
+            && self.alpha == other.alpha
+            && self.conflict_edges == other.conflict_edges
+            && self.stitch_edges == other.stitch_edges
+            && self.color_friendly_pairs == other.color_friendly_pairs
+    }
 }
 
 impl ComponentProblem {
@@ -34,6 +56,9 @@ impl ComponentProblem {
             conflict_edges: Vec::new(),
             stitch_edges: Vec::new(),
             color_friendly_pairs: Vec::new(),
+            conflict_adjacency: OnceLock::new(),
+            stitch_adjacency: OnceLock::new(),
+            friendly_adjacency: OnceLock::new(),
         }
     }
 
@@ -59,6 +84,7 @@ impl ComponentProblem {
     /// Panics on out-of-range endpoints or a self edge.
     pub fn add_conflict(&mut self, u: usize, v: usize) {
         self.check(u, v);
+        self.conflict_adjacency.take();
         self.conflict_edges.push((u, v));
     }
 
@@ -69,6 +95,7 @@ impl ComponentProblem {
     /// Panics on out-of-range endpoints or a self edge.
     pub fn add_stitch(&mut self, u: usize, v: usize) {
         self.check(u, v);
+        self.stitch_adjacency.take();
         self.stitch_edges.push((u, v));
     }
 
@@ -79,6 +106,7 @@ impl ComponentProblem {
     /// Panics on out-of-range endpoints or a self edge.
     pub fn add_color_friendly(&mut self, u: usize, v: usize) {
         self.check(u, v);
+        self.friendly_adjacency.take();
         self.color_friendly_pairs.push((u, v));
     }
 
@@ -106,24 +134,35 @@ impl ComponentProblem {
         &self.color_friendly_pairs
     }
 
+    /// The flat conflict adjacency (one [`Csr`] shared by every consumer;
+    /// built on first use, neighbours in edge order).
+    pub fn conflict_adjacency(&self) -> &Csr {
+        self.conflict_adjacency
+            .get_or_init(|| Csr::from_edges(self.vertex_count, &self.conflict_edges))
+    }
+
+    /// The flat stitch adjacency.
+    pub fn stitch_adjacency(&self) -> &Csr {
+        self.stitch_adjacency
+            .get_or_init(|| Csr::from_edges(self.vertex_count, &self.stitch_edges))
+    }
+
+    /// The flat color-friendly adjacency.
+    pub fn friendly_adjacency(&self) -> &Csr {
+        self.friendly_adjacency
+            .get_or_init(|| Csr::from_edges(self.vertex_count, &self.color_friendly_pairs))
+    }
+
     /// The conflict degree of every vertex.
     pub fn conflict_degrees(&self) -> Vec<usize> {
-        let mut degrees = vec![0usize; self.vertex_count];
-        for &(u, v) in &self.conflict_edges {
-            degrees[u] += 1;
-            degrees[v] += 1;
-        }
-        degrees
+        let csr = self.conflict_adjacency();
+        (0..self.vertex_count).map(|v| csr.degree(v)).collect()
     }
 
     /// The stitch degree of every vertex.
     pub fn stitch_degrees(&self) -> Vec<usize> {
-        let mut degrees = vec![0usize; self.vertex_count];
-        for &(u, v) in &self.stitch_edges {
-            degrees[u] += 1;
-            degrees[v] += 1;
-        }
-        degrees
+        let csr = self.stitch_adjacency();
+        (0..self.vertex_count).map(|v| csr.degree(v)).collect()
     }
 
     /// Evaluates a coloring, returning `(conflicts, stitches, cost)` with

@@ -2,6 +2,7 @@
 
 use crate::stitch::{split_at_stitches, StitchConfig};
 use mpl_geometry::{GridIndex, Nm, Polygon};
+use mpl_graph::Csr;
 use mpl_layout::{Layout, ShapeId, Technology};
 use std::fmt;
 
@@ -51,8 +52,8 @@ pub struct DecompositionGraph {
     conflict_edges: Vec<(usize, usize)>,
     stitch_edges: Vec<(usize, usize)>,
     color_friendly_pairs: Vec<(usize, usize)>,
-    conflict_adjacency: Vec<Vec<usize>>,
-    stitch_adjacency: Vec<Vec<usize>>,
+    conflict_adjacency: Csr,
+    stitch_adjacency: Csr,
 }
 
 impl DecompositionGraph {
@@ -79,19 +80,24 @@ impl DecompositionGraph {
             }
         }
 
-        // Pass 1: split every shape at its legal stitch positions.
+        // Pass 1: split every shape at its legal stitch positions.  One
+        // query/peer buffer pair serves every shape (no per-shape Vecs).
         let mut shape_of: Vec<ShapeId> = Vec::new();
         let mut polygons: Vec<Polygon> = Vec::new();
         let mut stitch_edges: Vec<(usize, usize)> = Vec::new();
+        let mut neighbor_ids: Vec<usize> = Vec::new();
+        let mut neighbor_polys: Vec<&Polygon> = Vec::new();
         for shape in layout.iter() {
             let bbox = shape.polygon().bounding_box();
-            let neighbor_ids = shape_index.query_within(&bbox, min_s);
-            let neighbor_polys: Vec<&Polygon> = neighbor_ids
-                .iter()
-                .filter(|&&id| id != shape.id().index())
-                .map(|&id| layout.shape(ShapeId(id)).polygon())
-                .filter(|poly| poly.within_distance(shape.polygon(), min_s))
-                .collect();
+            shape_index.query_within_into(&bbox, min_s, &mut neighbor_ids);
+            neighbor_polys.clear();
+            neighbor_polys.extend(
+                neighbor_ids
+                    .iter()
+                    .filter(|&&id| id != shape.id().index())
+                    .map(|&id| layout.shape(ShapeId(id)).polygon())
+                    .filter(|poly| poly.within_distance(shape.polygon(), min_s)),
+            );
             let segments = split_at_stitches(shape.polygon(), &neighbor_polys, min_s, stitch);
             let first_vertex = polygons.len();
             for (offset, rect) in segments.iter().enumerate() {
@@ -113,9 +119,11 @@ impl DecompositionGraph {
         }
         let mut conflict_edges: Vec<(usize, usize)> = Vec::new();
         let mut color_friendly_pairs: Vec<(usize, usize)> = Vec::new();
+        let mut candidates: Vec<usize> = Vec::new();
         for (vertex, polygon) in polygons.iter().enumerate() {
             let bbox = polygon.bounding_box();
-            for other in segment_index.query_within(&bbox, friendly) {
+            segment_index.query_within_into(&bbox, friendly, &mut candidates);
+            for &other in &candidates {
                 if other <= vertex || shape_of[other] == shape_of[vertex] {
                     continue;
                 }
@@ -129,16 +137,8 @@ impl DecompositionGraph {
         }
 
         let n = polygons.len();
-        let mut conflict_adjacency = vec![Vec::new(); n];
-        for &(u, v) in &conflict_edges {
-            conflict_adjacency[u].push(v);
-            conflict_adjacency[v].push(u);
-        }
-        let mut stitch_adjacency = vec![Vec::new(); n];
-        for &(u, v) in &stitch_edges {
-            stitch_adjacency[u].push(v);
-            stitch_adjacency[v].push(u);
-        }
+        let conflict_adjacency = Csr::from_edges(n, &conflict_edges);
+        let stitch_adjacency = Csr::from_edges(n, &stitch_edges);
 
         DecompositionGraph {
             k,
@@ -195,22 +195,22 @@ impl DecompositionGraph {
 
     /// Conflict neighbours of a vertex.
     pub fn conflict_neighbors(&self, vertex: usize) -> &[usize] {
-        &self.conflict_adjacency[vertex]
+        self.conflict_adjacency.neighbors(vertex)
     }
 
     /// Stitch neighbours of a vertex.
     pub fn stitch_neighbors(&self, vertex: usize) -> &[usize] {
-        &self.stitch_adjacency[vertex]
+        self.stitch_adjacency.neighbors(vertex)
     }
 
     /// Conflict degree of a vertex.
     pub fn conflict_degree(&self, vertex: usize) -> usize {
-        self.conflict_adjacency[vertex].len()
+        self.conflict_adjacency.degree(vertex)
     }
 
     /// Stitch degree of a vertex.
     pub fn stitch_degree(&self, vertex: usize) -> usize {
-        self.stitch_adjacency[vertex].len()
+        self.stitch_adjacency.degree(vertex)
     }
 
     /// Vertices grouped into independent components (connected via either
@@ -229,9 +229,11 @@ impl DecompositionGraph {
             label[start] = id;
             while let Some(u) = stack.pop() {
                 group.push(u);
-                for &v in self.conflict_adjacency[u]
+                for &v in self
+                    .conflict_adjacency
+                    .neighbors(u)
                     .iter()
-                    .chain(self.stitch_adjacency[u].iter())
+                    .chain(self.stitch_adjacency.neighbors(u).iter())
                 {
                     if label[v] == usize::MAX {
                         label[v] = id;

@@ -12,8 +12,8 @@ use crate::assign::{assigner_for, ColorAssigner};
 #[cfg(test)]
 use crate::coloring_cost;
 use crate::division::{
-    biconnected_blocks, ghtree_pieces, merge_with_rotation, peel_low_degree,
-    permute_to_match_anchors,
+    biconnected_blocks_with, ghtree_pieces_with, merge_with_rotation_with, peel_low_degree_with,
+    permute_to_match_anchors, with_division_scratch, DivisionScratch,
 };
 use crate::pipeline::{ComponentStats, ComponentTask, DecompositionPlan};
 use crate::{
@@ -234,13 +234,10 @@ impl Decomposer {
             &self.config.stitch,
         );
         let components = self.graph_components(&graph);
-        let tasks = components
-            .iter()
+        let tasks = component_problems(&graph, components, &self.config)
+            .into_iter()
             .enumerate()
-            .map(|(index, component)| {
-                let (problem, to_global) = component_problem(&graph, component, &self.config);
-                ComponentTask::new(index, problem, to_global)
-            })
+            .map(|(index, (problem, to_global))| ComponentTask::new(index, problem, to_global))
             .collect();
         let graph_time = graph_start.elapsed();
         Ok(DecompositionPlan::new(
@@ -274,8 +271,12 @@ impl Decomposer {
         self.config.validate()?;
         let assigner = assigner_for(self.config.algorithm, &self.config);
         let mut colors = vec![0u8; graph.vertex_count()];
-        for component in self.graph_components(graph) {
-            self.color_component(graph, &component, assigner.as_ref(), &mut colors);
+        let components = self.graph_components(graph);
+        for (problem, original) in component_problems(graph, components, &self.config) {
+            let local_colors = self.color_problem(&problem, assigner.as_ref());
+            for (local, &global) in original.iter().enumerate() {
+                colors[global] = local_colors[local];
+            }
         }
         Ok(colors)
     }
@@ -294,21 +295,6 @@ impl Decomposer {
         }
     }
 
-    /// Colors one independent component, writing into `colors` (global ids).
-    fn color_component(
-        &self,
-        graph: &DecompositionGraph,
-        component: &[usize],
-        assigner: &dyn ColorAssigner,
-        colors: &mut [u8],
-    ) {
-        let (problem, original) = component_problem(graph, component, &self.config);
-        let local_colors = self.color_problem(&problem, assigner);
-        for (local, &global) in original.iter().enumerate() {
-            colors[global] = local_colors[local];
-        }
-    }
-
     /// Colors a [`ComponentProblem`] with division applied, returning local
     /// colors.
     pub(crate) fn color_problem(
@@ -316,26 +302,55 @@ impl Decomposer {
         problem: &ComponentProblem,
         assigner: &dyn ColorAssigner,
     ) -> Vec<u8> {
+        self.color_problem_metered(problem, assigner).0
+    }
+
+    /// Colors a [`ComponentProblem`] with division applied, returning local
+    /// colors plus the component's work counters.  Scratch buffers live in a
+    /// per-thread [`DivisionScratch`], so each executor worker re-uses the
+    /// same allocations for every component it colors.
+    pub(crate) fn color_problem_metered(
+        &self,
+        problem: &ComponentProblem,
+        assigner: &dyn ColorAssigner,
+    ) -> (Vec<u8>, ColorMetrics) {
+        with_division_scratch(|scratch| self.color_problem_in(problem, assigner, scratch))
+    }
+
+    fn color_problem_in(
+        &self,
+        problem: &ComponentProblem,
+        assigner: &dyn ColorAssigner,
+        scratch: &mut DivisionScratch,
+    ) -> (Vec<u8>, ColorMetrics) {
         let n = problem.vertex_count();
         let k = problem.k() as u8;
         let division = self.config.division;
         let mut colors = vec![u8::MAX; n];
+        let mut metrics = ColorMetrics::default();
+        let paths_before = scratch.augmenting_paths();
+        let bound_before = scratch.augmenting_path_bound();
+        let allocs_before = scratch.alloc_events();
 
         // ---- Low-degree peeling. ----
+        let division_start = Instant::now();
         let (kernel, stack) = if division.low_degree_removal {
-            let peeling = peel_low_degree(problem);
+            let peeling = peel_low_degree_with(problem, scratch);
             (peeling.kernel, peeling.stack)
         } else {
             ((0..n).collect(), Vec::new())
         };
+        metrics.division_time += division_start.elapsed();
 
         // ---- Kernel coloring, block by block. ----
         if !kernel.is_empty() {
+            let division_start = Instant::now();
             let blocks = if division.biconnected_split {
-                biconnected_blocks(problem, &kernel)
+                biconnected_blocks_with(problem, &kernel, scratch)
             } else {
                 vec![kernel.clone()]
             };
+            metrics.division_time += division_start.elapsed();
             for block in blocks {
                 // Remember which block vertices were colored before (shared
                 // articulation vertices) so the block can be permuted to
@@ -348,15 +363,19 @@ impl Decomposer {
                 let anchor_colors: Vec<u8> = anchors.iter().map(|&v| colors[v]).collect();
 
                 if division.ghtree_cut_removal {
-                    let pieces = ghtree_pieces(problem, &block);
+                    let division_start = Instant::now();
+                    let pieces = ghtree_pieces_with(problem, &block, scratch);
+                    metrics.division_time += division_start.elapsed();
                     for piece in &pieces {
-                        self.color_piece(problem, piece, assigner, &mut colors);
+                        self.color_piece(problem, piece, assigner, &mut colors, &mut metrics);
                     }
                     if pieces.len() > 1 {
-                        merge_with_rotation(problem, &pieces, &mut colors);
+                        let division_start = Instant::now();
+                        merge_with_rotation_with(problem, &pieces, &mut colors, scratch);
+                        metrics.division_time += division_start.elapsed();
                     }
                 } else {
-                    self.color_piece(problem, &block, assigner, &mut colors);
+                    self.color_piece(problem, &block, assigner, &mut colors, &mut metrics);
                 }
 
                 // Reconcile with every previously colored articulation
@@ -368,24 +387,17 @@ impl Decomposer {
         }
 
         // ---- Pop the peeled vertices, cheapest legal color first. ----
-        let mut conflict_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for &(u, v) in problem.conflict_edges() {
-            conflict_adj[u].push(v);
-            conflict_adj[v].push(u);
-        }
-        let mut stitch_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for &(u, v) in problem.stitch_edges() {
-            stitch_adj[u].push(v);
-            stitch_adj[v].push(u);
-        }
+        let conflict_adj = problem.conflict_adjacency();
+        let stitch_adj = problem.stitch_adjacency();
+        let mut penalty = vec![0.0f64; k as usize];
         for &v in stack.iter().rev() {
-            let mut penalty = vec![0.0f64; k as usize];
-            for &u in &conflict_adj[v] {
+            penalty.iter_mut().for_each(|slot| *slot = 0.0);
+            for &u in conflict_adj.neighbors(v) {
                 if colors[u] != u8::MAX {
                     penalty[colors[u] as usize] += 1.0;
                 }
             }
-            for &u in &stitch_adj[v] {
+            for &u in stitch_adj.neighbors(v) {
                 if colors[u] != u8::MAX {
                     for (color, slot) in penalty.iter_mut().enumerate() {
                         if color != colors[u] as usize {
@@ -406,7 +418,10 @@ impl Decomposer {
                 *color = 0;
             }
         }
-        colors
+        metrics.augmenting_paths = scratch.augmenting_paths() - paths_before;
+        metrics.augmenting_path_bound = scratch.augmenting_path_bound() - bound_before;
+        metrics.scratch_allocs = scratch.alloc_events() - allocs_before;
+        (colors, metrics)
     }
 
     /// Runs the engine on the sub-problem induced by `piece` and writes the
@@ -417,50 +432,85 @@ impl Decomposer {
         piece: &[usize],
         assigner: &dyn ColorAssigner,
         colors: &mut [u8],
+        metrics: &mut ColorMetrics,
     ) {
         if piece.is_empty() {
             return;
         }
         let (sub, original) = problem.induced(piece);
-        let sub_colors = assigner.assign(&sub);
+        let outcome = assigner.assign_with_stats(&sub);
+        metrics.bnb_nodes += outcome.bnb_nodes;
+        metrics.hit_time_limit |= outcome.hit_time_limit;
         for (local, &global) in original.iter().enumerate() {
-            colors[global] = sub_colors[local];
+            colors[global] = outcome.colors[local];
         }
     }
 }
 
-/// Extracts the [`ComponentProblem`] induced by `component` from the
-/// decomposition graph, returning it with the local → global vertex mapping.
-fn component_problem(
+/// Work counters accumulated while coloring one component (the per-task
+/// portion of [`ComponentStats`]).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ColorMetrics {
+    /// Time spent inside graph division (peeling, biconnectivity, (K−1)-cut
+    /// partition and rotation merging).
+    pub division_time: Duration,
+    /// Branch-and-bound nodes expanded by the exact engine.
+    pub bnb_nodes: u64,
+    /// Whether any piece's exact solve was truncated by its time limit.
+    pub hit_time_limit: bool,
+    /// Max-flow augmenting paths pushed by the (K−1)-cut division.
+    pub augmenting_paths: u64,
+    /// The certified `n · K` ceiling for `augmenting_paths`.
+    pub augmenting_path_bound: u64,
+    /// Scratch-buffer growth events (≈ heap allocations on the hot path).
+    pub scratch_allocs: u64,
+}
+
+/// Extracts every component's [`ComponentProblem`] from the decomposition
+/// graph in **one pass over the edge lists** (the seed code filtered the
+/// full edge list once per component, an O(components · E) planning cost),
+/// returning each with its local → global vertex mapping, in component
+/// order.
+fn component_problems(
     graph: &DecompositionGraph,
-    component: &[usize],
+    components: Vec<Vec<usize>>,
     config: &DecomposerConfig,
-) -> (ComponentProblem, Vec<usize>) {
-    let mut local = vec![usize::MAX; graph.vertex_count()];
-    let mut original = Vec::with_capacity(component.len());
-    for &v in component {
-        if local[v] == usize::MAX {
-            local[v] = original.len();
-            original.push(v);
+) -> Vec<(ComponentProblem, Vec<usize>)> {
+    let n = graph.vertex_count();
+    let mut local = vec![usize::MAX; n];
+    let mut component_of = vec![usize::MAX; n];
+    let mut problems: Vec<ComponentProblem> = Vec::with_capacity(components.len());
+    for (index, component) in components.iter().enumerate() {
+        for (position, &v) in component.iter().enumerate() {
+            debug_assert_eq!(local[v], usize::MAX, "components must be disjoint");
+            local[v] = position;
+            component_of[v] = index;
         }
+        problems.push(ComponentProblem::new(
+            component.len(),
+            config.k,
+            config.alpha,
+        ));
     }
-    let mut problem = ComponentProblem::new(original.len(), config.k, config.alpha);
     for &(u, v) in graph.conflict_edges() {
-        if local[u] != usize::MAX && local[v] != usize::MAX {
-            problem.add_conflict(local[u], local[v]);
+        let component = component_of[u];
+        if component != usize::MAX && component_of[v] == component {
+            problems[component].add_conflict(local[u], local[v]);
         }
     }
     for &(u, v) in graph.stitch_edges() {
-        if local[u] != usize::MAX && local[v] != usize::MAX {
-            problem.add_stitch(local[u], local[v]);
+        let component = component_of[u];
+        if component != usize::MAX && component_of[v] == component {
+            problems[component].add_stitch(local[u], local[v]);
         }
     }
     for &(u, v) in graph.color_friendly_pairs() {
-        if local[u] != usize::MAX && local[v] != usize::MAX {
-            problem.add_color_friendly(local[u], local[v]);
+        let component = component_of[u];
+        if component != usize::MAX && component_of[v] == component {
+            problems[component].add_color_friendly(local[u], local[v]);
         }
     }
-    (problem, original)
+    problems.into_iter().zip(components).collect()
 }
 
 #[cfg(test)]
@@ -720,6 +770,79 @@ mod tests {
 
         fn name(&self) -> &'static str {
             "identity"
+        }
+    }
+
+    /// Reports fixed fake work counters per piece, to audit the metric
+    /// aggregation of `color_problem_metered`.
+    struct CountingAssigner;
+
+    impl ColorAssigner for CountingAssigner {
+        fn assign(&self, problem: &ComponentProblem) -> Vec<u8> {
+            vec![0; problem.vertex_count()]
+        }
+
+        fn assign_with_stats(&self, problem: &ComponentProblem) -> crate::assign::AssignOutcome {
+            crate::assign::AssignOutcome {
+                colors: vec![0; problem.vertex_count()],
+                bnb_nodes: 7,
+                hit_time_limit: true,
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    #[test]
+    fn engine_work_counters_flow_into_color_metrics() {
+        // A K5: peeling keeps it whole, so the engine colors exactly one
+        // piece and its counters surface unchanged.
+        let mut problem = ComponentProblem::new(5, 4, 0.1);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                problem.add_conflict(i, j);
+            }
+        }
+        let decomposer = Decomposer::new(quad_config(ColorAlgorithm::Linear));
+        let (colors, metrics) = decomposer.color_problem_metered(&problem, &CountingAssigner);
+        assert_eq!(colors.len(), 5);
+        assert_eq!(metrics.bnb_nodes, 7);
+        assert!(metrics.hit_time_limit);
+        // The K5 is 4-edge-connected... in fact every pair has min-cut 4 ≥ K
+        // = 4, so division ran real capped max-flows under the n·K bound.
+        assert!(metrics.augmenting_paths > 0);
+        assert!(metrics.augmenting_paths <= metrics.augmenting_path_bound);
+    }
+
+    #[test]
+    fn component_stats_carry_the_work_counters() {
+        // The dense strips keep exact-engine work inside the layout, so the
+        // per-component stats must report branch-and-bound nodes and the
+        // division counters, with every augmenting-path count under its
+        // certified ceiling.
+        let layout = gen::generate_row_layout(
+            &gen::RowLayoutConfig {
+                dense_strips: 2,
+                ..gen::RowLayoutConfig::small("counters", 13)
+            },
+            &Technology::nm20(),
+        );
+        let result = Decomposer::new(quad_config(ColorAlgorithm::Ilp))
+            .decompose(&layout)
+            .expect("valid config");
+        let stats = result.component_stats();
+        assert!(stats.iter().map(|s| s.bnb_nodes).sum::<u64>() > 0);
+        for s in stats {
+            assert!(
+                s.augmenting_paths <= s.augmenting_path_bound,
+                "component {}: {} paths over bound {}",
+                s.index,
+                s.augmenting_paths,
+                s.augmenting_path_bound
+            );
+            assert!(!s.hit_time_limit, "component {}", s.index);
         }
     }
 

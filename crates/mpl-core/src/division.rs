@@ -18,7 +18,8 @@
 //!   that avoids every cross-piece conflict always exists).
 
 use crate::ComponentProblem;
-use mpl_graph::{Biconnectivity, GomoryHuTree, Graph};
+use mpl_graph::{threshold_components_with, Biconnectivity, MaxFlow, ThresholdScratch};
+use std::cell::RefCell;
 
 /// The result of the iterative low-degree removal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,102 +32,200 @@ pub struct Peeling {
     pub stack: Vec<usize>,
 }
 
+/// Reusable buffers (plus work counters) threaded through every division
+/// call of one component, so a batch of components performs O(1) heap
+/// allocations per component instead of O(n).
+///
+/// One scratch lives per executor worker thread (see the crate-internal
+/// `with_division_scratch`); the public division functions allocate a
+/// fresh one per call for API compatibility.
+#[derive(Debug, Default)]
+pub struct DivisionScratch {
+    flow: MaxFlow,
+    threshold: ThresholdScratch,
+    union_edges: Vec<(usize, usize)>,
+    /// Problem-vertex → induced-vertex map (usize::MAX = absent).
+    local: Vec<usize>,
+    conflict_degree: Vec<usize>,
+    stitch_degree: Vec<usize>,
+    removed: Vec<bool>,
+    worklist: Vec<usize>,
+    merged: Vec<bool>,
+    conflict_rotation: Vec<usize>,
+    stitch_match: Vec<usize>,
+    covered: Vec<bool>,
+    /// Buffer-growth events (a proxy for heap allocations on the hot path).
+    alloc_events: u64,
+    /// Σ |vertices| · K over every (K−1)-cut call — the certified ceiling
+    /// for the augmenting-path count.
+    augmenting_path_bound: u64,
+}
+
+impl DivisionScratch {
+    /// Cumulative max-flow augmenting paths pushed through this scratch.
+    pub fn augmenting_paths(&self) -> u64 {
+        self.flow.augmenting_paths()
+    }
+
+    /// Cumulative `n · K` ceiling matching [`DivisionScratch::augmenting_paths`].
+    pub fn augmenting_path_bound(&self) -> u64 {
+        self.augmenting_path_bound
+    }
+
+    /// Cumulative buffer-growth events.
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+}
+
+thread_local! {
+    static DIVISION_SCRATCH: RefCell<DivisionScratch> = RefCell::new(DivisionScratch::default());
+}
+
+/// Runs `f` with this thread's shared [`DivisionScratch`] (executor worker
+/// threads keep one alive across every component they color).
+pub(crate) fn with_division_scratch<R>(f: impl FnOnce(&mut DivisionScratch) -> R) -> R {
+    DIVISION_SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
+}
+
+/// Clears `vec` and resizes it to `n` copies of `fill`, counting a growth
+/// event when the existing capacity does not suffice.
+fn grow<T: Clone>(vec: &mut Vec<T>, n: usize, fill: T, allocs: &mut u64) {
+    if vec.capacity() < n {
+        *allocs += 1;
+    }
+    vec.clear();
+    vec.resize(n, fill);
+}
+
 /// Iteratively removes non-critical vertices (conflict degree < K and stitch
 /// degree < 2), mirroring lines 1–4 of Algorithm 2 and the division rule of
 /// Section 4.
 pub fn peel_low_degree(problem: &ComponentProblem) -> Peeling {
+    peel_low_degree_with(problem, &mut DivisionScratch::default())
+}
+
+/// [`peel_low_degree`] with caller-provided scratch buffers.
+pub(crate) fn peel_low_degree_with(
+    problem: &ComponentProblem,
+    scratch: &mut DivisionScratch,
+) -> Peeling {
     let n = problem.vertex_count();
     let k = problem.k();
-    let mut conflict_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for &(u, v) in problem.conflict_edges() {
-        conflict_adj[u].push(v);
-        conflict_adj[v].push(u);
+    let conflict_adj = problem.conflict_adjacency();
+    let stitch_adj = problem.stitch_adjacency();
+    grow(
+        &mut scratch.conflict_degree,
+        n,
+        0,
+        &mut scratch.alloc_events,
+    );
+    grow(&mut scratch.stitch_degree, n, 0, &mut scratch.alloc_events);
+    grow(&mut scratch.removed, n, false, &mut scratch.alloc_events);
+    scratch.worklist.clear();
+    for v in 0..n {
+        scratch.conflict_degree[v] = conflict_adj.degree(v);
+        scratch.stitch_degree[v] = stitch_adj.degree(v);
+        if scratch.conflict_degree[v] < k && scratch.stitch_degree[v] < 2 {
+            scratch.worklist.push(v);
+        }
     }
-    let mut stitch_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for &(u, v) in problem.stitch_edges() {
-        stitch_adj[u].push(v);
-        stitch_adj[v].push(u);
-    }
-    let mut conflict_degree: Vec<usize> = conflict_adj.iter().map(Vec::len).collect();
-    let mut stitch_degree: Vec<usize> = stitch_adj.iter().map(Vec::len).collect();
-    let mut removed = vec![false; n];
     let mut stack = Vec::new();
-    let mut worklist: Vec<usize> = (0..n)
-        .filter(|&v| conflict_degree[v] < k && stitch_degree[v] < 2)
-        .collect();
-    while let Some(v) = worklist.pop() {
-        if removed[v] || conflict_degree[v] >= k || stitch_degree[v] >= 2 {
+    while let Some(v) = scratch.worklist.pop() {
+        if scratch.removed[v] || scratch.conflict_degree[v] >= k || scratch.stitch_degree[v] >= 2 {
             continue;
         }
-        removed[v] = true;
+        scratch.removed[v] = true;
         stack.push(v);
-        for &u in &conflict_adj[v] {
-            if !removed[u] {
-                conflict_degree[u] -= 1;
-                if conflict_degree[u] < k && stitch_degree[u] < 2 {
-                    worklist.push(u);
+        for &u in conflict_adj.neighbors(v) {
+            if !scratch.removed[u] {
+                scratch.conflict_degree[u] -= 1;
+                if scratch.conflict_degree[u] < k && scratch.stitch_degree[u] < 2 {
+                    scratch.worklist.push(u);
                 }
             }
         }
-        for &u in &stitch_adj[v] {
-            if !removed[u] {
-                stitch_degree[u] -= 1;
-                if conflict_degree[u] < k && stitch_degree[u] < 2 {
-                    worklist.push(u);
+        for &u in stitch_adj.neighbors(v) {
+            if !scratch.removed[u] {
+                scratch.stitch_degree[u] -= 1;
+                if scratch.conflict_degree[u] < k && scratch.stitch_degree[u] < 2 {
+                    scratch.worklist.push(u);
                 }
             }
         }
     }
     Peeling {
-        kernel: (0..n).filter(|&v| !removed[v]).collect(),
+        kernel: (0..n).filter(|&v| !scratch.removed[v]).collect(),
         stack,
     }
 }
 
-/// Builds the union graph (conflict ∪ stitch edges) induced by `vertices`
-/// (identity mapping: graph vertex `i` is `vertices[i]`).
-fn union_graph(problem: &ComponentProblem, vertices: &[usize]) -> (Graph, Vec<usize>) {
-    let mut local = vec![usize::MAX; problem.vertex_count()];
+/// Fills `scratch.union_edges` with the conflict ∪ stitch edges induced by
+/// `vertices`, remapped to local ids `0..vertices.len()` (identity mapping:
+/// local `i` is `vertices[i]`), in global edge order.  Resets the local-id
+/// map afterwards so the next call starts clean.
+fn build_union_edges(
+    problem: &ComponentProblem,
+    vertices: &[usize],
+    scratch: &mut DivisionScratch,
+) {
+    grow(
+        &mut scratch.local,
+        problem.vertex_count(),
+        usize::MAX,
+        &mut scratch.alloc_events,
+    );
     for (index, &v) in vertices.iter().enumerate() {
-        local[v] = index;
+        scratch.local[v] = index;
     }
-    let mut graph = Graph::new(vertices.len());
+    scratch.union_edges.clear();
     for &(u, v) in problem
         .conflict_edges()
         .iter()
         .chain(problem.stitch_edges())
     {
-        if local[u] != usize::MAX && local[v] != usize::MAX {
-            graph.add_edge(local[u], local[v]);
+        let (lu, lv) = (scratch.local[u], scratch.local[v]);
+        if lu != usize::MAX && lv != usize::MAX {
+            scratch.union_edges.push((lu, lv));
         }
     }
-    (graph, vertices.to_vec())
 }
 
 /// Splits the sub-graph induced by `vertices` into 2-vertex-connected blocks
 /// (each block is a list of the problem's vertex ids).  Vertices without any
 /// incident edge inside `vertices` are returned as singleton blocks.
 pub fn biconnected_blocks(problem: &ComponentProblem, vertices: &[usize]) -> Vec<Vec<usize>> {
+    biconnected_blocks_with(problem, vertices, &mut DivisionScratch::default())
+}
+
+/// [`biconnected_blocks`] with caller-provided scratch buffers.
+pub(crate) fn biconnected_blocks_with(
+    problem: &ComponentProblem,
+    vertices: &[usize],
+    scratch: &mut DivisionScratch,
+) -> Vec<Vec<usize>> {
     if vertices.is_empty() {
         return Vec::new();
     }
-    let (graph, original) = union_graph(problem, vertices);
-    let biconnectivity = Biconnectivity::compute(&graph);
-    let mut blocks: Vec<Vec<usize>> = biconnectivity
-        .vertex_components(&graph)
-        .into_iter()
-        .map(|component| component.into_iter().map(|v| original[v]).collect())
-        .collect();
-    // Isolated vertices (no incident edges) appear in no block.
-    let mut covered = vec![false; graph.vertex_count()];
-    for component in biconnectivity.vertex_components(&graph) {
-        for v in component {
-            covered[v] = true;
+    build_union_edges(problem, vertices, scratch);
+    let biconnectivity = Biconnectivity::compute_from_edges(vertices.len(), &scratch.union_edges);
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    grow(
+        &mut scratch.covered,
+        vertices.len(),
+        false,
+        &mut scratch.alloc_events,
+    );
+    for component in biconnectivity.vertex_components_from_edges(&scratch.union_edges) {
+        for &v in &component {
+            scratch.covered[v] = true;
         }
+        blocks.push(component.into_iter().map(|v| vertices[v]).collect());
     }
-    for v in 0..graph.vertex_count() {
-        if !covered[v] {
-            blocks.push(vec![original[v]]);
+    // Isolated vertices (no incident edges) appear in no block.
+    for (index, &v) in vertices.iter().enumerate() {
+        if !scratch.covered[index] {
+            blocks.push(vec![v]);
         }
     }
     blocks
@@ -135,15 +234,38 @@ pub fn biconnected_blocks(problem: &ComponentProblem, vertices: &[usize]) -> Vec
 /// Splits the sub-graph induced by `vertices` with the GH-tree based
 /// (K−1)-cut removal: pieces are the groups of vertices whose pairwise
 /// min-cut (in the induced union graph) is at least K.
+///
+/// Since the capped-flow overhaul this no longer builds the Gomory–Hu tree:
+/// the identical partition is obtained by
+/// [`mpl_graph::threshold_components_with`],
+/// whose max-flow queries stop after K augmenting paths (at most
+/// `|vertices| · K` augmentations in total instead of the O(n·F) of full
+/// Gusfield max-flows).
 pub fn ghtree_pieces(problem: &ComponentProblem, vertices: &[usize]) -> Vec<Vec<usize>> {
+    ghtree_pieces_with(problem, vertices, &mut DivisionScratch::default())
+}
+
+/// [`ghtree_pieces`] with caller-provided scratch buffers.
+pub(crate) fn ghtree_pieces_with(
+    problem: &ComponentProblem,
+    vertices: &[usize],
+    scratch: &mut DivisionScratch,
+) -> Vec<Vec<usize>> {
     if vertices.is_empty() {
         return Vec::new();
     }
-    let (graph, original) = union_graph(problem, vertices);
-    let tree = GomoryHuTree::build(&graph);
-    tree.components_after_removing(problem.k() as i64)
+    build_union_edges(problem, vertices, scratch);
+    scratch.augmenting_path_bound += (vertices.len() as u64) * (problem.k() as u64);
+    let groups = threshold_components_with(
+        &mut scratch.flow,
+        &mut scratch.threshold,
+        vertices.len(),
+        &scratch.union_edges,
+        problem.k() as i64,
+    );
+    groups
         .into_iter()
-        .map(|piece| piece.into_iter().map(|v| original[v]).collect())
+        .map(|piece| piece.into_iter().map(|v| vertices[v]).collect())
         .collect()
 }
 
@@ -156,54 +278,86 @@ pub fn ghtree_pieces(problem: &ComponentProblem, vertices: &[usize]) -> Vec<Vec<
 /// applied.  Rotations never change costs inside a piece, so per Lemma 1 the
 /// merge cannot increase the conflict count when the cut is smaller than K.
 pub fn merge_with_rotation(problem: &ComponentProblem, pieces: &[Vec<usize>], colors: &mut [u8]) {
-    let k = problem.k() as u8;
-    let mut merged = vec![false; problem.vertex_count()];
+    merge_with_rotation_with(problem, pieces, colors, &mut DivisionScratch::default())
+}
+
+/// [`merge_with_rotation`] with caller-provided scratch buffers.
+///
+/// Instead of re-scanning every edge once per piece *and* rotation
+/// (O(pieces · K · E)), each cross edge is visited once per merge step via
+/// the problem's CSR adjacency and binned by the single rotation it would
+/// make conflicting (or stitch-free): O(E + pieces · K) total.  The per
+/// rotation cost is then reassembled with the same float-accumulation
+/// sequence as the edge scan, so ties break identically.
+pub(crate) fn merge_with_rotation_with(
+    problem: &ComponentProblem,
+    pieces: &[Vec<usize>],
+    colors: &mut [u8],
+    scratch: &mut DivisionScratch,
+) {
+    let k = problem.k();
+    let alpha = problem.alpha();
+    let conflict_adj = problem.conflict_adjacency();
+    let stitch_adj = problem.stitch_adjacency();
+    grow(
+        &mut scratch.merged,
+        problem.vertex_count(),
+        false,
+        &mut scratch.alloc_events,
+    );
+    grow(
+        &mut scratch.conflict_rotation,
+        k,
+        0,
+        &mut scratch.alloc_events,
+    );
+    grow(&mut scratch.stitch_match, k, 0, &mut scratch.alloc_events);
     for piece in pieces {
         if piece.is_empty() {
             continue;
         }
-        let in_piece: std::collections::HashSet<usize> = piece.iter().copied().collect();
-        // Cost of each rotation against the already-merged region.
+        // Bin every cross edge (piece → already-merged) by the rotation at
+        // which it is monochromatic: a conflict edge costs 1 exactly at
+        // that rotation, a stitch edge costs α at every other rotation.
+        scratch.conflict_rotation.iter_mut().for_each(|c| *c = 0);
+        scratch.stitch_match.iter_mut().for_each(|c| *c = 0);
+        let mut stitch_total = 0usize;
+        for &v in piece {
+            let inside = colors[v] as usize;
+            for &u in conflict_adj.neighbors(v) {
+                if scratch.merged[u] {
+                    scratch.conflict_rotation[(colors[u] as usize + k - inside) % k] += 1;
+                }
+            }
+            for &u in stitch_adj.neighbors(v) {
+                if scratch.merged[u] {
+                    scratch.stitch_match[(colors[u] as usize + k - inside) % k] += 1;
+                    stitch_total += 1;
+                }
+            }
+        }
         let mut best_rotation = 0u8;
         let mut best_cost = f64::INFINITY;
         for rotation in 0..k {
-            let mut cost = 0.0;
-            for &(u, v) in problem.conflict_edges() {
-                let (inside, outside) = if in_piece.contains(&u) && merged[v] {
-                    (u, v)
-                } else if in_piece.contains(&v) && merged[u] {
-                    (v, u)
-                } else {
-                    continue;
-                };
-                if (colors[inside] + rotation) % k == colors[outside] {
-                    cost += 1.0;
-                }
-            }
-            for &(u, v) in problem.stitch_edges() {
-                let (inside, outside) = if in_piece.contains(&u) && merged[v] {
-                    (u, v)
-                } else if in_piece.contains(&v) && merged[u] {
-                    (v, u)
-                } else {
-                    continue;
-                };
-                if (colors[inside] + rotation) % k != colors[outside] {
-                    cost += problem.alpha();
-                }
+            // Reproduce the edge scan's accumulation order exactly: an
+            // exact integer conflict count first, then one sequential α
+            // addition per unmatched stitch edge.
+            let mut cost = scratch.conflict_rotation[rotation] as f64;
+            for _ in 0..(stitch_total - scratch.stitch_match[rotation]) {
+                cost += alpha;
             }
             if cost < best_cost {
                 best_cost = cost;
-                best_rotation = rotation;
+                best_rotation = rotation as u8;
             }
         }
         if best_rotation != 0 {
             for &v in piece {
-                colors[v] = (colors[v] + best_rotation) % k;
+                colors[v] = (colors[v] + best_rotation) % k as u8;
             }
         }
         for &v in piece {
-            merged[v] = true;
+            scratch.merged[v] = true;
         }
     }
 }
@@ -460,6 +614,59 @@ mod tests {
         let vertices: Vec<usize> = (0..6).collect();
         let pieces = ghtree_pieces(&p, &vertices);
         assert_eq!(pieces.len(), 1);
+    }
+
+    #[test]
+    fn capped_flow_pieces_match_the_full_gomory_hu_tree() {
+        // The capped-flow partition must reproduce the full GH-tree removal
+        // bit-identically on a stream of random problems (the referee for
+        // swapping the division engine).
+        let mut seed: u64 = 0xA5A5A5A55A5A5A5A;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut scratch = DivisionScratch::default();
+        for case in 0..12 {
+            let n = 5 + case % 5;
+            let k = 3 + case % 3;
+            let mut p = ComponentProblem::new(n, k, 0.1);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    match next() % 10 {
+                        0..=4 => p.add_conflict(i, j),
+                        5 => p.add_stitch(i, j),
+                        _ => {}
+                    }
+                }
+            }
+            let vertices: Vec<usize> = (0..n).collect();
+            // Reference: the full Gomory–Hu tree over the union graph.
+            let mut graph = mpl_graph::Graph::new(n);
+            for &(u, v) in p.conflict_edges().iter().chain(p.stitch_edges()) {
+                graph.add_edge(u, v);
+            }
+            let expected: Vec<Vec<usize>> =
+                mpl_graph::GomoryHuTree::build(&graph).components_after_removing(k as i64);
+            // Scratch reuse across cases must not leak state.
+            let got = ghtree_pieces_with(&p, &vertices, &mut scratch);
+            assert_eq!(got, expected, "case {case}");
+            assert_eq!(ghtree_pieces(&p, &vertices), expected, "case {case}");
+        }
+    }
+
+    #[test]
+    fn division_counters_respect_the_nk_bound() {
+        let p = k_clique(8, 4);
+        let vertices: Vec<usize> = (0..8).collect();
+        let mut scratch = DivisionScratch::default();
+        let pieces = ghtree_pieces_with(&p, &vertices, &mut scratch);
+        assert_eq!(pieces.len(), 1);
+        assert!(scratch.augmenting_paths() > 0);
+        assert_eq!(scratch.augmenting_path_bound(), 8 * 4);
+        assert!(scratch.augmenting_paths() <= scratch.augmenting_path_bound());
     }
 
     #[test]

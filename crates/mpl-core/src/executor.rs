@@ -306,6 +306,12 @@ mod tests {
                 stitches,
                 cost,
                 time: std::time::Duration::ZERO,
+                division_time: std::time::Duration::ZERO,
+                bnb_nodes: 0,
+                hit_time_limit: false,
+                augmenting_paths: 0,
+                augmenting_path_bound: 0,
+                scratch_allocs: 0,
             },
         }
     }

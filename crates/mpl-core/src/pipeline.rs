@@ -81,6 +81,24 @@ pub struct ComponentStats {
     pub cost: f64,
     /// Wall-clock time spent coloring the component.
     pub time: Duration,
+    /// Wall-clock time of `time` spent inside graph division (peeling,
+    /// biconnectivity splitting, (K−1)-cut partition, rotation merging).
+    pub division_time: Duration,
+    /// Branch-and-bound nodes expanded by the exact engine on this
+    /// component (0 for the heuristic engines).
+    pub bnb_nodes: u64,
+    /// `true` when the exact engine's wall-clock budget expired on some
+    /// piece of this component: its colors are the incumbent found so far,
+    /// not a proven optimum.
+    pub hit_time_limit: bool,
+    /// Max-flow augmenting paths pushed by the (K−1)-cut division.
+    pub augmenting_paths: u64,
+    /// The certified ceiling for `augmenting_paths`: Σ `|piece| · K` over
+    /// the division's partition calls.
+    pub augmenting_path_bound: u64,
+    /// Scratch-buffer growth events while coloring (≈ heap allocations on
+    /// the hot path; 0 once a worker's buffers are warm).
+    pub scratch_allocs: u64,
 }
 
 /// The colored outcome of one [`ComponentTask`], produced by the per-task

@@ -311,6 +311,14 @@ pub(crate) fn execute_batch(
         )
     });
 
+    // One engine per entry, shared by every worker thread (engines are
+    // `Sync` and stateless): the seed code boxed a fresh assigner for every
+    // component task.
+    let assigners: Vec<Box<dyn crate::assign::ColorAssigner>> = entries
+        .iter()
+        .map(|&(_, plan)| assigner_for(plan.config().algorithm, plan.config()))
+        .collect();
+
     // Per-layout completion instants: a layout's color time in a batch is
     // the time from batch start until its last component finished.
     let finished_at: Mutex<Vec<Option<Instant>>> = Mutex::new(vec![None; entries.len()]);
@@ -320,11 +328,9 @@ pub(crate) fn execute_batch(
         let task = tagged.task();
         observer.component_started(tagged.layout(), task);
         let task_start = Instant::now();
-        let config = plan.config();
-        let assigner = assigner_for(config.algorithm, config);
-        let colors = plan
+        let (colors, metrics) = plan
             .decomposer()
-            .color_problem(task.problem(), assigner.as_ref());
+            .color_problem_metered(task.problem(), assigners[slot].as_ref());
         let (conflicts, stitches, cost) = task.problem().evaluate(&colors);
         let stats = ComponentStats {
             index: task.index(),
@@ -335,6 +341,12 @@ pub(crate) fn execute_batch(
             stitches,
             cost,
             time: task_start.elapsed(),
+            division_time: metrics.division_time,
+            bnb_nodes: metrics.bnb_nodes,
+            hit_time_limit: metrics.hit_time_limit,
+            augmenting_paths: metrics.augmenting_paths,
+            augmenting_path_bound: metrics.augmenting_path_bound,
+            scratch_allocs: metrics.scratch_allocs,
         };
         observer.component_finished(tagged.layout(), task, &stats);
         // Keep the latest completion per layout.  The instant is taken

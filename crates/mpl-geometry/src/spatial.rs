@@ -95,8 +95,19 @@ impl GridIndex {
     /// Returns the ids of all rectangles whose Euclidean distance to `rect`
     /// is strictly less than `limit`, deduplicated, in unspecified order.
     pub fn query_within(&self, rect: &Rect, limit: Nm) -> Vec<usize> {
-        let mut seen: Vec<usize> = Vec::new();
         let mut result: Vec<usize> = Vec::new();
+        self.query_within_into(rect, limit, &mut result);
+        result
+    }
+
+    /// Buffer-reusing variant of [`GridIndex::query_within`]: clears
+    /// `result` and fills it with the matching ids.
+    ///
+    /// Graph construction issues one query per feature and per stitch
+    /// segment; reusing one buffer per pass removes an allocation from each
+    /// of those queries.
+    pub fn query_within_into(&self, rect: &Rect, limit: Nm, result: &mut Vec<usize>) {
+        result.clear();
         let (cx0, cy0, cx1, cy1) = self.cell_range(rect, limit);
         for cx in cx0..=cx1 {
             for cy in cy0..=cy1 {
@@ -105,17 +116,17 @@ impl GridIndex {
                 };
                 for &slot in slots {
                     let (id, candidate) = self.entries[slot];
-                    if seen.contains(&id) {
+                    // `result` doubles as the dedup set: ids enter it as
+                    // soon as they match, so membership means "seen".
+                    if result.contains(&id) {
                         continue;
                     }
                     if rect.within_distance(&candidate, limit) {
-                        seen.push(id);
                         result.push(id);
                     }
                 }
             }
         }
-        result
     }
 
     /// Returns `(id, distance_squared)` pairs for all rectangles whose

@@ -44,16 +44,48 @@ impl Biconnectivity {
     /// Runs Tarjan's biconnectivity algorithm (iterative, so deep structures
     /// cannot overflow the call stack) on `graph`.
     pub fn compute(graph: &Graph) -> Self {
-        let n = graph.vertex_count();
-        // Precompute (neighbor, edge-index) incidence lists so the DFS can
-        // walk incident edges in O(degree) total per vertex.
-        let mut incidence: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
-        for (index, &(u, v)) in graph.edges().iter().enumerate() {
-            incidence[u].push((v, index));
-            incidence[v].push((u, index));
+        Biconnectivity::compute_from_edges(graph.vertex_count(), graph.edges())
+    }
+
+    /// Runs the same algorithm directly on an undirected edge list over
+    /// vertices `0..n` (the hot-path entry point: no [`Graph`] needs to be
+    /// materialised per component).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is `>= n`.
+    pub fn compute_from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        // Flat (neighbor, edge-index) incidence in counting-sort CSR form —
+        // per-vertex entries keep edge order, exactly like push lists.
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, v) in edges {
+            assert!(
+                u < n && v < n,
+                "edge ({u}, {v}) out of range for {n} vertices"
+            );
+            offsets[u + 1] += 1;
+            offsets[v + 1] += 1;
+        }
+        for v in 0..n {
+            let base = offsets[v];
+            offsets[v + 1] += base;
+        }
+        let mut incidence = vec![(0usize, 0usize); edges.len() * 2];
+        for (index, &(u, v)) in edges.iter().enumerate() {
+            incidence[offsets[u]] = (v, index);
+            offsets[u] += 1;
+            incidence[offsets[v]] = (u, index);
+            offsets[v] += 1;
+        }
+        for v in (1..=n).rev() {
+            offsets[v] = offsets[v - 1];
+        }
+        if n > 0 {
+            offsets[0] = 0;
         }
         let mut state = State {
-            graph,
+            edges,
+            inc_offsets: offsets,
             incidence,
             disc: vec![usize::MAX; n],
             low: vec![0; n],
@@ -104,13 +136,19 @@ impl Biconnectivity {
     /// The biconnected components as lists of vertex ids (each sorted and
     /// deduplicated).  Isolated vertices do not appear in any component.
     pub fn vertex_components(&self, graph: &Graph) -> Vec<Vec<usize>> {
+        self.vertex_components_from_edges(graph.edges())
+    }
+
+    /// [`Biconnectivity::vertex_components`] over a plain edge list (must be
+    /// the list the structure was computed from).
+    pub fn vertex_components_from_edges(&self, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
         self.components
             .iter()
             .map(|edge_indices| {
                 let mut vertices: Vec<usize> = edge_indices
                     .iter()
                     .flat_map(|&e| {
-                        let (u, v) = graph.edges()[e];
+                        let (u, v) = edges[e];
                         [u, v]
                     })
                     .collect();
@@ -123,8 +161,9 @@ impl Biconnectivity {
 }
 
 struct State<'a> {
-    graph: &'a Graph,
-    incidence: Vec<Vec<(usize, usize)>>,
+    edges: &'a [(usize, usize)],
+    inc_offsets: Vec<usize>,
+    incidence: Vec<(usize, usize)>,
     disc: Vec<usize>,
     low: Vec<usize>,
     articulation: Vec<bool>,
@@ -157,10 +196,10 @@ impl State<'_> {
 
         while let Some(frame) = stack.last_mut() {
             let u = frame.vertex;
-            if frame.next_neighbor < self.incidence[u].len() {
-                let slot = frame.next_neighbor;
+            if frame.next_neighbor < self.inc_offsets[u + 1] - self.inc_offsets[u] {
+                let slot = self.inc_offsets[u] + frame.next_neighbor;
                 frame.next_neighbor += 1;
-                let (v, edge_index) = self.incidence[u][slot];
+                let (v, edge_index) = self.incidence[slot];
                 if Some(edge_index) == frame.parent_edge {
                     continue;
                 }
@@ -211,7 +250,7 @@ impl State<'_> {
                         }
                     }
                     if self.low[u] > self.disc[p] {
-                        let (a, b) = self.graph.edges()[parent_edge];
+                        let (a, b) = self.edges[parent_edge];
                         self.bridges.push((a, b));
                     }
                 }

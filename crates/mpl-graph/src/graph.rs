@@ -1,9 +1,11 @@
 //! A compact undirected graph.
 
+use crate::Csr;
 use std::fmt;
+use std::sync::OnceLock;
 
-/// An undirected graph over dense vertex ids `0..n`, stored as adjacency
-/// lists plus an edge list.
+/// An undirected graph over dense vertex ids `0..n`, stored as an edge list
+/// plus a lazily built flat [`Csr`] adjacency (no per-vertex `Vec`s).
 ///
 /// Parallel edges are permitted (and are counted separately by [`Graph::degree`]);
 /// self-loops are rejected because they are meaningless for both coloring and
@@ -23,25 +25,30 @@ use std::fmt;
 /// assert!(g.has_edge(0, 1));
 /// assert!(!g.has_edge(0, 2));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
-    adjacency: Vec<Vec<usize>>,
+    vertex_count: usize,
     edges: Vec<(usize, usize)>,
+    /// Adjacency, built on first query and invalidated by mutation.
+    /// Neighbour order matches edge-insertion order exactly, like the
+    /// per-vertex push lists this replaced.
+    adjacency: OnceLock<Csr>,
 }
 
 impl Graph {
     /// Creates a graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
         Graph {
-            adjacency: vec![Vec::new(); n],
+            vertex_count: n,
             edges: Vec::new(),
+            adjacency: OnceLock::new(),
         }
     }
 
     /// Number of vertices.
     #[inline]
     pub fn vertex_count(&self) -> usize {
-        self.adjacency.len()
+        self.vertex_count
     }
 
     /// Number of edges (parallel edges counted individually).
@@ -52,13 +59,14 @@ impl Graph {
 
     /// Returns `true` when the graph has no vertices.
     pub fn is_empty(&self) -> bool {
-        self.adjacency.is_empty()
+        self.vertex_count == 0
     }
 
     /// Adds a vertex and returns its id.
     pub fn add_vertex(&mut self) -> usize {
-        self.adjacency.push(Vec::new());
-        self.adjacency.len() - 1
+        self.adjacency.take();
+        self.vertex_count += 1;
+        self.vertex_count - 1
     }
 
     /// Adds an undirected edge between `u` and `v` and returns its index.
@@ -69,36 +77,43 @@ impl Graph {
     pub fn add_edge(&mut self, u: usize, v: usize) -> usize {
         assert!(u != v, "self-loop {u}-{v} is not allowed");
         assert!(
-            u < self.vertex_count() && v < self.vertex_count(),
+            u < self.vertex_count && v < self.vertex_count,
             "edge ({u}, {v}) out of range for {} vertices",
-            self.vertex_count()
+            self.vertex_count
         );
+        self.adjacency.take();
         let index = self.edges.len();
         self.edges.push((u, v));
-        self.adjacency[u].push(v);
-        self.adjacency[v].push(u);
         index
     }
 
-    /// The neighbours of `u` (with multiplicity for parallel edges).
+    /// The flat CSR adjacency, built on first use.
+    #[inline]
+    pub fn adjacency(&self) -> &Csr {
+        self.adjacency
+            .get_or_init(|| Csr::from_edges(self.vertex_count, &self.edges))
+    }
+
+    /// The neighbours of `u` (with multiplicity for parallel edges), in
+    /// edge-insertion order.
     #[inline]
     pub fn neighbors(&self, u: usize) -> &[usize] {
-        &self.adjacency[u]
+        self.adjacency().neighbors(u)
     }
 
     /// The degree of `u` (parallel edges counted individually).
     #[inline]
     pub fn degree(&self, u: usize) -> usize {
-        self.adjacency[u].len()
+        self.adjacency().degree(u)
     }
 
     /// Returns `true` if at least one edge joins `u` and `v`.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        // Scan the smaller adjacency list.
+        // Scan the smaller neighbour list.
         if self.degree(u) <= self.degree(v) {
-            self.adjacency[u].contains(&v)
+            self.neighbors(u).contains(&v)
         } else {
-            self.adjacency[v].contains(&u)
+            self.neighbors(v).contains(&u)
         }
     }
 
@@ -110,7 +125,7 @@ impl Graph {
 
     /// Iterates over all vertex ids.
     pub fn vertices(&self) -> std::ops::Range<usize> {
-        0..self.vertex_count()
+        0..self.vertex_count
     }
 
     /// Builds the subgraph induced by `vertices`.
@@ -124,10 +139,10 @@ impl Graph {
     ///
     /// Panics if any referenced vertex is out of range.
     pub fn induced_subgraph(&self, vertices: &[usize]) -> (Graph, Vec<usize>) {
-        let mut new_id = vec![usize::MAX; self.vertex_count()];
+        let mut new_id = vec![usize::MAX; self.vertex_count];
         let mut original = Vec::with_capacity(vertices.len());
         for &v in vertices {
-            assert!(v < self.vertex_count(), "vertex {v} out of range");
+            assert!(v < self.vertex_count, "vertex {v} out of range");
             if new_id[v] == usize::MAX {
                 new_id[v] = original.len();
                 original.push(v);
@@ -142,6 +157,15 @@ impl Graph {
         (sub, original)
     }
 }
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        // The adjacency cache is derived data; equality is the edge list.
+        self.vertex_count == other.vertex_count && self.edges == other.edges
+    }
+}
+
+impl Eq for Graph {}
 
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -181,6 +205,28 @@ mod tests {
         g.add_edge(a, b);
         assert_eq!(g.vertex_count(), 2);
         assert_eq!(g.degree(a), 1);
+    }
+
+    #[test]
+    fn mutation_after_query_invalidates_the_adjacency_cache() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        assert_eq!(g.neighbors(0), &[1]); // builds the cache
+        g.add_edge(0, 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        let v = g.add_vertex();
+        g.add_edge(1, v);
+        assert_eq!(g.neighbors(1), &[0, 3]);
+    }
+
+    #[test]
+    fn equality_ignores_the_adjacency_cache() {
+        let mut a = Graph::new(3);
+        a.add_edge(0, 1);
+        let mut b = Graph::new(3);
+        b.add_edge(0, 1);
+        let _ = a.neighbors(0); // build a's cache only
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! of classical graph algorithms to divide that graph into small components
 //! before coloring:
 //!
-//! * [`Graph`] — a compact undirected graph with adjacency lists.
+//! * [`Graph`] — a compact undirected graph over a flat [`Csr`] adjacency.
 //! * [`connected_components`] — independent component computation.
 //! * [`Biconnectivity`] — articulation points, bridges and 2-vertex-connected
 //!   components (Tarjan's algorithm).
@@ -13,6 +13,9 @@
 //!   directly for minimum s–t cuts and as the engine for Gomory–Hu trees.
 //! * [`GomoryHuTree`] — Gusfield's "very simple" all-pairs minimum-cut tree,
 //!   the data structure behind the paper's GH-tree based 3-cut removal.
+//! * [`threshold_components`] — the capped-flow shortcut for the (K−1)-cut
+//!   division: the same partition the GH tree yields at threshold K, using
+//!   at most K augmenting paths per max-flow query.
 //!
 //! All algorithms are deterministic and allocation-conscious; vertex ids are
 //! dense `usize` indices `0..n`.
@@ -38,13 +41,17 @@
 mod biconnected;
 mod clique;
 mod connected;
+mod csr;
 mod gomory_hu;
 mod graph;
 mod maxflow;
+mod partition;
 
 pub use biconnected::Biconnectivity;
 pub use clique::{conflict_lower_bound, greedy_disjoint_cliques};
 pub use connected::{connected_components, ConnectedComponents};
+pub use csr::Csr;
 pub use gomory_hu::GomoryHuTree;
 pub use graph::Graph;
 pub use maxflow::MaxFlow;
+pub use partition::{threshold_components, threshold_components_with, ThresholdScratch};

@@ -16,11 +16,18 @@ struct FlowEdge {
 /// The decomposition flow uses max-flow in two places:
 ///
 /// * directly, to compute minimum s–t cuts between candidate vertices, and
-/// * inside [Gusfield's Gomory–Hu construction](crate::GomoryHuTree), which
-///   solves exactly `n - 1` max-flow problems to obtain all-pairs min-cuts.
+/// * inside the (K−1)-cut graph division — either via the full
+///   [Gomory–Hu tree](crate::GomoryHuTree) or via the capped
+///   [`threshold_components`](crate::threshold_components) partition, which
+///   only asks "is the min cut at least K?" and therefore uses
+///   [`MaxFlow::max_flow_capped`] to stop after at most K augmenting paths.
 ///
 /// Undirected edges are modelled as two directed arcs of equal capacity, per
-/// the standard reduction.
+/// the standard reduction.  Adjacency is stored as a flat CSR over arc ids,
+/// frozen on the first flow query and rebuilt automatically if edges are
+/// added afterwards; [`MaxFlow::clear`] resets the network for a new graph
+/// while keeping every buffer's capacity, so batch workloads build one
+/// network per component without re-allocating.
 ///
 /// # Example
 ///
@@ -37,21 +44,53 @@ struct FlowEdge {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MaxFlow {
-    adjacency: Vec<Vec<usize>>,
+    vertex_count: usize,
     edges: Vec<FlowEdge>,
+    /// CSR over arc ids: `arcs[offsets[v]..offsets[v + 1]]` are the arcs
+    /// leaving `v`, in insertion order.  Rebuilt lazily when stale.
+    offsets: Vec<usize>,
+    arcs: Vec<usize>,
+    adjacency_stale: bool,
     level: Vec<i32>,
     iter: Vec<usize>,
+    queue: Vec<usize>,
+    augmenting_paths: u64,
+}
+
+impl Default for MaxFlow {
+    /// An empty zero-vertex network (populate via [`MaxFlow::assign_unit_graph`]).
+    fn default() -> Self {
+        MaxFlow::new(0)
+    }
 }
 
 impl MaxFlow {
     /// Creates an empty flow network with `n` vertices.
     pub fn new(n: usize) -> Self {
         MaxFlow {
-            adjacency: vec![Vec::new(); n],
+            vertex_count: n,
             edges: Vec::new(),
+            offsets: Vec::new(),
+            arcs: Vec::new(),
+            adjacency_stale: true,
             level: vec![-1; n],
             iter: vec![0; n],
+            queue: Vec::new(),
+            augmenting_paths: 0,
         }
+    }
+
+    /// Resets the network to `n` vertices and no edges, keeping the
+    /// capacity of every internal buffer (and the cumulative
+    /// [`MaxFlow::augmenting_paths`] counter).
+    pub fn clear(&mut self, n: usize) {
+        self.vertex_count = n;
+        self.edges.clear();
+        self.adjacency_stale = true;
+        self.level.clear();
+        self.level.resize(n, -1);
+        self.iter.clear();
+        self.iter.resize(n, 0);
     }
 
     /// Builds a unit-capacity flow network from an undirected [`Graph`];
@@ -60,15 +99,29 @@ impl MaxFlow {
     /// paper's (K−1)-cut detection.
     pub fn from_unit_graph(graph: &Graph) -> Self {
         let mut flow = MaxFlow::new(graph.vertex_count());
-        for &(u, v) in graph.edges() {
-            flow.add_undirected_edge(u, v, 1);
-        }
+        flow.assign_unit_graph(graph.vertex_count(), graph.edges());
         flow
+    }
+
+    /// Re-initialises the network as the unit-capacity version of an
+    /// undirected edge list, reusing buffers (see [`MaxFlow::clear`]).
+    pub fn assign_unit_graph(&mut self, n: usize, edges: &[(usize, usize)]) {
+        self.clear(n);
+        for &(u, v) in edges {
+            self.add_undirected_edge(u, v, 1);
+        }
     }
 
     /// Number of vertices in the network.
     pub fn vertex_count(&self) -> usize {
-        self.adjacency.len()
+        self.vertex_count
+    }
+
+    /// Cumulative number of augmenting paths pushed by every flow query
+    /// since construction (a hardware-independent work counter; survives
+    /// [`MaxFlow::clear`]).
+    pub fn augmenting_paths(&self) -> u64 {
+        self.augmenting_paths
     }
 
     /// Adds a directed arc `from -> to` with the given capacity (and its
@@ -83,20 +136,17 @@ impl MaxFlow {
             "arc ({from}, {to}) out of range"
         );
         assert!(capacity >= 0, "capacity must be non-negative");
-        let forward = self.edges.len();
+        self.adjacency_stale = true;
         self.edges.push(FlowEdge {
             to,
             capacity,
             flow: 0,
         });
-        self.adjacency[from].push(forward);
-        let backward = self.edges.len();
         self.edges.push(FlowEdge {
             to: from,
             capacity: 0,
             flow: 0,
         });
-        self.adjacency[to].push(backward);
     }
 
     /// Adds an undirected edge of the given capacity (capacity in both
@@ -107,20 +157,50 @@ impl MaxFlow {
             "edge ({u}, {v}) out of range"
         );
         assert!(capacity >= 0, "capacity must be non-negative");
-        let forward = self.edges.len();
+        self.adjacency_stale = true;
         self.edges.push(FlowEdge {
             to: v,
             capacity,
             flow: 0,
         });
-        self.adjacency[u].push(forward);
-        let backward = self.edges.len();
         self.edges.push(FlowEdge {
             to: u,
             capacity,
             flow: 0,
         });
-        self.adjacency[v].push(backward);
+    }
+
+    /// Rebuilds the arc CSR if edges changed since the last flow query.
+    fn ensure_adjacency(&mut self) {
+        if !self.adjacency_stale {
+            return;
+        }
+        let n = self.vertex_count;
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        // The tail of arc `a` is the head of its paired reverse arc `a ^ 1`.
+        for a in 0..self.edges.len() {
+            let tail = self.edges[a ^ 1].to;
+            self.offsets[tail + 1] += 1;
+        }
+        for v in 0..n {
+            let base = self.offsets[v];
+            self.offsets[v + 1] += base;
+        }
+        self.arcs.clear();
+        self.arcs.resize(self.edges.len(), 0);
+        for a in 0..self.edges.len() {
+            let tail = self.edges[a ^ 1].to;
+            self.arcs[self.offsets[tail]] = a;
+            self.offsets[tail] += 1;
+        }
+        for v in (1..=n).rev() {
+            self.offsets[v] = self.offsets[v - 1];
+        }
+        if n > 0 {
+            self.offsets[0] = 0;
+        }
+        self.adjacency_stale = false;
     }
 
     fn residual(&self, edge: usize) -> i64 {
@@ -129,15 +209,18 @@ impl MaxFlow {
 
     fn bfs(&mut self, source: usize, sink: usize) -> bool {
         self.level.iter_mut().for_each(|l| *l = -1);
-        let mut queue = std::collections::VecDeque::new();
+        self.queue.clear();
         self.level[source] = 0;
-        queue.push_back(source);
-        while let Some(u) = queue.pop_front() {
-            for &e in &self.adjacency[u] {
+        self.queue.push(source);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for &e in &self.arcs[self.offsets[u]..self.offsets[u + 1]] {
                 let to = self.edges[e].to;
                 if self.residual(e) > 0 && self.level[to] < 0 {
                     self.level[to] = self.level[u] + 1;
-                    queue.push_back(to);
+                    self.queue.push(to);
                 }
             }
         }
@@ -148,8 +231,8 @@ impl MaxFlow {
         if u == sink {
             return pushed;
         }
-        while self.iter[u] < self.adjacency[u].len() {
-            let e = self.adjacency[u][self.iter[u]];
+        while self.iter[u] < self.offsets[u + 1] - self.offsets[u] {
+            let e = self.arcs[self.offsets[u] + self.iter[u]];
             let to = self.edges[e].to;
             if self.residual(e) > 0 && self.level[to] == self.level[u] + 1 {
                 let amount = self.dfs(to, sink, pushed.min(self.residual(e)));
@@ -179,20 +262,42 @@ impl MaxFlow {
     ///
     /// Panics if `source == sink` or either is out of range.
     pub fn max_flow(&mut self, source: usize, sink: usize) -> i64 {
+        self.max_flow_capped(source, sink, INF)
+    }
+
+    /// Computes `min(max_flow(source, sink), cap)`, stopping as soon as
+    /// `cap` units have been pushed.
+    ///
+    /// With unit capacities every augmenting path carries one unit, so the
+    /// query performs at most `cap` augmentations — the early exit that
+    /// turns the (K−1)-cut division's "is the min cut ≥ K?" questions from
+    /// O(E·F) into O(E·K) each.  When the returned value is **less** than
+    /// `cap` the flow is maximal and [`MaxFlow::min_cut_side`] is a genuine
+    /// minimum cut; when it equals `cap` the flow may have stopped early
+    /// and the residual reachability is meaningless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink`, either endpoint is out of range, or
+    /// `cap` is negative.
+    pub fn max_flow_capped(&mut self, source: usize, sink: usize, cap: i64) -> i64 {
         assert!(source != sink, "source and sink must differ");
         assert!(
             source < self.vertex_count() && sink < self.vertex_count(),
             "source/sink out of range"
         );
+        assert!(cap >= 0, "flow cap must be non-negative");
+        self.ensure_adjacency();
         self.reset();
         let mut total = 0;
-        while self.bfs(source, sink) {
+        while total < cap && self.bfs(source, sink) {
             self.iter.iter_mut().for_each(|i| *i = 0);
-            loop {
-                let pushed = self.dfs(source, sink, INF);
+            while total < cap {
+                let pushed = self.dfs(source, sink, cap - total);
                 if pushed == 0 {
                     break;
                 }
+                self.augmenting_paths += 1;
                 total += pushed;
             }
         }
@@ -203,10 +308,24 @@ impl MaxFlow {
     /// `source` in the residual network — the source side of a minimum cut.
     pub fn min_cut_side(&self, source: usize) -> Vec<bool> {
         let mut side = vec![false; self.vertex_count()];
+        self.min_cut_side_into(source, &mut side);
+        side
+    }
+
+    /// Buffer-reusing variant of [`MaxFlow::min_cut_side`]: fills `side`
+    /// (resized to the vertex count) with the residual reachability from
+    /// `source`.
+    pub fn min_cut_side_into(&self, source: usize, side: &mut Vec<bool>) {
+        assert!(
+            !self.adjacency_stale,
+            "min_cut_side requires a preceding max_flow call"
+        );
+        side.clear();
+        side.resize(self.vertex_count(), false);
         let mut stack = vec![source];
         side[source] = true;
         while let Some(u) = stack.pop() {
-            for &e in &self.adjacency[u] {
+            for &e in &self.arcs[self.offsets[u]..self.offsets[u + 1]] {
                 let to = self.edges[e].to;
                 if self.residual(e) > 0 && !side[to] {
                     side[to] = true;
@@ -214,7 +333,6 @@ impl MaxFlow {
                 }
             }
         }
-        side
     }
 }
 
@@ -284,6 +402,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn capped_flow_agrees_with_full_flow_on_the_threshold_question() {
+        // Deterministic pseudo-random unit graphs: for every pair, capped
+        // flow at K must classify "min cut < K vs >= K" exactly like the
+        // full flow, and must equal the full flow whenever it is below K.
+        let mut seed: u64 = 0x0DDB1A5E5BAD5EED;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..10 {
+            let n = 5 + (case % 4);
+            let mut g = Graph::new(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if next() % 100 < 55 {
+                        g.add_edge(i, j);
+                    }
+                }
+            }
+            let mut full = MaxFlow::from_unit_graph(&g);
+            let mut capped = MaxFlow::from_unit_graph(&g);
+            for k in 1..=5i64 {
+                for s in 0..n {
+                    for t in (s + 1)..n {
+                        let exact = full.max_flow(s, t);
+                        let fast = capped.max_flow_capped(s, t, k);
+                        assert_eq!(fast >= k, exact >= k, "case {case} k={k} pair ({s},{t})");
+                        if fast < k {
+                            assert_eq!(fast, exact, "case {case} k={k} pair ({s},{t})");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capped_flow_counts_at_most_cap_augmenting_paths_per_query() {
+        let n = 8;
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(i, j);
+            }
+        }
+        let mut f = MaxFlow::from_unit_graph(&g);
+        let before = f.augmenting_paths();
+        assert_eq!(f.max_flow_capped(0, 7, 4), 4);
+        assert!(f.augmenting_paths() - before <= 4);
+    }
+
+    #[test]
+    fn clear_reuses_the_network_for_a_new_graph() {
+        let mut f = MaxFlow::new(4);
+        f.add_undirected_edge(0, 1, 10);
+        f.add_undirected_edge(1, 2, 1);
+        f.add_undirected_edge(2, 3, 10);
+        assert_eq!(f.max_flow(0, 3), 1);
+        f.assign_unit_graph(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(f.vertex_count(), 3);
+        assert_eq!(f.max_flow(0, 2), 2);
     }
 
     #[test]

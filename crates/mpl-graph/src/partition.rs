@@ -1,0 +1,241 @@
+//! Threshold connectivity partition via capped max-flows.
+//!
+//! The paper's (K−1)-cut removal (Algorithm 3) only needs the partition of
+//! a component into groups whose pairwise min-cut is at least K — the
+//! *values* of the cuts below K are irrelevant.  Min-cut values obey the
+//! ultrametric-like inequality `mincut(u, w) ≥ min(mincut(u, v),
+//! mincut(v, w))`, so "min-cut ≥ K" is an equivalence relation and the
+//! groups are exactly the components of the Gomory–Hu tree after removing
+//! edges lighter than K ([`GomoryHuTree::components_after_removing`]).
+//!
+//! [`threshold_components`] computes that partition directly with **capped**
+//! max-flows ([`MaxFlow::max_flow_capped`]): a flow query stops after K
+//! augmenting paths, because reaching K already proves "≥ K".  Every query
+//! either certifies one vertex into its representative's group (`f ≥ K`) or
+//! yields a genuine cut splitting the working set (`f < K`, so the flow is
+//! maximal and the residual side is a real min cut — and every pair across
+//! it has min-cut < K).  Each query therefore consumes one of at most
+//! `n − 1` certificates, and with unit capacities each pushes at most K
+//! augmenting paths: O(n·K) augmentations total instead of the O(n·F) of
+//! full Gusfield max-flows.
+//!
+//! [`GomoryHuTree::components_after_removing`]:
+//! crate::GomoryHuTree::components_after_removing
+
+use crate::{Graph, MaxFlow};
+
+/// Reusable buffers for [`threshold_components_with`], so a batch of
+/// components performs O(1) allocations per partition call.
+#[derive(Debug, Clone, Default)]
+pub struct ThresholdScratch {
+    side: Vec<bool>,
+    order: Vec<usize>,
+    tmp: Vec<usize>,
+    ranges: Vec<(usize, usize)>,
+}
+
+/// Partitions `0..n` into the groups of pairwise min-cut ≥ `threshold`
+/// (unit capacities over the undirected `edges`), reusing `flow` and
+/// `scratch` buffers.
+///
+/// Groups are returned with ascending vertex ids, ordered by their smallest
+/// member — bit-identical to
+/// [`GomoryHuTree::components_after_removing`](crate::GomoryHuTree::components_after_removing)
+/// on the same graph (the partition is unique, and so is this ordering).
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is `>= n`.
+pub fn threshold_components_with(
+    flow: &mut MaxFlow,
+    scratch: &mut ThresholdScratch,
+    n: usize,
+    edges: &[(usize, usize)],
+    threshold: i64,
+) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if threshold <= 0 {
+        // Even zero-weight (disconnected) tree edges survive a non-positive
+        // threshold: everything stays together.
+        return vec![(0..n).collect()];
+    }
+    flow.assign_unit_graph(n, edges);
+    scratch.order.clear();
+    scratch.order.extend(0..n);
+    scratch.ranges.clear();
+    scratch.ranges.push((0, n));
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+
+    while let Some((start, mut end)) = scratch.ranges.pop() {
+        let s = scratch.order[start];
+        let mut i = start + 1;
+        while i < end {
+            let t = scratch.order[i];
+            let f = flow.max_flow_capped(s, t, threshold);
+            if f >= threshold {
+                // Certified: mincut(s, t) ≥ threshold, so t joins s's group.
+                i += 1;
+                continue;
+            }
+            // The flow is maximal (f < cap), so the residual side is a
+            // genuine minimum s–t cut of value < threshold: every pair
+            // across it is separated for good.  Split the working set,
+            // keeping ascending order on both sides.  Everything already
+            // certified sits on s's side (a cut < threshold cannot separate
+            // a pair with min-cut ≥ threshold from s).
+            flow.min_cut_side_into(s, &mut scratch.side);
+            scratch.tmp.clear();
+            scratch.tmp.extend(
+                scratch.order[start..end]
+                    .iter()
+                    .copied()
+                    .filter(|&v| scratch.side[v]),
+            );
+            let near = scratch.tmp.len();
+            scratch.tmp.extend(
+                scratch.order[start..end]
+                    .iter()
+                    .copied()
+                    .filter(|&v| !scratch.side[v]),
+            );
+            scratch.order[start..end].copy_from_slice(&scratch.tmp);
+            debug_assert!(near >= i - start, "a certified vertex crossed the cut");
+            scratch.ranges.push((start + near, end));
+            end = start + near;
+            // `i` is unchanged: the certified vertices are exactly the set
+            // members smaller than `t`, which the stable split keeps at
+            // positions start+1 .. i.
+        }
+        groups.push(scratch.order[start..end].to_vec());
+    }
+    groups.sort_by_key(|group| group[0]);
+    groups
+}
+
+/// Convenience wrapper over [`threshold_components_with`] with fresh
+/// buffers.
+pub fn threshold_components(graph: &Graph, threshold: i64) -> Vec<Vec<usize>> {
+    let mut flow = MaxFlow::new(0);
+    let mut scratch = ThresholdScratch::default();
+    threshold_components_with(
+        &mut flow,
+        &mut scratch,
+        graph.vertex_count(),
+        graph.edges(),
+        threshold,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GomoryHuTree;
+
+    fn assert_matches_gomory_hu(graph: &Graph, thresholds: std::ops::RangeInclusive<i64>) {
+        let tree = GomoryHuTree::build(graph);
+        for threshold in thresholds {
+            let expected = tree.components_after_removing(threshold);
+            let got = threshold_components(graph, threshold);
+            assert_eq!(got, expected, "threshold {threshold} on {graph}");
+        }
+    }
+
+    #[test]
+    fn two_triangles_with_bridge_split_at_two() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        g.add_edge(5, 3);
+        g.add_edge(2, 3);
+        assert_matches_gomory_hu(&g, 0..=4);
+    }
+
+    #[test]
+    fn k4_with_pendant_matches() {
+        let mut g = Graph::new(5);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(i, j);
+            }
+        }
+        g.add_edge(4, 0);
+        g.add_edge(4, 1);
+        g.add_edge(4, 2);
+        assert_matches_gomory_hu(&g, 1..=5);
+    }
+
+    #[test]
+    fn disconnected_and_empty_graphs() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert_matches_gomory_hu(&g, 0..=2);
+        assert!(threshold_components(&Graph::new(0), 4).is_empty());
+        assert_eq!(threshold_components(&Graph::new(1), 4), vec![vec![0usize]]);
+    }
+
+    #[test]
+    fn random_graphs_match_gomory_hu_for_every_threshold() {
+        let mut seed: u64 = 0x243F6A8885A308D3;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for case in 0..12 {
+            let n = 4 + case % 6;
+            let mut g = Graph::new(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if next() % 100 < 45 {
+                        g.add_edge(i, j);
+                    }
+                }
+            }
+            assert_matches_gomory_hu(&g, 0..=6);
+        }
+    }
+
+    #[test]
+    fn augmenting_paths_stay_under_n_times_k() {
+        let n = 12;
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(i, j);
+            }
+        }
+        let mut flow = MaxFlow::new(0);
+        let mut scratch = ThresholdScratch::default();
+        for k in 1..=5i64 {
+            let before = flow.augmenting_paths();
+            let groups = threshold_components_with(&mut flow, &mut scratch, n, g.edges(), k);
+            assert_eq!(groups.len(), 1, "K{n} is {k}-connected");
+            let pushed = flow.augmenting_paths() - before;
+            assert!(
+                pushed <= (n as u64) * (k as u64),
+                "k={k}: {pushed} paths exceeds n*k"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_graphs_is_clean() {
+        let mut flow = MaxFlow::new(0);
+        let mut scratch = ThresholdScratch::default();
+        let mut big = Graph::new(8);
+        for i in 0..8 {
+            big.add_edge(i, (i + 1) % 8);
+        }
+        let first = threshold_components_with(&mut flow, &mut scratch, 8, big.edges(), 2);
+        assert_eq!(first.len(), 1);
+        let second = threshold_components_with(&mut flow, &mut scratch, 3, &[(0, 1)], 2);
+        assert_eq!(second, vec![vec![0], vec![1], vec![2]]);
+    }
+}

@@ -155,16 +155,46 @@ pub struct ExactSolution {
     pub cost: f64,
     /// `true` when the search completed and the result is a proven optimum.
     pub proven_optimal: bool,
+    /// `true` when the wall-clock budget expired before the proof finished:
+    /// the returned coloring is the incumbent (best found so far), not
+    /// necessarily an optimum.  Always `!proven_optimal`.
+    pub hit_time_limit: bool,
     /// Number of search nodes explored.
     pub nodes: u64,
 }
 
+/// How often (in explored nodes) the wall clock is consulted.  Amortising
+/// the `Instant::now()` syscall keeps per-node cost flat while bounding the
+/// overshoot past the deadline to one batch of nodes.
+const TIME_CHECK_INTERVAL: u64 = 1024;
+
+/// Flat incidence entry: neighbour id shifted left, conflict flag in bit 0.
+#[inline]
+fn pack_incident(neighbor: usize, is_conflict: bool) -> usize {
+    (neighbor << 1) | usize::from(is_conflict)
+}
+
 struct Searcher<'a> {
     instance: &'a ColoringInstance,
-    /// Adjacency lists: (neighbor, is_conflict).
-    incident: Vec<Vec<(usize, bool)>>,
+    /// CSR incidence: entries `incident[inc_offsets[v]..inc_offsets[v+1]]`
+    /// are [`pack_incident`] values (conflict edges first, then stitches,
+    /// each in instance edge order).
+    inc_offsets: Vec<usize>,
+    incident: Vec<usize>,
     order: Vec<usize>,
     position: Vec<usize>,
+    /// Greedy clique-cover bookkeeping for the incremental lower bound:
+    /// `clique_of[v]` is the vertex's cover clique (`usize::MAX` when the
+    /// clique is too small to force conflicts), `remaining[q]` counts the
+    /// clique's not-yet-colored members, `clique_counts[q·k + c]` how many
+    /// of its members already wear color `c`, and `clique_lb[q]` the
+    /// clique's current contribution to the lower bound (see
+    /// [`min_fill_conflicts`]).
+    clique_of: Vec<usize>,
+    remaining: Vec<usize>,
+    clique_counts: Vec<usize>,
+    clique_lb: Vec<f64>,
+    fill_scratch: Vec<usize>,
     best_cost: f64,
     best_colors: Vec<u8>,
     nodes: u64,
@@ -178,17 +208,18 @@ impl Searcher<'_> {
         depth: usize,
         colors: &mut Vec<u8>,
         partial_cost: f64,
+        lower_bound: f64,
         max_color_used: u8,
     ) {
         self.nodes += 1;
-        if self.nodes.is_multiple_of(2048) {
+        if self.nodes.is_multiple_of(TIME_CHECK_INTERVAL) {
             if let Some(deadline) = self.deadline {
                 if Instant::now() >= deadline {
                     self.timed_out = true;
                 }
             }
         }
-        if self.timed_out || partial_cost >= self.best_cost - 1e-9 {
+        if self.timed_out || partial_cost + lower_bound >= self.best_cost - 1e-9 {
             return;
         }
         if depth == self.order.len() {
@@ -197,39 +228,204 @@ impl Searcher<'_> {
             return;
         }
         let vertex = self.order[depth];
-        let k = self.instance.k() as u8;
+        let k = self.instance.k();
+        let clique = self.clique_of[vertex];
+
         // Symmetry breaking: only allow one fresh (so-far unused) color.
-        let color_limit = (max_color_used + 1).min(k - 1);
+        let color_limit = ((max_color_used as usize) + 1).min(k - 1) as u8;
         for color in 0..=color_limit {
             colors[vertex] = color;
             // Incremental cost against already-assigned neighbours.
             let mut delta = 0.0;
-            for &(neighbor, is_conflict) in &self.incident[vertex] {
+            for &entry in &self.incident[self.inc_offsets[vertex]..self.inc_offsets[vertex + 1]] {
+                let neighbor = entry >> 1;
                 if self.position[neighbor] < depth {
-                    if is_conflict && colors[neighbor] == color {
-                        delta += 1.0;
-                    } else if !is_conflict && colors[neighbor] != color {
+                    if entry & 1 == 1 {
+                        if colors[neighbor] == color {
+                            delta += 1.0;
+                        }
+                    } else if colors[neighbor] != color {
                         delta += self.instance.alpha();
                     }
                 }
             }
+            // Coloring `vertex` moves it from its cover clique's uncolored
+            // part into color class `color`; the conflicts still forced on
+            // the remaining members are re-bounded with the new class
+            // occupancies (a color-count-aware refinement of the balanced
+            // clique bound).
             let next_max = max_color_used.max(color);
-            self.search(depth + 1, colors, partial_cost + delta, next_max);
+            if clique != usize::MAX {
+                let old_lb = self.clique_lb[clique];
+                self.remaining[clique] -= 1;
+                self.clique_counts[clique * k + color as usize] += 1;
+                let refined = self.refined_clique_bound(clique);
+                self.clique_lb[clique] = refined;
+                let child_bound = lower_bound - old_lb + refined;
+                self.search(
+                    depth + 1,
+                    colors,
+                    partial_cost + delta,
+                    child_bound,
+                    next_max,
+                );
+                self.clique_lb[clique] = old_lb;
+                self.clique_counts[clique * k + color as usize] -= 1;
+                self.remaining[clique] += 1;
+            } else {
+                self.search(
+                    depth + 1,
+                    colors,
+                    partial_cost + delta,
+                    lower_bound,
+                    next_max,
+                );
+            }
             if self.timed_out {
-                return;
+                break;
             }
         }
     }
+
+    /// Re-computes `clique`'s lower-bound contribution: the minimum number
+    /// of *new* conflict pairs created by distributing its `remaining`
+    /// uncolored members over the color classes, given how many members
+    /// already wear each color ([`min_fill_conflicts`]).
+    fn refined_clique_bound(&mut self, clique: usize) -> f64 {
+        let k = self.instance.k();
+        self.fill_scratch.clear();
+        self.fill_scratch
+            .extend_from_slice(&self.clique_counts[clique * k..(clique + 1) * k]);
+        min_fill_conflicts(&mut self.fill_scratch, self.remaining[clique])
+    }
+}
+
+/// Minimum number of new same-color pairs created by adding `extra`
+/// members to color classes with the given current `sizes` — filling the
+/// smallest class first is optimal because the marginal cost of a class is
+/// its current size, which only grows.  `sizes` is used as scratch.
+fn min_fill_conflicts(sizes: &mut [usize], extra: usize) -> f64 {
+    let mut added = 0usize;
+    for _ in 0..extra {
+        let mut min_index = 0;
+        let mut min_size = usize::MAX;
+        for (index, &size) in sizes.iter().enumerate() {
+            if size < min_size {
+                min_size = size;
+                min_index = index;
+            }
+        }
+        added += min_size;
+        sizes[min_index] += 1;
+    }
+    added as f64
+}
+
+/// Greedily grows vertex-disjoint cliques in the conflict graph, largest
+/// seeds first (ties by vertex id).  Returns the cover as clique vertex
+/// lists; every vertex appears in at most one clique.
+fn greedy_clique_cover(
+    n: usize,
+    conflict_offsets: &[usize],
+    conflict: &[usize],
+) -> Vec<Vec<usize>> {
+    let degree = |v: usize| conflict_offsets[v + 1] - conflict_offsets[v];
+    let mut seeds: Vec<usize> = (0..n).collect();
+    seeds.sort_by_key(|&v| (std::cmp::Reverse(degree(v)), v));
+    let mut used = vec![false; n];
+    // Stamp array answering "is u a current candidate?" in O(1).
+    let mut candidate_stamp = vec![0u32; n];
+    let mut stamp = 0u32;
+    let mut cliques = Vec::new();
+    let mut candidates: Vec<usize> = Vec::new();
+    for &seed in &seeds {
+        if used[seed] {
+            continue;
+        }
+        let mut clique = vec![seed];
+        candidates.clear();
+        candidates.extend(
+            conflict[conflict_offsets[seed]..conflict_offsets[seed + 1]]
+                .iter()
+                .copied()
+                .filter(|&u| !used[u]),
+        );
+        candidates.sort_unstable();
+        candidates.dedup();
+        while !candidates.is_empty() {
+            stamp += 1;
+            for &c in &candidates {
+                candidate_stamp[c] = stamp;
+            }
+            // The candidate adjacent to the most other candidates keeps the
+            // grown clique dense; ties pick the smallest id.
+            let mut best = candidates[0];
+            let mut best_score = 0usize;
+            let mut first = true;
+            for &c in &candidates {
+                let score = conflict[conflict_offsets[c]..conflict_offsets[c + 1]]
+                    .iter()
+                    .filter(|&&u| u != c && candidate_stamp[u] == stamp)
+                    .count();
+                if first || score > best_score {
+                    best = c;
+                    best_score = score;
+                    first = false;
+                }
+            }
+            clique.push(best);
+            stamp += 1;
+            for &u in &conflict[conflict_offsets[best]..conflict_offsets[best + 1]] {
+                candidate_stamp[u] = stamp;
+            }
+            candidates.retain(|&c| c != best && candidate_stamp[c] == stamp);
+        }
+        for &member in &clique {
+            used[member] = true;
+        }
+        cliques.push(clique);
+    }
+    cliques
+}
+
+/// Minimum conflicts of any K-coloring of a clique with `size` vertices:
+/// the most balanced partition into K color classes, paying `C(m, 2)`
+/// conflicts per class of size `m`.
+fn clique_conflict_bound(size: usize, k: usize) -> f64 {
+    let q = size / k;
+    let r = size % k;
+    let pairs = |m: usize| (m * m.saturating_sub(1) / 2) as f64;
+    r as f64 * pairs(q + 1) + (k - r) as f64 * pairs(q)
 }
 
 /// Solves a [`ColoringInstance`] to proven optimality (or to the time
 /// limit) by depth-first branch and bound.
 ///
-/// Vertices are branched in descending conflict-degree order; a node is
-/// pruned as soon as the cost of the already-colored subgraph reaches the
-/// incumbent.  Color symmetry is broken by allowing at most one previously
-/// unused color per branch level.  A greedy warm start seeds the incumbent
-/// so that conflict-free components are proven optimal almost immediately.
+/// The search is pruned four ways:
+///
+/// * **Connectivity-first ordering** — branching starts on the largest
+///   clique of a greedy clique cover, then repeatedly picks the vertex with
+///   the most already-branched conflict neighbours (a static DSATUR-style
+///   order), so the partial subgraph stays dense and costs accumulate as
+///   early as possible.
+/// * **Color-symmetry breaking** — at most one previously unused color per
+///   branch level; with the first clique branched first, the clique's
+///   vertices pin the color classes and the `K!` color permutations are
+///   never re-explored.
+/// * **Incremental clique-cover lower bound** — every clique of the cover
+///   with more vertices than colors forces conflicts among its uncolored
+///   members; only the branching vertex's clique is re-bounded per color
+///   branch (O(k · remaining) via the smallest-class-first fill
+///   `min_fill_conflicts` — cliques are small after division) and the
+///   result is added to the accumulated cost
+///   before comparing against the incumbent.
+/// * **Greedy warm start** — the incumbent starts at a greedy coloring (or
+///   the caller's [`ExactOptions::warm_start`]), so conflict-free
+///   components are proven optimal almost immediately.
+///
+/// The wall clock is consulted every 1024 nodes (`TIME_CHECK_INTERVAL`);
+/// on expiry the incumbent is returned with
+/// [`hit_time_limit`](ExactSolution::hit_time_limit) set.
 pub fn solve_exact(instance: &ColoringInstance, options: &ExactOptions) -> ExactSolution {
     let n = instance.vertex_count();
     if n == 0 {
@@ -239,42 +435,161 @@ pub fn solve_exact(instance: &ColoringInstance, options: &ExactOptions) -> Exact
             stitches: 0,
             cost: 0.0,
             proven_optimal: true,
+            hit_time_limit: false,
             nodes: 0,
         };
     }
+    let k = instance.k();
 
-    let mut incident: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n];
+    // Flat CSR incidence: conflict edges first, then stitch edges, so the
+    // per-vertex entry order matches the old push-list construction.
+    let mut inc_offsets = vec![0usize; n + 1];
+    let mut conflict_offsets = vec![0usize; n + 1];
     for &(u, v) in instance.conflict_edges() {
-        incident[u].push((v, true));
-        incident[v].push((u, true));
+        inc_offsets[u + 1] += 1;
+        inc_offsets[v + 1] += 1;
+        conflict_offsets[u + 1] += 1;
+        conflict_offsets[v + 1] += 1;
     }
     for &(u, v) in instance.stitch_edges() {
-        incident[u].push((v, false));
-        incident[v].push((u, false));
+        inc_offsets[u + 1] += 1;
+        inc_offsets[v + 1] += 1;
     }
+    for v in 0..n {
+        let base = inc_offsets[v];
+        inc_offsets[v + 1] += base;
+        let cbase = conflict_offsets[v];
+        conflict_offsets[v + 1] += cbase;
+    }
+    let mut incident = vec![0usize; inc_offsets[n]];
+    let mut conflict = vec![0usize; conflict_offsets[n]];
+    {
+        let mut inc_cursor = inc_offsets.clone();
+        let mut con_cursor = conflict_offsets.clone();
+        for &(u, v) in instance.conflict_edges() {
+            incident[inc_cursor[u]] = pack_incident(v, true);
+            inc_cursor[u] += 1;
+            incident[inc_cursor[v]] = pack_incident(u, true);
+            inc_cursor[v] += 1;
+            conflict[con_cursor[u]] = v;
+            con_cursor[u] += 1;
+            conflict[con_cursor[v]] = u;
+            con_cursor[v] += 1;
+        }
+        for &(u, v) in instance.stitch_edges() {
+            incident[inc_cursor[u]] = pack_incident(v, false);
+            inc_cursor[u] += 1;
+            incident[inc_cursor[v]] = pack_incident(u, false);
+            inc_cursor[v] += 1;
+        }
+    }
+    let conflict_degree = |v: usize| conflict_offsets[v + 1] - conflict_offsets[v];
 
-    // Branch order: highest conflict degree first.
-    let mut order: Vec<usize> = (0..n).collect();
-    let conflict_degree = |v: usize| incident[v].iter().filter(|(_, c)| *c).count();
-    order.sort_by_key(|&v| std::cmp::Reverse(conflict_degree(v)));
+    // Greedy clique cover: the largest clique seeds the branch order, and
+    // every clique bigger than K contributes to the lower bound.
+    let cover = greedy_clique_cover(n, &conflict_offsets, &conflict);
+    let largest = cover
+        .iter()
+        .enumerate()
+        .max_by_key(|(index, clique)| (clique.len(), std::cmp::Reverse(*index)))
+        .map(|(index, _)| index);
+
+    // Branch order: the largest cover clique first, then the vertex with
+    // the most already-ordered conflict neighbours (ties: conflict degree,
+    // then id) via a lazy max-heap.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut ordered = vec![false; n];
+    let mut placed_neighbors = vec![0usize; n];
+    let mut heap: std::collections::BinaryHeap<(usize, usize, std::cmp::Reverse<usize>)> =
+        std::collections::BinaryHeap::with_capacity(n);
+    let append = |v: usize,
+                  order: &mut Vec<usize>,
+                  ordered: &mut Vec<bool>,
+                  placed: &mut Vec<usize>,
+                  heap: &mut std::collections::BinaryHeap<(
+        usize,
+        usize,
+        std::cmp::Reverse<usize>,
+    )>| {
+        ordered[v] = true;
+        order.push(v);
+        for &u in &conflict[conflict_offsets[v]..conflict_offsets[v + 1]] {
+            if !ordered[u] {
+                placed[u] += 1;
+                heap.push((placed[u], conflict_degree(u), std::cmp::Reverse(u)));
+            }
+        }
+    };
+    if let Some(clique_index) = largest {
+        for &v in &cover[clique_index] {
+            append(
+                v,
+                &mut order,
+                &mut ordered,
+                &mut placed_neighbors,
+                &mut heap,
+            );
+        }
+    }
+    for (v, &placed) in placed_neighbors.iter().enumerate() {
+        heap.push((placed, conflict_degree(v), std::cmp::Reverse(v)));
+    }
+    while let Some((placed, _, std::cmp::Reverse(v))) = heap.pop() {
+        // Lazy deletion: skip stale entries (already ordered, or the
+        // placed-neighbour count moved on since this entry was pushed).
+        if ordered[v] || placed != placed_neighbors[v] {
+            continue;
+        }
+        append(
+            v,
+            &mut order,
+            &mut ordered,
+            &mut placed_neighbors,
+            &mut heap,
+        );
+    }
+    debug_assert_eq!(order.len(), n);
     let mut position = vec![0usize; n];
     for (depth, &v) in order.iter().enumerate() {
         position[v] = depth;
     }
 
+    // Lower-bound bookkeeping: only cliques that can force conflicts (more
+    // vertices than colors) are tracked.
+    let mut clique_of = vec![usize::MAX; n];
+    let mut remaining = Vec::new();
+    let mut clique_lb = Vec::new();
+    for clique in &cover {
+        if clique.len() > k {
+            let id = remaining.len();
+            for &v in clique {
+                clique_of[v] = id;
+            }
+            remaining.push(clique.len());
+            clique_lb.push(clique_conflict_bound(clique.len(), k));
+        }
+    }
+    let clique_counts = vec![0usize; remaining.len() * k];
+    let initial_bound: f64 = clique_lb.iter().sum();
+
     // Incumbent: warm start if provided, otherwise a greedy coloring in the
     // branch order.
     let warm = options.warm_start.clone().unwrap_or_else(|| {
         let mut colors = vec![0u8; n];
+        let mut penalty = vec![0.0f64; k];
         for &v in &order {
-            let mut penalty = vec![0.0f64; instance.k()];
-            for &(neighbor, is_conflict) in &incident[v] {
+            penalty.iter_mut().for_each(|slot| *slot = 0.0);
+            for &entry in &incident[inc_offsets[v]..inc_offsets[v + 1]] {
+                let neighbor = entry >> 1;
                 if position[neighbor] < position[v] {
-                    for (color, slot) in penalty.iter_mut().enumerate() {
-                        if is_conflict && colors[neighbor] as usize == color {
-                            *slot += 1.0;
-                        } else if !is_conflict && colors[neighbor] as usize != color {
-                            *slot += instance.alpha();
+                    if entry & 1 == 1 {
+                        penalty[colors[neighbor] as usize] += 1.0;
+                    } else {
+                        let keep = colors[neighbor] as usize;
+                        for (color, slot) in penalty.iter_mut().enumerate() {
+                            if color != keep {
+                                *slot += instance.alpha();
+                            }
                         }
                     }
                 }
@@ -293,9 +608,15 @@ pub fn solve_exact(instance: &ColoringInstance, options: &ExactOptions) -> Exact
 
     let mut searcher = Searcher {
         instance,
+        inc_offsets,
         incident,
         order,
         position,
+        clique_of,
+        remaining,
+        clique_counts,
+        clique_lb,
+        fill_scratch: Vec::with_capacity(k),
         best_cost: warm_cost + 1e-9,
         best_colors: warm.clone(),
         nodes: 0,
@@ -303,7 +624,7 @@ pub fn solve_exact(instance: &ColoringInstance, options: &ExactOptions) -> Exact
         timed_out: false,
     };
     let mut colors = vec![0u8; n];
-    searcher.search(0, &mut colors, 0.0, 0);
+    searcher.search(0, &mut colors, 0.0, initial_bound, 0);
 
     let best = searcher.best_colors;
     let (conflicts, stitches, cost) = instance.evaluate(&best);
@@ -313,6 +634,7 @@ pub fn solve_exact(instance: &ColoringInstance, options: &ExactOptions) -> Exact
         stitches,
         cost,
         proven_optimal: !searcher.timed_out,
+        hit_time_limit: searcher.timed_out,
         nodes: searcher.nodes,
     }
 }
@@ -515,6 +837,119 @@ mod tests {
                 index += 1;
             }
         }
+    }
+
+    #[test]
+    fn cost_parity_with_brute_force_on_random_stitched_instances() {
+        // The cost-parity property behind the PR-5 pruning overhaul: on a
+        // seed-equivalent stream of random instances (mixed conflicts and
+        // stitches, varying K and α), the pruned branch and bound must find
+        // exactly the brute-force optimum and prove it.
+        let mut seed: u64 = 0xC0FFEE5EED5EED01;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..25 {
+            let n = 4 + (case % 5);
+            let k = 2 + (case % 4);
+            let alpha = [0.1, 0.3, 1.0][case % 3];
+            let mut instance = ColoringInstance::new(n, k).with_alpha(alpha);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    match next() % 10 {
+                        0..=4 => instance.add_conflict(i, j),
+                        5 | 6 => instance.add_stitch(i, j),
+                        _ => {}
+                    }
+                }
+            }
+            let exact = solve_exact(&instance, &ExactOptions::default());
+            let brute = brute_force(&instance);
+            assert!(
+                (exact.cost - brute).abs() < 1e-9,
+                "case {case}: pruned search {} vs brute force {}",
+                exact.cost,
+                brute
+            );
+            assert!(exact.proven_optimal, "case {case}");
+            assert!(!exact.hit_time_limit, "case {case}");
+        }
+    }
+
+    #[test]
+    fn dense_cliques_close_at_the_root() {
+        // The greedy warm start is optimal on a clique and the clique-cover
+        // lower bound matches it, so the search proves optimality without
+        // branching — the pruning win the perf suite pins (the seed solver
+        // expanded 10^5-10^6 nodes on these).
+        for n in [8usize, 10, 12] {
+            let solution = solve_exact(&clique(n, 4), &ExactOptions::default());
+            assert_eq!(solution.nodes, 1, "K{n}");
+            assert!(solution.proven_optimal);
+            let brute_optimum = clique_conflict_bound(n, 4);
+            assert!((solution.cost - brute_optimum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hit_time_limit_is_the_negation_of_proven_optimal() {
+        // two-K7s is hard enough to outlive a zero budget past the first
+        // 1024-node clock check.
+        let mut instance = ColoringInstance::new(12, 4);
+        for clique in [(0..7).collect::<Vec<_>>(), (5..12).collect::<Vec<_>>()] {
+            for (position, &u) in clique.iter().enumerate() {
+                for &v in &clique[position + 1..] {
+                    instance.add_conflict(u.min(v), u.max(v));
+                }
+            }
+        }
+        let truncated = solve_exact(
+            &instance,
+            &ExactOptions {
+                time_limit: Some(Duration::from_secs(0)),
+                ..ExactOptions::default()
+            },
+        );
+        assert!(truncated.hit_time_limit);
+        assert!(!truncated.proven_optimal);
+        // The incumbent is still a valid full coloring.
+        let (c, s, cost) = instance.evaluate(&truncated.colors);
+        assert_eq!((c, s), (truncated.conflicts, truncated.stitches));
+        assert!((cost - truncated.cost).abs() < 1e-9);
+
+        let full = solve_exact(&instance, &ExactOptions::default());
+        assert!(full.proven_optimal);
+        assert!(!full.hit_time_limit);
+    }
+
+    #[test]
+    fn clique_bound_table_is_exact() {
+        // c = qK + r ⇒ r classes of q+1 and K−r classes of q.
+        assert_eq!(clique_conflict_bound(4, 4), 0.0);
+        assert_eq!(clique_conflict_bound(5, 4), 1.0);
+        assert_eq!(clique_conflict_bound(6, 4), 2.0);
+        assert_eq!(clique_conflict_bound(7, 4), 3.0);
+        assert_eq!(clique_conflict_bound(8, 4), 4.0);
+        assert_eq!(clique_conflict_bound(9, 4), 6.0);
+        assert_eq!(clique_conflict_bound(3, 5), 0.0);
+        // 11 = 2·5 + 1 ⇒ one class of 3 and four of 2: C(3,2) + 4·C(2,2).
+        assert_eq!(clique_conflict_bound(11, 5), 7.0);
+    }
+
+    #[test]
+    fn min_fill_prefers_empty_then_smallest_classes() {
+        // Three classes sized 2, 0, 1: four extra members go 0→1→1→2
+        // (costs 0, 1, 1, 2 would be wrong — greedy: 0, 1, 1, then the two
+        // filled classes tie at 2 ... enumerate: sizes [2,0,1], add 4:
+        // min=0 (cost 0 → [2,1,1]), min=1 (cost 1 → [2,2,1]), min=1
+        // (cost 1 → [2,2,2]), min=2 (cost 2) = 4 total.
+        assert_eq!(min_fill_conflicts(&mut [2, 0, 1], 4), 4.0);
+        assert_eq!(min_fill_conflicts(&mut [0, 0, 0, 0], 4), 0.0);
+        assert_eq!(min_fill_conflicts(&mut [1, 1, 1, 1], 4), 4.0);
+        assert_eq!(min_fill_conflicts(&mut [3, 3], 0), 0.0);
     }
 
     #[test]
