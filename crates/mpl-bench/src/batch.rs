@@ -16,7 +16,9 @@
 use crate::workload::TimedLayout;
 use mpl_core::{
     json_escape, ColorAlgorithm, DecomposeError, Decomposer, DecompositionSession, Executor,
+    MemoCache, MemoStats,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-layout measurements of one batch run.
@@ -43,6 +45,11 @@ pub struct LayoutBenchStats {
     /// Seconds from batch start until this layout's last component
     /// finished coloring.
     pub color_seconds: f64,
+    /// Components stamped from the memo cache (`None` without a cache).
+    pub memo_hits: Option<usize>,
+    /// Components colored fresh into the memo cache (`None` without a
+    /// cache).
+    pub memo_misses: Option<usize>,
 }
 
 /// The result of one batch benchmark run: per-layout rows plus the batch
@@ -57,6 +64,9 @@ pub struct BatchBenchReport {
     pub executor: String,
     /// Wall-clock seconds spent draining the whole batch.
     pub batch_wall_seconds: f64,
+    /// End-of-run snapshot of the shared memo cache, when one was
+    /// attached.
+    pub memo: Option<MemoStats>,
     /// Per-layout rows, in submission order.
     pub layouts: Vec<LayoutBenchStats>,
 }
@@ -88,6 +98,10 @@ impl BatchBenchReport {
     }
 
     /// Renders the machine-readable report (schema `mpl-bench/batch-v1`).
+    ///
+    /// Memo fields (`batch.memo`, per-row `memo_hits`/`memo_misses`) are
+    /// additive and appear only when the run was memoized, so v1 consumers
+    /// keep working.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"schema\": \"mpl-bench/batch-v1\",\n");
@@ -106,6 +120,13 @@ impl BatchBenchReport {
             "    \"components\": {},\n",
             self.component_count()
         ));
+        if let Some(memo) = &self.memo {
+            out.push_str(&format!(
+                "    \"memo\": {{\"entries\": {}, \"capacity\": {}, \"hits\": {}, \
+                 \"misses\": {}, \"evictions\": {}, \"bytes\": {}}},\n",
+                memo.entries, memo.capacity, memo.hits, memo.misses, memo.evictions, memo.bytes
+            ));
+        }
         out.push_str(&format!(
             "    \"parse_seconds\": {},\n",
             self.total_parse_seconds()
@@ -137,6 +158,10 @@ impl BatchBenchReport {
             out.push_str(&format!("\"components\": {}, ", row.components));
             out.push_str(&format!("\"conflicts\": {}, ", row.conflicts));
             out.push_str(&format!("\"stitches\": {}, ", row.stitches));
+            if let (Some(hits), Some(misses)) = (row.memo_hits, row.memo_misses) {
+                out.push_str(&format!("\"memo_hits\": {hits}, "));
+                out.push_str(&format!("\"memo_misses\": {misses}, "));
+            }
             out.push_str(&format!("\"parse_seconds\": {}, ", row.parse_seconds));
             out.push_str(&format!("\"plan_seconds\": {}, ", row.plan_seconds));
             out.push_str(&format!("\"color_seconds\": {}}}", row.color_seconds));
@@ -153,6 +178,11 @@ impl BatchBenchReport {
 
 /// Runs `layouts` as one batch through `executor` and measures everything.
 ///
+/// With `memo`, the session stamps translation-identical components from
+/// the given cache instead of re-coloring them; pass a pre-warmed cache to
+/// measure warm-path throughput, a fresh one to measure cold, or `None`
+/// (the historical behaviour) to keep memoization out of the measurement.
+///
 /// # Errors
 ///
 /// Propagates the first layout's typed planning error (e.g. a degenerate
@@ -162,9 +192,13 @@ pub fn run_batch_bench(
     k: usize,
     algorithm: ColorAlgorithm,
     executor: &dyn Executor,
+    memo: Option<Arc<MemoCache>>,
 ) -> Result<BatchBenchReport, DecomposeError> {
     let decomposer = Decomposer::new(crate::table_config(k, algorithm));
     let mut session = DecompositionSession::new();
+    if let Some(cache) = &memo {
+        session = session.with_memo(Arc::clone(cache));
+    }
     for timed in layouts {
         session.submit_layout(&decomposer, &timed.layout)?;
     }
@@ -188,6 +222,8 @@ pub fn run_batch_bench(
                 parse_seconds: timed.parse_seconds,
                 plan_seconds: plan.graph_time().as_secs_f64(),
                 color_seconds: result.color_time().as_secs_f64(),
+                memo_hits: result.memo_hits(),
+                memo_misses: result.memo_misses(),
             }
         })
         .collect();
@@ -196,6 +232,7 @@ pub fn run_batch_bench(
         algorithm: algorithm.name().to_string(),
         executor: executor.name().to_string(),
         batch_wall_seconds,
+        memo: memo.map(|cache| cache.stats()),
         layouts: rows,
     })
 }
@@ -220,8 +257,8 @@ mod tests {
     #[test]
     fn batch_bench_reports_per_layout_and_aggregate_numbers() {
         let layouts = [timed("bb-a", 3), timed("bb-b", 7)];
-        let report =
-            run_batch_bench(&layouts, 4, ColorAlgorithm::Linear, &SerialExecutor).expect("valid");
+        let report = run_batch_bench(&layouts, 4, ColorAlgorithm::Linear, &SerialExecutor, None)
+            .expect("valid");
         assert_eq!(report.layouts.len(), 2);
         assert_eq!(report.k, 4);
         assert_eq!(report.algorithm, "Linear");
@@ -241,8 +278,8 @@ mod tests {
     #[test]
     fn batch_results_match_the_single_layout_flow() {
         let layouts = [timed("bb-x", 5), timed("bb-y", 9)];
-        let report =
-            run_batch_bench(&layouts, 4, ColorAlgorithm::Linear, &SerialExecutor).expect("valid");
+        let report = run_batch_bench(&layouts, 4, ColorAlgorithm::Linear, &SerialExecutor, None)
+            .expect("valid");
         for (row, timed) in report.layouts.iter().zip(&layouts) {
             let standalone = Decomposer::new(crate::table_config(4, ColorAlgorithm::Linear))
                 .decompose(&timed.layout)
@@ -255,8 +292,8 @@ mod tests {
     #[test]
     fn json_report_is_well_formed_enough_to_round_trip_key_fields() {
         let layouts = [timed("bb-json \"quoted\"", 3)];
-        let report =
-            run_batch_bench(&layouts, 4, ColorAlgorithm::Linear, &SerialExecutor).expect("valid");
+        let report = run_batch_bench(&layouts, 4, ColorAlgorithm::Linear, &SerialExecutor, None)
+            .expect("valid");
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"mpl-bench/batch-v1\""));
         assert!(json.contains("\"layouts_per_sec\""));
@@ -272,6 +309,41 @@ mod tests {
     }
 
     #[test]
+    fn memoized_batch_reports_counters_and_a_cache_snapshot() {
+        let layouts = [timed("bb-twin", 11), timed("bb-twin", 11)];
+        let cache = Arc::new(MemoCache::new(4096));
+        let report = run_batch_bench(
+            &layouts,
+            4,
+            ColorAlgorithm::Linear,
+            &SerialExecutor,
+            Some(Arc::clone(&cache)),
+        )
+        .expect("valid");
+        let memo = report.memo.expect("memoized run snapshots the cache");
+        assert!(memo.entries > 0);
+        for row in &report.layouts {
+            let hits = row.memo_hits.expect("memoized rows carry hit counts");
+            let misses = row.memo_misses.expect("memoized rows carry miss counts");
+            assert_eq!(hits + misses, row.components);
+        }
+        // The second, identical layout is stamped entirely from the first.
+        assert_eq!(
+            report.layouts[1].memo_hits,
+            Some(report.layouts[1].components)
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"memo\": {\"entries\""));
+        assert!(json.contains("\"memo_hits\""));
+
+        // An unmemoized run keeps the v1 shape: no memo fields at all.
+        let plain = run_batch_bench(&layouts, 4, ColorAlgorithm::Linear, &SerialExecutor, None)
+            .expect("valid");
+        assert!(plain.memo.is_none());
+        assert!(!plain.to_json().contains("memo"));
+    }
+
+    #[test]
     fn parse_time_is_reported_separately_from_decompose_time() {
         let tech = Technology::nm20();
         let layout = gen::fig1_contact_clique(&tech);
@@ -282,8 +354,8 @@ mod tests {
         let timed = crate::workload::load_layout_timed(&path, &[]).expect("load");
         assert!(timed.parse_seconds > 0.0);
         assert_eq!(timed.path, path);
-        let report =
-            run_batch_bench(&[timed], 4, ColorAlgorithm::Linear, &SerialExecutor).expect("valid");
+        let report = run_batch_bench(&[timed], 4, ColorAlgorithm::Linear, &SerialExecutor, None)
+            .expect("valid");
         assert_eq!(
             report.layouts[0].parse_seconds,
             report.total_parse_seconds()

@@ -8,12 +8,17 @@
 //!   expanded, max-flow augmenting paths pushed during graph division, and
 //!   scratch-buffer allocation events per component,
 //! * branch-and-bound node counts on standalone dense-clique instances
-//!   (the cases the pruned search must win on).
+//!   (the cases the pruned search must win on),
+//! * a memoization case: a deep repeated array (many exact translates of
+//!   one dense strip) decomposed without a cache, with a cold cache, and
+//!   with a warm cache, recording hit/miss/eviction counters and the
+//!   warm-vs-cold coloring diff count.
 //!
-//! The report is emitted as `BENCH_perf.json` (schema `mpl-bench/perf-v1`).
+//! The report is emitted as `BENCH_perf.json` (schema `mpl-bench/perf-v2`).
 //! Wall-clock numbers are informative only — the dev container is
 //! single-CPU and noisy — while the work counters are deterministic and are
-//! what CI pins (`--check`).
+//! what CI pins (`--check`): per-layout engine counters, plus the memo
+//! case's warm hit rate (≥ 90 %) and zero warm-vs-cold coloring diffs.
 //!
 //! Usage: `perfbench [--json FILE] [--label NAME] [--check]`
 

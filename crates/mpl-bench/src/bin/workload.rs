@@ -5,7 +5,8 @@
 //!
 //! Usage: `cargo run -p mpl-bench --release --bin workload -- \
 //!     [--k N] [--threads N] [--layer L[:D] ...] \
-//!     [--batch | --serve ADDR [--executor serial|pool]] \
+//!     [--batch [--memo | --no-memo] [--memo-capacity N] \
+//!      | --serve ADDR [--executor serial|pool]] \
 //!     [--algorithm NAME] [--bench-json PATH] FILE [FILE ...]`
 //!
 //! Table mode (the default) decomposes each file with every Table 1
@@ -13,7 +14,11 @@
 //! [`mpl_core::DecompositionSession`] and drains all component tasks
 //! through one shared executor, reporting per-layout rows plus aggregate
 //! throughput (layouts/sec, components/sec) with parse time separated from
-//! decompose time.  Serve mode (`--serve ADDR`) instead streams every file
+//! decompose time.  Batch mode can attach a translation-canonical memo
+//! cache (`--memo`, off by default so timings measure the engines) and then
+//! reports per-layout hit/miss counts plus the cache's aggregate
+//! hits/misses/evictions; `--memo-capacity` bounds the cache and requires
+//! `--memo`.  Serve mode (`--serve ADDR`) instead streams every file
 //! as a `submit` request to the decomposition service at ADDR and measures
 //! client-observed requests/sec — the socket round trips and scheduler
 //! coalescing included.  In both modes `--bench-json PATH` writes the
@@ -27,9 +32,10 @@ use mpl_bench::batch::run_batch_bench;
 use mpl_bench::serve::run_serve_bench;
 use mpl_bench::workload::{load_layout_timed, run_layout_table_on, TimedLayout};
 use mpl_bench::{executor_for_threads, table_config, threads_from_args, TABLE1_ALGORITHMS};
-use mpl_core::ColorAlgorithm;
+use mpl_core::{ColorAlgorithm, ConfigError, MemoCache};
 use mpl_serve::ExecutorChoice;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let raw_args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,7 +48,8 @@ fn main() -> ExitCode {
     };
 
     let usage = "usage: workload [--k N] [--threads N] [--layer L[:D] ...] \
-                 [--batch | --serve ADDR [--executor serial|pool]] \
+                 [--batch [--memo | --no-memo] [--memo-capacity N] \
+                 | --serve ADDR [--executor serial|pool]] \
                  [--algorithm NAME] [--bench-json PATH] FILE [FILE ...]";
     let mut k = 4usize;
     let mut layer_specs: Vec<String> = Vec::new();
@@ -52,6 +59,8 @@ fn main() -> ExitCode {
     let mut executor_choice: Option<ExecutorChoice> = None;
     let mut algorithm: Option<ColorAlgorithm> = None;
     let mut bench_json: Option<String> = None;
+    let mut memo: Option<bool> = None;
+    let mut memo_capacity: Option<usize> = None;
     let mut args = rest.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -85,6 +94,15 @@ fn main() -> ExitCode {
                 }
             },
             "--batch" => batch = true,
+            "--memo" => memo = Some(true),
+            "--no-memo" => memo = Some(false),
+            "--memo-capacity" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(value)) => memo_capacity = Some(value),
+                _ => {
+                    eprintln!("--memo-capacity requires an integer value");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--algorithm" => match args.next().as_deref().map(ColorAlgorithm::from_cli_name) {
                 Some(Ok(value)) => algorithm = Some(value),
                 Some(Err(message)) => {
@@ -134,6 +152,30 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let algorithm = algorithm.unwrap_or(ColorAlgorithm::Linear);
+    if !batch && (memo.is_some() || memo_capacity.is_some()) {
+        eprintln!("--memo/--no-memo/--memo-capacity only apply to --batch mode");
+        return ExitCode::FAILURE;
+    }
+    // Memoization is off by default here — the benchmark measures the
+    // engines unless warm-path throughput is explicitly requested — so a
+    // capacity without `--memo` is a contradiction, reported as the
+    // pipeline's typed configuration error (as is a zero-entry cache).
+    let memo = memo.unwrap_or(false);
+    if let Some(capacity) = memo_capacity {
+        if !memo {
+            eprintln!("{}", ConfigError::MemoCapacityWithoutMemo);
+            return ExitCode::FAILURE;
+        }
+        if capacity == 0 {
+            eprintln!("{}", ConfigError::MemoCapacity { capacity });
+            return ExitCode::FAILURE;
+        }
+    }
+    let memo_cache = memo.then(|| {
+        Arc::new(MemoCache::new(
+            memo_capacity.unwrap_or(MemoCache::DEFAULT_CAPACITY),
+        ))
+    });
     // Surface bad mask counts (e.g. --k 1 or --k 300) as the pipeline's
     // typed error before any file is loaded.
     if let Err(error) = table_config(k, ColorAlgorithm::Linear).validate() {
@@ -216,7 +258,7 @@ fn main() -> ExitCode {
             layouts.len(),
             executor.name()
         );
-        let report = match run_batch_bench(&layouts, k, algorithm, executor.as_ref()) {
+        let report = match run_batch_bench(&layouts, k, algorithm, executor.as_ref(), memo_cache) {
             Ok(report) => report,
             Err(error) => {
                 eprintln!("{error}");
@@ -224,13 +266,28 @@ fn main() -> ExitCode {
             }
         };
         println!("\nBatch workload (K = {k}, {})", report.algorithm);
+        let memo_columns = report.memo.is_some();
+        let memo_header = if memo_columns {
+            format!(" {:>6} {:>6}", "hits", "miss")
+        } else {
+            String::new()
+        };
         println!(
-            "{:<24} {:>8} {:>9} {:>6} {:>6} {:>9} {:>9} {:>9}",
+            "{:<24} {:>8} {:>9} {:>6} {:>6}{memo_header} {:>9} {:>9} {:>9}",
             "layout", "vertices", "comps", "cn#", "st#", "parse(s)", "plan(s)", "color(s)"
         );
         for row in &report.layouts {
+            let memo_cells = if memo_columns {
+                format!(
+                    " {:>6} {:>6}",
+                    row.memo_hits.unwrap_or(0),
+                    row.memo_misses.unwrap_or(0)
+                )
+            } else {
+                String::new()
+            };
             println!(
-                "{:<24} {:>8} {:>9} {:>6} {:>6} {:>9.3} {:>9.3} {:>9.3}",
+                "{:<24} {:>8} {:>9} {:>6} {:>6}{memo_cells} {:>9.3} {:>9.3} {:>9.3}",
                 row.name,
                 row.vertices,
                 row.components,
@@ -252,6 +309,12 @@ fn main() -> ExitCode {
             report.total_parse_seconds(),
             report.total_plan_seconds()
         );
+        if let Some(memo) = &report.memo {
+            println!(
+                "memo: {} hits, {} misses, {} evictions ({} entries, {} bytes)",
+                memo.hits, memo.misses, memo.evictions, memo.entries, memo.bytes
+            );
+        }
         if let Some(path) = bench_json {
             if let Err(error) = std::fs::write(&path, report.to_json()) {
                 eprintln!("cannot write {path}: {error}");

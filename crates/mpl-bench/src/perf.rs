@@ -12,15 +12,26 @@
 //!   cliques, overlapping cliques, dense random graphs) whose explored
 //!   node counts measure the pruning strength of the exact search
 //!   independently of any layout.
+//! * **Memo cases** — an AREF-style repeated-cluster layout decomposed
+//!   three times with the backtracking SDP engine: without a memo cache,
+//!   with a cold cache, and again with the now-warm cache shared across
+//!   sessions.  Reports the plan+color wall seconds of each run plus the
+//!   deterministic hit/miss counters and the number of vertices whose
+//!   warm coloring differs from the cold one (always zero).
 //!
 //! Wall-clock numbers vary with the machine (the dev container is
 //! single-CPU); the counters are deterministic, which is why
-//! [`PerfReport::check_ceilings`] pins ceilings on counters only.
+//! [`PerfReport::check_ceilings`] pins ceilings on counters only — for the
+//! memo cases, a warm hit rate of at least 90 % and zero coloring diffs.
 
-use mpl_core::{json_escape, ColorAlgorithm, Decomposer, DecomposerConfig, SerialExecutor};
+use mpl_core::{
+    json_escape, ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionResult,
+    DecompositionSession, MemoCache, SerialExecutor,
+};
 use mpl_geometry::Nm;
 use mpl_ilp::{solve_exact, ColoringInstance, ExactOptions};
 use mpl_layout::{gen, Layout, Technology};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Options for [`run_perf_suite`].
@@ -85,6 +96,62 @@ pub struct LayoutPerfCase {
     pub hit_time_limit: Option<bool>,
 }
 
+/// One memoization measurement: the same repeated-cluster layout planned
+/// and colored three times — memo off, cold cache, warm cache.
+#[derive(Debug, Clone)]
+pub struct MemoPerfCase {
+    /// Case name (stable across runs).
+    pub name: String,
+    /// Engine used for color assignment.
+    pub algorithm: String,
+    /// Mask count K.
+    pub k: usize,
+    /// Input shapes.
+    pub shapes: usize,
+    /// Decomposition-graph vertices.
+    pub vertices: usize,
+    /// Independent components (scheduled tasks).
+    pub components: usize,
+    /// Plan + color wall seconds without a cache.
+    pub no_memo_seconds: f64,
+    /// Plan + color wall seconds with a fresh cache.
+    pub cold_seconds: f64,
+    /// Plan + color wall seconds re-running against the warmed cache.
+    pub warm_seconds: f64,
+    /// Cold-run components stamped from the cache (in-batch duplicates).
+    pub cold_hits: usize,
+    /// Cold-run components colored by the engine.
+    pub cold_misses: usize,
+    /// Warm-run components stamped from the cache.
+    pub warm_hits: usize,
+    /// Warm-run components colored by the engine.
+    pub warm_misses: usize,
+    /// Entries resident in the shared cache after both memoized runs.
+    pub cache_entries: usize,
+    /// Evictions across both memoized runs.
+    pub cache_evictions: u64,
+    /// Vertices whose warm coloring differs from the cold coloring — the
+    /// bit-identity guarantee pins this to zero.
+    pub coloring_diffs: usize,
+}
+
+impl MemoPerfCase {
+    /// Plan+color speedup of the warm run over the uncached run.
+    pub fn warm_speedup(&self) -> f64 {
+        self.no_memo_seconds / self.warm_seconds.max(1e-12)
+    }
+
+    /// Fraction of warm-run components served from the cache.
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_hits + self.warm_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
+}
+
 /// One standalone branch-and-bound instance measurement.
 #[derive(Debug, Clone)]
 pub struct BnbPerfCase {
@@ -106,13 +173,15 @@ pub struct BnbPerfCase {
     pub seconds: f64,
 }
 
-/// The full perf report (schema `mpl-bench/perf-v1`).
+/// The full perf report (schema `mpl-bench/perf-v2`).
 #[derive(Debug, Clone)]
 pub struct PerfReport {
     /// The label the run was taken under.
     pub label: String,
     /// Layout cases, in suite order.
     pub layouts: Vec<LayoutPerfCase>,
+    /// Memoization cases, in suite order.
+    pub memo: Vec<MemoPerfCase>,
     /// Branch-and-bound cases, in suite order.
     pub bnb: Vec<BnbPerfCase>,
 }
@@ -212,6 +281,86 @@ fn layout_cases() -> Vec<(Layout, Vec<ColorAlgorithm>, Duration)> {
     ]
 }
 
+/// Plans and colors `layout` in one session, optionally memoized, and
+/// returns the plan+color wall seconds with the result.
+fn timed_session_run(
+    layout: &Layout,
+    algorithm: ColorAlgorithm,
+    memo: Option<Arc<MemoCache>>,
+) -> Result<(f64, DecompositionResult), String> {
+    let config = DecomposerConfig::quadruple(Technology::nm20()).with_algorithm(algorithm);
+    let decomposer = Decomposer::new(config);
+    let mut session = DecompositionSession::new();
+    if let Some(cache) = memo {
+        session = session.with_memo(cache);
+    }
+    let start = Instant::now();
+    session
+        .submit_layout(&decomposer, layout)
+        .map_err(|error| format!("{}: {error}", layout.name()))?;
+    let results = session.run(&SerialExecutor);
+    let seconds = start.elapsed().as_secs_f64();
+    let (_, result) = results.into_iter().next().expect("one layout submitted");
+    Ok((seconds, result))
+}
+
+/// The memoization cases: a deep-AREF repeated-cluster layout where every
+/// cluster is a translated copy of the same dense strip, run with the
+/// backtracking SDP engine (the expensive path memoization should save).
+fn run_memo_cases() -> Result<Vec<MemoPerfCase>, String> {
+    let tech = Technology::nm20();
+    // 16×16 = 256 identical clusters of 15 vertices each, stepped 200 nm
+    // apart — far beyond nm20's 100 nm friendly distance, so each cluster
+    // is one independent component.
+    let layout = gen::repeated_strip_array(&tech, 16, 16, 8, Nm(200));
+    let algorithm = ColorAlgorithm::SdpBacktrack;
+
+    let (no_memo_seconds, _) = timed_session_run(&layout, algorithm, None)?;
+    let cache = Arc::new(MemoCache::new(MemoCache::DEFAULT_CAPACITY));
+    let (cold_seconds, cold) = timed_session_run(&layout, algorithm, Some(Arc::clone(&cache)))?;
+    // A new session against the same cache: everything the cold run
+    // learned is stamped back, nothing is re-colored.
+    let (warm_seconds, warm) = timed_session_run(&layout, algorithm, Some(Arc::clone(&cache)))?;
+    let coloring_diffs = cold
+        .colors()
+        .iter()
+        .zip(warm.colors())
+        .filter(|(a, b)| a != b)
+        .count();
+    let stats = cache.stats();
+    let case = MemoPerfCase {
+        name: layout.name().to_string(),
+        algorithm: warm.algorithm().to_string(),
+        k: warm.k(),
+        shapes: layout.shape_count(),
+        vertices: warm.vertex_count(),
+        components: warm.component_count(),
+        no_memo_seconds,
+        cold_seconds,
+        warm_seconds,
+        cold_hits: cold.memo_hits().unwrap_or(0),
+        cold_misses: cold.memo_misses().unwrap_or(0),
+        warm_hits: warm.memo_hits().unwrap_or(0),
+        warm_misses: warm.memo_misses().unwrap_or(0),
+        cache_entries: stats.entries,
+        cache_evictions: stats.evictions,
+        coloring_diffs,
+    };
+    eprintln!(
+        "  memo {:<15} {:<14} comps={:<4} no-memo={:.3}s cold={:.3}s warm={:.3}s ({:.1}x, {:.0}% warm hits, {} diffs)",
+        case.name,
+        case.algorithm,
+        case.components,
+        case.no_memo_seconds,
+        case.cold_seconds,
+        case.warm_seconds,
+        case.warm_speedup(),
+        case.warm_hit_rate() * 100.0,
+        case.coloring_diffs,
+    );
+    Ok(vec![case])
+}
+
 /// Runs the whole suite.
 ///
 /// # Errors
@@ -274,6 +423,8 @@ pub fn run_perf_suite(options: &PerfOptions) -> Result<PerfReport, String> {
         }
     }
 
+    let memo = run_memo_cases()?;
+
     let mut bnb = Vec::new();
     for (name, instance) in bnb_instances() {
         let start = Instant::now();
@@ -303,6 +454,7 @@ pub fn run_perf_suite(options: &PerfOptions) -> Result<PerfReport, String> {
     Ok(PerfReport {
         label: options.label.clone(),
         layouts,
+        memo,
         bnb,
     })
 }
@@ -320,10 +472,11 @@ fn json_opt_bool(value: Option<bool>) -> String {
 }
 
 impl PerfReport {
-    /// Renders the machine-readable report (schema `mpl-bench/perf-v1`).
+    /// Renders the machine-readable report (schema `mpl-bench/perf-v2`;
+    /// v2 added the `memo_cases` array to v1).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"mpl-bench/perf-v1\",\n");
+        out.push_str("  \"schema\": \"mpl-bench/perf-v2\",\n");
         out.push_str(&format!("  \"label\": \"{}\",\n", json_escape(&self.label)));
         out.push_str("  \"layouts\": [\n");
         for (index, case) in self.layouts.iter().enumerate() {
@@ -367,6 +520,36 @@ impl PerfReport {
                 json_opt_bool(case.hit_time_limit)
             ));
             out.push_str(if index + 1 < self.layouts.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"memo_cases\": [\n");
+        for (index, case) in self.memo.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\", ", json_escape(&case.name)));
+            out.push_str(&format!(
+                "\"algorithm\": \"{}\", ",
+                json_escape(&case.algorithm)
+            ));
+            out.push_str(&format!("\"k\": {}, ", case.k));
+            out.push_str(&format!("\"shapes\": {}, ", case.shapes));
+            out.push_str(&format!("\"vertices\": {}, ", case.vertices));
+            out.push_str(&format!("\"components\": {}, ", case.components));
+            out.push_str(&format!("\"no_memo_seconds\": {}, ", case.no_memo_seconds));
+            out.push_str(&format!("\"cold_seconds\": {}, ", case.cold_seconds));
+            out.push_str(&format!("\"warm_seconds\": {}, ", case.warm_seconds));
+            out.push_str(&format!("\"warm_speedup\": {}, ", case.warm_speedup()));
+            out.push_str(&format!("\"cold_hits\": {}, ", case.cold_hits));
+            out.push_str(&format!("\"cold_misses\": {}, ", case.cold_misses));
+            out.push_str(&format!("\"warm_hits\": {}, ", case.warm_hits));
+            out.push_str(&format!("\"warm_misses\": {}, ", case.warm_misses));
+            out.push_str(&format!("\"cache_entries\": {}, ", case.cache_entries));
+            out.push_str(&format!("\"cache_evictions\": {}, ", case.cache_evictions));
+            out.push_str(&format!("\"coloring_diffs\": {}}}", case.coloring_diffs));
+            out.push_str(if index + 1 < self.memo.len() {
                 ",\n"
             } else {
                 "\n"
@@ -480,6 +663,33 @@ impl PerfReport {
                 }
             }
         }
+        for case in &self.memo {
+            // The memoized acceptance bar: on the repeated-array case a
+            // warm cache must serve ≥ 90 % of the components and reproduce
+            // the cold coloring bit for bit.  Counters only — the wall
+            // seconds (and the ≥ 5× warm speedup recorded in the report)
+            // are informative, not asserted, because CI machines vary.
+            let total = case.warm_hits + case.warm_misses;
+            if total != case.components {
+                violations.push(format!(
+                    "memo case {}: warm counters cover {total} of {} components",
+                    case.name, case.components
+                ));
+            }
+            if case.warm_hit_rate() < 0.9 {
+                violations.push(format!(
+                    "memo case {}: warm hit rate {:.1}% is below the pinned 90% floor",
+                    case.name,
+                    case.warm_hit_rate() * 100.0
+                ));
+            }
+            if case.coloring_diffs != 0 {
+                violations.push(format!(
+                    "memo case {}: {} vertices differ between warm and cold colorings",
+                    case.name, case.coloring_diffs
+                ));
+            }
+        }
         if violations.is_empty() {
             Ok(())
         } else {
@@ -508,10 +718,63 @@ mod tests {
         let report = PerfReport {
             label: "test".to_string(),
             layouts: Vec::new(),
+            memo: Vec::new(),
             bnb: Vec::new(),
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"mpl-bench/perf-v1\""));
+        assert!(json.contains("\"schema\": \"mpl-bench/perf-v2\""));
         assert!(json.contains("\"label\": \"test\""));
+        assert!(json.contains("\"memo_cases\""));
+    }
+
+    #[test]
+    fn memo_ceilings_catch_low_hit_rates_and_coloring_diffs() {
+        let case = MemoPerfCase {
+            name: "aref-test".to_string(),
+            algorithm: "SDP+backtrack".to_string(),
+            k: 4,
+            shapes: 100,
+            vertices: 100,
+            components: 10,
+            no_memo_seconds: 1.0,
+            cold_seconds: 0.2,
+            warm_seconds: 0.1,
+            cold_hits: 9,
+            cold_misses: 1,
+            warm_hits: 10,
+            warm_misses: 0,
+            cache_entries: 1,
+            cache_evictions: 0,
+            coloring_diffs: 0,
+        };
+        let mut report = PerfReport {
+            label: "test".to_string(),
+            layouts: Vec::new(),
+            memo: vec![case.clone()],
+            bnb: Vec::new(),
+        };
+        assert!(report.check_ceilings().is_ok());
+        assert!((report.memo[0].warm_speedup() - 10.0).abs() < 1e-9);
+        assert!((report.memo[0].warm_hit_rate() - 1.0).abs() < 1e-9);
+
+        report.memo[0].warm_hits = 5;
+        report.memo[0].warm_misses = 5;
+        let violations = report.check_ceilings().expect_err("50% hit rate fails");
+        assert!(
+            violations.iter().any(|v| v.contains("90% floor")),
+            "{violations:?}"
+        );
+
+        report.memo[0] = MemoPerfCase {
+            coloring_diffs: 3,
+            ..case
+        };
+        let violations = report.check_ceilings().expect_err("diffs fail");
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("differ between warm and cold")),
+            "{violations:?}"
+        );
     }
 }

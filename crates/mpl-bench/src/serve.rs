@@ -240,11 +240,19 @@ mod tests {
         assert!(report.requests_per_sec() > 0.0);
         assert!(report.components_per_sec() >= report.requests_per_sec());
 
-        // The served numbers agree with the in-process batch flow.
+        // The served numbers agree with the in-process batch flow.  The
+        // server colors with a shared memo cache, and memoized colorings
+        // are a pure function of each component's canonical signature, so
+        // a fresh local cache reproduces the served numbers.
         for (row, timed) in report.requests.iter().zip(&layouts) {
-            let direct = mpl_core::Decomposer::new(crate::table_config(4, ColorAlgorithm::Linear))
-                .decompose(&timed.layout)
+            let decomposer =
+                mpl_core::Decomposer::new(crate::table_config(4, ColorAlgorithm::Linear));
+            let mut session = mpl_core::DecompositionSession::new()
+                .with_memo(std::sync::Arc::new(mpl_core::MemoCache::new(1024)));
+            session
+                .submit_layout(&decomposer, &timed.layout)
                 .expect("valid config");
+            let direct = &session.run(&mpl_core::SerialExecutor)[0].1;
             assert_eq!(row.conflicts, direct.conflicts());
             assert_eq!(row.stitches, direct.stitches());
             assert_eq!(row.vertices, direct.vertex_count());

@@ -159,6 +159,32 @@ impl DecompositionResult {
             .collect()
     }
 
+    /// Number of components whose colors were stamped from the memo cache
+    /// (a cache hit or an in-batch duplicate), or `None` when the run had
+    /// no cache attached.
+    pub fn memo_hits(&self) -> Option<usize> {
+        self.memo_count(true)
+    }
+
+    /// Number of components the engine actually colored under an attached
+    /// memo cache, or `None` when the run had no cache attached.
+    pub fn memo_misses(&self) -> Option<usize> {
+        self.memo_count(false)
+    }
+
+    fn memo_count(&self, hit: bool) -> Option<usize> {
+        if self.components.iter().any(|s| s.memo_hit.is_some()) {
+            Some(
+                self.components
+                    .iter()
+                    .filter(|s| s.memo_hit == Some(hit))
+                    .count(),
+            )
+        } else {
+            None
+        }
+    }
+
     /// Time spent constructing the decomposition graph.
     pub fn graph_time(&self) -> Duration {
         self.graph_time

@@ -27,6 +27,13 @@ pub enum ConfigError {
     },
     /// A thread-pool executor was asked for zero worker threads.
     ThreadCount,
+    /// A memo cache was asked for a zero-entry capacity.
+    MemoCapacity {
+        /// The rejected capacity.
+        capacity: usize,
+    },
+    /// A memo capacity was given while memoization is disabled.
+    MemoCapacityWithoutMemo,
 }
 
 impl fmt::Display for ConfigError {
@@ -47,6 +54,12 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::ThreadCount => {
                 write!(f, "a thread-pool executor needs at least one worker thread")
+            }
+            ConfigError::MemoCapacity { capacity } => {
+                write!(f, "memo capacity must be at least 1 entry, got {capacity}")
+            }
+            ConfigError::MemoCapacityWithoutMemo => {
+                write!(f, "--memo-capacity requires memoization to be enabled")
             }
         }
     }

@@ -312,6 +312,7 @@ mod tests {
                 augmenting_paths: 0,
                 augmenting_path_bound: 0,
                 scratch_allocs: 0,
+                memo_hit: None,
             },
         }
     }

@@ -116,6 +116,7 @@ mod decomposer;
 pub mod division;
 mod error;
 mod executor;
+mod memo;
 mod pipeline;
 mod report;
 mod session;
@@ -134,6 +135,8 @@ pub use executor::LayoutExecutor;
 pub use executor::{
     BatchAdapter, BatchWork, Executor, SerialExecutor, TaskWork, ThreadPoolExecutor,
 };
+pub use memo::component_signatures;
+pub use mpl_memo::{MemoCache, MemoStats, Signature};
 pub use pipeline::{
     ComponentOutcome, ComponentStats, ComponentTask, DecompositionObserver, DecompositionPlan,
     NoopObserver, ProgressObserver, ProgressSink,

@@ -99,6 +99,13 @@ pub struct ComponentStats {
     /// Scratch-buffer growth events while coloring (≈ heap allocations on
     /// the hot path; 0 once a worker's buffers are warm).
     pub scratch_allocs: u64,
+    /// Whether the component's colors came from the memo cache instead of
+    /// an engine run: `None` when no cache was attached, `Some(true)` when
+    /// the coloring was stamped from a cached (or batch-deduplicated)
+    /// canonical coloring, `Some(false)` when this component was colored by
+    /// the engine (a cache miss).  Memoized components report zero engine
+    /// work counters and `time == Duration::ZERO`.
+    pub memo_hit: Option<bool>,
 }
 
 /// The colored outcome of one [`ComponentTask`], produced by the per-task
@@ -380,7 +387,7 @@ impl DecompositionPlan {
         observer: &dyn DecompositionObserver,
     ) -> DecompositionResult {
         let entries = [(LayoutId::new(0), self)];
-        let mut results = execute_batch(&entries, executor, observer);
+        let mut results = execute_batch(&entries, executor, observer, None);
         results
             .pop()
             .expect("a one-plan batch produces exactly one result")

@@ -16,15 +16,19 @@
 //! degenerate one-plan batch and shares this module's engine.
 
 use crate::assign::assigner_for;
+use crate::memo::{canonical_problem, canonicalize_task, config_fingerprint};
 use crate::pipeline::{
     ComponentOutcome, ComponentStats, ComponentTask, DecompositionObserver, DecompositionPlan,
     NoopObserver,
 };
-use crate::{coloring_cost, DecomposeError, Decomposer, DecompositionResult, Executor};
+use crate::{
+    coloring_cost, ComponentProblem, DecomposeError, Decomposer, DecompositionResult, Executor,
+};
 use mpl_layout::Layout;
+use mpl_memo::{MemoCache, Signature};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Identifies one layout within a [`DecompositionSession`] batch.
@@ -138,12 +142,50 @@ pub struct DecompositionSession {
     /// that reuses one session batch after batch never sees two layouts
     /// share a [`LayoutId`].
     base: usize,
+    /// The translation-canonical memo cache consulted before any component
+    /// task reaches the executor; `None` (the default) disables
+    /// memoization.  Shared caches outlive batches and sessions.
+    memo: Option<Arc<MemoCache>>,
 }
 
 impl DecompositionSession {
     /// Creates an empty session.
     pub fn new() -> Self {
         DecompositionSession::default()
+    }
+
+    /// Attaches a translation-canonical memo cache (builder form of
+    /// [`set_memo`](DecompositionSession::set_memo)).
+    pub fn with_memo(mut self, cache: Arc<MemoCache>) -> Self {
+        self.memo = Some(cache);
+        self
+    }
+
+    /// Attaches (or, with `None`, detaches) a memo cache.
+    ///
+    /// With a cache attached, every component is canonicalized before it is
+    /// scheduled: cache hits — and repeats of a component already scheduled
+    /// in the same batch — bypass the executor entirely and are stamped
+    /// from the stored canonical coloring at collection time.  Cache misses
+    /// color the **canonical** form of the component, so the colors a
+    /// component receives are a pure function of its signature: identical
+    /// for every translated copy, every executor, every batch shape, and
+    /// every cache state (warm results are bit-identical to cold ones).
+    /// They may, however, differ from the colors the same plan produces
+    /// *without* a cache, where the engine sees the live vertex order.
+    ///
+    /// Caches are shared by cloning the [`Arc`]: a service attaches one
+    /// cache to every session so repeated submissions of the same cell
+    /// library get faster over time.  Per-component provenance is reported
+    /// in [`ComponentStats::memo_hit`] and summarised by
+    /// [`DecompositionResult::memo_hits`](crate::DecompositionResult::memo_hits).
+    pub fn set_memo(&mut self, cache: Option<Arc<MemoCache>>) {
+        self.memo = cache;
+    }
+
+    /// The attached memo cache, if any.
+    pub fn memo(&self) -> Option<&Arc<MemoCache>> {
+        self.memo.as_ref()
     }
 
     /// Enqueues an already-built plan, returning the id its tasks and
@@ -263,7 +305,50 @@ impl DecompositionSession {
         observer: &dyn DecompositionObserver,
     ) -> Vec<(LayoutId, DecompositionResult)> {
         let entries: Vec<(LayoutId, &DecompositionPlan)> = self.plans().collect();
-        execute_batch(&entries, executor, observer)
+        execute_batch(&entries, executor, observer, self.memo.as_deref())
+    }
+}
+
+/// How one component task of a memoized batch gets its colors.
+enum Disposition {
+    /// The cache already held the signature: live colors stamped from the
+    /// stored canonical coloring, ready at collection time.
+    Hit { colors: Vec<u8> },
+    /// First occurrence of this signature: the executor colors the
+    /// canonical problem; the collection step stores the result.
+    Lead {
+        problem: Box<ComponentProblem>,
+        perm: Vec<usize>,
+        signature: Signature,
+    },
+    /// An earlier task of this batch leads the same signature; stamped from
+    /// the lead's canonical coloring at collection time.
+    Follow {
+        leader: (usize, usize),
+        perm: Vec<usize>,
+    },
+}
+
+/// Statistics for a component whose colors were stamped rather than
+/// computed: real size and quality numbers, zero engine work.
+fn stamped_stats(task: &ComponentTask, colors: &[u8]) -> ComponentStats {
+    let (conflicts, stitches, cost) = task.problem().evaluate(colors);
+    ComponentStats {
+        index: task.index(),
+        vertex_count: task.problem().vertex_count(),
+        conflict_edge_count: task.problem().conflict_edges().len(),
+        stitch_edge_count: task.problem().stitch_edges().len(),
+        conflicts,
+        stitches,
+        cost,
+        time: Duration::ZERO,
+        division_time: Duration::ZERO,
+        bnb_nodes: 0,
+        hit_time_limit: false,
+        augmenting_paths: 0,
+        augmenting_path_bound: 0,
+        scratch_allocs: 0,
+        memo_hit: Some(true),
     }
 }
 
@@ -277,6 +362,7 @@ pub(crate) fn execute_batch(
     entries: &[(LayoutId, &DecompositionPlan)],
     executor: &dyn Executor,
     observer: &dyn DecompositionObserver,
+    memo: Option<&MemoCache>,
 ) -> Vec<(LayoutId, DecompositionResult)> {
     let batch_start = Instant::now();
     let mut slots: HashMap<LayoutId, usize> = HashMap::with_capacity(entries.len());
@@ -292,15 +378,62 @@ pub(crate) fn execute_batch(
         observer.execution_started(id, plan);
     }
 
+    // Memo prepass: canonicalize every task and consult the cache *before*
+    // anything is enqueued.  The (slot, task) iteration order is fixed, so
+    // lead/follow choices — and therefore the whole run — do not depend on
+    // the executor's schedule.
+    let mut dispositions: Option<Vec<Vec<Disposition>>> = memo.map(|cache| {
+        let mut leads: HashMap<Signature, (usize, usize)> = HashMap::new();
+        entries
+            .iter()
+            .enumerate()
+            .map(|(slot, &(_, plan))| {
+                let fingerprint = config_fingerprint(plan.config());
+                plan.tasks()
+                    .iter()
+                    .map(|task| {
+                        let canonical = canonicalize_task(plan, task, &fingerprint);
+                        if let Some(stored) = cache.lookup(&canonical.signature) {
+                            Disposition::Hit {
+                                colors: mpl_memo::stamp(&stored, &canonical.perm),
+                            }
+                        } else if let Some(&leader) = leads.get(&canonical.signature) {
+                            Disposition::Follow {
+                                leader,
+                                perm: canonical.perm,
+                            }
+                        } else {
+                            leads.insert(canonical.signature.clone(), (slot, task.index()));
+                            Disposition::Lead {
+                                problem: Box::new(canonical_problem(&canonical.signature)),
+                                perm: canonical.perm,
+                                signature: canonical.signature,
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+
     // The shared global queue: every task of every plan, largest first.
     // Ties keep (submission, task) order so the schedule is deterministic;
-    // the outcomes are schedule-independent anyway.
+    // the outcomes are schedule-independent anyway.  With a memo attached,
+    // only lead tasks reach the executor: hits and followers are stamped at
+    // collection time.
     let mut batch: Vec<BatchTask<'_>> = entries
         .iter()
         .flat_map(|&(id, plan)| {
             plan.tasks()
                 .iter()
                 .map(move |task| BatchTask::new(id, task))
+        })
+        .filter(|tagged| match &dispositions {
+            None => true,
+            Some(dispositions) => matches!(
+                dispositions[slots[&tagged.layout()]][tagged.task().index()],
+                Disposition::Lead { .. }
+            ),
         })
         .collect();
     batch.sort_by_key(|tagged| {
@@ -328,9 +461,31 @@ pub(crate) fn execute_batch(
         let task = tagged.task();
         observer.component_started(tagged.layout(), task);
         let task_start = Instant::now();
-        let (colors, metrics) = plan
-            .decomposer()
-            .color_problem_metered(task.problem(), assigners[slot].as_ref());
+        // With a memo attached the engine colors the canonical problem (so
+        // the stored coloring is a pure function of the signature) and the
+        // result is stamped back through the permutation; without one it
+        // colors the live problem directly.
+        let (colors, metrics, memo_hit) = match &dispositions {
+            None => {
+                let (colors, metrics) = plan
+                    .decomposer()
+                    .color_problem_metered(task.problem(), assigners[slot].as_ref());
+                (colors, metrics, None)
+            }
+            Some(dispositions) => match &dispositions[slot][task.index()] {
+                Disposition::Lead { problem, perm, .. } => {
+                    let (canonical_colors, metrics) = plan
+                        .decomposer()
+                        .color_problem_metered(problem, assigners[slot].as_ref());
+                    (
+                        mpl_memo::stamp(&canonical_colors, perm),
+                        metrics,
+                        Some(false),
+                    )
+                }
+                _ => unreachable!("only lead tasks enter the executor batch"),
+            },
+        };
         let (conflicts, stitches, cost) = task.problem().evaluate(&colors);
         let stats = ComponentStats {
             index: task.index(),
@@ -347,6 +502,7 @@ pub(crate) fn execute_batch(
             augmenting_paths: metrics.augmenting_paths,
             augmenting_path_bound: metrics.augmenting_path_bound,
             scratch_allocs: metrics.scratch_allocs,
+            memo_hit,
         };
         observer.component_finished(tagged.layout(), task, &stats);
         // Keep the latest completion per layout.  The instant is taken
@@ -388,12 +544,74 @@ pub(crate) fn execute_batch(
         );
         per_layout[slots[&tagged.layout()]].push((tagged.task().index(), outcome));
     }
+    for outcomes in &mut per_layout {
+        outcomes.sort_by_key(|(index, _)| *index);
+    }
+
+    // Memo collection, step 1: store every lead's canonical coloring.  The
+    // insertion order is (slot, task) order — deterministic whatever the
+    // executor did — and followers always sit after their lead in that
+    // order, so step 2 below finds every canonical coloring it needs.
+    let mut lead_canonical: HashMap<(usize, usize), Arc<Vec<u8>>> = HashMap::new();
+    if let Some(dispositions) = &mut dispositions {
+        let cache = memo.expect("dispositions imply an attached cache");
+        for (slot, outcomes) in per_layout.iter().enumerate() {
+            for (index, outcome) in outcomes {
+                match &mut dispositions[slot][*index] {
+                    Disposition::Lead {
+                        perm, signature, ..
+                    } => {
+                        let canonical = mpl_memo::unstamp(&outcome.colors, perm);
+                        cache.insert(signature.clone(), canonical.clone());
+                        lead_canonical.insert((slot, *index), Arc::new(canonical));
+                    }
+                    _ => unreachable!("only lead tasks have executor outcomes"),
+                }
+            }
+        }
+    }
 
     let finished_at = finished_at.into_inner().expect("no panics while timing");
     let mut results = Vec::with_capacity(entries.len());
     for (slot, &(id, plan)) in entries.iter().enumerate() {
-        let mut outcomes = std::mem::take(&mut per_layout[slot]);
-        outcomes.sort_by_key(|(index, _)| *index);
+        let executor_outcomes = std::mem::take(&mut per_layout[slot]);
+        // Memo collection, step 2: interleave the executor's lead outcomes
+        // with stamped hit/follower outcomes, in task order, firing the
+        // per-component observer events the executor never saw.
+        let outcomes: Vec<(usize, ComponentOutcome)> = match &mut dispositions {
+            None => executor_outcomes,
+            Some(dispositions) => {
+                let mut merged = Vec::with_capacity(plan.tasks().len());
+                let mut from_executor = executor_outcomes.into_iter();
+                for task in plan.tasks() {
+                    match &mut dispositions[slot][task.index()] {
+                        Disposition::Lead { .. } => {
+                            let (index, outcome) = from_executor.next().unwrap_or_else(|| {
+                                panic!("executor {:?} dropped tasks of {id}", executor.name())
+                            });
+                            assert_eq!(index, task.index());
+                            merged.push((index, outcome));
+                        }
+                        Disposition::Hit { colors } => {
+                            let colors = std::mem::take(colors);
+                            observer.component_started(id, task);
+                            let stats = stamped_stats(task, &colors);
+                            observer.component_finished(id, task, &stats);
+                            merged.push((task.index(), ComponentOutcome { colors, stats }));
+                        }
+                        Disposition::Follow { leader, perm } => {
+                            let canonical = lead_canonical[leader].clone();
+                            let colors = mpl_memo::stamp(&canonical, perm);
+                            observer.component_started(id, task);
+                            let stats = stamped_stats(task, &colors);
+                            observer.component_finished(id, task, &stats);
+                            merged.push((task.index(), ComponentOutcome { colors, stats }));
+                        }
+                    }
+                }
+                merged
+            }
+        };
         assert_eq!(
             outcomes.len(),
             plan.tasks().len(),
@@ -733,5 +951,130 @@ mod tests {
         let first = session.run(&SerialExecutor);
         let second = session.run(&ThreadPoolExecutor::new(3).expect("threads"));
         assert_eq!(first[0].1.colors(), second[0].1.colors());
+    }
+
+    #[test]
+    fn warm_memo_runs_are_bit_identical_to_cold_runs_for_every_engine() {
+        for algorithm in ColorAlgorithm::ALL {
+            let decomposer = decomposer(algorithm);
+            let mut session = DecompositionSession::new();
+            session
+                .submit_layout(&decomposer, &row_layout("memo", 9))
+                .expect("valid config");
+            let cache = Arc::new(MemoCache::new(1024));
+            session.set_memo(Some(cache.clone()));
+            assert!(session.memo().is_some());
+            let tasks = session.task_count();
+
+            let cold = session.run(&SerialExecutor);
+            let warm = session.run(&ThreadPoolExecutor::new(3).expect("threads"));
+            assert_eq!(cold[0].1.colors(), warm[0].1.colors(), "{algorithm}");
+            assert_eq!(cold[0].1.conflicts(), warm[0].1.conflicts());
+            assert_eq!(cold[0].1.stitches(), warm[0].1.stitches());
+
+            // Cold: every component is a lead or an in-batch follower; warm:
+            // every component is a cache hit.
+            let cold_hits = cold[0].1.memo_hits().expect("memo attached");
+            let cold_misses = cold[0].1.memo_misses().expect("memo attached");
+            assert_eq!(cold_hits + cold_misses, tasks, "{algorithm}");
+            assert!(cold_misses > 0, "{algorithm}");
+            assert_eq!(warm[0].1.memo_hits(), Some(tasks), "{algorithm}");
+            assert_eq!(warm[0].1.memo_misses(), Some(0), "{algorithm}");
+
+            // Warm components report stamped stats: zero engine time.
+            assert!(warm[0]
+                .1
+                .component_stats()
+                .iter()
+                .all(|s| s.memo_hit == Some(true) && s.time == Duration::ZERO));
+            let stats = cache.stats();
+            assert_eq!(stats.hits, tasks as u64, "{algorithm}");
+            assert!(stats.entries <= tasks);
+            assert!(stats.bytes > 0);
+        }
+    }
+
+    #[test]
+    fn sessions_without_a_memo_report_no_memo_counters() {
+        let decomposer = decomposer(ColorAlgorithm::Linear);
+        let mut session = DecompositionSession::new();
+        session
+            .submit_layout(&decomposer, &row_layout("plain", 3))
+            .expect("valid config");
+        let results = session.run(&SerialExecutor);
+        assert_eq!(results[0].1.memo_hits(), None);
+        assert_eq!(results[0].1.memo_misses(), None);
+        assert!(results[0]
+            .1
+            .component_stats()
+            .iter()
+            .all(|s| s.memo_hit.is_none()));
+    }
+
+    #[test]
+    fn translated_duplicate_layouts_are_stamped_from_in_batch_leads() {
+        let decomposer = decomposer(ColorAlgorithm::Linear);
+        let layout = row_layout("orig", 5);
+        let mut builder = Layout::builder("moved");
+        for shape in layout.shapes() {
+            builder.add_polygon(
+                shape
+                    .polygon()
+                    .translated(mpl_geometry::Nm(50_000), mpl_geometry::Nm(-70_000)),
+            );
+        }
+        let translated = builder.build();
+
+        let mut session = DecompositionSession::new().with_memo(Arc::new(MemoCache::new(1024)));
+        session
+            .submit_layout(&decomposer, &layout)
+            .expect("valid config");
+        session
+            .submit_layout(&decomposer, &translated)
+            .expect("valid config");
+        let observer = CountingObserver::default();
+        let results = session.run_observed(&SerialExecutor, &observer);
+
+        // Every component of the translated copy shares a signature with a
+        // layout-0 lead, so the whole second layout is stamped — and the
+        // stamped coloring is the lead's coloring, carried by translation.
+        let translated_result = &results[1].1;
+        assert_eq!(
+            translated_result.memo_hits(),
+            Some(translated_result.component_count())
+        );
+        assert_eq!(results[0].1.colors(), translated_result.colors());
+        assert_eq!(results[0].1.conflicts(), translated_result.conflicts());
+
+        // Stamped components still fire per-component observer events.
+        let tasks = session.task_count();
+        assert_eq!(observer.components_started.load(Ordering::Relaxed), tasks);
+        assert_eq!(observer.components_finished.load(Ordering::Relaxed), tasks);
+    }
+
+    #[test]
+    fn memo_progress_still_ticks_every_component_in_order() {
+        let decomposer = decomposer(ColorAlgorithm::Linear);
+        let mut session = DecompositionSession::new();
+        session
+            .submit_layout(&decomposer, &row_layout("memo-prog", 3))
+            .expect("valid config");
+        session.set_memo(Some(Arc::new(MemoCache::new(1024))));
+        session.run(&SerialExecutor); // warm the cache
+
+        let sink = RecordingSink::default();
+        let observer = crate::ProgressObserver::new(&sink);
+        session.run_observed(&ThreadPoolExecutor::new(4).expect("threads"), &observer);
+        let events = sink.events.into_inner().unwrap();
+        let total = session.task_count();
+        let ticks: Vec<&str> = events
+            .iter()
+            .map(|(_, event)| event.as_str())
+            .filter(|event| !event.starts_with("started") && !event.starts_with("finished"))
+            .collect();
+        assert_eq!(ticks.len(), total);
+        for (tick, event) in ticks.iter().enumerate() {
+            assert_eq!(*event, format!("{}/{total}", tick + 1));
+        }
     }
 }

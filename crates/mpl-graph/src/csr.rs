@@ -147,9 +147,9 @@ mod tests {
             reference[v].push(u);
         }
         let csr = Csr::from_edges(n, &edges);
-        for v in 0..n {
-            assert_eq!(csr.neighbors(v), reference[v].as_slice(), "vertex {v}");
-            assert_eq!(csr.degree(v), reference[v].len());
+        for (v, expected) in reference.iter().enumerate() {
+            assert_eq!(csr.neighbors(v), expected.as_slice(), "vertex {v}");
+            assert_eq!(csr.degree(v), expected.len());
         }
     }
 

@@ -24,6 +24,6 @@ mod rows;
 pub use iscas::IscasCircuit;
 pub use patterns::{
     contact_array, dense_parallel_lines, dense_strip, dense_strip_layout, fig1_contact_clique,
-    k5_cluster, k5_cluster_layout,
+    k5_cluster, k5_cluster_layout, repeated_strip_array,
 };
 pub use rows::{generate_row_layout, RowLayoutConfig};

@@ -123,6 +123,48 @@ pub fn contact_array(tech: &Technology, rows: usize, cols: usize, pitch: Nm) -> 
     b.build()
 }
 
+/// An AREF-style repeated pattern: a `arrays_x × arrays_y` grid of
+/// identical dense-strip clusters, stepped `gap` apart in both axes.
+///
+/// This is the shape of array references (AREF) in real GDSII layouts: one
+/// dense cell stamped out hundreds of times at a regular step.  With `gap`
+/// larger than the technology's friendly distance every cluster becomes
+/// its own independent component, and all the components are exact
+/// translates of each other — the best case for translation-canonical
+/// memoization (one engine solve, `arrays_x · arrays_y − 1` stamps) and
+/// the worst case for a decomposer that re-colors every copy.
+///
+/// # Panics
+///
+/// Panics if either array dimension is zero, `strip_length < 3`, or `gap`
+/// is not strictly positive.
+pub fn repeated_strip_array(
+    tech: &Technology,
+    arrays_x: usize,
+    arrays_y: usize,
+    strip_length: usize,
+    gap: Nm,
+) -> Layout {
+    assert!(
+        arrays_x > 0 && arrays_y > 0,
+        "the array needs at least one cluster"
+    );
+    assert!(gap > Nm::ZERO, "the cluster gap must be positive");
+    let mut b = Layout::builder(format!("aref-strip-{arrays_x}x{arrays_y}"));
+    let p = tech.pitch();
+    // One cluster's bounding box; the step adds `gap` of clear space
+    // between neighbouring boxes.
+    let width = p * (strip_length as i64 - 1) + tech.min_width();
+    let height = p + tech.min_width();
+    for j in 0..arrays_y {
+        for i in 0..arrays_x {
+            let origin = Point::new((width + gap) * i as i64, (height + gap) * j as i64);
+            dense_strip(&mut b, tech, origin, strip_length);
+        }
+    }
+    b.build()
+}
+
 /// `count` dense parallel vertical lines at minimum width and spacing — the
 /// one-dimensional regular pattern of Fig. 7.
 ///
@@ -269,5 +311,37 @@ mod tests {
     #[should_panic(expected = "pitch must be positive")]
     fn contact_array_rejects_zero_pitch() {
         let _ = contact_array(&Technology::nm20(), 1, 1, Nm(0));
+    }
+
+    #[test]
+    fn repeated_strip_array_is_a_grid_of_exact_translates() {
+        let tech = Technology::nm20();
+        let layout = repeated_strip_array(&tech, 3, 2, 4, Nm(200));
+        let per_cluster = 4 + 3; // bottom row + staggered top row
+        assert_eq!(layout.shape_count(), 3 * 2 * per_cluster);
+        // Every later cluster is a pure translation of the first.
+        let shapes = layout.shapes();
+        let first: Vec<_> = shapes[..per_cluster]
+            .iter()
+            .map(|s| s.polygon().bounding_box())
+            .collect();
+        for cluster in 1..6 {
+            let offset = shapes[cluster * per_cluster].polygon().bounding_box();
+            let dx = offset.xlo() - first[0].xlo();
+            let dy = offset.ylo() - first[0].ylo();
+            for (shape, base) in shapes[cluster * per_cluster..][..per_cluster]
+                .iter()
+                .zip(&first)
+            {
+                let bb = shape.polygon().bounding_box();
+                assert_eq!(bb.xlo() - base.xlo(), dx);
+                assert_eq!(bb.ylo() - base.ylo(), dy);
+            }
+        }
+        // Neighbouring clusters keep at least the requested clear gap, so
+        // under nm20's 100 nm friendly distance every cluster is isolated.
+        let cluster_width = tech.pitch() * 3 + tech.min_width();
+        let second_min_x = shapes[per_cluster].polygon().bounding_box().xlo();
+        assert_eq!(second_min_x, cluster_width + Nm(200));
     }
 }

@@ -1,0 +1,593 @@
+//! Translation-canonical component memoization.
+//!
+//! Real layouts are overwhelmingly repeated instances: once an SREF/AREF
+//! hierarchy is flattened, a 32×32 contact array becomes 1024 copies of the
+//! *same* independent component at different offsets, and a naive
+//! decomposer recolors every copy from scratch.  This crate caches colored
+//! components under a **canonical signature** that is invariant under
+//! translation, so every copy after the first is served by a table lookup.
+//!
+//! # The signature
+//!
+//! A component is canonicalized in three steps ([`canonicalize`]):
+//!
+//! 1. **Normalize** — every vertex's rectangles are shifted so the
+//!    component's bounding-box origin lands at `(0, 0)`.  Two components
+//!    that differ only by a translation now carry identical geometry.
+//! 2. **Order** — vertices are sorted by their normalized geometry (ties
+//!    keep the live order), yielding a deterministic canonical permutation
+//!    that does not depend on where the component sat in the layout.
+//! 3. **Relabel** — conflict/stitch/color-friendly edges are rewritten
+//!    through the permutation, oriented `(min, max)` and sorted.
+//!
+//! The resulting [`Signature`] — canonical geometry, canonical edge lists,
+//! the mask count K, the stitch weight α and a free-form configuration
+//! fingerprint — is the cache key.  Keys are compared by **full equality**
+//! (not just a hash), so a hash collision can never serve a wrong coloring.
+//!
+//! # The determinism guarantee
+//!
+//! The cache stores colorings of the **canonical** problem.  A cache miss
+//! is expected to color the canonical problem (not the live one) and
+//! [`stamp`] the canonical colors back through the permutation; a cache hit
+//! stamps the stored colors the same way.  Because the canonical problem is
+//! a pure function of the signature, the colors a component receives are
+//! identical whether the cache was cold, warm, or evicted in between — and
+//! identical across every translated copy of the component.
+//!
+//! # Capacity and eviction
+//!
+//! [`MemoCache`] is thread-safe (one internal mutex; lookups are a hash
+//! probe plus a recency bump) and bounded: when an insert would exceed the
+//! configured entry capacity, the least-recently-used entry is evicted.
+//! [`MemoCache::stats`] reports entries, capacity, hits, misses, evictions
+//! and an approximate byte footprint, so services can observe warm-up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// An axis-aligned rectangle in absolute layout coordinates, as
+/// `(xlo, ylo, xhi, yhi)` nanometres.
+pub type RectNm = (i64, i64, i64, i64);
+
+/// A borrowed view of one live component, in the component's local vertex
+/// ids, as handed to [`canonicalize`].
+///
+/// The geometry is passed as plain coordinate tuples so this crate stays
+/// dependency-free; callers translate their polygon types once per vertex.
+#[derive(Debug, Clone, Copy)]
+pub struct ComponentView<'a> {
+    /// A free-form fingerprint of everything that influences coloring
+    /// besides the component itself (engine, division flags, thresholds,
+    /// time limits).  Two configurations with different fingerprints never
+    /// share cache entries.
+    pub fingerprint: &'a str,
+    /// Number of colors K.
+    pub k: usize,
+    /// Stitch weight α.
+    pub alpha: f64,
+    /// Per-vertex geometry in absolute coordinates, indexed by live local
+    /// vertex id.  Rectangle order within a vertex must be construction
+    /// order (translation-stable), which layout flattening guarantees.
+    pub geometry: &'a [Vec<RectNm>],
+    /// Conflict edges over live local ids.
+    pub conflict_edges: &'a [(usize, usize)],
+    /// Stitch edges over live local ids.
+    pub stitch_edges: &'a [(usize, usize)],
+    /// Color-friendly pairs over live local ids.
+    pub friendly_pairs: &'a [(usize, usize)],
+}
+
+/// The translation-invariant cache key of a component.
+///
+/// Built by [`canonicalize`]; compared and hashed over its full contents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    fingerprint: String,
+    k: usize,
+    /// α take part in the coloring objective; keyed by exact bit pattern.
+    alpha_bits: u64,
+    /// Canonical-order, origin-normalized per-vertex geometry.
+    geometry: Vec<Vec<RectNm>>,
+    conflict_edges: Vec<(u32, u32)>,
+    stitch_edges: Vec<(u32, u32)>,
+    friendly_pairs: Vec<(u32, u32)>,
+}
+
+impl Signature {
+    /// Number of vertices of the component.
+    pub fn vertex_count(&self) -> usize {
+        self.geometry.len()
+    }
+
+    /// Number of colors K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Stitch weight α.
+    pub fn alpha(&self) -> f64 {
+        f64::from_bits(self.alpha_bits)
+    }
+
+    /// Canonical conflict edges (sorted, `(min, max)`-oriented).
+    pub fn conflict_edges(&self) -> &[(u32, u32)] {
+        &self.conflict_edges
+    }
+
+    /// Canonical stitch edges (sorted, `(min, max)`-oriented).
+    pub fn stitch_edges(&self) -> &[(u32, u32)] {
+        &self.stitch_edges
+    }
+
+    /// Canonical color-friendly pairs (sorted, `(min, max)`-oriented).
+    pub fn friendly_pairs(&self) -> &[(u32, u32)] {
+        &self.friendly_pairs
+    }
+
+    /// Approximate heap footprint of the signature plus a stored coloring,
+    /// for the cache's byte accounting.
+    fn approximate_bytes(&self) -> usize {
+        let rects: usize = self.geometry.iter().map(Vec::len).sum();
+        self.fingerprint.len()
+            + rects * std::mem::size_of::<RectNm>()
+            + self.geometry.len() * std::mem::size_of::<Vec<RectNm>>()
+            + (self.conflict_edges.len() + self.stitch_edges.len() + self.friendly_pairs.len())
+                * std::mem::size_of::<(u32, u32)>()
+            + self.vertex_count() // the stored coloring, one byte per vertex
+    }
+}
+
+/// The result of canonicalizing one live component: the cache key plus the
+/// permutation that maps canonical colors back onto live vertices.
+#[derive(Debug, Clone)]
+pub struct CanonicalComponent {
+    /// The translation-invariant cache key.
+    pub signature: Signature,
+    /// `perm[canonical] = live`: the live local vertex id at each canonical
+    /// position.
+    pub perm: Vec<usize>,
+}
+
+/// Canonicalizes one live component (see the crate docs for the three
+/// normalization steps).
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is out of range of `view.geometry`.
+pub fn canonicalize(view: &ComponentView<'_>) -> CanonicalComponent {
+    let n = view.geometry.len();
+    // Step 1: normalize to the component's bounding-box origin.
+    let mut origin_x = i64::MAX;
+    let mut origin_y = i64::MAX;
+    for rects in view.geometry {
+        for &(xlo, ylo, _, _) in rects {
+            origin_x = origin_x.min(xlo);
+            origin_y = origin_y.min(ylo);
+        }
+    }
+    if n == 0 || origin_x == i64::MAX {
+        (origin_x, origin_y) = (0, 0);
+    }
+    let normalized: Vec<Vec<RectNm>> = view
+        .geometry
+        .iter()
+        .map(|rects| {
+            rects
+                .iter()
+                .map(|&(xlo, ylo, xhi, yhi)| {
+                    (
+                        xlo - origin_x,
+                        ylo - origin_y,
+                        xhi - origin_x,
+                        yhi - origin_y,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // Step 2: sort vertices by normalized geometry.  Distinct vertices have
+    // distinct normalized positions (coincident shapes aside), so the order
+    // — and therefore the whole signature — is translation-invariant; the
+    // live-id tie-break only makes exact-overlap degeneracies deterministic.
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.sort_by(|&a, &b| normalized[a].cmp(&normalized[b]).then(a.cmp(&b)));
+    let mut canonical_of = vec![0u32; n];
+    for (position, &live) in perm.iter().enumerate() {
+        canonical_of[live] = position as u32;
+    }
+
+    // Step 3: relabel the edge lists through the permutation.
+    let relabel = |edges: &[(usize, usize)]| -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(u, v)| {
+                let (cu, cv) = (canonical_of[u], canonical_of[v]);
+                (cu.min(cv), cu.max(cv))
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    };
+
+    let geometry = perm.iter().map(|&live| normalized[live].clone()).collect();
+    CanonicalComponent {
+        signature: Signature {
+            fingerprint: view.fingerprint.to_string(),
+            k: view.k,
+            alpha_bits: view.alpha.to_bits(),
+            geometry,
+            conflict_edges: relabel(view.conflict_edges),
+            stitch_edges: relabel(view.stitch_edges),
+            friendly_pairs: relabel(view.friendly_pairs),
+        },
+        perm,
+    }
+}
+
+/// Maps a canonical coloring onto live local vertex ids:
+/// `live[perm[c]] = canonical[c]`.
+///
+/// # Panics
+///
+/// Panics if `canonical_colors` and `perm` have different lengths.
+pub fn stamp(canonical_colors: &[u8], perm: &[usize]) -> Vec<u8> {
+    assert_eq!(
+        canonical_colors.len(),
+        perm.len(),
+        "permutation length mismatch"
+    );
+    let mut live = vec![0u8; perm.len()];
+    for (canonical, &live_id) in perm.iter().enumerate() {
+        live[live_id] = canonical_colors[canonical];
+    }
+    live
+}
+
+/// The inverse of [`stamp`]: recovers the canonical coloring from live
+/// colors, `canonical[c] = live[perm[c]]`.
+///
+/// # Panics
+///
+/// Panics if `live_colors` and `perm` have different lengths.
+pub fn unstamp(live_colors: &[u8], perm: &[usize]) -> Vec<u8> {
+    assert_eq!(live_colors.len(), perm.len(), "permutation length mismatch");
+    perm.iter().map(|&live_id| live_colors[live_id]).collect()
+}
+
+/// A point-in-time snapshot of a [`MemoCache`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Entries currently stored.
+    pub entries: usize,
+    /// The entry capacity the cache was created with.
+    pub capacity: usize,
+    /// Lookups that found a stored coloring.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Approximate bytes held by stored signatures and colorings.
+    pub bytes: usize,
+}
+
+struct Entry {
+    colors: Arc<Vec<u8>>,
+    bytes: usize,
+    /// Monotonic recency stamp; smallest = least recently used.
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Signature, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    bytes: usize,
+}
+
+/// A thread-safe, capacity-bounded signature → coloring cache.
+///
+/// Shared by reference-counting: a service holds one `Arc<MemoCache>` and
+/// attaches it to every session, so repeated submissions of the same cell
+/// library get faster over time.  See the crate docs for the determinism
+/// guarantee.
+pub struct MemoCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for MemoCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("MemoCache")
+            .field("entries", &stats.entries)
+            .field("capacity", &stats.capacity)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("evictions", &stats.evictions)
+            .finish()
+    }
+}
+
+impl MemoCache {
+    /// The default entry capacity (components, not bytes): generous enough
+    /// for a large cell library, small enough that worst-case signatures
+    /// stay in the tens of megabytes.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Creates a cache bounded to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (front ends reject that earlier with a
+    /// typed configuration error).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "memo cache capacity must be at least 1");
+        MemoCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a stored canonical coloring, counting a hit or a miss and
+    /// refreshing the entry's recency on a hit.
+    pub fn lookup(&self, signature: &Signature) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock().expect("memo cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(signature) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let colors = entry.colors.clone();
+                inner.hits += 1;
+                Some(colors)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a canonical coloring, evicting least-recently-used entries if
+    /// the capacity would be exceeded.  Re-inserting an existing signature
+    /// refreshes its recency and replaces its colors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `colors` does not have one color per signature vertex.
+    pub fn insert(&self, signature: Signature, colors: Vec<u8>) {
+        assert_eq!(
+            colors.len(),
+            signature.vertex_count(),
+            "stored coloring length must match the signature's vertex count"
+        );
+        let bytes = signature.approximate_bytes();
+        let mut inner = self.inner.lock().expect("memo cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(previous) = inner.map.insert(
+            signature,
+            Entry {
+                colors: Arc::new(colors),
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            inner.bytes -= previous.bytes;
+        }
+        inner.bytes += bytes;
+        while inner.map.len() > self.capacity {
+            // O(entries) scan: eviction only runs once the cache is full,
+            // and the capacity bounds the scan.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(signature, _)| signature.clone())
+                .expect("a cache over capacity is non-empty");
+            if let Some(evicted) = inner.map.remove(&victim) {
+                inner.bytes -= evicted.bytes;
+                inner.evictions += 1;
+            }
+        }
+    }
+
+    /// A snapshot of the cache's counters.
+    pub fn stats(&self) -> MemoStats {
+        let inner = self.inner.lock().expect("memo cache lock poisoned");
+        MemoStats {
+            entries: inner.map.len(),
+            capacity: self.capacity,
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            bytes: inner.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A three-vertex path with one stitch and one friendly pair; `offset`
+    /// translates the whole component.
+    fn sample_view(geometry: &[Vec<RectNm>]) -> ComponentView<'_> {
+        ComponentView {
+            fingerprint: "test-config",
+            k: 4,
+            alpha: 0.1,
+            geometry,
+            conflict_edges: &[(0, 1), (1, 2)],
+            stitch_edges: &[(2, 0)],
+            friendly_pairs: &[(1, 0)],
+        }
+    }
+
+    fn sample_geometry(dx: i64, dy: i64) -> Vec<Vec<RectNm>> {
+        vec![
+            vec![(dx, dy, dx + 20, dy + 20)],
+            vec![(dx + 50, dy, dx + 70, dy + 20)],
+            vec![
+                (dx, dy + 50, dx + 20, dy + 70),
+                (dx, dy + 70, dx + 40, dy + 90),
+            ],
+        ]
+    }
+
+    #[test]
+    fn translated_copies_share_one_signature() {
+        let at_origin = sample_geometry(0, 0);
+        let far_away = sample_geometry(123_456, -789_012);
+        let a = canonicalize(&sample_view(&at_origin));
+        let b = canonicalize(&sample_view(&far_away));
+        assert_eq!(a.signature, b.signature);
+        assert_eq!(a.perm, b.perm);
+    }
+
+    #[test]
+    fn different_geometry_config_or_edges_change_the_signature() {
+        let base = sample_geometry(0, 0);
+        let reference = canonicalize(&sample_view(&base)).signature;
+
+        let mut stretched = sample_geometry(0, 0);
+        stretched[0][0].2 += 1;
+        assert_ne!(canonicalize(&sample_view(&stretched)).signature, reference);
+
+        let mut other_config = sample_view(&base);
+        other_config.fingerprint = "another-config";
+        assert_ne!(canonicalize(&other_config).signature, reference);
+
+        let mut other_alpha = sample_view(&base);
+        other_alpha.alpha = 0.2;
+        assert_ne!(canonicalize(&other_alpha).signature, reference);
+
+        let mut fewer_edges = sample_view(&base);
+        fewer_edges.conflict_edges = &[(0, 1)];
+        assert_ne!(canonicalize(&fewer_edges).signature, reference);
+    }
+
+    #[test]
+    fn vertex_relabeling_produces_the_same_canonical_form() {
+        // The same component with live ids permuted (0↔2): geometry and
+        // edges are rewritten consistently, so the canonical form agrees.
+        let geometry = sample_geometry(0, 0);
+        let swapped_geometry = vec![
+            geometry[2].clone(),
+            geometry[1].clone(),
+            geometry[0].clone(),
+        ];
+        let swapped = ComponentView {
+            conflict_edges: &[(2, 1), (1, 0)],
+            stitch_edges: &[(0, 2)],
+            friendly_pairs: &[(1, 2)],
+            ..sample_view(&swapped_geometry)
+        };
+        let a = canonicalize(&sample_view(&geometry));
+        let b = canonicalize(&swapped);
+        assert_eq!(a.signature, b.signature);
+        // The permutations differ (they map to different live ids) but
+        // stamping any canonical coloring colors matching vertices alike.
+        let canonical_colors = vec![0, 1, 2];
+        let live_a = stamp(&canonical_colors, &a.perm);
+        let live_b = stamp(&canonical_colors, &b.perm);
+        assert_eq!(live_a[0], live_b[2]);
+        assert_eq!(live_a[1], live_b[1]);
+        assert_eq!(live_a[2], live_b[0]);
+    }
+
+    #[test]
+    fn stamp_and_unstamp_are_inverses() {
+        let geometry = sample_geometry(7, -3);
+        let canonical = canonicalize(&sample_view(&geometry));
+        let canonical_colors = vec![3, 0, 2];
+        let live = stamp(&canonical_colors, &canonical.perm);
+        assert_eq!(unstamp(&live, &canonical.perm), canonical_colors);
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_bytes() {
+        let cache = MemoCache::new(8);
+        let canonical = canonicalize(&sample_view(&sample_geometry(0, 0)));
+        assert!(cache.lookup(&canonical.signature).is_none());
+        cache.insert(canonical.signature.clone(), vec![0, 1, 2]);
+        let stored = cache.lookup(&canonical.signature).expect("hit");
+        assert_eq!(*stored, vec![0, 1, 2]);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.capacity, 8);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 0);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used_entry() {
+        let cache = MemoCache::new(2);
+        let signatures: Vec<Signature> = (0..3)
+            .map(|index| {
+                let mut geometry = sample_geometry(0, 0);
+                geometry[0][0].2 += index; // three distinct components
+                canonicalize(&sample_view(&geometry)).signature
+            })
+            .collect();
+        cache.insert(signatures[0].clone(), vec![0, 0, 0]);
+        cache.insert(signatures[1].clone(), vec![1, 1, 1]);
+        // Touch entry 0 so entry 1 becomes the LRU victim.
+        assert!(cache.lookup(&signatures[0]).is_some());
+        cache.insert(signatures[2].clone(), vec![2, 2, 2]);
+        assert!(cache.lookup(&signatures[1]).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(&signatures[0]).is_some());
+        assert!(cache.lookup(&signatures[2]).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_a_signature_replaces_without_growing() {
+        let cache = MemoCache::new(4);
+        let signature = canonicalize(&sample_view(&sample_geometry(0, 0))).signature;
+        cache.insert(signature.clone(), vec![0, 0, 0]);
+        let before = cache.stats().bytes;
+        cache.insert(signature.clone(), vec![1, 2, 3]);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, before);
+        assert_eq!(*cache.lookup(&signature).expect("hit"), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lookups_are_usable_across_threads() {
+        let cache = std::sync::Arc::new(MemoCache::new(64));
+        let signature = canonicalize(&sample_view(&sample_geometry(0, 0))).signature;
+        cache.insert(signature.clone(), vec![0, 1, 2]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = cache.clone();
+                let signature = signature.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        assert!(cache.lookup(&signature).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().hits, 400);
+    }
+}

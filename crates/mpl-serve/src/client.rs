@@ -101,16 +101,17 @@ impl Client {
         }
     }
 
-    /// Sends `ping` and waits for the `pong`.
+    /// Sends `ping` and waits for the `pong`, returning the server's
+    /// shared memo-cache statistics when the frame carries them.
     ///
     /// # Errors
     ///
     /// Propagates send/receive failures; a non-`pong` reply is a
     /// [`ClientError::Protocol`].
-    pub fn ping(&mut self) -> Result<(), ClientError> {
+    pub fn ping(&mut self) -> Result<Option<crate::protocol::CachePayload>, ClientError> {
         self.send(&Request::Ping)?;
         match self.recv()? {
-            Response::Pong => Ok(()),
+            Response::Pong { cache } => Ok(cache),
             other => Err(ClientError::Protocol(format!(
                 "expected pong, got {other:?}"
             ))),
@@ -140,14 +141,23 @@ mod tests {
     use super::*;
     use crate::protocol::{LayoutSource, SubmitRequest};
     use crate::server::{Server, ServerConfig};
-    use mpl_core::{ColorAlgorithm, Decomposer, DecomposerConfig};
+    use mpl_core::{
+        ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionSession, MemoCache,
+        SerialExecutor,
+    };
     use mpl_layout::{gen, io, Technology};
+    use std::sync::Arc;
 
     #[test]
     fn ping_submit_and_shutdown_round_trip() {
         let handle = Server::spawn(&ServerConfig::default()).expect("bind ephemeral port");
         let mut client = Client::connect(handle.addr()).expect("connect");
-        client.ping().expect("pong");
+        let cache = client
+            .ping()
+            .expect("pong")
+            .expect("server reports cache stats");
+        assert_eq!(cache.entries, 0);
+        assert_eq!(cache.hits, 0);
 
         let tech = Technology::nm20();
         let layout = gen::fig1_contact_clique(&tech);
@@ -180,12 +190,18 @@ mod tests {
         assert_eq!(payload.k, 4);
         assert_eq!(payload.algorithm, "Linear");
 
-        // Bit-identical to the direct run.
-        let direct = Decomposer::new(
+        // Bit-identical to a direct memoized run: the server colors with a
+        // shared memo cache, and memoized colorings are a pure function of
+        // each component's canonical signature — independent of cache
+        // state, so a fresh local cache reproduces the served bits.
+        let decomposer = Decomposer::new(
             DecomposerConfig::quadruple(tech).with_algorithm(ColorAlgorithm::Linear),
-        )
-        .decompose(&layout)
-        .expect("valid config");
+        );
+        let mut session = DecompositionSession::new().with_memo(Arc::new(MemoCache::new(1024)));
+        session
+            .submit_layout(&decomposer, &layout)
+            .expect("valid config");
+        let direct = &session.run(&SerialExecutor)[0].1;
         assert_eq!(payload.colors, direct.colors());
         assert_eq!(payload.conflicts, direct.conflicts());
 

@@ -45,8 +45,14 @@
 //! {"type":"result","id":"j1","layout":"a","k":4,"algorithm":"Linear",
 //!  "executor":"threads:2","vertices":9,"components":3,"conflicts":0,
 //!  "stitches":1,"cost":0.1,"color_seconds":0.002,
-//!  "spacing_violations":0,"colors":[0,1,2,0,3,1,2,0,1]}
+//!  "spacing_violations":0,"memo_hits":1,"memo_misses":2,
+//!  "colors":[0,1,2,0,3,1,2,0,1]}
 //! ```
+//!
+//! `memo_hits` / `memo_misses` count the layout's components stamped from
+//! (respectively colored into) the server's shared translation-canonical
+//! memo cache — see the `mpl-memo` crate and the memoization section of
+//! the workspace README.
 //!
 //! or, when anything goes wrong, a typed error frame that leaves the
 //! connection usable:
@@ -60,9 +66,12 @@
 //! field), `parse` (bad layout text / truncated GDS), `config` (the
 //! pipeline's typed [`ConfigError`](mpl_core::ConfigError)), `decompose`
 //! (planning failures such as degenerate shapes) and `io` (unreadable
-//! server-side `path`).  `ping` answers `{"type":"pong"}` and `shutdown`
-//! answers `{"type":"shutting_down"}` before the server drains its last
-//! batch and exits.
+//! server-side `path`).  `ping` answers with the shared memo cache's
+//! statistics —
+//! `{"type":"pong","cache":{"entries":3,"capacity":65536,"hits":7,
+//! "misses":3,"evictions":0,"bytes":1544}}` — and `shutdown` answers
+//! `{"type":"shutting_down"}` before the server drains its last batch and
+//! exits.
 //!
 //! # Determinism
 //!
@@ -120,7 +129,7 @@ pub use codec::{encode_frame, FrameDecoder, FrameError};
 pub use json::{Json, JsonParseError};
 pub use protocol::{
     algorithm_wire_name, decode_request, decode_response, encode_request, encode_response,
-    ErrorCode, ExecutorChoice, LayoutSource, Request, Response, ResultPayload, ServeError,
-    SubmitRequest,
+    CachePayload, ErrorCode, ExecutorChoice, LayoutSource, Request, Response, ResultPayload,
+    ServeError, SubmitRequest,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -114,6 +114,25 @@ pub enum Request {
     Shutdown,
 }
 
+/// Memo-cache statistics reported on `pong` frames (the serve loop holds
+/// one shared [`MemoCache`](mpl_core::MemoCache) across all connections
+/// and batches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachePayload {
+    /// Colorings currently stored.
+    pub entries: usize,
+    /// Maximum entries before least-recently-used eviction.
+    pub capacity: usize,
+    /// Lifetime lookup hits.
+    pub hits: u64,
+    /// Lifetime lookup misses.
+    pub misses: u64,
+    /// Lifetime evictions.
+    pub evictions: u64,
+    /// Approximate bytes held by stored signatures and colorings.
+    pub bytes: usize,
+}
+
 /// The final per-layout payload of a successful decomposition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultPayload {
@@ -146,6 +165,12 @@ pub struct ResultPayload {
     /// Same-mask spacing violations found by server-side re-verification
     /// (present only when the submission set `verify`).
     pub spacing_violations: Option<usize>,
+    /// Components stamped from the server's shared memo cache (a cache hit
+    /// or an in-batch duplicate).  `None` when the run had no cache.
+    pub memo_hits: Option<usize>,
+    /// Components the engine actually colored under the memo cache.
+    /// `None` when the run had no cache.
+    pub memo_misses: Option<usize>,
 }
 
 /// Machine-checkable category of an error frame.
@@ -224,8 +249,12 @@ pub enum Response {
         /// Human-readable description.
         message: String,
     },
-    /// Answer to [`Request::Ping`].
-    Pong,
+    /// Answer to [`Request::Ping`], carrying the server's shared
+    /// memo-cache statistics when one is attached.
+    Pong {
+        /// Statistics of the server's shared memo cache.
+        cache: Option<CachePayload>,
+    },
     /// Acknowledges [`Request::Shutdown`]; the server exits afterwards.
     ShuttingDown,
 }
@@ -459,7 +488,20 @@ pub fn encode_request(request: &Request) -> Json {
 pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
     let frame_type = string_field(json, "type")?;
     match frame_type.as_str() {
-        "pong" => Ok(Response::Pong),
+        "pong" => {
+            let cache = match json.get("cache") {
+                None | Some(Json::Null) => None,
+                Some(value) => Some(CachePayload {
+                    entries: usize_field(value, "entries")?,
+                    capacity: usize_field(value, "capacity")?,
+                    hits: usize_field(value, "hits")? as u64,
+                    misses: usize_field(value, "misses")? as u64,
+                    evictions: usize_field(value, "evictions")? as u64,
+                    bytes: usize_field(value, "bytes")?,
+                }),
+            };
+            Ok(Response::Pong { cache })
+        }
         "shutting_down" => Ok(Response::ShuttingDown),
         "queued" => Ok(Response::Queued {
             id: string_field(json, "id")?,
@@ -504,14 +546,19 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
                         })
                 })
                 .collect::<Result<Vec<u8>, _>>()?;
-            let spacing_violations = match json.get("spacing_violations") {
-                None | Some(Json::Null) => None,
-                Some(value) => Some(value.as_usize().ok_or_else(|| {
-                    ServeError::Protocol(
-                        "field \"spacing_violations\" must be a non-negative integer".to_string(),
-                    )
-                })?),
+            let optional_count = |key: &str| -> Result<Option<usize>, ServeError> {
+                match json.get(key) {
+                    None | Some(Json::Null) => Ok(None),
+                    Some(value) => value.as_usize().map(Some).ok_or_else(|| {
+                        ServeError::Protocol(format!(
+                            "field {key:?} must be a non-negative integer"
+                        ))
+                    }),
+                }
             };
+            let spacing_violations = optional_count("spacing_violations")?;
+            let memo_hits = optional_count("memo_hits")?;
+            let memo_misses = optional_count("memo_misses")?;
             Ok(Response::Result(ResultPayload {
                 id: string_field(json, "id")?,
                 layout: string_field(json, "layout")?,
@@ -526,6 +573,8 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
                 color_seconds: f64_field(json, "color_seconds")?,
                 colors,
                 spacing_violations,
+                memo_hits,
+                memo_misses,
             }))
         }
         other => Err(ServeError::Protocol(format!(
@@ -537,7 +586,23 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
 /// Encodes a server frame.
 pub fn encode_response(response: &Response) -> Json {
     match response {
-        Response::Pong => Json::object(vec![("type", Json::string("pong"))]),
+        Response::Pong { cache } => {
+            let mut pairs = vec![("type", Json::string("pong"))];
+            if let Some(cache) = cache {
+                pairs.push((
+                    "cache",
+                    Json::object(vec![
+                        ("entries", Json::Number(cache.entries as f64)),
+                        ("capacity", Json::Number(cache.capacity as f64)),
+                        ("hits", Json::Number(cache.hits as f64)),
+                        ("misses", Json::Number(cache.misses as f64)),
+                        ("evictions", Json::Number(cache.evictions as f64)),
+                        ("bytes", Json::Number(cache.bytes as f64)),
+                    ]),
+                ));
+            }
+            Json::object(pairs)
+        }
         Response::ShuttingDown => Json::object(vec![("type", Json::string("shutting_down"))]),
         Response::Queued {
             id,
@@ -583,6 +648,12 @@ pub fn encode_response(response: &Response) -> Json {
             ];
             if let Some(violations) = payload.spacing_violations {
                 pairs.push(("spacing_violations", Json::Number(violations as f64)));
+            }
+            if let Some(hits) = payload.memo_hits {
+                pairs.push(("memo_hits", Json::Number(hits as f64)));
+            }
+            if let Some(misses) = payload.memo_misses {
+                pairs.push(("memo_misses", Json::Number(misses as f64)));
             }
             pairs.push((
                 "colors",
@@ -639,7 +710,17 @@ mod tests {
 
     #[test]
     fn responses_round_trip() {
-        round_trip_response(Response::Pong);
+        round_trip_response(Response::Pong { cache: None });
+        round_trip_response(Response::Pong {
+            cache: Some(CachePayload {
+                entries: 12,
+                capacity: 65_536,
+                hits: 40,
+                misses: 14,
+                evictions: 2,
+                bytes: 9_000,
+            }),
+        });
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Queued {
             id: "7".into(),
@@ -676,7 +757,40 @@ mod tests {
             color_seconds: 0.25,
             colors: vec![0, 3, 2, 1],
             spacing_violations: Some(1),
+            memo_hits: Some(1),
+            memo_misses: Some(1),
         }));
+        round_trip_response(Response::Result(ResultPayload {
+            id: "8".into(),
+            layout: "plain".into(),
+            k: 4,
+            algorithm: "Linear".into(),
+            executor: "serial".into(),
+            vertices: 1,
+            components: 1,
+            conflicts: 0,
+            stitches: 0,
+            cost: 0.0,
+            color_seconds: 0.0,
+            colors: vec![0],
+            spacing_violations: None,
+            memo_hits: None,
+            memo_misses: None,
+        }));
+    }
+
+    #[test]
+    fn bare_pong_frames_decode_without_cache_stats() {
+        // Old servers answer `{"type":"pong"}`; the absent (or null) cache
+        // object must decode as None.
+        for frame in [r#"{"type":"pong"}"#, r#"{"type":"pong","cache":null}"#] {
+            let json = Json::parse(frame).expect("valid JSON");
+            assert_eq!(
+                decode_response(&json).expect("decodes"),
+                Response::Pong { cache: None },
+                "{frame}"
+            );
+        }
     }
 
     #[test]

@@ -26,12 +26,13 @@
 use crate::codec::{encode_frame, FrameDecoder, FrameError, DEFAULT_MAX_FRAME_LEN};
 use crate::json::Json;
 use crate::protocol::{
-    decode_request, encode_response, ExecutorChoice, LayoutSource, Request, Response,
+    decode_request, encode_response, CachePayload, ExecutorChoice, LayoutSource, Request, Response,
     ResultPayload, ServeError, SubmitRequest,
 };
 use mpl_core::{
-    verify_spacing, Decomposer, DecomposerConfig, DecompositionPlan, DecompositionSession,
-    Executor, LayoutId, ProgressObserver, ProgressSink, SerialExecutor, ThreadPoolExecutor,
+    verify_spacing, ConfigError, Decomposer, DecomposerConfig, DecompositionPlan,
+    DecompositionSession, Executor, LayoutId, MemoCache, ProgressObserver, ProgressSink,
+    SerialExecutor, ThreadPoolExecutor,
 };
 use mpl_gds::{
     layout_from_library, load_layout_file, GdsLibrary, LayerMap, LoadLayoutError, ReadOptions,
@@ -54,6 +55,9 @@ pub struct ServerConfig {
     pub pool_threads: usize,
     /// Maximum accepted frame length in bytes.
     pub max_frame_len: usize,
+    /// Capacity (in stored colorings) of the shared memo cache consulted
+    /// by every batch the server runs (≥ 1).
+    pub memo_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +66,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             pool_threads: 2,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            memo_capacity: MemoCache::DEFAULT_CAPACITY,
         }
     }
 }
@@ -82,6 +87,11 @@ struct Shared {
     max_frame_len: usize,
     addr: SocketAddr,
     technology: Technology,
+    /// One memo cache for the whole server: every batch of every
+    /// connection probes and fills it, so repeated submissions (and
+    /// translated copies of earlier layouts) are stamped instead of
+    /// re-colored.
+    memo: Arc<MemoCache>,
 }
 
 impl Shared {
@@ -200,11 +210,17 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Any bind failure, or a zero `pool_threads`.
+    /// Any bind failure, a zero `pool_threads`, or a zero `memo_capacity`.
     pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
         let pool = ThreadPoolExecutor::new(config.pool_threads).map_err(|error| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, error.to_string())
         })?;
+        if config.memo_capacity == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                ConfigError::MemoCapacity { capacity: 0 }.to_string(),
+            ));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         Ok(Server {
@@ -217,6 +233,7 @@ impl Server {
                 max_frame_len: config.max_frame_len,
                 addr,
                 technology: Technology::nm20(),
+                memo: Arc::new(MemoCache::new(config.memo_capacity)),
             }),
         })
     }
@@ -364,7 +381,19 @@ fn handle_frame(shared: &Shared, writer: &ConnectionWriter, frame: &str) {
     let id = json.get("id").and_then(Json::as_str).map(str::to_string);
     match decode_request(&json) {
         Err(error) => writer.send(&error.to_response(id)),
-        Ok(Request::Ping) => writer.send(&Response::Pong),
+        Ok(Request::Ping) => {
+            let stats = shared.memo.stats();
+            writer.send(&Response::Pong {
+                cache: Some(CachePayload {
+                    entries: stats.entries,
+                    capacity: stats.capacity,
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    evictions: stats.evictions,
+                    bytes: stats.bytes,
+                }),
+            });
+        }
         Ok(Request::Shutdown) => {
             writer.send(&Response::ShuttingDown);
             shared.begin_shutdown();
@@ -441,10 +470,18 @@ fn load_source(source: &LayoutSource) -> Result<Layout, ServeError> {
 /// Drains pending submissions into coalesced batches until shutdown.
 fn scheduler_loop(shared: Arc<Shared>) {
     // One reusable session per executor choice: ids stay unique across all
-    // the batches this server ever runs.
+    // the batches this server ever runs.  Both sessions share the server's
+    // one memo cache, so a layout colored on the pool is a cache hit when
+    // it is resubmitted for the serial executor (and vice versa).
     let mut sessions: [(ExecutorChoice, DecompositionSession); 2] = [
-        (ExecutorChoice::Serial, DecompositionSession::new()),
-        (ExecutorChoice::Pool, DecompositionSession::new()),
+        (
+            ExecutorChoice::Serial,
+            DecompositionSession::new().with_memo(Arc::clone(&shared.memo)),
+        ),
+        (
+            ExecutorChoice::Pool,
+            DecompositionSession::new().with_memo(Arc::clone(&shared.memo)),
+        ),
     ];
     loop {
         let drained = {
@@ -530,6 +567,8 @@ fn run_batch(
             color_seconds: result.color_time().as_secs_f64(),
             colors: result.colors().to_vec(),
             spacing_violations,
+            memo_hits: result.memo_hits(),
+            memo_misses: result.memo_misses(),
         }));
     }
     session.clear();

@@ -85,7 +85,20 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 colors,
             )| {
                 match variant {
-                    0 => Response::Pong,
+                    0 => Response::Pong {
+                        cache: if code % 2 == 0 {
+                            None
+                        } else {
+                            Some(mpl_serve::CachePayload {
+                                entries: components,
+                                capacity: vertices.max(1),
+                                hits: conflicts as u64,
+                                misses: stitches as u64,
+                                evictions: code as u64,
+                                bytes: vertices * 8,
+                            })
+                        },
+                    },
                     1 => Response::ShuttingDown,
                     2 => Response::Queued {
                         id,
@@ -123,6 +136,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         color_seconds: cost_step as f64 * 0.0625,
                         colors: colors.into_iter().map(|color| color as u8).collect(),
                         spacing_violations: if code % 3 == 0 { None } else { Some(code) },
+                        memo_hits: if code % 2 == 0 { None } else { Some(conflicts) },
+                        memo_misses: if code % 2 == 0 { None } else { Some(stitches) },
                     }),
                 }
             },

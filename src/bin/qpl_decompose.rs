@@ -39,6 +39,9 @@
 //!   --no-stitches        disable stitch-candidate generation
 //!   --balance            rebalance mask densities after coloring
 //!   --verify             re-check same-mask spacing from scratch
+//!   --memo               memoize translation-identical components (default on)
+//!   --no-memo            color every component from scratch
+//!   --memo-capacity <N>  cap the memo cache at N entries (default 65536)
 //!   --output <PATH>      write the mask assignment (one `shape segment mask` line per vertex)
 //!   --layer <L[:D]>      import only this GDS layer (repeatable; applies to every GDS input)
 //!   --top <NAME>         flatten from this GDS structure (default: the unique top)
@@ -53,8 +56,10 @@
 //!   --shutdown           after the results (or alone: immediately), ask
 //!                        the server to shut down
 //! `--verify` maps to server-side spacing re-verification; `--threads`,
-//! `--balance`, `--no-stitches`, `--layer`, `--top`, `--output` and
-//! `--output-gds` are local-mode-only and rejected with `--connect`.
+//! `--balance`, `--no-stitches`, `--memo`/`--no-memo`/`--memo-capacity`
+//! (the server always memoizes with its own shared cache), `--layer`,
+//! `--top`, `--output` and `--output-gds` are local-mode-only and rejected
+//! with `--connect`.
 //!
 //! With more than one input, `--output`/`--output-gds` write one file per
 //! layout, inserting the batch index before the extension (`out.gds` →
@@ -63,9 +68,9 @@
 
 use mpl_core::{
     extract_masks, json_escape, rebalance_masks, verify_spacing, ColorAlgorithm, ComponentStats,
-    ComponentTask, Decomposer, DecomposerConfig, DecompositionObserver, DecompositionPlan,
-    DecompositionResult, DecompositionSession, Executor, LayoutId, SerialExecutor, StitchConfig,
-    ThreadPoolExecutor, VertexId,
+    ComponentTask, ConfigError, Decomposer, DecomposerConfig, DecompositionObserver,
+    DecompositionPlan, DecompositionResult, DecompositionSession, Executor, LayoutId, MemoCache,
+    MemoStats, SerialExecutor, StitchConfig, ThreadPoolExecutor, VertexId,
 };
 use mpl_gds::{LayerMap, ReadOptions};
 use mpl_layout::{gen::IscasCircuit, io::LayoutFormat, Layout, Technology};
@@ -74,6 +79,7 @@ use mpl_serve::{
 };
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// GDS layer holding mask 0 in `--output-gds` files (mask k lands on
@@ -92,6 +98,8 @@ struct Options {
     stitches: bool,
     balance: bool,
     verify: bool,
+    memo: bool,
+    memo_capacity: usize,
     output: Option<String>,
     output_gds: Option<String>,
     connect: Option<String>,
@@ -169,6 +177,8 @@ fn parse_options() -> Result<Options, String> {
     let mut stitches = true;
     let mut balance = false;
     let mut verify = false;
+    let mut memo: Option<bool> = None;
+    let mut memo_capacity: Option<usize> = None;
     let mut output = None;
     let mut output_gds = None;
     let mut connect: Option<String> = None;
@@ -223,6 +233,15 @@ fn parse_options() -> Result<Options, String> {
             "--no-stitches" => stitches = false,
             "--balance" => balance = true,
             "--verify" => verify = true,
+            "--memo" => memo = Some(true),
+            "--no-memo" => memo = Some(false),
+            "--memo-capacity" => {
+                memo_capacity = Some(
+                    value("--memo-capacity")?
+                        .parse()
+                        .map_err(|e| format!("invalid --memo-capacity value: {e}"))?,
+                );
+            }
             "--output" => output = Some(value("--output")?),
             "--output-gds" => output_gds = Some(value("--output-gds")?),
             "--connect" => connect = Some(value("--connect")?),
@@ -242,6 +261,7 @@ fn parse_options() -> Result<Options, String> {
                             [--algorithm ilp|sdp-backtrack|sdp-greedy|linear] \
                             [--alpha F] [--threads N] [--progress] [--json] \
                             [--no-stitches] [--balance] [--verify] \
+                            [--memo | --no-memo] [--memo-capacity N] \
                             [--output FILE] [--output-gds FILE] \
                             | --connect HOST:PORT [--executor serial|pool] [--shutdown]"
                         .to_string(),
@@ -270,6 +290,8 @@ fn parse_options() -> Result<Options, String> {
             (threads.is_some(), "--threads"),
             (balance, "--balance"),
             (!stitches, "--no-stitches"),
+            (memo.is_some(), "--memo/--no-memo"),
+            (memo_capacity.is_some(), "--memo-capacity"),
             (output.is_some(), "--output"),
             (output_gds.is_some(), "--output-gds"),
             (!gds_input.layer_specs.is_empty(), "--layer"),
@@ -285,6 +307,18 @@ fn parse_options() -> Result<Options, String> {
             "at least one input is required: FILE, --circuit, --layout or --gds".to_string(),
         );
     }
+    // Memoization defaults to on; capacity tweaks without memoization (and
+    // a zero-entry cache) are contradictions, reported as the pipeline's
+    // typed configuration errors.
+    let memo = memo.unwrap_or(true);
+    if let Some(capacity) = memo_capacity {
+        if !memo {
+            return Err(ConfigError::MemoCapacityWithoutMemo.to_string());
+        }
+        if capacity == 0 {
+            return Err(ConfigError::MemoCapacity { capacity }.to_string());
+        }
+    }
     Ok(Options {
         inputs,
         gds_input,
@@ -297,6 +331,8 @@ fn parse_options() -> Result<Options, String> {
         stitches,
         balance,
         verify,
+        memo,
+        memo_capacity: memo_capacity.unwrap_or(MemoCache::DEFAULT_CAPACITY),
         output,
         output_gds,
         connect,
@@ -391,11 +427,17 @@ impl DecompositionObserver for StderrProgress {
 /// decomposition; when `balance` is present, `masks` (and
 /// `spacing_violations`, if verification ran) describe the *rebalanced*
 /// coloring, and the `balance` object records the difference.
+///
+/// With memoization on, `memo_hits`/`memo_misses` count this layout's
+/// components stamped from (respectively colored into) the cache, and
+/// `memo_cache` snapshots the run-wide cache — the same snapshot on every
+/// layout of a batch, since the batch shares one cache.
 fn render_json(
     result: &DecompositionResult,
     masks: &[mpl_core::Mask],
     violations: Option<usize>,
     balance: Option<&mpl_core::BalanceReport>,
+    memo_stats: Option<&MemoStats>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -432,6 +474,17 @@ fn render_json(
         "  \"color_seconds\": {},\n",
         result.color_time().as_secs_f64()
     ));
+    if let (Some(hits), Some(misses)) = (result.memo_hits(), result.memo_misses()) {
+        out.push_str(&format!("  \"memo_hits\": {hits},\n"));
+        out.push_str(&format!("  \"memo_misses\": {misses},\n"));
+    }
+    if let Some(stats) = memo_stats {
+        out.push_str(&format!(
+            "  \"memo_cache\": {{\"entries\": {}, \"capacity\": {}, \"hits\": {}, \
+             \"misses\": {}, \"evictions\": {}, \"bytes\": {}}},\n",
+            stats.entries, stats.capacity, stats.hits, stats.misses, stats.evictions, stats.bytes
+        ));
+    }
     if let Some(violations) = violations {
         out.push_str(&format!("  \"spacing_violations\": {violations},\n"));
     }
@@ -504,12 +557,14 @@ struct LayoutArtifacts {
 /// rendered; cheap), whether verification disagreed with the reported
 /// conflicts (in which case the suspect coloring is *not* written to any
 /// output file), and any failed output write.
+#[allow(clippy::too_many_arguments)]
 fn process_layout(
     options: &Options,
     tech: &Technology,
     layout: &Layout,
     plan: &DecompositionPlan,
     result: &DecompositionResult,
+    memo_stats: Option<&MemoStats>,
     index: usize,
     batch_size: usize,
 ) -> LayoutArtifacts {
@@ -544,6 +599,9 @@ fn process_layout(
             result.graph_time().as_secs_f64(),
             result.color_time().as_secs_f64()
         );
+        if let (Some(hits), Some(misses)) = (result.memo_hits(), result.memo_misses()) {
+            println!("memo: {hits} components stamped from cache, {misses} colored fresh");
+        }
     }
 
     let graph = plan.graph();
@@ -644,7 +702,13 @@ fn process_layout(
     }
 
     LayoutArtifacts {
-        json: render_json(result, &masks, verified_violations, balance_report.as_ref()),
+        json: render_json(
+            result,
+            &masks,
+            verified_violations,
+            balance_report.as_ref(),
+            memo_stats,
+        ),
         verify_mismatch,
         write_error,
     }
@@ -925,7 +989,13 @@ fn main() -> ExitCode {
     // Invalid configurations (e.g. `--k 1`, negative `--alpha`) and
     // degenerate layouts surface here as typed errors.
     let decomposer = Decomposer::new(config);
+    let memo = options
+        .memo
+        .then(|| Arc::new(MemoCache::new(options.memo_capacity)));
     let mut session = DecompositionSession::new();
+    if let Some(cache) = &memo {
+        session = session.with_memo(Arc::clone(cache));
+    }
     for layout in &layouts {
         if let Err(error) = session.submit_layout(&decomposer, layout) {
             eprintln!("{}: {error}", layout.name());
@@ -950,6 +1020,7 @@ fn main() -> ExitCode {
         session.run(executor.as_ref())
     };
     let batch_wall = batch_start.elapsed();
+    let memo_stats = memo.as_ref().map(|cache| cache.stats());
 
     let batch_size = results.len();
     let mut any_mismatch = false;
@@ -966,6 +1037,7 @@ fn main() -> ExitCode {
             &layouts[index],
             plan,
             result,
+            memo_stats.as_ref(),
             index,
             batch_size,
         );
@@ -1012,6 +1084,14 @@ fn main() -> ExitCode {
             batch_size as f64 / batch_wall.as_secs_f64().max(1e-12),
             session.task_count() as f64 / batch_wall.as_secs_f64().max(1e-12)
         );
+    }
+    if !options.json {
+        if let Some(stats) = &memo_stats {
+            println!(
+                "memo cache: {} entries, {} hits, {} misses, {} evictions ({} bytes)",
+                stats.entries, stats.hits, stats.misses, stats.evictions, stats.bytes
+            );
+        }
     }
 
     // Write failures are reported *after* the JSON summary so machine

@@ -139,6 +139,45 @@ fn batch_json_schema_matches_the_golden_file() {
 }
 
 #[test]
+fn no_memo_runs_omit_every_memo_field() {
+    let actual = run_cli(&[
+        "--layout",
+        &fixture("fixtures/golden_a.txt"),
+        "--algorithm",
+        "linear",
+        "--no-memo",
+        "--json",
+    ]);
+    assert!(actual.get("memo_hits").is_none());
+    assert!(actual.get("memo_misses").is_none());
+    assert!(actual.get("memo_cache").is_none());
+    assert_eq!(actual.get("conflicts").and_then(Json::as_usize), Some(0));
+}
+
+#[test]
+fn contradictory_memo_flags_are_rejected_with_typed_config_errors() {
+    let run_failing = |args: &[&str]| -> String {
+        let output = Command::new(env!("CARGO_BIN_EXE_qpl-decompose"))
+            .args(args)
+            .output()
+            .expect("run qpl-decompose");
+        assert!(!output.status.success(), "expected failure for {args:?}");
+        String::from_utf8_lossy(&output.stderr).into_owned()
+    };
+    let layout = fixture("fixtures/golden_a.txt");
+    let stderr = run_failing(&["--layout", &layout, "--no-memo", "--memo-capacity", "64"]);
+    assert!(
+        stderr.contains("--memo-capacity requires memoization to be enabled"),
+        "{stderr}"
+    );
+    let stderr = run_failing(&["--layout", &layout, "--memo-capacity", "0"]);
+    assert!(
+        stderr.contains("memo capacity must be at least 1 entry"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn single_and_batch_schemas_stay_consistent_per_layout() {
     // The per-layout objects of the batch schema must carry exactly the
     // same keys as the single-layout schema — consumers share one reader.

@@ -1,0 +1,117 @@
+//! Property-based tests of the memoization subsystem's two core
+//! guarantees:
+//!
+//! 1. **Translation invariance** — the canonical signature of a component
+//!    depends only on its shape relative to its own bounding box, so any
+//!    translated copy of a layout produces the identical signature list.
+//! 2. **Determinism** — a coloring stamped from a warm cache is
+//!    bit-identical to the coloring a cold (fresh) cache produces for the
+//!    same layout, for every engine and both executors.  This is the
+//!    property that makes the cache safe to share across batches,
+//!    sessions, and serve connections.
+
+use mpl_core::{
+    component_signatures, ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionSession,
+    Executor, MemoCache, SerialExecutor, ThreadPoolExecutor,
+};
+use mpl_geometry::Nm;
+use mpl_layout::{Layout, Technology};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Grid features (contact or short wire) rendered at an arbitrary origin.
+/// Generating the *same* features at two origins yields exact translates.
+fn layout_at(features: &[(i64, i64, bool)], origin: (i64, i64), name: &str) -> Layout {
+    let mut builder = Layout::builder(name);
+    for &(gx, gy, is_wire) in features {
+        let x = Nm(origin.0 + gx * 40);
+        let y = Nm(origin.1 + gy * 60);
+        if is_wire {
+            builder.add_rect(mpl_geometry::Rect::new(x, y, x + Nm(140), y + Nm(20)));
+        } else {
+            builder.add_contact(x, y, Nm(20));
+        }
+    }
+    builder.build()
+}
+
+fn arb_features() -> impl Strategy<Value = Vec<(i64, i64, bool)>> {
+    prop::collection::vec((0i64..14, 0i64..6, prop::bool::weighted(0.25)), 1..32)
+}
+
+/// Runs `layout` through a memoized session and returns the coloring.
+fn memoized_colors(
+    layout: &Layout,
+    algorithm: ColorAlgorithm,
+    executor: &dyn Executor,
+    cache: Arc<MemoCache>,
+) -> Vec<u8> {
+    let config = DecomposerConfig::quadruple(Technology::nm20()).with_algorithm(algorithm);
+    let decomposer = Decomposer::new(config);
+    let mut session = DecompositionSession::new().with_memo(cache);
+    session
+        .submit_layout(&decomposer, layout)
+        .expect("valid config");
+    let results = session.run(executor);
+    results
+        .into_iter()
+        .next()
+        .expect("one layout")
+        .1
+        .colors()
+        .to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn translated_copies_share_every_component_signature(
+        features in arb_features(),
+        dx in -3i64..=3,
+        dy in -3i64..=3,
+    ) {
+        let base = layout_at(&features, (0, 0), "memo-base");
+        let moved = layout_at(&features, (dx * 1_000, dy * 1_000), "memo-moved");
+        let config = DecomposerConfig::quadruple(Technology::nm20())
+            .with_algorithm(ColorAlgorithm::Linear);
+        let decomposer = Decomposer::new(config);
+        let base_plan = decomposer.plan(&base).expect("valid config");
+        let moved_plan = decomposer.plan(&moved).expect("valid config");
+        prop_assert_eq!(
+            component_signatures(&base_plan),
+            component_signatures(&moved_plan)
+        );
+    }
+
+    #[test]
+    fn warm_stamps_are_bit_identical_to_cold_colorings_for_every_engine(
+        features in arb_features(),
+    ) {
+        let layout = layout_at(&features, (0, 0), "memo-roundtrip");
+        let pool = ThreadPoolExecutor::new(2).expect("two threads");
+        for algorithm in [
+            ColorAlgorithm::Ilp,
+            ColorAlgorithm::SdpBacktrack,
+            ColorAlgorithm::SdpGreedy,
+            ColorAlgorithm::Linear,
+        ] {
+            let executors: [&dyn Executor; 2] = [&SerialExecutor, &pool];
+            for executor in executors {
+                // Cold: a fresh cache colors every component and fills
+                // itself.  Warm: the same cache serves every component by
+                // stamping.  The colorings must agree bit for bit.
+                let cache = Arc::new(MemoCache::new(1024));
+                let cold = memoized_colors(&layout, algorithm, executor, Arc::clone(&cache));
+                let before = cache.stats();
+                let warm = memoized_colors(&layout, algorithm, executor, Arc::clone(&cache));
+                let after = cache.stats();
+                prop_assert_eq!(&cold, &warm, "algorithm {:?} diverged", algorithm);
+                // The warm run was served entirely from the cache: the
+                // miss counter did not move.
+                prop_assert_eq!(after.misses, before.misses);
+                prop_assert!(after.hits > before.hits || layout.is_empty());
+            }
+        }
+    }
+}

@@ -10,12 +10,13 @@
 
 use mpl_core::{
     ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionResult, DecompositionSession,
-    SerialExecutor,
+    MemoCache, SerialExecutor,
 };
 use mpl_layout::{gen, io, Layout, Technology};
 use mpl_serve::{algorithm_wire_name, base64, FrameDecoder, Json, Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 
 /// A deliberately low-level protocol driver: writes hand-built lines,
 /// reads frames straight off the socket.
@@ -171,9 +172,14 @@ fn test_layouts() -> Vec<Layout> {
 
 /// Direct (no server) baseline: the same layouts through one
 /// [`DecompositionSession`] on the serial executor.
+///
+/// The baseline attaches a fresh memo cache because the server always runs
+/// memoized — and memoized colorings are a pure function of each
+/// component's canonical signature, so a *fresh* local cache reproduces
+/// the served bits no matter how warm the server's shared cache is.
 fn direct_session_results(engine: ColorAlgorithm, layouts: &[Layout]) -> Vec<DecompositionResult> {
     let decomposer = Decomposer::new(server_side_config(engine));
-    let mut session = DecompositionSession::new();
+    let mut session = DecompositionSession::new().with_memo(Arc::new(MemoCache::new(4096)));
     for layout in layouts {
         session
             .submit_layout(&decomposer, layout)
@@ -184,6 +190,14 @@ fn direct_session_results(engine: ColorAlgorithm, layouts: &[Layout]) -> Vec<Dec
         .into_iter()
         .map(|(_, result)| result)
         .collect()
+}
+
+/// One-layout convenience wrapper over [`direct_session_results`].
+fn direct_memoized_result(engine: ColorAlgorithm, layout: &Layout) -> DecompositionResult {
+    direct_session_results(engine, std::slice::from_ref(layout))
+        .into_iter()
+        .next()
+        .expect("one layout, one result")
 }
 
 #[test]
@@ -321,9 +335,7 @@ fn gds_base64_submissions_match_local_decomposition_of_the_same_bytes() {
     )
     .expect("convert GDS");
     let engine = ColorAlgorithm::Linear;
-    let baseline = Decomposer::new(server_side_config(engine))
-        .decompose(&read_back)
-        .expect("valid config");
+    let baseline = direct_memoized_result(engine, &read_back);
 
     let mut client = RawClient::connect(handle.addr());
     client.send_line(&submit_frame(
@@ -426,9 +438,7 @@ fn errors_are_typed_and_leave_the_connection_usable() {
     );
     let engine = ColorAlgorithm::SdpGreedy;
     let layout = gen::k5_cluster_layout(&Technology::nm20());
-    let baseline = Decomposer::new(server_side_config(engine))
-        .decompose(&layout)
-        .expect("valid config");
+    let baseline = direct_memoized_result(engine, &layout);
     client.send_line(&submit_frame(
         "t8",
         "layout_text",
@@ -515,9 +525,7 @@ fn empty_layouts_and_session_reuse_across_waves() {
     // server's sessions are reused across batches (unique ids internally).
     let tech = Technology::nm20();
     let layout = gen::fig1_contact_clique(&tech);
-    let baseline = Decomposer::new(server_side_config(ColorAlgorithm::Linear))
-        .decompose(&layout)
-        .expect("valid config");
+    let baseline = direct_memoized_result(ColorAlgorithm::Linear, &layout);
     for wave in 0..3 {
         let id = format!("wave-{wave}");
         client.send_line(&submit_frame(
@@ -530,5 +538,110 @@ fn empty_layouts_and_session_reuse_across_waves() {
         let frame = client.await_terminal(&id);
         assert_result_matches(&frame, &baseline, &id);
     }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn ping_reports_cache_statistics_and_resubmissions_are_served_warm() {
+    let handle = spawn_server();
+    let mut client = RawClient::connect(handle.addr());
+    let ping = |client: &mut RawClient| -> Json {
+        client.send_line(r#"{"type":"ping"}"#);
+        let frame = client.recv();
+        assert_eq!(frame.get("type").and_then(Json::as_str), Some("pong"));
+        frame
+            .get("cache")
+            .expect("pong carries cache stats")
+            .clone()
+    };
+
+    // Fresh server: an empty cache with the default capacity.
+    let cold = ping(&mut client);
+    assert_eq!(cold.get("entries").and_then(Json::as_usize), Some(0));
+    assert_eq!(cold.get("hits").and_then(Json::as_usize), Some(0));
+    assert_eq!(cold.get("misses").and_then(Json::as_usize), Some(0));
+    assert!(
+        cold.get("capacity")
+            .and_then(Json::as_usize)
+            .expect("capacity")
+            >= 1
+    );
+
+    let engine = ColorAlgorithm::SdpBacktrack;
+    let layout = gen::generate_row_layout(
+        &gen::RowLayoutConfig::small("serve-memo", 7),
+        &Technology::nm20(),
+    );
+    let baseline = direct_memoized_result(engine, &layout);
+    let submit = |client: &mut RawClient, id: &str, executor: &str| {
+        client.send_line(&submit_frame(
+            id,
+            "layout_text",
+            &io::to_text(&layout),
+            engine,
+            executor,
+        ));
+    };
+
+    // Cold submission: everything is engine-colored and the result frame
+    // says so through its memo counters.
+    submit(&mut client, "m-cold", "pool");
+    let frame = client.await_terminal("m-cold");
+    assert_result_matches(&frame, &baseline, "cold submission");
+    let components = frame
+        .get("components")
+        .and_then(Json::as_usize)
+        .expect("components");
+    let hits = frame
+        .get("memo_hits")
+        .and_then(Json::as_usize)
+        .expect("memo_hits");
+    let misses = frame
+        .get("memo_misses")
+        .and_then(Json::as_usize)
+        .expect("memo_misses");
+    assert_eq!(hits + misses, components, "every component is accounted");
+    assert!(misses > 0, "a cold cache cannot serve hits");
+
+    let after_cold = ping(&mut client);
+    let stored = after_cold
+        .get("entries")
+        .and_then(Json::as_usize)
+        .expect("entries");
+    assert!(stored > 0, "the cold batch fills the cache");
+    assert!(
+        after_cold
+            .get("misses")
+            .and_then(Json::as_usize)
+            .expect("misses")
+            > 0
+    );
+
+    // Warm resubmission — on the *other* executor: the sessions share one
+    // cache, every component is stamped, and the bits do not move.
+    submit(&mut client, "m-warm", "serial");
+    let frame = client.await_terminal("m-warm");
+    assert_result_matches(&frame, &baseline, "warm resubmission");
+    assert_eq!(
+        frame.get("memo_hits").and_then(Json::as_usize),
+        Some(components),
+        "a warm cache serves the whole layout"
+    );
+    assert_eq!(frame.get("memo_misses").and_then(Json::as_usize), Some(0));
+
+    let after_warm = ping(&mut client);
+    assert_eq!(
+        after_warm.get("entries").and_then(Json::as_usize),
+        Some(stored),
+        "a fully-warm batch stores nothing new"
+    );
+    assert!(
+        after_warm
+            .get("hits")
+            .and_then(Json::as_usize)
+            .expect("hits")
+            >= components,
+        "the warm batch hit once per component"
+    );
     handle.shutdown().expect("clean shutdown");
 }
