@@ -16,8 +16,9 @@
 use crate::workload::TimedLayout;
 use mpl_core::{
     json_escape, ColorAlgorithm, DecomposeError, Decomposer, DecompositionSession, Executor,
-    MemoCache, MemoStats,
+    MemoCache, MemoStats, TileConfig,
 };
+use mpl_tile::TileStats;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -50,6 +51,8 @@ pub struct LayoutBenchStats {
     /// Components colored fresh into the memo cache (`None` without a
     /// cache).
     pub memo_misses: Option<usize>,
+    /// Halo-aware tiling statistics (`None` when the batch ran untiled).
+    pub tiles: Option<TileStats>,
 }
 
 /// The result of one batch benchmark run: per-layout rows plus the batch
@@ -67,6 +70,8 @@ pub struct BatchBenchReport {
     /// End-of-run snapshot of the shared memo cache, when one was
     /// attached.
     pub memo: Option<MemoStats>,
+    /// The tiling the batch ran under, when sharded through `mpl-tile`.
+    pub tiling: Option<TileConfig>,
     /// Per-layout rows, in submission order.
     pub layouts: Vec<LayoutBenchStats>,
 }
@@ -99,9 +104,10 @@ impl BatchBenchReport {
 
     /// Renders the machine-readable report (schema `mpl-bench/batch-v1`).
     ///
-    /// Memo fields (`batch.memo`, per-row `memo_hits`/`memo_misses`) are
-    /// additive and appear only when the run was memoized, so v1 consumers
-    /// keep working.
+    /// Memo fields (`batch.memo`, per-row `memo_hits`/`memo_misses`) and
+    /// tiling fields (`batch.tiling`, per-row `tiles`) are additive and
+    /// appear only when the run was memoized/tiled, so v1 consumers keep
+    /// working.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"schema\": \"mpl-bench/batch-v1\",\n");
@@ -125,6 +131,15 @@ impl BatchBenchReport {
                 "    \"memo\": {{\"entries\": {}, \"capacity\": {}, \"hits\": {}, \
                  \"misses\": {}, \"evictions\": {}, \"bytes\": {}}},\n",
                 memo.entries, memo.capacity, memo.hits, memo.misses, memo.evictions, memo.bytes
+            ));
+        }
+        if let Some(tiling) = &self.tiling {
+            out.push_str(&format!(
+                "    \"tiling\": {{\"tile_size\": {}, \"halo\": {}}},\n",
+                tiling.tile_size.value(),
+                tiling
+                    .halo
+                    .map_or_else(|| "null".to_string(), |halo| halo.value().to_string())
             ));
         }
         out.push_str(&format!(
@@ -162,6 +177,25 @@ impl BatchBenchReport {
                 out.push_str(&format!("\"memo_hits\": {hits}, "));
                 out.push_str(&format!("\"memo_misses\": {misses}, "));
             }
+            if let Some(tiles) = &row.tiles {
+                out.push_str(&format!(
+                    "\"tiles\": {{\"grid_x\": {}, \"grid_y\": {}, \"tiles\": {}, \
+                     \"tiled_components\": {}, \"resident_components\": {}, \
+                     \"shared_vertices\": {}, \"permuted_tiles\": {}, \
+                     \"recolored_vertices\": {}, \"cross_conflicts_before\": {}, \
+                     \"cross_conflicts_after\": {}}}, ",
+                    tiles.grid_x,
+                    tiles.grid_y,
+                    tiles.tiles,
+                    tiles.tiled_components,
+                    tiles.resident_components,
+                    tiles.shared_vertices,
+                    tiles.permuted_tiles,
+                    tiles.recolored_vertices,
+                    tiles.cross_conflicts_before,
+                    tiles.cross_conflicts_after,
+                ));
+            }
             out.push_str(&format!("\"parse_seconds\": {}, ", row.parse_seconds));
             out.push_str(&format!("\"plan_seconds\": {}, ", row.plan_seconds));
             out.push_str(&format!("\"color_seconds\": {}}}", row.color_seconds));
@@ -183,33 +217,56 @@ impl BatchBenchReport {
 /// measure warm-path throughput, a fresh one to measure cold, or `None`
 /// (the historical behaviour) to keep memoization out of the measurement.
 ///
+/// With `tiling`, every layout is sharded into halo-expanded tile windows
+/// through `mpl-tile` and the per-row reports carry the reconciliation
+/// statistics; `None` runs the plain batch engine.
+///
 /// # Errors
 ///
 /// Propagates the first layout's typed planning error (e.g. a degenerate
-/// shape in a user-supplied file).
+/// shape in a user-supplied file), or the typed configuration error of an
+/// invalid tiling (non-positive tile size, halo below the coloring
+/// distance).
 pub fn run_batch_bench(
     layouts: &[TimedLayout],
     k: usize,
     algorithm: ColorAlgorithm,
     executor: &dyn Executor,
     memo: Option<Arc<MemoCache>>,
+    tiling: Option<TileConfig>,
 ) -> Result<BatchBenchReport, DecomposeError> {
     let decomposer = Decomposer::new(crate::table_config(k, algorithm));
     let mut session = DecompositionSession::new();
     if let Some(cache) = &memo {
         session = session.with_memo(Arc::clone(cache));
     }
+    session.set_tiling(tiling);
     for timed in layouts {
         session.submit_layout(&decomposer, &timed.layout)?;
     }
     let batch_start = Instant::now();
-    let results = session.run(executor);
+    let results: Vec<(
+        mpl_core::LayoutId,
+        mpl_core::DecompositionResult,
+        Option<TileStats>,
+    )> = match tiling {
+        Some(_) => mpl_tile::run_tiled(&session, executor)
+            .map_err(DecomposeError::Config)?
+            .into_iter()
+            .map(|(id, tiled)| (id, tiled.result, Some(tiled.stats)))
+            .collect(),
+        None => session
+            .run(executor)
+            .into_iter()
+            .map(|(id, result)| (id, result, None))
+            .collect(),
+    };
     let batch_wall_seconds = batch_start.elapsed().as_secs_f64();
 
     let rows = results
         .iter()
         .zip(layouts)
-        .map(|((id, result), timed)| {
+        .map(|((id, result, tiles), timed)| {
             let plan = session.plan(*id).expect("session keeps every plan");
             LayoutBenchStats {
                 name: result.layout_name().to_string(),
@@ -224,6 +281,7 @@ pub fn run_batch_bench(
                 color_seconds: result.color_time().as_secs_f64(),
                 memo_hits: result.memo_hits(),
                 memo_misses: result.memo_misses(),
+                tiles: *tiles,
             }
         })
         .collect();
@@ -233,6 +291,7 @@ pub fn run_batch_bench(
         executor: executor.name().to_string(),
         batch_wall_seconds,
         memo: memo.map(|cache| cache.stats()),
+        tiling,
         layouts: rows,
     })
 }
@@ -257,8 +316,15 @@ mod tests {
     #[test]
     fn batch_bench_reports_per_layout_and_aggregate_numbers() {
         let layouts = [timed("bb-a", 3), timed("bb-b", 7)];
-        let report = run_batch_bench(&layouts, 4, ColorAlgorithm::Linear, &SerialExecutor, None)
-            .expect("valid");
+        let report = run_batch_bench(
+            &layouts,
+            4,
+            ColorAlgorithm::Linear,
+            &SerialExecutor,
+            None,
+            None,
+        )
+        .expect("valid");
         assert_eq!(report.layouts.len(), 2);
         assert_eq!(report.k, 4);
         assert_eq!(report.algorithm, "Linear");
@@ -278,8 +344,15 @@ mod tests {
     #[test]
     fn batch_results_match_the_single_layout_flow() {
         let layouts = [timed("bb-x", 5), timed("bb-y", 9)];
-        let report = run_batch_bench(&layouts, 4, ColorAlgorithm::Linear, &SerialExecutor, None)
-            .expect("valid");
+        let report = run_batch_bench(
+            &layouts,
+            4,
+            ColorAlgorithm::Linear,
+            &SerialExecutor,
+            None,
+            None,
+        )
+        .expect("valid");
         for (row, timed) in report.layouts.iter().zip(&layouts) {
             let standalone = Decomposer::new(crate::table_config(4, ColorAlgorithm::Linear))
                 .decompose(&timed.layout)
@@ -292,8 +365,15 @@ mod tests {
     #[test]
     fn json_report_is_well_formed_enough_to_round_trip_key_fields() {
         let layouts = [timed("bb-json \"quoted\"", 3)];
-        let report = run_batch_bench(&layouts, 4, ColorAlgorithm::Linear, &SerialExecutor, None)
-            .expect("valid");
+        let report = run_batch_bench(
+            &layouts,
+            4,
+            ColorAlgorithm::Linear,
+            &SerialExecutor,
+            None,
+            None,
+        )
+        .expect("valid");
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"mpl-bench/batch-v1\""));
         assert!(json.contains("\"layouts_per_sec\""));
@@ -318,6 +398,7 @@ mod tests {
             ColorAlgorithm::Linear,
             &SerialExecutor,
             Some(Arc::clone(&cache)),
+            None,
         )
         .expect("valid");
         let memo = report.memo.expect("memoized run snapshots the cache");
@@ -337,8 +418,15 @@ mod tests {
         assert!(json.contains("\"memo_hits\""));
 
         // An unmemoized run keeps the v1 shape: no memo fields at all.
-        let plain = run_batch_bench(&layouts, 4, ColorAlgorithm::Linear, &SerialExecutor, None)
-            .expect("valid");
+        let plain = run_batch_bench(
+            &layouts,
+            4,
+            ColorAlgorithm::Linear,
+            &SerialExecutor,
+            None,
+            None,
+        )
+        .expect("valid");
         assert!(plain.memo.is_none());
         assert!(!plain.to_json().contains("memo"));
     }
@@ -354,13 +442,66 @@ mod tests {
         let timed = crate::workload::load_layout_timed(&path, &[]).expect("load");
         assert!(timed.parse_seconds > 0.0);
         assert_eq!(timed.path, path);
-        let report = run_batch_bench(&[timed], 4, ColorAlgorithm::Linear, &SerialExecutor, None)
-            .expect("valid");
+        let report = run_batch_bench(
+            &[timed],
+            4,
+            ColorAlgorithm::Linear,
+            &SerialExecutor,
+            None,
+            None,
+        )
+        .expect("valid");
         assert_eq!(
             report.layouts[0].parse_seconds,
             report.total_parse_seconds()
         );
         assert!(report.to_json().contains("parse_seconds"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tiled_batch_reports_reconciliation_columns_and_matches_untiled_quality() {
+        use mpl_geometry::Nm;
+        let tech = Technology::nm20();
+        // One chip-spanning degree-8 lattice: several 300 nm windows.
+        let lattice = TimedLayout {
+            path: String::new(),
+            layout: gen::contact_array(&tech, 12, 12, Nm(70)),
+            parse_seconds: 0.0,
+        };
+        let tiling = TileConfig::new(Nm(300));
+        let report = std::slice::from_ref(&lattice);
+        let tiled = run_batch_bench(
+            report,
+            4,
+            ColorAlgorithm::Linear,
+            &SerialExecutor,
+            None,
+            Some(tiling),
+        )
+        .expect("valid tiling");
+        assert_eq!(tiled.tiling, Some(tiling));
+        let row = &tiled.layouts[0];
+        let tiles = row.tiles.expect("tiled rows carry tile stats");
+        assert!(tiles.tiles > 1);
+        assert_eq!(tiles.tiled_components, 1);
+        assert!(tiles.cross_conflicts_after <= tiles.cross_conflicts_before);
+        let json = tiled.to_json();
+        assert!(json.contains("\"tiling\": {\"tile_size\": 300, \"halo\": null}"));
+        assert!(json.contains("\"cross_conflicts_after\""));
+
+        // An untiled run of the same batch carries no tiling fields at all.
+        let plain = run_batch_bench(
+            report,
+            4,
+            ColorAlgorithm::Linear,
+            &SerialExecutor,
+            None,
+            None,
+        )
+        .expect("valid");
+        assert!(plain.tiling.is_none());
+        assert!(plain.layouts[0].tiles.is_none());
+        assert!(!plain.to_json().contains("tiling"));
     }
 }

@@ -12,13 +12,21 @@
 //! * a memoization case: a deep repeated array (many exact translates of
 //!   one dense strip) decomposed without a cache, with a cold cache, and
 //!   with a warm cache, recording hit/miss/eviction counters and the
-//!   warm-vs-cold coloring diff count.
+//!   warm-vs-cold coloring diff count,
+//! * a full-chip tiled case: a chip-spanning contact lattice sharded into
+//!   halo-expanded windows through `mpl-tile` and solved exactly per
+//!   window, recording the reconciliation counters, a spacing
+//!   re-verification of the merged coloring, and a one-window control that
+//!   must match the untiled coloring bit for bit.
 //!
-//! The report is emitted as `BENCH_perf.json` (schema `mpl-bench/perf-v2`).
+//! The report is emitted as `BENCH_perf.json` (schema `mpl-bench/perf-v3`).
 //! Wall-clock numbers are informative only — the dev container is
 //! single-CPU and noisy — while the work counters are deterministic and are
-//! what CI pins (`--check`): per-layout engine counters, plus the memo
-//! case's warm hit rate (≥ 90 %) and zero warm-vs-cold coloring diffs.
+//! what CI pins (`--check`): per-layout engine counters, the memo case's
+//! warm hit rate (≥ 90 %) and zero warm-vs-cold coloring diffs, and the
+//! tile case's zero post-reconciliation conflicts, clean spacing check,
+//! and bit-identical control.  Under `--check` the untiled comparison run
+//! of the tile case is skipped (it is wall-clock-only information).
 //!
 //! Usage: `perfbench [--json FILE] [--label NAME] [--check]`
 

@@ -6,6 +6,7 @@
 //! Usage: `cargo run -p mpl-bench --release --bin workload -- \
 //!     [--k N] [--threads N] [--layer L[:D] ...] \
 //!     [--batch [--memo | --no-memo] [--memo-capacity N] \
+//!      [--tile-size NM [--halo NM]] \
 //!      | --serve ADDR [--executor serial|pool]] \
 //!     [--algorithm NAME] [--bench-json PATH] FILE [FILE ...]`
 //!
@@ -18,7 +19,10 @@
 //! cache (`--memo`, off by default so timings measure the engines) and then
 //! reports per-layout hit/miss counts plus the cache's aggregate
 //! hits/misses/evictions; `--memo-capacity` bounds the cache and requires
-//! `--memo`.  Serve mode (`--serve ADDR`) instead streams every file
+//! `--memo`.  Batch mode can also shard every layout into halo-expanded
+//! tile windows through `mpl-tile` (`--tile-size NM`, optionally
+//! `--halo NM`), adding per-layout tile/reconciliation columns to the
+//! table and the report.  Serve mode (`--serve ADDR`) instead streams every file
 //! as a `submit` request to the decomposition service at ADDR and measures
 //! client-observed requests/sec — the socket round trips and scheduler
 //! coalescing included.  In both modes `--bench-json PATH` writes the
@@ -32,7 +36,8 @@ use mpl_bench::batch::run_batch_bench;
 use mpl_bench::serve::run_serve_bench;
 use mpl_bench::workload::{load_layout_timed, run_layout_table_on, TimedLayout};
 use mpl_bench::{executor_for_threads, table_config, threads_from_args, TABLE1_ALGORITHMS};
-use mpl_core::{ColorAlgorithm, ConfigError, MemoCache};
+use mpl_core::{ColorAlgorithm, ConfigError, MemoCache, TileConfig};
+use mpl_geometry::Nm;
 use mpl_serve::ExecutorChoice;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -49,6 +54,7 @@ fn main() -> ExitCode {
 
     let usage = "usage: workload [--k N] [--threads N] [--layer L[:D] ...] \
                  [--batch [--memo | --no-memo] [--memo-capacity N] \
+                 [--tile-size NM [--halo NM]] \
                  | --serve ADDR [--executor serial|pool]] \
                  [--algorithm NAME] [--bench-json PATH] FILE [FILE ...]";
     let mut k = 4usize;
@@ -61,6 +67,8 @@ fn main() -> ExitCode {
     let mut bench_json: Option<String> = None;
     let mut memo: Option<bool> = None;
     let mut memo_capacity: Option<usize> = None;
+    let mut tile_size: Option<i64> = None;
+    let mut halo: Option<i64> = None;
     let mut args = rest.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -100,6 +108,20 @@ fn main() -> ExitCode {
                 Some(Ok(value)) => memo_capacity = Some(value),
                 _ => {
                     eprintln!("--memo-capacity requires an integer value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--tile-size" => match args.next().map(|v| v.parse::<i64>()) {
+                Some(Ok(value)) => tile_size = Some(value),
+                _ => {
+                    eprintln!("--tile-size requires an integer nm value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--halo" => match args.next().map(|v| v.parse::<i64>()) {
+                Some(Ok(value)) => halo = Some(value),
+                _ => {
+                    eprintln!("--halo requires an integer nm value");
                     return ExitCode::FAILURE;
                 }
             },
@@ -176,6 +198,29 @@ fn main() -> ExitCode {
             memo_capacity.unwrap_or(MemoCache::DEFAULT_CAPACITY),
         ))
     });
+    // Tiling shards the batch through mpl-tile, so it only exists in batch
+    // mode; invalid tile geometry is the pipeline's typed error.
+    if !batch && (tile_size.is_some() || halo.is_some()) {
+        eprintln!("--tile-size/--halo only apply to --batch mode");
+        return ExitCode::FAILURE;
+    }
+    if halo.is_some() && tile_size.is_none() {
+        eprintln!("{}", ConfigError::TileHaloWithoutTiling);
+        return ExitCode::FAILURE;
+    }
+    let tiling = tile_size.map(|size| {
+        let mut tiling = TileConfig::new(Nm(size));
+        if let Some(halo) = halo {
+            tiling = tiling.with_halo(Nm(halo));
+        }
+        tiling
+    });
+    if let Some(tiling) = &tiling {
+        if let Err(error) = tiling.validate() {
+            eprintln!("{error}");
+            return ExitCode::FAILURE;
+        }
+    }
     // Surface bad mask counts (e.g. --k 1 or --k 300) as the pipeline's
     // typed error before any file is loaded.
     if let Err(error) = table_config(k, ColorAlgorithm::Linear).validate() {
@@ -258,7 +303,14 @@ fn main() -> ExitCode {
             layouts.len(),
             executor.name()
         );
-        let report = match run_batch_bench(&layouts, k, algorithm, executor.as_ref(), memo_cache) {
+        let report = match run_batch_bench(
+            &layouts,
+            k,
+            algorithm,
+            executor.as_ref(),
+            memo_cache,
+            tiling,
+        ) {
             Ok(report) => report,
             Err(error) => {
                 eprintln!("{error}");
@@ -272,8 +324,14 @@ fn main() -> ExitCode {
         } else {
             String::new()
         };
+        let tile_columns = report.tiling.is_some();
+        let tile_header = if tile_columns {
+            format!(" {:>6} {:>6}", "tiles", "cross")
+        } else {
+            String::new()
+        };
         println!(
-            "{:<24} {:>8} {:>9} {:>6} {:>6}{memo_header} {:>9} {:>9} {:>9}",
+            "{:<24} {:>8} {:>9} {:>6} {:>6}{memo_header}{tile_header} {:>9} {:>9} {:>9}",
             "layout", "vertices", "comps", "cn#", "st#", "parse(s)", "plan(s)", "color(s)"
         );
         for row in &report.layouts {
@@ -286,8 +344,18 @@ fn main() -> ExitCode {
             } else {
                 String::new()
             };
+            let tile_cells = if tile_columns {
+                let tiles = row.tiles.as_ref();
+                format!(
+                    " {:>6} {:>6}",
+                    tiles.map_or(0, |t| t.tiles),
+                    tiles.map_or(0, |t| t.cross_conflicts_after)
+                )
+            } else {
+                String::new()
+            };
             println!(
-                "{:<24} {:>8} {:>9} {:>6} {:>6}{memo_cells} {:>9.3} {:>9.3} {:>9.3}",
+                "{:<24} {:>8} {:>9} {:>6} {:>6}{memo_cells}{tile_cells} {:>9.3} {:>9.3} {:>9.3}",
                 row.name,
                 row.vertices,
                 row.components,
@@ -313,6 +381,29 @@ fn main() -> ExitCode {
             println!(
                 "memo: {} hits, {} misses, {} evictions ({} entries, {} bytes)",
                 memo.hits, memo.misses, memo.evictions, memo.entries, memo.bytes
+            );
+        }
+        if let Some(tiling) = &report.tiling {
+            let tiles: usize = report
+                .layouts
+                .iter()
+                .filter_map(|row| row.tiles.as_ref())
+                .map(|t| t.tiles)
+                .sum();
+            let cross_after: usize = report
+                .layouts
+                .iter()
+                .filter_map(|row| row.tiles.as_ref())
+                .map(|t| t.cross_conflicts_after)
+                .sum();
+            println!(
+                "tiling: {} nm windows ({} halo), {} tiles, {} cross-window conflicts after reconciliation",
+                tiling.tile_size.value(),
+                tiling
+                    .halo
+                    .map_or_else(|| "default".to_string(), |halo| format!("{} nm", halo.value())),
+                tiles,
+                cross_after
             );
         }
         if let Some(path) = bench_json {

@@ -18,6 +18,12 @@
 //!   sessions.  Reports the plan+color wall seconds of each run plus the
 //!   deterministic hit/miss counters and the number of vertices whose
 //!   warm coloring differs from the cold one (always zero).
+//! * **Tile cases** — a full-chip contact lattice (one chip-spanning
+//!   component) sharded into halo-expanded windows through [`mpl_tile`]
+//!   and solved exactly per window, reporting the reconciliation counters
+//!   (cross-window conflicts before/after, permuted tiles, recolored
+//!   vertices), a spacing re-verification of the merged coloring, and a
+//!   one-window control that must match the untiled coloring bit for bit.
 //!
 //! Wall-clock numbers vary with the machine (the dev container is
 //! single-CPU); the counters are deterministic, which is why
@@ -25,12 +31,13 @@
 //! memo cases, a warm hit rate of at least 90 % and zero coloring diffs.
 
 use mpl_core::{
-    json_escape, ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionResult,
-    DecompositionSession, MemoCache, SerialExecutor,
+    json_escape, verify_spacing, ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionResult,
+    DecompositionSession, MemoCache, SerialExecutor, TileConfig,
 };
 use mpl_geometry::Nm;
 use mpl_ilp::{solve_exact, ColoringInstance, ExactOptions};
 use mpl_layout::{gen, Layout, Technology};
+use mpl_tile::{run_tiled, TiledLayoutResult};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -173,7 +180,69 @@ pub struct BnbPerfCase {
     pub seconds: f64,
 }
 
-/// The full perf report (schema `mpl-bench/perf-v2`).
+/// One full-chip tiled decomposition measurement: a chip-spanning
+/// component sharded into halo-expanded tile windows through `mpl-tile`,
+/// with an all-fits-one-window control run.
+#[derive(Debug, Clone)]
+pub struct TilePerfCase {
+    /// Case name (stable across runs).
+    pub name: String,
+    /// Engine used for color assignment (per tile sub-problem).
+    pub algorithm: String,
+    /// Mask count K.
+    pub k: usize,
+    /// Input shapes.
+    pub shapes: usize,
+    /// Decomposition-graph vertices.
+    pub vertices: usize,
+    /// Tile window edge length in nm.
+    pub tile_size: i64,
+    /// Tile grid columns.
+    pub grid_x: usize,
+    /// Tile grid rows.
+    pub grid_y: usize,
+    /// Non-empty tile sub-problems decomposed.
+    pub tiles: usize,
+    /// Components sharded across windows.
+    pub tiled_components: usize,
+    /// Halo-shared vertices decomposed by more than one tile.
+    pub shared_vertices: usize,
+    /// Tiles whose coloring was permuted during reconciliation.
+    pub permuted_tiles: usize,
+    /// Boundary vertices recolored by the fallback pass.
+    pub recolored_vertices: usize,
+    /// Cross-window conflicts before reconciliation.
+    pub cross_conflicts_before: usize,
+    /// Cross-window conflicts after reconciliation.
+    pub cross_conflicts_after: usize,
+    /// Unresolved conflicts of the merged coloring (full-graph count).
+    pub conflicts: usize,
+    /// Inserted stitches of the merged coloring.
+    pub stitches: usize,
+    /// Wall seconds for the tiled plan + decompose + reconcile run.
+    pub tiled_seconds: f64,
+    /// Wall seconds for the untiled run of the same layout and engine —
+    /// skipped (`None`) under `--check`, where only the deterministic
+    /// counters matter and the untiled exact solve dominates the suite.
+    pub untiled_seconds: Option<f64>,
+    /// Spacing violations of the merged coloring under the same geometric
+    /// checker as untiled runs (must equal `conflicts`).
+    pub spacing_violations: usize,
+    /// Whether the control layout (which fits one window) colored
+    /// bit-identically tiled and untiled.
+    pub control_bit_identical: bool,
+}
+
+impl TilePerfCase {
+    /// Tiled-over-untiled wall-clock speedup, when the untiled run was
+    /// taken.
+    pub fn tiled_speedup(&self) -> Option<f64> {
+        self.untiled_seconds
+            .map(|untiled| untiled / self.tiled_seconds.max(1e-12))
+    }
+}
+
+/// The full perf report (schema `mpl-bench/perf-v3`).
 #[derive(Debug, Clone)]
 pub struct PerfReport {
     /// The label the run was taken under.
@@ -182,6 +251,8 @@ pub struct PerfReport {
     pub layouts: Vec<LayoutPerfCase>,
     /// Memoization cases, in suite order.
     pub memo: Vec<MemoPerfCase>,
+    /// Full-chip tiled cases, in suite order.
+    pub tile: Vec<TilePerfCase>,
     /// Branch-and-bound cases, in suite order.
     pub bnb: Vec<BnbPerfCase>,
 }
@@ -361,6 +432,112 @@ fn run_memo_cases() -> Result<Vec<MemoPerfCase>, String> {
     Ok(vec![case])
 }
 
+/// The full-chip tiled cases: a chip-spanning degree-8 contact lattice
+/// (one giant component) sharded into 400 nm windows through `mpl-tile`
+/// and solved exactly per tile — a configuration the untiled exact engine
+/// only finishes by burning its per-component time limit — plus a small
+/// control layout that fits one window and must color bit-identically
+/// tiled and untiled.
+fn run_tile_cases(options: &PerfOptions) -> Result<Vec<TilePerfCase>, String> {
+    let tech = Technology::nm20();
+    let tile_size = Nm(400);
+    let algorithm = ColorAlgorithm::Ilp;
+    // 96×96 contacts at 70 nm pitch: orthogonal and diagonal neighbours
+    // conflict, so the whole chip is one spanning component.
+    let layout = gen::contact_array(&tech, 96, 96, Nm(70));
+    let config = DecomposerConfig::quadruple(Technology::nm20())
+        .with_algorithm(algorithm)
+        .with_ilp_time_limit(Duration::from_secs(2));
+    let decomposer = Decomposer::new(config);
+    let mut session = DecompositionSession::new()
+        .with_memo(Arc::new(MemoCache::new(MemoCache::DEFAULT_CAPACITY)))
+        .with_tiling(TileConfig::new(tile_size));
+    let start = Instant::now();
+    session
+        .submit_layout(&decomposer, &layout)
+        .map_err(|error| format!("{}: {error}", layout.name()))?;
+    let results =
+        run_tiled(&session, &SerialExecutor).map_err(|error| format!("tiled run: {error}"))?;
+    let tiled_seconds = start.elapsed().as_secs_f64();
+    let (id, TiledLayoutResult { result, stats }) =
+        results.into_iter().next().expect("one layout submitted");
+    // The merged coloring must be spacing-clean under the same geometric
+    // checker untiled results answer to — every violation is a counted
+    // conflict, nothing hides in a window seam.
+    let plan = session.plan(id).expect("plan retained by the session");
+    let spacing_violations =
+        verify_spacing(plan.graph(), result.colors(), tech.coloring_distance(4)).len();
+
+    // The untiled comparison run is wall-clock only, so `--check` skips it
+    // (it dominates the suite's runtime without adding any counter).
+    let untiled_seconds = if options.check {
+        None
+    } else {
+        Some(timed_session_run(&layout, algorithm, None)?.0)
+    };
+
+    // Control: a layout whose single component fits one window must take
+    // the resident path and reproduce the untiled coloring bit for bit.
+    // Both runs are unmemoized so the identity is an engine-path claim,
+    // not a cache artifact.
+    let control = gen::contact_array(&tech, 6, 6, Nm(70));
+    let (_, control_untiled) = timed_session_run(&control, algorithm, None)?;
+    let control_decomposer =
+        Decomposer::new(DecomposerConfig::quadruple(Technology::nm20()).with_algorithm(algorithm));
+    let mut control_session =
+        DecompositionSession::new().with_tiling(TileConfig::new(Nm(1_000_000)));
+    control_session
+        .submit_layout(&control_decomposer, &control)
+        .map_err(|error| format!("{}: {error}", control.name()))?;
+    let control_results = run_tiled(&control_session, &SerialExecutor)
+        .map_err(|error| format!("tiled control run: {error}"))?;
+    let (_, control_tiled) = control_results
+        .into_iter()
+        .next()
+        .expect("one control layout submitted");
+    let control_bit_identical = control_tiled.result.colors() == control_untiled.colors();
+
+    let case = TilePerfCase {
+        name: layout.name().to_string(),
+        algorithm: result.algorithm().to_string(),
+        k: result.k(),
+        shapes: layout.shape_count(),
+        vertices: result.vertex_count(),
+        tile_size: tile_size.value(),
+        grid_x: stats.grid_x,
+        grid_y: stats.grid_y,
+        tiles: stats.tiles,
+        tiled_components: stats.tiled_components,
+        shared_vertices: stats.shared_vertices,
+        permuted_tiles: stats.permuted_tiles,
+        recolored_vertices: stats.recolored_vertices,
+        cross_conflicts_before: stats.cross_conflicts_before,
+        cross_conflicts_after: stats.cross_conflicts_after,
+        conflicts: result.conflicts(),
+        stitches: result.stitches(),
+        tiled_seconds,
+        untiled_seconds,
+        spacing_violations,
+        control_bit_identical,
+    };
+    eprintln!(
+        "  tile {:<17} {:<14} |V|={:<6} tiles={:<4} tiled={:.3}s untiled={} cross={}→{} cn#={} sv#={} control-identical={}",
+        case.name,
+        case.algorithm,
+        case.vertices,
+        case.tiles,
+        case.tiled_seconds,
+        case.untiled_seconds
+            .map_or_else(|| "skipped".to_string(), |seconds| format!("{seconds:.3}s")),
+        case.cross_conflicts_before,
+        case.cross_conflicts_after,
+        case.conflicts,
+        case.spacing_violations,
+        case.control_bit_identical,
+    );
+    Ok(vec![case])
+}
+
 /// Runs the whole suite.
 ///
 /// # Errors
@@ -424,6 +601,7 @@ pub fn run_perf_suite(options: &PerfOptions) -> Result<PerfReport, String> {
     }
 
     let memo = run_memo_cases()?;
+    let tile = run_tile_cases(options)?;
 
     let mut bnb = Vec::new();
     for (name, instance) in bnb_instances() {
@@ -455,6 +633,7 @@ pub fn run_perf_suite(options: &PerfOptions) -> Result<PerfReport, String> {
         label: options.label.clone(),
         layouts,
         memo,
+        tile,
         bnb,
     })
 }
@@ -472,11 +651,11 @@ fn json_opt_bool(value: Option<bool>) -> String {
 }
 
 impl PerfReport {
-    /// Renders the machine-readable report (schema `mpl-bench/perf-v2`;
-    /// v2 added the `memo_cases` array to v1).
+    /// Renders the machine-readable report (schema `mpl-bench/perf-v3`;
+    /// v2 added the `memo_cases` array to v1, v3 the `tile_cases` array).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"mpl-bench/perf-v2\",\n");
+        out.push_str("  \"schema\": \"mpl-bench/perf-v3\",\n");
         out.push_str(&format!("  \"label\": \"{}\",\n", json_escape(&self.label)));
         out.push_str("  \"layouts\": [\n");
         for (index, case) in self.layouts.iter().enumerate() {
@@ -550,6 +729,65 @@ impl PerfReport {
             out.push_str(&format!("\"cache_evictions\": {}, ", case.cache_evictions));
             out.push_str(&format!("\"coloring_diffs\": {}}}", case.coloring_diffs));
             out.push_str(if index + 1 < self.memo.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"tile_cases\": [\n");
+        for (index, case) in self.tile.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\", ", json_escape(&case.name)));
+            out.push_str(&format!(
+                "\"algorithm\": \"{}\", ",
+                json_escape(&case.algorithm)
+            ));
+            out.push_str(&format!("\"k\": {}, ", case.k));
+            out.push_str(&format!("\"shapes\": {}, ", case.shapes));
+            out.push_str(&format!("\"vertices\": {}, ", case.vertices));
+            out.push_str(&format!("\"tile_size\": {}, ", case.tile_size));
+            out.push_str(&format!("\"grid_x\": {}, ", case.grid_x));
+            out.push_str(&format!("\"grid_y\": {}, ", case.grid_y));
+            out.push_str(&format!("\"tiles\": {}, ", case.tiles));
+            out.push_str(&format!(
+                "\"tiled_components\": {}, ",
+                case.tiled_components
+            ));
+            out.push_str(&format!("\"shared_vertices\": {}, ", case.shared_vertices));
+            out.push_str(&format!("\"permuted_tiles\": {}, ", case.permuted_tiles));
+            out.push_str(&format!(
+                "\"recolored_vertices\": {}, ",
+                case.recolored_vertices
+            ));
+            out.push_str(&format!(
+                "\"cross_conflicts_before\": {}, ",
+                case.cross_conflicts_before
+            ));
+            out.push_str(&format!(
+                "\"cross_conflicts_after\": {}, ",
+                case.cross_conflicts_after
+            ));
+            out.push_str(&format!("\"conflicts\": {}, ", case.conflicts));
+            out.push_str(&format!("\"stitches\": {}, ", case.stitches));
+            out.push_str(&format!("\"tiled_seconds\": {}, ", case.tiled_seconds));
+            out.push_str(&format!(
+                "\"untiled_seconds\": {}, ",
+                json_opt_f64(case.untiled_seconds)
+            ));
+            out.push_str(&format!(
+                "\"tiled_speedup\": {}, ",
+                json_opt_f64(case.tiled_speedup())
+            ));
+            out.push_str(&format!(
+                "\"spacing_violations\": {}, ",
+                case.spacing_violations
+            ));
+            out.push_str(&format!(
+                "\"control_bit_identical\": {}}}",
+                case.control_bit_identical
+            ));
+            out.push_str(if index + 1 < self.tile.len() {
                 ",\n"
             } else {
                 "\n"
@@ -690,6 +928,44 @@ impl PerfReport {
                 ));
             }
         }
+        for case in &self.tile {
+            // The tiled acceptance bar: the shard must be real (a giant
+            // component split over many windows), the reconciliation must
+            // leave zero cross-window conflicts, the merged coloring must
+            // be spacing-clean under the untiled checker, and the one-
+            // window control must reproduce the untiled bits.  Counters
+            // only — tiled_seconds and the speedup are informative.
+            if case.tiles <= 1 {
+                violations.push(format!(
+                    "tile case {}: only {} tile sub-problems — the full-chip shard collapsed",
+                    case.name, case.tiles
+                ));
+            }
+            if case.cross_conflicts_after != 0 {
+                violations.push(format!(
+                    "tile case {}: {} cross-window conflicts survive reconciliation",
+                    case.name, case.cross_conflicts_after
+                ));
+            }
+            if case.conflicts != 0 {
+                violations.push(format!(
+                    "tile case {}: merged coloring reports {} conflicts",
+                    case.name, case.conflicts
+                ));
+            }
+            if case.spacing_violations != case.conflicts {
+                violations.push(format!(
+                    "tile case {}: {} spacing violations disagree with {} reported conflicts",
+                    case.name, case.spacing_violations, case.conflicts
+                ));
+            }
+            if !case.control_bit_identical {
+                violations.push(format!(
+                    "tile case {}: one-window control diverged from the untiled coloring",
+                    case.name
+                ));
+            }
+        }
         if violations.is_empty() {
             Ok(())
         } else {
@@ -719,12 +995,14 @@ mod tests {
             label: "test".to_string(),
             layouts: Vec::new(),
             memo: Vec::new(),
+            tile: Vec::new(),
             bnb: Vec::new(),
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"mpl-bench/perf-v2\""));
+        assert!(json.contains("\"schema\": \"mpl-bench/perf-v3\""));
         assert!(json.contains("\"label\": \"test\""));
         assert!(json.contains("\"memo_cases\""));
+        assert!(json.contains("\"tile_cases\""));
     }
 
     #[test]
@@ -751,6 +1029,7 @@ mod tests {
             label: "test".to_string(),
             layouts: Vec::new(),
             memo: vec![case.clone()],
+            tile: Vec::new(),
             bnb: Vec::new(),
         };
         assert!(report.check_ceilings().is_ok());
@@ -776,5 +1055,68 @@ mod tests {
                 .any(|v| v.contains("differ between warm and cold")),
             "{violations:?}"
         );
+    }
+
+    #[test]
+    fn tile_ceilings_catch_seam_conflicts_and_control_divergence() {
+        let case = TilePerfCase {
+            name: "contact-grid-96".to_string(),
+            algorithm: "ILP".to_string(),
+            k: 4,
+            shapes: 9216,
+            vertices: 9216,
+            tile_size: 400,
+            grid_x: 17,
+            grid_y: 17,
+            tiles: 289,
+            tiled_components: 1,
+            shared_vertices: 2000,
+            permuted_tiles: 10,
+            recolored_vertices: 0,
+            cross_conflicts_before: 40,
+            cross_conflicts_after: 0,
+            conflicts: 0,
+            stitches: 0,
+            tiled_seconds: 0.2,
+            untiled_seconds: Some(10.0),
+            spacing_violations: 0,
+            control_bit_identical: true,
+        };
+        let mut report = PerfReport {
+            label: "test".to_string(),
+            layouts: Vec::new(),
+            memo: Vec::new(),
+            tile: vec![case.clone()],
+            bnb: Vec::new(),
+        };
+        assert!(report.check_ceilings().is_ok());
+        assert!((report.tile[0].tiled_speedup().expect("recorded") - 50.0).abs() < 1e-9);
+
+        report.tile[0].cross_conflicts_after = 2;
+        let violations = report.check_ceilings().expect_err("seam conflicts fail");
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("survive reconciliation")),
+            "{violations:?}"
+        );
+
+        report.tile[0] = TilePerfCase {
+            control_bit_identical: false,
+            ..case.clone()
+        };
+        let violations = report.check_ceilings().expect_err("control drift fails");
+        assert!(
+            violations.iter().any(|v| v.contains("one-window control")),
+            "{violations:?}"
+        );
+
+        report.tile[0] = TilePerfCase { tiles: 1, ..case };
+        let violations = report.check_ceilings().expect_err("collapsed shard fails");
+        assert!(
+            violations.iter().any(|v| v.contains("shard collapsed")),
+            "{violations:?}"
+        );
+        assert!(report.tile[0].untiled_seconds.is_some());
     }
 }

@@ -1,6 +1,7 @@
 //! Decomposer configuration.
 
 use crate::{ConfigError, StitchConfig};
+use mpl_geometry::Nm;
 use mpl_layout::Technology;
 use std::time::Duration;
 
@@ -101,6 +102,65 @@ impl DivisionConfig {
             biconnected_split: false,
             ghtree_cut_removal: false,
         }
+    }
+}
+
+/// Configuration of the spatial tiling pass for full-chip decomposition.
+///
+/// Tiling partitions a layout into a grid of square windows of side
+/// [`tile_size`](TileConfig::tile_size); connected components spanning more
+/// than one window are decomposed tile by tile, each tile expanded by a
+/// conflict-radius [`halo`](TileConfig::halo), and the per-tile colorings
+/// are reconciled deterministically afterwards.  The configuration lives in
+/// `mpl-core` so a [`DecompositionSession`](crate::DecompositionSession)
+/// can carry it ([`with_tiling`](crate::DecompositionSession::with_tiling));
+/// the tiled driver that consumes it is the `mpl-tile` crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Side length of the square tile core windows.
+    pub tile_size: Nm,
+    /// Geometric halo each tile window is expanded by when collecting
+    /// context shapes.  `None` (the default) derives the halo from the
+    /// technology's color-friendly distance for the plan's K, which covers
+    /// both conflict edges and color-friendly pairs.  An explicit halo must
+    /// be at least the coloring distance.
+    pub halo: Option<Nm>,
+}
+
+impl TileConfig {
+    /// Tiling with the given core window size and the derived default halo.
+    pub fn new(tile_size: Nm) -> Self {
+        TileConfig {
+            tile_size,
+            halo: None,
+        }
+    }
+
+    /// Overrides the derived halo with an explicit distance.
+    pub fn with_halo(mut self, halo: Nm) -> Self {
+        self.halo = Some(halo);
+        self
+    }
+
+    /// Checks the configuration: the tile size and any explicit halo must
+    /// be positive distances.  (The per-plan check that the halo covers the
+    /// coloring distance happens when the tiled driver sees the plan's K.)
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] describing the first invalid field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.tile_size <= Nm::ZERO {
+            return Err(ConfigError::TileSize {
+                size: self.tile_size.value(),
+            });
+        }
+        if let Some(halo) = self.halo {
+            if halo <= Nm::ZERO {
+                return Err(ConfigError::TileHalo { halo: halo.value() });
+            }
+        }
+        Ok(())
     }
 }
 

@@ -9,7 +9,6 @@
 //! and executes serially.
 
 use crate::assign::{assigner_for, ColorAssigner};
-#[cfg(test)]
 use crate::coloring_cost;
 use crate::division::{
     biconnected_blocks_with, ghtree_pieces_with, merge_with_rotation_with, peel_low_degree_with,
@@ -75,6 +74,31 @@ impl DecompositionResult {
             graph_time: plan.graph_time(),
             color_time,
         }
+    }
+
+    /// Assembles a result from a full-layout coloring produced outside the
+    /// plan's own batch engine — the `mpl-tile` crate's reconciliation pass
+    /// builds its merged result through this.
+    ///
+    /// `colors` must assign one color per graph vertex; the conflict/stitch
+    /// cost is recomputed here over the whole graph with the plan's α, so
+    /// the reported conflict count always agrees with what
+    /// [`verify_spacing`](crate::verify_spacing) would find.  `components`
+    /// follows the same per-task convention as an executed plan.
+    pub fn assemble(
+        plan: &DecompositionPlan,
+        executor: &str,
+        colors: Vec<u8>,
+        components: Vec<ComponentStats>,
+        color_time: Duration,
+    ) -> Self {
+        assert_eq!(
+            colors.len(),
+            plan.graph().vertex_count(),
+            "assembled coloring must cover every graph vertex"
+        );
+        let cost = coloring_cost(plan.graph(), &colors, plan.config().alpha);
+        DecompositionResult::from_execution(plan, executor, colors, cost, components, color_time)
     }
 
     /// The layout this result was computed for.

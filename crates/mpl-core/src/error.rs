@@ -34,6 +34,22 @@ pub enum ConfigError {
     },
     /// A memo capacity was given while memoization is disabled.
     MemoCapacityWithoutMemo,
+    /// A tile size that is not a positive distance.
+    TileSize {
+        /// The rejected tile size, in nm.
+        size: i64,
+    },
+    /// A tile halo that is not a positive distance, or smaller than the
+    /// coloring distance the tiles must cover.
+    TileHalo {
+        /// The rejected halo, in nm.
+        halo: i64,
+    },
+    /// A tile halo was given while tiling is disabled.
+    TileHaloWithoutTiling,
+    /// Tiling flags were combined with an explicit request to disable
+    /// tiling.
+    TileFlagsWithNoTile,
 }
 
 impl fmt::Display for ConfigError {
@@ -60,6 +76,19 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::MemoCapacityWithoutMemo => {
                 write!(f, "--memo-capacity requires memoization to be enabled")
+            }
+            ConfigError::TileSize { size } => {
+                write!(f, "tile size must be a positive distance in nm, got {size}")
+            }
+            ConfigError::TileHalo { halo } => write!(
+                f,
+                "tile halo must be a positive distance of at least the coloring distance, got {halo}"
+            ),
+            ConfigError::TileHaloWithoutTiling => {
+                write!(f, "--halo requires tiling to be enabled (--tile-size)")
+            }
+            ConfigError::TileFlagsWithNoTile => {
+                write!(f, "--no-tile contradicts --tile-size/--halo")
             }
         }
     }
@@ -125,6 +154,18 @@ mod tests {
             .to_string()
             .contains('2'));
         assert!(ConfigError::ThreadCount.to_string().contains("worker"));
+        assert!(ConfigError::TileSize { size: -5 }
+            .to_string()
+            .contains("got -5"));
+        assert!(ConfigError::TileHalo { halo: 0 }
+            .to_string()
+            .contains("got 0"));
+        assert!(ConfigError::TileHaloWithoutTiling
+            .to_string()
+            .contains("--tile-size"));
+        assert!(ConfigError::TileFlagsWithNoTile
+            .to_string()
+            .contains("--no-tile"));
         assert!(DecomposeError::DegenerateShape { shape: 3 }
             .to_string()
             .contains("s3"));

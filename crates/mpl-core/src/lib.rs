@@ -125,7 +125,7 @@ pub mod verify;
 
 pub use balance::{rebalance_masks, BalanceReport};
 pub use component::ComponentProblem;
-pub use config::{ColorAlgorithm, DecomposerConfig, DivisionConfig};
+pub use config::{ColorAlgorithm, DecomposerConfig, DivisionConfig, TileConfig};
 pub use cost::{coloring_cost, ColoringCost};
 pub use decomp_graph::{DecompositionGraph, VertexId};
 pub use decomposer::{Decomposer, DecompositionResult};

@@ -321,6 +321,44 @@ impl DecompositionPlan {
         &self.graph
     }
 
+    /// A clone of the shared graph handle, for drivers (like the `mpl-tile`
+    /// crate) that derive sub-plans over the same graph without copying it.
+    pub fn graph_shared(&self) -> Arc<DecompositionGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Builds a plan whose tasks are hand-picked sub-problems of `graph`
+    /// rather than its independent components.
+    ///
+    /// This is the escape hatch the `mpl-tile` crate uses to route tile
+    /// windows of an oversized component through the ordinary batch engine:
+    /// each `(problem, to_global)` pair becomes a [`ComponentTask`] (indexed
+    /// in the order given), sharing `graph` with the parent plan so memo
+    /// canonicalization and result assembly see the exact same geometry.
+    /// Every `to_global` entry must be a valid vertex id of `graph`, and the
+    /// problems must be induced sub-problems of it for the recomputed cost
+    /// to mean anything.  `graph_time` is reported as zero: the parent plan
+    /// already paid for the graph.
+    pub fn for_subproblems(
+        decomposer: Decomposer,
+        layout_name: String,
+        graph: Arc<DecompositionGraph>,
+        subproblems: Vec<(ComponentProblem, Vec<usize>)>,
+    ) -> Self {
+        let tasks = subproblems
+            .into_iter()
+            .enumerate()
+            .map(|(index, (problem, to_global))| ComponentTask::new(index, problem, to_global))
+            .collect();
+        DecompositionPlan {
+            decomposer,
+            layout_name,
+            graph,
+            tasks,
+            graph_time: Duration::ZERO,
+        }
+    }
+
     /// The decomposer the plan was built by (the batch engine colors each
     /// task with its own plan's configuration).
     pub(crate) fn decomposer(&self) -> &Decomposer {

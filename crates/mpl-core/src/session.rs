@@ -23,6 +23,7 @@ use crate::pipeline::{
 };
 use crate::{
     coloring_cost, ComponentProblem, DecomposeError, Decomposer, DecompositionResult, Executor,
+    TileConfig,
 };
 use mpl_layout::Layout;
 use mpl_memo::{MemoCache, Signature};
@@ -146,6 +147,11 @@ pub struct DecompositionSession {
     /// task reaches the executor; `None` (the default) disables
     /// memoization.  Shared caches outlive batches and sessions.
     memo: Option<Arc<MemoCache>>,
+    /// Spatial tiling requested for this session's layouts; `None` (the
+    /// default) decomposes every component whole.  The session only stores
+    /// the configuration — [`run`](DecompositionSession::run) ignores it —
+    /// and the `mpl-tile` crate's tiled driver consumes it.
+    tiling: Option<TileConfig>,
 }
 
 impl DecompositionSession {
@@ -186,6 +192,33 @@ impl DecompositionSession {
     /// The attached memo cache, if any.
     pub fn memo(&self) -> Option<&Arc<MemoCache>> {
         self.memo.as_ref()
+    }
+
+    /// Requests spatial tiling (builder form of
+    /// [`set_tiling`](DecompositionSession::set_tiling)).
+    pub fn with_tiling(mut self, tiling: TileConfig) -> Self {
+        self.tiling = Some(tiling);
+        self
+    }
+
+    /// Requests (or, with `None`, cancels) spatial tiling for the session's
+    /// layouts.
+    ///
+    /// The session itself never tiles:
+    /// [`run`](DecompositionSession::run) always decomposes components
+    /// whole.  The configuration stored here is the contract between the
+    /// front ends and the `mpl-tile` crate, whose `run_tiled` entry point
+    /// reads it back via [`tiling`](DecompositionSession::tiling), shards
+    /// oversized components into halo-expanded windows, drives them through
+    /// this session's executor machinery (including any attached memo
+    /// cache), and reconciles the per-tile colorings deterministically.
+    pub fn set_tiling(&mut self, tiling: Option<TileConfig>) {
+        self.tiling = tiling;
+    }
+
+    /// The requested tiling configuration, if any.
+    pub fn tiling(&self) -> Option<&TileConfig> {
+        self.tiling.as_ref()
     }
 
     /// Enqueues an already-built plan, returning the id its tasks and

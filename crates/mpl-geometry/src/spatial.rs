@@ -230,6 +230,68 @@ mod tests {
     }
 
     #[test]
+    fn query_window_on_cell_boundaries_sees_both_sides() {
+        // A query window whose every edge lies exactly on a grid-cell
+        // boundary must still reach entries in the cells on either side —
+        // the windowed tiling driver issues exactly these queries when tile
+        // windows align with the index grid.
+        let mut index = GridIndex::new(Nm(100));
+        index.insert(0, r(0, 0, 100, 100)); // touches the window's left edge
+        index.insert(1, r(100, 0, 200, 100)); // coincides with the window
+        index.insert(2, r(200, 0, 300, 100)); // touches the right edge
+        index.insert(3, r(301, 0, 320, 100)); // 101 past the window
+        let window = r(100, 0, 200, 100);
+        let mut near = index.query_within(&window, Nm(1));
+        near.sort();
+        assert_eq!(near, vec![0, 1, 2]);
+        let mut wide = index.query_within(&window, Nm(102));
+        wide.sort();
+        assert_eq!(wide, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_area_windows_behave_as_points() {
+        let mut index = GridIndex::new(Nm(100));
+        index.insert(0, r(50, 50, 50, 50)); // zero-area entry
+        index.insert(1, r(80, 50, 90, 60));
+        // A zero-area query finds the coincident point entry and respects
+        // the strict distance bound towards the real rectangle (gap 30).
+        let point = r(50, 50, 50, 50);
+        assert_eq!(index.query_within(&point, Nm(1)), vec![0]);
+        let mut near = index.query_within(&point, Nm(31));
+        near.sort();
+        assert_eq!(near, vec![0, 1]);
+        assert_eq!(index.query_within(&r(20, 50, 20, 50), Nm(30)), vec![]);
+        // A zero-area window sitting exactly on a cell corner still works.
+        let corner = r(100, 100, 100, 100);
+        let mut from_corner = index.query_within(&corner, Nm(80));
+        from_corner.sort();
+        assert_eq!(from_corner, vec![0, 1]);
+    }
+
+    #[test]
+    fn shapes_exactly_at_the_query_radius_are_excluded() {
+        // `query_within` is strictly-less-than, matching the conflict
+        // predicate `distance < min_s`: a shape at exactly the coloring
+        // distance is legal and must not be reported.
+        let mut index = GridIndex::new(Nm(100));
+        index.insert(0, r(100, 0, 120, 20)); // axis gap exactly 80
+        index.insert(1, r(80, 80, 100, 100)); // corner gap √(60²+60²) ≈ 84.85
+        let query = r(0, 0, 20, 20);
+        assert_eq!(index.query_within(&query, Nm(80)), vec![]);
+        assert_eq!(index.query_within(&query, Nm(81)), vec![0]);
+        // The diagonal neighbour needs the Euclidean corner distance, not
+        // the per-axis gap (60): 84² < 7200 ≤ 85².
+        assert_eq!(index.query_within(&query, Nm(84)), vec![0]);
+        let mut near = index.query_within(&query, Nm(85));
+        near.sort();
+        assert_eq!(near, vec![0, 1]);
+        let mut with_distance = index.query_within_with_distance(&query, Nm(85));
+        with_distance.sort();
+        assert_eq!(with_distance, vec![(0, 6400), (1, 7200)]);
+    }
+
+    #[test]
     fn brute_force_agreement_on_a_grid_of_rects() {
         // Cross-check the index against a brute-force scan.
         let mut index = GridIndex::new(Nm(70));

@@ -130,6 +130,6 @@ pub use json::{Json, JsonParseError};
 pub use protocol::{
     algorithm_wire_name, decode_request, decode_response, encode_request, encode_response,
     CachePayload, ErrorCode, ExecutorChoice, LayoutSource, Request, Response, ResultPayload,
-    ServeError, SubmitRequest,
+    ServeError, SubmitRequest, TilePayload,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

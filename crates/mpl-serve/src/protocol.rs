@@ -83,6 +83,13 @@ pub struct SubmitRequest {
     /// Re-verify same-mask spacing server-side and report the violation
     /// count on the result frame.
     pub verify: bool,
+    /// Decompose through the halo-aware tiler with square windows of this
+    /// edge length in nm (`None` = untiled).  Non-positive values come back
+    /// as typed `config` errors.
+    pub tile_size: Option<i64>,
+    /// Explicit halo width in nm around each tile window.  Requires
+    /// `tile_size`; must be at least the coloring distance.
+    pub halo: Option<i64>,
 }
 
 impl SubmitRequest {
@@ -98,6 +105,8 @@ impl SubmitRequest {
             executor: ExecutorChoice::default(),
             progress: false,
             verify: false,
+            tile_size: None,
+            halo: None,
         }
     }
 }
@@ -131,6 +140,34 @@ pub struct CachePayload {
     pub evictions: u64,
     /// Approximate bytes held by stored signatures and colorings.
     pub bytes: usize,
+}
+
+/// Tiling statistics reported on `result` frames when the submission asked
+/// for the halo-aware tiler (mirrors `mpl_tile::TileStats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilePayload {
+    /// Grid columns.
+    pub grid_x: usize,
+    /// Grid rows.
+    pub grid_y: usize,
+    /// Tile sub-problems actually decomposed (pieces of spanning
+    /// components; window-resident components are not tiles).
+    pub tiles: usize,
+    /// Components sharded across windows.
+    pub tiled_components: usize,
+    /// Components resident in one window (decomposed untiled).
+    pub resident_components: usize,
+    /// Halo-duplicated vertices (sum of piece sizes minus component sizes).
+    pub shared_vertices: usize,
+    /// Tiles rotated by a non-identity color permutation during
+    /// reconciliation.
+    pub permuted_tiles: usize,
+    /// Boundary-strip vertices re-colored by the greedy repair pass.
+    pub recolored_vertices: usize,
+    /// Cross-window conflicts after permutation, before repair.
+    pub cross_conflicts_before: usize,
+    /// Cross-window conflicts after repair.
+    pub cross_conflicts_after: usize,
 }
 
 /// The final per-layout payload of a successful decomposition.
@@ -171,6 +208,9 @@ pub struct ResultPayload {
     /// Components the engine actually colored under the memo cache.
     /// `None` when the run had no cache.
     pub memo_misses: Option<usize>,
+    /// Tiling statistics (present only when the submission set
+    /// `tile_size`).
+    pub tiles: Option<TilePayload>,
 }
 
 /// Machine-checkable category of an error frame.
@@ -216,6 +256,10 @@ impl ErrorCode {
 }
 
 /// A server-to-client frame.
+// One `Response` exists per decoded frame, never in bulk, so the size
+// spread between `Result` (which carries the full per-mask summary and
+// now the tile stats) and the small control frames costs nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// A submission was accepted and queued for the next batch.
@@ -236,6 +280,18 @@ pub enum Response {
         /// Components finished so far (strictly increasing).
         done: usize,
         /// Total components of the layout.
+        total: usize,
+    },
+    /// `done` of `total` tile sub-problems of a tiled submission have
+    /// decomposed (only streamed when the submission set `tile_size` and
+    /// `progress`).
+    TileProgress {
+        /// The submission's id.
+        id: String,
+        /// Tile sub-problems finished so far (strictly increasing).
+        done: usize,
+        /// Total tile sub-problems of the layout (spanning-component
+        /// pieces plus one slot for all window-resident components).
         total: usize,
     },
     /// A submission finished; the full coloring and statistics.
@@ -370,6 +426,22 @@ fn f64_field(json: &Json, key: &str) -> Result<f64, ServeError> {
         .ok_or_else(|| ServeError::Protocol(format!("field {key:?} must be a number")))
 }
 
+/// An optional distance-in-nm field: any integer decodes (including
+/// non-positive ones, so the server can answer with the pipeline's typed
+/// `config` error instead of a generic protocol error).
+fn optional_nm_field(json: &Json, key: &str) -> Result<Option<i64>, ServeError> {
+    match json.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => value
+            .as_f64()
+            .filter(|nm| nm.fract() == 0.0 && nm.abs() < i64::MAX as f64)
+            .map(|nm| Some(nm as i64))
+            .ok_or_else(|| {
+                ServeError::Protocol(format!("field {key:?} must be an integer distance in nm"))
+            }),
+    }
+}
+
 /// Decodes a client frame.
 ///
 /// # Errors
@@ -442,6 +514,8 @@ pub fn decode_request(json: &Json) -> Result<Request, ServeError> {
                     ServeError::Protocol("field \"verify\" must be a boolean".to_string())
                 })?;
             }
+            submit.tile_size = optional_nm_field(json, "tile_size")?;
+            submit.halo = optional_nm_field(json, "halo")?;
             Ok(Request::Submit(submit))
         }
         other => Err(ServeError::Protocol(format!(
@@ -475,6 +549,12 @@ pub fn encode_request(request: &Request) -> Json {
             pairs.push(("executor", Json::string(submit.executor.as_str())));
             pairs.push(("progress", Json::Bool(submit.progress)));
             pairs.push(("verify", Json::Bool(submit.verify)));
+            if let Some(tile_size) = submit.tile_size {
+                pairs.push(("tile_size", Json::Number(tile_size as f64)));
+            }
+            if let Some(halo) = submit.halo {
+                pairs.push(("halo", Json::Number(halo as f64)));
+            }
             Json::object(pairs)
         }
     }
@@ -510,6 +590,11 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
             components: usize_field(json, "components")?,
         }),
         "progress" => Ok(Response::Progress {
+            id: string_field(json, "id")?,
+            done: usize_field(json, "done")?,
+            total: usize_field(json, "total")?,
+        }),
+        "tile_progress" => Ok(Response::TileProgress {
             id: string_field(json, "id")?,
             done: usize_field(json, "done")?,
             total: usize_field(json, "total")?,
@@ -559,6 +644,21 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
             let spacing_violations = optional_count("spacing_violations")?;
             let memo_hits = optional_count("memo_hits")?;
             let memo_misses = optional_count("memo_misses")?;
+            let tiles = match json.get("tiles") {
+                None | Some(Json::Null) => None,
+                Some(value) => Some(TilePayload {
+                    grid_x: usize_field(value, "grid_x")?,
+                    grid_y: usize_field(value, "grid_y")?,
+                    tiles: usize_field(value, "tiles")?,
+                    tiled_components: usize_field(value, "tiled_components")?,
+                    resident_components: usize_field(value, "resident_components")?,
+                    shared_vertices: usize_field(value, "shared_vertices")?,
+                    permuted_tiles: usize_field(value, "permuted_tiles")?,
+                    recolored_vertices: usize_field(value, "recolored_vertices")?,
+                    cross_conflicts_before: usize_field(value, "cross_conflicts_before")?,
+                    cross_conflicts_after: usize_field(value, "cross_conflicts_after")?,
+                }),
+            };
             Ok(Response::Result(ResultPayload {
                 id: string_field(json, "id")?,
                 layout: string_field(json, "layout")?,
@@ -575,6 +675,7 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
                 spacing_violations,
                 memo_hits,
                 memo_misses,
+                tiles,
             }))
         }
         other => Err(ServeError::Protocol(format!(
@@ -622,6 +723,12 @@ pub fn encode_response(response: &Response) -> Json {
             ("done", Json::Number(*done as f64)),
             ("total", Json::Number(*total as f64)),
         ]),
+        Response::TileProgress { id, done, total } => Json::object(vec![
+            ("type", Json::string("tile_progress")),
+            ("id", Json::string(id.clone())),
+            ("done", Json::Number(*done as f64)),
+            ("total", Json::Number(*total as f64)),
+        ]),
         Response::Error { id, code, message } => {
             let mut pairs = vec![("type", Json::string("error"))];
             if let Some(id) = id {
@@ -654,6 +761,41 @@ pub fn encode_response(response: &Response) -> Json {
             }
             if let Some(misses) = payload.memo_misses {
                 pairs.push(("memo_misses", Json::Number(misses as f64)));
+            }
+            if let Some(tiles) = &payload.tiles {
+                pairs.push((
+                    "tiles",
+                    Json::object(vec![
+                        ("grid_x", Json::Number(tiles.grid_x as f64)),
+                        ("grid_y", Json::Number(tiles.grid_y as f64)),
+                        ("tiles", Json::Number(tiles.tiles as f64)),
+                        (
+                            "tiled_components",
+                            Json::Number(tiles.tiled_components as f64),
+                        ),
+                        (
+                            "resident_components",
+                            Json::Number(tiles.resident_components as f64),
+                        ),
+                        (
+                            "shared_vertices",
+                            Json::Number(tiles.shared_vertices as f64),
+                        ),
+                        ("permuted_tiles", Json::Number(tiles.permuted_tiles as f64)),
+                        (
+                            "recolored_vertices",
+                            Json::Number(tiles.recolored_vertices as f64),
+                        ),
+                        (
+                            "cross_conflicts_before",
+                            Json::Number(tiles.cross_conflicts_before as f64),
+                        ),
+                        (
+                            "cross_conflicts_after",
+                            Json::Number(tiles.cross_conflicts_after as f64),
+                        ),
+                    ]),
+                ));
             }
             pairs.push((
                 "colors",
@@ -697,6 +839,8 @@ mod tests {
         submit.executor = ExecutorChoice::Serial;
         submit.progress = true;
         submit.verify = true;
+        submit.tile_size = Some(2_000);
+        submit.halo = Some(100);
         round_trip_request(Request::Submit(submit));
         round_trip_request(Request::Submit(SubmitRequest::new(
             "gds \"quoted\"",
@@ -733,6 +877,11 @@ mod tests {
             done: 2,
             total: 3,
         });
+        round_trip_response(Response::TileProgress {
+            id: "7".into(),
+            done: 5,
+            total: 9,
+        });
         round_trip_response(Response::Error {
             id: None,
             code: ErrorCode::Protocol,
@@ -759,6 +908,18 @@ mod tests {
             spacing_violations: Some(1),
             memo_hits: Some(1),
             memo_misses: Some(1),
+            tiles: Some(TilePayload {
+                grid_x: 3,
+                grid_y: 2,
+                tiles: 6,
+                tiled_components: 1,
+                resident_components: 1,
+                shared_vertices: 5,
+                permuted_tiles: 2,
+                recolored_vertices: 1,
+                cross_conflicts_before: 2,
+                cross_conflicts_after: 0,
+            }),
         }));
         round_trip_response(Response::Result(ResultPayload {
             id: "8".into(),
@@ -776,6 +937,7 @@ mod tests {
             spacing_violations: None,
             memo_hits: None,
             memo_misses: None,
+            tiles: None,
         }));
     }
 
@@ -806,6 +968,23 @@ mod tests {
         assert_eq!(submit.executor, ExecutorChoice::Pool);
         assert!(!submit.progress);
         assert!(!submit.verify);
+        assert_eq!(submit.tile_size, None);
+        assert_eq!(submit.halo, None);
+    }
+
+    #[test]
+    fn tiling_fields_decode_as_raw_nm_integers() {
+        // Non-positive distances must decode: the server answers them with
+        // the pipeline's typed `config` error, not a protocol error.
+        let json = Json::parse(
+            r##"{"type":"submit","id":"t","layout_text":"# layout t\n","tile_size":-5,"halo":0}"##,
+        )
+        .expect("valid JSON");
+        let Request::Submit(submit) = decode_request(&json).expect("decodes") else {
+            panic!("expected submit");
+        };
+        assert_eq!(submit.tile_size, Some(-5));
+        assert_eq!(submit.halo, Some(0));
     }
 
     #[test]
@@ -837,6 +1016,14 @@ mod tests {
             (
                 r#"{"type":"submit","id":"x","layout_text":"a","progress":"yes"}"#,
                 "must be a boolean",
+            ),
+            (
+                r#"{"type":"submit","id":"x","layout_text":"a","tile_size":"big"}"#,
+                "must be an integer distance in nm",
+            ),
+            (
+                r#"{"type":"submit","id":"x","layout_text":"a","tile_size":400.5}"#,
+                "must be an integer distance in nm",
             ),
             (r#"{"type":7}"#, "must be a string"),
         ] {

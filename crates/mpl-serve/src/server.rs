@@ -17,33 +17,44 @@
 //! so every submission the server ever accepts gets a unique
 //! [`LayoutId`].
 //!
-//! Back-pressure caveat: result and progress frames are written directly to
-//! the submitting connection under its write lock, so a client that stops
-//! reading can stall the scheduler once the socket buffer fills.  A
-//! production deployment would add per-connection output queues; the
-//! in-tree server keeps the write path synchronous for determinism.
+//! Back-pressure: result and progress frames are written directly to the
+//! submitting connection under its write lock, so the write path stays
+//! synchronous and deterministic.  A client that stops reading cannot wedge
+//! the scheduler, though: every connection socket carries a
+//! [`write_timeout`](ServerConfig::write_timeout), and the first timed-out
+//! (or otherwise failed) write marks that connection dead — its remaining
+//! frames are dropped and everyone else's results keep flowing.
+//!
+//! Submissions may opt into the halo-aware tiler (`tile_size` on the
+//! `submit` frame): such layouts decompose through
+//! [`mpl_tile::run_tiled_observed`], stream `tile_progress` frames instead
+//! of per-component `progress`, and report a `tiles` statistics object on
+//! their `result` frame.
 
 use crate::codec::{encode_frame, FrameDecoder, FrameError, DEFAULT_MAX_FRAME_LEN};
 use crate::json::Json;
 use crate::protocol::{
     decode_request, encode_response, CachePayload, ExecutorChoice, LayoutSource, Request, Response,
-    ResultPayload, ServeError, SubmitRequest,
+    ResultPayload, ServeError, SubmitRequest, TilePayload,
 };
 use mpl_core::{
     verify_spacing, ConfigError, Decomposer, DecomposerConfig, DecompositionPlan,
     DecompositionSession, Executor, LayoutId, MemoCache, ProgressObserver, ProgressSink,
-    SerialExecutor, ThreadPoolExecutor,
+    SerialExecutor, ThreadPoolExecutor, TileConfig,
 };
 use mpl_gds::{
     layout_from_library, load_layout_file, GdsLibrary, LayerMap, LoadLayoutError, ReadOptions,
 };
+use mpl_geometry::Nm;
 use mpl_layout::{io, Layout, Technology};
+use mpl_tile::{TileProgress, TileStats};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
+use std::time::Duration;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -58,6 +69,12 @@ pub struct ServerConfig {
     /// Capacity (in stored colorings) of the shared memo cache consulted
     /// by every batch the server runs (≥ 1).
     pub memo_capacity: usize,
+    /// Maximum time one blocking socket write may stall before the
+    /// connection is declared dead (`None` = block forever).  Result and
+    /// progress frames are written synchronously from the scheduler, so
+    /// without a timeout a single client that stops reading wedges every
+    /// other submission once its socket buffer fills.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +84,7 @@ impl Default for ServerConfig {
             pool_threads: 2,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             memo_capacity: MemoCache::DEFAULT_CAPACITY,
+            write_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -75,6 +93,8 @@ impl Default for ServerConfig {
 struct Pending {
     plan: DecompositionPlan,
     submit: SubmitRequest,
+    /// The validated tiling request (`None` = untiled).
+    tiling: Option<TileConfig>,
     writer: ConnectionWriter,
 }
 
@@ -85,6 +105,7 @@ struct Shared {
     shutdown: AtomicBool,
     pool: ThreadPoolExecutor,
     max_frame_len: usize,
+    write_timeout: Option<Duration>,
     addr: SocketAddr,
     technology: Technology,
     /// One memo cache for the whole server: every batch of every
@@ -144,7 +165,12 @@ impl Shared {
 /// connection thread (errors, pongs, queued acks) and from the scheduler
 /// (progress, results) never interleave mid-frame.  The first write error
 /// marks the connection dead and later frames are dropped silently — a
-/// vanished client must not take the scheduler down.
+/// vanished client must not take the scheduler down.  With a socket write
+/// timeout configured, a *stalled* client (one that keeps its connection
+/// open but stops reading) is the same story: the blocked write fails with
+/// a timeout once the socket buffer fills, which is fatal for the
+/// connection — never retried, because a partial frame may already be on
+/// the wire and the stream has lost frame synchronisation.
 #[derive(Clone)]
 struct ConnectionWriter {
     inner: Arc<Mutex<WriterInner>>,
@@ -196,6 +222,25 @@ impl ProgressSink for BatchSink<'_> {
     }
 }
 
+/// Streams `tile_progress` frames for one running tiled batch.
+struct TileSink<'a> {
+    submissions: &'a HashMap<LayoutId, (SubmitRequest, ConnectionWriter)>,
+}
+
+impl TileProgress for TileSink<'_> {
+    fn tile_done(&self, layout: LayoutId, done: usize, total: usize) {
+        if let Some((submit, writer)) = self.submissions.get(&layout) {
+            if submit.progress {
+                writer.send(&Response::TileProgress {
+                    id: submit.id.clone(),
+                    done,
+                    total,
+                });
+            }
+        }
+    }
+}
+
 /// The streaming decomposition server (see the crate-level documentation
 /// for the wire protocol).
 pub struct Server {
@@ -231,6 +276,7 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 pool,
                 max_frame_len: config.max_frame_len,
+                write_timeout: config.write_timeout,
                 addr,
                 technology: Technology::nm20(),
                 memo: Arc::new(MemoCache::new(config.memo_capacity)),
@@ -330,6 +376,12 @@ impl ServerHandle {
 /// Reads frames from one connection until EOF, a fatal framing error, or a
 /// read failure.
 fn connection_loop(shared: &Shared, stream: TcpStream) {
+    // The write timeout is the stalled-client guard: `write_all` on the
+    // clone fails with `TimedOut`/`WouldBlock` instead of blocking the
+    // scheduler forever behind a full socket buffer.
+    if stream.set_write_timeout(shared.write_timeout).is_err() {
+        return;
+    }
     let writer = match stream.try_clone() {
         Ok(clone) => ConnectionWriter::new(clone),
         Err(_) => return,
@@ -400,7 +452,7 @@ fn handle_frame(shared: &Shared, writer: &ConnectionWriter, frame: &str) {
         }
         Ok(Request::Submit(submit)) => match plan_submission(shared, &submit) {
             Err(error) => writer.send(&error.to_response(Some(submit.id))),
-            Ok(plan) => {
+            Ok((plan, tiling)) => {
                 writer.send(&Response::Queued {
                     id: submit.id.clone(),
                     layout: plan.layout_name().to_string(),
@@ -411,6 +463,7 @@ fn handle_frame(shared: &Shared, writer: &ConnectionWriter, frame: &str) {
                 let accepted = shared.enqueue(Pending {
                     plan,
                     submit,
+                    tiling,
                     writer: writer.clone(),
                 });
                 if !accepted {
@@ -429,19 +482,49 @@ fn handle_frame(shared: &Shared, writer: &ConnectionWriter, frame: &str) {
     }
 }
 
-/// Resolves a submission's layout source and plans it — every failure is a
-/// typed [`ServeError`] answered on the submitting connection.
+/// Resolves a submission's layout source, plans it, and validates its
+/// tiling request — every failure is a typed [`ServeError`] answered on
+/// the submitting connection before anything queues.
 fn plan_submission(
     shared: &Shared,
     submit: &SubmitRequest,
-) -> Result<DecompositionPlan, ServeError> {
+) -> Result<(DecompositionPlan, Option<TileConfig>), ServeError> {
     let layout = load_source(&submit.source)?;
     let config = DecomposerConfig::k_patterning(submit.k, shared.technology)
         .with_algorithm(submit.algorithm)
         .with_alpha(submit.alpha);
-    Decomposer::new(config)
+    let plan = Decomposer::new(config)
         .plan(&layout)
-        .map_err(ServeError::from)
+        .map_err(ServeError::from)?;
+    let tiling = submit_tiling(submit, &shared.technology)?;
+    Ok((plan, tiling))
+}
+
+/// Validates the `tile_size`/`halo` fields of a submission into a
+/// [`TileConfig`], with the same typed rejections the CLI uses.
+fn submit_tiling(
+    submit: &SubmitRequest,
+    technology: &Technology,
+) -> Result<Option<TileConfig>, ServeError> {
+    let Some(tile_size) = submit.tile_size else {
+        return match submit.halo {
+            Some(_) => Err(ConfigError::TileHaloWithoutTiling.into()),
+            None => Ok(None),
+        };
+    };
+    let mut tiling = TileConfig::new(Nm(tile_size));
+    if let Some(halo) = submit.halo {
+        tiling = tiling.with_halo(Nm(halo));
+    }
+    tiling.validate().map_err(ServeError::from)?;
+    // `run_tiled` re-checks this per plan; rejecting here routes the typed
+    // error to the submitting client instead of failing the whole batch.
+    if let Some(halo) = tiling.halo {
+        if halo < technology.coloring_distance(submit.k) {
+            return Err(ConfigError::TileHalo { halo: halo.value() }.into());
+        }
+    }
+    Ok(Some(tiling))
 }
 
 fn load_source(source: &LayoutSource) -> Result<Layout, ServeError> {
@@ -498,30 +581,36 @@ fn scheduler_loop(shared: Arc<Shared>) {
     }
 }
 
-/// Runs one drained wave of submissions: one session batch per executor
-/// choice that has work.
+/// Runs one drained wave of submissions: one session batch per (executor
+/// choice, tiling request) pair that has work, in first-seen order — a
+/// session can only apply one [`TileConfig`] per batch, so submissions
+/// with different tilings never share one.
 fn run_wave(
     shared: &Shared,
     sessions: &mut [(ExecutorChoice, DecompositionSession); 2],
     drained: Vec<Pending>,
 ) {
-    let mut groups: [Vec<Pending>; 2] = [Vec::new(), Vec::new()];
+    let mut groups: Vec<(usize, Option<TileConfig>, Vec<Pending>)> = Vec::new();
     for pending in drained {
         let slot = sessions
             .iter()
             .position(|(choice, _)| *choice == pending.submit.executor)
             .expect("every executor choice has a session");
-        groups[slot].push(pending);
-    }
-    for (slot, group) in groups.into_iter().enumerate() {
-        if group.is_empty() {
-            continue;
+        match groups
+            .iter_mut()
+            .find(|(s, tiling, _)| *s == slot && *tiling == pending.tiling)
+        {
+            Some((_, _, group)) => group.push(pending),
+            None => groups.push((slot, pending.tiling, vec![pending])),
         }
+    }
+    for (slot, tiling, group) in groups {
         let (choice, session) = &mut sessions[slot];
         let executor: &dyn Executor = match choice {
             ExecutorChoice::Serial => &SerialExecutor,
             ExecutorChoice::Pool => &shared.pool,
         };
+        session.set_tiling(tiling);
         run_batch(shared, session, executor, group);
     }
 }
@@ -538,11 +627,38 @@ fn run_batch(
         let id = session.submit(pending.plan);
         submissions.insert(id, (pending.submit, pending.writer));
     }
-    let sink = BatchSink {
-        submissions: &submissions,
-    };
-    let results = session.run_observed(executor, &ProgressObserver::new(&sink));
-    for (id, result) in results {
+    let results: Vec<(LayoutId, mpl_core::DecompositionResult, Option<TilePayload>)> =
+        if session.tiling().is_some() {
+            let sink = TileSink {
+                submissions: &submissions,
+            };
+            match mpl_tile::run_tiled_observed(session, executor, &sink) {
+                Ok(results) => results
+                    .into_iter()
+                    .map(|(id, tiled)| (id, tiled.result, Some(tile_payload(&tiled.stats))))
+                    .collect(),
+                Err(error) => {
+                    // Submission-time validation makes this unreachable in
+                    // practice; answer every member typed rather than panic.
+                    let error = ServeError::Config(error);
+                    for (submit, writer) in submissions.values() {
+                        writer.send(&error.to_response(Some(submit.id.clone())));
+                    }
+                    session.clear();
+                    return;
+                }
+            }
+        } else {
+            let sink = BatchSink {
+                submissions: &submissions,
+            };
+            session
+                .run_observed(executor, &ProgressObserver::new(&sink))
+                .into_iter()
+                .map(|(id, result)| (id, result, None))
+                .collect()
+        };
+    for (id, result, tiles) in results {
         let (submit, writer) = &submissions[&id];
         let spacing_violations = submit.verify.then(|| {
             let plan = session.plan(id).expect("session keeps the batch's plans");
@@ -569,7 +685,24 @@ fn run_batch(
             spacing_violations,
             memo_hits: result.memo_hits(),
             memo_misses: result.memo_misses(),
+            tiles,
         }));
     }
     session.clear();
+}
+
+/// Converts the tiler's statistics into their wire payload.
+fn tile_payload(stats: &TileStats) -> TilePayload {
+    TilePayload {
+        grid_x: stats.grid_x,
+        grid_y: stats.grid_y,
+        tiles: stats.tiles,
+        tiled_components: stats.tiled_components,
+        resident_components: stats.resident_components,
+        shared_vertices: stats.shared_vertices,
+        permuted_tiles: stats.permuted_tiles,
+        recolored_vertices: stats.recolored_vertices,
+        cross_conflicts_before: stats.cross_conflicts_before,
+        cross_conflicts_after: stats.cross_conflicts_after,
+    }
 }

@@ -33,7 +33,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         arb_string(), // id
         0usize..3,    // source kind
         arb_string(), // source payload
-        (0usize..300, 0usize..4, 0i64..40, 0usize..8),
+        (0usize..300, 0usize..4, 0i64..40, 0usize..32),
     )
         .prop_map(
             |(variant, id, source_kind, payload, (k, algo, alpha_step, flags))| {
@@ -59,6 +59,12 @@ fn arb_request() -> impl Strategy<Value = Request> {
                         };
                         submit.progress = flags & 2 != 0;
                         submit.verify = flags & 4 != 0;
+                        if flags & 8 != 0 {
+                            submit.tile_size = Some(1 + flags as i64 * 100);
+                            if flags & 16 != 0 {
+                                submit.halo = Some(80 + flags as i64);
+                            }
+                        }
                         Request::Submit(submit)
                     }
                 }
@@ -138,6 +144,22 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         spacing_violations: if code % 3 == 0 { None } else { Some(code) },
                         memo_hits: if code % 2 == 0 { None } else { Some(conflicts) },
                         memo_misses: if code % 2 == 0 { None } else { Some(stitches) },
+                        tiles: if code % 2 == 0 {
+                            None
+                        } else {
+                            Some(mpl_serve::TilePayload {
+                                grid_x: components.max(1),
+                                grid_y: code.max(1),
+                                tiles: vertices,
+                                tiled_components: conflicts,
+                                resident_components: stitches,
+                                shared_vertices: vertices / 2,
+                                permuted_tiles: code,
+                                recolored_vertices: conflicts,
+                                cross_conflicts_before: stitches,
+                                cross_conflicts_after: 0,
+                            })
+                        },
                     }),
                 }
             },

@@ -1,0 +1,132 @@
+//! The tile grid: square ownership windows laid over a layout bounding box.
+//!
+//! Every vertex is *owned* by exactly one tile — the window containing the
+//! center of its polygon bounding box — so the grid partitions a component
+//! no matter how its shapes straddle window edges.  Windows are half-open
+//! (`[lo, hi)` on both axes): a center sitting exactly on a window edge
+//! belongs to the window on its upper side, and the grid always extends one
+//! window past the last full one so the bounding box's own upper edge stays
+//! in range.
+
+use mpl_geometry::{Nm, Point, Rect};
+
+/// A uniform grid of square tile windows covering a layout bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGrid {
+    origin: Point,
+    tile_size: Nm,
+    grid_x: usize,
+    grid_y: usize,
+}
+
+impl TileGrid {
+    /// Lays square windows of side `tile_size` over `bbox`, anchored at the
+    /// bounding box's lower-left corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_size` is not positive (front ends reject that with
+    /// [`ConfigError::TileSize`](mpl_core::ConfigError::TileSize) first).
+    pub fn new(bbox: Rect, tile_size: Nm) -> Self {
+        assert!(
+            tile_size > Nm::ZERO,
+            "tile size must be positive, got {tile_size}"
+        );
+        let tiles = |extent: Nm| extent.value().div_euclid(tile_size.value()) as usize + 1;
+        TileGrid {
+            origin: bbox.lower_left(),
+            tile_size,
+            grid_x: tiles(bbox.width()),
+            grid_y: tiles(bbox.height()),
+        }
+    }
+
+    /// Number of windows along x.
+    pub fn grid_x(&self) -> usize {
+        self.grid_x
+    }
+
+    /// Number of windows along y.
+    pub fn grid_y(&self) -> usize {
+        self.grid_y
+    }
+
+    /// Total number of windows (most are usually empty; only occupied
+    /// windows ever become tile sub-problems).
+    pub fn window_count(&self) -> usize {
+        self.grid_x * self.grid_y
+    }
+
+    /// The window owning `point`.
+    ///
+    /// The point must lie inside the bounding box the grid was built over
+    /// (polygon-bbox centers always do).
+    pub fn tile_of(&self, point: Point) -> (usize, usize) {
+        let ts = self.tile_size.value();
+        let ix = (point.x - self.origin.x).value().div_euclid(ts);
+        let iy = (point.y - self.origin.y).value().div_euclid(ts);
+        debug_assert!(ix >= 0 && (ix as usize) < self.grid_x, "x out of grid");
+        debug_assert!(iy >= 0 && (iy as usize) < self.grid_y, "y out of grid");
+        (ix as usize, iy as usize)
+    }
+
+    /// The core (ownership) rectangle of window `(ix, iy)`.
+    pub fn core(&self, ix: usize, iy: usize) -> Rect {
+        let x = self.origin.x + Nm(self.tile_size.value() * ix as i64);
+        let y = self.origin.y + Nm(self.tile_size.value() * iy as i64);
+        Rect::new(x, y, x + self.tile_size, y + self.tile_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> TileGrid {
+        TileGrid::new(Rect::new(Nm(-50), Nm(0), Nm(150), Nm(100)), Nm(100))
+    }
+
+    #[test]
+    fn grid_covers_the_bounding_box_inclusively() {
+        let grid = grid();
+        // Width 200 → two full windows plus the open upper edge's window.
+        assert_eq!(grid.grid_x(), 3);
+        assert_eq!(grid.grid_y(), 2);
+        assert_eq!(grid.window_count(), 6);
+        // Both corners stay in range.
+        assert_eq!(grid.tile_of(Point::new(Nm(-50), Nm(0))), (0, 0));
+        assert_eq!(grid.tile_of(Point::new(Nm(150), Nm(100))), (2, 1));
+    }
+
+    #[test]
+    fn window_edges_are_half_open() {
+        let grid = grid();
+        assert_eq!(grid.tile_of(Point::new(Nm(49), Nm(99))), (0, 0));
+        assert_eq!(grid.tile_of(Point::new(Nm(50), Nm(99))), (1, 0));
+        assert_eq!(grid.tile_of(Point::new(Nm(49), Nm(100))), (0, 1));
+    }
+
+    #[test]
+    fn core_rectangles_tile_the_plane_from_the_origin() {
+        let grid = grid();
+        let a = grid.core(0, 0);
+        let b = grid.core(1, 0);
+        assert_eq!(a.xlo(), Nm(-50));
+        assert_eq!(a.xhi(), b.xlo());
+        assert_eq!(a.width(), Nm(100));
+        assert_eq!(grid.core(2, 1).yhi(), Nm(200));
+    }
+
+    #[test]
+    fn degenerate_extents_still_get_one_window() {
+        let grid = TileGrid::new(Rect::new(Nm(10), Nm(10), Nm(10), Nm(10)), Nm(5));
+        assert_eq!((grid.grid_x(), grid.grid_y()), (1, 1));
+        assert_eq!(grid.tile_of(Point::new(Nm(10), Nm(10))), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tile_size_panics() {
+        TileGrid::new(Rect::new(Nm(0), Nm(0), Nm(1), Nm(1)), Nm::ZERO);
+    }
+}

@@ -1,0 +1,158 @@
+//! Deterministic halo reconciliation: merging per-tile colorings of one
+//! giant component back into a single consistent coloring.
+//!
+//! Tiles are visited in row-major window order.  Each tile's coloring is
+//! first rotated by the mismatch-minimising color permutation
+//! ([`permute_to_match_anchors`]) against the vertices already fixed by
+//! earlier tiles — permutations preserve every conflict and stitch inside
+//! the tile, so this step is free.  When contradictory anchors leave
+//! disagreements on the window boundary, a bounded greedy repair pass
+//! re-colors boundary-strip vertices that strictly lower the component's
+//! cost.  Both steps are pure functions of the per-tile colorings, so the
+//! merged result inherits the batch engine's schedule independence.
+
+use crate::shard::{adjacency, GiantShard};
+use mpl_core::division::permute_to_match_anchors;
+use mpl_core::ComponentProblem;
+
+/// Upper bound on greedy repair sweeps over the boundary strip.  Each sweep
+/// only applies strictly-improving recolorings, so the loop usually stops
+/// after one or two sweeps; the cap guards against pathological ping-pongs
+/// between equal-cost boundary states (which strict improvement already
+/// rules out, but a bound keeps the worst case obvious).
+const MAX_REPAIR_SWEEPS: usize = 8;
+
+/// What reconciliation did to one giant component.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ReconcileOutcome {
+    /// Tiles whose coloring was rotated by a non-identity permutation.
+    pub permuted_tiles: usize,
+    /// Strictly-improving recolorings applied by the repair pass.
+    pub recolored_vertices: usize,
+    /// Cross-window conflicts right after the permutation pass.
+    pub cross_conflicts_before: usize,
+    /// Cross-window conflicts after greedy repair.
+    pub cross_conflicts_after: usize,
+}
+
+/// Merges `piece_colors` (one coloring per [`GiantShard`] tile, in tile
+/// order, each indexed like its piece) into one component-local coloring.
+pub(crate) fn reconcile(
+    shard: &GiantShard,
+    problem: &ComponentProblem,
+    piece_colors: &[Vec<u8>],
+) -> (Vec<u8>, ReconcileOutcome) {
+    let n = problem.vertex_count();
+    let k = problem.k() as u8;
+    debug_assert_eq!(piece_colors.len(), shard.tiles.len());
+
+    let mut outcome = ReconcileOutcome::default();
+    let mut merged = vec![u8::MAX; n];
+    let mut fixed = vec![false; n];
+    let mut scratch = vec![0u8; n];
+    for (tile, colors) in shard.tiles.iter().zip(piece_colors) {
+        debug_assert_eq!(colors.len(), tile.piece.len());
+        for (local, &color) in tile.piece.iter().zip(colors) {
+            scratch[*local] = color;
+        }
+        let (anchors, targets): (Vec<usize>, Vec<u8>) = tile
+            .piece
+            .iter()
+            .filter(|&&local| fixed[local])
+            .map(|&local| (local, merged[local]))
+            .unzip();
+        let before: Vec<u8> = tile.piece.iter().map(|&local| scratch[local]).collect();
+        permute_to_match_anchors(&tile.piece, &mut scratch, &anchors, &targets, k);
+        if tile.piece.iter().map(|&local| scratch[local]).ne(before) {
+            outcome.permuted_tiles += 1;
+        }
+        for &local in &tile.owned {
+            merged[local] = scratch[local];
+            fixed[local] = true;
+        }
+    }
+    debug_assert!(fixed.iter().all(|&done| done));
+
+    outcome.cross_conflicts_before = cross_conflicts(shard, problem, &merged);
+    outcome.recolored_vertices = repair_boundary(shard, problem, &mut merged);
+    outcome.cross_conflicts_after = cross_conflicts(shard, problem, &merged);
+    (merged, outcome)
+}
+
+/// Conflict edges with endpoints owned by different windows that ended up
+/// on the same mask.
+fn cross_conflicts(shard: &GiantShard, problem: &ComponentProblem, colors: &[u8]) -> usize {
+    problem
+        .conflict_edges()
+        .iter()
+        .filter(|&&(u, v)| shard.owner[u] != shard.owner[v] && colors[u] == colors[v])
+        .count()
+}
+
+/// Greedy local repair of the boundary strip: re-colors a strip vertex only
+/// when that strictly lowers its incident cost, sweeping the strip in
+/// ascending vertex order until a sweep changes nothing.
+///
+/// Returns the number of recolorings applied.
+fn repair_boundary(shard: &GiantShard, problem: &ComponentProblem, colors: &mut [u8]) -> usize {
+    let adjacency = adjacency(problem);
+    let strip: Vec<usize> = (0..problem.vertex_count())
+        .filter(|&v| {
+            adjacency[v]
+                .iter()
+                .any(|&u| shard.owner[u] != shard.owner[v])
+        })
+        .collect();
+    if strip.is_empty() {
+        return 0;
+    }
+
+    // Split adjacency back into the two edge kinds: a conflict neighbour on
+    // the same mask costs 1, a stitch neighbour on a different mask costs α.
+    let n = problem.vertex_count();
+    let mut conflict_adj = vec![Vec::new(); n];
+    for &(u, v) in problem.conflict_edges() {
+        conflict_adj[u].push(v);
+        conflict_adj[v].push(u);
+    }
+    let mut stitch_adj = vec![Vec::new(); n];
+    for &(u, v) in problem.stitch_edges() {
+        stitch_adj[u].push(v);
+        stitch_adj[v].push(u);
+    }
+    let incident_cost = |v: usize, color: u8, colors: &[u8]| -> f64 {
+        let conflicts = conflict_adj[v]
+            .iter()
+            .filter(|&&u| colors[u] == color)
+            .count();
+        let stitches = stitch_adj[v]
+            .iter()
+            .filter(|&&u| colors[u] != color)
+            .count();
+        conflicts as f64 + problem.alpha() * stitches as f64
+    };
+
+    let k = problem.k() as u8;
+    let mut recolored = 0;
+    for _ in 0..MAX_REPAIR_SWEEPS {
+        let mut changed = false;
+        for &v in &strip {
+            let current = incident_cost(v, colors[v], colors);
+            let best = (0..k)
+                .filter(|&color| color != colors[v])
+                .map(|color| (color, incident_cost(v, color, colors)))
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            if let Some((color, cost)) = best {
+                if cost < current {
+                    colors[v] = color;
+                    recolored += 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    recolored
+}

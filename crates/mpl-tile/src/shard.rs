@@ -1,0 +1,144 @@
+//! Sharding one oversized component into halo-expanded tile pieces.
+//!
+//! A component task whose vertices all share one owner window is *resident*
+//! and never sharded — it flows through the ordinary batch engine, which is
+//! what makes tiled runs bit-identical to untiled ones on layouts where
+//! every component fits a tile.  A component spanning several windows is a
+//! *giant*: each occupied window becomes one [`TilePiece`] holding the
+//! window's owned vertices plus two kinds of context,
+//!
+//! - the **geometric halo**: every vertex whose polygon bounding box lies
+//!   within the halo distance of the window's core rectangle, and
+//! - the **edge closure**: every direct conflict/stitch neighbour of an
+//!   owned vertex, which guarantees each edge of the component is fully
+//!   visible to the piece owning either endpoint even when a long shape's
+//!   geometry overhangs its owner window.
+
+use crate::grid::TileGrid;
+use mpl_core::{ComponentProblem, ComponentTask, DecompositionGraph, VertexId};
+use mpl_geometry::Nm;
+
+/// One window of a sharded giant component.
+#[derive(Debug)]
+pub(crate) struct TilePiece {
+    /// Window coordinates in the layout grid.
+    pub ix: usize,
+    pub iy: usize,
+    /// Vertices (component-local ids, ascending) owned by this window; the
+    /// reconciler keeps exactly these from the piece's coloring.
+    pub owned: Vec<usize>,
+    /// Owned vertices plus halo context (component-local ids, ascending).
+    pub piece: Vec<usize>,
+    /// The sub-problem induced by `piece`, ready for the batch engine.
+    pub problem: ComponentProblem,
+}
+
+/// A giant component task sharded into tile pieces.
+#[derive(Debug)]
+pub(crate) struct GiantShard {
+    /// Index of the original task in its plan.
+    pub task_index: usize,
+    /// The owner window of every component-local vertex.
+    pub owner: Vec<(usize, usize)>,
+    /// Occupied windows in row-major `(iy, ix)` order — the deterministic
+    /// order the reconciler visits them in.
+    pub tiles: Vec<TilePiece>,
+}
+
+/// Conflict+stitch adjacency lists of a component problem (local ids).
+pub(crate) fn adjacency(problem: &ComponentProblem) -> Vec<Vec<usize>> {
+    let mut adjacency = vec![Vec::new(); problem.vertex_count()];
+    for &(u, v) in problem
+        .conflict_edges()
+        .iter()
+        .chain(problem.stitch_edges())
+    {
+        adjacency[u].push(v);
+        adjacency[v].push(u);
+    }
+    adjacency
+}
+
+/// The owner window of every vertex of `task`, via its polygon-bbox center.
+pub(crate) fn owners(
+    grid: &TileGrid,
+    graph: &DecompositionGraph,
+    task: &ComponentTask,
+) -> Vec<(usize, usize)> {
+    task.to_global()
+        .iter()
+        .map(|&global| grid.tile_of(graph.polygon(VertexId(global)).bounding_box().center()))
+        .collect()
+}
+
+/// Shards `task` into per-window pieces with the given halo.
+///
+/// The caller has already established that the task spans several windows
+/// (`owner` is not constant).
+pub(crate) fn shard_giant(
+    grid: &TileGrid,
+    graph: &DecompositionGraph,
+    task: &ComponentTask,
+    owner: Vec<(usize, usize)>,
+    halo: Nm,
+) -> GiantShard {
+    let problem = task.problem();
+    let n = problem.vertex_count();
+    let adjacency = adjacency(problem);
+
+    // Occupied windows in row-major order, each with its owned vertices
+    // (ascending, because locals are visited in order).
+    let mut owned: std::collections::BTreeMap<(usize, usize), Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (local, &(ix, iy)) in owner.iter().enumerate() {
+        owned.entry((iy, ix)).or_default().push(local);
+    }
+
+    let bboxes: Vec<mpl_geometry::Rect> = task
+        .to_global()
+        .iter()
+        .map(|&global| graph.polygon(VertexId(global)).bounding_box())
+        .collect();
+
+    let mut in_piece = vec![false; n];
+    let tiles = owned
+        .into_iter()
+        .map(|((iy, ix), owned)| {
+            let core = grid.core(ix, iy);
+            in_piece.iter_mut().for_each(|flag| *flag = false);
+            for &local in &owned {
+                in_piece[local] = true;
+                // Edge closure: neighbours of owned vertices, even when the
+                // geometric halo misses their (far-away) bbox center side.
+                for &neighbour in &adjacency[local] {
+                    in_piece[neighbour] = true;
+                }
+            }
+            // Geometric halo: context within `halo` of the core window.
+            // `within_distance` is strict, matching the strict conflict
+            // predicate: anything that can conflict into the window from
+            // outside sits strictly closer than the coloring distance.
+            for (local, bbox) in bboxes.iter().enumerate() {
+                if !in_piece[local] && bbox.within_distance(&core, halo) {
+                    in_piece[local] = true;
+                }
+            }
+            let piece: Vec<usize> = (0..n).filter(|&local| in_piece[local]).collect();
+            let (sub, original) = problem.induced(&piece);
+            debug_assert_eq!(original, piece);
+            TilePiece {
+                ix,
+                iy,
+                owned,
+                piece,
+                problem: sub,
+            }
+        })
+        .collect();
+
+    GiantShard {
+        task_index: task.index(),
+        owner,
+        tiles,
+    }
+}

@@ -42,6 +42,13 @@
 //!   --memo               memoize translation-identical components (default on)
 //!   --no-memo            color every component from scratch
 //!   --memo-capacity <N>  cap the memo cache at N entries (default 65536)
+//!   --tile-size <NM>     decompose through the halo-aware tiler with
+//!                        square windows of this edge length (in nm)
+//!   --halo <NM>          explicit halo width in nm (default: the
+//!                        technology's color-friendly distance; must be at
+//!                        least the coloring distance)
+//!   --no-tile            explicitly disable tiling (contradicts
+//!                        --tile-size/--halo)
 //!   --output <PATH>      write the mask assignment (one `shape segment mask` line per vertex)
 //!   --layer <L[:D]>      import only this GDS layer (repeatable; applies to every GDS input)
 //!   --top <NAME>         flatten from this GDS structure (default: the unique top)
@@ -55,11 +62,13 @@
 //!                        submissions (default pool)
 //!   --shutdown           after the results (or alone: immediately), ask
 //!                        the server to shut down
-//! `--verify` maps to server-side spacing re-verification; `--threads`,
-//! `--balance`, `--no-stitches`, `--memo`/`--no-memo`/`--memo-capacity`
-//! (the server always memoizes with its own shared cache), `--layer`,
-//! `--top`, `--output` and `--output-gds` are local-mode-only and rejected
-//! with `--connect`.
+//! `--verify` maps to server-side spacing re-verification and
+//! `--tile-size`/`--halo` travel on the submit frame (the server tiles and
+//! streams `tile_progress` events); `--threads`, `--balance`,
+//! `--no-stitches`, `--memo`/`--no-memo`/`--memo-capacity` (the server
+//! always memoizes with its own shared cache), `--layer`, `--top`,
+//! `--output` and `--output-gds` are local-mode-only and rejected with
+//! `--connect`.
 //!
 //! With more than one input, `--output`/`--output-gds` write one file per
 //! layout, inserting the batch index before the extension (`out.gds` →
@@ -70,13 +79,15 @@ use mpl_core::{
     extract_masks, json_escape, rebalance_masks, verify_spacing, ColorAlgorithm, ComponentStats,
     ComponentTask, ConfigError, Decomposer, DecomposerConfig, DecompositionObserver,
     DecompositionPlan, DecompositionResult, DecompositionSession, Executor, LayoutId, MemoCache,
-    MemoStats, SerialExecutor, StitchConfig, ThreadPoolExecutor, VertexId,
+    MemoStats, SerialExecutor, StitchConfig, ThreadPoolExecutor, TileConfig, VertexId,
 };
 use mpl_gds::{LayerMap, ReadOptions};
+use mpl_geometry::Nm;
 use mpl_layout::{gen::IscasCircuit, io::LayoutFormat, Layout, Technology};
 use mpl_serve::{
     Client, ExecutorChoice, Json, LayoutSource, Request, Response, ResultPayload, SubmitRequest,
 };
+use mpl_tile::{TileProgress, TileStats};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -100,6 +111,10 @@ struct Options {
     verify: bool,
     memo: bool,
     memo_capacity: usize,
+    /// Validated `--tile-size` in nm (`None` = untiled).
+    tile_size: Option<i64>,
+    /// Validated `--halo` in nm (requires `tile_size`).
+    halo: Option<i64>,
     output: Option<String>,
     output_gds: Option<String>,
     connect: Option<String>,
@@ -179,6 +194,9 @@ fn parse_options() -> Result<Options, String> {
     let mut verify = false;
     let mut memo: Option<bool> = None;
     let mut memo_capacity: Option<usize> = None;
+    let mut tile_size: Option<i64> = None;
+    let mut halo: Option<i64> = None;
+    let mut no_tile = false;
     let mut output = None;
     let mut output_gds = None;
     let mut connect: Option<String> = None;
@@ -242,6 +260,21 @@ fn parse_options() -> Result<Options, String> {
                         .map_err(|e| format!("invalid --memo-capacity value: {e}"))?,
                 );
             }
+            "--tile-size" => {
+                tile_size = Some(
+                    value("--tile-size")?
+                        .parse()
+                        .map_err(|e| format!("invalid --tile-size value: {e}"))?,
+                );
+            }
+            "--halo" => {
+                halo = Some(
+                    value("--halo")?
+                        .parse()
+                        .map_err(|e| format!("invalid --halo value: {e}"))?,
+                );
+            }
+            "--no-tile" => no_tile = true,
             "--output" => output = Some(value("--output")?),
             "--output-gds" => output_gds = Some(value("--output-gds")?),
             "--connect" => connect = Some(value("--connect")?),
@@ -262,6 +295,7 @@ fn parse_options() -> Result<Options, String> {
                             [--alpha F] [--threads N] [--progress] [--json] \
                             [--no-stitches] [--balance] [--verify] \
                             [--memo | --no-memo] [--memo-capacity N] \
+                            [--tile-size NM [--halo NM] | --no-tile] \
                             [--output FILE] [--output-gds FILE] \
                             | --connect HOST:PORT [--executor serial|pool] [--shutdown]"
                         .to_string(),
@@ -319,6 +353,20 @@ fn parse_options() -> Result<Options, String> {
             return Err(ConfigError::MemoCapacity { capacity }.to_string());
         }
     }
+    // Tiling contradictions are the pipeline's typed configuration errors.
+    if no_tile && (tile_size.is_some() || halo.is_some()) {
+        return Err(ConfigError::TileFlagsWithNoTile.to_string());
+    }
+    if halo.is_some() && tile_size.is_none() {
+        return Err(ConfigError::TileHaloWithoutTiling.to_string());
+    }
+    if let Some(size) = tile_size {
+        let mut tiling = TileConfig::new(Nm(size));
+        if let Some(halo) = halo {
+            tiling = tiling.with_halo(Nm(halo));
+        }
+        tiling.validate().map_err(|error| error.to_string())?;
+    }
     Ok(Options {
         inputs,
         gds_input,
@@ -333,6 +381,8 @@ fn parse_options() -> Result<Options, String> {
         verify,
         memo,
         memo_capacity: memo_capacity.unwrap_or(MemoCache::DEFAULT_CAPACITY),
+        tile_size,
+        halo,
         output,
         output_gds,
         connect,
@@ -421,6 +471,18 @@ impl DecompositionObserver for StderrProgress {
     }
 }
 
+/// Streams one stderr line per finished tile sub-problem (`--progress`
+/// with `--tile-size`), tagged with the layout it belongs to.
+struct StderrTileProgress {
+    names: Vec<String>,
+}
+
+impl TileProgress for StderrTileProgress {
+    fn tile_done(&self, layout: LayoutId, done: usize, total: usize) {
+        eprintln!("[tile {done}/{total}] {}", self.names[layout.index()]);
+    }
+}
+
 /// Renders the machine-readable summary of one layout's decomposition.
 ///
 /// `conflicts`/`stitches`/`cost`/`component_breakdown` describe the raw
@@ -432,12 +494,16 @@ impl DecompositionObserver for StderrProgress {
 /// components stamped from (respectively colored into) the cache, and
 /// `memo_cache` snapshots the run-wide cache — the same snapshot on every
 /// layout of a batch, since the batch shares one cache.
+///
+/// With `--tile-size`, a nested `tiles` object reports the tiler's grid
+/// and reconciliation statistics.
 fn render_json(
     result: &DecompositionResult,
     masks: &[mpl_core::Mask],
     violations: Option<usize>,
     balance: Option<&mpl_core::BalanceReport>,
     memo_stats: Option<&MemoStats>,
+    tile: Option<&TileStats>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -474,6 +540,25 @@ fn render_json(
         "  \"color_seconds\": {},\n",
         result.color_time().as_secs_f64()
     ));
+    if let Some(stats) = tile {
+        out.push_str(&format!(
+            "  \"tiles\": {{\"grid_x\": {}, \"grid_y\": {}, \"tiles\": {}, \
+             \"tiled_components\": {}, \"resident_components\": {}, \
+             \"shared_vertices\": {}, \"permuted_tiles\": {}, \
+             \"recolored_vertices\": {}, \"cross_conflicts_before\": {}, \
+             \"cross_conflicts_after\": {}}},\n",
+            stats.grid_x,
+            stats.grid_y,
+            stats.tiles,
+            stats.tiled_components,
+            stats.resident_components,
+            stats.shared_vertices,
+            stats.permuted_tiles,
+            stats.recolored_vertices,
+            stats.cross_conflicts_before,
+            stats.cross_conflicts_after
+        ));
+    }
     if let (Some(hits), Some(misses)) = (result.memo_hits(), result.memo_misses()) {
         out.push_str(&format!("  \"memo_hits\": {hits},\n"));
         out.push_str(&format!("  \"memo_misses\": {misses},\n"));
@@ -565,6 +650,7 @@ fn process_layout(
     plan: &DecompositionPlan,
     result: &DecompositionResult,
     memo_stats: Option<&MemoStats>,
+    tile: Option<&TileStats>,
     index: usize,
     batch_size: usize,
 ) -> LayoutArtifacts {
@@ -601,6 +687,26 @@ fn process_layout(
         );
         if let (Some(hits), Some(misses)) = (result.memo_hits(), result.memo_misses()) {
             println!("memo: {hits} components stamped from cache, {misses} colored fresh");
+        }
+        if let Some(stats) = tile {
+            println!(
+                "tiling: {}x{} grid, {} tiles over {} spanning components \
+                 ({} resident), {} halo-shared vertices",
+                stats.grid_x,
+                stats.grid_y,
+                stats.tiles,
+                stats.tiled_components,
+                stats.resident_components,
+                stats.shared_vertices
+            );
+            println!(
+                "reconcile: {} tiles permuted, {} vertices recolored, \
+                 cross-window conflicts {} -> {}",
+                stats.permuted_tiles,
+                stats.recolored_vertices,
+                stats.cross_conflicts_before,
+                stats.cross_conflicts_after
+            );
         }
     }
 
@@ -708,6 +814,7 @@ fn process_layout(
             verified_violations,
             balance_report.as_ref(),
             memo_stats,
+            tile,
         ),
         verify_mismatch,
         write_error,
@@ -838,6 +945,8 @@ fn run_connect(addr: &str, options: &Options, tech: &Technology) -> ExitCode {
         submit.executor = options.executor_choice;
         submit.progress = options.progress;
         submit.verify = options.verify;
+        submit.tile_size = options.tile_size;
+        submit.halo = options.halo;
         if let Err(error) = client.send(&Request::Submit(submit)) {
             eprintln!("cannot send to {addr}: {error}");
             return ExitCode::FAILURE;
@@ -868,6 +977,11 @@ fn run_connect(addr: &str, options: &Options, tech: &Technology) -> ExitCode {
             Ok(Response::Progress { id, done, total }) => {
                 if options.progress {
                     eprintln!("[{done}/{total}] {}", label_of(&id));
+                }
+            }
+            Ok(Response::TileProgress { id, done, total }) => {
+                if options.progress {
+                    eprintln!("[tile {done}/{total}] {}", label_of(&id));
                 }
             }
             Ok(Response::Result(payload)) => match index_of(&payload.id) {
@@ -933,6 +1047,19 @@ fn run_connect(addr: &str, options: &Options, tech: &Technology) -> ExitCode {
             );
             if let Some(violations) = payload.spacing_violations {
                 println!("  verification: {violations} same-mask spacing violations");
+            }
+            if let Some(tiles) = &payload.tiles {
+                println!(
+                    "  tiling: {}x{} grid, {} tiles ({} spanning, {} resident), \
+                     cross-window conflicts {} -> {}",
+                    tiles.grid_x,
+                    tiles.grid_y,
+                    tiles.tiles,
+                    tiles.tiled_components,
+                    tiles.resident_components,
+                    tiles.cross_conflicts_before,
+                    tiles.cross_conflicts_after
+                );
             }
         }
     }
@@ -1004,21 +1131,60 @@ fn main() -> ExitCode {
     }
 
     // Stage 2: drain the whole batch through the executor, optionally with
-    // progress reporting.
+    // progress reporting.  With --tile-size the batch routes through the
+    // halo-aware tiler instead of the plain session run.
+    let tiling = options.tile_size.map(|size| {
+        let mut tiling = TileConfig::new(Nm(size));
+        if let Some(halo) = options.halo {
+            tiling = tiling.with_halo(Nm(halo));
+        }
+        tiling
+    });
+    session.set_tiling(tiling);
     let batch_start = Instant::now();
-    let results = if options.progress {
-        let observer = StderrProgress {
-            names: layouts
-                .iter()
-                .map(|layout| layout.name().to_string())
-                .collect(),
-            total: session.task_count(),
-            finished: AtomicUsize::new(0),
+    let (results, tile_stats): (Vec<(LayoutId, DecompositionResult)>, Option<Vec<TileStats>>) =
+        if tiling.is_some() {
+            let outcome = if options.progress {
+                let progress = StderrTileProgress {
+                    names: layouts
+                        .iter()
+                        .map(|layout| layout.name().to_string())
+                        .collect(),
+                };
+                mpl_tile::run_tiled_observed(&session, executor.as_ref(), &progress)
+            } else {
+                mpl_tile::run_tiled(&session, executor.as_ref())
+            };
+            match outcome {
+                Ok(tiled) => {
+                    let mut stats = Vec::with_capacity(tiled.len());
+                    let results = tiled
+                        .into_iter()
+                        .map(|(id, tiled)| {
+                            stats.push(tiled.stats);
+                            (id, tiled.result)
+                        })
+                        .collect();
+                    (results, Some(stats))
+                }
+                Err(error) => {
+                    eprintln!("{error}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if options.progress {
+            let observer = StderrProgress {
+                names: layouts
+                    .iter()
+                    .map(|layout| layout.name().to_string())
+                    .collect(),
+                total: session.task_count(),
+                finished: AtomicUsize::new(0),
+            };
+            (session.run_observed(executor.as_ref(), &observer), None)
+        } else {
+            (session.run(executor.as_ref()), None)
         };
-        session.run_observed(executor.as_ref(), &observer)
-    } else {
-        session.run(executor.as_ref())
-    };
     let batch_wall = batch_start.elapsed();
     let memo_stats = memo.as_ref().map(|cache| cache.stats());
 
@@ -1038,6 +1204,7 @@ fn main() -> ExitCode {
             plan,
             result,
             memo_stats.as_ref(),
+            tile_stats.as_ref().map(|stats| &stats[index]),
             index,
             batch_size,
         );

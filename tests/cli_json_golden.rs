@@ -17,6 +17,9 @@
 //! cargo run --bin qpl-decompose -- tests/fixtures/golden_a.txt \
 //!     tests/fixtures/golden_b.txt --algorithm linear --verify --json \
 //!     > tests/golden/batch.json
+//! cargo run --bin qpl-decompose -- --layout tests/fixtures/golden_c.txt \
+//!     --algorithm linear --verify --tile-size 500 --json \
+//!     > tests/golden/single_layout_tiled.json
 //! ```
 
 use mpl_serve::Json;
@@ -136,6 +139,41 @@ fn batch_json_schema_matches_the_golden_file() {
         Some(1)
     );
     assert_matches_golden(actual, "batch.json");
+}
+
+#[test]
+fn tiled_single_layout_json_schema_matches_the_golden_file() {
+    // golden-c is a 30-contact chain at 70 nm pitch: one spanning
+    // component that a 500 nm tile window must shard into five tiles.
+    // The `tiles` object is additive — it only appears with --tile-size —
+    // and the untiled goldens above pin its absence.
+    let actual = run_cli(&[
+        "--layout",
+        &fixture("fixtures/golden_c.txt"),
+        "--algorithm",
+        "linear",
+        "--verify",
+        "--tile-size",
+        "500",
+        "--json",
+    ]);
+    let tiles = actual
+        .get("tiles")
+        .expect("tiled runs report a tiles object");
+    assert_eq!(tiles.get("tiles").and_then(Json::as_usize), Some(5));
+    assert_eq!(
+        tiles.get("tiled_components").and_then(Json::as_usize),
+        Some(1)
+    );
+    assert_eq!(
+        tiles.get("cross_conflicts_after").and_then(Json::as_usize),
+        Some(0)
+    );
+    assert_eq!(
+        actual.get("spacing_violations").and_then(Json::as_usize),
+        actual.get("conflicts").and_then(Json::as_usize)
+    );
+    assert_matches_golden(actual, "single_layout_tiled.json");
 }
 
 #[test]

@@ -10,13 +10,15 @@
 
 use mpl_core::{
     ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionResult, DecompositionSession,
-    MemoCache, SerialExecutor,
+    MemoCache, SerialExecutor, TileConfig,
 };
+use mpl_geometry::Nm;
 use mpl_layout::{gen, io, Layout, Technology};
 use mpl_serve::{algorithm_wire_name, base64, FrameDecoder, Json, Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A deliberately low-level protocol driver: writes hand-built lines,
 /// reads frames straight off the socket.
@@ -73,7 +75,7 @@ impl RawClient {
             let frame = self.recv();
             let frame_type = frame.get("type").and_then(Json::as_str).expect("type");
             match frame_type {
-                "queued" | "progress" => continue,
+                "queued" | "progress" | "tile_progress" => continue,
                 "result" | "error" => {
                     if frame.get("id").and_then(Json::as_str) == Some(id) {
                         return frame;
@@ -643,5 +645,224 @@ fn ping_reports_cache_statistics_and_resubmissions_are_served_warm() {
             >= components,
         "the warm batch hit once per component"
     );
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn tiled_submissions_stream_tile_progress_and_match_local_tiled_runs() {
+    let handle = spawn_server();
+    let tech = Technology::nm20();
+    let engine = ColorAlgorithm::Linear;
+    // One connected component spanning several 300 nm windows.
+    let lattice = gen::contact_array(&tech, 12, 12, Nm(70));
+
+    // Local baseline through the same tiler (tiled runs are schedule
+    // independent, so the server's pool executor reproduces these bits).
+    let decomposer = Decomposer::new(server_side_config(engine));
+    let mut session = DecompositionSession::new()
+        .with_memo(Arc::new(MemoCache::new(4096)))
+        .with_tiling(TileConfig::new(Nm(300)));
+    session
+        .submit_layout(&decomposer, &lattice)
+        .expect("valid config");
+    let baseline = mpl_tile::run_tiled(&session, &SerialExecutor).expect("valid tiling");
+    let (_, baseline) = &baseline[0];
+
+    let mut client = RawClient::connect(handle.addr());
+    client.send_line(
+        &Json::object(vec![
+            ("type", Json::string("submit")),
+            ("id", Json::string("tiled")),
+            ("layout_text", Json::string(io::to_text(&lattice))),
+            ("algorithm", Json::string(algorithm_wire_name(engine))),
+            ("tile_size", Json::Number(300.0)),
+            ("progress", Json::Bool(true)),
+            ("verify", Json::Bool(true)),
+        ])
+        .to_string(),
+    );
+
+    // Tiled submissions tick per tile sub-problem, not per component.
+    let queued = client.recv();
+    assert_eq!(queued.get("type").and_then(Json::as_str), Some("queued"));
+    let mut expected_done = 1usize;
+    let frame = loop {
+        let frame = client.recv();
+        match frame.get("type").and_then(Json::as_str) {
+            Some("tile_progress") => {
+                assert_eq!(frame.get("id").and_then(Json::as_str), Some("tiled"));
+                assert_eq!(
+                    frame.get("done").and_then(Json::as_usize),
+                    Some(expected_done),
+                    "tile ticks arrive in order"
+                );
+                expected_done += 1;
+            }
+            Some("result") => break frame,
+            other => panic!("unexpected frame type {other:?}"),
+        }
+    };
+    assert_result_matches(&frame, &baseline.result, "tiled lattice");
+    let tiles = frame.get("tiles").expect("tiled results report tile stats");
+    assert_eq!(
+        tiles.get("tiles").and_then(Json::as_usize),
+        Some(baseline.stats.tiles)
+    );
+    assert_eq!(
+        tiles.get("tiled_components").and_then(Json::as_usize),
+        Some(baseline.stats.tiled_components)
+    );
+    assert_eq!(
+        tiles.get("cross_conflicts_after").and_then(Json::as_usize),
+        Some(baseline.stats.cross_conflicts_after)
+    );
+    assert_eq!(
+        expected_done,
+        baseline.stats.tiles + usize::from(baseline.stats.resident_components > 0) + 1,
+        "one tile_progress frame per inner decomposition"
+    );
+    // Server-side verification agrees with the reconciled conflict count.
+    assert_eq!(
+        frame.get("spacing_violations").and_then(Json::as_usize),
+        Some(baseline.result.conflicts()),
+        "tiling never hides a spacing violation"
+    );
+
+    // A layout that fits one window is bit-identical to its untiled run
+    // even when submitted with tiling enabled.
+    let clique = gen::fig1_contact_clique(&tech);
+    let untiled = direct_memoized_result(engine, &clique);
+    client.send_line(
+        &Json::object(vec![
+            ("type", Json::string("submit")),
+            ("id", Json::string("resident")),
+            ("layout_text", Json::string(io::to_text(&clique))),
+            ("algorithm", Json::string(algorithm_wire_name(engine))),
+            ("tile_size", Json::Number(1_000_000.0)),
+        ])
+        .to_string(),
+    );
+    let frame = client.await_terminal("resident");
+    assert_result_matches(&frame, &untiled, "one-window tiled submission");
+    let tiles = frame.get("tiles").expect("tile stats");
+    assert_eq!(tiles.get("tiles").and_then(Json::as_usize), Some(0));
+    assert_eq!(
+        tiles.get("resident_components").and_then(Json::as_usize),
+        Some(untiled.component_count())
+    );
+
+    // Invalid tiling requests come back as the pipeline's typed errors.
+    for (id, extra, needle) in [
+        (
+            "bad-size",
+            vec![("tile_size", Json::Number(0.0))],
+            "tile size must be a positive distance",
+        ),
+        (
+            "bad-halo",
+            vec![
+                ("tile_size", Json::Number(300.0)),
+                ("halo", Json::Number(40.0)),
+            ],
+            "tile halo must be a positive distance",
+        ),
+        (
+            "halo-alone",
+            vec![("halo", Json::Number(100.0))],
+            "--halo requires tiling to be enabled",
+        ),
+    ] {
+        let mut pairs = vec![
+            ("type", Json::string("submit")),
+            ("id", Json::string(id)),
+            ("layout_text", Json::string(io::to_text(&clique))),
+        ];
+        pairs.extend(extra);
+        client.send_line(&Json::object(pairs).to_string());
+        let frame = client.await_terminal(id);
+        assert_eq!(
+            frame.get("type").and_then(Json::as_str),
+            Some("error"),
+            "{id}"
+        );
+        assert_eq!(
+            frame.get("code").and_then(Json::as_str),
+            Some("config"),
+            "{id}"
+        );
+        let message = frame
+            .get("message")
+            .and_then(Json::as_str)
+            .expect("message");
+        assert!(message.contains(needle), "{id}: {message:?}");
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn a_client_that_stops_reading_cannot_wedge_other_submissions() {
+    // A short write timeout is the regression hook: before the timeout
+    // existed, the scheduler's synchronous progress writes blocked forever
+    // once the stalled client's socket buffers filled, and every other
+    // submission hung behind it.
+    let handle = Server::spawn(&ServerConfig {
+        write_timeout: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let tech = Technology::nm20();
+
+    // 3000 identical strip clusters, every cluster a real component
+    // (isolated vertices would be packed into one trivial task), each
+    // streaming a progress frame as the memo stamps it.  The submission id
+    // is echoed on every frame, so a kilobytes-long id turns 3000 ticks
+    // into ~12 MB of progress — far past socket buffering even with
+    // autotuned multi-megabyte send buffers, so once the client stops
+    // reading, the scheduler's synchronous writes must block.
+    let flood = gen::repeated_strip_array(&tech, 60, 50, 3, Nm(400));
+    let jam_id = format!("jam-{}", "x".repeat(4096));
+    let mut stalled = RawClient::connect(handle.addr());
+    stalled.send_line(
+        &Json::object(vec![
+            ("type", Json::string("submit")),
+            ("id", Json::string(jam_id.as_str())),
+            ("layout_text", Json::string(io::to_text(&flood))),
+            ("algorithm", Json::string("linear")),
+            ("progress", Json::Bool(true)),
+        ])
+        .to_string(),
+    );
+    // The stalled client reads until its flood demonstrably streams — the
+    // first progress tick — and then goes silent with ~12 MB still to come.
+    loop {
+        let frame = stalled.recv();
+        match frame.get("type").and_then(Json::as_str) {
+            Some("queued") => continue,
+            Some("progress") => break,
+            other => panic!("unexpected frame before the flood: {other:?}"),
+        }
+    }
+
+    // A healthy client submitted behind the flood still gets its result.
+    let layout = gen::fig1_contact_clique(&tech);
+    let engine = ColorAlgorithm::SdpGreedy;
+    let baseline = direct_memoized_result(engine, &layout);
+    let mut healthy = RawClient::connect(handle.addr());
+    // Bound the regression failure mode: a wedged scheduler fails this
+    // test by read timeout instead of hanging the suite.
+    healthy
+        .stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("set read timeout");
+    healthy.send_line(&submit_frame(
+        "healthy",
+        "layout_text",
+        &io::to_text(&layout),
+        engine,
+        "pool",
+    ));
+    let frame = healthy.await_terminal("healthy");
+    assert_result_matches(&frame, &baseline, "submission behind a stalled client");
+    drop(stalled);
     handle.shutdown().expect("clean shutdown");
 }
