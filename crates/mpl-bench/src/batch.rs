@@ -15,9 +15,10 @@
 
 use crate::workload::TimedLayout;
 use mpl_core::{
-    json_escape, ColorAlgorithm, DecomposeError, Decomposer, DecompositionSession, Executor,
-    MemoCache, MemoStats, TileConfig,
+    json_escape, ColorAlgorithm, ConfigError, DecomposeError, Decomposer, DecompositionSession,
+    Executor, MemoCache, MemoStats, TileConfig,
 };
+use mpl_hier::HierStats;
 use mpl_tile::TileStats;
 use std::sync::Arc;
 use std::time::Instant;
@@ -53,6 +54,8 @@ pub struct LayoutBenchStats {
     pub memo_misses: Option<usize>,
     /// Halo-aware tiling statistics (`None` when the batch ran untiled).
     pub tiles: Option<TileStats>,
+    /// Cell-level hierarchy statistics (`None` when the batch ran flat).
+    pub hier: Option<HierStats>,
 }
 
 /// The result of one batch benchmark run: per-layout rows plus the batch
@@ -72,6 +75,8 @@ pub struct BatchBenchReport {
     pub memo: Option<MemoStats>,
     /// The tiling the batch ran under, when sharded through `mpl-tile`.
     pub tiling: Option<TileConfig>,
+    /// Whether the batch decomposed hierarchically through `mpl-hier`.
+    pub hier: bool,
     /// Per-layout rows, in submission order.
     pub layouts: Vec<LayoutBenchStats>,
 }
@@ -104,9 +109,10 @@ impl BatchBenchReport {
 
     /// Renders the machine-readable report (schema `mpl-bench/batch-v1`).
     ///
-    /// Memo fields (`batch.memo`, per-row `memo_hits`/`memo_misses`) and
-    /// tiling fields (`batch.tiling`, per-row `tiles`) are additive and
-    /// appear only when the run was memoized/tiled, so v1 consumers keep
+    /// Memo fields (`batch.memo`, per-row `memo_hits`/`memo_misses`),
+    /// tiling fields (`batch.tiling`, per-row `tiles`), and hierarchy
+    /// fields (`batch.hier`, per-row `hier`) are additive and appear only
+    /// when the run was memoized/tiled/hierarchical, so v1 consumers keep
     /// working.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
@@ -141,6 +147,9 @@ impl BatchBenchReport {
                     .halo
                     .map_or_else(|| "null".to_string(), |halo| halo.value().to_string())
             ));
+        }
+        if self.hier {
+            out.push_str("    \"hier\": true,\n");
         }
         out.push_str(&format!(
             "    \"parse_seconds\": {},\n",
@@ -196,6 +205,26 @@ impl BatchBenchReport {
                     tiles.cross_conflicts_after,
                 ));
             }
+            if let Some(hier) = &row.hier {
+                out.push_str(&format!(
+                    "\"hier\": {{\"instances\": {}, \"cells\": {}, \
+                     \"resident_components\": {}, \"split_components\": {}, \
+                     \"instance_pieces\": {}, \"boundary_vertices\": {}, \
+                     \"permuted_pieces\": {}, \"recolored_vertices\": {}, \
+                     \"cross_conflicts_before\": {}, \
+                     \"cross_conflicts_after\": {}}}, ",
+                    hier.instances,
+                    hier.cells,
+                    hier.resident_components,
+                    hier.split_components,
+                    hier.instance_pieces,
+                    hier.boundary_vertices,
+                    hier.permuted_pieces,
+                    hier.recolored_vertices,
+                    hier.cross_conflicts_before,
+                    hier.cross_conflicts_after,
+                ));
+            }
             out.push_str(&format!("\"parse_seconds\": {}, ", row.parse_seconds));
             out.push_str(&format!("\"plan_seconds\": {}, ", row.plan_seconds));
             out.push_str(&format!("\"color_seconds\": {}}}", row.color_seconds));
@@ -221,12 +250,19 @@ impl BatchBenchReport {
 /// through `mpl-tile` and the per-row reports carry the reconciliation
 /// statistics; `None` runs the plain batch engine.
 ///
+/// With `hier`, layouts that loaded with a cell-instance hierarchy (see
+/// [`crate::workload::load_layout_timed_hier`]) decompose cell-by-cell
+/// through `mpl-hier` and the per-row reports carry the hierarchy
+/// reconciliation statistics; layouts without a hierarchy degenerate to the
+/// flat path inside the same run.
+///
 /// # Errors
 ///
 /// Propagates the first layout's typed planning error (e.g. a degenerate
-/// shape in a user-supplied file), or the typed configuration error of an
+/// shape in a user-supplied file), the typed configuration error of an
 /// invalid tiling (non-positive tile size, halo below the coloring
-/// distance).
+/// distance), or [`ConfigError::HierWithTiling`] when `hier` is combined
+/// with a tiling.
 pub fn run_batch_bench(
     layouts: &[TimedLayout],
     k: usize,
@@ -234,7 +270,11 @@ pub fn run_batch_bench(
     executor: &dyn Executor,
     memo: Option<Arc<MemoCache>>,
     tiling: Option<TileConfig>,
+    hier: bool,
 ) -> Result<BatchBenchReport, DecomposeError> {
+    if hier && tiling.is_some() {
+        return Err(DecomposeError::Config(ConfigError::HierWithTiling));
+    }
     let decomposer = Decomposer::new(crate::table_config(k, algorithm));
     let mut session = DecompositionSession::new();
     if let Some(cache) = &memo {
@@ -242,31 +282,44 @@ pub fn run_batch_bench(
     }
     session.set_tiling(tiling);
     for timed in layouts {
-        session.submit_layout(&decomposer, &timed.layout)?;
+        let id = session.submit_layout(&decomposer, &timed.layout)?;
+        if hier {
+            session.set_hierarchy(id, timed.hierarchy.clone());
+        }
     }
     let batch_start = Instant::now();
-    let results: Vec<(
+    type BatchRow = (
         mpl_core::LayoutId,
         mpl_core::DecompositionResult,
         Option<TileStats>,
-    )> = match tiling {
-        Some(_) => mpl_tile::run_tiled(&session, executor)
+        Option<HierStats>,
+    );
+    let results: Vec<BatchRow> = if hier {
+        mpl_hier::run_hier(&session, executor)
             .map_err(DecomposeError::Config)?
             .into_iter()
-            .map(|(id, tiled)| (id, tiled.result, Some(tiled.stats)))
-            .collect(),
-        None => session
-            .run(executor)
-            .into_iter()
-            .map(|(id, result)| (id, result, None))
-            .collect(),
+            .map(|(id, hier)| (id, hier.result, None, Some(hier.stats)))
+            .collect()
+    } else {
+        match tiling {
+            Some(_) => mpl_tile::run_tiled(&session, executor)
+                .map_err(DecomposeError::Config)?
+                .into_iter()
+                .map(|(id, tiled)| (id, tiled.result, Some(tiled.stats), None))
+                .collect(),
+            None => session
+                .run(executor)
+                .into_iter()
+                .map(|(id, result)| (id, result, None, None))
+                .collect(),
+        }
     };
     let batch_wall_seconds = batch_start.elapsed().as_secs_f64();
 
     let rows = results
         .iter()
         .zip(layouts)
-        .map(|((id, result, tiles), timed)| {
+        .map(|((id, result, tiles, hier), timed)| {
             let plan = session.plan(*id).expect("session keeps every plan");
             LayoutBenchStats {
                 name: result.layout_name().to_string(),
@@ -282,6 +335,7 @@ pub fn run_batch_bench(
                 memo_hits: result.memo_hits(),
                 memo_misses: result.memo_misses(),
                 tiles: *tiles,
+                hier: *hier,
             }
         })
         .collect();
@@ -292,6 +346,7 @@ pub fn run_batch_bench(
         batch_wall_seconds,
         memo: memo.map(|cache| cache.stats()),
         tiling,
+        hier,
         layouts: rows,
     })
 }
@@ -309,6 +364,7 @@ mod tests {
                 &gen::RowLayoutConfig::small(name, seed),
                 &Technology::nm20(),
             ),
+            hierarchy: None,
             parse_seconds: 0.0,
         }
     }
@@ -323,6 +379,7 @@ mod tests {
             &SerialExecutor,
             None,
             None,
+            false,
         )
         .expect("valid");
         assert_eq!(report.layouts.len(), 2);
@@ -351,6 +408,7 @@ mod tests {
             &SerialExecutor,
             None,
             None,
+            false,
         )
         .expect("valid");
         for (row, timed) in report.layouts.iter().zip(&layouts) {
@@ -372,6 +430,7 @@ mod tests {
             &SerialExecutor,
             None,
             None,
+            false,
         )
         .expect("valid");
         let json = report.to_json();
@@ -399,6 +458,7 @@ mod tests {
             &SerialExecutor,
             Some(Arc::clone(&cache)),
             None,
+            false,
         )
         .expect("valid");
         let memo = report.memo.expect("memoized run snapshots the cache");
@@ -425,6 +485,7 @@ mod tests {
             &SerialExecutor,
             None,
             None,
+            false,
         )
         .expect("valid");
         assert!(plain.memo.is_none());
@@ -449,6 +510,7 @@ mod tests {
             &SerialExecutor,
             None,
             None,
+            false,
         )
         .expect("valid");
         assert_eq!(
@@ -467,6 +529,7 @@ mod tests {
         let lattice = TimedLayout {
             path: String::new(),
             layout: gen::contact_array(&tech, 12, 12, Nm(70)),
+            hierarchy: None,
             parse_seconds: 0.0,
         };
         let tiling = TileConfig::new(Nm(300));
@@ -478,6 +541,7 @@ mod tests {
             &SerialExecutor,
             None,
             Some(tiling),
+            false,
         )
         .expect("valid tiling");
         assert_eq!(tiled.tiling, Some(tiling));
@@ -498,10 +562,73 @@ mod tests {
             &SerialExecutor,
             None,
             None,
+            false,
         )
         .expect("valid");
         assert!(plain.tiling.is_none());
         assert!(plain.layouts[0].tiles.is_none());
         assert!(!plain.to_json().contains("tiling"));
+    }
+
+    #[test]
+    fn hier_batch_reports_instance_columns_and_rejects_tiling() {
+        use mpl_geometry::Nm;
+        use mpl_hier::fixtures::{bit_cell_array, BitArrayStyle};
+        let (layout, hierarchy) = bit_cell_array(4, 3, BitArrayStyle::Merged);
+        let timed = TimedLayout {
+            path: String::new(),
+            layout,
+            hierarchy: Some(Arc::new(hierarchy)),
+            parse_seconds: 0.0,
+        };
+        let report = run_batch_bench(
+            std::slice::from_ref(&timed),
+            4,
+            ColorAlgorithm::Linear,
+            &SerialExecutor,
+            None,
+            None,
+            true,
+        )
+        .expect("valid hier batch");
+        assert!(report.hier);
+        let row = &report.layouts[0];
+        let hier = row.hier.expect("hier rows carry hierarchy stats");
+        assert_eq!(hier.instances, 12);
+        assert_eq!(hier.cells, 1);
+        assert_eq!(hier.cross_conflicts_after, 0);
+        assert_eq!(row.conflicts, 0);
+        let json = report.to_json();
+        assert!(json.contains("\"hier\": true"));
+        assert!(json.contains("\"hier\": {\"instances\": 12"));
+
+        // Hierarchy and tiling shard by different axes; the combination is
+        // the pipeline's typed contradiction, rejected before any work.
+        let error = run_batch_bench(
+            std::slice::from_ref(&timed),
+            4,
+            ColorAlgorithm::Linear,
+            &SerialExecutor,
+            None,
+            Some(TileConfig::new(Nm(300))),
+            true,
+        )
+        .unwrap_err();
+        assert!(error.to_string().contains("cannot be combined with tiling"));
+
+        // A flat run of the same input carries no hier fields at all.
+        let plain = run_batch_bench(
+            std::slice::from_ref(&timed),
+            4,
+            ColorAlgorithm::Linear,
+            &SerialExecutor,
+            None,
+            None,
+            false,
+        )
+        .expect("valid");
+        assert!(!plain.hier);
+        assert!(plain.layouts[0].hier.is_none());
+        assert!(!plain.to_json().contains("\"hier\""));
     }
 }

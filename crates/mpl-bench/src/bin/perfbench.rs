@@ -17,16 +17,22 @@
 //!   halo-expanded windows through `mpl-tile` and solved exactly per
 //!   window, recording the reconciliation counters, a spacing
 //!   re-verification of the merged coloring, and a one-window control that
-//!   must match the untiled coloring bit for bit.
+//!   must match the untiled coloring bit for bit,
+//! * a hierarchical case: an SRAM-like merged cell array (one giant
+//!   component the flat memo cache cannot help) split by instance
+//!   provenance through `mpl-hier`, recording the reconciliation counters,
+//!   a spacing re-verification, and an all-isolated control array that
+//!   must match the flat memoized coloring bit for bit.
 //!
-//! The report is emitted as `BENCH_perf.json` (schema `mpl-bench/perf-v3`).
+//! The report is emitted as `BENCH_perf.json` (schema `mpl-bench/perf-v4`).
 //! Wall-clock numbers are informative only — the dev container is
 //! single-CPU and noisy — while the work counters are deterministic and are
 //! what CI pins (`--check`): per-layout engine counters, the memo case's
 //! warm hit rate (≥ 90 %) and zero warm-vs-cold coloring diffs, and the
-//! tile case's zero post-reconciliation conflicts, clean spacing check,
-//! and bit-identical control.  Under `--check` the untiled comparison run
-//! of the tile case is skipped (it is wall-clock-only information).
+//! tile and hier cases' zero post-reconciliation conflicts, clean spacing
+//! checks, and bit-identical controls.  Under `--check` the untiled and
+//! flat comparison runs of the tile and hier cases are skipped (they are
+//! wall-clock-only information).
 //!
 //! Usage: `perfbench [--json FILE] [--label NAME] [--check]`
 

@@ -6,7 +6,7 @@
 //! Usage: `cargo run -p mpl-bench --release --bin workload -- \
 //!     [--k N] [--threads N] [--layer L[:D] ...] \
 //!     [--batch [--memo | --no-memo] [--memo-capacity N] \
-//!      [--tile-size NM [--halo NM]] \
+//!      [--tile-size NM [--halo NM]] [--hier] \
 //!      | --serve ADDR [--executor serial|pool]] \
 //!     [--algorithm NAME] [--bench-json PATH] FILE [FILE ...]`
 //!
@@ -22,7 +22,11 @@
 //! `--memo`.  Batch mode can also shard every layout into halo-expanded
 //! tile windows through `mpl-tile` (`--tile-size NM`, optionally
 //! `--halo NM`), adding per-layout tile/reconciliation columns to the
-//! table and the report.  Serve mode (`--serve ADDR`) instead streams every file
+//! table and the report, or decompose cell-by-cell through `mpl-hier`
+//! (`--hier`, mutually exclusive with tiling): GDSII inputs load with
+//! their cell-instance hierarchy and each distinct cell body is colored
+//! once, adding per-layout instance/reconciliation columns; text inputs
+//! degenerate to the flat path.  Serve mode (`--serve ADDR`) instead streams every file
 //! as a `submit` request to the decomposition service at ADDR and measures
 //! client-observed requests/sec — the socket round trips and scheduler
 //! coalescing included.  In both modes `--bench-json PATH` writes the
@@ -34,7 +38,9 @@
 
 use mpl_bench::batch::run_batch_bench;
 use mpl_bench::serve::run_serve_bench;
-use mpl_bench::workload::{load_layout_timed, run_layout_table_on, TimedLayout};
+use mpl_bench::workload::{
+    load_layout_timed, load_layout_timed_hier, run_layout_table_on, TimedLayout,
+};
 use mpl_bench::{executor_for_threads, table_config, threads_from_args, TABLE1_ALGORITHMS};
 use mpl_core::{ColorAlgorithm, ConfigError, MemoCache, TileConfig};
 use mpl_geometry::Nm;
@@ -54,7 +60,7 @@ fn main() -> ExitCode {
 
     let usage = "usage: workload [--k N] [--threads N] [--layer L[:D] ...] \
                  [--batch [--memo | --no-memo] [--memo-capacity N] \
-                 [--tile-size NM [--halo NM]] \
+                 [--tile-size NM [--halo NM]] [--hier] \
                  | --serve ADDR [--executor serial|pool]] \
                  [--algorithm NAME] [--bench-json PATH] FILE [FILE ...]";
     let mut k = 4usize;
@@ -69,6 +75,7 @@ fn main() -> ExitCode {
     let mut memo_capacity: Option<usize> = None;
     let mut tile_size: Option<i64> = None;
     let mut halo: Option<i64> = None;
+    let mut hier = false;
     let mut args = rest.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -125,6 +132,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--hier" => hier = true,
             "--algorithm" => match args.next().as_deref().map(ColorAlgorithm::from_cli_name) {
                 Some(Ok(value)) => algorithm = Some(value),
                 Some(Err(message)) => {
@@ -208,6 +216,17 @@ fn main() -> ExitCode {
         eprintln!("{}", ConfigError::TileHaloWithoutTiling);
         return ExitCode::FAILURE;
     }
+    // Hierarchical decomposition splits by instance provenance, tiling by
+    // spatial windows — the two shardings don't compose, so the
+    // contradiction is rejected up front as the pipeline's typed error.
+    if !batch && hier {
+        eprintln!("--hier only applies to --batch mode");
+        return ExitCode::FAILURE;
+    }
+    if hier && (tile_size.is_some() || halo.is_some()) {
+        eprintln!("{}", ConfigError::HierWithTiling);
+        return ExitCode::FAILURE;
+    }
     let tiling = tile_size.map(|size| {
         let mut tiling = TileConfig::new(Nm(size));
         if let Some(halo) = halo {
@@ -230,7 +249,12 @@ fn main() -> ExitCode {
 
     let mut layouts: Vec<TimedLayout> = Vec::with_capacity(paths.len());
     for path in &paths {
-        match load_layout_timed(path, &layer_specs) {
+        let loaded = if hier {
+            load_layout_timed_hier(path, &layer_specs)
+        } else {
+            load_layout_timed(path, &layer_specs)
+        };
+        match loaded {
             Ok(timed) => {
                 eprintln!(
                     "{path}: {} shapes (parsed in {:.3}s)",
@@ -310,6 +334,7 @@ fn main() -> ExitCode {
             executor.as_ref(),
             memo_cache,
             tiling,
+            hier,
         ) {
             Ok(report) => report,
             Err(error) => {
@@ -330,8 +355,14 @@ fn main() -> ExitCode {
         } else {
             String::new()
         };
+        let hier_columns = report.hier;
+        let hier_header = if hier_columns {
+            format!(" {:>6} {:>6}", "inst", "cross")
+        } else {
+            String::new()
+        };
         println!(
-            "{:<24} {:>8} {:>9} {:>6} {:>6}{memo_header}{tile_header} {:>9} {:>9} {:>9}",
+            "{:<24} {:>8} {:>9} {:>6} {:>6}{memo_header}{tile_header}{hier_header} {:>9} {:>9} {:>9}",
             "layout", "vertices", "comps", "cn#", "st#", "parse(s)", "plan(s)", "color(s)"
         );
         for row in &report.layouts {
@@ -354,8 +385,18 @@ fn main() -> ExitCode {
             } else {
                 String::new()
             };
+            let hier_cells = if hier_columns {
+                let hier = row.hier.as_ref();
+                format!(
+                    " {:>6} {:>6}",
+                    hier.map_or(0, |h| h.instances),
+                    hier.map_or(0, |h| h.cross_conflicts_after)
+                )
+            } else {
+                String::new()
+            };
             println!(
-                "{:<24} {:>8} {:>9} {:>6} {:>6}{memo_cells}{tile_cells} {:>9.3} {:>9.3} {:>9.3}",
+                "{:<24} {:>8} {:>9} {:>6} {:>6}{memo_cells}{tile_cells}{hier_cells} {:>9.3} {:>9.3} {:>9.3}",
                 row.name,
                 row.vertices,
                 row.components,
@@ -404,6 +445,30 @@ fn main() -> ExitCode {
                     .map_or_else(|| "default".to_string(), |halo| format!("{} nm", halo.value())),
                 tiles,
                 cross_after
+            );
+        }
+        if report.hier {
+            let instances: usize = report
+                .layouts
+                .iter()
+                .filter_map(|row| row.hier.as_ref())
+                .map(|h| h.instances)
+                .sum();
+            let cells: usize = report
+                .layouts
+                .iter()
+                .filter_map(|row| row.hier.as_ref())
+                .map(|h| h.cells)
+                .sum();
+            let cross_after: usize = report
+                .layouts
+                .iter()
+                .filter_map(|row| row.hier.as_ref())
+                .map(|h| h.cross_conflicts_after)
+                .sum();
+            println!(
+                "hier: {instances} instances of {cells} distinct cell(s), \
+                 {cross_after} cross-instance conflicts after reconciliation"
             );
         }
         if let Some(path) = bench_json {

@@ -24,6 +24,13 @@
 //!   (cross-window conflicts before/after, permuted tiles, recolored
 //!   vertices), a spacing re-verification of the merged coloring, and a
 //!   one-window control that must match the untiled coloring bit for bit.
+//! * **Hier cases** — an SRAM-like cell array whose instance geometry
+//!   *merges* across cell boundaries (one giant conflict component with a
+//!   single, never-repeated flat signature — the flat memo cache cannot
+//!   help), decomposed through [`mpl_hier`]'s provenance splitting,
+//!   reporting the reconciliation counters, a spacing re-verification of
+//!   the merged coloring, and an all-isolated control array that must
+//!   match the flat memoized coloring bit for bit.
 //!
 //! Wall-clock numbers vary with the machine (the dev container is
 //! single-CPU); the counters are deterministic, which is why
@@ -35,8 +42,10 @@ use mpl_core::{
     DecompositionSession, MemoCache, SerialExecutor, TileConfig,
 };
 use mpl_geometry::Nm;
+use mpl_hier::fixtures::{bit_cell_array, BitArrayStyle};
+use mpl_hier::{run_hier, HierLayoutResult};
 use mpl_ilp::{solve_exact, ColoringInstance, ExactOptions};
-use mpl_layout::{gen, Layout, Technology};
+use mpl_layout::{gen, Layout, LayoutHierarchy, Technology};
 use mpl_tile::{run_tiled, TiledLayoutResult};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -242,7 +251,70 @@ impl TilePerfCase {
     }
 }
 
-/// The full perf report (schema `mpl-bench/perf-v3`).
+/// One cell-level hierarchical decomposition measurement: an SRAM-like
+/// merged cell array split by instance provenance through `mpl-hier`, with
+/// an all-isolated control array.
+#[derive(Debug, Clone)]
+pub struct HierPerfCase {
+    /// Case name (stable across runs).
+    pub name: String,
+    /// Engine used for color assignment (per cell piece).
+    pub algorithm: String,
+    /// Mask count K.
+    pub k: usize,
+    /// Input shapes (after cross-instance merging).
+    pub shapes: usize,
+    /// Decomposition-graph vertices.
+    pub vertices: usize,
+    /// Cell instances recorded by the hierarchy.
+    pub instances: usize,
+    /// Distinct cell masters.
+    pub cells: usize,
+    /// Components left on the ordinary flat path (single provenance).
+    pub resident_components: usize,
+    /// Components split by instance provenance.
+    pub split_components: usize,
+    /// Per-instance pieces carved out of the split components.
+    pub instance_pieces: usize,
+    /// Vertices of the split components owned by no single instance.
+    pub boundary_vertices: usize,
+    /// Pieces whose coloring was permuted during reconciliation.
+    pub permuted_pieces: usize,
+    /// Boundary vertices recolored by the fallback pass.
+    pub recolored_vertices: usize,
+    /// Cross-instance conflicts before reconciliation.
+    pub cross_conflicts_before: usize,
+    /// Cross-instance conflicts after reconciliation.
+    pub cross_conflicts_after: usize,
+    /// Unresolved conflicts of the merged coloring (full-graph count).
+    pub conflicts: usize,
+    /// Inserted stitches of the merged coloring.
+    pub stitches: usize,
+    /// Wall seconds for the hierarchical plan + decompose + reconcile run.
+    pub hier_seconds: f64,
+    /// Wall seconds for the flatten-then-decompose run of the same layout
+    /// and engine — skipped (`None`) under `--check`, where only the
+    /// deterministic counters matter and the flat giant-component solve
+    /// dominates the suite.
+    pub flat_seconds: Option<f64>,
+    /// Spacing violations of the merged coloring under the same geometric
+    /// checker as flat runs (must equal `conflicts`).
+    pub spacing_violations: usize,
+    /// Whether the all-isolated control array colored bit-identically
+    /// hierarchically and through the flat memoized path.
+    pub control_bit_identical: bool,
+}
+
+impl HierPerfCase {
+    /// Hierarchical-over-flat wall-clock speedup, when the flat run was
+    /// taken.
+    pub fn hier_speedup(&self) -> Option<f64> {
+        self.flat_seconds
+            .map(|flat| flat / self.hier_seconds.max(1e-12))
+    }
+}
+
+/// The full perf report (schema `mpl-bench/perf-v4`).
 #[derive(Debug, Clone)]
 pub struct PerfReport {
     /// The label the run was taken under.
@@ -253,6 +325,8 @@ pub struct PerfReport {
     pub memo: Vec<MemoPerfCase>,
     /// Full-chip tiled cases, in suite order.
     pub tile: Vec<TilePerfCase>,
+    /// Cell-level hierarchical cases, in suite order.
+    pub hier: Vec<HierPerfCase>,
     /// Branch-and-bound cases, in suite order.
     pub bnb: Vec<BnbPerfCase>,
 }
@@ -538,6 +612,119 @@ fn run_tile_cases(options: &PerfOptions) -> Result<Vec<TilePerfCase>, String> {
     Ok(vec![case])
 }
 
+/// Plans and colors a hierarchical layout through `mpl-hier` in one
+/// memoized session, returning the wall seconds with the result and stats.
+fn timed_hier_run(
+    layout: &Layout,
+    hierarchy: LayoutHierarchy,
+    algorithm: ColorAlgorithm,
+) -> Result<
+    (
+        f64,
+        mpl_core::LayoutId,
+        DecompositionSession,
+        HierLayoutResult,
+    ),
+    String,
+> {
+    let config = DecomposerConfig::quadruple(Technology::nm20()).with_algorithm(algorithm);
+    let decomposer = Decomposer::new(config);
+    let mut session = DecompositionSession::new()
+        .with_memo(Arc::new(MemoCache::new(MemoCache::DEFAULT_CAPACITY)));
+    let start = Instant::now();
+    let id = session
+        .submit_layout(&decomposer, layout)
+        .map_err(|error| format!("{}: {error}", layout.name()))?;
+    session.set_hierarchy(id, Some(Arc::new(hierarchy)));
+    let results =
+        run_hier(&session, &SerialExecutor).map_err(|error| format!("hier run: {error}"))?;
+    let seconds = start.elapsed().as_secs_f64();
+    let (id, hier) = results.into_iter().next().expect("one layout submitted");
+    Ok((seconds, id, session, hier))
+}
+
+/// The cell-level hierarchical cases: an SRAM-like bit-cell array whose
+/// per-cell tabs *merge* into the next column (the whole array is one
+/// giant conflict component with a single, never-repeated flat signature,
+/// so the flat memo cache cannot help and only provenance splitting does),
+/// plus an all-isolated control array that must reproduce the flat
+/// memoized coloring bit for bit.
+fn run_hier_cases(options: &PerfOptions) -> Result<Vec<HierPerfCase>, String> {
+    let tech = Technology::nm20();
+    let algorithm = ColorAlgorithm::SdpBacktrack;
+    // 12×12 merged bit cells: tabs fuse every column into its neighbour
+    // and 60 nm row gaps couple the rows, one spanning component.
+    let (layout, hierarchy) = bit_cell_array(12, 12, BitArrayStyle::Merged);
+    let (hier_seconds, id, session, HierLayoutResult { result, stats }) =
+        timed_hier_run(&layout, hierarchy, algorithm)?;
+    // The merged coloring must be spacing-clean under the same geometric
+    // checker flat results answer to — every violation is a counted
+    // conflict, nothing hides at an instance boundary.
+    let plan = session.plan(id).expect("plan retained by the session");
+    let spacing_violations =
+        verify_spacing(plan.graph(), result.colors(), tech.coloring_distance(4)).len();
+
+    // The flatten-then-decompose comparison run is wall-clock only, so
+    // `--check` skips it (the giant single component dominates the suite).
+    let flat_seconds = if options.check {
+        None
+    } else {
+        Some(timed_session_run(&layout, algorithm, None)?.0)
+    };
+
+    // Control: every instance isolated beyond the color-friendly distance,
+    // so the hierarchical path must degenerate to resident components and
+    // reproduce the flat memoized coloring bit for bit.
+    let (control_layout, control_hierarchy) = bit_cell_array(6, 6, BitArrayStyle::Isolated);
+    let (_, control_flat) = timed_session_run(
+        &control_layout,
+        algorithm,
+        Some(Arc::new(MemoCache::new(MemoCache::DEFAULT_CAPACITY))),
+    )?;
+    let (_, _, _, control_hier) = timed_hier_run(&control_layout, control_hierarchy, algorithm)?;
+    let control_bit_identical = control_hier.result.colors() == control_flat.colors();
+
+    let case = HierPerfCase {
+        name: layout.name().to_string(),
+        algorithm: result.algorithm().to_string(),
+        k: result.k(),
+        shapes: layout.shape_count(),
+        vertices: result.vertex_count(),
+        instances: stats.instances,
+        cells: stats.cells,
+        resident_components: stats.resident_components,
+        split_components: stats.split_components,
+        instance_pieces: stats.instance_pieces,
+        boundary_vertices: stats.boundary_vertices,
+        permuted_pieces: stats.permuted_pieces,
+        recolored_vertices: stats.recolored_vertices,
+        cross_conflicts_before: stats.cross_conflicts_before,
+        cross_conflicts_after: stats.cross_conflicts_after,
+        conflicts: result.conflicts(),
+        stitches: result.stitches(),
+        hier_seconds,
+        flat_seconds,
+        spacing_violations,
+        control_bit_identical,
+    };
+    eprintln!(
+        "  hier {:<17} {:<14} |V|={:<6} inst={:<4} hier={:.3}s flat={} cross={}→{} cn#={} sv#={} control-identical={}",
+        case.name,
+        case.algorithm,
+        case.vertices,
+        case.instances,
+        case.hier_seconds,
+        case.flat_seconds
+            .map_or_else(|| "skipped".to_string(), |seconds| format!("{seconds:.3}s")),
+        case.cross_conflicts_before,
+        case.cross_conflicts_after,
+        case.conflicts,
+        case.spacing_violations,
+        case.control_bit_identical,
+    );
+    Ok(vec![case])
+}
+
 /// Runs the whole suite.
 ///
 /// # Errors
@@ -602,6 +789,7 @@ pub fn run_perf_suite(options: &PerfOptions) -> Result<PerfReport, String> {
 
     let memo = run_memo_cases()?;
     let tile = run_tile_cases(options)?;
+    let hier = run_hier_cases(options)?;
 
     let mut bnb = Vec::new();
     for (name, instance) in bnb_instances() {
@@ -634,6 +822,7 @@ pub fn run_perf_suite(options: &PerfOptions) -> Result<PerfReport, String> {
         layouts,
         memo,
         tile,
+        hier,
         bnb,
     })
 }
@@ -651,11 +840,12 @@ fn json_opt_bool(value: Option<bool>) -> String {
 }
 
 impl PerfReport {
-    /// Renders the machine-readable report (schema `mpl-bench/perf-v3`;
-    /// v2 added the `memo_cases` array to v1, v3 the `tile_cases` array).
+    /// Renders the machine-readable report (schema `mpl-bench/perf-v4`;
+    /// v2 added the `memo_cases` array to v1, v3 the `tile_cases` array,
+    /// v4 the `hier_cases` array).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"mpl-bench/perf-v3\",\n");
+        out.push_str("  \"schema\": \"mpl-bench/perf-v4\",\n");
         out.push_str(&format!("  \"label\": \"{}\",\n", json_escape(&self.label)));
         out.push_str("  \"layouts\": [\n");
         for (index, case) in self.layouts.iter().enumerate() {
@@ -788,6 +978,71 @@ impl PerfReport {
                 case.control_bit_identical
             ));
             out.push_str(if index + 1 < self.tile.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"hier_cases\": [\n");
+        for (index, case) in self.hier.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\", ", json_escape(&case.name)));
+            out.push_str(&format!(
+                "\"algorithm\": \"{}\", ",
+                json_escape(&case.algorithm)
+            ));
+            out.push_str(&format!("\"k\": {}, ", case.k));
+            out.push_str(&format!("\"shapes\": {}, ", case.shapes));
+            out.push_str(&format!("\"vertices\": {}, ", case.vertices));
+            out.push_str(&format!("\"instances\": {}, ", case.instances));
+            out.push_str(&format!("\"cells\": {}, ", case.cells));
+            out.push_str(&format!(
+                "\"resident_components\": {}, ",
+                case.resident_components
+            ));
+            out.push_str(&format!(
+                "\"split_components\": {}, ",
+                case.split_components
+            ));
+            out.push_str(&format!("\"instance_pieces\": {}, ", case.instance_pieces));
+            out.push_str(&format!(
+                "\"boundary_vertices\": {}, ",
+                case.boundary_vertices
+            ));
+            out.push_str(&format!("\"permuted_pieces\": {}, ", case.permuted_pieces));
+            out.push_str(&format!(
+                "\"recolored_vertices\": {}, ",
+                case.recolored_vertices
+            ));
+            out.push_str(&format!(
+                "\"cross_conflicts_before\": {}, ",
+                case.cross_conflicts_before
+            ));
+            out.push_str(&format!(
+                "\"cross_conflicts_after\": {}, ",
+                case.cross_conflicts_after
+            ));
+            out.push_str(&format!("\"conflicts\": {}, ", case.conflicts));
+            out.push_str(&format!("\"stitches\": {}, ", case.stitches));
+            out.push_str(&format!("\"hier_seconds\": {}, ", case.hier_seconds));
+            out.push_str(&format!(
+                "\"flat_seconds\": {}, ",
+                json_opt_f64(case.flat_seconds)
+            ));
+            out.push_str(&format!(
+                "\"hier_speedup\": {}, ",
+                json_opt_f64(case.hier_speedup())
+            ));
+            out.push_str(&format!(
+                "\"spacing_violations\": {}, ",
+                case.spacing_violations
+            ));
+            out.push_str(&format!(
+                "\"control_bit_identical\": {}}}",
+                case.control_bit_identical
+            ));
+            out.push_str(if index + 1 < self.hier.len() {
                 ",\n"
             } else {
                 "\n"
@@ -966,6 +1221,51 @@ impl PerfReport {
                 ));
             }
         }
+        for case in &self.hier {
+            // The hierarchical acceptance bar: the provenance split must be
+            // real (every instance carved into its own piece), the
+            // reconciliation must leave zero cross-instance conflicts, the
+            // merged coloring must be spacing-clean under the flat checker,
+            // and the all-isolated control must reproduce the flat memoized
+            // bits.  Counters only — hier_seconds and the speedup are
+            // informative.
+            if case.instances <= 1 {
+                violations.push(format!(
+                    "hier case {}: only {} instances — the hierarchy collapsed",
+                    case.name, case.instances
+                ));
+            }
+            if case.instance_pieces < case.instances {
+                violations.push(format!(
+                    "hier case {}: {} instance pieces cover fewer than {} instances",
+                    case.name, case.instance_pieces, case.instances
+                ));
+            }
+            if case.cross_conflicts_after != 0 {
+                violations.push(format!(
+                    "hier case {}: {} cross-instance conflicts survive reconciliation",
+                    case.name, case.cross_conflicts_after
+                ));
+            }
+            if case.conflicts != 0 {
+                violations.push(format!(
+                    "hier case {}: merged coloring reports {} conflicts",
+                    case.name, case.conflicts
+                ));
+            }
+            if case.spacing_violations != case.conflicts {
+                violations.push(format!(
+                    "hier case {}: {} spacing violations disagree with {} reported conflicts",
+                    case.name, case.spacing_violations, case.conflicts
+                ));
+            }
+            if !case.control_bit_identical {
+                violations.push(format!(
+                    "hier case {}: isolated-instance control diverged from the flat memoized coloring",
+                    case.name
+                ));
+            }
+        }
         if violations.is_empty() {
             Ok(())
         } else {
@@ -996,13 +1296,15 @@ mod tests {
             layouts: Vec::new(),
             memo: Vec::new(),
             tile: Vec::new(),
+            hier: Vec::new(),
             bnb: Vec::new(),
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"mpl-bench/perf-v3\""));
+        assert!(json.contains("\"schema\": \"mpl-bench/perf-v4\""));
         assert!(json.contains("\"label\": \"test\""));
         assert!(json.contains("\"memo_cases\""));
         assert!(json.contains("\"tile_cases\""));
+        assert!(json.contains("\"hier_cases\""));
     }
 
     #[test]
@@ -1030,6 +1332,7 @@ mod tests {
             layouts: Vec::new(),
             memo: vec![case.clone()],
             tile: Vec::new(),
+            hier: Vec::new(),
             bnb: Vec::new(),
         };
         assert!(report.check_ceilings().is_ok());
@@ -1087,6 +1390,7 @@ mod tests {
             layouts: Vec::new(),
             memo: Vec::new(),
             tile: vec![case.clone()],
+            hier: Vec::new(),
             bnb: Vec::new(),
         };
         assert!(report.check_ceilings().is_ok());
@@ -1118,5 +1422,86 @@ mod tests {
             "{violations:?}"
         );
         assert!(report.tile[0].untiled_seconds.is_some());
+    }
+
+    #[test]
+    fn hier_ceilings_catch_boundary_conflicts_and_control_divergence() {
+        let case = HierPerfCase {
+            name: "sram12x12".to_string(),
+            algorithm: "SDP+backtrack".to_string(),
+            k: 4,
+            shapes: 600,
+            vertices: 720,
+            instances: 144,
+            cells: 1,
+            resident_components: 0,
+            split_components: 1,
+            instance_pieces: 144,
+            boundary_vertices: 300,
+            permuted_pieces: 20,
+            recolored_vertices: 0,
+            cross_conflicts_before: 10,
+            cross_conflicts_after: 0,
+            conflicts: 0,
+            stitches: 0,
+            hier_seconds: 0.05,
+            flat_seconds: Some(1.0),
+            spacing_violations: 0,
+            control_bit_identical: true,
+        };
+        let mut report = PerfReport {
+            label: "test".to_string(),
+            layouts: Vec::new(),
+            memo: Vec::new(),
+            tile: Vec::new(),
+            hier: vec![case.clone()],
+            bnb: Vec::new(),
+        };
+        assert!(report.check_ceilings().is_ok());
+        assert!((report.hier[0].hier_speedup().expect("recorded") - 20.0).abs() < 1e-9);
+
+        report.hier[0].cross_conflicts_after = 3;
+        let violations = report
+            .check_ceilings()
+            .expect_err("boundary conflicts fail");
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("survive reconciliation")),
+            "{violations:?}"
+        );
+
+        report.hier[0] = HierPerfCase {
+            control_bit_identical: false,
+            ..case.clone()
+        };
+        let violations = report.check_ceilings().expect_err("control drift fails");
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("isolated-instance control")),
+            "{violations:?}"
+        );
+
+        report.hier[0] = HierPerfCase {
+            spacing_violations: 2,
+            ..case.clone()
+        };
+        let violations = report.check_ceilings().expect_err("hidden violations fail");
+        assert!(
+            violations.iter().any(|v| v.contains("disagree with")),
+            "{violations:?}"
+        );
+
+        report.hier[0] = HierPerfCase {
+            instance_pieces: 100,
+            ..case
+        };
+        let violations = report.check_ceilings().expect_err("lost pieces fail");
+        assert!(
+            violations.iter().any(|v| v.contains("cover fewer than")),
+            "{violations:?}"
+        );
+        assert!(report.hier[0].flat_seconds.is_some());
     }
 }

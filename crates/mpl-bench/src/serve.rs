@@ -216,6 +216,7 @@ mod tests {
                 &gen::RowLayoutConfig::small(name, seed),
                 &Technology::nm20(),
             ),
+            hierarchy: None,
             parse_seconds: 0.0,
         }
     }

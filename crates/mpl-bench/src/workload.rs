@@ -8,8 +8,10 @@
 //! specification plumbing and the table loop.
 
 use mpl_core::{ColorAlgorithm, DecomposeError, Executor, SerialExecutor, TableReport};
-use mpl_gds::{LayerMap, ReadOptions};
-use mpl_layout::Layout;
+use mpl_gds::{GdsLibrary, LayerMap, ReadOptions};
+use mpl_layout::io::LayoutFormat;
+use mpl_layout::{Layout, LayoutHierarchy};
+use std::sync::Arc;
 
 pub use mpl_gds::LoadLayoutError as WorkloadError;
 
@@ -39,6 +41,10 @@ pub struct TimedLayout {
     pub path: String,
     /// The layout itself.
     pub layout: Layout,
+    /// The cell-instance hierarchy, when the source was GDSII and the load
+    /// asked for it ([`load_layout_timed_hier`]); text layouts are flat by
+    /// construction.
+    pub hierarchy: Option<Arc<LayoutHierarchy>>,
     /// Wall-clock seconds spent loading and parsing the file.
     pub parse_seconds: f64,
 }
@@ -54,6 +60,50 @@ pub fn load_layout_timed(path: &str, layer_specs: &[String]) -> Result<TimedLayo
     Ok(TimedLayout {
         path: path.to_string(),
         layout,
+        hierarchy: None,
+        parse_seconds: parse_start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Loads a layout file like [`load_layout_timed`], additionally recording
+/// the cell-instance hierarchy when the file is GDSII (for the batch
+/// harness's `--hier` mode).  Text layouts load with `hierarchy: None` and
+/// degenerate to the ordinary flat path downstream.
+///
+/// # Errors
+///
+/// Returns a [`WorkloadError`] describing the failing path and cause.
+pub fn load_layout_timed_hier(
+    path: &str,
+    layer_specs: &[String],
+) -> Result<TimedLayout, WorkloadError> {
+    let map = LayerMap::from_specs(layer_specs).map_err(|error| WorkloadError::Gds {
+        path: path.to_string(),
+        error,
+    })?;
+    let parse_start = std::time::Instant::now();
+    let bytes = std::fs::read(path).map_err(|error| WorkloadError::Io {
+        path: path.to_string(),
+        message: error.to_string(),
+    })?;
+    if LayoutFormat::detect(path, &bytes) != LayoutFormat::Gds {
+        return load_layout_timed(path, layer_specs);
+    }
+    let library = GdsLibrary::from_bytes(&bytes).map_err(|error| WorkloadError::Gds {
+        path: path.to_string(),
+        error,
+    })?;
+    let (layout, hierarchy) =
+        mpl_gds::layout_with_hierarchy(&library, &map, &ReadOptions::default()).map_err(
+            |error| WorkloadError::Gds {
+                path: path.to_string(),
+                error,
+            },
+        )?;
+    Ok(TimedLayout {
+        path: path.to_string(),
+        layout,
+        hierarchy: Some(Arc::new(hierarchy)),
         parse_seconds: parse_start.elapsed().as_secs_f64(),
     })
 }

@@ -143,8 +143,13 @@ impl TileConfig {
     }
 
     /// Checks the configuration: the tile size and any explicit halo must
-    /// be positive distances.  (The per-plan check that the halo covers the
-    /// coloring distance happens when the tiled driver sees the plan's K.)
+    /// be positive distances, and the halo must be smaller than the tile
+    /// size — a halo spanning a whole tile makes every window swallow its
+    /// neighbours, so the "grid" silently degenerates to overlapping
+    /// copies of the full layout.  (The per-plan check that the halo
+    /// covers the coloring distance happens when the tiled driver sees the
+    /// plan's K, which also re-checks the derived default halo against the
+    /// tile size.)
     ///
     /// # Errors
     ///
@@ -158,6 +163,12 @@ impl TileConfig {
         if let Some(halo) = self.halo {
             if halo <= Nm::ZERO {
                 return Err(ConfigError::TileHalo { halo: halo.value() });
+            }
+            if halo >= self.tile_size {
+                return Err(ConfigError::TileHaloDominates {
+                    halo: halo.value(),
+                    tile_size: self.tile_size.value(),
+                });
             }
         }
         Ok(())
@@ -308,6 +319,36 @@ mod tests {
             DecomposerConfig::quadruple(Technology::nm20()).validate(),
             Ok(())
         );
+    }
+
+    #[test]
+    fn tile_config_validates_sizes_and_halos() {
+        use crate::ConfigError;
+        assert_eq!(TileConfig::new(Nm(1000)).validate(), Ok(()));
+        assert_eq!(
+            TileConfig::new(Nm(1000)).with_halo(Nm(100)).validate(),
+            Ok(())
+        );
+        for size in [0i64, -400] {
+            assert_eq!(
+                TileConfig::new(Nm(size)).validate(),
+                Err(ConfigError::TileSize { size })
+            );
+        }
+        assert_eq!(
+            TileConfig::new(Nm(1000)).with_halo(Nm(0)).validate(),
+            Err(ConfigError::TileHalo { halo: 0 })
+        );
+        // A halo covering the whole tile span degenerates the grid.
+        for halo in [1000i64, 2500] {
+            assert_eq!(
+                TileConfig::new(Nm(1000)).with_halo(Nm(halo)).validate(),
+                Err(ConfigError::TileHaloDominates {
+                    halo,
+                    tile_size: 1000
+                })
+            );
+        }
     }
 
     #[test]

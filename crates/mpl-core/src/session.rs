@@ -25,7 +25,7 @@ use crate::{
     coloring_cost, ComponentProblem, DecomposeError, Decomposer, DecompositionResult, Executor,
     TileConfig,
 };
-use mpl_layout::Layout;
+use mpl_layout::{Layout, LayoutHierarchy};
 use mpl_memo::{MemoCache, Signature};
 use std::collections::HashMap;
 use std::fmt;
@@ -152,6 +152,11 @@ pub struct DecompositionSession {
     /// the configuration — [`run`](DecompositionSession::run) ignores it —
     /// and the `mpl-tile` crate's tiled driver consumes it.
     tiling: Option<TileConfig>,
+    /// Cell-instance provenance for submitted layouts, keyed by
+    /// [`LayoutId::index`].  The session only stores the attachments —
+    /// [`run`](DecompositionSession::run) ignores them — and the `mpl-hier`
+    /// crate's hierarchical driver consumes them.
+    hierarchies: HashMap<usize, Arc<LayoutHierarchy>>,
 }
 
 impl DecompositionSession {
@@ -221,6 +226,44 @@ impl DecompositionSession {
         self.tiling.as_ref()
     }
 
+    /// Attaches cell-instance provenance to the layout submitted under `id`
+    /// (builder form of
+    /// [`set_hierarchy`](DecompositionSession::set_hierarchy)).
+    pub fn with_hierarchy(mut self, id: LayoutId, hierarchy: Arc<LayoutHierarchy>) -> Self {
+        self.set_hierarchy(id, Some(hierarchy));
+        self
+    }
+
+    /// Attaches (or, with `None`, detaches) cell-instance provenance for
+    /// the layout submitted under `id`.
+    ///
+    /// The session itself never decomposes hierarchically:
+    /// [`run`](DecompositionSession::run) always works on the flat plan.
+    /// The attachment stored here is the contract between the front ends
+    /// and the `mpl-hier` crate, whose `run_hier` entry point reads it back
+    /// via [`hierarchy`](DecompositionSession::hierarchy), colors each
+    /// distinct cell body once through this session's executor machinery
+    /// (including any attached memo cache), and reconciles only the
+    /// inter-instance boundary geometry.
+    ///
+    /// Layouts without an attachment — text fixtures, circuits, flattened
+    /// GDS — simply have no provenance and decompose flat.
+    pub fn set_hierarchy(&mut self, id: LayoutId, hierarchy: Option<Arc<LayoutHierarchy>>) {
+        match hierarchy {
+            Some(hierarchy) => {
+                self.hierarchies.insert(id.index(), hierarchy);
+            }
+            None => {
+                self.hierarchies.remove(&id.index());
+            }
+        }
+    }
+
+    /// The cell-instance provenance attached to `id`, if any.
+    pub fn hierarchy(&self, id: LayoutId) -> Option<&Arc<LayoutHierarchy>> {
+        self.hierarchies.get(&id.index())
+    }
+
     /// Enqueues an already-built plan, returning the id its tasks and
     /// results will be tagged with.
     pub fn submit(&mut self, plan: DecompositionPlan) -> LayoutId {
@@ -260,6 +303,7 @@ impl DecompositionSession {
     pub fn clear(&mut self) {
         self.base += self.plans.len();
         self.plans.clear();
+        self.hierarchies.retain(|&index, _| index >= self.base);
     }
 
     /// Total number of layouts ever submitted, including batches already
@@ -762,6 +806,48 @@ mod tests {
         assert_eq!(results[1].1.k(), 5);
         assert_eq!(results[0].1.conflicts(), 1); // K5 needs five masks
         assert_eq!(results[1].1.conflicts(), 0);
+    }
+
+    #[test]
+    fn hierarchy_attachments_follow_their_layout_ids() {
+        let decomposer = decomposer(ColorAlgorithm::Linear);
+        let layout = row_layout("h", 11);
+        let hierarchy = Arc::new(LayoutHierarchy::default());
+
+        let mut session = DecompositionSession::new();
+        let first = session
+            .submit_layout(&decomposer, &layout)
+            .expect("valid config");
+        assert!(session.hierarchy(first).is_none());
+        session.set_hierarchy(first, Some(hierarchy.clone()));
+        assert!(Arc::ptr_eq(
+            session.hierarchy(first).expect("attached"),
+            &hierarchy
+        ));
+
+        // Detach explicitly.
+        session.set_hierarchy(first, None);
+        assert!(session.hierarchy(first).is_none());
+        session.set_hierarchy(first, Some(hierarchy.clone()));
+
+        // Retiring the batch drops the attachment with its plan.
+        session.clear();
+        assert!(session.hierarchy(first).is_none());
+
+        // New batches start clean and ids never collide with retired ones.
+        let second = session
+            .submit_layout(&decomposer, &layout)
+            .expect("valid config");
+        assert_ne!(first, second);
+        assert!(session.hierarchy(second).is_none());
+
+        // Builder form works too.
+        let mut built = DecompositionSession::new();
+        let id = built
+            .submit_layout(&decomposer, &layout)
+            .expect("valid config");
+        let built = built.with_hierarchy(id, hierarchy.clone());
+        assert!(built.hierarchy(id).is_some());
     }
 
     #[test]

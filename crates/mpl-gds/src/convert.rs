@@ -12,11 +12,11 @@
 //!   (or a colored decomposition, one layer per mask) as boundary records,
 //!   one rectangle per boundary.
 
-use crate::flatten::flatten;
+use crate::flatten::flatten_tagged;
 use crate::model::{GdsElement, GdsLibrary, GdsStruct};
 use crate::GdsError;
 use mpl_geometry::{GridIndex, Nm, Polygon, Rect};
-use mpl_layout::Layout;
+use mpl_layout::{CellInstance, Layout, LayoutHierarchy};
 
 /// Selection of GDS `layer:datatype` pairs to import.
 #[derive(Debug, Clone, Default)]
@@ -119,12 +119,34 @@ pub fn layout_from_library(
     map: &LayerMap,
     options: &ReadOptions,
 ) -> Result<Layout, GdsError> {
+    Ok(layout_with_hierarchy(library, map, options)?.0)
+}
+
+/// Flattens a GDS library like [`layout_from_library`] — the returned
+/// layout is identical — and additionally reports which top-level cell
+/// instance every shape came from.
+///
+/// A merged shape (touching polygons unioned into one) keeps its tag only
+/// when every constituent polygon came from the same instance; geometry
+/// that merges across a cell boundary, or belongs to the top structure
+/// itself, is tagged `None`. Instance translations are scaled to
+/// nanometres.
+///
+/// # Errors
+///
+/// Same as [`layout_from_library`].
+pub fn layout_with_hierarchy(
+    library: &GdsLibrary,
+    map: &LayerMap,
+    options: &ReadOptions,
+) -> Result<(Layout, LayoutHierarchy), GdsError> {
     let top_name = library.top_struct(options.top.as_deref())?.name.clone();
-    let shapes = flatten(library, options.top.as_deref())?;
+    let flat = flatten_tagged(library, options.top.as_deref())?;
     let scale = library.nm_per_db_unit();
     let mut polygons: Vec<Polygon> = Vec::new();
+    let mut tags: Vec<Option<usize>> = Vec::new();
     let mut seen_any = false;
-    for shape in &shapes {
+    for (shape, origin) in flat.shapes.iter().zip(&flat.origins) {
         seen_any = true;
         if !map.accepts(shape.layer, shape.datatype) {
             continue;
@@ -143,6 +165,7 @@ pub fn layout_from_library(
             .collect();
         if let Ok(polygon) = Polygon::from_rects(rects) {
             polygons.push(polygon);
+            tags.push(*origin);
         }
     }
     if polygons.is_empty() && seen_any && !map.is_all() {
@@ -161,16 +184,38 @@ pub fn layout_from_library(
         top_name
     };
     let mut builder = Layout::builder(name);
+    let mut shape_origins: Vec<Option<usize>> = Vec::new();
     for group in groups {
         let mut rects = Vec::new();
-        for index in group {
+        for &index in &group {
             rects.extend_from_slice(polygons[index].rects());
         }
         if let Ok(polygon) = Polygon::from_rects(rects) {
             builder.add_polygon(polygon);
+            // A union spanning several instances (or top-level geometry)
+            // has no single origin.
+            shape_origins.push(
+                group
+                    .iter()
+                    .map(|&index| tags[index])
+                    .reduce(|a, b| if a == b { a } else { None })
+                    .flatten(),
+            );
         }
     }
-    Ok(builder.build())
+    let instances = flat
+        .instances
+        .iter()
+        .map(|instance| CellInstance {
+            cell: instance.cell.clone(),
+            dx: scale_to_nm(instance.dx, scale).value(),
+            dy: scale_to_nm(instance.dy, scale).value(),
+        })
+        .collect();
+    Ok((
+        builder.build(),
+        LayoutHierarchy::new(instances, shape_origins),
+    ))
 }
 
 /// Groups polygon indices into connected (touching/overlapping) components,
@@ -377,6 +422,55 @@ mod tests {
         let parsed = layout_from_library(&library, &LayerMap::all(), &options).expect("read");
         // Three rectangles were written, so three unmerged shapes come back.
         assert_eq!(parsed.shape_count(), 3);
+    }
+
+    #[test]
+    fn hierarchy_tags_survive_conversion_and_merging_clears_them() {
+        use crate::model::GdsStrans;
+        // CELL is a 20x20 square. TOP places it three times: two
+        // placements touch edge-to-edge (their union has no single
+        // origin), the third is isolated and keeps its tag. TOP also owns
+        // a square of its own.
+        let mut library = GdsLibrary::new("L");
+        library.structs.push(GdsStruct {
+            name: "CELL".into(),
+            elements: vec![GdsElement::Boundary {
+                layer: 1,
+                datatype: 0,
+                xy: vec![(0, 0), (20, 0), (20, 20), (0, 20), (0, 0)],
+            }],
+        });
+        let place = |x: i32, y: i32| GdsElement::Sref {
+            name: "CELL".into(),
+            strans: GdsStrans::default(),
+            origin: (x, y),
+        };
+        library.structs.push(GdsStruct {
+            name: "TOP".into(),
+            elements: vec![
+                place(0, 0),
+                place(20, 0), // touches the first placement
+                place(500, 0),
+                GdsElement::Boundary {
+                    layer: 1,
+                    datatype: 0,
+                    xy: vec![(900, 0), (920, 0), (920, 20), (900, 20), (900, 0)],
+                },
+            ],
+        });
+        let (layout, hierarchy) =
+            layout_with_hierarchy(&library, &LayerMap::all(), &ReadOptions::default())
+                .expect("read");
+        assert_eq!(
+            layout,
+            layout_from_library(&library, &LayerMap::all(), &ReadOptions::default()).expect("read")
+        );
+        assert_eq!(hierarchy.instance_count(), 3);
+        assert_eq!(hierarchy.cell_count(), 1);
+        assert_eq!(hierarchy.instances()[2].dx, 500);
+        // Merged pair, isolated instance, top-level square.
+        assert_eq!(layout.shape_count(), 3);
+        assert_eq!(hierarchy.shape_origins(), &[None, Some(2), None]);
     }
 
     #[test]

@@ -61,10 +61,17 @@ pub enum GdsError {
         /// The referenced structure name.
         name: String,
     },
-    /// Structure references form a cycle (or exceed the depth limit).
+    /// Structure references form a cycle.
     RecursiveStruct {
         /// The structure on which the cycle was detected.
         name: String,
+    },
+    /// An acyclic reference chain exceeds the supported depth limit.
+    DeepHierarchy {
+        /// The structure whose reference chain exceeds the limit.
+        name: String,
+        /// The maximum supported reference depth, in chain edges.
+        limit: usize,
     },
     /// A reference uses a transform the rectilinear pipeline cannot honour
     /// (non-multiple-of-90° rotation or non-unit magnification).
@@ -168,6 +175,10 @@ impl fmt::Display for GdsError {
             GdsError::RecursiveStruct { name } => {
                 write!(f, "structure references recurse through {name:?}")
             }
+            GdsError::DeepHierarchy { name, limit } => write!(
+                f,
+                "structure {name:?} exceeds the reference depth limit of {limit}"
+            ),
             GdsError::UnsupportedTransform { name, angle, mag } => write!(
                 f,
                 "reference to {name:?} uses an unsupported transform \

@@ -6,8 +6,19 @@
 //! x, and rotations in 90° multiples — the transforms that keep rectilinear
 //! geometry rectilinear) and converting every boundary, box and path into
 //! rectangle lists in database units.
+//!
+//! [`flatten_tagged`] produces the exact same shape sequence and
+//! additionally records, per shape, which *top-level instance* (direct
+//! SREF/AREF child of the top structure, AREFs expanded row-major) emitted
+//! it — the provenance the hierarchical decomposition driver needs to split
+//! merged conflict components back into per-cell pieces.
+//!
+//! Both entry points validate the reference graph first
+//! ([`GdsLibrary::from_bytes`](crate::GdsLibrary::from_bytes) does too), so
+//! cyclic or over-deep hierarchies surface as typed errors instead of
+//! unbounded recursion.
 
-use crate::model::{GdsElement, GdsLibrary, GdsStrans, GdsStruct};
+use crate::model::{check_references, GdsElement, GdsLibrary, GdsStrans, GdsStruct, MAX_REF_DEPTH};
 use crate::poly::{loop_to_rects, path_to_rects, DbRect};
 use crate::GdsError;
 
@@ -22,8 +33,29 @@ pub struct FlatShape {
     pub rects: Vec<DbRect>,
 }
 
-/// Maximum reference depth before declaring the hierarchy recursive.
-const MAX_DEPTH: usize = 64;
+/// One expanded top-level placement, in database units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatInstance {
+    /// Name of the referenced structure.
+    pub cell: String,
+    /// Placement translation in database units.
+    pub dx: i64,
+    /// Placement translation in database units.
+    pub dy: i64,
+}
+
+/// Flattened geometry plus per-shape instance provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TaggedFlat {
+    /// Flattened shapes, identical to what [`flatten`] returns.
+    pub shapes: Vec<FlatShape>,
+    /// Parallel to `shapes`: the index into `instances` of the top-level
+    /// placement that emitted the shape, or `None` for geometry of the top
+    /// structure itself.
+    pub origins: Vec<Option<usize>>,
+    /// Expanded top-level placements in emission order (AREFs row-major).
+    pub instances: Vec<FlatInstance>,
+}
 
 /// An affine placement restricted to Manhattan transforms.
 #[derive(Debug, Clone, Copy)]
@@ -100,12 +132,169 @@ fn placement_of(name: &str, strans: &GdsStrans, origin: (i64, i64)) -> Result<Pl
 /// # Errors
 ///
 /// Propagates [`GdsError::UndefinedStruct`], [`GdsError::RecursiveStruct`],
-/// [`GdsError::UnsupportedTransform`] and [`GdsError::NonRectilinear`].
+/// [`GdsError::DeepHierarchy`], [`GdsError::UnsupportedTransform`] and
+/// [`GdsError::NonRectilinear`].
 pub fn flatten(library: &GdsLibrary, top: Option<&str>) -> Result<Vec<FlatShape>, GdsError> {
+    Ok(flatten_tagged(library, top)?.shapes)
+}
+
+/// Flattens like [`flatten`] and tags every emitted shape with the
+/// top-level instance that produced it.
+///
+/// Geometry owned by the top structure directly is tagged `None`; geometry
+/// reached through a direct SREF child of the top gets that placement's
+/// instance index, an AREF contributes `cols · rows` instances in the
+/// row-major order the grid is expanded, and nested references inherit the
+/// enclosing top-level instance's tag.
+///
+/// # Errors
+///
+/// Same as [`flatten`].
+pub fn flatten_tagged(library: &GdsLibrary, top: Option<&str>) -> Result<TaggedFlat, GdsError> {
     let top = library.top_struct(top)?;
-    let mut shapes = Vec::new();
-    walk(library, top, Placement::IDENTITY, 0, &mut shapes)?;
-    Ok(shapes)
+    check_references(library)?;
+    let mut flat = TaggedFlat::default();
+    for (index, element) in top.elements.iter().enumerate() {
+        match element {
+            GdsElement::Sref {
+                name,
+                strans,
+                origin,
+            } => {
+                let target = find_target(library, name)?;
+                let child = placement_of(name, strans, (i64::from(origin.0), i64::from(origin.1)))?;
+                let tag = open_instance(&mut flat.instances, name, &child);
+                walk(library, target, child, 1, tag, &mut flat)?;
+            }
+            GdsElement::Aref { name, .. } => {
+                let target = find_target(library, name)?;
+                for child in aref_placements(element)? {
+                    let tag = open_instance(&mut flat.instances, name, &child);
+                    walk(library, target, child, 1, tag, &mut flat)?;
+                }
+            }
+            _ => emit_geometry(top, index, element, &Placement::IDENTITY, None, &mut flat)?,
+        }
+    }
+    Ok(flat)
+}
+
+fn find_target<'a>(library: &'a GdsLibrary, name: &str) -> Result<&'a GdsStruct, GdsError> {
+    library
+        .find_struct(name)
+        .ok_or_else(|| GdsError::UndefinedStruct {
+            name: name.to_string(),
+        })
+}
+
+fn open_instance(
+    instances: &mut Vec<FlatInstance>,
+    name: &str,
+    placement: &Placement,
+) -> Option<usize> {
+    instances.push(FlatInstance {
+        cell: name.to_string(),
+        dx: placement.dx,
+        dy: placement.dy,
+    });
+    Some(instances.len() - 1)
+}
+
+/// Expands an AREF element into the placements of its grid, row-major.
+fn aref_placements(element: &GdsElement) -> Result<Vec<Placement>, GdsError> {
+    let GdsElement::Aref {
+        name,
+        strans,
+        cols,
+        rows,
+        xy,
+    } = element
+    else {
+        unreachable!("aref_placements is only called on AREF elements");
+    };
+    let cols = i64::from((*cols).max(1));
+    let rows = i64::from((*rows).max(1));
+    let origin = (i64::from(xy[0].0), i64::from(xy[0].1));
+    // Per the spec, xy[1] is origin displaced by cols inter-column
+    // spacings and xy[2] by rows inter-row spacings. Divide with
+    // rounding: a tool that rounds the lattice endpoint must not
+    // shift every instance by a truncated step.
+    let col_step = (
+        div_round(i64::from(xy[1].0) - origin.0, cols),
+        div_round(i64::from(xy[1].1) - origin.1, cols),
+    );
+    let row_step = (
+        div_round(i64::from(xy[2].0) - origin.0, rows),
+        div_round(i64::from(xy[2].1) - origin.1, rows),
+    );
+    let mut placements = Vec::with_capacity((rows * cols) as usize);
+    for row in 0..rows {
+        for col in 0..cols {
+            let instance_origin = (
+                origin.0 + col * col_step.0 + row * row_step.0,
+                origin.1 + col * col_step.1 + row * row_step.1,
+            );
+            placements.push(placement_of(name, strans, instance_origin)?);
+        }
+    }
+    Ok(placements)
+}
+
+fn emit_geometry(
+    current: &GdsStruct,
+    index: usize,
+    element: &GdsElement,
+    placement: &Placement,
+    tag: Option<usize>,
+    flat: &mut TaggedFlat,
+) -> Result<(), GdsError> {
+    let non_rectilinear = || GdsError::NonRectilinear {
+        structure: current.name.clone(),
+        element: index,
+    };
+    let shape = match element {
+        GdsElement::Boundary {
+            layer,
+            datatype,
+            xy,
+        } => {
+            let points = transform_points(xy, placement);
+            FlatShape {
+                layer: *layer,
+                datatype: *datatype,
+                rects: loop_to_rects(&points).ok_or_else(non_rectilinear)?,
+            }
+        }
+        GdsElement::Box { layer, boxtype, xy } => {
+            let points = transform_points(xy, placement);
+            FlatShape {
+                layer: *layer,
+                datatype: *boxtype,
+                rects: loop_to_rects(&points).ok_or_else(non_rectilinear)?,
+            }
+        }
+        GdsElement::Path {
+            layer,
+            datatype,
+            pathtype,
+            width,
+            xy,
+        } => {
+            let points = transform_points(xy, placement);
+            FlatShape {
+                layer: *layer,
+                datatype: *datatype,
+                rects: path_to_rects(&points, i64::from(width.unsigned_abs()), *pathtype)
+                    .ok_or_else(non_rectilinear)?,
+            }
+        }
+        GdsElement::Sref { .. } | GdsElement::Aref { .. } => {
+            unreachable!("emit_geometry is only called on geometry elements")
+        }
+    };
+    flat.shapes.push(shape);
+    flat.origins.push(tag);
+    Ok(())
 }
 
 fn walk(
@@ -113,109 +302,48 @@ fn walk(
     current: &GdsStruct,
     placement: Placement,
     depth: usize,
-    shapes: &mut Vec<FlatShape>,
+    tag: Option<usize>,
+    flat: &mut TaggedFlat,
 ) -> Result<(), GdsError> {
-    if depth > MAX_DEPTH {
-        return Err(GdsError::RecursiveStruct {
+    if depth > MAX_REF_DEPTH {
+        // Unreachable after check_references, kept as a defensive backstop.
+        return Err(GdsError::DeepHierarchy {
             name: current.name.clone(),
+            limit: MAX_REF_DEPTH,
         });
     }
     for (index, element) in current.elements.iter().enumerate() {
         match element {
-            GdsElement::Boundary {
-                layer,
-                datatype,
-                xy,
-            } => {
-                let points = transform_points(xy, &placement);
-                let rects = loop_to_rects(&points).ok_or_else(|| GdsError::NonRectilinear {
-                    structure: current.name.clone(),
-                    element: index,
-                })?;
-                shapes.push(FlatShape {
-                    layer: *layer,
-                    datatype: *datatype,
-                    rects,
-                });
-            }
-            GdsElement::Box { layer, boxtype, xy } => {
-                let points = transform_points(xy, &placement);
-                let rects = loop_to_rects(&points).ok_or_else(|| GdsError::NonRectilinear {
-                    structure: current.name.clone(),
-                    element: index,
-                })?;
-                shapes.push(FlatShape {
-                    layer: *layer,
-                    datatype: *boxtype,
-                    rects,
-                });
-            }
-            GdsElement::Path {
-                layer,
-                datatype,
-                pathtype,
-                width,
-                xy,
-            } => {
-                let points = transform_points(xy, &placement);
-                let rects = path_to_rects(&points, i64::from(width.unsigned_abs()), *pathtype)
-                    .ok_or_else(|| GdsError::NonRectilinear {
-                        structure: current.name.clone(),
-                        element: index,
-                    })?;
-                shapes.push(FlatShape {
-                    layer: *layer,
-                    datatype: *datatype,
-                    rects,
-                });
-            }
             GdsElement::Sref {
                 name,
                 strans,
                 origin,
             } => {
-                let target = library
-                    .find_struct(name)
-                    .ok_or_else(|| GdsError::UndefinedStruct { name: name.clone() })?;
+                let target = find_target(library, name)?;
                 let child = placement_of(name, strans, (i64::from(origin.0), i64::from(origin.1)))?;
-                walk(library, target, placement.then(&child), depth + 1, shapes)?;
+                walk(
+                    library,
+                    target,
+                    placement.then(&child),
+                    depth + 1,
+                    tag,
+                    flat,
+                )?;
             }
-            GdsElement::Aref {
-                name,
-                strans,
-                cols,
-                rows,
-                xy,
-            } => {
-                let target = library
-                    .find_struct(name)
-                    .ok_or_else(|| GdsError::UndefinedStruct { name: name.clone() })?;
-                let cols = i64::from((*cols).max(1));
-                let rows = i64::from((*rows).max(1));
-                let origin = (i64::from(xy[0].0), i64::from(xy[0].1));
-                // Per the spec, xy[1] is origin displaced by cols inter-column
-                // spacings and xy[2] by rows inter-row spacings. Divide with
-                // rounding: a tool that rounds the lattice endpoint must not
-                // shift every instance by a truncated step.
-                let col_step = (
-                    div_round(i64::from(xy[1].0) - origin.0, cols),
-                    div_round(i64::from(xy[1].1) - origin.1, cols),
-                );
-                let row_step = (
-                    div_round(i64::from(xy[2].0) - origin.0, rows),
-                    div_round(i64::from(xy[2].1) - origin.1, rows),
-                );
-                for row in 0..rows {
-                    for col in 0..cols {
-                        let instance_origin = (
-                            origin.0 + col * col_step.0 + row * row_step.0,
-                            origin.1 + col * col_step.1 + row * row_step.1,
-                        );
-                        let child = placement_of(name, strans, instance_origin)?;
-                        walk(library, target, placement.then(&child), depth + 1, shapes)?;
-                    }
+            GdsElement::Aref { name, .. } => {
+                let target = find_target(library, name)?;
+                for child in aref_placements(element)? {
+                    walk(
+                        library,
+                        target,
+                        placement.then(&child),
+                        depth + 1,
+                        tag,
+                        flat,
+                    )?;
                 }
             }
+            _ => emit_geometry(current, index, element, &placement, tag, flat)?,
         }
     }
     Ok(())
@@ -437,6 +565,32 @@ mod tests {
     }
 
     #[test]
+    fn over_deep_hierarchies_are_reported() {
+        // A linear chain S0 -> S1 -> ... deeper than the limit.
+        let mut structs = Vec::new();
+        for level in 0..=(MAX_REF_DEPTH + 1) {
+            let elements = if level <= MAX_REF_DEPTH {
+                vec![GdsElement::Sref {
+                    name: format!("S{}", level + 1),
+                    strans: GdsStrans::default(),
+                    origin: (0, 0),
+                }]
+            } else {
+                vec![unit_square(1)]
+            };
+            structs.push(GdsStruct {
+                name: format!("S{level}"),
+                elements,
+            });
+        }
+        let library = library_with(structs);
+        assert!(matches!(
+            flatten(&library, Some("S0")),
+            Err(GdsError::DeepHierarchy { limit, .. }) if limit == MAX_REF_DEPTH
+        ));
+    }
+
+    #[test]
     fn reflection_flips_about_the_x_axis() {
         let library = library_with(vec![
             GdsStruct {
@@ -462,5 +616,72 @@ mod tests {
         ]);
         let shapes = flatten(&library, None).expect("flatten");
         assert_eq!(shapes[0].rects, vec![(0, -30, 10, 0)]);
+    }
+
+    #[test]
+    fn tags_follow_top_level_instances() {
+        // TOP owns a square, places LEAF once via SREF and a 2x2 AREF of
+        // PAIR (which itself nests LEAF): 1 + 1 + 4 instances of geometry,
+        // with nested references inheriting the enclosing instance tag.
+        let library = library_with(vec![
+            GdsStruct {
+                name: "LEAF".into(),
+                elements: vec![unit_square(1)],
+            },
+            GdsStruct {
+                name: "PAIR".into(),
+                elements: vec![
+                    unit_square(1),
+                    GdsElement::Sref {
+                        name: "LEAF".into(),
+                        strans: GdsStrans::default(),
+                        origin: (20, 0),
+                    },
+                ],
+            },
+            GdsStruct {
+                name: "TOP".into(),
+                elements: vec![
+                    unit_square(1),
+                    GdsElement::Sref {
+                        name: "LEAF".into(),
+                        strans: GdsStrans::default(),
+                        origin: (100, 0),
+                    },
+                    GdsElement::Aref {
+                        name: "PAIR".into(),
+                        strans: GdsStrans::default(),
+                        cols: 2,
+                        rows: 2,
+                        xy: [(0, 200), (120, 200), (0, 400)],
+                    },
+                ],
+            },
+        ]);
+        let flat = flatten_tagged(&library, None).expect("flatten");
+        // Same shape stream as the untagged entry point.
+        assert_eq!(flat.shapes, flatten(&library, None).expect("flatten"));
+        assert_eq!(flat.instances.len(), 5);
+        assert_eq!(flat.instances[0].cell, "LEAF");
+        assert_eq!(flat.instances[0].dx, 100);
+        assert_eq!(flat.instances[2].cell, "PAIR");
+        // Row-major AREF expansion: (row 0, col 1) is the second PAIR.
+        assert_eq!(flat.instances[2].dx, 60);
+        assert_eq!(flat.instances[2].dy, 200);
+        assert_eq!(
+            flat.origins,
+            vec![
+                None,    // TOP's own square
+                Some(0), // SREF LEAF
+                Some(1), // PAIR #0 body
+                Some(1), // PAIR #0 nested LEAF inherits the tag
+                Some(2),
+                Some(2),
+                Some(3),
+                Some(3),
+                Some(4),
+                Some(4),
+            ]
+        );
     }
 }

@@ -56,12 +56,13 @@ pub mod record;
 mod write;
 
 pub use convert::{
-    layout_from_library, library_from_layout, library_from_masks, LayerMap, ReadOptions,
+    layout_from_library, layout_with_hierarchy, library_from_layout, library_from_masks, LayerMap,
+    ReadOptions,
 };
 pub use error::GdsError;
-pub use flatten::{flatten, FlatShape};
+pub use flatten::{flatten, flatten_tagged, FlatInstance, FlatShape, TaggedFlat};
 pub use load::{load_layout_file, LoadLayoutError};
-pub use model::{GdsElement, GdsLibrary, GdsStrans, GdsStruct};
+pub use model::{GdsElement, GdsLibrary, GdsStrans, GdsStruct, MAX_REF_DEPTH};
 pub use poly::{loop_to_rects, path_to_rects, DbRect};
 pub use record::{decode_real8, encode_real8};
 
@@ -82,6 +83,24 @@ pub fn read_layout_file(
 ) -> Result<Layout, GdsError> {
     let library = GdsLibrary::load(path)?;
     layout_from_library(&library, map, options)
+}
+
+/// Reads a GDSII file into a [`Layout`] plus its cell-instance provenance.
+///
+/// Convenience wrapper: [`GdsLibrary::load`] followed by
+/// [`layout_with_hierarchy`]. The layout is identical to what
+/// [`read_layout_file`] returns.
+///
+/// # Errors
+///
+/// Any I/O, parse, flattening or conversion error, as a [`GdsError`].
+pub fn read_layout_file_with_hierarchy(
+    path: &str,
+    map: &LayerMap,
+    options: &ReadOptions,
+) -> Result<(Layout, mpl_layout::LayoutHierarchy), GdsError> {
+    let library = GdsLibrary::load(path)?;
+    layout_with_hierarchy(&library, map, options)
 }
 
 /// Writes a [`Layout`] to a GDSII file on `layer:datatype`.

@@ -171,10 +171,91 @@ impl GdsLibrary {
     /// Parses a GDSII byte stream into a library.
     ///
     /// Text, node and property records are skipped; all structural errors
-    /// carry the byte offset of the offending record.
+    /// carry the byte offset of the offending record. The structure
+    /// reference graph is validated after parsing: cyclic SREF/AREF chains
+    /// are [`GdsError::RecursiveStruct`] and chains deeper than
+    /// [`MAX_REF_DEPTH`] are [`GdsError::DeepHierarchy`], so a hostile or
+    /// corrupt stream can never drive the flattener into unbounded
+    /// recursion.
     pub fn from_bytes(bytes: &[u8]) -> Result<GdsLibrary, GdsError> {
-        Parser::new(bytes).parse()
+        let library = Parser::new(bytes).parse()?;
+        check_references(&library)?;
+        Ok(library)
     }
+}
+
+/// Maximum supported SREF/AREF reference depth (edges along a chain).
+pub const MAX_REF_DEPTH: usize = 64;
+
+/// Validates the structure reference graph: no cycles, no chain deeper
+/// than [`MAX_REF_DEPTH`]. References to undefined structures are ignored
+/// here — flattening reports those with placement context.
+pub(crate) fn check_references(library: &GdsLibrary) -> Result<(), GdsError> {
+    let index_of = |name: &str| library.structs.iter().position(|s| s.name == name);
+    let children: Vec<Vec<usize>> = library
+        .structs
+        .iter()
+        .map(|st| {
+            st.elements
+                .iter()
+                .filter_map(|element| match element {
+                    GdsElement::Sref { name, .. } | GdsElement::Aref { name, .. } => index_of(name),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+
+    // Iterative three-state DFS: an explicit stack keeps adversarially
+    // deep inputs from overflowing the call stack before the typed error
+    // can be produced. `depth[s]` is the longest reference chain (in
+    // edges) below `s`, well-defined once the graph is known acyclic.
+    const NEW: u8 = 0;
+    const OPEN: u8 = 1;
+    const DONE: u8 = 2;
+    let mut state = vec![NEW; children.len()];
+    let mut depth = vec![0usize; children.len()];
+    for start in 0..children.len() {
+        if state[start] != NEW {
+            continue;
+        }
+        state[start] = OPEN;
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(frame) = stack.last_mut() {
+            let (node, next_child) = *frame;
+            if let Some(&child) = children[node].get(next_child) {
+                frame.1 += 1;
+                match state[child] {
+                    NEW => {
+                        state[child] = OPEN;
+                        stack.push((child, 0));
+                    }
+                    OPEN => {
+                        return Err(GdsError::RecursiveStruct {
+                            name: library.structs[child].name.clone(),
+                        })
+                    }
+                    _ => {}
+                }
+            } else {
+                let below = children[node]
+                    .iter()
+                    .map(|&child| depth[child] + 1)
+                    .max()
+                    .unwrap_or(0);
+                if below > MAX_REF_DEPTH {
+                    return Err(GdsError::DeepHierarchy {
+                        name: library.structs[node].name.clone(),
+                        limit: MAX_REF_DEPTH,
+                    });
+                }
+                depth[node] = below;
+                state[node] = DONE;
+                stack.pop();
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Recursive-descent parser over the record stream.
@@ -488,6 +569,82 @@ mod tests {
                 xy: vec![(0, 0), (10, 0), (10, 20), (0, 20), (0, 0)],
             }]
         );
+    }
+
+    /// Emits a structure that only places `target` via SREF.
+    fn emit_ref_struct(bytes: &mut Vec<u8>, name: &str, target: &str) {
+        emit_i16s(bytes, RecordType::BgnStr, &[0; 12]).unwrap();
+        emit_ascii(bytes, RecordType::StrName, name).unwrap();
+        emit_record(bytes, RecordType::Sref, DATA_NONE, &[]).unwrap();
+        emit_ascii(bytes, RecordType::Sname, target).unwrap();
+        crate::record::emit_i32s(bytes, RecordType::Xy, &[0, 0]).unwrap();
+        emit_record(bytes, RecordType::EndEl, DATA_NONE, &[]).unwrap();
+        emit_record(bytes, RecordType::EndStr, DATA_NONE, &[]).unwrap();
+    }
+
+    fn library_preamble() -> Vec<u8> {
+        let mut bytes = Vec::new();
+        emit_i16s(&mut bytes, RecordType::Header, &[600]).unwrap();
+        emit_i16s(&mut bytes, RecordType::BgnLib, &[0; 12]).unwrap();
+        emit_ascii(&mut bytes, RecordType::LibName, "TESTLIB").unwrap();
+        crate::record::emit_f64s(&mut bytes, RecordType::Units, &[1e-3, 1e-9]).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn cyclic_references_are_rejected_at_parse_time() {
+        let mut bytes = library_preamble();
+        emit_ref_struct(&mut bytes, "A", "B");
+        emit_ref_struct(&mut bytes, "B", "A");
+        emit_record(&mut bytes, RecordType::EndLib, DATA_NONE, &[]).unwrap();
+        assert!(matches!(
+            GdsLibrary::from_bytes(&bytes),
+            Err(GdsError::RecursiveStruct { name }) if name == "A" || name == "B"
+        ));
+    }
+
+    #[test]
+    fn over_deep_reference_chains_are_rejected_at_parse_time() {
+        let mut bytes = library_preamble();
+        // S0 -> S1 -> ... -> S{MAX_REF_DEPTH+1}: one edge too many.
+        for level in 0..=MAX_REF_DEPTH {
+            emit_ref_struct(&mut bytes, &format!("S{level}"), &format!("S{}", level + 1));
+        }
+        emit_i16s(&mut bytes, RecordType::BgnStr, &[0; 12]).unwrap();
+        emit_ascii(
+            &mut bytes,
+            RecordType::StrName,
+            &format!("S{}", MAX_REF_DEPTH + 1),
+        )
+        .unwrap();
+        emit_record(&mut bytes, RecordType::EndStr, DATA_NONE, &[]).unwrap();
+        emit_record(&mut bytes, RecordType::EndLib, DATA_NONE, &[]).unwrap();
+        assert_eq!(
+            GdsLibrary::from_bytes(&bytes),
+            Err(GdsError::DeepHierarchy {
+                name: "S0".into(),
+                limit: MAX_REF_DEPTH,
+            })
+        );
+    }
+
+    #[test]
+    fn a_chain_at_the_depth_limit_still_parses() {
+        let mut bytes = library_preamble();
+        for level in 0..MAX_REF_DEPTH {
+            emit_ref_struct(&mut bytes, &format!("S{level}"), &format!("S{}", level + 1));
+        }
+        emit_i16s(&mut bytes, RecordType::BgnStr, &[0; 12]).unwrap();
+        emit_ascii(
+            &mut bytes,
+            RecordType::StrName,
+            &format!("S{MAX_REF_DEPTH}"),
+        )
+        .unwrap();
+        emit_record(&mut bytes, RecordType::EndStr, DATA_NONE, &[]).unwrap();
+        emit_record(&mut bytes, RecordType::EndLib, DATA_NONE, &[]).unwrap();
+        let library = GdsLibrary::from_bytes(&bytes).expect("exactly at the limit");
+        assert_eq!(library.structs.len(), MAX_REF_DEPTH + 1);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! SRAM-like cell-array fixtures for tests and benchmarks.
+//!
+//! The generator builds an in-memory GDS library — one `BIT` cell, stamped
+//! by an `AREF` in the `TOP` structure — and reads it back through the
+//! tagged flattening path ([`mpl_gds::layout_with_hierarchy`]), so every
+//! fixture exercises exactly the provenance machinery a real GDS file
+//! would.
+//!
+//! The `BIT` cell is a 2×2 contact clique on the 20 nm node (20 nm
+//! contacts at 40 nm pitch: all four pairwise under the 80 nm quadruple
+//! coloring distance, so a cell body alone needs all four masks), plus —
+//! in the styles that have one — a bottom-row tab that reaches the next
+//! column's bottom-left contact.
+
+use mpl_gds::{
+    layout_with_hierarchy, GdsElement, GdsLibrary, GdsStrans, GdsStruct, LayerMap, ReadOptions,
+};
+use mpl_layout::{Layout, LayoutHierarchy};
+
+/// How densely the `BIT` instances are packed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitArrayStyle {
+    /// 120 × 100 nm pitch **with** tabs: each tab touches its own cell's
+    /// bottom-right contact and the next column's bottom-left contact, so
+    /// the three polygons merge into one cross-instance link that loses
+    /// its provenance tag.  Rows couple through the links and columns
+    /// through facing contacts: the whole array is **one** giant conflict
+    /// component with no small vertex cuts — geometric division cannot
+    /// shatter it and the flat memo cache sees a single, never-repeated
+    /// signature.  Only provenance splitting helps here.
+    Merged,
+    /// 120 × 120 nm pitch, no tabs: facing contacts of neighbouring
+    /// instances conflict (60 nm gaps under the 80 nm coloring distance)
+    /// but nothing merges, so the array is one giant component whose split
+    /// pieces are all translation-identical full cells.
+    Coupled,
+    /// 260 × 260 nm pitch with tabs: every gap exceeds the 100 nm
+    /// color-friendly distance, so each instance is its own component —
+    /// the control whose hierarchical coloring must be bit-identical to
+    /// the flat memoized path.
+    Isolated,
+}
+
+impl BitArrayStyle {
+    fn pitch(self) -> (i32, i32) {
+        match self {
+            BitArrayStyle::Merged => (120, 100),
+            BitArrayStyle::Coupled => (120, 120),
+            BitArrayStyle::Isolated => (260, 260),
+        }
+    }
+
+    fn has_tab(self) -> bool {
+        !matches!(self, BitArrayStyle::Coupled)
+    }
+}
+
+/// A closed rectangle loop in database units (1 db unit = 1 nm here).
+fn rect(x0: i32, y0: i32, x1: i32, y1: i32) -> GdsElement {
+    GdsElement::Boundary {
+        layer: 1,
+        datatype: 0,
+        xy: vec![(x0, y0), (x1, y0), (x1, y1), (x0, y1), (x0, y0)],
+    }
+}
+
+/// An `nx` × `ny` array of `BIT` cells in the given style, read back
+/// through the tagged GDS flattening path.
+///
+/// The returned hierarchy records one instance per array site (row-major,
+/// bottom row first); shapes that merged across instance boundaries (the
+/// [`Merged`](BitArrayStyle::Merged) links) carry no provenance.
+///
+/// # Panics
+///
+/// On degenerate array sizes (`nx == 0 || ny == 0`) or if the in-memory
+/// library fails to convert, which would be a bug in the fixture itself.
+pub fn bit_cell_array(nx: usize, ny: usize, style: BitArrayStyle) -> (Layout, LayoutHierarchy) {
+    assert!(nx > 0 && ny > 0, "array must have at least one cell");
+    let (sx, sy) = style.pitch();
+    let mut bit = vec![
+        rect(0, 0, 20, 20),   // bottom-left contact
+        rect(40, 0, 60, 20),  // bottom-right contact
+        rect(0, 40, 20, 60),  // top-left contact
+        rect(40, 40, 60, 60), // top-right contact
+    ];
+    if style.has_tab() {
+        // Reaches from the bottom-right contact to the next column's
+        // bottom-left contact (at x = pitch) when the pitch is 120.
+        bit.push(rect(60, 0, 120, 20));
+    }
+    let mut library = GdsLibrary::new(format!("sram{nx}x{ny}"));
+    library.structs.push(GdsStruct {
+        name: "BIT".into(),
+        elements: bit,
+    });
+    library.structs.push(GdsStruct {
+        name: "TOP".into(),
+        elements: vec![GdsElement::Aref {
+            name: "BIT".into(),
+            strans: GdsStrans::default(),
+            cols: nx as i16,
+            rows: ny as i16,
+            xy: [(0, 0), (nx as i32 * sx, 0), (0, ny as i32 * sy)],
+        }],
+    });
+    layout_with_hierarchy(&library, &LayerMap::all(), &ReadOptions::default())
+        .expect("the fixture library is well-formed")
+}

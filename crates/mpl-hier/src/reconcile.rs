@@ -1,0 +1,267 @@
+//! Deterministic instance reconciliation: merging the per-piece colorings
+//! of one split component back into a single consistent coloring.
+//!
+//! Pieces are fixed in split order (instances ascending, residual last).
+//! Unlike tile halos, provenance pieces are **disjoint** — no vertex is
+//! colored twice — so there are no anchor vertices to match.  Instead each
+//! piece is rotated by the color permutation minimising the cost of its
+//! *cross edges* into the vertices already fixed: a cross conflict edge
+//! pays 1 when the permuted color equals the fixed endpoint's, a cross
+//! stitch edge pays α when it differs.  Permutations preserve every
+//! conflict and stitch inside the piece (in particular a stamped master
+//! coloring stays a master coloring), so this step can only help.  When
+//! contradictory neighbours leave cross-provenance disagreements, a bounded
+//! greedy repair pass re-colors boundary vertices that strictly lower the
+//! component's cost.  Both steps are pure functions of the piece colorings,
+//! so the merged result inherits the batch engine's schedule independence.
+
+use crate::split::SplitComponent;
+use mpl_core::ComponentProblem;
+
+/// Upper bound on greedy repair sweeps over the cross-provenance strip.
+/// Each sweep only applies strictly-improving recolorings, so the loop
+/// usually stops after one or two sweeps; the cap keeps the worst case
+/// obvious.
+const MAX_REPAIR_SWEEPS: usize = 8;
+
+/// What reconciliation did to one split component.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ReconcileOutcome {
+    /// Pieces whose coloring was rotated by a non-identity permutation.
+    pub permuted_pieces: usize,
+    /// Strictly-improving recolorings applied by the repair pass.
+    pub recolored_vertices: usize,
+    /// Cross-provenance conflicts right after the permutation pass.
+    pub cross_conflicts_before: usize,
+    /// Cross-provenance conflicts after greedy repair.
+    pub cross_conflicts_after: usize,
+}
+
+/// Merges `piece_colors` (one coloring per [`SplitComponent`] piece, in
+/// piece order, each indexed like its piece) into one component-local
+/// coloring.
+pub(crate) fn reconcile(
+    split: &SplitComponent,
+    problem: &ComponentProblem,
+    piece_colors: &[Vec<u8>],
+) -> (Vec<u8>, ReconcileOutcome) {
+    let n = problem.vertex_count();
+    let k = problem.k();
+    let alpha = problem.alpha();
+    debug_assert_eq!(piece_colors.len(), split.pieces.len());
+
+    // Cross edges only: both endpoint lists are component-local.
+    let mut conflict_adj = vec![Vec::new(); n];
+    for &(u, v) in problem.conflict_edges() {
+        if split.origin[u] != split.origin[v] {
+            conflict_adj[u].push(v);
+            conflict_adj[v].push(u);
+        }
+    }
+    let mut stitch_adj = vec![Vec::new(); n];
+    for &(u, v) in problem.stitch_edges() {
+        if split.origin[u] != split.origin[v] {
+            stitch_adj[u].push(v);
+            stitch_adj[v].push(u);
+        }
+    }
+
+    let mut outcome = ReconcileOutcome::default();
+    let mut merged = vec![u8::MAX; n];
+    let mut fixed = vec![false; n];
+    for (piece, colors) in split.pieces.iter().zip(piece_colors) {
+        debug_assert_eq!(colors.len(), piece.locals.len());
+        // weight[c][t]: the cost saved by mapping piece color c onto t —
+        // α per matched cross stitch, −1 per created cross conflict.
+        let mut weight = vec![0.0f64; k * k];
+        for (&local, &color) in piece.locals.iter().zip(colors) {
+            let c = color as usize;
+            for &u in &conflict_adj[local] {
+                if fixed[u] {
+                    weight[c * k + merged[u] as usize] -= 1.0;
+                }
+            }
+            for &u in &stitch_adj[local] {
+                if fixed[u] {
+                    weight[c * k + merged[u] as usize] += alpha;
+                }
+            }
+        }
+        let permutation = best_cross_permutation(&weight, k);
+        if permutation
+            .iter()
+            .enumerate()
+            .any(|(c, &t)| c != t as usize)
+        {
+            outcome.permuted_pieces += 1;
+        }
+        for (&local, &color) in piece.locals.iter().zip(colors) {
+            merged[local] = permutation[color as usize];
+            fixed[local] = true;
+        }
+    }
+    debug_assert!(fixed.iter().all(|&done| done));
+
+    outcome.cross_conflicts_before = cross_conflicts(split, problem, &merged);
+    outcome.recolored_vertices = repair_boundary(split, problem, &mut merged);
+    outcome.cross_conflicts_after = cross_conflicts(split, problem, &merged);
+    (merged, outcome)
+}
+
+/// Finds the permutation π of `0..k` maximising `Σ_c weight[c][π(c)]` —
+/// exhaustively for small K (at most 720 candidates for K ≤ 6), greedily
+/// above that.  Ties prefer the identity-most (lexicographically smallest)
+/// permutation so reconciliation is deterministic and a no-op when nothing
+/// is gained — in particular an unconstrained piece (all weights zero)
+/// keeps its stamped master coloring verbatim.
+fn best_cross_permutation(weight: &[f64], k: usize) -> Vec<u8> {
+    let score = |perm: &[u8]| -> f64 {
+        perm.iter()
+            .enumerate()
+            .map(|(c, &t)| weight[c * k + t as usize])
+            .sum()
+    };
+    if k <= 6 {
+        // Lexicographic enumeration starts at the identity, and only a
+        // strictly better score replaces the incumbent.
+        let mut perm: Vec<u8> = (0..k as u8).collect();
+        let mut best = perm.clone();
+        let mut best_score = score(&perm);
+        while next_permutation(&mut perm) {
+            let s = score(&perm);
+            if s > best_score {
+                best_score = s;
+                best = perm.clone();
+            }
+        }
+        best
+    } else {
+        // Greedy assignment by descending pair weight; leftovers keep their
+        // own color when possible.
+        let mut pairs: Vec<(usize, usize)> = (0..k * k).map(|i| (i / k, i % k)).collect();
+        pairs.sort_by(|&(c1, t1), &(c2, t2)| {
+            weight[c2 * k + t2]
+                .total_cmp(&weight[c1 * k + t1])
+                .then(c1.cmp(&c2))
+                .then(t1.cmp(&t2))
+        });
+        let mut permutation = vec![u8::MAX; k];
+        let mut target_taken = vec![false; k];
+        for (c, t) in pairs {
+            if weight[c * k + t] > 0.0 && permutation[c] == u8::MAX && !target_taken[t] {
+                permutation[c] = t as u8;
+                target_taken[t] = true;
+            }
+        }
+        for c in 0..k {
+            if permutation[c] != u8::MAX {
+                continue;
+            }
+            let t = if !target_taken[c] {
+                c
+            } else {
+                (0..k)
+                    .find(|&t| !target_taken[t])
+                    .expect("a free color remains")
+            };
+            permutation[c] = t as u8;
+            target_taken[t] = true;
+        }
+        permutation
+    }
+}
+
+/// The next lexicographic permutation of `perm`, or `false` at the last.
+fn next_permutation(perm: &mut [u8]) -> bool {
+    let Some(i) = (0..perm.len().saturating_sub(1))
+        .rev()
+        .find(|&i| perm[i] < perm[i + 1])
+    else {
+        return false;
+    };
+    let j = (i + 1..perm.len())
+        .rev()
+        .find(|&j| perm[j] > perm[i])
+        .expect("a larger suffix element exists");
+    perm.swap(i, j);
+    perm[i + 1..].reverse();
+    true
+}
+
+/// Conflict edges with endpoints of different provenance that ended up on
+/// the same mask.
+fn cross_conflicts(split: &SplitComponent, problem: &ComponentProblem, colors: &[u8]) -> usize {
+    problem
+        .conflict_edges()
+        .iter()
+        .filter(|&&(u, v)| split.origin[u] != split.origin[v] && colors[u] == colors[v])
+        .count()
+}
+
+/// Greedy local repair of the cross-provenance strip: re-colors a strip
+/// vertex only when that strictly lowers its incident cost, sweeping the
+/// strip in ascending vertex order until a sweep changes nothing.
+///
+/// Returns the number of recolorings applied.
+fn repair_boundary(split: &SplitComponent, problem: &ComponentProblem, colors: &mut [u8]) -> usize {
+    let n = problem.vertex_count();
+    let mut conflict_adj = vec![Vec::new(); n];
+    for &(u, v) in problem.conflict_edges() {
+        conflict_adj[u].push(v);
+        conflict_adj[v].push(u);
+    }
+    let mut stitch_adj = vec![Vec::new(); n];
+    for &(u, v) in problem.stitch_edges() {
+        stitch_adj[u].push(v);
+        stitch_adj[v].push(u);
+    }
+    let strip: Vec<usize> = (0..n)
+        .filter(|&v| {
+            conflict_adj[v]
+                .iter()
+                .chain(&stitch_adj[v])
+                .any(|&u| split.origin[u] != split.origin[v])
+        })
+        .collect();
+    if strip.is_empty() {
+        return 0;
+    }
+
+    // A conflict neighbour on the same mask costs 1, a stitch neighbour on
+    // a different mask costs α.
+    let incident_cost = |v: usize, color: u8, colors: &[u8]| -> f64 {
+        let conflicts = conflict_adj[v]
+            .iter()
+            .filter(|&&u| colors[u] == color)
+            .count();
+        let stitches = stitch_adj[v]
+            .iter()
+            .filter(|&&u| colors[u] != color)
+            .count();
+        conflicts as f64 + problem.alpha() * stitches as f64
+    };
+
+    let k = problem.k() as u8;
+    let mut recolored = 0;
+    for _ in 0..MAX_REPAIR_SWEEPS {
+        let mut changed = false;
+        for &v in &strip {
+            let current = incident_cost(v, colors[v], colors);
+            let best = (0..k)
+                .filter(|&color| color != colors[v])
+                .map(|color| (color, incident_cost(v, color, colors)))
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            if let Some((color, cost)) = best {
+                if cost < current {
+                    colors[v] = color;
+                    recolored += 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    recolored
+}

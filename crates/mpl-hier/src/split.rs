@@ -1,0 +1,113 @@
+//! Splitting merged components along cell-instance seams.
+//!
+//! Every graph vertex inherits the provenance of its layout shape: the
+//! instance that placed it ([`LayoutHierarchy::origin_of`]), or `None` for
+//! top-level geometry and for shapes whose polygons merged across an
+//! instance boundary.  A component whose vertices all share one provenance
+//! is *resident* — it is exactly the sub-problem the flat memoized path
+//! would see, so it flows through the ordinary batch engine untouched.  A
+//! component mixing provenances is split into per-instance pieces (one
+//! induced sub-problem per instance, in ascending instance order) plus one
+//! *residual* piece holding the unattributed boundary geometry; the pieces
+//! are disjoint by construction, so the reconciler stitches them back along
+//! cross-provenance edges only.
+//!
+//! Splitting by provenance is what the purely geometric graph division of
+//! the engine cannot do: a dense instance array couples into one giant
+//! component with no small vertex cuts, but its per-instance pieces are
+//! translation-identical, so the memo cache colors one master body and
+//! stamps every other instance.
+
+use mpl_core::{ComponentProblem, DecompositionPlan, VertexId};
+use mpl_layout::LayoutHierarchy;
+use std::collections::BTreeMap;
+
+/// One provenance class of a split component.
+#[derive(Debug)]
+pub(crate) struct SplitPiece {
+    /// The instance that placed this piece's geometry, or `None` for the
+    /// residual (top-level shapes and cross-instance merges).
+    pub origin: Option<usize>,
+    /// Component-local vertex ids of the piece, ascending.
+    pub locals: Vec<usize>,
+    /// The sub-problem induced by `locals`, ready for the batch engine.
+    pub problem: ComponentProblem,
+}
+
+/// A mixed-provenance component split into per-instance pieces.
+#[derive(Debug)]
+pub(crate) struct SplitComponent {
+    /// Index of the original task in its plan.
+    pub task_index: usize,
+    /// Provenance of every component-local vertex.
+    pub origin: Vec<Option<usize>>,
+    /// Instance pieces in ascending instance order, then the residual piece
+    /// (when any vertex is unattributed) — the deterministic order the
+    /// reconciler fixes them in.
+    pub pieces: Vec<SplitPiece>,
+}
+
+/// Classifies a plan's tasks into residents and split components.
+///
+/// Without a hierarchy every task is resident and the driver degenerates to
+/// the flat memoized path.
+pub(crate) fn classify(
+    plan: &DecompositionPlan,
+    hierarchy: Option<&LayoutHierarchy>,
+) -> (Vec<usize>, Vec<SplitComponent>) {
+    let mut resident = Vec::new();
+    let mut split = Vec::new();
+    let Some(hierarchy) = hierarchy.filter(|hierarchy| !hierarchy.is_trivial()) else {
+        return ((0..plan.tasks().len()).collect(), split);
+    };
+    let graph = plan.graph();
+    for task in plan.tasks() {
+        let origin: Vec<Option<usize>> = task
+            .to_global()
+            .iter()
+            .map(|&global| hierarchy.origin_of(graph.shape_of(VertexId(global))))
+            .collect();
+        if origin.windows(2).all(|pair| pair[0] == pair[1]) {
+            resident.push(task.index());
+        } else {
+            split.push(split_component(task.index(), task.problem(), origin));
+        }
+    }
+    (resident, split)
+}
+
+/// Groups a mixed-provenance component's vertices by origin and induces one
+/// sub-problem per group.
+fn split_component(
+    task_index: usize,
+    problem: &ComponentProblem,
+    origin: Vec<Option<usize>>,
+) -> SplitComponent {
+    let mut instances: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let mut residual = Vec::new();
+    for (local, &tag) in origin.iter().enumerate() {
+        match tag {
+            Some(instance) => instances.entry(instance).or_default().push(local),
+            None => residual.push(local),
+        }
+    }
+    let pieces = instances
+        .into_iter()
+        .map(|(instance, locals)| (Some(instance), locals))
+        .chain((!residual.is_empty()).then_some((None, residual)))
+        .map(|(origin, locals)| {
+            let (sub, original) = problem.induced(&locals);
+            debug_assert_eq!(original, locals);
+            SplitPiece {
+                origin,
+                locals,
+                problem: sub,
+            }
+        })
+        .collect();
+    SplitComponent {
+        task_index,
+        origin,
+        pieces,
+    }
+}

@@ -1,0 +1,145 @@
+//! Cell-instance provenance for a flattened layout.
+//!
+//! A [`LayoutHierarchy`] records, for every shape of a flat [`Layout`],
+//! which top-level cell instance the shape came from. It is produced by
+//! the GDS reader (which sees the SREF/AREF structure before flattening)
+//! and consumed by the hierarchical decomposition driver, which uses the
+//! tags to split merged conflict components back into per-instance pieces
+//! that are translates of one another.
+//!
+//! The type is deliberately dumb data: shape `i` of the layout maps to
+//! `Some(instance)` when every rectangle of the shape was emitted by that
+//! single top-level instance, and to `None` when the shape belongs to the
+//! top cell itself or merged geometry from several instances (polygons
+//! that touch across a cell boundary are unioned into one shape by the
+//! reader, and a union spanning instances has no single origin).
+//!
+//! [`Layout`]: crate::Layout
+
+use crate::ShapeId;
+
+/// One placement of a cell under the top structure.
+///
+/// AREF placements are expanded: an `n × m` array contributes `n · m`
+/// instances, in the same row-major order the flattener emits them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellInstance {
+    /// Name of the referenced cell definition.
+    pub cell: String,
+    /// X translation of the placement, in nanometres.
+    pub dx: i64,
+    /// Y translation of the placement, in nanometres.
+    pub dy: i64,
+}
+
+/// Per-shape instance provenance for a flattened [`Layout`](crate::Layout).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LayoutHierarchy {
+    instances: Vec<CellInstance>,
+    shape_origin: Vec<Option<usize>>,
+}
+
+impl LayoutHierarchy {
+    /// Builds a hierarchy from the expanded instance list and the
+    /// per-shape origin tags (indexed by dense [`ShapeId`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a tag references an instance index out of range.
+    pub fn new(instances: Vec<CellInstance>, shape_origin: Vec<Option<usize>>) -> Self {
+        for tag in shape_origin.iter().flatten() {
+            assert!(
+                *tag < instances.len(),
+                "shape origin {tag} out of range for {} instances",
+                instances.len()
+            );
+        }
+        Self {
+            instances,
+            shape_origin,
+        }
+    }
+
+    /// The expanded top-level instance list, in flatten emission order.
+    pub fn instances(&self) -> &[CellInstance] {
+        &self.instances
+    }
+
+    /// Number of expanded top-level instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of distinct cell definitions among the instances.
+    pub fn cell_count(&self) -> usize {
+        let mut names: Vec<&str> = self.instances.iter().map(|i| i.cell.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+
+    /// The per-shape origin tags, indexed by dense shape index.
+    pub fn shape_origins(&self) -> &[Option<usize>] {
+        &self.shape_origin
+    }
+
+    /// The instance a shape came from, or `None` for top-level or merged
+    /// geometry (and for shapes beyond the tagged range).
+    pub fn origin_of(&self, shape: ShapeId) -> Option<usize> {
+        self.shape_origin.get(shape.index()).copied().flatten()
+    }
+
+    /// True when no shape carries an instance tag — the layout is
+    /// effectively flat and hierarchical decomposition degenerates to the
+    /// ordinary memoized batch path.
+    pub fn is_trivial(&self) -> bool {
+        self.shape_origin.iter().all(Option::is_none)
+    }
+
+    /// Number of shapes tagged with some instance.
+    pub fn tagged_shape_count(&self) -> usize {
+        self.shape_origin.iter().filter(|o| o.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(cell: &str, dx: i64, dy: i64) -> CellInstance {
+        CellInstance {
+            cell: cell.to_string(),
+            dx,
+            dy,
+        }
+    }
+
+    #[test]
+    fn origin_lookup_and_counts() {
+        let hier = LayoutHierarchy::new(
+            vec![inst("CELL", 0, 0), inst("CELL", 100, 0), inst("CAP", 0, 90)],
+            vec![Some(0), Some(1), None, Some(2)],
+        );
+        assert_eq!(hier.instance_count(), 3);
+        assert_eq!(hier.cell_count(), 2);
+        assert_eq!(hier.origin_of(ShapeId(0)), Some(0));
+        assert_eq!(hier.origin_of(ShapeId(2)), None);
+        assert_eq!(hier.origin_of(ShapeId(99)), None);
+        assert_eq!(hier.tagged_shape_count(), 3);
+        assert!(!hier.is_trivial());
+    }
+
+    #[test]
+    fn default_hierarchy_is_trivial() {
+        let hier = LayoutHierarchy::default();
+        assert!(hier.is_trivial());
+        assert_eq!(hier.instance_count(), 0);
+        assert_eq!(hier.cell_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_tags_are_rejected() {
+        LayoutHierarchy::new(vec![inst("CELL", 0, 0)], vec![Some(1)]);
+    }
+}

@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod gen;
+mod hierarchy;
 pub mod io;
 mod layout;
 mod stats;
 mod technology;
 
+pub use hierarchy::{CellInstance, LayoutHierarchy};
 pub use layout::{Layout, LayoutBuilder, Shape, ShapeId};
 pub use stats::LayoutStats;
 pub use technology::Technology;

@@ -111,7 +111,9 @@ impl Client {
     pub fn ping(&mut self) -> Result<Option<crate::protocol::CachePayload>, ClientError> {
         self.send(&Request::Ping)?;
         match self.recv()? {
-            Response::Pong { cache } => Ok(cache),
+            // The usage counters ride the same frame; callers that want
+            // them match on `recv()` directly.
+            Response::Pong { cache, .. } => Ok(cache),
             other => Err(ClientError::Protocol(format!(
                 "expected pong, got {other:?}"
             ))),

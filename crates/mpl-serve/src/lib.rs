@@ -129,7 +129,7 @@ pub use codec::{encode_frame, FrameDecoder, FrameError};
 pub use json::{Json, JsonParseError};
 pub use protocol::{
     algorithm_wire_name, decode_request, decode_response, encode_request, encode_response,
-    CachePayload, ErrorCode, ExecutorChoice, LayoutSource, Request, Response, ResultPayload,
-    ServeError, SubmitRequest, TilePayload,
+    CachePayload, ErrorCode, ExecutorChoice, HierPayload, LayoutSource, Request, Response,
+    ResultPayload, ServeError, SubmitRequest, TilePayload,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

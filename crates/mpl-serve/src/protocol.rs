@@ -90,6 +90,12 @@ pub struct SubmitRequest {
     /// Explicit halo width in nm around each tile window.  Requires
     /// `tile_size`; must be at least the coloring distance.
     pub halo: Option<i64>,
+    /// Decompose through the cell-level hierarchical driver: GDS sources
+    /// keep their instance provenance, each distinct cell body colors once
+    /// and instance boundaries reconcile.  Mutually exclusive with
+    /// `tile_size`/`halo` (a typed `config` error).  Sources without a
+    /// hierarchy (text layouts) degenerate to the ordinary memoized run.
+    pub hier: bool,
 }
 
 impl SubmitRequest {
@@ -107,6 +113,7 @@ impl SubmitRequest {
             verify: false,
             tile_size: None,
             halo: None,
+            hier: false,
         }
     }
 }
@@ -170,6 +177,35 @@ pub struct TilePayload {
     pub cross_conflicts_after: usize,
 }
 
+/// Hierarchy statistics reported on `result` frames when the submission
+/// asked for cell-level hierarchical decomposition (mirrors
+/// `mpl_hier::HierStats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierPayload {
+    /// Top-level cell instances recorded by the tagged flattening.
+    pub instances: usize,
+    /// Distinct cells those instances reference.
+    pub cells: usize,
+    /// Single-provenance components decomposed through the plain engine.
+    pub resident_components: usize,
+    /// Mixed-provenance components split along instance seams.
+    pub split_components: usize,
+    /// Per-instance pieces carved out of split components.
+    pub instance_pieces: usize,
+    /// Vertices of residual boundary pieces (geometry that merged across
+    /// instance boundaries and lost its provenance).
+    pub boundary_vertices: usize,
+    /// Pieces rotated by a non-identity color permutation during
+    /// reconciliation.
+    pub permuted_pieces: usize,
+    /// Boundary-strip vertices re-colored by the greedy repair pass.
+    pub recolored_vertices: usize,
+    /// Cross-instance conflicts after permutation, before repair.
+    pub cross_conflicts_before: usize,
+    /// Cross-instance conflicts after repair.
+    pub cross_conflicts_after: usize,
+}
+
 /// The final per-layout payload of a successful decomposition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultPayload {
@@ -211,6 +247,8 @@ pub struct ResultPayload {
     /// Tiling statistics (present only when the submission set
     /// `tile_size`).
     pub tiles: Option<TilePayload>,
+    /// Hierarchy statistics (present only when the submission set `hier`).
+    pub hierarchy: Option<HierPayload>,
 }
 
 /// Machine-checkable category of an error frame.
@@ -294,6 +332,18 @@ pub enum Response {
         /// pieces plus one slot for all window-resident components).
         total: usize,
     },
+    /// `done` of `total` hierarchical pieces of a submission have
+    /// decomposed (only streamed when the submission set `hier` and
+    /// `progress`).
+    HierProgress {
+        /// The submission's id.
+        id: String,
+        /// Pieces finished so far (strictly increasing).
+        done: usize,
+        /// Total pieces of the layout (instance pieces, boundary pieces
+        /// and one slot for all resident components).
+        total: usize,
+    },
     /// A submission finished; the full coloring and statistics.
     Result(ResultPayload),
     /// A request failed.  The connection stays open.
@@ -306,10 +356,15 @@ pub enum Response {
         message: String,
     },
     /// Answer to [`Request::Ping`], carrying the server's shared
-    /// memo-cache statistics when one is attached.
+    /// memo-cache statistics when one is attached plus lifetime usage
+    /// counters of the optional decomposition drivers.
     Pong {
         /// Statistics of the server's shared memo cache.
         cache: Option<CachePayload>,
+        /// Layouts decomposed through the hierarchical driver so far.
+        hier_runs: u64,
+        /// Layouts decomposed through the halo-aware tiler so far.
+        tile_runs: u64,
     },
     /// Acknowledges [`Request::Shutdown`]; the server exits afterwards.
     ShuttingDown,
@@ -516,6 +571,11 @@ pub fn decode_request(json: &Json) -> Result<Request, ServeError> {
             }
             submit.tile_size = optional_nm_field(json, "tile_size")?;
             submit.halo = optional_nm_field(json, "halo")?;
+            if let Some(value) = json.get("hier") {
+                submit.hier = value.as_bool().ok_or_else(|| {
+                    ServeError::Protocol("field \"hier\" must be a boolean".to_string())
+                })?;
+            }
             Ok(Request::Submit(submit))
         }
         other => Err(ServeError::Protocol(format!(
@@ -555,6 +615,7 @@ pub fn encode_request(request: &Request) -> Json {
             if let Some(halo) = submit.halo {
                 pairs.push(("halo", Json::Number(halo as f64)));
             }
+            pairs.push(("hier", Json::Bool(submit.hier)));
             Json::object(pairs)
         }
     }
@@ -580,7 +641,22 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
                     bytes: usize_field(value, "bytes")?,
                 }),
             };
-            Ok(Response::Pong { cache })
+            // Absent counters (old servers) decode as zero.
+            let counter = |key: &str| -> Result<u64, ServeError> {
+                match json.get(key) {
+                    None | Some(Json::Null) => Ok(0),
+                    Some(value) => value.as_usize().map(|count| count as u64).ok_or_else(|| {
+                        ServeError::Protocol(format!(
+                            "field {key:?} must be a non-negative integer"
+                        ))
+                    }),
+                }
+            };
+            Ok(Response::Pong {
+                cache,
+                hier_runs: counter("hier_runs")?,
+                tile_runs: counter("tile_runs")?,
+            })
         }
         "shutting_down" => Ok(Response::ShuttingDown),
         "queued" => Ok(Response::Queued {
@@ -595,6 +671,11 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
             total: usize_field(json, "total")?,
         }),
         "tile_progress" => Ok(Response::TileProgress {
+            id: string_field(json, "id")?,
+            done: usize_field(json, "done")?,
+            total: usize_field(json, "total")?,
+        }),
+        "hier_progress" => Ok(Response::HierProgress {
             id: string_field(json, "id")?,
             done: usize_field(json, "done")?,
             total: usize_field(json, "total")?,
@@ -659,6 +740,21 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
                     cross_conflicts_after: usize_field(value, "cross_conflicts_after")?,
                 }),
             };
+            let hierarchy = match json.get("hierarchy") {
+                None | Some(Json::Null) => None,
+                Some(value) => Some(HierPayload {
+                    instances: usize_field(value, "instances")?,
+                    cells: usize_field(value, "cells")?,
+                    resident_components: usize_field(value, "resident_components")?,
+                    split_components: usize_field(value, "split_components")?,
+                    instance_pieces: usize_field(value, "instance_pieces")?,
+                    boundary_vertices: usize_field(value, "boundary_vertices")?,
+                    permuted_pieces: usize_field(value, "permuted_pieces")?,
+                    recolored_vertices: usize_field(value, "recolored_vertices")?,
+                    cross_conflicts_before: usize_field(value, "cross_conflicts_before")?,
+                    cross_conflicts_after: usize_field(value, "cross_conflicts_after")?,
+                }),
+            };
             Ok(Response::Result(ResultPayload {
                 id: string_field(json, "id")?,
                 layout: string_field(json, "layout")?,
@@ -676,6 +772,7 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
                 memo_hits,
                 memo_misses,
                 tiles,
+                hierarchy,
             }))
         }
         other => Err(ServeError::Protocol(format!(
@@ -687,7 +784,11 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
 /// Encodes a server frame.
 pub fn encode_response(response: &Response) -> Json {
     match response {
-        Response::Pong { cache } => {
+        Response::Pong {
+            cache,
+            hier_runs,
+            tile_runs,
+        } => {
             let mut pairs = vec![("type", Json::string("pong"))];
             if let Some(cache) = cache {
                 pairs.push((
@@ -702,6 +803,8 @@ pub fn encode_response(response: &Response) -> Json {
                     ]),
                 ));
             }
+            pairs.push(("hier_runs", Json::Number(*hier_runs as f64)));
+            pairs.push(("tile_runs", Json::Number(*tile_runs as f64)));
             Json::object(pairs)
         }
         Response::ShuttingDown => Json::object(vec![("type", Json::string("shutting_down"))]),
@@ -725,6 +828,12 @@ pub fn encode_response(response: &Response) -> Json {
         ]),
         Response::TileProgress { id, done, total } => Json::object(vec![
             ("type", Json::string("tile_progress")),
+            ("id", Json::string(id.clone())),
+            ("done", Json::Number(*done as f64)),
+            ("total", Json::Number(*total as f64)),
+        ]),
+        Response::HierProgress { id, done, total } => Json::object(vec![
+            ("type", Json::string("hier_progress")),
             ("id", Json::string(id.clone())),
             ("done", Json::Number(*done as f64)),
             ("total", Json::Number(*total as f64)),
@@ -797,6 +906,47 @@ pub fn encode_response(response: &Response) -> Json {
                     ]),
                 ));
             }
+            if let Some(hierarchy) = &payload.hierarchy {
+                pairs.push((
+                    "hierarchy",
+                    Json::object(vec![
+                        ("instances", Json::Number(hierarchy.instances as f64)),
+                        ("cells", Json::Number(hierarchy.cells as f64)),
+                        (
+                            "resident_components",
+                            Json::Number(hierarchy.resident_components as f64),
+                        ),
+                        (
+                            "split_components",
+                            Json::Number(hierarchy.split_components as f64),
+                        ),
+                        (
+                            "instance_pieces",
+                            Json::Number(hierarchy.instance_pieces as f64),
+                        ),
+                        (
+                            "boundary_vertices",
+                            Json::Number(hierarchy.boundary_vertices as f64),
+                        ),
+                        (
+                            "permuted_pieces",
+                            Json::Number(hierarchy.permuted_pieces as f64),
+                        ),
+                        (
+                            "recolored_vertices",
+                            Json::Number(hierarchy.recolored_vertices as f64),
+                        ),
+                        (
+                            "cross_conflicts_before",
+                            Json::Number(hierarchy.cross_conflicts_before as f64),
+                        ),
+                        (
+                            "cross_conflicts_after",
+                            Json::Number(hierarchy.cross_conflicts_after as f64),
+                        ),
+                    ]),
+                ));
+            }
             pairs.push((
                 "colors",
                 Json::Array(
@@ -842,6 +992,9 @@ mod tests {
         submit.tile_size = Some(2_000);
         submit.halo = Some(100);
         round_trip_request(Request::Submit(submit));
+        let mut hier = SubmitRequest::new("h", LayoutSource::GdsBase64("AAECAw==".into()));
+        hier.hier = true;
+        round_trip_request(Request::Submit(hier));
         round_trip_request(Request::Submit(SubmitRequest::new(
             "gds \"quoted\"",
             LayoutSource::GdsBase64("AAECAw==".into()),
@@ -854,7 +1007,11 @@ mod tests {
 
     #[test]
     fn responses_round_trip() {
-        round_trip_response(Response::Pong { cache: None });
+        round_trip_response(Response::Pong {
+            cache: None,
+            hier_runs: 0,
+            tile_runs: 0,
+        });
         round_trip_response(Response::Pong {
             cache: Some(CachePayload {
                 entries: 12,
@@ -864,6 +1021,8 @@ mod tests {
                 evictions: 2,
                 bytes: 9_000,
             }),
+            hier_runs: 3,
+            tile_runs: 7,
         });
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Queued {
@@ -881,6 +1040,11 @@ mod tests {
             id: "7".into(),
             done: 5,
             total: 9,
+        });
+        round_trip_response(Response::HierProgress {
+            id: "7".into(),
+            done: 3,
+            total: 13,
         });
         round_trip_response(Response::Error {
             id: None,
@@ -920,6 +1084,37 @@ mod tests {
                 cross_conflicts_before: 2,
                 cross_conflicts_after: 0,
             }),
+            hierarchy: None,
+        }));
+        round_trip_response(Response::Result(ResultPayload {
+            id: "9".into(),
+            layout: "sram".into(),
+            k: 4,
+            algorithm: "SDP+Backtrack".into(),
+            executor: "threads:2".into(),
+            vertices: 96,
+            components: 1,
+            conflicts: 0,
+            stitches: 4,
+            cost: 0.4,
+            color_seconds: 0.1,
+            colors: vec![0, 1, 2, 3],
+            spacing_violations: Some(0),
+            memo_hits: Some(15),
+            memo_misses: Some(1),
+            tiles: None,
+            hierarchy: Some(HierPayload {
+                instances: 16,
+                cells: 1,
+                resident_components: 0,
+                split_components: 1,
+                instance_pieces: 16,
+                boundary_vertices: 12,
+                permuted_pieces: 9,
+                recolored_vertices: 2,
+                cross_conflicts_before: 1,
+                cross_conflicts_after: 0,
+            }),
         }));
         round_trip_response(Response::Result(ResultPayload {
             id: "8".into(),
@@ -938,6 +1133,7 @@ mod tests {
             memo_hits: None,
             memo_misses: None,
             tiles: None,
+            hierarchy: None,
         }));
     }
 
@@ -949,7 +1145,11 @@ mod tests {
             let json = Json::parse(frame).expect("valid JSON");
             assert_eq!(
                 decode_response(&json).expect("decodes"),
-                Response::Pong { cache: None },
+                Response::Pong {
+                    cache: None,
+                    hier_runs: 0,
+                    tile_runs: 0,
+                },
                 "{frame}"
             );
         }
@@ -970,6 +1170,7 @@ mod tests {
         assert!(!submit.verify);
         assert_eq!(submit.tile_size, None);
         assert_eq!(submit.halo, None);
+        assert!(!submit.hier);
     }
 
     #[test]
@@ -1024,6 +1225,10 @@ mod tests {
             (
                 r#"{"type":"submit","id":"x","layout_text":"a","tile_size":400.5}"#,
                 "must be an integer distance in nm",
+            ),
+            (
+                r#"{"type":"submit","id":"x","layout_text":"a","hier":"yes"}"#,
+                "field \"hier\" must be a boolean",
             ),
             (r#"{"type":7}"#, "must be a string"),
         ] {

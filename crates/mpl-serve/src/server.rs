@@ -30,12 +30,21 @@
 //! [`mpl_tile::run_tiled_observed`], stream `tile_progress` frames instead
 //! of per-component `progress`, and report a `tiles` statistics object on
 //! their `result` frame.
+//!
+//! Submissions may instead opt into cell-level hierarchical decomposition
+//! (`hier` on the `submit` frame, mutually exclusive with tiling): GDS
+//! sources keep their instance provenance, decompose through
+//! [`mpl_hier::run_hier_observed`], stream `hier_progress` frames, and
+//! report a `hierarchy` statistics object on their `result` frame.
+//! Sources without a hierarchy (text layouts) degenerate to the ordinary
+//! memoized run.  `pong` frames carry lifetime `hier_runs`/`tile_runs`
+//! usage counters alongside the shared memo-cache statistics.
 
 use crate::codec::{encode_frame, FrameDecoder, FrameError, DEFAULT_MAX_FRAME_LEN};
 use crate::json::Json;
 use crate::protocol::{
-    decode_request, encode_response, CachePayload, ExecutorChoice, LayoutSource, Request, Response,
-    ResultPayload, ServeError, SubmitRequest, TilePayload,
+    decode_request, encode_response, CachePayload, ExecutorChoice, HierPayload, LayoutSource,
+    Request, Response, ResultPayload, ServeError, SubmitRequest, TilePayload,
 };
 use mpl_core::{
     verify_spacing, ConfigError, Decomposer, DecomposerConfig, DecompositionPlan,
@@ -43,15 +52,17 @@ use mpl_core::{
     SerialExecutor, ThreadPoolExecutor, TileConfig,
 };
 use mpl_gds::{
-    layout_from_library, load_layout_file, GdsLibrary, LayerMap, LoadLayoutError, ReadOptions,
+    layout_from_library, layout_with_hierarchy, load_layout_file, GdsLibrary, LayerMap,
+    LoadLayoutError, ReadOptions,
 };
 use mpl_geometry::Nm;
-use mpl_layout::{io, Layout, Technology};
+use mpl_hier::HierStats;
+use mpl_layout::{io, Layout, LayoutHierarchy, Technology};
 use mpl_tile::{TileProgress, TileStats};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
@@ -95,6 +106,9 @@ struct Pending {
     submit: SubmitRequest,
     /// The validated tiling request (`None` = untiled).
     tiling: Option<TileConfig>,
+    /// Instance provenance of a `hier` submission whose source carried a
+    /// hierarchy (`None` for flat submissions and text sources).
+    hierarchy: Option<Arc<LayoutHierarchy>>,
     writer: ConnectionWriter,
 }
 
@@ -113,6 +127,12 @@ struct Shared {
     /// translated copies of earlier layouts) are stamped instead of
     /// re-colored.
     memo: Arc<MemoCache>,
+    /// Lifetime count of layouts decomposed through the hierarchical
+    /// driver, reported on `pong` frames.
+    hier_runs: AtomicU64,
+    /// Lifetime count of layouts decomposed through the halo-aware tiler,
+    /// reported on `pong` frames.
+    tile_runs: AtomicU64,
 }
 
 impl Shared {
@@ -241,6 +261,25 @@ impl TileProgress for TileSink<'_> {
     }
 }
 
+/// Streams `hier_progress` frames for one running hierarchical batch.
+struct HierSink<'a> {
+    submissions: &'a HashMap<LayoutId, (SubmitRequest, ConnectionWriter)>,
+}
+
+impl mpl_hier::HierProgress for HierSink<'_> {
+    fn piece_done(&self, layout: LayoutId, done: usize, total: usize) {
+        if let Some((submit, writer)) = self.submissions.get(&layout) {
+            if submit.progress {
+                writer.send(&Response::HierProgress {
+                    id: submit.id.clone(),
+                    done,
+                    total,
+                });
+            }
+        }
+    }
+}
+
 /// The streaming decomposition server (see the crate-level documentation
 /// for the wire protocol).
 pub struct Server {
@@ -280,6 +319,8 @@ impl Server {
                 addr,
                 technology: Technology::nm20(),
                 memo: Arc::new(MemoCache::new(config.memo_capacity)),
+                hier_runs: AtomicU64::new(0),
+                tile_runs: AtomicU64::new(0),
             }),
         })
     }
@@ -444,6 +485,8 @@ fn handle_frame(shared: &Shared, writer: &ConnectionWriter, frame: &str) {
                     evictions: stats.evictions,
                     bytes: stats.bytes,
                 }),
+                hier_runs: shared.hier_runs.load(Ordering::Relaxed),
+                tile_runs: shared.tile_runs.load(Ordering::Relaxed),
             });
         }
         Ok(Request::Shutdown) => {
@@ -452,7 +495,7 @@ fn handle_frame(shared: &Shared, writer: &ConnectionWriter, frame: &str) {
         }
         Ok(Request::Submit(submit)) => match plan_submission(shared, &submit) {
             Err(error) => writer.send(&error.to_response(Some(submit.id))),
-            Ok((plan, tiling)) => {
+            Ok((plan, tiling, hierarchy)) => {
                 writer.send(&Response::Queued {
                     id: submit.id.clone(),
                     layout: plan.layout_name().to_string(),
@@ -464,6 +507,7 @@ fn handle_frame(shared: &Shared, writer: &ConnectionWriter, frame: &str) {
                     plan,
                     submit,
                     tiling,
+                    hierarchy,
                     writer: writer.clone(),
                 });
                 if !accepted {
@@ -482,14 +526,25 @@ fn handle_frame(shared: &Shared, writer: &ConnectionWriter, frame: &str) {
     }
 }
 
+/// A validated submission, ready to queue: the plan plus its optional
+/// tiling and hierarchy attachments.
+type PlannedSubmission = (
+    DecompositionPlan,
+    Option<TileConfig>,
+    Option<Arc<LayoutHierarchy>>,
+);
+
 /// Resolves a submission's layout source, plans it, and validates its
-/// tiling request — every failure is a typed [`ServeError`] answered on
-/// the submitting connection before anything queues.
+/// tiling/hierarchy request — every failure is a typed [`ServeError`]
+/// answered on the submitting connection before anything queues.
 fn plan_submission(
     shared: &Shared,
     submit: &SubmitRequest,
-) -> Result<(DecompositionPlan, Option<TileConfig>), ServeError> {
-    let layout = load_source(&submit.source)?;
+) -> Result<PlannedSubmission, ServeError> {
+    if submit.hier && (submit.tile_size.is_some() || submit.halo.is_some()) {
+        return Err(ConfigError::HierWithTiling.into());
+    }
+    let (layout, hierarchy) = load_source(&submit.source, submit.hier)?;
     let config = DecomposerConfig::k_patterning(submit.k, shared.technology)
         .with_algorithm(submit.algorithm)
         .with_alpha(submit.alpha);
@@ -497,7 +552,7 @@ fn plan_submission(
         .plan(&layout)
         .map_err(ServeError::from)?;
     let tiling = submit_tiling(submit, &shared.technology)?;
-    Ok((plan, tiling))
+    Ok((plan, tiling, hierarchy.map(Arc::new)))
 }
 
 /// Validates the `tile_size`/`halo` fields of a submission into a
@@ -527,25 +582,59 @@ fn submit_tiling(
     Ok(Some(tiling))
 }
 
-fn load_source(source: &LayoutSource) -> Result<Layout, ServeError> {
+/// Loads a submission's layout; with `hier` set, GDS sources additionally
+/// return their instance provenance (text sources have none and the
+/// hierarchical driver degenerates to the plain memoized run for them).
+fn load_source(
+    source: &LayoutSource,
+    hier: bool,
+) -> Result<(Layout, Option<LayoutHierarchy>), ServeError> {
+    let from_library =
+        |library: &GdsLibrary| -> Result<(Layout, Option<LayoutHierarchy>), ServeError> {
+            if hier {
+                layout_with_hierarchy(library, &LayerMap::all(), &ReadOptions::default())
+                    .map(|(layout, hierarchy)| (layout, Some(hierarchy)))
+                    .map_err(|error| {
+                        ServeError::Parse(format!("cannot convert GDS stream: {error}"))
+                    })
+            } else {
+                layout_from_library(library, &LayerMap::all(), &ReadOptions::default())
+                    .map(|layout| (layout, None))
+                    .map_err(|error| {
+                        ServeError::Parse(format!("cannot convert GDS stream: {error}"))
+                    })
+            }
+        };
     match source {
         LayoutSource::Text(text) => io::from_text(text)
+            .map(|layout| (layout, None))
             .map_err(|error| ServeError::Parse(format!("cannot parse layout text: {error}"))),
         LayoutSource::GdsBase64(data) => {
             let bytes = crate::base64::decode(data)
                 .map_err(|error| ServeError::Parse(format!("cannot decode gds_base64: {error}")))?;
             let library = GdsLibrary::from_bytes(&bytes)
                 .map_err(|error| ServeError::Parse(format!("cannot parse GDS stream: {error}")))?;
-            layout_from_library(&library, &LayerMap::all(), &ReadOptions::default())
-                .map_err(|error| ServeError::Parse(format!("cannot convert GDS stream: {error}")))
+            from_library(&library)
         }
         LayoutSource::Path(path) => {
-            load_layout_file(path, &LayerMap::all(), &ReadOptions::default()).map_err(|error| {
-                match &error {
+            if hier {
+                let bytes = std::fs::read(path)
+                    .map_err(|error| ServeError::Io(format!("cannot read {path}: {error}")))?;
+                if io::LayoutFormat::detect(path, &bytes) == io::LayoutFormat::Gds {
+                    let library = GdsLibrary::from_bytes(&bytes).map_err(|error| {
+                        ServeError::Parse(format!("cannot parse {path}: {error}"))
+                    })?;
+                    return from_library(&library);
+                }
+                // Text files carry no hierarchy; fall through to the
+                // ordinary loader for its path-tagged parse errors.
+            }
+            load_layout_file(path, &LayerMap::all(), &ReadOptions::default())
+                .map(|layout| (layout, None))
+                .map_err(|error| match &error {
                     LoadLayoutError::Io { .. } => ServeError::Io(error.to_string()),
                     _ => ServeError::Parse(error.to_string()),
-                }
-            })
+                })
         }
     }
 }
@@ -582,36 +671,36 @@ fn scheduler_loop(shared: Arc<Shared>) {
 }
 
 /// Runs one drained wave of submissions: one session batch per (executor
-/// choice, tiling request) pair that has work, in first-seen order — a
-/// session can only apply one [`TileConfig`] per batch, so submissions
-/// with different tilings never share one.
+/// choice, tiling request, hierarchy flag) triple that has work, in
+/// first-seen order — a session can only apply one [`TileConfig`] per
+/// batch, and hierarchical batches drain through a different driver with
+/// different progress frames, so mixed groups never share one.
 fn run_wave(
     shared: &Shared,
     sessions: &mut [(ExecutorChoice, DecompositionSession); 2],
     drained: Vec<Pending>,
 ) {
-    let mut groups: Vec<(usize, Option<TileConfig>, Vec<Pending>)> = Vec::new();
+    let mut groups: Vec<(usize, Option<TileConfig>, bool, Vec<Pending>)> = Vec::new();
     for pending in drained {
         let slot = sessions
             .iter()
             .position(|(choice, _)| *choice == pending.submit.executor)
             .expect("every executor choice has a session");
-        match groups
-            .iter_mut()
-            .find(|(s, tiling, _)| *s == slot && *tiling == pending.tiling)
-        {
-            Some((_, _, group)) => group.push(pending),
-            None => groups.push((slot, pending.tiling, vec![pending])),
+        match groups.iter_mut().find(|(s, tiling, hier, _)| {
+            *s == slot && *tiling == pending.tiling && *hier == pending.submit.hier
+        }) {
+            Some((_, _, _, group)) => group.push(pending),
+            None => groups.push((slot, pending.tiling, pending.submit.hier, vec![pending])),
         }
     }
-    for (slot, tiling, group) in groups {
+    for (slot, tiling, hier, group) in groups {
         let (choice, session) = &mut sessions[slot];
         let executor: &dyn Executor = match choice {
             ExecutorChoice::Serial => &SerialExecutor,
             ExecutorChoice::Pool => &shared.pool,
         };
         session.set_tiling(tiling);
-        run_batch(shared, session, executor, group);
+        run_batch(shared, session, executor, group, hier);
     }
 }
 
@@ -620,45 +709,82 @@ fn run_batch(
     session: &mut DecompositionSession,
     executor: &dyn Executor,
     group: Vec<Pending>,
+    hier: bool,
 ) {
+    type Outcome = (
+        LayoutId,
+        mpl_core::DecompositionResult,
+        Option<TilePayload>,
+        Option<HierPayload>,
+    );
     let mut submissions: HashMap<LayoutId, (SubmitRequest, ConnectionWriter)> =
         HashMap::with_capacity(group.len());
     for pending in group {
         let id = session.submit(pending.plan);
+        session.set_hierarchy(id, pending.hierarchy);
         submissions.insert(id, (pending.submit, pending.writer));
     }
-    let results: Vec<(LayoutId, mpl_core::DecompositionResult, Option<TilePayload>)> =
-        if session.tiling().is_some() {
-            let sink = TileSink {
-                submissions: &submissions,
-            };
-            match mpl_tile::run_tiled_observed(session, executor, &sink) {
-                Ok(results) => results
-                    .into_iter()
-                    .map(|(id, tiled)| (id, tiled.result, Some(tile_payload(&tiled.stats))))
-                    .collect(),
-                Err(error) => {
-                    // Submission-time validation makes this unreachable in
-                    // practice; answer every member typed rather than panic.
-                    let error = ServeError::Config(error);
-                    for (submit, writer) in submissions.values() {
-                        writer.send(&error.to_response(Some(submit.id.clone())));
-                    }
-                    session.clear();
-                    return;
-                }
-            }
-        } else {
-            let sink = BatchSink {
-                submissions: &submissions,
-            };
-            session
-                .run_observed(executor, &ProgressObserver::new(&sink))
-                .into_iter()
-                .map(|(id, result)| (id, result, None))
-                .collect()
+    let results: Vec<Outcome> = if hier {
+        let sink = HierSink {
+            submissions: &submissions,
         };
-    for (id, result, tiles) in results {
+        match mpl_hier::run_hier_observed(session, executor, &sink) {
+            Ok(results) => {
+                shared
+                    .hier_runs
+                    .fetch_add(results.len() as u64, Ordering::Relaxed);
+                results
+                    .into_iter()
+                    .map(|(id, hier)| (id, hier.result, None, Some(hier_payload(&hier.stats))))
+                    .collect()
+            }
+            Err(error) => {
+                // Submission-time validation makes this unreachable in
+                // practice; answer every member typed rather than panic.
+                let error = ServeError::Config(error);
+                for (submit, writer) in submissions.values() {
+                    writer.send(&error.to_response(Some(submit.id.clone())));
+                }
+                session.clear();
+                return;
+            }
+        }
+    } else if session.tiling().is_some() {
+        let sink = TileSink {
+            submissions: &submissions,
+        };
+        match mpl_tile::run_tiled_observed(session, executor, &sink) {
+            Ok(results) => {
+                shared
+                    .tile_runs
+                    .fetch_add(results.len() as u64, Ordering::Relaxed);
+                results
+                    .into_iter()
+                    .map(|(id, tiled)| (id, tiled.result, Some(tile_payload(&tiled.stats)), None))
+                    .collect()
+            }
+            Err(error) => {
+                // Submission-time validation makes this unreachable in
+                // practice; answer every member typed rather than panic.
+                let error = ServeError::Config(error);
+                for (submit, writer) in submissions.values() {
+                    writer.send(&error.to_response(Some(submit.id.clone())));
+                }
+                session.clear();
+                return;
+            }
+        }
+    } else {
+        let sink = BatchSink {
+            submissions: &submissions,
+        };
+        session
+            .run_observed(executor, &ProgressObserver::new(&sink))
+            .into_iter()
+            .map(|(id, result)| (id, result, None, None))
+            .collect()
+    };
+    for (id, result, tiles, hierarchy) in results {
         let (submit, writer) = &submissions[&id];
         let spacing_violations = submit.verify.then(|| {
             let plan = session.plan(id).expect("session keeps the batch's plans");
@@ -686,9 +812,26 @@ fn run_batch(
             memo_hits: result.memo_hits(),
             memo_misses: result.memo_misses(),
             tiles,
+            hierarchy,
         }));
     }
     session.clear();
+}
+
+/// Converts the hierarchical driver's statistics into their wire payload.
+fn hier_payload(stats: &HierStats) -> HierPayload {
+    HierPayload {
+        instances: stats.instances,
+        cells: stats.cells,
+        resident_components: stats.resident_components,
+        split_components: stats.split_components,
+        instance_pieces: stats.instance_pieces,
+        boundary_vertices: stats.boundary_vertices,
+        permuted_pieces: stats.permuted_pieces,
+        recolored_vertices: stats.recolored_vertices,
+        cross_conflicts_before: stats.cross_conflicts_before,
+        cross_conflicts_after: stats.cross_conflicts_after,
+    }
 }
 
 /// Converts the tiler's statistics into their wire payload.

@@ -64,6 +64,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
                             if flags & 16 != 0 {
                                 submit.halo = Some(80 + flags as i64);
                             }
+                        } else {
+                            submit.hier = flags & 16 != 0;
                         }
                         Request::Submit(submit)
                     }
@@ -104,6 +106,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
                                 bytes: vertices * 8,
                             })
                         },
+                        hier_runs: conflicts as u64,
+                        tile_runs: stitches as u64,
                     },
                     1 => Response::ShuttingDown,
                     2 => Response::Queued {
@@ -157,6 +161,22 @@ fn arb_response() -> impl Strategy<Value = Response> {
                                 permuted_tiles: code,
                                 recolored_vertices: conflicts,
                                 cross_conflicts_before: stitches,
+                                cross_conflicts_after: 0,
+                            })
+                        },
+                        hierarchy: if code % 3 == 0 {
+                            None
+                        } else {
+                            Some(mpl_serve::HierPayload {
+                                instances: vertices,
+                                cells: components.max(1),
+                                resident_components: stitches,
+                                split_components: conflicts,
+                                instance_pieces: vertices / 2,
+                                boundary_vertices: code,
+                                permuted_pieces: conflicts,
+                                recolored_vertices: stitches,
+                                cross_conflicts_before: code,
                                 cross_conflicts_after: 0,
                             })
                         },

@@ -179,6 +179,14 @@ pub fn run_tiled_observed(
             Some(halo) => halo,
             None => config.technology.color_friendly_distance(config.k),
         };
+        // validate() already rejects dominating explicit halos; re-check
+        // the derived default against the tile size too.
+        if halo >= tiling.tile_size {
+            return Err(ConfigError::TileHaloDominates {
+                halo: halo.value(),
+                tile_size: tiling.tile_size.value(),
+            });
+        }
         halos.push(halo);
     }
 

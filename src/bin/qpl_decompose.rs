@@ -49,6 +49,16 @@
 //!                        least the coloring distance)
 //!   --no-tile            explicitly disable tiling (contradicts
 //!                        --tile-size/--halo)
+//!   --hier               decompose GDS inputs hierarchically: color each
+//!                        distinct cell body once, stamp every instance
+//!                        and reconcile the inter-instance boundaries.
+//!                        Always memoizes (a transient cache stands in
+//!                        under --no-memo); inputs without a hierarchy
+//!                        (text layouts, circuits) degenerate to the
+//!                        ordinary memoized run.  Contradicts
+//!                        --tile-size/--halo.
+//!   --no-hier            explicitly disable hierarchical decomposition
+//!                        (contradicts --hier)
 //!   --output <PATH>      write the mask assignment (one `shape segment mask` line per vertex)
 //!   --layer <L[:D]>      import only this GDS layer (repeatable; applies to every GDS input)
 //!   --top <NAME>         flatten from this GDS structure (default: the unique top)
@@ -62,9 +72,11 @@
 //!                        submissions (default pool)
 //!   --shutdown           after the results (or alone: immediately), ask
 //!                        the server to shut down
-//! `--verify` maps to server-side spacing re-verification and
+//! `--verify` maps to server-side spacing re-verification,
 //! `--tile-size`/`--halo` travel on the submit frame (the server tiles and
-//! streams `tile_progress` events); `--threads`, `--balance`,
+//! streams `tile_progress` events) and so does `--hier` (the server
+//! decomposes hierarchically and streams `hier_progress` events);
+//! `--threads`, `--balance`,
 //! `--no-stitches`, `--memo`/`--no-memo`/`--memo-capacity` (the server
 //! always memoizes with its own shared cache), `--layer`, `--top`,
 //! `--output` and `--output-gds` are local-mode-only and rejected with
@@ -83,7 +95,8 @@ use mpl_core::{
 };
 use mpl_gds::{LayerMap, ReadOptions};
 use mpl_geometry::Nm;
-use mpl_layout::{gen::IscasCircuit, io::LayoutFormat, Layout, Technology};
+use mpl_hier::{HierProgress, HierStats};
+use mpl_layout::{gen::IscasCircuit, io::LayoutFormat, Layout, LayoutHierarchy, Technology};
 use mpl_serve::{
     Client, ExecutorChoice, Json, LayoutSource, Request, Response, ResultPayload, SubmitRequest,
 };
@@ -115,6 +128,9 @@ struct Options {
     tile_size: Option<i64>,
     /// Validated `--halo` in nm (requires `tile_size`).
     halo: Option<i64>,
+    /// `--hier`: cell-level hierarchical decomposition (contradicts
+    /// tiling).
+    hier: bool,
     output: Option<String>,
     output_gds: Option<String>,
     connect: Option<String>,
@@ -127,12 +143,14 @@ struct Options {
 /// `force_gds` (the `--gds` flag) rejects inputs that are not GDSII; in a
 /// mixed batch, `--layer`/`--top` apply to the GDS inputs and leave text
 /// inputs untouched (the caller rejects batches where they would apply to
-/// nothing).
+/// nothing).  With `want_hierarchy` (`--hier`), GDSII inputs additionally
+/// return their cell-instance provenance; text inputs have none.
 fn read_layout(
     path: &str,
     options: &GdsInputOptions,
     force_gds: bool,
-) -> Result<(Layout, bool), String> {
+    want_hierarchy: bool,
+) -> Result<(Layout, Option<LayoutHierarchy>, bool), String> {
     let layer_specs = options.layer_specs.as_slice();
     let map = LayerMap::from_specs(layer_specs).map_err(|e| e.to_string())?;
     let is_gds = {
@@ -162,8 +180,14 @@ fn read_layout(
         top: options.top.clone(),
         ..ReadOptions::default()
     };
+    if is_gds && want_hierarchy {
+        let (layout, hierarchy) =
+            mpl_gds::read_layout_file_with_hierarchy(path, &map, &read_options)
+                .map_err(|e| format!("{path}: {e}"))?;
+        return Ok((layout, Some(hierarchy), true));
+    }
     let layout = mpl_gds::load_layout_file(path, &map, &read_options).map_err(|e| e.to_string())?;
-    Ok((layout, is_gds))
+    Ok((layout, None, is_gds))
 }
 
 /// GDS-specific input selection collected from the command line.
@@ -197,6 +221,8 @@ fn parse_options() -> Result<Options, String> {
     let mut tile_size: Option<i64> = None;
     let mut halo: Option<i64> = None;
     let mut no_tile = false;
+    let mut hier = false;
+    let mut no_hier = false;
     let mut output = None;
     let mut output_gds = None;
     let mut connect: Option<String> = None;
@@ -275,6 +301,8 @@ fn parse_options() -> Result<Options, String> {
                 );
             }
             "--no-tile" => no_tile = true,
+            "--hier" => hier = true,
+            "--no-hier" => no_hier = true,
             "--output" => output = Some(value("--output")?),
             "--output-gds" => output_gds = Some(value("--output-gds")?),
             "--connect" => connect = Some(value("--connect")?),
@@ -296,6 +324,7 @@ fn parse_options() -> Result<Options, String> {
                             [--no-stitches] [--balance] [--verify] \
                             [--memo | --no-memo] [--memo-capacity N] \
                             [--tile-size NM [--halo NM] | --no-tile] \
+                            [--hier | --no-hier] \
                             [--output FILE] [--output-gds FILE] \
                             | --connect HOST:PORT [--executor serial|pool] [--shutdown]"
                         .to_string(),
@@ -367,6 +396,13 @@ fn parse_options() -> Result<Options, String> {
         }
         tiling.validate().map_err(|error| error.to_string())?;
     }
+    // Hierarchy contradictions use the same typed vocabulary.
+    if hier && no_hier {
+        return Err(ConfigError::HierFlagsWithNoHier.to_string());
+    }
+    if hier && (tile_size.is_some() || halo.is_some()) {
+        return Err(ConfigError::HierWithTiling.to_string());
+    }
     Ok(Options {
         inputs,
         gds_input,
@@ -383,6 +419,7 @@ fn parse_options() -> Result<Options, String> {
         memo_capacity: memo_capacity.unwrap_or(MemoCache::DEFAULT_CAPACITY),
         tile_size,
         halo,
+        hier,
         output,
         output_gds,
         connect,
@@ -391,25 +428,32 @@ fn parse_options() -> Result<Options, String> {
     })
 }
 
+/// A loaded input: the flat layout plus, with `--hier`, its GDSII
+/// cell-instance hierarchy.
+type LoadedLayout = (Layout, Option<Arc<LayoutHierarchy>>);
+
 /// Loads every input as a [`Layout`] for local decomposition (the
 /// pre-`--connect` behaviour): circuits generate, files load through the
-/// shared format-dispatching reader.
-fn load_local_layouts(options: &Options, tech: &Technology) -> Result<Vec<Layout>, String> {
+/// shared format-dispatching reader.  With `--hier`, GDSII inputs carry
+/// their cell-instance provenance alongside (other inputs get `None` and
+/// degenerate to the memoized flat run).
+fn load_local_layouts(options: &Options, tech: &Technology) -> Result<Vec<LoadedLayout>, String> {
     let mut layouts = Vec::with_capacity(options.inputs.len());
     let mut any_gds = false;
     for input in &options.inputs {
-        let layout = match input {
-            InputSpec::Circuit(circuit) => circuit.generate(tech),
+        let (layout, hierarchy) = match input {
+            InputSpec::Circuit(circuit) => (circuit.generate(tech), None),
             InputSpec::Path { path, force_gds } => {
-                let (layout, is_gds) = read_layout(path, &options.gds_input, *force_gds)?;
+                let (layout, hierarchy, is_gds) =
+                    read_layout(path, &options.gds_input, *force_gds, options.hier)?;
                 any_gds |= is_gds;
-                layout
+                (layout, hierarchy.map(Arc::new))
             }
         };
         if layout.is_empty() {
             return Err(format!("input {:?} contains no shapes", layout.name()));
         }
-        layouts.push(layout);
+        layouts.push((layout, hierarchy));
     }
     // A --layer/--top selection that never met a GDS input would be a
     // silent no-op; reject it (the GDS loads above already applied it).
@@ -483,6 +527,18 @@ impl TileProgress for StderrTileProgress {
     }
 }
 
+/// Streams one stderr line per finished hierarchical piece (`--progress`
+/// with `--hier`), tagged with the layout it belongs to.
+struct StderrHierProgress {
+    names: Vec<String>,
+}
+
+impl HierProgress for StderrHierProgress {
+    fn piece_done(&self, layout: LayoutId, done: usize, total: usize) {
+        eprintln!("[hier {done}/{total}] {}", self.names[layout.index()]);
+    }
+}
+
 /// Renders the machine-readable summary of one layout's decomposition.
 ///
 /// `conflicts`/`stitches`/`cost`/`component_breakdown` describe the raw
@@ -496,7 +552,10 @@ impl TileProgress for StderrTileProgress {
 /// layout of a batch, since the batch shares one cache.
 ///
 /// With `--tile-size`, a nested `tiles` object reports the tiler's grid
-/// and reconciliation statistics.
+/// and reconciliation statistics; with `--hier`, a nested `hierarchy`
+/// object reports the hierarchical driver's split and reconciliation
+/// statistics.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     result: &DecompositionResult,
     masks: &[mpl_core::Mask],
@@ -504,6 +563,7 @@ fn render_json(
     balance: Option<&mpl_core::BalanceReport>,
     memo_stats: Option<&MemoStats>,
     tile: Option<&TileStats>,
+    hier: Option<&HierStats>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -554,6 +614,25 @@ fn render_json(
             stats.resident_components,
             stats.shared_vertices,
             stats.permuted_tiles,
+            stats.recolored_vertices,
+            stats.cross_conflicts_before,
+            stats.cross_conflicts_after
+        ));
+    }
+    if let Some(stats) = hier {
+        out.push_str(&format!(
+            "  \"hierarchy\": {{\"instances\": {}, \"cells\": {}, \
+             \"resident_components\": {}, \"split_components\": {}, \
+             \"instance_pieces\": {}, \"boundary_vertices\": {}, \
+             \"permuted_pieces\": {}, \"recolored_vertices\": {}, \
+             \"cross_conflicts_before\": {}, \"cross_conflicts_after\": {}}},\n",
+            stats.instances,
+            stats.cells,
+            stats.resident_components,
+            stats.split_components,
+            stats.instance_pieces,
+            stats.boundary_vertices,
+            stats.permuted_pieces,
             stats.recolored_vertices,
             stats.cross_conflicts_before,
             stats.cross_conflicts_after
@@ -651,6 +730,7 @@ fn process_layout(
     result: &DecompositionResult,
     memo_stats: Option<&MemoStats>,
     tile: Option<&TileStats>,
+    hier: Option<&HierStats>,
     index: usize,
     batch_size: usize,
 ) -> LayoutArtifacts {
@@ -703,6 +783,26 @@ fn process_layout(
                 "reconcile: {} tiles permuted, {} vertices recolored, \
                  cross-window conflicts {} -> {}",
                 stats.permuted_tiles,
+                stats.recolored_vertices,
+                stats.cross_conflicts_before,
+                stats.cross_conflicts_after
+            );
+        }
+        if let Some(stats) = hier {
+            println!(
+                "hierarchy: {} instances of {} cells, {} resident components, \
+                 {} split into {} instance pieces + {} boundary vertices",
+                stats.instances,
+                stats.cells,
+                stats.resident_components,
+                stats.split_components,
+                stats.instance_pieces,
+                stats.boundary_vertices
+            );
+            println!(
+                "reconcile: {} pieces permuted, {} vertices recolored, \
+                 cross-instance conflicts {} -> {}",
+                stats.permuted_pieces,
                 stats.recolored_vertices,
                 stats.cross_conflicts_before,
                 stats.cross_conflicts_after
@@ -815,6 +915,7 @@ fn process_layout(
             balance_report.as_ref(),
             memo_stats,
             tile,
+            hier,
         ),
         verify_mismatch,
         write_error,
@@ -947,6 +1048,7 @@ fn run_connect(addr: &str, options: &Options, tech: &Technology) -> ExitCode {
         submit.verify = options.verify;
         submit.tile_size = options.tile_size;
         submit.halo = options.halo;
+        submit.hier = options.hier;
         if let Err(error) = client.send(&Request::Submit(submit)) {
             eprintln!("cannot send to {addr}: {error}");
             return ExitCode::FAILURE;
@@ -982,6 +1084,11 @@ fn run_connect(addr: &str, options: &Options, tech: &Technology) -> ExitCode {
             Ok(Response::TileProgress { id, done, total }) => {
                 if options.progress {
                     eprintln!("[tile {done}/{total}] {}", label_of(&id));
+                }
+            }
+            Ok(Response::HierProgress { id, done, total }) => {
+                if options.progress {
+                    eprintln!("[hier {done}/{total}] {}", label_of(&id));
                 }
             }
             Ok(Response::Result(payload)) => match index_of(&payload.id) {
@@ -1061,6 +1168,18 @@ fn run_connect(addr: &str, options: &Options, tech: &Technology) -> ExitCode {
                     tiles.cross_conflicts_after
                 );
             }
+            if let Some(hierarchy) = &payload.hierarchy {
+                println!(
+                    "  hierarchy: {} instances of {} cells ({} split, {} resident), \
+                     cross-instance conflicts {} -> {}",
+                    hierarchy.instances,
+                    hierarchy.cells,
+                    hierarchy.split_components,
+                    hierarchy.resident_components,
+                    hierarchy.cross_conflicts_before,
+                    hierarchy.cross_conflicts_after
+                );
+            }
         }
     }
     if errors.is_empty() {
@@ -1123,16 +1242,20 @@ fn main() -> ExitCode {
     if let Some(cache) = &memo {
         session = session.with_memo(Arc::clone(cache));
     }
-    for layout in &layouts {
-        if let Err(error) = session.submit_layout(&decomposer, layout) {
-            eprintln!("{}: {error}", layout.name());
-            return ExitCode::FAILURE;
+    for (layout, hierarchy) in &layouts {
+        match session.submit_layout(&decomposer, layout) {
+            Ok(id) => session.set_hierarchy(id, hierarchy.clone()),
+            Err(error) => {
+                eprintln!("{}: {error}", layout.name());
+                return ExitCode::FAILURE;
+            }
         }
     }
 
     // Stage 2: drain the whole batch through the executor, optionally with
     // progress reporting.  With --tile-size the batch routes through the
-    // halo-aware tiler instead of the plain session run.
+    // halo-aware tiler, with --hier through the cell-level hierarchical
+    // driver, instead of the plain session run.
     let tiling = options.tile_size.map(|size| {
         let mut tiling = TileConfig::new(Nm(size));
         if let Some(halo) = options.halo {
@@ -1141,50 +1264,84 @@ fn main() -> ExitCode {
         tiling
     });
     session.set_tiling(tiling);
+    let layout_names = || -> Vec<String> {
+        layouts
+            .iter()
+            .map(|(layout, _)| layout.name().to_string())
+            .collect()
+    };
     let batch_start = Instant::now();
-    let (results, tile_stats): (Vec<(LayoutId, DecompositionResult)>, Option<Vec<TileStats>>) =
-        if tiling.is_some() {
-            let outcome = if options.progress {
-                let progress = StderrTileProgress {
-                    names: layouts
-                        .iter()
-                        .map(|layout| layout.name().to_string())
-                        .collect(),
-                };
-                mpl_tile::run_tiled_observed(&session, executor.as_ref(), &progress)
-            } else {
-                mpl_tile::run_tiled(&session, executor.as_ref())
+    type BatchOutcome = (
+        Vec<(LayoutId, DecompositionResult)>,
+        Option<Vec<TileStats>>,
+        Option<Vec<HierStats>>,
+    );
+    let (results, tile_stats, hier_stats): BatchOutcome = if options.hier {
+        let outcome = if options.progress {
+            let progress = StderrHierProgress {
+                names: layout_names(),
             };
-            match outcome {
-                Ok(tiled) => {
-                    let mut stats = Vec::with_capacity(tiled.len());
-                    let results = tiled
-                        .into_iter()
-                        .map(|(id, tiled)| {
-                            stats.push(tiled.stats);
-                            (id, tiled.result)
-                        })
-                        .collect();
-                    (results, Some(stats))
-                }
-                Err(error) => {
-                    eprintln!("{error}");
-                    return ExitCode::FAILURE;
-                }
-            }
-        } else if options.progress {
-            let observer = StderrProgress {
-                names: layouts
-                    .iter()
-                    .map(|layout| layout.name().to_string())
-                    .collect(),
-                total: session.task_count(),
-                finished: AtomicUsize::new(0),
-            };
-            (session.run_observed(executor.as_ref(), &observer), None)
+            mpl_hier::run_hier_observed(&session, executor.as_ref(), &progress)
         } else {
-            (session.run(executor.as_ref()), None)
+            mpl_hier::run_hier(&session, executor.as_ref())
         };
+        match outcome {
+            Ok(hier) => {
+                let mut stats = Vec::with_capacity(hier.len());
+                let results = hier
+                    .into_iter()
+                    .map(|(id, hier)| {
+                        stats.push(hier.stats);
+                        (id, hier.result)
+                    })
+                    .collect();
+                (results, None, Some(stats))
+            }
+            Err(error) => {
+                eprintln!("{error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if tiling.is_some() {
+        let outcome = if options.progress {
+            let progress = StderrTileProgress {
+                names: layout_names(),
+            };
+            mpl_tile::run_tiled_observed(&session, executor.as_ref(), &progress)
+        } else {
+            mpl_tile::run_tiled(&session, executor.as_ref())
+        };
+        match outcome {
+            Ok(tiled) => {
+                let mut stats = Vec::with_capacity(tiled.len());
+                let results = tiled
+                    .into_iter()
+                    .map(|(id, tiled)| {
+                        stats.push(tiled.stats);
+                        (id, tiled.result)
+                    })
+                    .collect();
+                (results, Some(stats), None)
+            }
+            Err(error) => {
+                eprintln!("{error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if options.progress {
+        let observer = StderrProgress {
+            names: layout_names(),
+            total: session.task_count(),
+            finished: AtomicUsize::new(0),
+        };
+        (
+            session.run_observed(executor.as_ref(), &observer),
+            None,
+            None,
+        )
+    } else {
+        (session.run(executor.as_ref()), None, None)
+    };
     let batch_wall = batch_start.elapsed();
     let memo_stats = memo.as_ref().map(|cache| cache.stats());
 
@@ -1200,11 +1357,12 @@ fn main() -> ExitCode {
         let artifacts = process_layout(
             &options,
             &tech,
-            &layouts[index],
+            &layouts[index].0,
             plan,
             result,
             memo_stats.as_ref(),
             tile_stats.as_ref().map(|stats| &stats[index]),
+            hier_stats.as_ref().map(|stats| &stats[index]),
             index,
             batch_size,
         );

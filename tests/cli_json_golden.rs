@@ -20,7 +20,16 @@
 //! cargo run --bin qpl-decompose -- --layout tests/fixtures/golden_c.txt \
 //!     --algorithm linear --verify --tile-size 500 --json \
 //!     > tests/golden/single_layout_tiled.json
+//! cargo run --bin qpl-decompose -- --layout tests/fixtures/hier_array.gds \
+//!     --algorithm linear --verify --hier --json \
+//!     > tests/golden/single_layout_hier.json
 //! ```
+//!
+//! `hier_array.gds` is a committed 522-byte GDSII stream: a `BIT` cell of
+//! four 20 nm contacts plus a merge tab, stamped by a 4×3 `AREF` at the
+//! 120 × 100 nm `Merged` pitch of `mpl_hier::fixtures` (tabs fuse each
+//! cell's bottom row into the next column, so the whole array is one
+//! conflict component that only provenance splitting can decompose).
 
 use mpl_serve::Json;
 use std::path::Path;
@@ -174,6 +183,50 @@ fn tiled_single_layout_json_schema_matches_the_golden_file() {
         actual.get("conflicts").and_then(Json::as_usize)
     );
     assert_matches_golden(actual, "single_layout_tiled.json");
+}
+
+#[test]
+fn hier_single_layout_json_schema_matches_the_golden_file() {
+    // hier_array.gds is a 4×3 merged SRAM-like array: one spanning
+    // conflict component whose provenance tags split it into 12 instance
+    // pieces plus the merge-tab boundary residual.  The `hierarchy`
+    // object is additive — it only appears with --hier — and the flat
+    // goldens above pin its absence.
+    let actual = run_cli(&[
+        "--layout",
+        &fixture("fixtures/hier_array.gds"),
+        "--algorithm",
+        "linear",
+        "--verify",
+        "--hier",
+        "--json",
+    ]);
+    let hierarchy = actual
+        .get("hierarchy")
+        .expect("hier runs report a hierarchy object");
+    assert_eq!(
+        hierarchy.get("instances").and_then(Json::as_usize),
+        Some(12)
+    );
+    assert_eq!(hierarchy.get("cells").and_then(Json::as_usize), Some(1));
+    assert_eq!(
+        hierarchy.get("instance_pieces").and_then(Json::as_usize),
+        Some(12)
+    );
+    assert_eq!(
+        hierarchy
+            .get("cross_conflicts_after")
+            .and_then(Json::as_usize),
+        Some(0)
+    );
+    // The reconciled hierarchical coloring must be spacing-clean and its
+    // conflict count must agree with the untiled verifier.
+    assert_eq!(actual.get("conflicts").and_then(Json::as_usize), Some(0));
+    assert_eq!(
+        actual.get("spacing_violations").and_then(Json::as_usize),
+        actual.get("conflicts").and_then(Json::as_usize)
+    );
+    assert_matches_golden(actual, "single_layout_hier.json");
 }
 
 #[test]

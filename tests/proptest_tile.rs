@@ -13,7 +13,7 @@
 
 use mpl_core::{
     verify_spacing, ColorAlgorithm, Decomposer, DecomposerConfig, DecompositionSession, Executor,
-    SerialExecutor, ThreadPoolExecutor, TileConfig,
+    MemoCache, SerialExecutor, ThreadPoolExecutor, TileConfig,
 };
 use mpl_geometry::Nm;
 use mpl_layout::{Layout, Technology};
@@ -154,4 +154,76 @@ proptest! {
             }
         }
     }
+}
+
+/// Memo × tiling regression: a tiled run over a repeated-array layout must
+/// hit the shared memo cache across tile windows — the strips land in
+/// different windows but are exact translates, so only one canonical strip
+/// is ever colored and the rest are stamped — and the merged coloring must
+/// stay bit-identical to the untiled memoized run.
+#[test]
+fn tiled_repeated_arrays_hit_the_shared_memo_across_tiles() {
+    use mpl_layout::gen;
+    use std::sync::Arc;
+
+    let tech = Technology::nm20();
+    // 4×3 identical dense strips, 400 nm of clear space between them: every
+    // strip is resident in its own window under a 600 nm tiling, and all
+    // twelve share one canonical signature.
+    let layout = gen::repeated_strip_array(&tech, 4, 3, 6, Nm(400));
+    let config = DecomposerConfig::quadruple(tech).with_algorithm(ColorAlgorithm::Linear);
+    let decomposer = Decomposer::new(config);
+    let cache = Arc::new(MemoCache::new(MemoCache::DEFAULT_CAPACITY));
+
+    let tiled_run = |cache: &Arc<MemoCache>| {
+        let mut session = DecompositionSession::new()
+            .with_memo(Arc::clone(cache))
+            .with_tiling(TileConfig::new(Nm(600)));
+        session
+            .submit_layout(&decomposer, &layout)
+            .expect("valid config");
+        let results = run_tiled(&session, &SerialExecutor).expect("valid tiling");
+        results.into_iter().next().expect("one layout").1
+    };
+
+    let cold = tiled_run(&cache);
+    // The grid actually sharded the chip, and the cache was shared across
+    // those windows: one canonical strip colored fresh, the other eleven
+    // stamped from it at collection time even though they sit in different
+    // tile windows.
+    assert!(
+        cold.stats.grid_x > 1 && cold.stats.grid_y > 1,
+        "the array should span a multi-window grid, got {}x{}",
+        cold.stats.grid_x,
+        cold.stats.grid_y
+    );
+    assert_eq!(cold.stats.resident_components, 12);
+    assert_eq!(cold.result.memo_misses(), Some(1), "one lead coloring");
+    assert_eq!(cold.result.memo_hits(), Some(11), "eleven stamped copies");
+    assert_eq!(cache.stats().entries, 1, "one canonical strip stored");
+
+    // A second tiled run against the now-warm shared cache stamps every
+    // strip straight from the cache — true cross-run hits.
+    let warm = tiled_run(&cache);
+    assert_eq!(warm.result.memo_hits(), Some(12));
+    assert_eq!(cache.stats().hits, 12);
+    assert_eq!(warm.result.colors(), cold.result.colors());
+
+    // Bit-identical to the untiled memoized run (with its own fresh cache).
+    let mut flat_session = DecompositionSession::new()
+        .with_memo(Arc::new(MemoCache::new(MemoCache::DEFAULT_CAPACITY)));
+    flat_session
+        .submit_layout(&decomposer, &layout)
+        .expect("valid config");
+    let flat = flat_session
+        .run(&SerialExecutor)
+        .into_iter()
+        .next()
+        .expect("one layout")
+        .1;
+    // The dense strip is deliberately over-constrained (some conflicts are
+    // unavoidable at K = 4), so the regression pin is identity with the
+    // flat memoized run, not zero conflicts.
+    assert_eq!(cold.result.colors(), flat.colors());
+    assert_eq!(cold.result.conflicts(), flat.conflicts());
 }

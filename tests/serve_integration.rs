@@ -75,7 +75,7 @@ impl RawClient {
             let frame = self.recv();
             let frame_type = frame.get("type").and_then(Json::as_str).expect("type");
             match frame_type {
-                "queued" | "progress" | "tile_progress" => continue,
+                "queued" | "progress" | "tile_progress" | "hier_progress" => continue,
                 "result" | "error" => {
                     if frame.get("id").and_then(Json::as_str) == Some(id) {
                         return frame;
@@ -796,6 +796,183 @@ fn tiled_submissions_stream_tile_progress_and_match_local_tiled_runs() {
             .expect("message");
         assert!(message.contains(needle), "{id}: {message:?}");
     }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn hier_submissions_stream_hier_progress_and_match_local_hier_runs() {
+    let handle = spawn_server();
+    let engine = ColorAlgorithm::Linear;
+    // The committed CLI fixture: a 4×3 merged SRAM-like array whose tabs
+    // fuse the whole array into one conflict component (see
+    // tests/cli_json_golden.rs), submitted as raw GDS bytes.
+    let bytes = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/hier_array.gds"
+    ))
+    .expect("read committed hier fixture");
+
+    // Local baseline through the same hierarchical driver on the bytes the
+    // server will decompose.
+    let library = mpl_gds::GdsLibrary::from_bytes(&bytes).expect("parse GDS");
+    let (layout, hierarchy) = mpl_gds::layout_with_hierarchy(
+        &library,
+        &mpl_gds::LayerMap::all(),
+        &mpl_gds::ReadOptions::default(),
+    )
+    .expect("convert GDS");
+    let decomposer = Decomposer::new(server_side_config(engine));
+    let mut session = DecompositionSession::new().with_memo(Arc::new(MemoCache::new(4096)));
+    let id = session
+        .submit_layout(&decomposer, &layout)
+        .expect("valid config");
+    session.set_hierarchy(id, Some(Arc::new(hierarchy)));
+    let baseline = mpl_hier::run_hier(&session, &SerialExecutor).expect("hier run");
+    let (_, baseline) = &baseline[0];
+
+    let mut client = RawClient::connect(handle.addr());
+    let ping_counters = |client: &mut RawClient| -> (usize, usize) {
+        client.send_line(r#"{"type":"ping"}"#);
+        let frame = client.recv();
+        assert_eq!(frame.get("type").and_then(Json::as_str), Some("pong"));
+        (
+            frame
+                .get("hier_runs")
+                .and_then(Json::as_usize)
+                .expect("hier_runs"),
+            frame
+                .get("tile_runs")
+                .and_then(Json::as_usize)
+                .expect("tile_runs"),
+        )
+    };
+    assert_eq!(ping_counters(&mut client), (0, 0), "fresh server");
+
+    client.send_line(
+        &Json::object(vec![
+            ("type", Json::string("submit")),
+            ("id", Json::string("hier")),
+            ("gds_base64", Json::string(base64::encode(&bytes))),
+            ("algorithm", Json::string(algorithm_wire_name(engine))),
+            ("hier", Json::Bool(true)),
+            ("progress", Json::Bool(true)),
+            ("verify", Json::Bool(true)),
+        ])
+        .to_string(),
+    );
+
+    // Hierarchical submissions tick per inner cell piece, not per
+    // flat component.
+    let queued = client.recv();
+    assert_eq!(queued.get("type").and_then(Json::as_str), Some("queued"));
+    let mut expected_done = 1usize;
+    let frame = loop {
+        let frame = client.recv();
+        match frame.get("type").and_then(Json::as_str) {
+            Some("hier_progress") => {
+                assert_eq!(frame.get("id").and_then(Json::as_str), Some("hier"));
+                assert_eq!(
+                    frame.get("done").and_then(Json::as_usize),
+                    Some(expected_done),
+                    "hier ticks arrive in order"
+                );
+                expected_done += 1;
+            }
+            Some("result") => break frame,
+            other => panic!("unexpected frame type {other:?}"),
+        }
+    };
+    assert!(expected_done > 1, "hier runs stream at least one tick");
+    assert_result_matches(&frame, &baseline.result, "hier array");
+    let payload = frame
+        .get("hierarchy")
+        .expect("hier results report hierarchy stats");
+    assert_eq!(
+        payload.get("instances").and_then(Json::as_usize),
+        Some(baseline.stats.instances)
+    );
+    assert_eq!(
+        payload.get("cells").and_then(Json::as_usize),
+        Some(baseline.stats.cells)
+    );
+    assert_eq!(
+        payload.get("instance_pieces").and_then(Json::as_usize),
+        Some(baseline.stats.instance_pieces)
+    );
+    assert_eq!(
+        payload
+            .get("cross_conflicts_after")
+            .and_then(Json::as_usize),
+        Some(baseline.stats.cross_conflicts_after)
+    );
+    // Server-side verification agrees with the reconciled conflict count.
+    assert_eq!(
+        frame.get("spacing_violations").and_then(Json::as_usize),
+        Some(baseline.result.conflicts()),
+        "hierarchy never hides a spacing violation"
+    );
+    assert_eq!(ping_counters(&mut client).0, 1, "one hier run counted");
+
+    // A text source with hier requested degenerates to an ordinary
+    // memoized run — there is no hierarchy to exploit — and still counts.
+    let tech = Technology::nm20();
+    let clique = gen::fig1_contact_clique(&tech);
+    let flat = direct_memoized_result(engine, &clique);
+    client.send_line(
+        &Json::object(vec![
+            ("type", Json::string("submit")),
+            ("id", Json::string("degenerate")),
+            ("layout_text", Json::string(io::to_text(&clique))),
+            ("algorithm", Json::string(algorithm_wire_name(engine))),
+            ("hier", Json::Bool(true)),
+        ])
+        .to_string(),
+    );
+    let frame = client.await_terminal("degenerate");
+    assert_result_matches(&frame, &flat, "text source under --hier");
+    let payload = frame.get("hierarchy").expect("hier stats still reported");
+    assert_eq!(payload.get("instances").and_then(Json::as_usize), Some(0));
+    assert_eq!(
+        payload.get("resident_components").and_then(Json::as_usize),
+        Some(flat.component_count())
+    );
+    assert_eq!(ping_counters(&mut client).0, 2, "degenerate run counted");
+
+    // Hierarchy and tiling are mutually exclusive, as a typed config error.
+    client.send_line(
+        &Json::object(vec![
+            ("type", Json::string("submit")),
+            ("id", Json::string("hier-tiled")),
+            ("layout_text", Json::string(io::to_text(&clique))),
+            ("hier", Json::Bool(true)),
+            ("tile_size", Json::Number(300.0)),
+        ])
+        .to_string(),
+    );
+    let frame = client.await_terminal("hier-tiled");
+    assert_eq!(frame.get("type").and_then(Json::as_str), Some("error"));
+    assert_eq!(frame.get("code").and_then(Json::as_str), Some("config"));
+    let message = frame
+        .get("message")
+        .and_then(Json::as_str)
+        .expect("message");
+    assert!(
+        message.contains("cannot be combined with tiling"),
+        "{message:?}"
+    );
+
+    // The tile counter is independent of the hier counter.
+    client.send_line(
+        &Json::object(vec![
+            ("type", Json::string("submit")),
+            ("id", Json::string("tiled")),
+            ("layout_text", Json::string(io::to_text(&clique))),
+            ("tile_size", Json::Number(1_000_000.0)),
+        ])
+        .to_string(),
+    );
+    client.await_terminal("tiled");
+    assert_eq!(ping_counters(&mut client), (2, 1), "counters stay separate");
     handle.shutdown().expect("clean shutdown");
 }
 
