@@ -47,6 +47,18 @@ pub struct LayoutBenchStats {
     /// Seconds from batch start until this layout's last component
     /// finished coloring.
     pub color_seconds: f64,
+    /// Vertices hidden by iterated graph simplification, summed over the
+    /// layout's components.
+    pub hidden_vertices: usize,
+    /// Kernel vertices handed to the engines after simplification, summed
+    /// over components that were simplified.
+    pub kernel_vertices: usize,
+    /// Hide/cut rounds run by iterated simplification, summed over
+    /// components.
+    pub simplify_rounds: usize,
+    /// Clique-expansion steps that strengthened the exact engine's lower
+    /// bound, summed over components.
+    pub bound_improvements: u64,
     /// Components stamped from the memo cache (`None` without a cache).
     pub memo_hits: Option<usize>,
     /// Components colored fresh into the memo cache (`None` without a
@@ -97,14 +109,18 @@ impl BatchBenchReport {
         self.layouts.iter().map(|row| row.plan_seconds).sum()
     }
 
-    /// Layouts decomposed per second of batch wall time.
-    pub fn layouts_per_sec(&self) -> f64 {
-        self.layouts.len() as f64 / self.batch_wall_seconds.max(1e-12)
+    /// Layouts decomposed per second of batch wall time, or `None` when
+    /// the clock registered no elapsed time (a rate computed against a
+    /// zero duration would be meaningless).
+    pub fn layouts_per_sec(&self) -> Option<f64> {
+        (self.batch_wall_seconds > 0.0).then(|| self.layouts.len() as f64 / self.batch_wall_seconds)
     }
 
-    /// Component tasks colored per second of batch wall time.
-    pub fn components_per_sec(&self) -> f64 {
-        self.component_count() as f64 / self.batch_wall_seconds.max(1e-12)
+    /// Component tasks colored per second of batch wall time, or `None`
+    /// when the clock registered no elapsed time.
+    pub fn components_per_sec(&self) -> Option<f64> {
+        (self.batch_wall_seconds > 0.0)
+            .then(|| self.component_count() as f64 / self.batch_wall_seconds)
     }
 
     /// Renders the machine-readable report (schema `mpl-bench/batch-v1`).
@@ -113,7 +129,9 @@ impl BatchBenchReport {
     /// tiling fields (`batch.tiling`, per-row `tiles`), and hierarchy
     /// fields (`batch.hier`, per-row `hier`) are additive and appear only
     /// when the run was memoized/tiled/hierarchical, so v1 consumers keep
-    /// working.
+    /// working.  The throughput rates are `null` when the batch clock
+    /// registered no elapsed time — consumers must not divide by, or trust,
+    /// a rate computed against a zero duration.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"schema\": \"mpl-bench/batch-v1\",\n");
@@ -163,13 +181,14 @@ impl BatchBenchReport {
             "    \"wall_seconds\": {},\n",
             self.batch_wall_seconds
         ));
+        let rate = |value: Option<f64>| value.map_or_else(|| "null".to_string(), |r| r.to_string());
         out.push_str(&format!(
             "    \"layouts_per_sec\": {},\n",
-            self.layouts_per_sec()
+            rate(self.layouts_per_sec())
         ));
         out.push_str(&format!(
             "    \"components_per_sec\": {}\n",
-            self.components_per_sec()
+            rate(self.components_per_sec())
         ));
         out.push_str("  },\n");
         out.push_str("  \"layouts\": [\n");
@@ -182,6 +201,13 @@ impl BatchBenchReport {
             out.push_str(&format!("\"components\": {}, ", row.components));
             out.push_str(&format!("\"conflicts\": {}, ", row.conflicts));
             out.push_str(&format!("\"stitches\": {}, ", row.stitches));
+            out.push_str(&format!("\"hidden_vertices\": {}, ", row.hidden_vertices));
+            out.push_str(&format!("\"kernel_vertices\": {}, ", row.kernel_vertices));
+            out.push_str(&format!("\"simplify_rounds\": {}, ", row.simplify_rounds));
+            out.push_str(&format!(
+                "\"bound_improvements\": {}, ",
+                row.bound_improvements
+            ));
             if let (Some(hits), Some(misses)) = (row.memo_hits, row.memo_misses) {
                 out.push_str(&format!("\"memo_hits\": {hits}, "));
                 out.push_str(&format!("\"memo_misses\": {misses}, "));
@@ -208,6 +234,7 @@ impl BatchBenchReport {
             if let Some(hier) = &row.hier {
                 out.push_str(&format!(
                     "\"hier\": {{\"instances\": {}, \"cells\": {}, \
+                     \"nested_inherited\": {}, \
                      \"resident_components\": {}, \"split_components\": {}, \
                      \"instance_pieces\": {}, \"boundary_vertices\": {}, \
                      \"permuted_pieces\": {}, \"recolored_vertices\": {}, \
@@ -215,6 +242,7 @@ impl BatchBenchReport {
                      \"cross_conflicts_after\": {}}}, ",
                     hier.instances,
                     hier.cells,
+                    hier.nested_inherited,
                     hier.resident_components,
                     hier.split_components,
                     hier.instance_pieces,
@@ -332,6 +360,10 @@ pub fn run_batch_bench(
                 parse_seconds: timed.parse_seconds,
                 plan_seconds: plan.graph_time().as_secs_f64(),
                 color_seconds: result.color_time().as_secs_f64(),
+                hidden_vertices: result.hidden_vertices(),
+                kernel_vertices: result.kernel_vertices(),
+                simplify_rounds: result.simplify_rounds(),
+                bound_improvements: result.bound_improvements(),
                 memo_hits: result.memo_hits(),
                 memo_misses: result.memo_misses(),
                 tiles: *tiles,
@@ -387,8 +419,10 @@ mod tests {
         assert_eq!(report.algorithm, "Linear");
         assert_eq!(report.executor, "serial");
         assert!(report.batch_wall_seconds > 0.0);
-        assert!(report.layouts_per_sec() > 0.0);
-        assert!(report.components_per_sec() >= report.layouts_per_sec());
+        let layouts_per_sec = report.layouts_per_sec().expect("non-zero wall time");
+        let components_per_sec = report.components_per_sec().expect("non-zero wall time");
+        assert!(layouts_per_sec > 0.0);
+        assert!(components_per_sec >= layouts_per_sec);
         let components: usize = report.layouts.iter().map(|row| row.components).sum();
         assert_eq!(report.component_count(), components);
         for row in &report.layouts {
@@ -445,6 +479,28 @@ mod tests {
             let closes = json.matches(close).count();
             assert_eq!(opens, closes, "unbalanced {open}{close} in {json}");
         }
+    }
+
+    #[test]
+    fn zero_duration_batches_report_null_rates() {
+        // A batch whose clock registered no elapsed time must report null
+        // rates, not the absurd numbers a `max(1e-12)` clamp produced.
+        let mut report = run_batch_bench(
+            &[timed("bb-zero", 13)],
+            4,
+            ColorAlgorithm::Linear,
+            &SerialExecutor,
+            None,
+            None,
+            false,
+        )
+        .expect("valid");
+        report.batch_wall_seconds = 0.0;
+        assert_eq!(report.layouts_per_sec(), None);
+        assert_eq!(report.components_per_sec(), None);
+        let json = report.to_json();
+        assert!(json.contains("\"layouts_per_sec\": null"));
+        assert!(json.contains("\"components_per_sec\": null"));
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!   one dense strip) decomposed without a cache, with a cold cache, and
 //!   with a warm cache, recording hit/miss/eviction counters and the
 //!   warm-vs-cold coloring diff count,
+//! * a kernelization case: a two-K7-plus-fringe fixture decomposed through
+//!   the iterated-simplification pipeline, recording the hidden/kernel
+//!   vertex counts, simplification rounds, branch-and-bound nodes on the
+//!   kernel, and a spacing check classifying violations that touch
+//!   reinserted vertices (must be zero),
 //! * a full-chip tiled case: a chip-spanning contact lattice sharded into
 //!   halo-expanded windows through `mpl-tile` and solved exactly per
 //!   window, recording the reconciliation counters, a spacing
@@ -24,7 +29,7 @@
 //!   a spacing re-verification, and an all-isolated control array that
 //!   must match the flat memoized coloring bit for bit.
 //!
-//! The report is emitted as `BENCH_perf.json` (schema `mpl-bench/perf-v4`).
+//! The report is emitted as `BENCH_perf.json` (schema `mpl-bench/perf-v5`).
 //! Wall-clock numbers are informative only — the dev container is
 //! single-CPU and noisy — while the work counters are deterministic and are
 //! what CI pins (`--check`): per-layout engine counters, the memo case's

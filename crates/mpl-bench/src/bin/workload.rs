@@ -407,14 +407,17 @@ fn main() -> ExitCode {
                 row.color_seconds
             );
         }
+        let rate = |value: Option<f64>| {
+            value.map_or_else(|| "n/a".to_string(), |rate| format!("{rate:.1}"))
+        };
         println!(
-            "batch: {} layouts, {} components in {:.3}s on {} ({:.1} layouts/s, {:.1} components/s); parse {:.3}s, plan {:.3}s",
+            "batch: {} layouts, {} components in {:.3}s on {} ({} layouts/s, {} components/s); parse {:.3}s, plan {:.3}s",
             report.layouts.len(),
             report.component_count(),
             report.batch_wall_seconds,
             report.executor,
-            report.layouts_per_sec(),
-            report.components_per_sec(),
+            rate(report.layouts_per_sec()),
+            rate(report.components_per_sec()),
             report.total_parse_seconds(),
             report.total_plan_seconds()
         );

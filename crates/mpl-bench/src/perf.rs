@@ -18,6 +18,13 @@
 //!   sessions.  Reports the plan+color wall seconds of each run plus the
 //!   deterministic hit/miss counters and the number of vertices whose
 //!   warm coloring differs from the cold one (always zero).
+//! * **Kernel cases** — a two-K7-plus-fringe fixture whose conflict graph
+//!   is a hard exact core with a peelable low-degree chain attached,
+//!   decomposed through the iterated-simplification pipeline (hide + cut
+//!   to a fixed point, color the kernel exactly, reinsert greedily).
+//!   Reports the hidden/kernel vertex counts, simplification rounds,
+//!   branch-and-bound nodes on the kernel, and a spacing re-verification
+//!   that classifies violations touching reinserted vertices.
 //! * **Tile cases** — a full-chip contact lattice (one chip-spanning
 //!   component) sharded into halo-expanded windows through [`mpl_tile`]
 //!   and solved exactly per window, reporting the reconciliation counters
@@ -189,6 +196,49 @@ pub struct BnbPerfCase {
     pub seconds: f64,
 }
 
+/// One kernelization measurement: a layout whose conflict graph is a hard
+/// exact-engine core (two overlapping K7s sharing two contacts) with a
+/// peelable low-degree fringe chained onto it, decomposed through the
+/// iterated-simplification pipeline (hide + cut to a fixed point, color
+/// the kernel exactly, reinsert greedily).
+#[derive(Debug, Clone)]
+pub struct KernelPerfCase {
+    /// Case name (stable across runs).
+    pub name: String,
+    /// Engine used on the kernel.
+    pub algorithm: String,
+    /// Mask count K.
+    pub k: usize,
+    /// Input shapes.
+    pub shapes: usize,
+    /// Decomposition-graph vertices.
+    pub vertices: usize,
+    /// Vertices hidden by iterated simplification (the fringe).
+    pub hidden_vertices: usize,
+    /// Vertices of the surviving kernel handed to the engine.
+    pub kernel_vertices: usize,
+    /// Hide/cut rounds until the simplification fixed point.
+    pub simplify_rounds: usize,
+    /// Branch-and-bound nodes the exact engine expanded on the kernel.
+    pub bnb_nodes: u64,
+    /// Unresolved conflicts of the final coloring (the kernel's optimum —
+    /// two K7s cannot be 4-colored cleanly).
+    pub conflicts: usize,
+    /// Inserted stitches of the final coloring.
+    pub stitches: usize,
+    /// Spacing violations of the final coloring under the independent
+    /// geometric checker (must equal `conflicts`).
+    pub spacing_violations: usize,
+    /// Spacing violations with at least one endpoint in the reinserted
+    /// fringe — greedy reinsertion always has a free color, so this must
+    /// be zero.
+    pub reinsertion_conflicts: usize,
+    /// Whether the kernel's exact solve ran to proven optimality.
+    pub proven_optimal: bool,
+    /// Wall seconds for the plan + simplify + color run.
+    pub seconds: f64,
+}
+
 /// One full-chip tiled decomposition measurement: a chip-spanning
 /// component sharded into halo-expanded tile windows through `mpl-tile`,
 /// with an all-fits-one-window control run.
@@ -314,7 +364,7 @@ impl HierPerfCase {
     }
 }
 
-/// The full perf report (schema `mpl-bench/perf-v4`).
+/// The full perf report (schema `mpl-bench/perf-v5`).
 #[derive(Debug, Clone)]
 pub struct PerfReport {
     /// The label the run was taken under.
@@ -323,6 +373,8 @@ pub struct PerfReport {
     pub layouts: Vec<LayoutPerfCase>,
     /// Memoization cases, in suite order.
     pub memo: Vec<MemoPerfCase>,
+    /// Kernelization cases, in suite order.
+    pub kernel: Vec<KernelPerfCase>,
     /// Full-chip tiled cases, in suite order.
     pub tile: Vec<TilePerfCase>,
     /// Cell-level hierarchical cases, in suite order.
@@ -502,6 +554,107 @@ fn run_memo_cases() -> Result<Vec<MemoPerfCase>, String> {
         case.warm_speedup(),
         case.warm_hit_rate() * 100.0,
         case.coloring_diffs,
+    );
+    Ok(vec![case])
+}
+
+/// The kernelization fixture: two K7 cliques (contact columns A and B,
+/// each completed by the shared pair S) with an eight-contact low-degree
+/// fringe chained onto cluster B.  Every fringe contact has conflict
+/// degree < K, so iterated simplification hides the whole chain and hands
+/// the exact engine only the 12-vertex two-K7 core — the geometric twin of
+/// the standalone `two-k7-share2` branch-and-bound case, except the shared
+/// edge is simple (geometry cannot produce parallel edges), so the optimum
+/// is 5 conflicts (3 + 3 − 1 for the doubly-counted shared pair).
+fn kernel_fixture() -> Layout {
+    let mut builder = Layout::builder("kernel-two-k7-fringe");
+    // Clusters A (x=0) and B (x=120): five 20 nm contacts each at 24 nm
+    // pitch — the worst in-column gap is 76 nm, inside the 80 nm coloring
+    // distance, while the 100 nm A–B gap keeps the clusters conflict-free
+    // of each other.
+    for y in [0i64, 24, 48, 72, 96] {
+        builder.add_contact(Nm(0), Nm(y), Nm(20));
+    }
+    // Shared pair S (x=60): within 80 nm of every contact of both
+    // clusters (worst diagonal ≈ 57 nm), completing two K7s that share
+    // exactly these two vertices.
+    for y in [36i64, 60] {
+        builder.add_contact(Nm(60), Nm(y), Nm(20));
+    }
+    for y in [0i64, 24, 48, 72, 96] {
+        builder.add_contact(Nm(120), Nm(y), Nm(20));
+    }
+    // Fringe chain above cluster B at 72 nm pitch: each contact conflicts
+    // only with its chain neighbours (52 nm gap; 124 nm skips a link) and
+    // the first one with B's top contact (56 nm) — conflict degree ≤ 2 < K
+    // everywhere, so simplification hides the entire chain.
+    for y in [172i64, 244, 316, 388, 460, 532, 604, 676] {
+        builder.add_contact(Nm(120), Nm(y), Nm(20));
+    }
+    builder.build()
+}
+
+/// The kernelization cases: the two-K7-plus-fringe fixture decomposed with
+/// the exact engine through the full iterated-simplification pipeline.
+/// The multiplicity-aware clique-cover bound must close the 12-vertex
+/// kernel within a handful of branch-and-bound nodes, and greedy
+/// reinsertion of the hidden fringe must be conflict-free.
+fn run_kernel_cases() -> Result<Vec<KernelPerfCase>, String> {
+    let tech = Technology::nm20();
+    let layout = kernel_fixture();
+    let config =
+        DecomposerConfig::quadruple(Technology::nm20()).with_algorithm(ColorAlgorithm::Ilp);
+    let decomposer = Decomposer::new(config);
+    let start = Instant::now();
+    let plan = decomposer
+        .plan(&layout)
+        .map_err(|error| format!("{}: {error}", layout.name()))?;
+    let result = plan.execute(&SerialExecutor);
+    let seconds = start.elapsed().as_secs_f64();
+    let violations = verify_spacing(plan.graph(), result.colors(), tech.coloring_distance(4));
+    // The fringe lives strictly above the core (y ≥ 172 nm vs ≤ 116 nm),
+    // so violations touching reinserted vertices are classified purely
+    // geometrically — independent of the pipeline's own bookkeeping.
+    let fringe_floor = Nm(150);
+    let in_fringe = |vertex| plan.graph().polygon(vertex).bounding_box().ylo() >= fringe_floor;
+    let reinsertion_conflicts = violations
+        .iter()
+        .filter(|violation| in_fringe(violation.a) || in_fringe(violation.b))
+        .count();
+    let stats = result.component_stats();
+    let bnb_nodes: u64 = stats.iter().map(|s| s.bnb_nodes).sum();
+    let proven_optimal = !stats.iter().any(|s| s.hit_time_limit);
+    let case = KernelPerfCase {
+        name: layout.name().to_string(),
+        algorithm: result.algorithm().to_string(),
+        k: result.k(),
+        shapes: layout.shape_count(),
+        vertices: result.vertex_count(),
+        hidden_vertices: result.hidden_vertices(),
+        kernel_vertices: result.kernel_vertices(),
+        simplify_rounds: result.simplify_rounds(),
+        bnb_nodes,
+        conflicts: result.conflicts(),
+        stitches: result.stitches(),
+        spacing_violations: violations.len(),
+        reinsertion_conflicts,
+        proven_optimal,
+        seconds,
+    };
+    eprintln!(
+        "  kernel {:<15} {:<14} |V|={:<3} hidden={:<2} kernel={:<2} rounds={} nodes={:<5} cn#={} sv#={} reins#={} optimal={} ({:.3}s)",
+        case.name,
+        case.algorithm,
+        case.vertices,
+        case.hidden_vertices,
+        case.kernel_vertices,
+        case.simplify_rounds,
+        case.bnb_nodes,
+        case.conflicts,
+        case.spacing_violations,
+        case.reinsertion_conflicts,
+        case.proven_optimal,
+        case.seconds,
     );
     Ok(vec![case])
 }
@@ -788,6 +941,7 @@ pub fn run_perf_suite(options: &PerfOptions) -> Result<PerfReport, String> {
     }
 
     let memo = run_memo_cases()?;
+    let kernel = run_kernel_cases()?;
     let tile = run_tile_cases(options)?;
     let hier = run_hier_cases(options)?;
 
@@ -821,6 +975,7 @@ pub fn run_perf_suite(options: &PerfOptions) -> Result<PerfReport, String> {
         label: options.label.clone(),
         layouts,
         memo,
+        kernel,
         tile,
         hier,
         bnb,
@@ -840,12 +995,12 @@ fn json_opt_bool(value: Option<bool>) -> String {
 }
 
 impl PerfReport {
-    /// Renders the machine-readable report (schema `mpl-bench/perf-v4`;
+    /// Renders the machine-readable report (schema `mpl-bench/perf-v5`;
     /// v2 added the `memo_cases` array to v1, v3 the `tile_cases` array,
-    /// v4 the `hier_cases` array).
+    /// v4 the `hier_cases` array, v5 the `kernel_cases` array).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"mpl-bench/perf-v4\",\n");
+        out.push_str("  \"schema\": \"mpl-bench/perf-v5\",\n");
         out.push_str(&format!("  \"label\": \"{}\",\n", json_escape(&self.label)));
         out.push_str("  \"layouts\": [\n");
         for (index, case) in self.layouts.iter().enumerate() {
@@ -919,6 +1074,40 @@ impl PerfReport {
             out.push_str(&format!("\"cache_evictions\": {}, ", case.cache_evictions));
             out.push_str(&format!("\"coloring_diffs\": {}}}", case.coloring_diffs));
             out.push_str(if index + 1 < self.memo.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"kernel_cases\": [\n");
+        for (index, case) in self.kernel.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\", ", json_escape(&case.name)));
+            out.push_str(&format!(
+                "\"algorithm\": \"{}\", ",
+                json_escape(&case.algorithm)
+            ));
+            out.push_str(&format!("\"k\": {}, ", case.k));
+            out.push_str(&format!("\"shapes\": {}, ", case.shapes));
+            out.push_str(&format!("\"vertices\": {}, ", case.vertices));
+            out.push_str(&format!("\"hidden_vertices\": {}, ", case.hidden_vertices));
+            out.push_str(&format!("\"kernel_vertices\": {}, ", case.kernel_vertices));
+            out.push_str(&format!("\"simplify_rounds\": {}, ", case.simplify_rounds));
+            out.push_str(&format!("\"bnb_nodes\": {}, ", case.bnb_nodes));
+            out.push_str(&format!("\"conflicts\": {}, ", case.conflicts));
+            out.push_str(&format!("\"stitches\": {}, ", case.stitches));
+            out.push_str(&format!(
+                "\"spacing_violations\": {}, ",
+                case.spacing_violations
+            ));
+            out.push_str(&format!(
+                "\"reinsertion_conflicts\": {}, ",
+                case.reinsertion_conflicts
+            ));
+            out.push_str(&format!("\"proven_optimal\": {}, ", case.proven_optimal));
+            out.push_str(&format!("\"seconds\": {}}}", case.seconds));
+            out.push_str(if index + 1 < self.kernel.len() {
                 ",\n"
             } else {
                 "\n"
@@ -1084,12 +1273,14 @@ impl PerfReport {
         let mut violations = Vec::new();
         for case in &self.bnb {
             // Measured on the PR-5 overhaul (see BENCH_perf.json): cliques
-            // close at the root node (1), two-k7-share2 at ~201k (the
-            // vertex-disjoint clique cover cannot see its overlap),
-            // random-16 at ~19k, random-18 at ~0.8k.
+            // close at the root node (1), random-16 at ~19k, random-18 at
+            // ~0.8k.  two-k7-share2 measured ~201k under the old vertex-
+            // disjoint clique cover; the multiplicity-aware edge-clique
+            // cover closes it at the root node, so its ceiling is pinned
+            // at under 1 % of the old count to lock the improvement in.
             let ceiling = match case.name.as_str() {
                 "clique-9" | "clique-10" | "clique-11" => 2_000,
-                "two-k7-share2" => 300_000,
+                "two-k7-share2" => 2_000,
                 "random-16-p550" => 40_000,
                 "random-18-p500" => 5_000,
                 _ => continue,
@@ -1180,6 +1371,56 @@ impl PerfReport {
                 violations.push(format!(
                     "memo case {}: {} vertices differ between warm and cold colorings",
                     case.name, case.coloring_diffs
+                ));
+            }
+        }
+        for case in &self.kernel {
+            // The kernelization acceptance bar: iterated simplification
+            // must actually fire (the whole fringe hidden, the 12-vertex
+            // two-K7 core surviving), the multiplicity-aware bound must
+            // close the kernel within a handful of nodes (measured 1),
+            // greedy reinsertion must stay conflict-free, and the final
+            // coloring must be spacing-clean and provably optimal.
+            if case.simplify_rounds == 0 {
+                violations.push(format!(
+                    "kernel case {}: iterated simplification never ran",
+                    case.name
+                ));
+            }
+            if case.hidden_vertices == 0 {
+                violations.push(format!(
+                    "kernel case {}: simplification hid no vertices — the fringe survived",
+                    case.name
+                ));
+            }
+            if case.kernel_vertices > 12 {
+                violations.push(format!(
+                    "kernel case {}: {} kernel vertices exceed the 12-vertex two-K7 core",
+                    case.name, case.kernel_vertices
+                ));
+            }
+            if case.bnb_nodes > 100 {
+                violations.push(format!(
+                    "kernel case {}: {} B&B nodes exceeds the pinned ceiling 100",
+                    case.name, case.bnb_nodes
+                ));
+            }
+            if case.reinsertion_conflicts != 0 {
+                violations.push(format!(
+                    "kernel case {}: {} spacing violations touch reinserted fringe vertices",
+                    case.name, case.reinsertion_conflicts
+                ));
+            }
+            if case.spacing_violations != case.conflicts {
+                violations.push(format!(
+                    "kernel case {}: {} spacing violations disagree with {} reported conflicts",
+                    case.name, case.spacing_violations, case.conflicts
+                ));
+            }
+            if !case.proven_optimal {
+                violations.push(format!(
+                    "kernel case {}: kernel solve no longer proves optimality",
+                    case.name
                 ));
             }
         }
@@ -1295,14 +1536,16 @@ mod tests {
             label: "test".to_string(),
             layouts: Vec::new(),
             memo: Vec::new(),
+            kernel: Vec::new(),
             tile: Vec::new(),
             hier: Vec::new(),
             bnb: Vec::new(),
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"mpl-bench/perf-v4\""));
+        assert!(json.contains("\"schema\": \"mpl-bench/perf-v5\""));
         assert!(json.contains("\"label\": \"test\""));
         assert!(json.contains("\"memo_cases\""));
+        assert!(json.contains("\"kernel_cases\""));
         assert!(json.contains("\"tile_cases\""));
         assert!(json.contains("\"hier_cases\""));
     }
@@ -1331,6 +1574,7 @@ mod tests {
             label: "test".to_string(),
             layouts: Vec::new(),
             memo: vec![case.clone()],
+            kernel: Vec::new(),
             tile: Vec::new(),
             hier: Vec::new(),
             bnb: Vec::new(),
@@ -1356,6 +1600,81 @@ mod tests {
             violations
                 .iter()
                 .any(|v| v.contains("differ between warm and cold")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn kernel_ceilings_catch_dead_simplification_and_reinsertion_conflicts() {
+        let case = KernelPerfCase {
+            name: "kernel-two-k7-fringe".to_string(),
+            algorithm: "ILP".to_string(),
+            k: 4,
+            shapes: 20,
+            vertices: 20,
+            hidden_vertices: 8,
+            kernel_vertices: 12,
+            simplify_rounds: 1,
+            bnb_nodes: 1,
+            conflicts: 5,
+            stitches: 0,
+            spacing_violations: 5,
+            reinsertion_conflicts: 0,
+            proven_optimal: true,
+            seconds: 0.001,
+        };
+        let mut report = PerfReport {
+            label: "test".to_string(),
+            layouts: Vec::new(),
+            memo: Vec::new(),
+            kernel: vec![case.clone()],
+            tile: Vec::new(),
+            hier: Vec::new(),
+            bnb: Vec::new(),
+        };
+        assert!(report.check_ceilings().is_ok());
+
+        report.kernel[0].hidden_vertices = 0;
+        let violations = report.check_ceilings().expect_err("dead fringe fails");
+        assert!(
+            violations.iter().any(|v| v.contains("hid no vertices")),
+            "{violations:?}"
+        );
+
+        report.kernel[0] = KernelPerfCase {
+            reinsertion_conflicts: 2,
+            ..case.clone()
+        };
+        let violations = report
+            .check_ceilings()
+            .expect_err("reinsertion conflicts fail");
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("reinserted fringe vertices")),
+            "{violations:?}"
+        );
+
+        report.kernel[0] = KernelPerfCase {
+            bnb_nodes: 50_000,
+            ..case.clone()
+        };
+        let violations = report.check_ceilings().expect_err("weak bound fails");
+        assert!(
+            violations.iter().any(|v| v.contains("pinned ceiling 100")),
+            "{violations:?}"
+        );
+
+        report.kernel[0] = KernelPerfCase {
+            kernel_vertices: 18,
+            hidden_vertices: 2,
+            ..case
+        };
+        let violations = report.check_ceilings().expect_err("bloated kernel fails");
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("12-vertex two-K7 core")),
             "{violations:?}"
         );
     }
@@ -1389,6 +1708,7 @@ mod tests {
             label: "test".to_string(),
             layouts: Vec::new(),
             memo: Vec::new(),
+            kernel: Vec::new(),
             tile: vec![case.clone()],
             hier: Vec::new(),
             bnb: Vec::new(),
@@ -1453,6 +1773,7 @@ mod tests {
             label: "test".to_string(),
             layouts: Vec::new(),
             memo: Vec::new(),
+            kernel: Vec::new(),
             tile: Vec::new(),
             hier: vec![case.clone()],
             bnb: Vec::new(),

@@ -50,6 +50,7 @@ impl ColorAssigner for ExactAssigner {
             colors: solution.colors,
             bnb_nodes: solution.nodes,
             hit_time_limit: solution.hit_time_limit,
+            bound_improvements: solution.bound_improvements,
         }
     }
 

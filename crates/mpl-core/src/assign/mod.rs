@@ -34,6 +34,9 @@ pub struct AssignOutcome {
     /// Whether a wall-clock budget truncated the search, making the colors
     /// an incumbent rather than a proven optimum.
     pub hit_time_limit: bool,
+    /// Clique-expansion steps that strengthened the exact engine's lower
+    /// bound past the vertex-disjoint clique cover (exact engine only).
+    pub bound_improvements: u64,
 }
 
 impl AssignOutcome {
@@ -43,6 +46,7 @@ impl AssignOutcome {
             colors,
             bnb_nodes: 0,
             hit_time_limit: false,
+            bound_improvements: 0,
         }
     }
 }

@@ -225,6 +225,75 @@ impl ComponentProblem {
         }
         (sub, original)
     }
+
+    /// Builds the sub-problem induced by `vertices` (local ids) with the
+    /// edges in `cut_conflicts` / `cut_stitches` (normalized `(min, max)`
+    /// pairs) removed, returning it together with the mapping from new ids
+    /// to the ids in `self`.
+    ///
+    /// This is the kernel extraction of the simplification stage: cut
+    /// bridges must not constrain the kernel coloring — they are satisfied
+    /// afterwards by side rotation.  Only one occurrence of each listed
+    /// pair is skipped per listing, so a parallel pair listed once keeps
+    /// its other edge.
+    pub fn induced_without(
+        &self,
+        vertices: &[usize],
+        cut_conflicts: &[(usize, usize)],
+        cut_stitches: &[(usize, usize)],
+    ) -> (ComponentProblem, Vec<usize>) {
+        let mut new_id = vec![usize::MAX; self.vertex_count];
+        let mut original = Vec::with_capacity(vertices.len());
+        for &v in vertices {
+            assert!(v < self.vertex_count, "vertex {v} out of range");
+            if new_id[v] == usize::MAX {
+                new_id[v] = original.len();
+                original.push(v);
+            }
+        }
+        // Multiset of cut pairs: decrement as occurrences are skipped.
+        let mut skip_conflicts: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        for &(u, v) in cut_conflicts {
+            *skip_conflicts.entry((u.min(v), u.max(v))).or_insert(0) += 1;
+        }
+        let mut skip_stitches: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        for &(u, v) in cut_stitches {
+            *skip_stitches.entry((u.min(v), u.max(v))).or_insert(0) += 1;
+        }
+        let mut sub = ComponentProblem::new(original.len(), self.k, self.alpha);
+        for &(u, v) in &self.conflict_edges {
+            if new_id[u] == usize::MAX || new_id[v] == usize::MAX {
+                continue;
+            }
+            if let Some(count) = skip_conflicts.get_mut(&(u.min(v), u.max(v))) {
+                if *count > 0 {
+                    *count -= 1;
+                    continue;
+                }
+            }
+            sub.add_conflict(new_id[u], new_id[v]);
+        }
+        for &(u, v) in &self.stitch_edges {
+            if new_id[u] == usize::MAX || new_id[v] == usize::MAX {
+                continue;
+            }
+            if let Some(count) = skip_stitches.get_mut(&(u.min(v), u.max(v))) {
+                if *count > 0 {
+                    *count -= 1;
+                    continue;
+                }
+            }
+            sub.add_stitch(new_id[u], new_id[v]);
+        }
+        for &(u, v) in &self.color_friendly_pairs {
+            if new_id[u] != usize::MAX && new_id[v] != usize::MAX {
+                sub.add_color_friendly(new_id[u], new_id[v]);
+            }
+        }
+        (sub, original)
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +340,19 @@ mod tests {
         assert_eq!(sub.conflict_edges(), &[(0, 1)]); // 1-2 in the original
         assert_eq!(sub.stitch_edges(), &[(1, 2)]); // 2-3 in the original
         assert!(sub.color_friendly_pairs().is_empty());
+    }
+
+    #[test]
+    fn induced_without_skips_cut_edges() {
+        let mut p = ComponentProblem::new(4, 4, 0.1);
+        p.add_conflict(0, 1);
+        p.add_conflict(1, 2);
+        p.add_conflict(1, 2); // parallel edge: only one occurrence is cut
+        p.add_stitch(2, 3);
+        let (sub, original) = p.induced_without(&[0, 1, 2, 3], &[(2, 1)], &[(2, 3)]);
+        assert_eq!(original, vec![0, 1, 2, 3]);
+        assert_eq!(sub.conflict_edges(), &[(0, 1), (1, 2)]);
+        assert!(sub.stitch_edges().is_empty());
     }
 
     #[test]

@@ -79,6 +79,16 @@ pub struct DivisionConfig {
     pub biconnected_split: bool,
     /// Gomory–Hu-tree based (K−1)-cut removal with color-rotation merging.
     pub ghtree_cut_removal: bool,
+    /// Iterated simplification to a fixed point (the OpenMPL-style kernel
+    /// stage): alternate {hide low-degree vertices, cut bridges} until
+    /// neither makes progress, color only the kernel, and reinsert in
+    /// reverse order.  The passes it iterates are gated by
+    /// [`low_degree_removal`](DivisionConfig::low_degree_removal) (hide) and
+    /// [`biconnected_split`](DivisionConfig::biconnected_split) (cut), so
+    /// the ablation knobs keep their meaning; when the fixed point hides and
+    /// cuts nothing, coloring falls through to the one-shot division path
+    /// bit-identically.
+    pub iterated_simplify: bool,
 }
 
 impl Default for DivisionConfig {
@@ -88,6 +98,7 @@ impl Default for DivisionConfig {
             low_degree_removal: true,
             biconnected_split: true,
             ghtree_cut_removal: true,
+            iterated_simplify: true,
         }
     }
 }
@@ -101,6 +112,7 @@ impl DivisionConfig {
             low_degree_removal: false,
             biconnected_split: false,
             ghtree_cut_removal: false,
+            iterated_simplify: false,
         }
     }
 }
@@ -289,6 +301,8 @@ mod tests {
         assert_eq!(config.sdp_merge_threshold, 0.9);
         assert_eq!(config.algorithm, ColorAlgorithm::SdpBacktrack);
         assert!(config.division.ghtree_cut_removal);
+        assert!(config.division.iterated_simplify);
+        assert!(!DivisionConfig::none().iterated_simplify);
         let penta = DecomposerConfig::pentuple(Technology::nm20());
         assert_eq!(penta.k, 5);
     }

@@ -209,6 +209,30 @@ impl DecompositionResult {
         }
     }
 
+    /// Vertices hidden by iterated graph simplification, summed over
+    /// components.
+    pub fn hidden_vertices(&self) -> usize {
+        self.components.iter().map(|s| s.hidden_vertices).sum()
+    }
+
+    /// Kernel vertices handed to the engines after simplification, summed
+    /// over components that were simplified.
+    pub fn kernel_vertices(&self) -> usize {
+        self.components.iter().map(|s| s.kernel_vertices).sum()
+    }
+
+    /// Hide/cut rounds run by iterated simplification, summed over
+    /// components.
+    pub fn simplify_rounds(&self) -> usize {
+        self.components.iter().map(|s| s.simplify_rounds).sum()
+    }
+
+    /// Clique-expansion steps that strengthened the exact engine's lower
+    /// bound, summed over components.
+    pub fn bound_improvements(&self) -> u64 {
+        self.components.iter().map(|s| s.bound_improvements).sum()
+    }
+
     /// Time spent constructing the decomposition graph.
     pub fn graph_time(&self) -> Duration {
         self.graph_time
@@ -376,11 +400,41 @@ impl Decomposer {
         let n = problem.vertex_count();
         let k = problem.k() as u8;
         let division = self.config.division;
-        let mut colors = vec![u8::MAX; n];
         let mut metrics = ColorMetrics::default();
         let paths_before = scratch.augmenting_paths();
         let bound_before = scratch.augmenting_path_bound();
         let allocs_before = scratch.alloc_events();
+
+        // ---- Iterated simplification (hide + cut to a fixed point). ----
+        // The hide and cut passes reuse the ablation gates of the one-shot
+        // techniques they generalise; a trivial fixed point (nothing hidden
+        // or cut) falls through to the one-shot path below bit-identically.
+        if division.iterated_simplify && n > 0 {
+            let division_start = Instant::now();
+            let simplification = mpl_graph::simplify(
+                n,
+                problem.conflict_edges(),
+                problem.stitch_edges(),
+                problem.k(),
+                division.low_degree_removal,
+                division.biconnected_split,
+            );
+            metrics.division_time += division_start.elapsed();
+            if !simplification.is_trivial() {
+                let colors = self.color_simplified(
+                    problem,
+                    assigner,
+                    scratch,
+                    &simplification,
+                    &mut metrics,
+                );
+                metrics.augmenting_paths = scratch.augmenting_paths() - paths_before;
+                metrics.augmenting_path_bound = scratch.augmenting_path_bound() - bound_before;
+                metrics.scratch_allocs = scratch.alloc_events() - allocs_before;
+                return (colors, metrics);
+            }
+        }
+        let mut colors = vec![u8::MAX; n];
 
         // ---- Low-degree peeling. ----
         let division_start = Instant::now();
@@ -474,6 +528,141 @@ impl Decomposer {
         (colors, metrics)
     }
 
+    /// Colors a component through a non-trivial [`mpl_graph::simplify`]
+    /// fixed point: color only the kernel (with the cut edges removed),
+    /// then replay the op stack in reverse — rotating each cut side onto
+    /// its far endpoint and greedily coloring each hidden vertex.
+    ///
+    /// Safety of the replay: a hidden vertex had fewer than K active
+    /// conflict neighbours when hidden, and every neighbour hidden *before*
+    /// it is still uncolored (recovered later) while every edge cut before
+    /// its hide is still cut (recovered later), so a conflict-free color
+    /// always exists.  A cut side's vertices were all active at cut time,
+    /// hence kernel vertices or vertices hidden later — both already
+    /// colored when the cut is recovered — and no edge between two such
+    /// vertices crosses the side boundary except the cut edge itself, so
+    /// the rotation is free.
+    fn color_simplified(
+        &self,
+        problem: &ComponentProblem,
+        assigner: &dyn ColorAssigner,
+        scratch: &mut DivisionScratch,
+        simplification: &mpl_graph::Simplification,
+        metrics: &mut ColorMetrics,
+    ) -> Vec<u8> {
+        use mpl_graph::SimplifyOp;
+        let n = problem.vertex_count();
+        let k = problem.k();
+        metrics.hidden_vertices = simplification.hidden_count();
+        metrics.kernel_vertices = simplification.kernel.len();
+        metrics.simplify_rounds = simplification.rounds;
+        let mut colors = vec![u8::MAX; n];
+
+        // The kernel is itself at a simplification fixed point, so this
+        // recursion takes the one-shot division path (blocks, GH-tree
+        // pieces, rotation merging) exactly once.  An empty kernel skips
+        // the engine entirely — simplification already solved the
+        // component.
+        if !simplification.kernel.is_empty() {
+            let (sub, original) = problem.induced_without(
+                &simplification.kernel,
+                &simplification.cut_conflicts,
+                &simplification.cut_stitches,
+            );
+            let (sub_colors, sub_metrics) = self.color_problem_in(&sub, assigner, scratch);
+            metrics.division_time += sub_metrics.division_time;
+            metrics.bnb_nodes += sub_metrics.bnb_nodes;
+            metrics.hit_time_limit |= sub_metrics.hit_time_limit;
+            metrics.bound_improvements += sub_metrics.bound_improvements;
+            for (local, &global) in original.iter().enumerate() {
+                colors[global] = sub_colors[local];
+            }
+        }
+
+        // Edges cut but not yet recovered must not constrain the greedy
+        // hide recovery; each Cut replay removes its edge from this set.
+        let mut still_cut: std::collections::HashSet<(usize, usize, bool)> = simplification
+            .cut_conflicts
+            .iter()
+            .map(|&(u, v)| (u, v, true))
+            .chain(
+                simplification
+                    .cut_stitches
+                    .iter()
+                    .map(|&(u, v)| (u, v, false)),
+            )
+            .collect();
+        let conflict_adj = problem.conflict_adjacency();
+        let stitch_adj = problem.stitch_adjacency();
+        let mut penalty = vec![0.0f64; k];
+        for op in simplification.ops.iter().rev() {
+            match op {
+                SimplifyOp::Cut {
+                    u,
+                    v,
+                    conflict,
+                    side,
+                } => {
+                    still_cut.remove(&(*u.min(v), *u.max(v), *conflict));
+                    let cu = colors[*u] as usize;
+                    let cv = colors[*v] as usize;
+                    debug_assert!(cu < k && cv < k, "cut endpoints colored before recovery");
+                    let rotation = if *conflict {
+                        // Any rotation except the one mapping cv onto cu;
+                        // prefer the no-op.
+                        if cv == cu {
+                            1
+                        } else {
+                            0
+                        }
+                    } else {
+                        // Align the stitch endpoints (no α cost).
+                        (cu + k - cv) % k
+                    };
+                    if rotation != 0 {
+                        for &w in side {
+                            debug_assert_ne!(colors[w], u8::MAX, "side colored before recovery");
+                            colors[w] = ((colors[w] as usize + rotation) % k) as u8;
+                        }
+                    }
+                }
+                SimplifyOp::Hide(v) => {
+                    penalty.iter_mut().for_each(|slot| *slot = 0.0);
+                    for &u in conflict_adj.neighbors(*v) {
+                        if colors[u] == u8::MAX || still_cut.contains(&(u.min(*v), u.max(*v), true))
+                        {
+                            continue;
+                        }
+                        penalty[colors[u] as usize] += 1.0;
+                    }
+                    for &u in stitch_adj.neighbors(*v) {
+                        if colors[u] == u8::MAX
+                            || still_cut.contains(&(u.min(*v), u.max(*v), false))
+                        {
+                            continue;
+                        }
+                        for (color, slot) in penalty.iter_mut().enumerate() {
+                            if color != colors[u] as usize {
+                                *slot += problem.alpha();
+                            }
+                        }
+                    }
+                    colors[*v] = penalty
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                        .map(|(c, _)| c as u8)
+                        .unwrap_or(0);
+                }
+            }
+        }
+        debug_assert!(
+            colors.iter().all(|&c| c != u8::MAX),
+            "every vertex is kernel or hidden"
+        );
+        colors
+    }
+
     /// Runs the engine on the sub-problem induced by `piece` and writes the
     /// colors back (skipping nothing: pieces are disjoint by construction).
     fn color_piece(
@@ -491,6 +680,7 @@ impl Decomposer {
         let outcome = assigner.assign_with_stats(&sub);
         metrics.bnb_nodes += outcome.bnb_nodes;
         metrics.hit_time_limit |= outcome.hit_time_limit;
+        metrics.bound_improvements += outcome.bound_improvements;
         for (local, &global) in original.iter().enumerate() {
             colors[global] = outcome.colors[local];
         }
@@ -514,6 +704,16 @@ pub(crate) struct ColorMetrics {
     pub augmenting_path_bound: u64,
     /// Scratch-buffer growth events (≈ heap allocations on the hot path).
     pub scratch_allocs: u64,
+    /// Vertices hidden by iterated simplification (zero when the component
+    /// took the one-shot division path).
+    pub hidden_vertices: usize,
+    /// Vertices left in the simplification kernel handed to the engine.
+    pub kernel_vertices: usize,
+    /// Simplification rounds that made progress before the fixed point.
+    pub simplify_rounds: usize,
+    /// Clique-expansion steps that strengthened the exact engine's lower
+    /// bound past the vertex-disjoint clique cover.
+    pub bound_improvements: u64,
 }
 
 /// Extracts every component's [`ComponentProblem`] from the decomposition
@@ -837,6 +1037,7 @@ mod tests {
                 colors: vec![0; problem.vertex_count()],
                 bnb_nodes: 7,
                 hit_time_limit: true,
+                bound_improvements: 3,
             }
         }
 
@@ -859,7 +1060,14 @@ mod tests {
         let (colors, metrics) = decomposer.color_problem_metered(&problem, &CountingAssigner);
         assert_eq!(colors.len(), 5);
         assert_eq!(metrics.bnb_nodes, 7);
+        assert_eq!(metrics.bound_improvements, 3);
         assert!(metrics.hit_time_limit);
+        // A K5 is at the simplification fixed point already: nothing hides
+        // (every degree is 4 ≥ K) and a clique has no bridges, so the
+        // one-shot path ran and the simplify counters stay zero.
+        assert_eq!(metrics.hidden_vertices, 0);
+        assert_eq!(metrics.kernel_vertices, 0);
+        assert_eq!(metrics.simplify_rounds, 0);
         // The K5 is 4-edge-connected... in fact every pair has min-cut 4 ≥ K
         // = 4, so division ran real capped max-flows under the n·K bound.
         assert!(metrics.augmenting_paths > 0);
@@ -896,6 +1104,118 @@ mod tests {
         }
     }
 
+    /// Panics if ever invoked — proves a code path skipped the engine.
+    struct PanickingAssigner;
+
+    impl ColorAssigner for PanickingAssigner {
+        fn assign(&self, _problem: &ComponentProblem) -> Vec<u8> {
+            panic!("the engine must not be invoked on an empty kernel");
+        }
+
+        fn name(&self) -> &'static str {
+            "panicking"
+        }
+    }
+
+    /// A path graph: every vertex has conflict degree ≤ 2 < 4, so iterated
+    /// simplification hides everything and the kernel is empty.
+    fn path_problem(n: usize) -> ComponentProblem {
+        let mut problem = ComponentProblem::new(n, 4, 0.1);
+        for v in 0..n.saturating_sub(1) {
+            problem.add_conflict(v, v + 1);
+        }
+        problem
+    }
+
+    #[test]
+    fn empty_kernel_skips_the_engine_entirely() {
+        // The guard itself, independent of any engine's behaviour on a
+        // 0-vertex problem: the assigner is never called.
+        let decomposer = Decomposer::new(quad_config(ColorAlgorithm::Linear));
+        let (colors, metrics) =
+            decomposer.color_problem_metered(&path_problem(6), &PanickingAssigner);
+        let (conflicts, _, _) = path_problem(6).evaluate(&colors);
+        assert_eq!(conflicts, 0);
+        assert_eq!(metrics.hidden_vertices, 6);
+        assert_eq!(metrics.kernel_vertices, 0);
+        assert_eq!(metrics.bnb_nodes, 0);
+        assert!(metrics.simplify_rounds >= 1);
+    }
+
+    #[test]
+    fn empty_kernel_is_clean_under_every_engine() {
+        // Satellite guard: each real engine's pipeline entry point handles
+        // the everything-hidden case (no 0-vertex problem reaches it).
+        let problem = path_problem(7);
+        for algorithm in ColorAlgorithm::ALL {
+            let decomposer = Decomposer::new(quad_config(algorithm));
+            let assigner = assigner_for(algorithm, decomposer.config());
+            let (colors, metrics) = decomposer.color_problem_metered(&problem, assigner.as_ref());
+            let (conflicts, _, _) = problem.evaluate(&colors);
+            assert_eq!(conflicts, 0, "{algorithm}");
+            assert_eq!(metrics.kernel_vertices, 0, "{algorithm}");
+            assert_eq!(metrics.bnb_nodes, 0, "{algorithm}: engine was invoked");
+        }
+    }
+
+    #[test]
+    fn simplified_bridge_recovery_is_conflict_free() {
+        // Two K5s joined by a bridge: the cut splits the kernel, the exact
+        // engine colors each K5 (one forced conflict each), and the side
+        // rotation satisfies the bridge for free — total conflicts 2, the
+        // same optimum as the unsimplified whole.
+        let mut problem = ComponentProblem::new(10, 4, 0.1);
+        for clique in [[0usize, 1, 2, 3, 4], [5, 6, 7, 8, 9]] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    problem.add_conflict(clique[i], clique[j]);
+                }
+            }
+        }
+        problem.add_conflict(4, 5);
+        let decomposer = Decomposer::new(quad_config(ColorAlgorithm::Ilp));
+        let assigner = assigner_for(ColorAlgorithm::Ilp, decomposer.config());
+        let (colors, metrics) = decomposer.color_problem_metered(&problem, assigner.as_ref());
+        let (conflicts, _, _) = problem.evaluate(&colors);
+        assert_eq!(conflicts, 2);
+        assert_eq!(metrics.kernel_vertices, 10);
+        assert_eq!(metrics.hidden_vertices, 0);
+        // Crucially the bridge itself is clean: the rotation satisfied it.
+        assert_ne!(colors[4], colors[5]);
+    }
+
+    #[test]
+    fn simplified_path_matches_unsimplified_quality() {
+        // K5 with pendant paths: simplification hides the fringe and colors
+        // only the K5; the result must match the legacy path's conflict
+        // count (the K5's forced single conflict) with zero fringe damage.
+        let mut problem = ComponentProblem::new(9, 4, 0.1);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                problem.add_conflict(i, j);
+            }
+        }
+        for (u, v) in [(4, 5), (5, 6), (0, 7), (7, 8)] {
+            problem.add_conflict(u, v);
+        }
+        let on = Decomposer::new(quad_config(ColorAlgorithm::Ilp));
+        let off = Decomposer::new(
+            quad_config(ColorAlgorithm::Ilp).with_division(DivisionConfig {
+                iterated_simplify: false,
+                ..DivisionConfig::default()
+            }),
+        );
+        let assigner = assigner_for(ColorAlgorithm::Ilp, on.config());
+        let (colors_on, metrics_on) = on.color_problem_metered(&problem, assigner.as_ref());
+        let (colors_off, _) = off.color_problem_metered(&problem, assigner.as_ref());
+        let (conflicts_on, _, _) = problem.evaluate(&colors_on);
+        let (conflicts_off, _, _) = problem.evaluate(&colors_off);
+        assert_eq!(conflicts_on, 1);
+        assert_eq!(conflicts_off, 1);
+        assert_eq!(metrics_on.hidden_vertices, 4);
+        assert_eq!(metrics_on.kernel_vertices, 5);
+    }
+
     #[test]
     fn chain_with_two_articulation_anchors_reconciles_cleanly() {
         // Regression test for multi-anchor reconciliation: a middle K4 block
@@ -928,6 +1248,7 @@ mod tests {
             low_degree_removal: false,
             biconnected_split: true,
             ghtree_cut_removal: false,
+            iterated_simplify: false,
         };
         let config = quad_config(ColorAlgorithm::Linear).with_division(division);
         let decomposer = Decomposer::new(config);

@@ -547,6 +547,61 @@ mod tests {
     }
 
     #[test]
+    fn peeling_iterates_degree_rechecks_until_a_fixed_point() {
+        // Regression guard for the iterated peel: degrees must be
+        // re-checked as vertices are removed, not measured once on the
+        // initial graph.  Vertex 5 starts at conflict degree 4 (= K, so
+        // the first wave skips it) and only drops below K after its two
+        // pendant neighbours peel; a single-wave peel would leave it — and
+        // the cascade behind it — in the kernel.  After the fixed point,
+        // every kernel vertex must be critical with respect to the
+        // *kernel-induced* degrees.
+        let mut p = ComponentProblem::new(10, 4, 0.1);
+        // K5 core on 0..5.
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                p.add_conflict(i, j);
+            }
+        }
+        // An appendage wiring vertex 5 to exactly four neighbours (4, 6,
+        // 7, 8), with 8 continuing to 9.
+        p.add_conflict(4, 5);
+        p.add_conflict(5, 6);
+        p.add_conflict(5, 7);
+        p.add_conflict(5, 8);
+        p.add_conflict(8, 9);
+        let peeling = peel_low_degree(&p);
+        // The first wave peels 6, 7, 8, 9 (degree < 4); only then does
+        // vertex 5 drop from degree 4 to 1 and cascade away too.
+        assert_eq!(peeling.kernel, vec![0, 1, 2, 3, 4]);
+        assert_eq!(peeling.stack.len(), 5);
+        // Fixed-point invariant: no kernel vertex is peelable under the
+        // kernel-induced degrees.
+        let in_kernel: std::collections::HashSet<usize> = peeling.kernel.iter().copied().collect();
+        for &v in &peeling.kernel {
+            let conflict_degree = p
+                .conflict_edges()
+                .iter()
+                .filter(|&&(a, b)| {
+                    (a == v && in_kernel.contains(&b)) || (b == v && in_kernel.contains(&a))
+                })
+                .count();
+            let stitch_degree = p
+                .stitch_edges()
+                .iter()
+                .filter(|&&(a, b)| {
+                    (a == v && in_kernel.contains(&b)) || (b == v && in_kernel.contains(&a))
+                })
+                .count();
+            assert!(
+                conflict_degree >= p.k() || stitch_degree >= 2,
+                "kernel vertex {v} is peelable (conflict degree {conflict_degree}, \
+                 stitch degree {stitch_degree})"
+            );
+        }
+    }
+
+    #[test]
     fn peeling_respects_stitch_degree() {
         // A vertex with two stitch edges is critical even with no conflicts.
         let mut p = ComponentProblem::new(3, 4, 0.1);

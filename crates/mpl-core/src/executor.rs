@@ -312,6 +312,10 @@ mod tests {
                 augmenting_paths: 0,
                 augmenting_path_bound: 0,
                 scratch_allocs: 0,
+                hidden_vertices: 0,
+                kernel_vertices: 0,
+                simplify_rounds: 0,
+                bound_improvements: 0,
                 memo_hit: None,
             },
         }

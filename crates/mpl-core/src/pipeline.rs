@@ -99,6 +99,19 @@ pub struct ComponentStats {
     /// Scratch-buffer growth events while coloring (≈ heap allocations on
     /// the hot path; 0 once a worker's buffers are warm).
     pub scratch_allocs: u64,
+    /// Vertices hidden by iterated simplification (0 when the component was
+    /// already at the fixed point and took the one-shot division path).
+    pub hidden_vertices: usize,
+    /// Vertices left in the simplification kernel handed to the engine (0
+    /// when simplification did not run or hid everything).
+    pub kernel_vertices: usize,
+    /// Iterated-simplification rounds that made progress before the fixed
+    /// point.
+    pub simplify_rounds: usize,
+    /// Clique-expansion steps that strengthened the exact engine's lower
+    /// bound past the vertex-disjoint clique cover (0 for the heuristic
+    /// engines).
+    pub bound_improvements: u64,
     /// Whether the component's colors came from the memo cache instead of
     /// an engine run: `None` when no cache was attached, `Some(true)` when
     /// the coloring was stamped from a cached (or batch-deduplicated)

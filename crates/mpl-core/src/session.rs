@@ -425,6 +425,10 @@ fn stamped_stats(task: &ComponentTask, colors: &[u8]) -> ComponentStats {
         augmenting_paths: 0,
         augmenting_path_bound: 0,
         scratch_allocs: 0,
+        hidden_vertices: 0,
+        kernel_vertices: 0,
+        simplify_rounds: 0,
+        bound_improvements: 0,
         memo_hit: Some(true),
     }
 }
@@ -579,6 +583,10 @@ pub(crate) fn execute_batch(
             augmenting_paths: metrics.augmenting_paths,
             augmenting_path_bound: metrics.augmenting_path_bound,
             scratch_allocs: metrics.scratch_allocs,
+            hidden_vertices: metrics.hidden_vertices,
+            kernel_vertices: metrics.kernel_vertices,
+            simplify_rounds: metrics.simplify_rounds,
+            bound_improvements: metrics.bound_improvements,
             memo_hit,
         };
         observer.component_finished(tagged.layout(), task, &stats);

@@ -214,7 +214,7 @@ pub fn layout_with_hierarchy(
         .collect();
     Ok((
         builder.build(),
-        LayoutHierarchy::new(instances, shape_origins),
+        LayoutHierarchy::new(instances, shape_origins).with_nested_inherited(flat.nested_inherited),
     ))
 }
 

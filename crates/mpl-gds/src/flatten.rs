@@ -55,6 +55,15 @@ pub struct TaggedFlat {
     pub origins: Vec<Option<usize>>,
     /// Expanded top-level placements in emission order (AREFs row-major).
     pub instances: Vec<FlatInstance>,
+    /// Number of shapes that were emitted through a *nested* reference
+    /// (depth ≥ 2) and therefore inherit the enclosing top-level
+    /// instance's tag rather than carrying their own placement identity.
+    ///
+    /// The hierarchical decomposition driver treats each tag as one cell
+    /// placement, so geometry counted here is silently merged into its
+    /// enclosing instance — a known approximation for deep SREF chains.
+    /// The counter makes that loss of provenance observable downstream.
+    pub nested_inherited: usize,
 }
 
 /// An affine placement restricted to Manhattan transforms.
@@ -145,7 +154,9 @@ pub fn flatten(library: &GdsLibrary, top: Option<&str>) -> Result<Vec<FlatShape>
 /// reached through a direct SREF child of the top gets that placement's
 /// instance index, an AREF contributes `cols · rows` instances in the
 /// row-major order the grid is expanded, and nested references inherit the
-/// enclosing top-level instance's tag.
+/// enclosing top-level instance's tag. Every shape that inherits a tag
+/// this way (emitted at reference depth ≥ 2) is counted in
+/// [`TaggedFlat::nested_inherited`].
 ///
 /// # Errors
 ///
@@ -343,7 +354,15 @@ fn walk(
                     )?;
                 }
             }
-            _ => emit_geometry(current, index, element, &placement, tag, flat)?,
+            _ => {
+                // Geometry reached below the direct children of the top
+                // structure inherits the enclosing top-level instance's
+                // tag; count it so the provenance loss is observable.
+                if depth >= 2 && tag.is_some() {
+                    flat.nested_inherited += 1;
+                }
+                emit_geometry(current, index, element, &placement, tag, flat)?;
+            }
         }
     }
     Ok(())
@@ -683,5 +702,35 @@ mod tests {
                 Some(4),
             ]
         );
+        // Each of the four PAIR placements emits one LEAF square through a
+        // nested SREF (depth 2) that inherits the PAIR instance's tag.
+        assert_eq!(flat.nested_inherited, 4);
+    }
+
+    #[test]
+    fn top_level_geometry_never_counts_as_nested_inherited() {
+        // Direct SREF children of the top emit at depth 1: their geometry
+        // carries its own instance tag and must not be counted as
+        // inherited provenance.
+        let library = library_with(vec![
+            GdsStruct {
+                name: "LEAF".into(),
+                elements: vec![unit_square(1)],
+            },
+            GdsStruct {
+                name: "TOP".into(),
+                elements: vec![
+                    unit_square(1),
+                    GdsElement::Sref {
+                        name: "LEAF".into(),
+                        strans: GdsStrans::default(),
+                        origin: (40, 0),
+                    },
+                ],
+            },
+        ]);
+        let flat = flatten_tagged(&library, None).expect("flatten");
+        assert_eq!(flat.shapes.len(), 2);
+        assert_eq!(flat.nested_inherited, 0);
     }
 }

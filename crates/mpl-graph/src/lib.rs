@@ -46,6 +46,7 @@ mod gomory_hu;
 mod graph;
 mod maxflow;
 mod partition;
+mod simplify;
 
 pub use biconnected::Biconnectivity;
 pub use clique::{conflict_lower_bound, greedy_disjoint_cliques};
@@ -55,3 +56,4 @@ pub use gomory_hu::GomoryHuTree;
 pub use graph::Graph;
 pub use maxflow::MaxFlow;
 pub use partition::{threshold_components, threshold_components_with, ThresholdScratch};
+pub use simplify::{simplify, Simplification, SimplifyOp};

@@ -20,6 +20,16 @@ pub struct HierStats {
     pub instances: usize,
     /// Distinct cells among those instances.
     pub cells: usize,
+    /// Shapes whose instance tag was *inherited* through a nested
+    /// reference chain (SREF/AREF at depth ≥ 2 below the top cell).
+    ///
+    /// The driver only models one level of hierarchy: geometry emitted by
+    /// a nested reference is silently attributed to the enclosing
+    /// top-level instance, so its per-instance pieces can mix distinct
+    /// sub-cells. A non-zero value flags that approximation; it does not
+    /// affect correctness (reconciliation re-verifies every conflict
+    /// globally), only how much cell-level reuse the splitter can find.
+    pub nested_inherited: usize,
     /// Components whose vertices share one provenance, decomposed whole —
     /// exactly as the flat memoized path would.
     pub resident_components: usize,
@@ -322,6 +332,10 @@ pub fn run_hier_observed(
                 .hierarchy
                 .as_ref()
                 .map_or(0, |hierarchy| hierarchy.cell_count()),
+            nested_inherited: layout_splits
+                .hierarchy
+                .as_ref()
+                .map_or(0, |hierarchy| hierarchy.nested_inherited()),
             resident_components: layout_splits.resident.len(),
             split_components: layout_splits.split.len(),
             ..HierStats::default()
@@ -409,6 +423,10 @@ fn merged_component_stats(
         augmenting_paths: pieces.iter().map(|stats| stats.augmenting_paths).sum(),
         augmenting_path_bound: pieces.iter().map(|stats| stats.augmenting_path_bound).sum(),
         scratch_allocs: pieces.iter().map(|stats| stats.scratch_allocs).sum(),
+        hidden_vertices: pieces.iter().map(|stats| stats.hidden_vertices).sum(),
+        kernel_vertices: pieces.iter().map(|stats| stats.kernel_vertices).sum(),
+        simplify_rounds: pieces.iter().map(|stats| stats.simplify_rounds).sum(),
+        bound_improvements: pieces.iter().map(|stats| stats.bound_improvements).sum(),
         memo_hit: Some(pieces.iter().all(|stats| stats.memo_hit == Some(true))),
     }
 }

@@ -14,7 +14,13 @@
 //!    shape remembers which top-level cell instance placed it, and a
 //!    [`LayoutHierarchy`](mpl_layout::LayoutHierarchy) carries the tags
 //!    into the layout.  Shapes that merge **across** an instance boundary
-//!    lose their tag — they are boundary geometry by definition.
+//!    lose their tag — they are boundary geometry by definition.  Only
+//!    *one* level of hierarchy is modelled: geometry reached through a
+//!    nested SREF/AREF chain (depth ≥ 2) silently inherits the enclosing
+//!    top-level instance's tag, so its pieces can mix distinct sub-cells.
+//!    The approximation is harmless for correctness (step 4 re-verifies
+//!    every conflict globally) but reduces cell-level reuse; it is counted
+//!    in [`HierStats::nested_inherited`] so runs can observe it.
 //! 2. **Split** — components whose vertices share one provenance are
 //!    *resident* and flow through the ordinary batch engine untouched; a
 //!    mixed-provenance component is split into per-instance pieces plus a

@@ -161,6 +161,10 @@ pub struct ExactSolution {
     pub hit_time_limit: bool,
     /// Number of search nodes explored.
     pub nodes: u64,
+    /// Number of clique-expansion steps that strengthened the root lower
+    /// bound past the vertex-disjoint clique cover (see
+    /// [`solve_exact`]'s bound description).
+    pub bound_improvements: u64,
 }
 
 /// How often (in explored nodes) the wall clock is consulted.  Amortising
@@ -183,17 +187,31 @@ struct Searcher<'a> {
     incident: Vec<usize>,
     order: Vec<usize>,
     position: Vec<usize>,
-    /// Greedy clique-cover bookkeeping for the incremental lower bound:
-    /// `clique_of[v]` is the vertex's cover clique (`usize::MAX` when the
-    /// clique is too small to force conflicts), `remaining[q]` counts the
-    /// clique's not-yet-colored members, `clique_counts[q·k + c]` how many
-    /// of its members already wear color `c`, and `clique_lb[q]` the
-    /// clique's current contribution to the lower bound (see
-    /// [`min_fill_conflicts`]).
-    clique_of: Vec<usize>,
+    /// Expanded clique-cover bookkeeping for the incremental lower bound:
+    /// `memberships[member_offsets[v]..member_offsets[v+1]]` are the
+    /// tracked cliques containing `v` (at most two — the expansion's usage
+    /// cap), `remaining[q]` counts a clique's not-yet-colored members,
+    /// `clique_counts[q·k + c]` how many of its members already wear color
+    /// `c`, and `clique_lb[q]` the clique's current contribution to the
+    /// lower bound (see [`min_fill_conflicts`]).
+    member_offsets: Vec<usize>,
+    memberships: Vec<usize>,
     remaining: Vec<usize>,
     clique_counts: Vec<usize>,
     clique_lb: Vec<f64>,
+    /// Overlap corrections: two tracked cliques sharing `s ≥ 2` vertices
+    /// double-count a monochromatic shared pair only when the underlying
+    /// conflict edge is *simple* — a pair backed by parallel edges costs at
+    /// least as much as both cliques claim.  With `e` simple shared pairs
+    /// and `a` of the shared vertices colored, the double count is at most
+    /// `min(e, C(s, 2) − C(a, 2))`, which the bound subtracts.
+    /// `pair_of[v]` is the correction pair a doubly-tracked vertex belongs
+    /// to (`usize::MAX` otherwise); `pair_shared`/`pair_correctable` hold
+    /// `s` and `e`; `pair_assigned[p]` is the current `a`.
+    pair_of: Vec<usize>,
+    pair_shared: Vec<usize>,
+    pair_correctable: Vec<usize>,
+    pair_assigned: Vec<usize>,
     fill_scratch: Vec<usize>,
     best_cost: f64,
     best_colors: Vec<u8>,
@@ -229,7 +247,15 @@ impl Searcher<'_> {
         }
         let vertex = self.order[depth];
         let k = self.instance.k();
-        let clique = self.clique_of[vertex];
+        // A vertex belongs to at most two tracked cliques (the expansion's
+        // usage cap), so its memberships fit a fixed pair of slots.
+        let member_start = self.member_offsets[vertex];
+        let member_count = self.member_offsets[vertex + 1] - member_start;
+        debug_assert!(member_count <= 2);
+        let mut members = [usize::MAX; 2];
+        members[..member_count]
+            .copy_from_slice(&self.memberships[member_start..member_start + member_count]);
+        let pair = self.pair_of[vertex];
 
         // Symmetry breaking: only allow one fresh (so-far unused) color.
         let color_limit = ((max_color_used as usize) + 1).min(k - 1) as u8;
@@ -249,37 +275,48 @@ impl Searcher<'_> {
                     }
                 }
             }
-            // Coloring `vertex` moves it from its cover clique's uncolored
-            // part into color class `color`; the conflicts still forced on
-            // the remaining members are re-bounded with the new class
-            // occupancies (a color-count-aware refinement of the balanced
-            // clique bound).
+            // Coloring `vertex` moves it from each tracked clique's
+            // uncolored part into color class `color`; the conflicts still
+            // forced on the remaining members are re-bounded with the new
+            // class occupancies (a color-count-aware refinement of the
+            // balanced clique bound).  If the vertex is shared by two
+            // cliques of a correction pair, one more shared vertex is now
+            // colored and the pair's double-count allowance shrinks by the
+            // pre-increment assigned count.
             let next_max = max_color_used.max(color);
-            if clique != usize::MAX {
-                let old_lb = self.clique_lb[clique];
-                self.remaining[clique] -= 1;
-                self.clique_counts[clique * k + color as usize] += 1;
-                let refined = self.refined_clique_bound(clique);
-                self.clique_lb[clique] = refined;
-                let child_bound = lower_bound - old_lb + refined;
-                self.search(
-                    depth + 1,
-                    colors,
-                    partial_cost + delta,
-                    child_bound,
-                    next_max,
-                );
-                self.clique_lb[clique] = old_lb;
-                self.clique_counts[clique * k + color as usize] -= 1;
-                self.remaining[clique] += 1;
-            } else {
-                self.search(
-                    depth + 1,
-                    colors,
-                    partial_cost + delta,
-                    lower_bound,
-                    next_max,
-                );
+            let mut child_bound = lower_bound;
+            let mut saved_lb = [0.0f64; 2];
+            for (slot, &q) in members[..member_count].iter().enumerate() {
+                let old_lb = self.clique_lb[q];
+                saved_lb[slot] = old_lb;
+                self.remaining[q] -= 1;
+                self.clique_counts[q * k + color as usize] += 1;
+                let refined = self.refined_clique_bound(q);
+                self.clique_lb[q] = refined;
+                child_bound += refined - old_lb;
+            }
+            if pair != usize::MAX {
+                let s = self.pair_shared[pair];
+                let e = self.pair_correctable[pair];
+                let a = self.pair_assigned[pair];
+                let allowance = |a: usize| e.min(s * (s - 1) / 2 - a * (a - 1) / 2);
+                child_bound += (allowance(a) - allowance(a + 1)) as f64;
+                self.pair_assigned[pair] += 1;
+            }
+            self.search(
+                depth + 1,
+                colors,
+                partial_cost + delta,
+                child_bound,
+                next_max,
+            );
+            if pair != usize::MAX {
+                self.pair_assigned[pair] -= 1;
+            }
+            for (slot, &q) in members[..member_count].iter().enumerate().rev() {
+                self.clique_lb[q] = saved_lb[slot];
+                self.clique_counts[q * k + color as usize] -= 1;
+                self.remaining[q] += 1;
             }
             if self.timed_out {
                 break;
@@ -398,6 +435,105 @@ fn clique_conflict_bound(size: usize, k: usize) -> f64 {
     r as f64 * pairs(q + 1) + (k - r) as f64 * pairs(q)
 }
 
+/// Expands the vertex-disjoint cover toward a (limited) edge clique cover:
+/// each cover clique, largest first, greedily absorbs outside vertices
+/// adjacent to *all* of its members, provided the vertex is in fewer than
+/// two cliques and the conservative net bound gain is strictly positive —
+/// the clique's bound increment minus, for every other clique already
+/// containing the vertex, the number of *simple* edges to the overlap
+/// (each such edge becomes a newly double-counted shared pair; parallel
+/// edges cost at least as much as both cliques claim, so they are free).
+/// Returns the number of accepted expansions.
+///
+/// The usage cap of two cliques per vertex means every conflict edge lies
+/// in at most two tracked cliques, so the pairwise corrections of
+/// [`solve_exact`] account for *all* double counting and the resulting
+/// bound stays admissible.
+fn expand_clique_cover(
+    cover: &mut [Vec<usize>],
+    n: usize,
+    conflict_offsets: &[usize],
+    conflict: &[usize],
+    k: usize,
+    multiplicity: &std::collections::HashMap<(usize, usize), usize>,
+) -> u64 {
+    let mut usage = vec![0u8; n];
+    let mut cliques_of: Vec<[usize; 2]> = vec![[usize::MAX; 2]; n];
+    for (ci, clique) in cover.iter().enumerate() {
+        for &v in clique {
+            cliques_of[v][usage[v] as usize] = ci;
+            usage[v] += 1;
+        }
+    }
+    let mut order: Vec<usize> = (0..cover.len()).collect();
+    order.sort_by_key(|&ci| (std::cmp::Reverse(cover[ci].len()), ci));
+    let mut member_stamp = vec![0u32; n];
+    let mut count_stamp = vec![0u32; n];
+    let mut counts = vec![0usize; n];
+    let mut seen_stamp = vec![0u32; n];
+    let mut stamp = 0u32;
+    let mut seen = 0u32;
+    let mut improvements = 0u64;
+    for &ci in &order {
+        loop {
+            let size = cover[ci].len();
+            stamp += 1;
+            for &m in &cover[ci] {
+                member_stamp[m] = stamp;
+            }
+            // Count, for every outside vertex with remaining clique
+            // capacity, how many *distinct* members it is adjacent to
+            // (parallel edges must not count twice); candidates are the
+            // vertices adjacent to all of them.
+            for &m in &cover[ci] {
+                seen += 1;
+                for &u in &conflict[conflict_offsets[m]..conflict_offsets[m + 1]] {
+                    if member_stamp[u] == stamp || usage[u] >= 2 || seen_stamp[u] == seen {
+                        continue;
+                    }
+                    seen_stamp[u] = seen;
+                    if count_stamp[u] != stamp {
+                        count_stamp[u] = stamp;
+                        counts[u] = 0;
+                    }
+                    counts[u] += 1;
+                }
+            }
+            let bound_gain = clique_conflict_bound(size + 1, k) - clique_conflict_bound(size, k);
+            let mut best: Option<(f64, usize)> = None;
+            for v in 0..n {
+                if count_stamp[v] != stamp || counts[v] != size {
+                    continue;
+                }
+                let mut penalty = 0.0;
+                for &other in cliques_of[v].iter().take(usage[v] as usize) {
+                    penalty += cover[other]
+                        .iter()
+                        .filter(|&&m| {
+                            member_stamp[m] == stamp
+                                && multiplicity
+                                    .get(&(v.min(m), v.max(m)))
+                                    .is_none_or(|&count| count == 1)
+                        })
+                        .count() as f64;
+                }
+                let gain = bound_gain - penalty;
+                if gain > 1e-9 && best.is_none_or(|(best_gain, _)| gain > best_gain + 1e-9) {
+                    best = Some((gain, v));
+                }
+            }
+            let Some((_, v)) = best else {
+                break;
+            };
+            cover[ci].push(v);
+            cliques_of[v][usage[v] as usize] = ci;
+            usage[v] += 1;
+            improvements += 1;
+        }
+    }
+    improvements
+}
+
 /// Solves a [`ColoringInstance`] to proven optimality (or to the time
 /// limit) by depth-first branch and bound.
 ///
@@ -412,13 +548,22 @@ fn clique_conflict_bound(size: usize, k: usize) -> f64 {
 ///   branch level; with the first clique branched first, the clique's
 ///   vertices pin the color classes and the `K!` color permutations are
 ///   never re-explored.
-/// * **Incremental clique-cover lower bound** — every clique of the cover
-///   with more vertices than colors forces conflicts among its uncolored
-///   members; only the branching vertex's clique is re-bounded per color
+/// * **Incremental expanded-clique-cover lower bound** — the greedy
+///   vertex-disjoint cover is first *expanded* toward an edge clique
+///   cover: each clique absorbs outside vertices adjacent to all of its
+///   members (at most two cliques per vertex) whenever that strictly
+///   raises the bound net of overlap double counting.  Every clique with
+///   more vertices than colors then forces conflicts among its uncolored
+///   members; only the branching vertex's cliques are re-bounded per color
 ///   branch (O(k · remaining) via the smallest-class-first fill
-///   `min_fill_conflicts` — cliques are small after division) and the
-///   result is added to the accumulated cost
-///   before comparing against the incumbent.
+///   `min_fill_conflicts` — cliques are small after division), pairs of
+///   cliques sharing `s ≥ 2` vertices subtract their double-count
+///   allowance `min(e, C(s, 2) − C(a, 2))` (with `e` the *simple*-edge
+///   shared pairs — parallel edges pay per copy and are never
+///   double-counted), and the result is added to the accumulated cost
+///   before comparing against the incumbent.  The number of accepted
+///   expansions is reported as
+///   [`bound_improvements`](ExactSolution::bound_improvements).
 /// * **Greedy warm start** — the incumbent starts at a greedy coloring (or
 ///   the caller's [`ExactOptions::warm_start`]), so conflict-free
 ///   components are proven optimal almost immediately.
@@ -437,6 +582,7 @@ pub fn solve_exact(instance: &ColoringInstance, options: &ExactOptions) -> Exact
             proven_optimal: true,
             hit_time_limit: false,
             nodes: 0,
+            bound_improvements: 0,
         };
     }
     let k = instance.k();
@@ -485,9 +631,27 @@ pub fn solve_exact(instance: &ColoringInstance, options: &ExactOptions) -> Exact
     }
     let conflict_degree = |v: usize| conflict_offsets[v + 1] - conflict_offsets[v];
 
-    // Greedy clique cover: the largest clique seeds the branch order, and
-    // every clique bigger than K contributes to the lower bound.
-    let cover = greedy_clique_cover(n, &conflict_offsets, &conflict);
+    // Greedy clique cover, then clique expansion toward an edge clique
+    // cover: the largest clique seeds the branch order, and every clique
+    // bigger than K contributes to the lower bound.
+    let mut cover = greedy_clique_cover(n, &conflict_offsets, &conflict);
+    // Conflict-edge multiplicities: a pair connected by parallel edges pays
+    // once per edge when monochromatic, so two cliques both claiming it do
+    // not double-count — the expansion and the pair corrections below both
+    // need to know which shared pairs are simple.
+    let mut multiplicity: std::collections::HashMap<(usize, usize), usize> =
+        std::collections::HashMap::new();
+    for &(u, v) in instance.conflict_edges() {
+        *multiplicity.entry((u.min(v), u.max(v))).or_insert(0) += 1;
+    }
+    let bound_improvements = expand_clique_cover(
+        &mut cover,
+        n,
+        &conflict_offsets,
+        &conflict,
+        k,
+        &multiplicity,
+    );
     let largest = cover
         .iter()
         .enumerate()
@@ -555,22 +719,101 @@ pub fn solve_exact(instance: &ColoringInstance, options: &ExactOptions) -> Exact
     }
 
     // Lower-bound bookkeeping: only cliques that can force conflicts (more
-    // vertices than colors) are tracked.
-    let mut clique_of = vec![usize::MAX; n];
+    // vertices than colors) are tracked.  Memberships are a flat CSR — the
+    // expansion caps every vertex at two cliques.
+    let mut member_counts = vec![0usize; n];
     let mut remaining = Vec::new();
     let mut clique_lb = Vec::new();
+    let mut tracked: Vec<&[usize]> = Vec::new();
     for clique in &cover {
         if clique.len() > k {
-            let id = remaining.len();
+            tracked.push(clique);
             for &v in clique {
-                clique_of[v] = id;
+                member_counts[v] += 1;
             }
             remaining.push(clique.len());
             clique_lb.push(clique_conflict_bound(clique.len(), k));
         }
     }
+    let mut member_offsets = vec![0usize; n + 1];
+    for v in 0..n {
+        member_offsets[v + 1] = member_offsets[v] + member_counts[v];
+    }
+    let mut memberships = vec![0usize; member_offsets[n]];
+    {
+        let mut cursor = member_offsets.clone();
+        for (id, clique) in tracked.iter().enumerate() {
+            for &v in *clique {
+                memberships[cursor[v]] = id;
+                cursor[v] += 1;
+            }
+        }
+    }
+    // Overlap-correction pairs: tracked cliques sharing `s ≥ 2` vertices
+    // may double-count uncolored shared pairs, but only the pairs whose
+    // conflict edge is *simple* — a parallel pair costs one unit per edge
+    // copy when monochromatic, covering both cliques' claims.  The root
+    // bound subtracts `min(e, C(s, 2))` per pair, where `e` counts the
+    // simple shared pairs (single-vertex overlaps share no edge and need
+    // no correction).  Each vertex is in at most two tracked cliques, so
+    // it belongs to at most one pair.
+    let mut shared: std::collections::HashMap<(usize, usize), Vec<usize>> =
+        std::collections::HashMap::new();
+    for v in 0..n {
+        if member_counts[v] == 2 {
+            let a = memberships[member_offsets[v]];
+            let b = memberships[member_offsets[v] + 1];
+            shared.entry((a.min(b), a.max(b))).or_default().push(v);
+        }
+    }
+    let correctable_of = |members: &[usize]| -> usize {
+        let mut count = 0usize;
+        for (index, &u) in members.iter().enumerate() {
+            for &v in &members[index + 1..] {
+                if multiplicity
+                    .get(&(u.min(v), u.max(v)))
+                    .is_none_or(|&edges| edges == 1)
+                {
+                    count += 1;
+                }
+            }
+        }
+        count
+    };
+    let mut pair_keys: Vec<(usize, usize)> = shared
+        .iter()
+        .filter(|&(_, members)| members.len() >= 2 && correctable_of(members) > 0)
+        .map(|(&key, _)| key)
+        .collect();
+    pair_keys.sort_unstable();
+    let pair_ids: std::collections::HashMap<(usize, usize), usize> = pair_keys
+        .iter()
+        .enumerate()
+        .map(|(id, &key)| (key, id))
+        .collect();
+    let pair_shared: Vec<usize> = pair_keys.iter().map(|key| shared[key].len()).collect();
+    let pair_correctable: Vec<usize> = pair_keys
+        .iter()
+        .map(|key| correctable_of(&shared[key]))
+        .collect();
+    let pair_correction: f64 = pair_shared
+        .iter()
+        .zip(&pair_correctable)
+        .map(|(&s, &e)| e.min(s * (s - 1) / 2) as f64)
+        .sum();
+    let mut pair_of = vec![usize::MAX; n];
+    for v in 0..n {
+        if member_counts[v] == 2 {
+            let a = memberships[member_offsets[v]];
+            let b = memberships[member_offsets[v] + 1];
+            if let Some(&pair) = pair_ids.get(&(a.min(b), a.max(b))) {
+                pair_of[v] = pair;
+            }
+        }
+    }
+    let pair_assigned = vec![0usize; pair_keys.len()];
     let clique_counts = vec![0usize; remaining.len() * k];
-    let initial_bound: f64 = clique_lb.iter().sum();
+    let initial_bound: f64 = clique_lb.iter().sum::<f64>() - pair_correction;
 
     // Incumbent: warm start if provided, otherwise a greedy coloring in the
     // branch order.
@@ -612,10 +855,15 @@ pub fn solve_exact(instance: &ColoringInstance, options: &ExactOptions) -> Exact
         incident,
         order,
         position,
-        clique_of,
+        member_offsets,
+        memberships,
         remaining,
         clique_counts,
         clique_lb,
+        pair_of,
+        pair_shared,
+        pair_correctable,
+        pair_assigned,
         fill_scratch: Vec::with_capacity(k),
         best_cost: warm_cost + 1e-9,
         best_colors: warm.clone(),
@@ -636,6 +884,7 @@ pub fn solve_exact(instance: &ColoringInstance, options: &ExactOptions) -> Exact
         proven_optimal: !searcher.timed_out,
         hit_time_limit: searcher.timed_out,
         nodes: searcher.nodes,
+        bound_improvements,
     }
 }
 
@@ -895,14 +1144,46 @@ mod tests {
     }
 
     #[test]
-    fn hit_time_limit_is_the_negation_of_proven_optimal() {
-        // two-K7s is hard enough to outlive a zero budget past the first
-        // 1024-node clock check.
+    fn overlapping_k7s_close_at_the_root() {
+        // Two K7s sharing vertices {5, 6}: a vertex-disjoint cover sees at
+        // best one K7 plus a disjoint K5 (bound 3 + 1 = 4, or 5 after one
+        // expansion), while the optimum is 6 — the shared pair's edge is
+        // added once per clique, so a monochromatic (5, 6) pays twice.
+        // The expansion absorbs both shared vertices into the second
+        // clique (the parallel edge is never double-counted, so the
+        // overlap penalty is zero) and the root bound reaches the optimum:
+        // the search closes immediately.  Before the expanded-cover bound
+        // this instance expanded roughly 2·10^5 nodes.
         let mut instance = ColoringInstance::new(12, 4);
         for clique in [(0..7).collect::<Vec<_>>(), (5..12).collect::<Vec<_>>()] {
             for (position, &u) in clique.iter().enumerate() {
                 for &v in &clique[position + 1..] {
                     instance.add_conflict(u.min(v), u.max(v));
+                }
+            }
+        }
+        let solution = solve_exact(&instance, &ExactOptions::default());
+        assert!(solution.proven_optimal);
+        assert_eq!(solution.conflicts, 6);
+        assert_eq!(solution.nodes, 1);
+        assert!(solution.bound_improvements >= 2);
+    }
+
+    #[test]
+    fn hit_time_limit_is_the_negation_of_proven_optimal() {
+        // A dense pseudo-random graph is hard enough to outlive a zero
+        // budget past the first 1024-node clock check (two overlapping K7s
+        // no longer qualify — the expanded clique cover closes them at the
+        // root).
+        let mut instance = ColoringInstance::new(18, 4);
+        let mut state = 0x243F6A8885A308D3u64;
+        for u in 0..18 {
+            for v in (u + 1)..18 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if (state >> 33) % 1000 < 550 {
+                    instance.add_conflict(u, v);
                 }
             }
         }

@@ -37,6 +37,7 @@ pub struct CellInstance {
 pub struct LayoutHierarchy {
     instances: Vec<CellInstance>,
     shape_origin: Vec<Option<usize>>,
+    nested_inherited: usize,
 }
 
 impl LayoutHierarchy {
@@ -57,7 +58,33 @@ impl LayoutHierarchy {
         Self {
             instances,
             shape_origin,
+            nested_inherited: 0,
         }
+    }
+
+    /// Records how many flattened shapes inherited their tag from an
+    /// enclosing top-level instance because they were emitted through a
+    /// *nested* reference (SREF/AREF at depth ≥ 2 below the top cell).
+    ///
+    /// The hierarchical driver treats every tag as a direct placement, so
+    /// nested chains are silently merged into the enclosing instance; the
+    /// counter keeps that approximation observable. See
+    /// [`nested_inherited`](Self::nested_inherited).
+    #[must_use]
+    pub fn with_nested_inherited(mut self, count: usize) -> Self {
+        self.nested_inherited = count;
+        self
+    }
+
+    /// Number of shapes whose tag was inherited from the enclosing
+    /// top-level instance through a nested reference chain (depth ≥ 2).
+    ///
+    /// Zero both for genuinely two-level layouts and for hierarchies built
+    /// without provenance (e.g. synthetic fixtures); a non-zero value
+    /// flags that per-instance pieces may mix geometry from distinct
+    /// sub-cells.
+    pub fn nested_inherited(&self) -> usize {
+        self.nested_inherited
     }
 
     /// The expanded top-level instance list, in flatten emission order.
@@ -127,6 +154,14 @@ mod tests {
         assert_eq!(hier.origin_of(ShapeId(99)), None);
         assert_eq!(hier.tagged_shape_count(), 3);
         assert!(!hier.is_trivial());
+        assert_eq!(hier.nested_inherited(), 0);
+    }
+
+    #[test]
+    fn nested_inherited_counter_round_trips() {
+        let hier =
+            LayoutHierarchy::new(vec![inst("CELL", 0, 0)], vec![Some(0)]).with_nested_inherited(7);
+        assert_eq!(hier.nested_inherited(), 7);
     }
 
     #[test]

@@ -186,6 +186,10 @@ pub struct HierPayload {
     pub instances: usize,
     /// Distinct cells those instances reference.
     pub cells: usize,
+    /// Shapes whose tag was inherited from the enclosing top-level
+    /// instance through a nested reference chain (depth ≥ 2). Decodes as
+    /// zero when absent, so frames from older servers keep parsing.
+    pub nested_inherited: usize,
     /// Single-provenance components decomposed through the plain engine.
     pub resident_components: usize,
     /// Mixed-provenance components split along instance seams.
@@ -238,6 +242,19 @@ pub struct ResultPayload {
     /// Same-mask spacing violations found by server-side re-verification
     /// (present only when the submission set `verify`).
     pub spacing_violations: Option<usize>,
+    /// Vertices hidden by iterated graph simplification, summed over the
+    /// layout's components (zero when simplification found nothing, or on
+    /// frames from servers predating the counter).
+    pub hidden_vertices: usize,
+    /// Kernel vertices handed to the engines after simplification, summed
+    /// over components that were simplified.
+    pub kernel_vertices: usize,
+    /// Hide/cut rounds run by iterated simplification, summed over
+    /// components.
+    pub simplify_rounds: usize,
+    /// Clique-expansion steps that strengthened the exact engine's lower
+    /// bound, summed over components.
+    pub bound_improvements: u64,
     /// Components stamped from the server's shared memo cache (a cache hit
     /// or an in-batch duplicate).  `None` when the run had no cache.
     pub memo_hits: Option<usize>,
@@ -725,6 +742,13 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
             let spacing_violations = optional_count("spacing_violations")?;
             let memo_hits = optional_count("memo_hits")?;
             let memo_misses = optional_count("memo_misses")?;
+            // Absent counters (frames from older servers) decode as zero.
+            let counter =
+                |key: &str| -> Result<usize, ServeError> { Ok(optional_count(key)?.unwrap_or(0)) };
+            let hidden_vertices = counter("hidden_vertices")?;
+            let kernel_vertices = counter("kernel_vertices")?;
+            let simplify_rounds = counter("simplify_rounds")?;
+            let bound_improvements = counter("bound_improvements")? as u64;
             let tiles = match json.get("tiles") {
                 None | Some(Json::Null) => None,
                 Some(value) => Some(TilePayload {
@@ -745,6 +769,11 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
                 Some(value) => Some(HierPayload {
                     instances: usize_field(value, "instances")?,
                     cells: usize_field(value, "cells")?,
+                    // Absent on frames from older servers: decode as zero.
+                    nested_inherited: match value.get("nested_inherited") {
+                        None | Some(Json::Null) => 0,
+                        Some(_) => usize_field(value, "nested_inherited")?,
+                    },
                     resident_components: usize_field(value, "resident_components")?,
                     split_components: usize_field(value, "split_components")?,
                     instance_pieces: usize_field(value, "instance_pieces")?,
@@ -768,6 +797,10 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
                 cost: f64_field(json, "cost")?,
                 color_seconds: f64_field(json, "color_seconds")?,
                 colors,
+                hidden_vertices,
+                kernel_vertices,
+                simplify_rounds,
+                bound_improvements,
                 spacing_violations,
                 memo_hits,
                 memo_misses,
@@ -861,6 +894,22 @@ pub fn encode_response(response: &Response) -> Json {
                 ("stitches", Json::Number(payload.stitches as f64)),
                 ("cost", Json::Number(payload.cost)),
                 ("color_seconds", Json::Number(payload.color_seconds)),
+                (
+                    "hidden_vertices",
+                    Json::Number(payload.hidden_vertices as f64),
+                ),
+                (
+                    "kernel_vertices",
+                    Json::Number(payload.kernel_vertices as f64),
+                ),
+                (
+                    "simplify_rounds",
+                    Json::Number(payload.simplify_rounds as f64),
+                ),
+                (
+                    "bound_improvements",
+                    Json::Number(payload.bound_improvements as f64),
+                ),
             ];
             if let Some(violations) = payload.spacing_violations {
                 pairs.push(("spacing_violations", Json::Number(violations as f64)));
@@ -912,6 +961,10 @@ pub fn encode_response(response: &Response) -> Json {
                     Json::object(vec![
                         ("instances", Json::Number(hierarchy.instances as f64)),
                         ("cells", Json::Number(hierarchy.cells as f64)),
+                        (
+                            "nested_inherited",
+                            Json::Number(hierarchy.nested_inherited as f64),
+                        ),
                         (
                             "resident_components",
                             Json::Number(hierarchy.resident_components as f64),
@@ -1069,6 +1122,10 @@ mod tests {
             cost: 1.2,
             color_seconds: 0.25,
             colors: vec![0, 3, 2, 1],
+            hidden_vertices: 2,
+            kernel_vertices: 2,
+            simplify_rounds: 1,
+            bound_improvements: 3,
             spacing_violations: Some(1),
             memo_hits: Some(1),
             memo_misses: Some(1),
@@ -1099,6 +1156,10 @@ mod tests {
             cost: 0.4,
             color_seconds: 0.1,
             colors: vec![0, 1, 2, 3],
+            hidden_vertices: 64,
+            kernel_vertices: 32,
+            simplify_rounds: 2,
+            bound_improvements: 0,
             spacing_violations: Some(0),
             memo_hits: Some(15),
             memo_misses: Some(1),
@@ -1106,6 +1167,7 @@ mod tests {
             hierarchy: Some(HierPayload {
                 instances: 16,
                 cells: 1,
+                nested_inherited: 3,
                 resident_components: 0,
                 split_components: 1,
                 instance_pieces: 16,
@@ -1129,12 +1191,48 @@ mod tests {
             cost: 0.0,
             color_seconds: 0.0,
             colors: vec![0],
+            hidden_vertices: 1,
+            kernel_vertices: 0,
+            simplify_rounds: 1,
+            bound_improvements: 0,
             spacing_violations: None,
             memo_hits: None,
             memo_misses: None,
             tiles: None,
             hierarchy: None,
         }));
+    }
+
+    #[test]
+    fn result_frames_without_simplify_counters_decode_as_zero() {
+        // Frames from servers predating the simplification counters omit
+        // them entirely; they must decode as zeros, not errors.
+        let json = Json::parse(
+            r#"{"type":"result","id":"8","layout":"plain","k":4,"algorithm":"Linear","executor":"serial","vertices":1,"components":1,"conflicts":0,"stitches":0,"cost":0.0,"color_seconds":0.0,"colors":[0]}"#,
+        )
+        .expect("valid JSON");
+        let Response::Result(payload) = decode_response(&json).expect("decodes") else {
+            panic!("expected a result frame");
+        };
+        assert_eq!(payload.hidden_vertices, 0);
+        assert_eq!(payload.kernel_vertices, 0);
+        assert_eq!(payload.simplify_rounds, 0);
+        assert_eq!(payload.bound_improvements, 0);
+    }
+
+    #[test]
+    fn hierarchy_objects_without_nested_inherited_decode_as_zero() {
+        // Same back-compat rule inside the nested hierarchy object.
+        let json = Json::parse(
+            r#"{"type":"result","id":"9","layout":"h","k":4,"algorithm":"Linear","executor":"serial","vertices":1,"components":1,"conflicts":0,"stitches":0,"cost":0.0,"color_seconds":0.0,"colors":[0],"hierarchy":{"instances":2,"cells":1,"resident_components":1,"split_components":0,"instance_pieces":0,"boundary_vertices":0,"permuted_pieces":0,"recolored_vertices":0,"cross_conflicts_before":0,"cross_conflicts_after":0}}"#,
+        )
+        .expect("valid JSON");
+        let Response::Result(payload) = decode_response(&json).expect("decodes") else {
+            panic!("expected a result frame");
+        };
+        let hierarchy = payload.hierarchy.expect("hierarchy present");
+        assert_eq!(hierarchy.instances, 2);
+        assert_eq!(hierarchy.nested_inherited, 0);
     }
 
     #[test]

@@ -808,6 +808,10 @@ fn run_batch(
             cost: result.cost(),
             color_seconds: result.color_time().as_secs_f64(),
             colors: result.colors().to_vec(),
+            hidden_vertices: result.hidden_vertices(),
+            kernel_vertices: result.kernel_vertices(),
+            simplify_rounds: result.simplify_rounds(),
+            bound_improvements: result.bound_improvements(),
             spacing_violations,
             memo_hits: result.memo_hits(),
             memo_misses: result.memo_misses(),
@@ -823,6 +827,7 @@ fn hier_payload(stats: &HierStats) -> HierPayload {
     HierPayload {
         instances: stats.instances,
         cells: stats.cells,
+        nested_inherited: stats.nested_inherited,
         resident_components: stats.resident_components,
         split_components: stats.split_components,
         instance_pieces: stats.instance_pieces,

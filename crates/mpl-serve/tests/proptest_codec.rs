@@ -145,6 +145,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         cost: cost_step as f64 * 0.125,
                         color_seconds: cost_step as f64 * 0.0625,
                         colors: colors.into_iter().map(|color| color as u8).collect(),
+                        hidden_vertices: vertices / 3,
+                        kernel_vertices: vertices - vertices / 3,
+                        simplify_rounds: code,
+                        bound_improvements: conflicts as u64,
                         spacing_violations: if code % 3 == 0 { None } else { Some(code) },
                         memo_hits: if code % 2 == 0 { None } else { Some(conflicts) },
                         memo_misses: if code % 2 == 0 { None } else { Some(stitches) },
@@ -170,6 +174,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                             Some(mpl_serve::HierPayload {
                                 instances: vertices,
                                 cells: components.max(1),
+                                nested_inherited: vertices / 4,
                                 resident_components: stitches,
                                 split_components: conflicts,
                                 instance_pieces: vertices / 2,

@@ -453,6 +453,10 @@ fn merged_component_stats(
         augmenting_paths: pieces.iter().map(|stats| stats.augmenting_paths).sum(),
         augmenting_path_bound: pieces.iter().map(|stats| stats.augmenting_path_bound).sum(),
         scratch_allocs: pieces.iter().map(|stats| stats.scratch_allocs).sum(),
+        hidden_vertices: pieces.iter().map(|stats| stats.hidden_vertices).sum(),
+        kernel_vertices: pieces.iter().map(|stats| stats.kernel_vertices).sum(),
+        simplify_rounds: pieces.iter().map(|stats| stats.simplify_rounds).sum(),
+        bound_improvements: pieces.iter().map(|stats| stats.bound_improvements).sum(),
         memo_hit: memo_attached.then(|| pieces.iter().all(|stats| stats.memo_hit == Some(true))),
     }
 }

@@ -600,6 +600,17 @@ fn render_json(
         "  \"color_seconds\": {},\n",
         result.color_time().as_secs_f64()
     ));
+    out.push_str(&format!(
+        "  \"simplify\": {{\"hidden_vertices\": {}, \"kernel_vertices\": {}, \
+         \"rounds\": {}}},\n",
+        result.hidden_vertices(),
+        result.kernel_vertices(),
+        result.simplify_rounds()
+    ));
+    out.push_str(&format!(
+        "  \"bound_improvements\": {},\n",
+        result.bound_improvements()
+    ));
     if let Some(stats) = tile {
         out.push_str(&format!(
             "  \"tiles\": {{\"grid_x\": {}, \"grid_y\": {}, \"tiles\": {}, \
@@ -622,12 +633,14 @@ fn render_json(
     if let Some(stats) = hier {
         out.push_str(&format!(
             "  \"hierarchy\": {{\"instances\": {}, \"cells\": {}, \
+             \"nested_inherited\": {}, \
              \"resident_components\": {}, \"split_components\": {}, \
              \"instance_pieces\": {}, \"boundary_vertices\": {}, \
              \"permuted_pieces\": {}, \"recolored_vertices\": {}, \
              \"cross_conflicts_before\": {}, \"cross_conflicts_after\": {}}},\n",
             stats.instances,
             stats.cells,
+            stats.nested_inherited,
             stats.resident_components,
             stats.split_components,
             stats.instance_pieces,
@@ -799,6 +812,13 @@ fn process_layout(
                 stats.instance_pieces,
                 stats.boundary_vertices
             );
+            if stats.nested_inherited > 0 {
+                println!(
+                    "hierarchy: {} shapes inherited their tag through nested \
+                     references (attributed to the enclosing instance)",
+                    stats.nested_inherited
+                );
+            }
             println!(
                 "reconcile: {} pieces permuted, {} vertices recolored, \
                  cross-instance conflicts {} -> {}",
