@@ -61,7 +61,7 @@ fn main() -> ExitCode {
     let usage = "usage: workload [--k N] [--threads N] [--layer L[:D] ...] \
                  [--batch [--memo | --no-memo] [--memo-capacity N] \
                  [--tile-size NM [--halo NM]] [--hier] \
-                 | --serve ADDR [--executor serial|pool]] \
+                 | --serve ADDR [--executor serial|pool] [--deadline-ms MS]] \
                  [--algorithm NAME] [--bench-json PATH] FILE [FILE ...]";
     let mut k = 4usize;
     let mut layer_specs: Vec<String> = Vec::new();
@@ -76,6 +76,7 @@ fn main() -> ExitCode {
     let mut tile_size: Option<i64> = None;
     let mut halo: Option<i64> = None;
     let mut hier = false;
+    let mut deadline_ms: Option<u64> = None;
     let mut args = rest.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -133,6 +134,13 @@ fn main() -> ExitCode {
                 }
             },
             "--hier" => hier = true,
+            "--deadline-ms" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(value)) => deadline_ms = Some(value),
+                _ => {
+                    eprintln!("--deadline-ms requires an integer millisecond value");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--algorithm" => match args.next().as_deref().map(ColorAlgorithm::from_cli_name) {
                 Some(Ok(value)) => algorithm = Some(value),
                 Some(Err(message)) => {
@@ -168,6 +176,10 @@ fn main() -> ExitCode {
     }
     if serve.is_none() && executor_choice.is_some() {
         eprintln!("--executor only applies to --serve mode (use --threads locally)");
+        return ExitCode::FAILURE;
+    }
+    if serve.is_none() && deadline_ms.is_some() {
+        eprintln!("--deadline-ms only applies to --serve mode");
         return ExitCode::FAILURE;
     }
     let executor_choice = executor_choice.unwrap_or(ExecutorChoice::Pool);
@@ -277,13 +289,14 @@ fn main() -> ExitCode {
             layouts.len(),
             executor_choice.as_str()
         );
-        let report = match run_serve_bench(&addr, &layouts, k, algorithm, executor_choice) {
-            Ok(report) => report,
-            Err(message) => {
-                eprintln!("{message}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let report =
+            match run_serve_bench(&addr, &layouts, k, algorithm, executor_choice, deadline_ms) {
+                Ok(report) => report,
+                Err(message) => {
+                    eprintln!("{message}");
+                    return ExitCode::FAILURE;
+                }
+            };
         println!("\nServe workload (K = {k}, {})", report.algorithm);
         println!(
             "{:<24} {:>8} {:>9} {:>6} {:>6} {:>9}",
@@ -291,13 +304,18 @@ fn main() -> ExitCode {
         );
         for row in &report.requests {
             println!(
-                "{:<24} {:>8} {:>9} {:>6} {:>6} {:>9.3}",
+                "{:<24} {:>8} {:>9} {:>6} {:>6} {:>9.3}{}",
                 row.name,
                 row.vertices,
                 row.components,
                 row.conflicts,
                 row.stitches,
-                row.color_seconds
+                row.color_seconds,
+                if row.deadline_exceeded {
+                    format!("  [deadline exceeded, {} skipped]", row.components_skipped)
+                } else {
+                    String::new()
+                }
             );
         }
         println!(
@@ -309,6 +327,16 @@ fn main() -> ExitCode {
             report.requests_per_sec(),
             report.components_per_sec()
         );
+        if report.deadline_ms.is_some() {
+            println!(
+                "deadlines: {} of {} requests missed the {} ms deadline \
+                 (worst client-observed overrun {:.3}s)",
+                report.deadline_miss_count(),
+                report.requests.len(),
+                report.deadline_ms.unwrap_or(0),
+                report.max_deadline_overrun_seconds()
+            );
+        }
         if let Some(path) = bench_json {
             if let Err(error) = std::fs::write(&path, report.to_json()) {
                 eprintln!("cannot write {path}: {error}");

@@ -36,6 +36,15 @@ pub struct ServeRequestStats {
     /// Seconds from batch start until the layout finished coloring, as
     /// reported by the server.
     pub color_seconds: f64,
+    /// `true` when the submission's deadline expired and the row is a
+    /// partial result.
+    pub deadline_exceeded: bool,
+    /// Components whose coloring was skipped (deadline expired before they
+    /// started); zero on complete rows.
+    pub components_skipped: usize,
+    /// Client-observed seconds from the first submit until this row's
+    /// terminal frame arrived.
+    pub terminal_seconds: f64,
 }
 
 /// The result of one serve benchmark: per-request rows plus aggregate
@@ -50,6 +59,9 @@ pub struct ServeBenchReport {
     pub algorithm: String,
     /// The executor choice requested for every submission.
     pub executor: String,
+    /// The soft deadline (milliseconds) carried on every submission, when
+    /// one was requested.
+    pub deadline_ms: Option<u64>,
     /// Wall-clock seconds from the first submit until the last result,
     /// as observed by the client.
     pub wall_seconds: f64,
@@ -73,6 +85,30 @@ impl ServeBenchReport {
         self.component_count() as f64 / self.wall_seconds.max(1e-12)
     }
 
+    /// Requests whose deadline expired (their rows are partial results).
+    pub fn deadline_miss_count(&self) -> usize {
+        self.requests
+            .iter()
+            .filter(|row| row.deadline_exceeded)
+            .count()
+    }
+
+    /// Worst client-observed overrun: how long after the soft deadline a
+    /// deadline-missing row's partial result arrived, in seconds.  An
+    /// upper bound on the server's cancellation latency (it includes queue
+    /// wait and socket time); 0 when nothing missed.
+    pub fn max_deadline_overrun_seconds(&self) -> f64 {
+        let Some(deadline_ms) = self.deadline_ms else {
+            return 0.0;
+        };
+        let deadline_seconds = deadline_ms as f64 / 1e3;
+        self.requests
+            .iter()
+            .filter(|row| row.deadline_exceeded)
+            .map(|row| (row.terminal_seconds - deadline_seconds).max(0.0))
+            .fold(0.0, f64::max)
+    }
+
     /// Renders the machine-readable report (schema `mpl-bench/serve-v1`).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
@@ -87,6 +123,9 @@ impl ServeBenchReport {
             "  \"executor\": \"{}\",\n",
             json_escape(&self.executor)
         ));
+        if let Some(deadline_ms) = self.deadline_ms {
+            out.push_str(&format!("  \"deadline_ms\": {deadline_ms},\n"));
+        }
         out.push_str("  \"batch\": {\n");
         out.push_str(&format!("    \"requests\": {},\n", self.requests.len()));
         out.push_str(&format!(
@@ -99,8 +138,16 @@ impl ServeBenchReport {
             self.requests_per_sec()
         ));
         out.push_str(&format!(
-            "    \"components_per_sec\": {}\n",
+            "    \"components_per_sec\": {},\n",
             self.components_per_sec()
+        ));
+        out.push_str(&format!(
+            "    \"deadline_misses\": {},\n",
+            self.deadline_miss_count()
+        ));
+        out.push_str(&format!(
+            "    \"max_deadline_overrun_seconds\": {}\n",
+            self.max_deadline_overrun_seconds()
         ));
         out.push_str("  },\n");
         out.push_str("  \"requests\": [\n");
@@ -112,7 +159,16 @@ impl ServeBenchReport {
             out.push_str(&format!("\"components\": {}, ", row.components));
             out.push_str(&format!("\"conflicts\": {}, ", row.conflicts));
             out.push_str(&format!("\"stitches\": {}, ", row.stitches));
-            out.push_str(&format!("\"color_seconds\": {}}}", row.color_seconds));
+            out.push_str(&format!("\"color_seconds\": {}, ", row.color_seconds));
+            out.push_str(&format!(
+                "\"deadline_exceeded\": {}, ",
+                row.deadline_exceeded
+            ));
+            out.push_str(&format!(
+                "\"components_skipped\": {}, ",
+                row.components_skipped
+            ));
+            out.push_str(&format!("\"terminal_seconds\": {}}}", row.terminal_seconds));
             out.push_str(if index + 1 < self.requests.len() {
                 ",\n"
             } else {
@@ -127,16 +183,22 @@ impl ServeBenchReport {
 /// Streams `layouts` to the server at `addr` as one wave of `submit`
 /// requests and waits for every result.
 ///
+/// With `deadline_ms` every submission carries that soft deadline;
+/// deadline-missing requests come back as flagged partial-result rows and
+/// feed the report's deadline-miss and overrun columns.
+///
 /// # Errors
 ///
 /// A human-readable message on connection failures, protocol violations,
-/// or any in-band error response.
+/// any in-band error response, or a `cancelled` terminal frame (this
+/// bench never cancels, so one means outside interference).
 pub fn run_serve_bench(
     addr: &str,
     layouts: &[TimedLayout],
     k: usize,
     algorithm: ColorAlgorithm,
     executor: ExecutorChoice,
+    deadline_ms: Option<u64>,
 ) -> Result<ServeBenchReport, String> {
     let mut client =
         Client::connect(addr).map_err(|error| format!("cannot connect to {addr}: {error}"))?;
@@ -149,6 +211,7 @@ pub fn run_serve_bench(
         submit.k = k;
         submit.algorithm = algorithm;
         submit.executor = executor;
+        submit.deadline_ms = deadline_ms;
         client
             .send(&Request::Submit(submit))
             .map_err(|error| format!("cannot send to {addr}: {error}"))?;
@@ -176,8 +239,16 @@ pub fn run_serve_bench(
                     conflicts: payload.conflicts,
                     stitches: payload.stitches,
                     color_seconds: payload.color_seconds,
+                    deadline_exceeded: payload.deadline_exceeded,
+                    components_skipped: payload.components_skipped,
+                    terminal_seconds: bench_start.elapsed().as_secs_f64(),
                 });
                 remaining -= 1;
+            }
+            Response::Cancelled { id, .. } => {
+                return Err(format!(
+                    "request {id:?} was cancelled mid-bench (another client interfered?)"
+                ));
             }
             Response::Error { id, code, message } => {
                 return Err(format!(
@@ -195,6 +266,7 @@ pub fn run_serve_bench(
         k,
         algorithm: algorithm.name().to_string(),
         executor: executor.as_str().to_string(),
+        deadline_ms,
         wall_seconds,
         requests: rows
             .into_iter()
@@ -231,6 +303,7 @@ mod tests {
             4,
             ColorAlgorithm::Linear,
             ExecutorChoice::Pool,
+            None,
         )
         .expect("bench succeeds");
         assert_eq!(report.requests.len(), 2);
@@ -240,6 +313,8 @@ mod tests {
         assert!(report.wall_seconds > 0.0);
         assert!(report.requests_per_sec() > 0.0);
         assert!(report.components_per_sec() >= report.requests_per_sec());
+        assert_eq!(report.deadline_miss_count(), 0);
+        assert_eq!(report.max_deadline_overrun_seconds(), 0.0);
 
         // The served numbers agree with the in-process batch flow.  The
         // server colors with a shared memo cache, and memoized colorings
@@ -278,10 +353,41 @@ mod tests {
             0, // invalid mask count → typed config error frame
             ColorAlgorithm::Linear,
             ExecutorChoice::Serial,
+            None,
         )
         .expect_err("K=0 must fail");
         assert!(error.contains("config error"), "{error}");
         assert!(error.contains("mask count"), "{error}");
+        handle.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn an_already_expired_deadline_yields_flagged_partial_rows() {
+        let handle = Server::spawn(&ServerConfig::default()).expect("bind ephemeral port");
+        let layouts = [timed("sb-dl", 11)];
+        let report = run_serve_bench(
+            &handle.addr().to_string(),
+            &layouts,
+            4,
+            ColorAlgorithm::Linear,
+            ExecutorChoice::Serial,
+            Some(0), // expired on acceptance: every component is skipped
+        )
+        .expect("partial results are still results");
+        assert_eq!(report.deadline_ms, Some(0));
+        assert_eq!(report.deadline_miss_count(), 1);
+        let row = &report.requests[0];
+        assert!(row.deadline_exceeded);
+        assert_eq!(row.components_skipped, row.components);
+        assert!(row.components >= 1);
+
+        let json = report.to_json();
+        assert!(json.contains("\"deadline_ms\": 0"));
+        assert!(json.contains("\"deadline_misses\": 1"));
+        assert!(json.contains("\"deadline_exceeded\": true"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
         handle.shutdown().expect("clean shutdown");
     }
 }

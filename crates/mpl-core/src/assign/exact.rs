@@ -31,6 +31,14 @@ impl ColorAssigner for ExactAssigner {
     }
 
     fn assign_with_stats(&self, problem: &ComponentProblem) -> super::AssignOutcome {
+        self.assign_with_stats_cancellable(problem, None)
+    }
+
+    fn assign_with_stats_cancellable(
+        &self,
+        problem: &ComponentProblem,
+        cancel: Option<&crate::CancelToken>,
+    ) -> super::AssignOutcome {
         let mut instance =
             ColoringInstance::new(problem.vertex_count(), problem.k()).with_alpha(problem.alpha());
         for &(u, v) in problem.conflict_edges() {
@@ -44,6 +52,7 @@ impl ColorAssigner for ExactAssigner {
             &ExactOptions {
                 time_limit: Some(self.time_limit),
                 warm_start: None,
+                cancel: cancel.map(crate::cancel::CancelToken::probe),
             },
         );
         super::AssignOutcome {
@@ -51,6 +60,7 @@ impl ColorAssigner for ExactAssigner {
             bnb_nodes: solution.nodes,
             hit_time_limit: solution.hit_time_limit,
             bound_improvements: solution.bound_improvements,
+            cancelled: solution.cancelled,
         }
     }
 

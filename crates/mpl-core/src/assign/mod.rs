@@ -37,6 +37,10 @@ pub struct AssignOutcome {
     /// Clique-expansion steps that strengthened the exact engine's lower
     /// bound past the vertex-disjoint clique cover (exact engine only).
     pub bound_improvements: u64,
+    /// Whether an external [`CancelToken`](crate::CancelToken) stopped the
+    /// engine mid-search, making the colors an incumbent rather than a
+    /// proven optimum.
+    pub cancelled: bool,
 }
 
 impl AssignOutcome {
@@ -47,6 +51,7 @@ impl AssignOutcome {
             bnb_nodes: 0,
             hit_time_limit: false,
             bound_improvements: 0,
+            cancelled: false,
         }
     }
 }
@@ -65,6 +70,22 @@ pub trait ColorAssigner: Sync {
     /// an internal search (the exact engine) override it.
     fn assign_with_stats(&self, problem: &ComponentProblem) -> AssignOutcome {
         AssignOutcome::plain(self.assign(problem))
+    }
+
+    /// Like [`assign_with_stats`](ColorAssigner::assign_with_stats), but the
+    /// engine additionally polls `cancel` on its amortised clock checks and
+    /// returns the incumbent found so far (with
+    /// [`cancelled`](AssignOutcome::cancelled) set) once the token stops.
+    /// The default ignores the token: engines without an internal search
+    /// finish in (near-)linear time anyway, so there is nothing worth
+    /// interrupting.
+    fn assign_with_stats_cancellable(
+        &self,
+        problem: &ComponentProblem,
+        cancel: Option<&crate::CancelToken>,
+    ) -> AssignOutcome {
+        let _ = cancel;
+        self.assign_with_stats(problem)
     }
 
     /// Human-readable engine name (used in reports).

@@ -6,8 +6,14 @@ use mpl_ilp::{solve_exact, ColoringInstance, ExactOptions};
 use mpl_sdp::{GramMatrix, SdpRelaxation, SolverOptions};
 use std::time::Duration;
 
-/// Solves the vector-program relaxation for a component problem.
-fn solve_relaxation(problem: &ComponentProblem) -> GramMatrix {
+/// Solves the vector-program relaxation for a component problem, polling
+/// `cancel`'s shared flag once per sweep.  An already-expired deadline is
+/// promoted into the flag up front, so the relaxation is skipped outright
+/// once the request is past due.
+fn solve_relaxation(
+    problem: &ComponentProblem,
+    cancel: Option<&mpl_ilp::CancelProbe>,
+) -> GramMatrix {
     let mut sdp =
         SdpRelaxation::new(problem.vertex_count(), problem.k()).with_alpha(problem.alpha());
     for &(u, v) in problem.conflict_edges() {
@@ -16,7 +22,13 @@ fn solve_relaxation(problem: &ComponentProblem) -> GramMatrix {
     for &(u, v) in problem.stitch_edges() {
         sdp.add_stitch(u, v);
     }
-    sdp.solve(&SolverOptions::default()).gram().clone()
+    if let Some(probe) = cancel {
+        probe.should_stop(std::time::Instant::now());
+    }
+    let flag = cancel.map(|probe| &*probe.flag);
+    sdp.solve_with_cancel(&SolverOptions::default(), flag)
+        .gram()
+        .clone()
 }
 
 /// Union–find used by both rounding schemes to group vertices.
@@ -115,11 +127,20 @@ impl SdpBacktrackAssigner {
 
 impl ColorAssigner for SdpBacktrackAssigner {
     fn assign(&self, problem: &ComponentProblem) -> Vec<u8> {
+        self.assign_with_stats_cancellable(problem, None).colors
+    }
+
+    fn assign_with_stats_cancellable(
+        &self,
+        problem: &ComponentProblem,
+        cancel: Option<&crate::CancelToken>,
+    ) -> super::AssignOutcome {
         let n = problem.vertex_count();
         if n == 0 {
-            return Vec::new();
+            return super::AssignOutcome::plain(Vec::new());
         }
-        let gram = solve_relaxation(problem);
+        let probe = cancel.map(crate::cancel::CancelToken::probe);
+        let gram = solve_relaxation(problem, probe.as_ref());
 
         // Merge phase (Algorithm 1, lines 1-4): pairs with x_ij >= t_th
         // collapse into one vertex.  Pairs joined by a conflict edge are
@@ -156,9 +177,20 @@ impl ColorAssigner for SdpBacktrackAssigner {
             &ExactOptions {
                 time_limit: Some(Duration::from_secs(60)),
                 warm_start: None,
+                cancel: probe,
             },
         );
-        labels.iter().map(|&g| solution.colors[g]).collect()
+        // This engine has always reported zeroed work counters (the
+        // branch-and-bound run on the merged graph is an implementation
+        // detail of the rounding, not the engine's headline search), so the
+        // cancellable path keeps them zero too — only the new `cancelled`
+        // flag is surfaced.
+        let cancelled =
+            solution.cancelled || cancel.is_some_and(crate::CancelToken::stop_requested);
+        super::AssignOutcome {
+            cancelled,
+            ..super::AssignOutcome::plain(labels.iter().map(|&g| solution.colors[g]).collect())
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -186,12 +218,21 @@ impl SdpGreedyAssigner {
 
 impl ColorAssigner for SdpGreedyAssigner {
     fn assign(&self, problem: &ComponentProblem) -> Vec<u8> {
+        self.assign_with_stats_cancellable(problem, None).colors
+    }
+
+    fn assign_with_stats_cancellable(
+        &self,
+        problem: &ComponentProblem,
+        cancel: Option<&crate::CancelToken>,
+    ) -> super::AssignOutcome {
         let n = problem.vertex_count();
         if n == 0 {
-            return Vec::new();
+            return super::AssignOutcome::plain(Vec::new());
         }
         let k = problem.k();
-        let gram = solve_relaxation(problem);
+        let probe = cancel.map(crate::cancel::CancelToken::probe);
+        let gram = solve_relaxation(problem, probe.as_ref());
 
         // Group-level conflict tracking so merges never join conflicting
         // groups.
@@ -265,7 +306,12 @@ impl ColorAssigner for SdpGreedyAssigner {
                 .unwrap_or(0);
             group_color[g] = best as u8;
         }
-        labels.iter().map(|&g| group_color[g]).collect()
+        // The greedy mapping itself is near-linear, so the only stage worth
+        // interrupting was the relaxation above.
+        super::AssignOutcome {
+            cancelled: cancel.is_some_and(crate::CancelToken::stop_requested),
+            ..super::AssignOutcome::plain(labels.iter().map(|&g| group_color[g]).collect())
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -233,6 +233,32 @@ impl DecompositionResult {
         self.components.iter().map(|s| s.bound_improvements).sum()
     }
 
+    /// Whether an explicit [`CancelToken`](crate::CancelToken) cancellation
+    /// touched any component of this result: an engine stopped mid-search
+    /// or a task skipped outright.  The colors are still complete and legal
+    /// — the touched components just carry incumbents (or placeholders)
+    /// instead of their engine's full-effort answer.
+    pub fn cancelled(&self) -> bool {
+        self.components.iter().any(|s| s.cancelled)
+    }
+
+    /// Whether a request deadline was observed expired on any component.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.components.iter().any(|s| s.deadline_exceeded)
+    }
+
+    /// Components that reached an engine (i.e. were not skipped).  Equals
+    /// the component count on an uncancelled run.
+    pub fn components_completed(&self) -> usize {
+        self.components.iter().filter(|s| !s.skipped).count()
+    }
+
+    /// Components whose task was skipped because the request was cancelled
+    /// (or past its deadline) before the task started.
+    pub fn components_skipped(&self) -> usize {
+        self.components.iter().filter(|s| s.skipped).count()
+    }
+
     /// Time spent constructing the decomposition graph.
     pub fn graph_time(&self) -> Duration {
         self.graph_time
@@ -388,7 +414,20 @@ impl Decomposer {
         problem: &ComponentProblem,
         assigner: &dyn ColorAssigner,
     ) -> (Vec<u8>, ColorMetrics) {
-        with_division_scratch(|scratch| self.color_problem_in(problem, assigner, scratch))
+        self.color_problem_metered_cancellable(problem, assigner, None)
+    }
+
+    /// Like [`Decomposer::color_problem_metered`], but every engine run
+    /// additionally polls `cancel`; once the token stops, the remaining
+    /// engine work degrades to fast incumbents and the metrics carry
+    /// [`ColorMetrics::cancelled`].
+    pub(crate) fn color_problem_metered_cancellable(
+        &self,
+        problem: &ComponentProblem,
+        assigner: &dyn ColorAssigner,
+        cancel: Option<&crate::CancelToken>,
+    ) -> (Vec<u8>, ColorMetrics) {
+        with_division_scratch(|scratch| self.color_problem_in(problem, assigner, scratch, cancel))
     }
 
     fn color_problem_in(
@@ -396,6 +435,7 @@ impl Decomposer {
         problem: &ComponentProblem,
         assigner: &dyn ColorAssigner,
         scratch: &mut DivisionScratch,
+        cancel: Option<&crate::CancelToken>,
     ) -> (Vec<u8>, ColorMetrics) {
         let n = problem.vertex_count();
         let k = problem.k() as u8;
@@ -427,6 +467,7 @@ impl Decomposer {
                     scratch,
                     &simplification,
                     &mut metrics,
+                    cancel,
                 );
                 metrics.augmenting_paths = scratch.augmenting_paths() - paths_before;
                 metrics.augmenting_path_bound = scratch.augmenting_path_bound() - bound_before;
@@ -471,7 +512,14 @@ impl Decomposer {
                     let pieces = ghtree_pieces_with(problem, &block, scratch);
                     metrics.division_time += division_start.elapsed();
                     for piece in &pieces {
-                        self.color_piece(problem, piece, assigner, &mut colors, &mut metrics);
+                        self.color_piece(
+                            problem,
+                            piece,
+                            assigner,
+                            &mut colors,
+                            &mut metrics,
+                            cancel,
+                        );
                     }
                     if pieces.len() > 1 {
                         let division_start = Instant::now();
@@ -479,7 +527,7 @@ impl Decomposer {
                         metrics.division_time += division_start.elapsed();
                     }
                 } else {
-                    self.color_piece(problem, &block, assigner, &mut colors, &mut metrics);
+                    self.color_piece(problem, &block, assigner, &mut colors, &mut metrics, cancel);
                 }
 
                 // Reconcile with every previously colored articulation
@@ -549,6 +597,7 @@ impl Decomposer {
         scratch: &mut DivisionScratch,
         simplification: &mpl_graph::Simplification,
         metrics: &mut ColorMetrics,
+        cancel: Option<&crate::CancelToken>,
     ) -> Vec<u8> {
         use mpl_graph::SimplifyOp;
         let n = problem.vertex_count();
@@ -569,11 +618,12 @@ impl Decomposer {
                 &simplification.cut_conflicts,
                 &simplification.cut_stitches,
             );
-            let (sub_colors, sub_metrics) = self.color_problem_in(&sub, assigner, scratch);
+            let (sub_colors, sub_metrics) = self.color_problem_in(&sub, assigner, scratch, cancel);
             metrics.division_time += sub_metrics.division_time;
             metrics.bnb_nodes += sub_metrics.bnb_nodes;
             metrics.hit_time_limit |= sub_metrics.hit_time_limit;
             metrics.bound_improvements += sub_metrics.bound_improvements;
+            metrics.cancelled |= sub_metrics.cancelled;
             for (local, &global) in original.iter().enumerate() {
                 colors[global] = sub_colors[local];
             }
@@ -672,15 +722,17 @@ impl Decomposer {
         assigner: &dyn ColorAssigner,
         colors: &mut [u8],
         metrics: &mut ColorMetrics,
+        cancel: Option<&crate::CancelToken>,
     ) {
         if piece.is_empty() {
             return;
         }
         let (sub, original) = problem.induced(piece);
-        let outcome = assigner.assign_with_stats(&sub);
+        let outcome = assigner.assign_with_stats_cancellable(&sub, cancel);
         metrics.bnb_nodes += outcome.bnb_nodes;
         metrics.hit_time_limit |= outcome.hit_time_limit;
         metrics.bound_improvements += outcome.bound_improvements;
+        metrics.cancelled |= outcome.cancelled;
         for (local, &global) in original.iter().enumerate() {
             colors[global] = outcome.colors[local];
         }
@@ -714,6 +766,9 @@ pub(crate) struct ColorMetrics {
     /// Clique-expansion steps that strengthened the exact engine's lower
     /// bound past the vertex-disjoint clique cover.
     pub bound_improvements: u64,
+    /// Whether a [`CancelToken`](crate::CancelToken) stopped an engine run
+    /// on some piece of this component.
+    pub cancelled: bool,
 }
 
 /// Extracts every component's [`ComponentProblem`] from the decomposition
@@ -1038,6 +1093,7 @@ mod tests {
                 bnb_nodes: 7,
                 hit_time_limit: true,
                 bound_improvements: 3,
+                cancelled: false,
             }
         }
 

@@ -316,6 +316,9 @@ mod tests {
                 kernel_vertices: 0,
                 simplify_rounds: 0,
                 bound_improvements: 0,
+                cancelled: false,
+                deadline_exceeded: false,
+                skipped: false,
                 memo_hit: None,
             },
         }

@@ -108,6 +108,7 @@
 
 pub mod assign;
 mod balance;
+mod cancel;
 mod component;
 mod config;
 mod cost;
@@ -124,6 +125,7 @@ mod stitch;
 pub mod verify;
 
 pub use balance::{rebalance_masks, BalanceReport};
+pub use cancel::CancelToken;
 pub use component::ComponentProblem;
 pub use config::{ColorAlgorithm, DecomposerConfig, DivisionConfig, TileConfig};
 pub use cost::{coloring_cost, ColoringCost};

@@ -112,6 +112,20 @@ pub struct ComponentStats {
     /// bound past the vertex-disjoint clique cover (0 for the heuristic
     /// engines).
     pub bound_improvements: u64,
+    /// `true` when an explicit [`CancelToken`](crate::CancelToken)
+    /// cancellation stopped this component's work — either mid-search (the
+    /// colors are the engine's incumbent) or before the task started
+    /// (`skipped` is also set).
+    pub cancelled: bool,
+    /// `true` when the request deadline carried by the component's
+    /// [`CancelToken`](crate::CancelToken) was observed expired while (or
+    /// before) the component ran.
+    pub deadline_exceeded: bool,
+    /// `true` when the component never reached an engine at all: its
+    /// request was cancelled (or its deadline expired) before the task
+    /// started, so the colors are the all-zero placeholder and the
+    /// conflict/stitch counts are an honest evaluation of that placeholder.
+    pub skipped: bool,
     /// Whether the component's colors came from the memo cache instead of
     /// an engine run: `None` when no cache was attached, `Some(true)` when
     /// the coloring was stamped from a cached (or batch-deduplicated)
@@ -438,7 +452,7 @@ impl DecompositionPlan {
         observer: &dyn DecompositionObserver,
     ) -> DecompositionResult {
         let entries = [(LayoutId::new(0), self)];
-        let mut results = execute_batch(&entries, executor, observer, None);
+        let mut results = execute_batch(&entries, executor, observer, None, None);
         results
             .pop()
             .expect("a one-plan batch produces exactly one result")

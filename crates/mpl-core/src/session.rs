@@ -69,12 +69,25 @@ impl fmt::Display for LayoutId {
 pub struct BatchTask<'a> {
     layout: LayoutId,
     task: &'a ComponentTask,
+    cancel: Option<&'a crate::CancelToken>,
 }
 
 impl<'a> BatchTask<'a> {
     /// Tags `task` with the layout it came from.
     pub fn new(layout: LayoutId, task: &'a ComponentTask) -> Self {
-        BatchTask { layout, task }
+        BatchTask {
+            layout,
+            task,
+            cancel: None,
+        }
+    }
+
+    /// Attaches the cancel token of the task's request (builder form; tasks
+    /// built by sessions carry the token registered with
+    /// [`DecompositionSession::set_cancel`]).
+    pub fn with_cancel(mut self, cancel: Option<&'a crate::CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// The layout this task belongs to.
@@ -85,6 +98,20 @@ impl<'a> BatchTask<'a> {
     /// The underlying component task.
     pub fn task(&self) -> &'a ComponentTask {
         self.task
+    }
+
+    /// The cancel token attached to this task's request, if any.
+    pub fn cancel(&self) -> Option<&'a crate::CancelToken> {
+        self.cancel
+    }
+
+    /// Polls the attached cancel token (promoting an expired deadline into
+    /// its sticky flags).  `true` means the task should be skipped if it has
+    /// not started yet; the batch work function checks this before invoking
+    /// an engine, so not-yet-started tasks of a cancelled request degrade to
+    /// cheap placeholder outcomes on every executor.
+    pub fn poll_cancel(&self) -> bool {
+        self.cancel.is_some_and(crate::CancelToken::poll)
     }
 
     /// Number of vertices in the component (the scheduling weight).
@@ -157,6 +184,11 @@ pub struct DecompositionSession {
     /// [`run`](DecompositionSession::run) ignores them — and the `mpl-hier`
     /// crate's hierarchical driver consumes them.
     hierarchies: HashMap<usize, Arc<LayoutHierarchy>>,
+    /// Cancel tokens for submitted layouts, keyed by [`LayoutId::index`].
+    /// [`run`](DecompositionSession::run) attaches each token to its
+    /// layout's tasks, so cancelling (or expiring) a token turns the rest of
+    /// that layout's run into cheap skipped placeholders.
+    cancels: HashMap<usize, crate::CancelToken>,
 }
 
 impl DecompositionSession {
@@ -264,6 +296,36 @@ impl DecompositionSession {
         self.hierarchies.get(&id.index())
     }
 
+    /// Attaches (or, with `None`, detaches) a cancel token for the layout
+    /// submitted under `id`.
+    ///
+    /// While the batch runs, every component task of that layout carries
+    /// the token: engines poll its shared flag on their amortised clock
+    /// checks (stopping mid-search with the incumbent found so far) and
+    /// tasks that have not started yet are skipped outright, producing
+    /// placeholder [`ComponentStats`] with
+    /// [`skipped`](ComponentStats::skipped) set.  The assembled
+    /// [`DecompositionResult`] reports the damage through
+    /// [`cancelled`](DecompositionResult::cancelled),
+    /// [`deadline_exceeded`](DecompositionResult::deadline_exceeded),
+    /// [`components_completed`](DecompositionResult::components_completed)
+    /// and [`components_skipped`](DecompositionResult::components_skipped).
+    pub fn set_cancel(&mut self, id: LayoutId, token: Option<crate::CancelToken>) {
+        match token {
+            Some(token) => {
+                self.cancels.insert(id.index(), token);
+            }
+            None => {
+                self.cancels.remove(&id.index());
+            }
+        }
+    }
+
+    /// The cancel token attached to `id`, if any.
+    pub fn cancel_token(&self, id: LayoutId) -> Option<&crate::CancelToken> {
+        self.cancels.get(&id.index())
+    }
+
     /// Enqueues an already-built plan, returning the id its tasks and
     /// results will be tagged with.
     pub fn submit(&mut self, plan: DecompositionPlan) -> LayoutId {
@@ -304,6 +366,7 @@ impl DecompositionSession {
         self.base += self.plans.len();
         self.plans.clear();
         self.hierarchies.retain(|&index, _| index >= self.base);
+        self.cancels.retain(|&index, _| index >= self.base);
     }
 
     /// Total number of layouts ever submitted, including batches already
@@ -382,7 +445,13 @@ impl DecompositionSession {
         observer: &dyn DecompositionObserver,
     ) -> Vec<(LayoutId, DecompositionResult)> {
         let entries: Vec<(LayoutId, &DecompositionPlan)> = self.plans().collect();
-        execute_batch(&entries, executor, observer, self.memo.as_deref())
+        execute_batch(
+            &entries,
+            executor,
+            observer,
+            self.memo.as_deref(),
+            Some(&self.cancels),
+        )
     }
 }
 
@@ -429,9 +498,53 @@ fn stamped_stats(task: &ComponentTask, colors: &[u8]) -> ComponentStats {
         kernel_vertices: 0,
         simplify_rounds: 0,
         bound_improvements: 0,
+        cancelled: false,
+        deadline_exceeded: false,
+        skipped: false,
         memo_hit: Some(true),
     }
 }
+
+/// Statistics for a task skipped because its request's cancel token had
+/// already stopped when the task was picked up: the all-zero placeholder
+/// coloring, honestly evaluated, with the skip reason read off the token.
+fn skipped_stats(
+    task: &ComponentTask,
+    token: &crate::CancelToken,
+    colors: &[u8],
+    memoized_batch: bool,
+) -> ComponentStats {
+    let (conflicts, stitches, cost) = task.problem().evaluate(colors);
+    ComponentStats {
+        index: task.index(),
+        vertex_count: task.problem().vertex_count(),
+        conflict_edge_count: task.problem().conflict_edges().len(),
+        stitch_edge_count: task.problem().stitch_edges().len(),
+        conflicts,
+        stitches,
+        cost,
+        time: Duration::ZERO,
+        division_time: Duration::ZERO,
+        bnb_nodes: 0,
+        hit_time_limit: false,
+        augmenting_paths: 0,
+        augmenting_path_bound: 0,
+        scratch_allocs: 0,
+        hidden_vertices: 0,
+        kernel_vertices: 0,
+        simplify_rounds: 0,
+        bound_improvements: 0,
+        cancelled: token.is_cancelled(),
+        deadline_exceeded: token.deadline_exceeded(),
+        skipped: true,
+        memo_hit: memoized_batch.then_some(false),
+    }
+}
+
+/// A lead component's canonical coloring plus its `(cancelled,
+/// deadline_exceeded, skipped)` flags — what an in-batch follower inherits
+/// when it stamps from that lead.
+type LeadColoring = (Arc<Vec<u8>>, (bool, bool, bool));
 
 /// The shared batch engine behind [`DecompositionSession::run_observed`]
 /// and [`DecompositionPlan::execute_observed`] (a one-entry batch).
@@ -444,6 +557,7 @@ pub(crate) fn execute_batch(
     executor: &dyn Executor,
     observer: &dyn DecompositionObserver,
     memo: Option<&MemoCache>,
+    cancels: Option<&HashMap<usize, crate::CancelToken>>,
 ) -> Vec<(LayoutId, DecompositionResult)> {
     let batch_start = Instant::now();
     let mut slots: HashMap<LayoutId, usize> = HashMap::with_capacity(entries.len());
@@ -505,9 +619,10 @@ pub(crate) fn execute_batch(
     let mut batch: Vec<BatchTask<'_>> = entries
         .iter()
         .flat_map(|&(id, plan)| {
+            let cancel = cancels.and_then(|tokens| tokens.get(&id.index()));
             plan.tasks()
                 .iter()
-                .map(move |task| BatchTask::new(id, task))
+                .map(move |task| BatchTask::new(id, task).with_cancel(cancel))
         })
         .filter(|tagged| match &dispositions {
             None => true,
@@ -542,22 +657,43 @@ pub(crate) fn execute_batch(
         let task = tagged.task();
         observer.component_started(tagged.layout(), task);
         let task_start = Instant::now();
+        // A request already stopped (cancelled or past deadline) skips the
+        // engine entirely: the task yields an all-zero placeholder coloring
+        // with honest conflict counts, preserving the executor contract of
+        // one outcome per batch task.
+        if tagged.poll_cancel() {
+            let token = tagged.cancel().expect("poll_cancel implies a token");
+            let colors = vec![0u8; task.problem().vertex_count()];
+            let stats = skipped_stats(task, token, &colors, dispositions.is_some());
+            observer.component_finished(tagged.layout(), task, &stats);
+            let mut finished = finished_at.lock().expect("no panics while timing");
+            let now = Instant::now();
+            if finished[slot].is_none_or(|previous| previous < now) {
+                finished[slot] = Some(now);
+            }
+            return ComponentOutcome { colors, stats };
+        }
         // With a memo attached the engine colors the canonical problem (so
         // the stored coloring is a pure function of the signature) and the
         // result is stamped back through the permutation; without one it
         // colors the live problem directly.
         let (colors, metrics, memo_hit) = match &dispositions {
             None => {
-                let (colors, metrics) = plan
-                    .decomposer()
-                    .color_problem_metered(task.problem(), assigners[slot].as_ref());
+                let (colors, metrics) = plan.decomposer().color_problem_metered_cancellable(
+                    task.problem(),
+                    assigners[slot].as_ref(),
+                    tagged.cancel(),
+                );
                 (colors, metrics, None)
             }
             Some(dispositions) => match &dispositions[slot][task.index()] {
                 Disposition::Lead { problem, perm, .. } => {
-                    let (canonical_colors, metrics) = plan
-                        .decomposer()
-                        .color_problem_metered(problem, assigners[slot].as_ref());
+                    let (canonical_colors, metrics) =
+                        plan.decomposer().color_problem_metered_cancellable(
+                            problem,
+                            assigners[slot].as_ref(),
+                            tagged.cancel(),
+                        );
                     (
                         mpl_memo::stamp(&canonical_colors, perm),
                         metrics,
@@ -566,6 +702,15 @@ pub(crate) fn execute_batch(
                 }
                 _ => unreachable!("only lead tasks enter the executor batch"),
             },
+        };
+        // Classify an engine-observed stop through the token so the stats
+        // carry the reason (poll promotes an expired deadline first).
+        let (cancelled, deadline_exceeded) = match tagged.cancel() {
+            Some(token) if metrics.cancelled => {
+                token.poll();
+                (token.is_cancelled(), token.deadline_exceeded())
+            }
+            _ => (false, false),
         };
         let (conflicts, stitches, cost) = task.problem().evaluate(&colors);
         let stats = ComponentStats {
@@ -587,6 +732,9 @@ pub(crate) fn execute_batch(
             kernel_vertices: metrics.kernel_vertices,
             simplify_rounds: metrics.simplify_rounds,
             bound_improvements: metrics.bound_improvements,
+            cancelled,
+            deadline_exceeded,
+            skipped: false,
             memo_hit,
         };
         observer.component_finished(tagged.layout(), task, &stats);
@@ -637,7 +785,11 @@ pub(crate) fn execute_batch(
     // insertion order is (slot, task) order — deterministic whatever the
     // executor did — and followers always sit after their lead in that
     // order, so step 2 below finds every canonical coloring it needs.
-    let mut lead_canonical: HashMap<(usize, usize), Arc<Vec<u8>>> = HashMap::new();
+    // Leads a cancel token touched (truncated mid-search or skipped) are
+    // NOT inserted into the shared cache — a cache entry must always be the
+    // engine's full-effort coloring — but their in-batch followers still
+    // stamp from them, inheriting the lead's cancellation flags.
+    let mut lead_canonical: HashMap<(usize, usize), LeadColoring> = HashMap::new();
     if let Some(dispositions) = &mut dispositions {
         let cache = memo.expect("dispositions imply an attached cache");
         for (slot, outcomes) in per_layout.iter().enumerate() {
@@ -647,8 +799,12 @@ pub(crate) fn execute_batch(
                         perm, signature, ..
                     } => {
                         let canonical = mpl_memo::unstamp(&outcome.colors, perm);
-                        cache.insert(signature.clone(), canonical.clone());
-                        lead_canonical.insert((slot, *index), Arc::new(canonical));
+                        let stats = &outcome.stats;
+                        let flags = (stats.cancelled, stats.deadline_exceeded, stats.skipped);
+                        if flags == (false, false, false) {
+                            cache.insert(signature.clone(), canonical.clone());
+                        }
+                        lead_canonical.insert((slot, *index), (Arc::new(canonical), flags));
                     }
                     _ => unreachable!("only lead tasks have executor outcomes"),
                 }
@@ -685,10 +841,14 @@ pub(crate) fn execute_batch(
                             merged.push((task.index(), ComponentOutcome { colors, stats }));
                         }
                         Disposition::Follow { leader, perm } => {
-                            let canonical = lead_canonical[leader].clone();
+                            let (canonical, flags) = lead_canonical[leader].clone();
                             let colors = mpl_memo::stamp(&canonical, perm);
                             observer.component_started(id, task);
-                            let stats = stamped_stats(task, &colors);
+                            let mut stats = stamped_stats(task, &colors);
+                            // A follower of a cancellation-touched lead
+                            // carries the same incumbent/placeholder colors,
+                            // so it inherits the lead's flags.
+                            (stats.cancelled, stats.deadline_exceeded, stats.skipped) = flags;
                             observer.component_finished(id, task, &stats);
                             merged.push((task.index(), ComponentOutcome { colors, stats }));
                         }
@@ -1119,6 +1279,156 @@ mod tests {
             assert!(stats.entries <= tasks);
             assert!(stats.bytes > 0);
         }
+    }
+
+    #[test]
+    fn a_pre_cancelled_request_skips_every_component() {
+        let decomposer = decomposer(ColorAlgorithm::Ilp);
+        let mut session = DecompositionSession::new();
+        let id = session
+            .submit_layout(&decomposer, &row_layout("cancelled", 3))
+            .expect("valid config");
+        let token = crate::CancelToken::new();
+        token.cancel();
+        session.set_cancel(id, Some(token));
+
+        let results = session.run(&SerialExecutor);
+        let result = &results[0].1;
+        assert!(result.cancelled());
+        assert!(!result.deadline_exceeded());
+        assert_eq!(result.components_completed(), 0);
+        assert_eq!(result.components_skipped(), result.component_count());
+        assert!(result.component_count() > 0);
+        // Placeholders: all-zero colors, zero engine work, honest evaluation.
+        assert!(result.colors().iter().all(|&c| c == 0));
+        assert!(result
+            .component_stats()
+            .iter()
+            .all(|s| s.skipped && s.cancelled && s.bnb_nodes == 0 && s.time == Duration::ZERO));
+
+        // Detaching the token restores the full run, bit-identical to a
+        // never-cancelled session.
+        session.set_cancel(id, None);
+        let full = session.run(&SerialExecutor);
+        let standalone = decomposer
+            .decompose(&row_layout("cancelled", 3))
+            .expect("valid config");
+        assert_eq!(full[0].1.colors(), standalone.colors());
+        assert!(!full[0].1.cancelled());
+        assert_eq!(full[0].1.components_skipped(), 0);
+    }
+
+    #[test]
+    fn an_expired_deadline_reports_deadline_exceeded_not_cancelled() {
+        let decomposer = decomposer(ColorAlgorithm::Linear);
+        let mut session = DecompositionSession::new();
+        let id = session
+            .submit_layout(&decomposer, &row_layout("late", 5))
+            .expect("valid config");
+        session.set_cancel(
+            id,
+            Some(crate::CancelToken::with_deadline(
+                Instant::now() - Duration::from_millis(1),
+            )),
+        );
+        let results = session.run(&ThreadPoolExecutor::new(2).expect("threads"));
+        let result = &results[0].1;
+        assert!(result.deadline_exceeded());
+        assert!(!result.cancelled());
+        assert_eq!(result.components_skipped(), result.component_count());
+        assert!(session
+            .cancel_token(id)
+            .expect("attached")
+            .deadline_exceeded());
+    }
+
+    #[test]
+    fn an_unfired_token_leaves_the_run_bit_identical() {
+        for algorithm in ColorAlgorithm::ALL {
+            let decomposer = decomposer(algorithm);
+            let mut session = DecompositionSession::new();
+            let id = session
+                .submit_layout(&decomposer, &row_layout("quiet", 7))
+                .expect("valid config");
+            let bare = session.run(&SerialExecutor);
+            session.set_cancel(
+                id,
+                Some(crate::CancelToken::after(Duration::from_secs(3600))),
+            );
+            let tokened = session.run(&SerialExecutor);
+            assert_eq!(bare[0].1.colors(), tokened[0].1.colors(), "{algorithm}");
+            // Wall-clock (and scratch-warmth) fields vary run to run;
+            // every deterministic counter must be untouched by the token.
+            for (a, b) in bare[0]
+                .1
+                .component_stats()
+                .iter()
+                .zip(tokened[0].1.component_stats())
+            {
+                assert_eq!(a.conflicts, b.conflicts, "{algorithm}");
+                assert_eq!(a.stitches, b.stitches, "{algorithm}");
+                assert_eq!(a.bnb_nodes, b.bnb_nodes, "{algorithm}");
+                assert_eq!(a.hit_time_limit, b.hit_time_limit, "{algorithm}");
+                assert_eq!(a.bound_improvements, b.bound_improvements, "{algorithm}");
+                assert_eq!(a.augmenting_paths, b.augmenting_paths, "{algorithm}");
+                assert!(
+                    !b.cancelled && !b.deadline_exceeded && !b.skipped,
+                    "{algorithm}"
+                );
+            }
+            assert!(!tokened[0].1.cancelled());
+            assert!(!tokened[0].1.deadline_exceeded());
+            assert_eq!(tokened[0].1.components_skipped(), 0);
+        }
+    }
+
+    #[test]
+    fn cancelled_leads_never_poison_the_memo_cache() {
+        let decomposer = decomposer(ColorAlgorithm::Linear);
+        let layout = row_layout("poison", 9);
+        let cache = Arc::new(MemoCache::new(1024));
+        let mut session = DecompositionSession::new().with_memo(cache.clone());
+        let id = session
+            .submit_layout(&decomposer, &layout)
+            .expect("valid config");
+        let token = crate::CancelToken::new();
+        token.cancel();
+        session.set_cancel(id, Some(token));
+
+        let skipped = session.run(&SerialExecutor);
+        assert_eq!(
+            skipped[0].1.components_skipped(),
+            skipped[0].1.component_count()
+        );
+        // Nothing of the placeholder run made it into the shared cache...
+        assert_eq!(cache.stats().entries, 0);
+
+        // ...so the subsequent uncancelled run colors everything for real.
+        session.set_cancel(id, None);
+        let real = session.run(&SerialExecutor);
+        let standalone = {
+            let mut other = DecompositionSession::new().with_memo(Arc::new(MemoCache::new(1024)));
+            other
+                .submit_layout(&decomposer, &layout)
+                .expect("valid config");
+            other.run(&SerialExecutor)
+        };
+        assert_eq!(real[0].1.colors(), standalone[0].1.colors());
+        assert!(!real[0].1.cancelled());
+        assert!(cache.stats().entries > 0);
+    }
+
+    #[test]
+    fn clear_retires_cancel_tokens_with_their_batch() {
+        let decomposer = decomposer(ColorAlgorithm::Linear);
+        let mut session = DecompositionSession::new();
+        let id = session
+            .submit_layout(&decomposer, &row_layout("retire", 3))
+            .expect("valid config");
+        session.set_cancel(id, Some(crate::CancelToken::new()));
+        assert!(session.cancel_token(id).is_some());
+        session.clear();
+        assert!(session.cancel_token(id).is_none());
     }
 
     #[test]

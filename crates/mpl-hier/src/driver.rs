@@ -194,7 +194,11 @@ pub fn run_hier_observed(
     })));
     let mut submissions = Vec::new();
     let mut totals = vec![0usize; plans.len()];
-    for (slot, (&(_, plan), layout_splits)) in plans.iter().zip(&splits).enumerate() {
+    for (slot, (&(outer, plan), layout_splits)) in plans.iter().zip(&splits).enumerate() {
+        // A cancel token on the outer submission covers every inner
+        // sub-problem carved out of it: resident batches and instance
+        // pieces alike skip (or stop mid-search) once the token fires.
+        let cancel = session.cancel_token(outer).cloned();
         if !layout_splits.resident.is_empty() {
             let decomposer = Decomposer::new(plan.config().clone());
             let subproblems = layout_splits
@@ -205,12 +209,13 @@ pub fn run_hier_observed(
                     (task.problem().clone(), task.to_global().to_vec())
                 })
                 .collect();
-            inner.submit(DecompositionPlan::for_subproblems(
+            let inner_id = inner.submit(DecompositionPlan::for_subproblems(
                 decomposer,
                 plan.layout_name().to_string(),
                 plan.graph_shared(),
                 subproblems,
             ));
+            inner.set_cancel(inner_id, cancel.clone());
             submissions.push(Submission::Resident { slot });
             totals[slot] += 1;
         }
@@ -232,12 +237,13 @@ pub fn run_hier_observed(
                     ),
                     None => format!("{}/c{}b", plan.layout_name(), component.task_index),
                 };
-                inner.submit(DecompositionPlan::for_subproblems(
+                let inner_id = inner.submit(DecompositionPlan::for_subproblems(
                     decomposer,
                     name,
                     plan.graph_shared(),
                     vec![(split_piece.problem.clone(), to_global)],
                 ));
+                inner.set_cancel(inner_id, cancel.clone());
                 submissions.push(Submission::Piece { slot, split, piece });
                 totals[slot] += 1;
             }
@@ -427,6 +433,9 @@ fn merged_component_stats(
         kernel_vertices: pieces.iter().map(|stats| stats.kernel_vertices).sum(),
         simplify_rounds: pieces.iter().map(|stats| stats.simplify_rounds).sum(),
         bound_improvements: pieces.iter().map(|stats| stats.bound_improvements).sum(),
+        cancelled: pieces.iter().any(|stats| stats.cancelled),
+        deadline_exceeded: pieces.iter().any(|stats| stats.deadline_exceeded),
+        skipped: pieces.iter().any(|stats| stats.skipped),
         memo_hit: Some(pieces.iter().all(|stats| stats.memo_hit == Some(true))),
     }
 }

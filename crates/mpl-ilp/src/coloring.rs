@@ -1,5 +1,7 @@
 //! Exact conflict/stitch-minimising K-coloring by branch and bound.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A K-coloring instance over `n` vertices with conflict and stitch edges.
@@ -140,6 +142,52 @@ pub struct ExactOptions {
     /// An externally known feasible solution used to seed the incumbent
     /// (for instance the greedy solution), as `(colors, cost)`.
     pub warm_start: Option<Vec<u8>>,
+    /// An external stop request, polled on the same amortised clock check
+    /// as the time limit.  On observation the incumbent is returned with
+    /// [`cancelled`](ExactSolution::cancelled) set, at most one
+    /// clock-check batch of nodes (1024, `TIME_CHECK_INTERVAL`) after the
+    /// request.
+    pub cancel: Option<CancelProbe>,
+}
+
+/// A request-level stop signal shared between the caller and a running
+/// [`solve_exact`].
+///
+/// The `flag` is an atomic the owner may set at any time (for instance from
+/// another thread answering a wire-protocol `cancel` frame); `deadline` is
+/// an optional hard wall-clock cut-off that belongs to the *request* rather
+/// than to this individual solve.  When the solver observes either — it
+/// polls both on its existing amortised clock check, so the cost stays off
+/// the per-node path — it sets `flag` itself (making the stop visible to
+/// sibling solves sharing the probe) and returns the incumbent.
+#[derive(Debug, Clone, Default)]
+pub struct CancelProbe {
+    /// The shared stop flag; set by the owner, or by a solver that observed
+    /// the deadline.
+    pub flag: Arc<AtomicBool>,
+    /// Hard wall-clock cut-off for the whole request.
+    pub deadline: Option<Instant>,
+}
+
+impl CancelProbe {
+    /// `true` once a stop has been requested or observed.
+    pub fn stop_requested(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Polls the probe with a clock reading the caller already has: checks
+    /// the flag, promotes an expired deadline into the flag, and returns
+    /// whether the solve should stop.
+    pub fn should_stop(&self, now: Instant) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.deadline.is_some_and(|deadline| now >= deadline) {
+            self.flag.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
 }
 
 /// The result of an exact solve.
@@ -159,6 +207,9 @@ pub struct ExactSolution {
     /// the returned coloring is the incumbent (best found so far), not
     /// necessarily an optimum.  Always `!proven_optimal`.
     pub hit_time_limit: bool,
+    /// `true` when an external [`CancelProbe`] stopped the search before
+    /// the proof finished: the returned coloring is the incumbent.
+    pub cancelled: bool,
     /// Number of search nodes explored.
     pub nodes: u64,
     /// Number of clique-expansion steps that strengthened the root lower
@@ -218,6 +269,8 @@ struct Searcher<'a> {
     nodes: u64,
     deadline: Option<Instant>,
     timed_out: bool,
+    cancel: Option<&'a CancelProbe>,
+    cancelled: bool,
 }
 
 impl Searcher<'_> {
@@ -230,14 +283,18 @@ impl Searcher<'_> {
         max_color_used: u8,
     ) {
         self.nodes += 1;
-        if self.nodes.is_multiple_of(TIME_CHECK_INTERVAL) {
-            if let Some(deadline) = self.deadline {
-                if Instant::now() >= deadline {
-                    self.timed_out = true;
-                }
+        if self.nodes.is_multiple_of(TIME_CHECK_INTERVAL)
+            && (self.deadline.is_some() || self.cancel.is_some())
+        {
+            let now = Instant::now();
+            if self.deadline.is_some_and(|deadline| now >= deadline) {
+                self.timed_out = true;
+            }
+            if self.cancel.is_some_and(|probe| probe.should_stop(now)) {
+                self.cancelled = true;
             }
         }
-        if self.timed_out || partial_cost + lower_bound >= self.best_cost - 1e-9 {
+        if self.timed_out || self.cancelled || partial_cost + lower_bound >= self.best_cost - 1e-9 {
             return;
         }
         if depth == self.order.len() {
@@ -318,7 +375,7 @@ impl Searcher<'_> {
                 self.clique_counts[q * k + color as usize] -= 1;
                 self.remaining[q] += 1;
             }
-            if self.timed_out {
+            if self.timed_out || self.cancelled {
                 break;
             }
         }
@@ -581,6 +638,7 @@ pub fn solve_exact(instance: &ColoringInstance, options: &ExactOptions) -> Exact
             cost: 0.0,
             proven_optimal: true,
             hit_time_limit: false,
+            cancelled: false,
             nodes: 0,
             bound_improvements: 0,
         };
@@ -870,6 +928,11 @@ pub fn solve_exact(instance: &ColoringInstance, options: &ExactOptions) -> Exact
         nodes: 0,
         deadline: options.time_limit.map(|limit| Instant::now() + limit),
         timed_out: false,
+        cancel: options.cancel.as_ref(),
+        cancelled: options
+            .cancel
+            .as_ref()
+            .is_some_and(|probe| probe.should_stop(Instant::now())),
     };
     let mut colors = vec![0u8; n];
     searcher.search(0, &mut colors, 0.0, initial_bound, 0);
@@ -881,8 +944,9 @@ pub fn solve_exact(instance: &ColoringInstance, options: &ExactOptions) -> Exact
         conflicts,
         stitches,
         cost,
-        proven_optimal: !searcher.timed_out,
+        proven_optimal: !searcher.timed_out && !searcher.cancelled,
         hit_time_limit: searcher.timed_out,
+        cancelled: searcher.cancelled,
         nodes: searcher.nodes,
         bound_improvements,
     }
@@ -1204,6 +1268,96 @@ mod tests {
         let full = solve_exact(&instance, &ExactOptions::default());
         assert!(full.proven_optimal);
         assert!(!full.hit_time_limit);
+    }
+
+    /// The dense pseudo-random instance of the time-limit test: hard enough
+    /// that an unrestricted solve explores well past one clock-check batch.
+    fn dense_random_instance() -> ColoringInstance {
+        let mut instance = ColoringInstance::new(18, 4);
+        let mut state = 0x243F6A8885A308D3u64;
+        for u in 0..18 {
+            for v in (u + 1)..18 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if (state >> 33) % 1000 < 550 {
+                    instance.add_conflict(u, v);
+                }
+            }
+        }
+        instance
+    }
+
+    #[test]
+    fn pre_set_cancel_probe_stops_within_one_poll_batch() {
+        let instance = dense_random_instance();
+        let full = solve_exact(&instance, &ExactOptions::default());
+        assert!(
+            full.nodes > 2 * TIME_CHECK_INTERVAL,
+            "instance must outlive several poll batches, took {} nodes",
+            full.nodes
+        );
+
+        let probe = CancelProbe::default();
+        probe.flag.store(true, Ordering::Relaxed);
+        let cancelled = solve_exact(
+            &instance,
+            &ExactOptions {
+                cancel: Some(probe),
+                ..ExactOptions::default()
+            },
+        );
+        assert!(cancelled.cancelled);
+        assert!(!cancelled.proven_optimal);
+        assert!(!cancelled.hit_time_limit, "cancel is not a time limit");
+        // Work-counter bound: a pre-set flag is observed before the first
+        // poll batch completes, so the overshoot is at most one batch.
+        assert!(
+            cancelled.nodes <= TIME_CHECK_INTERVAL,
+            "cancelled after {} nodes",
+            cancelled.nodes
+        );
+        // The incumbent (greedy warm start) is still a valid full coloring.
+        let (c, s, cost) = instance.evaluate(&cancelled.colors);
+        assert_eq!((c, s), (cancelled.conflicts, cancelled.stitches));
+        assert!((cost - cancelled.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probe_deadline_is_promoted_into_the_shared_flag() {
+        let instance = dense_random_instance();
+        let probe = CancelProbe {
+            deadline: Some(Instant::now()),
+            ..CancelProbe::default()
+        };
+        let solution = solve_exact(
+            &instance,
+            &ExactOptions {
+                cancel: Some(probe.clone()),
+                ..ExactOptions::default()
+            },
+        );
+        assert!(solution.cancelled);
+        // The solver promotes an observed deadline into the shared flag so
+        // sibling solves (and the owning request) see the stop immediately.
+        assert!(probe.stop_requested());
+    }
+
+    #[test]
+    fn unfired_cancel_probe_changes_nothing() {
+        let instance = dense_random_instance();
+        let plain = solve_exact(&instance, &ExactOptions::default());
+        let probed = solve_exact(
+            &instance,
+            &ExactOptions {
+                cancel: Some(CancelProbe::default()),
+                ..ExactOptions::default()
+            },
+        );
+        assert!(!probed.cancelled);
+        assert!(probed.proven_optimal);
+        assert_eq!(plain.colors, probed.colors);
+        assert_eq!(plain.nodes, probed.nodes);
     }
 
     #[test]

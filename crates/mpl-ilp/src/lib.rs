@@ -40,5 +40,5 @@
 mod coloring;
 mod program;
 
-pub use coloring::{solve_exact, ColoringInstance, ExactOptions, ExactSolution};
+pub use coloring::{solve_exact, CancelProbe, ColoringInstance, ExactOptions, ExactSolution};
 pub use program::{BinaryProgram, Comparison, ProgramSolution, SolveStatus};

@@ -48,4 +48,4 @@ pub mod vectors;
 pub use gram::GramMatrix;
 pub use linalg::{is_positive_semidefinite, jacobi_eigenvalues, min_eigenvalue};
 pub use relaxation::SdpRelaxation;
-pub use solver::{SdpSolution, SolverOptions};
+pub use solver::{solve_low_rank, solve_low_rank_with_cancel, SdpSolution, SolverOptions};

@@ -145,6 +145,18 @@ impl SdpRelaxation {
     pub fn solve(&self, options: &SolverOptions) -> SdpSolution {
         solve_low_rank(self, options)
     }
+
+    /// Solves the relaxation like [`solve`](Self::solve), additionally
+    /// polling `cancel` once per sweep; when the flag is observed the
+    /// current iterate is returned with
+    /// [`converged`](SdpSolution::converged) `false`.
+    pub fn solve_with_cancel(
+        &self,
+        options: &SolverOptions,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+    ) -> SdpSolution {
+        crate::solver::solve_low_rank_with_cancel(self, options, cancel)
+    }
 }
 
 #[cfg(test)]

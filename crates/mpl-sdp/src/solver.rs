@@ -3,6 +3,7 @@
 use crate::{GramMatrix, SdpRelaxation};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Options controlling the low-rank solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +86,21 @@ impl SdpSolution {
 /// is deterministic for a fixed seed and converges to near-optimal inner
 /// products on the small, sparse instances that graph division produces.
 pub fn solve_low_rank(problem: &SdpRelaxation, options: &SolverOptions) -> SdpSolution {
+    solve_low_rank_with_cancel(problem, options, None)
+}
+
+/// [`solve_low_rank`] with an external stop flag.
+///
+/// The flag is polled once per sweep — the solver's existing amortised
+/// convergence-check cadence, so the per-vertex hot loop stays flag-free.
+/// On observation the current iterate is returned immediately with
+/// [`converged`](SdpSolution::converged) `false`; the Gram matrix is the
+/// best-so-far relaxation, still usable for rounding.
+pub fn solve_low_rank_with_cancel(
+    problem: &SdpRelaxation,
+    options: &SolverOptions,
+    cancel: Option<&AtomicBool>,
+) -> SdpSolution {
     let n = problem.vertex_count();
     if n == 0 {
         return SdpSolution {
@@ -128,6 +144,9 @@ pub fn solve_low_rank(problem: &SdpRelaxation, options: &SolverOptions) -> SdpSo
     let mut converged = false;
 
     for sweep in 0..options.max_iterations {
+        if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+            break;
+        }
         iterations = sweep + 1;
         let mut max_movement: f64 = 0.0;
         for i in 0..n {
@@ -189,9 +208,16 @@ pub fn solve_low_rank(problem: &SdpRelaxation, options: &SolverOptions) -> SdpSo
         previous_objective = objective;
     }
 
+    // A cancel before the first sweep completes leaves the objective
+    // unevaluated; report the iterate's true value rather than infinity.
+    let objective = if previous_objective.is_finite() {
+        previous_objective
+    } else {
+        raw_objective(problem, &vectors)
+    };
     SdpSolution {
         gram: GramMatrix::from_rows(&vectors),
-        objective: previous_objective,
+        objective,
         iterations,
         converged,
     }
@@ -379,6 +405,36 @@ mod tests {
         // A different seed may land on a different (equally good) optimum,
         // but the objective should agree closely.
         assert!((a.objective() - c.objective()).abs() < 0.1);
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_stops_before_the_first_sweep() {
+        let mut sdp = SdpRelaxation::new(3, 4);
+        sdp.add_conflict(0, 1);
+        sdp.add_conflict(1, 2);
+        let flag = AtomicBool::new(true);
+        let solution = sdp.solve_with_cancel(&SolverOptions::default(), Some(&flag));
+        assert_eq!(solution.iterations(), 0);
+        assert!(!solution.converged());
+        // The iterate is still a full unit-vector embedding with a finite
+        // objective — usable for rounding.
+        assert_eq!(solution.gram().dimension(), 3);
+        assert!(solution.objective().is_finite());
+        for i in 0..3 {
+            assert!((solution.gram().value(i, i) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unfired_cancel_flag_changes_nothing() {
+        let mut sdp = SdpRelaxation::new(3, 4);
+        sdp.add_conflict(0, 1);
+        sdp.add_conflict(1, 2);
+        let plain = sdp.solve(&SolverOptions::default());
+        let flag = AtomicBool::new(false);
+        let probed = sdp.solve_with_cancel(&SolverOptions::default(), Some(&flag));
+        assert_eq!(plain.gram(), probed.gram());
+        assert_eq!(plain.iterations(), probed.iterations());
     }
 
     #[test]

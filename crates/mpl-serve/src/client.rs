@@ -120,6 +120,19 @@ impl Client {
         }
     }
 
+    /// Sends a `cancel` frame for an earlier submission of this
+    /// connection.  The submission still resolves with exactly one
+    /// terminal frame — `cancelled` when the cancel took effect, its
+    /// ordinary `result` when completion won the race — and an unknown or
+    /// already-finished id answers a non-fatal `cancel`-coded error.
+    ///
+    /// # Errors
+    ///
+    /// Any write failure.
+    pub fn cancel(&mut self, id: impl Into<String>) -> std::io::Result<()> {
+        self.send(&Request::Cancel { id: id.into() })
+    }
+
     /// Sends `shutdown` and waits for the acknowledgement (or EOF, which
     /// also means the server is gone).
     ///

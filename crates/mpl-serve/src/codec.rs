@@ -24,6 +24,14 @@ pub enum FrameError {
         /// The configured limit.
         limit: usize,
     },
+    /// A *complete* frame (its newline arrived) exceeded the decoder's
+    /// maximum length.  The oversized frame has been discarded and the
+    /// stream is still newline-synchronised, so decoding may continue —
+    /// unlike [`TooLong`](FrameError::TooLong), this is recoverable.
+    Oversized {
+        /// The configured limit.
+        limit: usize,
+    },
     /// A complete frame was not valid UTF-8.
     NotUtf8,
 }
@@ -33,6 +41,9 @@ impl fmt::Display for FrameError {
         match self {
             FrameError::TooLong { limit } => {
                 write!(f, "frame exceeds the {limit}-byte limit")
+            }
+            FrameError::Oversized { limit } => {
+                write!(f, "frame exceeds the {limit}-byte limit (frame discarded)")
             }
             FrameError::NotUtf8 => write!(f, "frame is not valid UTF-8"),
         }
@@ -85,10 +96,11 @@ impl FrameDecoder {
     /// # Errors
     ///
     /// [`FrameError::TooLong`] when more than the limit is buffered with no
-    /// newline in sight, [`FrameError::NotUtf8`] when a complete frame is
-    /// not UTF-8.  After `TooLong` the stream cannot be resynchronised;
-    /// after `NotUtf8` the offending frame has been discarded and decoding
-    /// may continue.
+    /// newline in sight, [`FrameError::Oversized`] when a complete frame
+    /// (newline present) exceeds the limit, [`FrameError::NotUtf8`] when a
+    /// complete frame is not UTF-8.  After `TooLong` the stream cannot be
+    /// resynchronised; after `Oversized` or `NotUtf8` the offending frame
+    /// has been discarded and decoding may continue.
     pub fn next_frame(&mut self) -> Result<Option<String>, FrameError> {
         match self.buffer[self.scanned..]
             .iter()
@@ -103,7 +115,7 @@ impl FrameDecoder {
                     frame.pop();
                 }
                 if frame.len() > self.max_frame_len {
-                    return Err(FrameError::TooLong {
+                    return Err(FrameError::Oversized {
                         limit: self.max_frame_len,
                     });
                 }
@@ -172,13 +184,37 @@ mod tests {
             decoder.next_frame().unwrap_err(),
             FrameError::TooLong { limit: 8 }
         );
-        // And also when the newline is present but the frame is too long.
+        // When the newline is present the error is the recoverable variant.
         let mut decoder = FrameDecoder::with_max_frame_len(4);
         decoder.push(b"0123456\n");
-        assert!(matches!(
+        assert_eq!(
             decoder.next_frame().unwrap_err(),
-            FrameError::TooLong { .. }
-        ));
+            FrameError::Oversized { limit: 4 }
+        );
+    }
+
+    #[test]
+    fn a_frame_exactly_at_the_cap_is_accepted() {
+        let mut decoder = FrameDecoder::with_max_frame_len(8);
+        decoder.push(b"01234567\n");
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), "01234567");
+        // The cap excludes the newline and any trailing carriage return.
+        let mut decoder = FrameDecoder::with_max_frame_len(8);
+        decoder.push(b"01234567\r\n");
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), "01234567");
+    }
+
+    #[test]
+    fn one_byte_over_the_cap_is_rejected_and_the_stream_survives() {
+        let mut decoder = FrameDecoder::with_max_frame_len(8);
+        decoder.push(b"012345678\nok\n");
+        assert_eq!(
+            decoder.next_frame().unwrap_err(),
+            FrameError::Oversized { limit: 8 }
+        );
+        // The oversized frame was discarded whole; the next frame decodes.
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), "ok");
+        assert_eq!(decoder.buffered(), 0);
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //! ```text
 //! {"type":"submit","id":"j1","layout_text":"# layout a\n0 0 0 20 20\n",
 //!  "k":4,"algorithm":"linear","alpha":0.1,"executor":"pool",
-//!  "progress":true,"verify":true}
+//!  "progress":true,"verify":true,"deadline_ms":5000}
+//! {"type":"cancel","id":"j1"}
 //! {"type":"ping"}
 //! {"type":"shutdown"}
 //! ```
@@ -33,9 +34,47 @@
 //! `k` (default 4), `algorithm` (`ilp` | `sdp-backtrack` | `sdp-greedy` |
 //! `linear`, default `sdp-backtrack`), `alpha` (default 0.1), `executor`
 //! (`pool` | `serial`, default `pool`), `progress` (stream per-component
-//! ticks, default false) and `verify` (server-side spacing re-check,
-//! default false).  The `id` is an arbitrary client-chosen string echoed
-//! on every frame about that submission.
+//! ticks, default false), `verify` (server-side spacing re-check,
+//! default false) and `deadline_ms` (soft compute budget, measured from
+//! acceptance; omitted = none).  The `id` is an arbitrary client-chosen
+//! string echoed on every frame about that submission.
+//!
+//! # Deadlines and cancellation
+//!
+//! Both ride the same [`CancelToken`](mpl_core::CancelToken), polled by
+//! every engine on its existing amortised clock checks: components that
+//! have not started are skipped, components in flight stop at the next
+//! poll, and components already colored keep their colors.  The two
+//! resolve differently at the terminal frame:
+//!
+//! * a `cancel` frame for a pending id fires its token, and the
+//!   submission resolves with a single terminal `cancelled` frame —
+//!   `{"type":"cancelled","id":"j1","components_completed":2,
+//!   "components_skipped":7,"bnb_nodes":412}` — in place of its `result`.
+//!   Exactly one terminal frame is sent however the cancel races
+//!   completion; cancelling an unknown or already-resolved id answers a
+//!   non-fatal typed error with code `cancel`.
+//! * an expired `deadline_ms` without an explicit cancel resolves as a
+//!   partial `result` carrying `"deadline_exceeded":true` (and
+//!   `"cancelled":true` per component in its stats), with
+//!   `components_completed` / `components_skipped` counting the split.
+//!   Skipped components report the all-zero coloring.
+//!
+//! A reader that disconnects auto-cancels every submission still pending
+//! on that connection — with the reader gone, nothing could cancel or
+//! collect them any more.
+//!
+//! # Output backpressure
+//!
+//! Each connection owns a bounded output queue
+//! ([`ServerConfig::output_queue_frames`]) drained by a dedicated writer
+//! thread.  When a slow or stalled reader fills it, progress-class frames
+//! (`progress`, `tile_progress`, `hier_progress`) are dropped first —
+//! newest first, counted in `dropped_progress` — and `queued` / `result`
+//! / `cancelled` / `error` frames are never dropped: producers briefly
+//! wait for space instead, and the write timeout
+//! ([`ServerConfig::write_timeout`]) remains the last-resort guard that
+//! declares a connection dead.
 //!
 //! Server → client ([`protocol::Response`]), per submission in order:
 //!
@@ -65,13 +104,20 @@
 //! Error `code`s ([`protocol::ErrorCode`]): `protocol` (malformed frame or
 //! field), `parse` (bad layout text / truncated GDS), `config` (the
 //! pipeline's typed [`ConfigError`](mpl_core::ConfigError)), `decompose`
-//! (planning failures such as degenerate shapes) and `io` (unreadable
-//! server-side `path`).  `ping` answers with the shared memo cache's
-//! statistics —
+//! (planning failures such as degenerate shapes), `io` (unreadable
+//! server-side `path`) and `cancel` (a `cancel` frame naming an unknown or
+//! already-resolved id — non-fatal).  `ping` answers with the shared memo
+//! cache's statistics plus the server's health counters —
 //! `{"type":"pong","cache":{"entries":3,"capacity":65536,"hits":7,
-//! "misses":3,"evictions":0,"bytes":1544}}` — and `shutdown` answers
-//! `{"type":"shutting_down"}` before the server drains its last batch and
-//! exits.
+//! "misses":3,"evictions":0,"bytes":1544},"queued_frames":0,
+//! "dropped_progress":0,"cancelled_requests":0,
+//! "deadline_exceeded_requests":0}` — where `queued_frames` is the current
+//! depth summed over every connection's output queue, `dropped_progress`
+//! counts progress-class frames shed to backpressure, and the last two
+//! count submissions that resolved `cancelled` / deadline-expired.
+//! `shutdown` answers `{"type":"shutting_down"}` before the server drains
+//! its last batch and exits; concurrent `shutdown` frames from different
+//! connections shut the server down exactly once.
 //!
 //! # Determinism
 //!

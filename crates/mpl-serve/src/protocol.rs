@@ -96,6 +96,12 @@ pub struct SubmitRequest {
     /// `tile_size`/`halo` (a typed `config` error).  Sources without a
     /// hierarchy (text layouts) degenerate to the ordinary memoized run.
     pub hier: bool,
+    /// Soft deadline in milliseconds, measured from acceptance.  Once it
+    /// expires, components not yet started are skipped and running engines
+    /// stop at their next amortised poll; the `result` frame then reports
+    /// `deadline_exceeded` alongside the partial coloring.  `None` = no
+    /// deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl SubmitRequest {
@@ -114,6 +120,7 @@ impl SubmitRequest {
             tile_size: None,
             halo: None,
             hier: false,
+            deadline_ms: None,
         }
     }
 }
@@ -123,6 +130,16 @@ impl SubmitRequest {
 pub enum Request {
     /// Submit one layout for decomposition.
     Submit(SubmitRequest),
+    /// Cancel an earlier submission of **this connection** by its id —
+    /// queued submissions skip wholesale, in-flight ones stop at the
+    /// engines' next amortised poll, and either way the submission resolves
+    /// with a terminal `cancelled` frame.  Cancelling an unknown or
+    /// already-finished id answers a non-fatal typed error
+    /// ([`ErrorCode::Cancel`]); the connection stays usable.
+    Cancel {
+        /// The id of the submission to cancel.
+        id: String,
+    },
     /// Liveness probe; the server answers with [`Response::Pong`].
     Ping,
     /// Ask the whole server (not just this connection) to stop accepting
@@ -261,6 +278,23 @@ pub struct ResultPayload {
     /// Components the engine actually colored under the memo cache.
     /// `None` when the run had no cache.
     pub memo_misses: Option<usize>,
+    /// `true` when an explicit `cancel` stopped this submission's work
+    /// mid-run but it still resolved with a (partial) result frame.
+    /// Decodes as `false` when absent, so frames from older servers — and
+    /// undisturbed warm-path frames, which omit the flag — keep parsing.
+    pub cancelled: bool,
+    /// `true` when the submission's `deadline_ms` expired while it ran:
+    /// the coloring is partial (skipped components wear mask 0).  Decodes
+    /// as `false` when absent.
+    pub deadline_exceeded: bool,
+    /// Components that actually reached an engine (or the memo cache)
+    /// before any cancellation or deadline stopped the run.  Decodes as
+    /// `components − components_skipped` when absent.
+    pub components_completed: usize,
+    /// Components skipped wholesale because the request was cancelled or
+    /// its deadline expired before they started.  Decodes as zero when
+    /// absent.
+    pub components_skipped: usize,
     /// Tiling statistics (present only when the submission set
     /// `tile_size`).
     pub tiles: Option<TilePayload>,
@@ -281,6 +315,9 @@ pub enum ErrorCode {
     Decompose,
     /// A server-side I/O failure (e.g. an unreadable `path` submission).
     Io,
+    /// A `cancel` frame named an unknown or already-finished submission.
+    /// Non-fatal: the connection stays usable.
+    Cancel,
 }
 
 impl ErrorCode {
@@ -292,6 +329,7 @@ impl ErrorCode {
             ErrorCode::Config => "config",
             ErrorCode::Decompose => "decompose",
             ErrorCode::Io => "io",
+            ErrorCode::Cancel => "cancel",
         }
     }
 
@@ -303,6 +341,7 @@ impl ErrorCode {
             "config" => Ok(ErrorCode::Config),
             "decompose" => Ok(ErrorCode::Decompose),
             "io" => Ok(ErrorCode::Io),
+            "cancel" => Ok(ErrorCode::Cancel),
             other => Err(ServeError::Protocol(format!(
                 "unknown error code {other:?}"
             ))),
@@ -363,6 +402,22 @@ pub enum Response {
     },
     /// A submission finished; the full coloring and statistics.
     Result(ResultPayload),
+    /// A submission was cancelled by an explicit `cancel` frame — the
+    /// terminal frame for that id (no `result` follows).  Components that
+    /// completed before the token fired stay counted; skipped ones never
+    /// reached an engine.
+    Cancelled {
+        /// The submission's id.
+        id: String,
+        /// Components that finished before the cancellation took effect.
+        components_completed: usize,
+        /// Components skipped because the cancellation beat their start.
+        components_skipped: usize,
+        /// Branch-and-bound nodes the exact engine expanded before it
+        /// observed the cancellation — the work-counter bound fault tests
+        /// assert cancellation latency with, instead of wall-clock.
+        bnb_nodes: u64,
+    },
     /// A request failed.  The connection stays open.
     Error {
         /// The submission's id, when the failing frame carried one.
@@ -382,6 +437,16 @@ pub enum Response {
         hier_runs: u64,
         /// Layouts decomposed through the halo-aware tiler so far.
         tile_runs: u64,
+        /// Frames currently queued across all connections' bounded output
+        /// queues (a gauge, not a lifetime counter).
+        queued_frames: u64,
+        /// Lifetime progress frames dropped by output-queue overflow
+        /// (result/error/cancelled frames are never dropped).
+        dropped_progress: u64,
+        /// Lifetime submissions resolved by an explicit `cancel`.
+        cancelled_requests: u64,
+        /// Lifetime submissions whose `deadline_ms` expired mid-run.
+        deadline_exceeded_requests: u64,
     },
     /// Acknowledges [`Request::Shutdown`]; the server exits afterwards.
     ShuttingDown,
@@ -524,6 +589,9 @@ pub fn decode_request(json: &Json) -> Result<Request, ServeError> {
     match frame_type.as_str() {
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
+        "cancel" => Ok(Request::Cancel {
+            id: string_field(json, "id")?,
+        }),
         "submit" => {
             let id = string_field(json, "id")?;
             let sources: Vec<LayoutSource> = [
@@ -593,6 +661,14 @@ pub fn decode_request(json: &Json) -> Result<Request, ServeError> {
                     ServeError::Protocol("field \"hier\" must be a boolean".to_string())
                 })?;
             }
+            submit.deadline_ms = match json.get("deadline_ms") {
+                None | Some(Json::Null) => None,
+                Some(value) => Some(value.as_usize().map(|ms| ms as u64).ok_or_else(|| {
+                    ServeError::Protocol(
+                        "field \"deadline_ms\" must be a non-negative integer".to_string(),
+                    )
+                })?),
+            };
             Ok(Request::Submit(submit))
         }
         other => Err(ServeError::Protocol(format!(
@@ -606,6 +682,10 @@ pub fn encode_request(request: &Request) -> Json {
     match request {
         Request::Ping => Json::object(vec![("type", Json::string("ping"))]),
         Request::Shutdown => Json::object(vec![("type", Json::string("shutdown"))]),
+        Request::Cancel { id } => Json::object(vec![
+            ("type", Json::string("cancel")),
+            ("id", Json::string(id.clone())),
+        ]),
         Request::Submit(submit) => {
             let mut pairs = vec![
                 ("type", Json::string("submit")),
@@ -633,6 +713,9 @@ pub fn encode_request(request: &Request) -> Json {
                 pairs.push(("halo", Json::Number(halo as f64)));
             }
             pairs.push(("hier", Json::Bool(submit.hier)));
+            if let Some(deadline_ms) = submit.deadline_ms {
+                pairs.push(("deadline_ms", Json::Number(deadline_ms as f64)));
+            }
             Json::object(pairs)
         }
     }
@@ -673,6 +756,10 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
                 cache,
                 hier_runs: counter("hier_runs")?,
                 tile_runs: counter("tile_runs")?,
+                queued_frames: counter("queued_frames")?,
+                dropped_progress: counter("dropped_progress")?,
+                cancelled_requests: counter("cancelled_requests")?,
+                deadline_exceeded_requests: counter("deadline_exceeded_requests")?,
             })
         }
         "shutting_down" => Ok(Response::ShuttingDown),
@@ -696,6 +783,12 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
             id: string_field(json, "id")?,
             done: usize_field(json, "done")?,
             total: usize_field(json, "total")?,
+        }),
+        "cancelled" => Ok(Response::Cancelled {
+            id: string_field(json, "id")?,
+            components_completed: usize_field(json, "components_completed")?,
+            components_skipped: usize_field(json, "components_skipped")?,
+            bnb_nodes: usize_field(json, "bnb_nodes")? as u64,
         }),
         "error" => {
             let id = match json.get("id") {
@@ -749,6 +842,22 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
             let kernel_vertices = counter("kernel_vertices")?;
             let simplify_rounds = counter("simplify_rounds")?;
             let bound_improvements = counter("bound_improvements")? as u64;
+            // Absent flags (undisturbed runs, frames from older servers)
+            // decode as an untouched submission.
+            let flag = |key: &str| -> Result<bool, ServeError> {
+                match json.get(key) {
+                    None | Some(Json::Null) => Ok(false),
+                    Some(value) => value.as_bool().ok_or_else(|| {
+                        ServeError::Protocol(format!("field {key:?} must be a boolean"))
+                    }),
+                }
+            };
+            let cancelled = flag("cancelled")?;
+            let deadline_exceeded = flag("deadline_exceeded")?;
+            let components = usize_field(json, "components")?;
+            let components_skipped = counter("components_skipped")?;
+            let components_completed = optional_count("components_completed")?
+                .unwrap_or_else(|| components.saturating_sub(components_skipped));
             let tiles = match json.get("tiles") {
                 None | Some(Json::Null) => None,
                 Some(value) => Some(TilePayload {
@@ -791,7 +900,7 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
                 algorithm: string_field(json, "algorithm")?,
                 executor: string_field(json, "executor")?,
                 vertices: usize_field(json, "vertices")?,
-                components: usize_field(json, "components")?,
+                components,
                 conflicts: usize_field(json, "conflicts")?,
                 stitches: usize_field(json, "stitches")?,
                 cost: f64_field(json, "cost")?,
@@ -804,6 +913,10 @@ pub fn decode_response(json: &Json) -> Result<Response, ServeError> {
                 spacing_violations,
                 memo_hits,
                 memo_misses,
+                cancelled,
+                deadline_exceeded,
+                components_completed,
+                components_skipped,
                 tiles,
                 hierarchy,
             }))
@@ -821,6 +934,10 @@ pub fn encode_response(response: &Response) -> Json {
             cache,
             hier_runs,
             tile_runs,
+            queued_frames,
+            dropped_progress,
+            cancelled_requests,
+            deadline_exceeded_requests,
         } => {
             let mut pairs = vec![("type", Json::string("pong"))];
             if let Some(cache) = cache {
@@ -838,6 +955,16 @@ pub fn encode_response(response: &Response) -> Json {
             }
             pairs.push(("hier_runs", Json::Number(*hier_runs as f64)));
             pairs.push(("tile_runs", Json::Number(*tile_runs as f64)));
+            pairs.push(("queued_frames", Json::Number(*queued_frames as f64)));
+            pairs.push(("dropped_progress", Json::Number(*dropped_progress as f64)));
+            pairs.push((
+                "cancelled_requests",
+                Json::Number(*cancelled_requests as f64),
+            ));
+            pairs.push((
+                "deadline_exceeded_requests",
+                Json::Number(*deadline_exceeded_requests as f64),
+            ));
             Json::object(pairs)
         }
         Response::ShuttingDown => Json::object(vec![("type", Json::string("shutting_down"))]),
@@ -870,6 +997,24 @@ pub fn encode_response(response: &Response) -> Json {
             ("id", Json::string(id.clone())),
             ("done", Json::Number(*done as f64)),
             ("total", Json::Number(*total as f64)),
+        ]),
+        Response::Cancelled {
+            id,
+            components_completed,
+            components_skipped,
+            bnb_nodes,
+        } => Json::object(vec![
+            ("type", Json::string("cancelled")),
+            ("id", Json::string(id.clone())),
+            (
+                "components_completed",
+                Json::Number(*components_completed as f64),
+            ),
+            (
+                "components_skipped",
+                Json::Number(*components_skipped as f64),
+            ),
+            ("bnb_nodes", Json::Number(*bnb_nodes as f64)),
         ]),
         Response::Error { id, code, message } => {
             let mut pairs = vec![("type", Json::string("error"))];
@@ -919,6 +1064,25 @@ pub fn encode_response(response: &Response) -> Json {
             }
             if let Some(misses) = payload.memo_misses {
                 pairs.push(("memo_misses", Json::Number(misses as f64)));
+            }
+            // Cancellation/deadline fields only appear on disturbed runs —
+            // undisturbed frames stay byte-identical to older servers'.
+            if payload.cancelled {
+                pairs.push(("cancelled", Json::Bool(true)));
+            }
+            if payload.deadline_exceeded {
+                pairs.push(("deadline_exceeded", Json::Bool(true)));
+            }
+            if payload.components_skipped > 0 || payload.components_completed != payload.components
+            {
+                pairs.push((
+                    "components_completed",
+                    Json::Number(payload.components_completed as f64),
+                ));
+                pairs.push((
+                    "components_skipped",
+                    Json::Number(payload.components_skipped as f64),
+                ));
             }
             if let Some(tiles) = &payload.tiles {
                 pairs.push((
@@ -1056,6 +1220,10 @@ mod tests {
             "p",
             LayoutSource::Path("/tmp/x.gds".into()),
         )));
+        let mut deadlined = SubmitRequest::new("d", LayoutSource::Text("# layout d\n".into()));
+        deadlined.deadline_ms = Some(1_500);
+        round_trip_request(Request::Submit(deadlined));
+        round_trip_request(Request::Cancel { id: "j1".into() });
     }
 
     #[test]
@@ -1064,6 +1232,10 @@ mod tests {
             cache: None,
             hier_runs: 0,
             tile_runs: 0,
+            queued_frames: 0,
+            dropped_progress: 0,
+            cancelled_requests: 0,
+            deadline_exceeded_requests: 0,
         });
         round_trip_response(Response::Pong {
             cache: Some(CachePayload {
@@ -1076,6 +1248,10 @@ mod tests {
             }),
             hier_runs: 3,
             tile_runs: 7,
+            queued_frames: 5,
+            dropped_progress: 11,
+            cancelled_requests: 2,
+            deadline_exceeded_requests: 1,
         });
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Queued {
@@ -1129,6 +1305,10 @@ mod tests {
             spacing_violations: Some(1),
             memo_hits: Some(1),
             memo_misses: Some(1),
+            cancelled: false,
+            deadline_exceeded: false,
+            components_completed: 2,
+            components_skipped: 0,
             tiles: Some(TilePayload {
                 grid_x: 3,
                 grid_y: 2,
@@ -1163,6 +1343,10 @@ mod tests {
             spacing_violations: Some(0),
             memo_hits: Some(15),
             memo_misses: Some(1),
+            cancelled: false,
+            deadline_exceeded: false,
+            components_completed: 1,
+            components_skipped: 0,
             tiles: None,
             hierarchy: Some(HierPayload {
                 instances: 16,
@@ -1198,9 +1382,47 @@ mod tests {
             spacing_violations: None,
             memo_hits: None,
             memo_misses: None,
+            cancelled: false,
+            deadline_exceeded: false,
+            components_completed: 1,
+            components_skipped: 0,
             tiles: None,
             hierarchy: None,
         }));
+        // A disturbed (deadline-expired, partially-cancelled) result.
+        round_trip_response(Response::Result(ResultPayload {
+            id: "t".into(),
+            layout: "late".into(),
+            k: 4,
+            algorithm: "ILP".into(),
+            executor: "serial".into(),
+            vertices: 9,
+            components: 5,
+            conflicts: 3,
+            stitches: 0,
+            cost: 3.0,
+            color_seconds: 0.001,
+            colors: vec![0; 9],
+            hidden_vertices: 0,
+            kernel_vertices: 0,
+            simplify_rounds: 0,
+            bound_improvements: 0,
+            spacing_violations: None,
+            memo_hits: None,
+            memo_misses: None,
+            cancelled: true,
+            deadline_exceeded: true,
+            components_completed: 2,
+            components_skipped: 3,
+            tiles: None,
+            hierarchy: None,
+        }));
+        round_trip_response(Response::Cancelled {
+            id: "j9".into(),
+            components_completed: 4,
+            components_skipped: 6,
+            bnb_nodes: 1_024,
+        });
     }
 
     #[test]
@@ -1218,6 +1440,54 @@ mod tests {
         assert_eq!(payload.kernel_vertices, 0);
         assert_eq!(payload.simplify_rounds, 0);
         assert_eq!(payload.bound_improvements, 0);
+        // Cancellation fields follow the same rule: absent = undisturbed.
+        assert!(!payload.cancelled);
+        assert!(!payload.deadline_exceeded);
+        assert_eq!(payload.components_completed, 1);
+        assert_eq!(payload.components_skipped, 0);
+    }
+
+    #[test]
+    fn undisturbed_result_frames_omit_the_cancellation_fields() {
+        // Warm-path frames must stay byte-identical to pre-cancellation
+        // servers: no `cancelled` / `deadline_exceeded` /
+        // `components_completed` / `components_skipped` keys at all.
+        let payload = ResultPayload {
+            id: "w".into(),
+            layout: "warm".into(),
+            k: 4,
+            algorithm: "Linear".into(),
+            executor: "serial".into(),
+            vertices: 2,
+            components: 2,
+            conflicts: 0,
+            stitches: 0,
+            cost: 0.0,
+            color_seconds: 0.0,
+            colors: vec![0, 1],
+            hidden_vertices: 0,
+            kernel_vertices: 0,
+            simplify_rounds: 0,
+            bound_improvements: 0,
+            spacing_violations: None,
+            memo_hits: None,
+            memo_misses: None,
+            cancelled: false,
+            deadline_exceeded: false,
+            components_completed: 2,
+            components_skipped: 0,
+            tiles: None,
+            hierarchy: None,
+        };
+        let wire = encode_response(&Response::Result(payload)).to_string();
+        for key in [
+            "cancelled",
+            "deadline_exceeded",
+            "components_completed",
+            "components_skipped",
+        ] {
+            assert!(!wire.contains(key), "{key} leaked into {wire}");
+        }
     }
 
     #[test]
@@ -1247,6 +1517,10 @@ mod tests {
                     cache: None,
                     hier_runs: 0,
                     tile_runs: 0,
+                    queued_frames: 0,
+                    dropped_progress: 0,
+                    cancelled_requests: 0,
+                    deadline_exceeded_requests: 0,
                 },
                 "{frame}"
             );
@@ -1328,6 +1602,11 @@ mod tests {
                 r#"{"type":"submit","id":"x","layout_text":"a","hier":"yes"}"#,
                 "field \"hier\" must be a boolean",
             ),
+            (
+                r#"{"type":"submit","id":"x","layout_text":"a","deadline_ms":-5}"#,
+                "field \"deadline_ms\" must be a non-negative integer",
+            ),
+            (r#"{"type":"cancel"}"#, "missing field \"id\""),
             (r#"{"type":7}"#, "must be a string"),
         ] {
             let json = Json::parse(bad).expect("valid JSON");

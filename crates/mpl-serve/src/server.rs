@@ -17,13 +17,28 @@
 //! so every submission the server ever accepts gets a unique
 //! [`LayoutId`].
 //!
-//! Back-pressure: result and progress frames are written directly to the
-//! submitting connection under its write lock, so the write path stays
-//! synchronous and deterministic.  A client that stops reading cannot wedge
-//! the scheduler, though: every connection socket carries a
-//! [`write_timeout`](ServerConfig::write_timeout), and the first timed-out
-//! (or otherwise failed) write marks that connection dead — its remaining
-//! frames are dropped and everyone else's results keep flowing.
+//! Back-pressure: every connection owns a **bounded output queue** drained
+//! by a dedicated writer thread.  The scheduler enqueues frames instead of
+//! writing sockets, so a slow client never blocks it directly.  On
+//! overflow, progress frames (`progress` / `tile_progress` /
+//! `hier_progress`) are dropped first — incoming ones when the queue is
+//! full, queued ones to make room for a result — and result / error /
+//! cancelled frames are **never** dropped: when the queue is all
+//! non-droppable frames the sender waits, bounded by the writer thread's
+//! own progress or death.  A stalled client's writer thread fails with the
+//! socket [`write_timeout`](ServerConfig::write_timeout) once the socket
+//! buffer fills, which marks the connection dead, empties its queue and
+//! releases any waiting sender — everyone else's results keep flowing.
+//!
+//! Cancellation: every submission carries an
+//! [`mpl_core::CancelToken`]; an optional `deadline_ms` arms its deadline,
+//! and a `cancel` frame from the submitting connection fires it explicitly.
+//! Fired tokens make not-yet-started components skip and running engines
+//! stop at their next amortised poll, so the submission still resolves with
+//! exactly one terminal frame: `cancelled` for an explicit cancel, or a
+//! `result` carrying `deadline_exceeded` and the completed/skipped split
+//! for an expired deadline.  A reader that disconnects auto-cancels that
+//! connection's pending submissions.
 //!
 //! Submissions may opt into the halo-aware tiler (`tile_size` on the
 //! `submit` frame): such layouts decompose through
@@ -43,11 +58,11 @@
 use crate::codec::{encode_frame, FrameDecoder, FrameError, DEFAULT_MAX_FRAME_LEN};
 use crate::json::Json;
 use crate::protocol::{
-    decode_request, encode_response, CachePayload, ExecutorChoice, HierPayload, LayoutSource,
-    Request, Response, ResultPayload, ServeError, SubmitRequest, TilePayload,
+    decode_request, encode_response, CachePayload, ErrorCode, ExecutorChoice, HierPayload,
+    LayoutSource, Request, Response, ResultPayload, ServeError, SubmitRequest, TilePayload,
 };
 use mpl_core::{
-    verify_spacing, ConfigError, Decomposer, DecomposerConfig, DecompositionPlan,
+    verify_spacing, CancelToken, ConfigError, Decomposer, DecomposerConfig, DecompositionPlan,
     DecompositionSession, Executor, LayoutId, MemoCache, ProgressObserver, ProgressSink,
     SerialExecutor, ThreadPoolExecutor, TileConfig,
 };
@@ -59,13 +74,28 @@ use mpl_geometry::Nm;
 use mpl_hier::HierStats;
 use mpl_layout::{io, Layout, LayoutHierarchy, Technology};
 use mpl_tile::{TileProgress, TileStats};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::Duration;
+
+/// Locks a mutex, recovering the guard from a poisoned lock.  Every mutex
+/// in this server protects plain queue/flag state that is valid at every
+/// intermediate step, so a thread that panicked while holding one leaves
+/// nothing half-mutated — recovering beats cascading the panic into every
+/// other connection.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The cancel tokens of one connection's unresolved submissions, keyed by
+/// the client-chosen id.  Shared between the connection's reader thread
+/// (which registers submissions and serves `cancel` frames) and the
+/// scheduler (which retires entries as terminal frames go out).
+type CancelRegistry = Arc<Mutex<HashMap<String, CancelToken>>>;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -81,11 +111,16 @@ pub struct ServerConfig {
     /// by every batch the server runs (≥ 1).
     pub memo_capacity: usize,
     /// Maximum time one blocking socket write may stall before the
-    /// connection is declared dead (`None` = block forever).  Result and
-    /// progress frames are written synchronously from the scheduler, so
-    /// without a timeout a single client that stops reading wedges every
-    /// other submission once its socket buffer fills.
+    /// connection is declared dead (`None` = block forever).  Writes run
+    /// on per-connection writer threads, so a stalled client only wedges
+    /// its own writer — but until that write times out, its bounded queue
+    /// can fill and make the scheduler wait to enqueue non-droppable
+    /// frames; the timeout bounds that wait too.
     pub write_timeout: Option<Duration>,
+    /// Capacity (in frames) of each connection's bounded output queue
+    /// (≥ 1).  On overflow, progress frames are dropped first; result,
+    /// error and cancelled frames are never dropped.
+    pub output_queue_frames: usize,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +131,7 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             memo_capacity: MemoCache::DEFAULT_CAPACITY,
             write_timeout: Some(Duration::from_secs(30)),
+            output_queue_frames: 256,
         }
     }
 }
@@ -110,6 +146,13 @@ struct Pending {
     /// hierarchy (`None` for flat submissions and text sources).
     hierarchy: Option<Arc<LayoutHierarchy>>,
     writer: ConnectionWriter,
+    /// The submission's cancel token: its deadline armed from
+    /// `deadline_ms`, fired explicitly by a `cancel` frame, or fired by
+    /// the reader disconnecting.
+    cancel: CancelToken,
+    /// The submitting connection's registry, so the scheduler can retire
+    /// the entry when the terminal frame goes out.
+    registry: CancelRegistry,
 }
 
 /// State shared between the listener, connections and the scheduler.
@@ -133,6 +176,15 @@ struct Shared {
     /// Lifetime count of layouts decomposed through the halo-aware tiler,
     /// reported on `pong` frames.
     tile_runs: AtomicU64,
+    /// Gauges and counters of the bounded per-connection output queues,
+    /// reported on `pong` frames.
+    writer_metrics: Arc<WriterMetrics>,
+    /// Lifetime count of submissions resolved by an explicit `cancel`.
+    cancelled_requests: AtomicU64,
+    /// Lifetime count of submissions whose deadline expired mid-run.
+    deadline_exceeded_requests: AtomicU64,
+    /// Capacity of each connection's bounded output queue.
+    output_queue_frames: usize,
 }
 
 impl Shared {
@@ -143,7 +195,7 @@ impl Shared {
     /// lock, so an accepted submission is always either drained by the
     /// scheduler's final wave or rejected here, never silently dropped.
     fn enqueue(&self, pending: Pending) -> bool {
-        let mut queue = self.pending.lock().expect("no panics while queueing");
+        let mut queue = lock_recovering(&self.pending);
         if self.shutting_down() {
             return false;
         }
@@ -153,12 +205,18 @@ impl Shared {
     }
 
     /// Flags shutdown and unblocks both the scheduler (condvar) and the
-    /// accept loop (a throwaway connection to ourselves).
+    /// accept loop (a throwaway connection to ourselves).  Idempotent:
+    /// simultaneous `shutdown` frames from several connections flag, wake
+    /// and poke exactly once — later callers see the swapped flag and
+    /// return, so no second poke can race the listener's close and land on
+    /// whatever rebinds the port.
     fn begin_shutdown(&self) {
         {
             // Under the queue lock: see `enqueue` for the invariant.
-            let _queue = self.pending.lock().expect("no panics while queueing");
-            self.shutdown.store(true, Ordering::Release);
+            let _queue = lock_recovering(&self.pending);
+            if self.shutdown.swap(true, Ordering::AcqRel) {
+                return;
+            }
         }
         self.wake.notify_all();
         // `TcpListener::incoming` has no timeout; poke it awake.  A
@@ -179,61 +237,227 @@ impl Shared {
     }
 }
 
-/// A shareable, mutex-serialised frame writer over one connection.
-///
-/// Frames are written whole under the lock, so responses from the
-/// connection thread (errors, pongs, queued acks) and from the scheduler
-/// (progress, results) never interleave mid-frame.  The first write error
-/// marks the connection dead and later frames are dropped silently — a
-/// vanished client must not take the scheduler down.  With a socket write
-/// timeout configured, a *stalled* client (one that keeps its connection
-/// open but stops reading) is the same story: the blocked write fails with
-/// a timeout once the socket buffer fills, which is fatal for the
-/// connection — never retried, because a partial frame may already be on
-/// the wire and the stream has lost frame synchronisation.
-#[derive(Clone)]
-struct ConnectionWriter {
-    inner: Arc<Mutex<WriterInner>>,
+/// Server-wide gauges and counters of the bounded per-connection output
+/// queues, reported on `pong` frames.
+#[derive(Debug, Default)]
+struct WriterMetrics {
+    /// Frames currently queued across every live connection (a gauge).
+    queued_frames: AtomicU64,
+    /// Lifetime progress frames dropped by queue overflow.
+    dropped_progress: AtomicU64,
 }
 
-struct WriterInner {
-    stream: TcpStream,
+/// One frame waiting in a connection's bounded output queue.
+struct QueuedFrame {
+    bytes: String,
+    /// Progress frames are droppable under back-pressure; result, error
+    /// and cancelled frames are not.
+    droppable: bool,
+}
+
+/// State shared between a connection's frame senders (reader thread,
+/// scheduler) and its dedicated writer thread.
+struct WriterShared {
+    state: Mutex<WriterState>,
+    /// Wakes the writer thread: a frame queued, a sender gone, or death.
+    readable: Condvar,
+    /// Wakes blocked senders: queue space freed, or death.
+    writable: Condvar,
+    capacity: usize,
+    metrics: Arc<WriterMetrics>,
+}
+
+struct WriterState {
+    queue: VecDeque<QueuedFrame>,
+    /// Live [`ConnectionWriter`] handles.  The writer thread drains the
+    /// queue and exits once this reaches zero — which also closes the
+    /// socket, so a half-closed client reading to EOF sees every frame
+    /// queued before the last handle dropped.
+    senders: usize,
+    /// Set by the writer thread on the first failed write.  The queue is
+    /// emptied (a partial frame may be on the wire; the stream has lost
+    /// frame synchronisation) and later sends drop silently.
     dead: bool,
 }
 
-impl ConnectionWriter {
-    fn new(stream: TcpStream) -> Self {
+impl WriterShared {
+    /// Empties the queue after the connection died, keeping the
+    /// queued-frames gauge honest.
+    fn clear_queue(&self, state: &mut WriterState) {
+        self.metrics
+            .queued_frames
+            .fetch_sub(state.queue.len() as u64, Ordering::Relaxed);
+        state.queue.clear();
+    }
+}
+
+/// A shareable handle enqueueing frames onto one connection's bounded
+/// output queue.
+///
+/// A dedicated writer thread drains the queue, so the scheduler never
+/// blocks on a socket.  When the queue is full, progress frames are
+/// dropped — the incoming one, or queued ones to make room for a
+/// non-droppable frame — and result/error/cancelled frames are never
+/// dropped: the sender waits for space, bounded by the writer thread's own
+/// progress or death (a stalled client's write fails with the socket write
+/// timeout, marking the connection dead and releasing every waiter).
+struct ConnectionWriter {
+    shared: Arc<WriterShared>,
+}
+
+impl Clone for ConnectionWriter {
+    fn clone(&self) -> Self {
+        lock_recovering(&self.shared.state).senders += 1;
         ConnectionWriter {
-            inner: Arc::new(Mutex::new(WriterInner {
-                stream,
-                dead: false,
-            })),
+            shared: Arc::clone(&self.shared),
         }
+    }
+}
+
+impl Drop for ConnectionWriter {
+    fn drop(&mut self) {
+        let mut state = lock_recovering(&self.shared.state);
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // The writer thread drains what is queued, then exits.
+            self.shared.readable.notify_all();
+        }
+    }
+}
+
+impl ConnectionWriter {
+    /// Spawns the connection's writer thread around a cloned stream.
+    fn spawn(stream: TcpStream, capacity: usize, metrics: Arc<WriterMetrics>) -> Option<Self> {
+        let shared = Arc::new(WriterShared {
+            state: Mutex::new(WriterState {
+                queue: VecDeque::new(),
+                senders: 1,
+                dead: false,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity: capacity.max(1),
+            metrics,
+        });
+        let thread_shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("mpl-serve-writer".to_string())
+            .spawn(move || writer_loop(stream, &thread_shared))
+            .ok()?;
+        Some(ConnectionWriter { shared })
     }
 
     fn send(&self, response: &Response) {
-        let frame = encode_frame(&encode_response(response));
-        let mut inner = self.inner.lock().expect("no panics while writing");
-        if inner.dead {
-            return;
-        }
-        if inner.stream.write_all(frame.as_bytes()).is_err() {
-            inner.dead = true;
+        let droppable = matches!(
+            response,
+            Response::Progress { .. }
+                | Response::TileProgress { .. }
+                | Response::HierProgress { .. }
+        );
+        let bytes = encode_frame(&encode_response(response));
+        let shared = &*self.shared;
+        let mut state = lock_recovering(&shared.state);
+        loop {
+            if state.dead {
+                return;
+            }
+            if state.queue.len() < shared.capacity {
+                state.queue.push_back(QueuedFrame { bytes, droppable });
+                shared.metrics.queued_frames.fetch_add(1, Ordering::Relaxed);
+                shared.readable.notify_one();
+                return;
+            }
+            if droppable {
+                // Queue full: progress is the overflow policy's first
+                // victim, and an incoming tick is the staleness-cheapest
+                // one to lose.
+                shared
+                    .metrics
+                    .dropped_progress
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // Make room for a non-droppable frame by evicting queued
+            // progress ticks.
+            let before = state.queue.len();
+            state.queue.retain(|frame| !frame.droppable);
+            let evicted = (before - state.queue.len()) as u64;
+            if evicted > 0 {
+                shared
+                    .metrics
+                    .dropped_progress
+                    .fetch_add(evicted, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .queued_frames
+                    .fetch_sub(evicted, Ordering::Relaxed);
+                continue;
+            }
+            // Full of non-droppable frames: wait for the writer thread to
+            // deliver one or die trying — both bounded by the socket write
+            // timeout.  The wait slice only bounds each nap, not progress.
+            state = shared
+                .writable
+                .wait_timeout(state, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
         }
     }
+}
+
+/// Drains one connection's output queue onto its socket until every sender
+/// is gone (clean drain) or a write fails (the connection is dead).
+fn writer_loop(mut stream: TcpStream, shared: &WriterShared) {
+    loop {
+        let frame = {
+            let mut state = lock_recovering(&shared.state);
+            loop {
+                if let Some(frame) = state.queue.pop_front() {
+                    break frame;
+                }
+                if state.dead || state.senders == 0 {
+                    return;
+                }
+                state = shared
+                    .readable
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        shared.metrics.queued_frames.fetch_sub(1, Ordering::Relaxed);
+        shared.writable.notify_all();
+        if stream.write_all(frame.bytes.as_bytes()).is_err() {
+            let mut state = lock_recovering(&shared.state);
+            state.dead = true;
+            shared.clear_queue(&mut state);
+            drop(state);
+            shared.writable.notify_all();
+            return;
+        }
+    }
+}
+
+/// One batch member: its request, its connection's writer, its cancel
+/// token, and the registry entry to retire once the terminal frame is out.
+struct Active {
+    submit: SubmitRequest,
+    writer: ConnectionWriter,
+    cancel: CancelToken,
+    registry: CancelRegistry,
 }
 
 /// Streams progress frames for one running batch.
 struct BatchSink<'a> {
-    submissions: &'a HashMap<LayoutId, (SubmitRequest, ConnectionWriter)>,
+    submissions: &'a HashMap<LayoutId, Active>,
 }
 
 impl ProgressSink for BatchSink<'_> {
     fn component_done(&self, layout: LayoutId, done: usize, total: usize) {
-        if let Some((submit, writer)) = self.submissions.get(&layout) {
-            if submit.progress {
-                writer.send(&Response::Progress {
-                    id: submit.id.clone(),
+        if let Some(active) = self.submissions.get(&layout) {
+            if active.submit.progress {
+                active.writer.send(&Response::Progress {
+                    id: active.submit.id.clone(),
                     done,
                     total,
                 });
@@ -244,15 +468,15 @@ impl ProgressSink for BatchSink<'_> {
 
 /// Streams `tile_progress` frames for one running tiled batch.
 struct TileSink<'a> {
-    submissions: &'a HashMap<LayoutId, (SubmitRequest, ConnectionWriter)>,
+    submissions: &'a HashMap<LayoutId, Active>,
 }
 
 impl TileProgress for TileSink<'_> {
     fn tile_done(&self, layout: LayoutId, done: usize, total: usize) {
-        if let Some((submit, writer)) = self.submissions.get(&layout) {
-            if submit.progress {
-                writer.send(&Response::TileProgress {
-                    id: submit.id.clone(),
+        if let Some(active) = self.submissions.get(&layout) {
+            if active.submit.progress {
+                active.writer.send(&Response::TileProgress {
+                    id: active.submit.id.clone(),
                     done,
                     total,
                 });
@@ -263,15 +487,15 @@ impl TileProgress for TileSink<'_> {
 
 /// Streams `hier_progress` frames for one running hierarchical batch.
 struct HierSink<'a> {
-    submissions: &'a HashMap<LayoutId, (SubmitRequest, ConnectionWriter)>,
+    submissions: &'a HashMap<LayoutId, Active>,
 }
 
 impl mpl_hier::HierProgress for HierSink<'_> {
     fn piece_done(&self, layout: LayoutId, done: usize, total: usize) {
-        if let Some((submit, writer)) = self.submissions.get(&layout) {
-            if submit.progress {
-                writer.send(&Response::HierProgress {
-                    id: submit.id.clone(),
+        if let Some(active) = self.submissions.get(&layout) {
+            if active.submit.progress {
+                active.writer.send(&Response::HierProgress {
+                    id: active.submit.id.clone(),
                     done,
                     total,
                 });
@@ -321,6 +545,10 @@ impl Server {
                 memo: Arc::new(MemoCache::new(config.memo_capacity)),
                 hier_runs: AtomicU64::new(0),
                 tile_runs: AtomicU64::new(0),
+                writer_metrics: Arc::new(WriterMetrics::default()),
+                cancelled_requests: AtomicU64::new(0),
+                deadline_exceeded_requests: AtomicU64::new(0),
+                output_queue_frames: config.output_queue_frames.max(1),
             }),
         })
     }
@@ -415,19 +643,46 @@ impl ServerHandle {
 }
 
 /// Reads frames from one connection until EOF, a fatal framing error, or a
-/// read failure.
+/// read failure — then auto-cancels whatever the connection still has
+/// pending: with the reader gone, nothing can cancel or collect those
+/// submissions any more, so their remaining work is wasted.
 fn connection_loop(shared: &Shared, stream: TcpStream) {
-    // The write timeout is the stalled-client guard: `write_all` on the
-    // clone fails with `TimedOut`/`WouldBlock` instead of blocking the
-    // scheduler forever behind a full socket buffer.
+    // The write timeout is the stalled-client guard: the writer thread's
+    // `write_all` fails with `TimedOut`/`WouldBlock` instead of blocking
+    // forever behind a full socket buffer.
     if stream.set_write_timeout(shared.write_timeout).is_err() {
         return;
     }
-    let writer = match stream.try_clone() {
-        Ok(clone) => ConnectionWriter::new(clone),
-        Err(_) => return,
+    let Ok(clone) = stream.try_clone() else {
+        return;
     };
-    let mut stream = stream;
+    let Some(writer) = ConnectionWriter::spawn(
+        clone,
+        shared.output_queue_frames,
+        Arc::clone(&shared.writer_metrics),
+    ) else {
+        return;
+    };
+    let registry: CancelRegistry = Arc::new(Mutex::new(HashMap::new()));
+    read_frames(shared, &writer, &registry, stream);
+    // Terminal frames for the cancelled submissions still flow: the
+    // scheduler and any queued `Pending`s hold writer clones, and the
+    // writer thread drains its queue before closing the socket, so a
+    // half-closed client reading to EOF sees them all.
+    let tokens: Vec<CancelToken> = lock_recovering(&registry).values().cloned().collect();
+    for token in tokens {
+        token.cancel();
+    }
+}
+
+/// The read half of [`connection_loop`]: parses frames until the peer goes
+/// away or commits a fatal framing offence.
+fn read_frames(
+    shared: &Shared,
+    writer: &ConnectionWriter,
+    registry: &CancelRegistry,
+    mut stream: TcpStream,
+) {
     let mut decoder = FrameDecoder::with_max_frame_len(shared.max_frame_len);
     let mut chunk = vec![0u8; 64 * 1024];
     loop {
@@ -437,10 +692,10 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
                     if frame.trim().is_empty() {
                         continue;
                     }
-                    handle_frame(shared, &writer, &frame);
+                    handle_frame(shared, writer, registry, &frame);
                 }
                 Ok(None) => break,
-                Err(error @ FrameError::NotUtf8) => {
+                Err(error @ (FrameError::NotUtf8 | FrameError::Oversized { .. })) => {
                     // The bad frame was discarded; the stream is still
                     // newline-synchronised, so the connection survives.
                     writer.send(&ServeError::Protocol(error.to_string()).to_response(None));
@@ -461,7 +716,12 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
     }
 }
 
-fn handle_frame(shared: &Shared, writer: &ConnectionWriter, frame: &str) {
+fn handle_frame(
+    shared: &Shared,
+    writer: &ConnectionWriter,
+    registry: &CancelRegistry,
+    frame: &str,
+) {
     let json = match Json::parse(frame) {
         Ok(json) => json,
         Err(error) => {
@@ -487,15 +747,49 @@ fn handle_frame(shared: &Shared, writer: &ConnectionWriter, frame: &str) {
                 }),
                 hier_runs: shared.hier_runs.load(Ordering::Relaxed),
                 tile_runs: shared.tile_runs.load(Ordering::Relaxed),
+                queued_frames: shared.writer_metrics.queued_frames.load(Ordering::Relaxed),
+                dropped_progress: shared
+                    .writer_metrics
+                    .dropped_progress
+                    .load(Ordering::Relaxed),
+                cancelled_requests: shared.cancelled_requests.load(Ordering::Relaxed),
+                deadline_exceeded_requests: shared
+                    .deadline_exceeded_requests
+                    .load(Ordering::Relaxed),
             });
         }
         Ok(Request::Shutdown) => {
             writer.send(&Response::ShuttingDown);
             shared.begin_shutdown();
         }
+        Ok(Request::Cancel { id }) => {
+            // Fire the token; the terminal `cancelled` frame comes from
+            // the scheduler when it retires the submission, so exactly one
+            // terminal frame exists however the cancel races completion.
+            let token = lock_recovering(registry).get(&id).cloned();
+            match token {
+                Some(token) => token.cancel(),
+                None => writer.send(&Response::Error {
+                    id: Some(id),
+                    code: ErrorCode::Cancel,
+                    message: "no such submission pending on this connection \
+                              (unknown id, or it already resolved)"
+                        .to_string(),
+                }),
+            }
+        }
         Ok(Request::Submit(submit)) => match plan_submission(shared, &submit) {
             Err(error) => writer.send(&error.to_response(Some(submit.id))),
             Ok((plan, tiling, hierarchy)) => {
+                // The deadline clock starts at acceptance, after the
+                // planning work this connection already did.
+                let cancel = match submit.deadline_ms {
+                    Some(ms) => CancelToken::after(Duration::from_millis(ms)),
+                    None => CancelToken::new(),
+                };
+                // Register before queueing so a cancel racing right
+                // behind the queued ack finds its token.
+                lock_recovering(registry).insert(submit.id.clone(), cancel.clone());
                 writer.send(&Response::Queued {
                     id: submit.id.clone(),
                     layout: plan.layout_name().to_string(),
@@ -509,11 +803,14 @@ fn handle_frame(shared: &Shared, writer: &ConnectionWriter, frame: &str) {
                     tiling,
                     hierarchy,
                     writer: writer.clone(),
+                    cancel,
+                    registry: Arc::clone(registry),
                 });
                 if !accepted {
                     // Shutdown won the race after the queued frame went
                     // out; a terminal error beats a submission that would
                     // silently never resolve.
+                    lock_recovering(registry).remove(&id);
                     writer.send(
                         &ServeError::Protocol(
                             "server is shutting down; submission not accepted".to_string(),
@@ -657,9 +954,12 @@ fn scheduler_loop(shared: Arc<Shared>) {
     ];
     loop {
         let drained = {
-            let mut pending = shared.pending.lock().expect("no panics while queueing");
+            let mut pending = lock_recovering(&shared.pending);
             while pending.is_empty() && !shared.shutting_down() {
-                pending = shared.wake.wait(pending).expect("no panics while queueing");
+                pending = shared
+                    .wake
+                    .wait(pending)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             if pending.is_empty() {
                 return; // shutdown with nothing left to drain
@@ -717,12 +1017,20 @@ fn run_batch(
         Option<TilePayload>,
         Option<HierPayload>,
     );
-    let mut submissions: HashMap<LayoutId, (SubmitRequest, ConnectionWriter)> =
-        HashMap::with_capacity(group.len());
+    let mut submissions: HashMap<LayoutId, Active> = HashMap::with_capacity(group.len());
     for pending in group {
         let id = session.submit(pending.plan);
         session.set_hierarchy(id, pending.hierarchy);
-        submissions.insert(id, (pending.submit, pending.writer));
+        session.set_cancel(id, Some(pending.cancel.clone()));
+        submissions.insert(
+            id,
+            Active {
+                submit: pending.submit,
+                writer: pending.writer,
+                cancel: pending.cancel,
+                registry: pending.registry,
+            },
+        );
     }
     let results: Vec<Outcome> = if hier {
         let sink = HierSink {
@@ -742,8 +1050,11 @@ fn run_batch(
                 // Submission-time validation makes this unreachable in
                 // practice; answer every member typed rather than panic.
                 let error = ServeError::Config(error);
-                for (submit, writer) in submissions.values() {
-                    writer.send(&error.to_response(Some(submit.id.clone())));
+                for active in submissions.values() {
+                    lock_recovering(&active.registry).remove(&active.submit.id);
+                    active
+                        .writer
+                        .send(&error.to_response(Some(active.submit.id.clone())));
                 }
                 session.clear();
                 return;
@@ -767,8 +1078,11 @@ fn run_batch(
                 // Submission-time validation makes this unreachable in
                 // practice; answer every member typed rather than panic.
                 let error = ServeError::Config(error);
-                for (submit, writer) in submissions.values() {
-                    writer.send(&error.to_response(Some(submit.id.clone())));
+                for active in submissions.values() {
+                    lock_recovering(&active.registry).remove(&active.submit.id);
+                    active
+                        .writer
+                        .send(&error.to_response(Some(active.submit.id.clone())));
                 }
                 session.clear();
                 return;
@@ -785,8 +1099,35 @@ fn run_batch(
             .collect()
     };
     for (id, result, tiles, hierarchy) in results {
-        let (submit, writer) = &submissions[&id];
-        let spacing_violations = submit.verify.then(|| {
+        let active = &submissions[&id];
+        // Retire the registry entry first: from here on, a `cancel` for
+        // this id is the non-fatal "already resolved" error, and the
+        // terminal-frame decision below cannot change under it.
+        lock_recovering(&active.registry).remove(&active.submit.id);
+        // Terminal classification happens at emission time, off the token:
+        // an explicit cancel wins (terminal `cancelled` frame), a deadline
+        // that expired without one resolves as a partial `result`.
+        if active.cancel.is_cancelled() {
+            shared.cancelled_requests.fetch_add(1, Ordering::Relaxed);
+            active.writer.send(&Response::Cancelled {
+                id: active.submit.id.clone(),
+                components_completed: result.components_completed(),
+                components_skipped: result.components_skipped(),
+                bnb_nodes: result
+                    .component_stats()
+                    .iter()
+                    .map(|stats| stats.bnb_nodes)
+                    .sum(),
+            });
+            continue;
+        }
+        let deadline_exceeded = result.deadline_exceeded();
+        if deadline_exceeded {
+            shared
+                .deadline_exceeded_requests
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let spacing_violations = active.submit.verify.then(|| {
             let plan = session.plan(id).expect("session keeps the batch's plans");
             verify_spacing(
                 plan.graph(),
@@ -795,8 +1136,8 @@ fn run_batch(
             )
             .len()
         });
-        writer.send(&Response::Result(ResultPayload {
-            id: submit.id.clone(),
+        active.writer.send(&Response::Result(ResultPayload {
+            id: active.submit.id.clone(),
             layout: result.layout_name().to_string(),
             k: result.k(),
             algorithm: result.algorithm().to_string(),
@@ -815,6 +1156,10 @@ fn run_batch(
             spacing_violations,
             memo_hits: result.memo_hits(),
             memo_misses: result.memo_misses(),
+            cancelled: result.cancelled(),
+            deadline_exceeded,
+            components_completed: result.components_completed(),
+            components_skipped: result.components_skipped(),
             tiles,
             hierarchy,
         }));
@@ -852,5 +1197,90 @@ fn tile_payload(stats: &TileStats) -> TilePayload {
         recolored_vertices: stats.recolored_vertices,
         cross_conflicts_before: stats.cross_conflicts_before,
         cross_conflicts_after: stats.cross_conflicts_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A [`ConnectionWriter`] with no writer thread draining it, so the
+    /// queue state after `send` is exactly what the overflow policy left.
+    fn writer_without_thread(capacity: usize) -> (ConnectionWriter, Arc<WriterMetrics>) {
+        let metrics = Arc::new(WriterMetrics::default());
+        let shared = Arc::new(WriterShared {
+            state: Mutex::new(WriterState {
+                queue: VecDeque::new(),
+                senders: 1,
+                dead: false,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+            metrics: Arc::clone(&metrics),
+        });
+        (ConnectionWriter { shared }, metrics)
+    }
+
+    fn progress(done: usize) -> Response {
+        Response::Progress {
+            id: "p".to_string(),
+            done,
+            total: 100,
+        }
+    }
+
+    fn error_frame(tag: &str) -> Response {
+        Response::Error {
+            id: Some(tag.to_string()),
+            code: ErrorCode::Io,
+            message: "writer policy test".to_string(),
+        }
+    }
+
+    #[test]
+    fn overflow_drops_the_incoming_progress_frame_first() {
+        let (writer, metrics) = writer_without_thread(2);
+        for done in 0..5 {
+            writer.send(&progress(done));
+        }
+        let state = lock_recovering(&writer.shared.state);
+        assert_eq!(state.queue.len(), 2);
+        assert_eq!(metrics.dropped_progress.load(Ordering::Relaxed), 3);
+        assert_eq!(metrics.queued_frames.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn a_full_queue_evicts_queued_progress_for_a_nondroppable_frame() {
+        let (writer, metrics) = writer_without_thread(2);
+        writer.send(&progress(1));
+        writer.send(&progress(2));
+        writer.send(&error_frame("e1"));
+        {
+            let state = lock_recovering(&writer.shared.state);
+            assert_eq!(state.queue.len(), 1);
+            assert!(!state.queue[0].droppable);
+        }
+        assert_eq!(metrics.dropped_progress.load(Ordering::Relaxed), 2);
+        // A second non-droppable frame fits in the freed capacity.
+        writer.send(&error_frame("e2"));
+        let state = lock_recovering(&writer.shared.state);
+        assert_eq!(state.queue.len(), 2);
+        assert!(state.queue.iter().all(|frame| !frame.droppable));
+        assert_eq!(metrics.queued_frames.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn a_dead_connection_swallows_frames_without_blocking() {
+        let (writer, metrics) = writer_without_thread(1);
+        lock_recovering(&writer.shared.state).dead = true;
+        writer.send(&error_frame("e"));
+        writer.send(&progress(1));
+        assert_eq!(metrics.queued_frames.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            lock_recovering(&writer.shared.state).queue.len(),
+            0,
+            "dead connections accept nothing"
+        );
     }
 }

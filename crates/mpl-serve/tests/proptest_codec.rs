@@ -29,7 +29,7 @@ fn arb_string() -> impl Strategy<Value = String> {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0usize..4,    // variant: 0 ping, 1 shutdown, 2..3 submit
+        0usize..5,    // variant: 0 ping, 1 shutdown, 2 cancel, 3..4 submit
         arb_string(), // id
         0usize..3,    // source kind
         arb_string(), // source payload
@@ -40,6 +40,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 match variant {
                     0 => Request::Ping,
                     1 => Request::Shutdown,
+                    2 => Request::Cancel { id },
                     _ => {
                         let source = match source_kind {
                             0 => LayoutSource::Text(payload),
@@ -67,6 +68,11 @@ fn arb_request() -> impl Strategy<Value = Request> {
                         } else {
                             submit.hier = flags & 16 != 0;
                         }
+                        submit.deadline_ms = if alpha_step % 2 == 0 {
+                            None
+                        } else {
+                            Some(alpha_step as u64 * 250)
+                        };
                         Request::Submit(submit)
                     }
                 }
@@ -76,7 +82,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
 
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        0usize..6,
+        0usize..7,
         arb_string(),
         arb_string(),
         (0usize..1000, 0usize..50, 0usize..20, 0usize..20),
@@ -108,6 +114,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         },
                         hier_runs: conflicts as u64,
                         tile_runs: stitches as u64,
+                        queued_frames: vertices as u64,
+                        dropped_progress: components as u64,
+                        cancelled_requests: code as u64,
+                        deadline_exceeded_requests: conflicts as u64,
                     },
                     1 => Response::ShuttingDown,
                     2 => Response::Queued {
@@ -132,6 +142,12 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         ][code % 5],
                         message: text,
                     },
+                    5 => Response::Cancelled {
+                        id,
+                        components_completed: conflicts,
+                        components_skipped: stitches,
+                        bnb_nodes: vertices as u64,
+                    },
                     _ => Response::Result(ResultPayload {
                         id,
                         layout: text.clone(),
@@ -152,6 +168,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         spacing_violations: if code % 3 == 0 { None } else { Some(code) },
                         memo_hits: if code % 2 == 0 { None } else { Some(conflicts) },
                         memo_misses: if code % 2 == 0 { None } else { Some(stitches) },
+                        cancelled: code % 2 == 1,
+                        deadline_exceeded: code % 3 == 1,
+                        components_completed: components - conflicts.min(components),
+                        components_skipped: conflicts.min(components),
                         tiles: if code % 2 == 0 {
                             None
                         } else {

@@ -205,7 +205,11 @@ pub fn run_tiled_observed(
     inner.set_memo(session.memo().cloned());
     let mut submissions = Vec::new();
     let mut totals = vec![0usize; plans.len()];
-    for (slot, (&(_, plan), shard)) in plans.iter().zip(&shards).enumerate() {
+    for (slot, (&(outer, plan), shard)) in plans.iter().zip(&shards).enumerate() {
+        // A cancel token on the outer submission covers every inner
+        // sub-problem carved out of it: resident batches and tile pieces
+        // alike skip (or stop mid-search) once the token fires.
+        let cancel = session.cancel_token(outer).cloned();
         if !shard.resident.is_empty() {
             let decomposer = Decomposer::new(plan.config().clone());
             let subproblems = shard
@@ -216,12 +220,13 @@ pub fn run_tiled_observed(
                     (task.problem().clone(), task.to_global().to_vec())
                 })
                 .collect();
-            inner.submit(DecompositionPlan::for_subproblems(
+            let inner_id = inner.submit(DecompositionPlan::for_subproblems(
                 decomposer,
                 plan.layout_name().to_string(),
                 plan.graph_shared(),
                 subproblems,
             ));
+            inner.set_cancel(inner_id, cancel.clone());
             submissions.push(Submission::Resident { slot });
             totals[slot] += 1;
         }
@@ -234,7 +239,7 @@ pub fn run_tiled_observed(
                     .iter()
                     .map(|&local| task.to_global()[local])
                     .collect();
-                inner.submit(DecompositionPlan::for_subproblems(
+                let inner_id = inner.submit(DecompositionPlan::for_subproblems(
                     decomposer,
                     format!(
                         "{}/c{}t{}.{}",
@@ -246,6 +251,7 @@ pub fn run_tiled_observed(
                     plan.graph_shared(),
                     vec![(piece.problem.clone(), to_global)],
                 ));
+                inner.set_cancel(inner_id, cancel.clone());
                 submissions.push(Submission::Piece { slot, giant, tile });
                 totals[slot] += 1;
             }
@@ -457,6 +463,9 @@ fn merged_component_stats(
         kernel_vertices: pieces.iter().map(|stats| stats.kernel_vertices).sum(),
         simplify_rounds: pieces.iter().map(|stats| stats.simplify_rounds).sum(),
         bound_improvements: pieces.iter().map(|stats| stats.bound_improvements).sum(),
+        cancelled: pieces.iter().any(|stats| stats.cancelled),
+        deadline_exceeded: pieces.iter().any(|stats| stats.deadline_exceeded),
+        skipped: pieces.iter().any(|stats| stats.skipped),
         memo_hit: memo_attached.then(|| pieces.iter().all(|stats| stats.memo_hit == Some(true))),
     }
 }

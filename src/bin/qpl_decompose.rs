@@ -72,6 +72,16 @@
 //!                        submissions (default pool)
 //!   --shutdown           after the results (or alone: immediately), ask
 //!                        the server to shut down
+//!   --deadline-ms <MS>   soft per-submission deadline: the server stops
+//!                        colouring at the next engine poll once MS
+//!                        milliseconds have passed and returns a partial
+//!                        result flagged `deadline_exceeded` (completed
+//!                        components keep their colors; skipped ones are
+//!                        zeroed and counted)
+//! Interactive cancellation (Ctrl-C) is not wired up: installing a signal
+//! handler portably needs platform code outside std, so the supported
+//! ways to bound a run from this CLI are `--deadline-ms` or speaking the
+//! protocol's `cancel` frame directly.
 //! `--verify` maps to server-side spacing re-verification,
 //! `--tile-size`/`--halo` travel on the submit frame (the server tiles and
 //! streams `tile_progress` events) and so does `--hier` (the server
@@ -136,6 +146,9 @@ struct Options {
     connect: Option<String>,
     executor_choice: ExecutorChoice,
     shutdown: bool,
+    /// `--deadline-ms`: soft per-submission deadline forwarded on the
+    /// submit frame (connect-mode only).
+    deadline_ms: Option<u64>,
 }
 
 /// Reads a layout file through the shared format-dispatching loader
@@ -228,6 +241,7 @@ fn parse_options() -> Result<Options, String> {
     let mut connect: Option<String> = None;
     let mut executor_choice: Option<ExecutorChoice> = None;
     let mut shutdown = false;
+    let mut deadline_ms: Option<u64> = None;
 
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -314,6 +328,13 @@ fn parse_options() -> Result<Options, String> {
                 })
             }
             "--shutdown" => shutdown = true,
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("invalid --deadline-ms value: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: qpl-decompose FILE [FILE ...] | --circuit <NAME> | --layout <FILE> \
@@ -326,7 +347,8 @@ fn parse_options() -> Result<Options, String> {
                             [--tile-size NM [--halo NM] | --no-tile] \
                             [--hier | --no-hier] \
                             [--output FILE] [--output-gds FILE] \
-                            | --connect HOST:PORT [--executor serial|pool] [--shutdown]"
+                            | --connect HOST:PORT [--executor serial|pool] \
+                            [--deadline-ms MS] [--shutdown]"
                         .to_string(),
                 )
             }
@@ -346,6 +368,9 @@ fn parse_options() -> Result<Options, String> {
             return Err(
                 "--executor only applies to --connect mode (use --threads locally)".to_string(),
             );
+        }
+        if deadline_ms.is_some() {
+            return Err("--deadline-ms only applies to --connect mode".to_string());
         }
     } else {
         // Local-only post-processing cannot run on the server.
@@ -425,6 +450,7 @@ fn parse_options() -> Result<Options, String> {
         connect,
         executor_choice: executor_choice.unwrap_or_default(),
         shutdown,
+        deadline_ms,
     })
 }
 
@@ -1002,6 +1028,7 @@ fn build_wire_inputs(options: &Options, tech: &Technology) -> Result<Vec<WireInp
 fn render_connect_json(
     addr: &str,
     results: &[Option<ResultPayload>],
+    cancelled: &[(String, usize, usize, u64)],
     errors: &[(Option<String>, String, String)],
 ) -> String {
     let results_json: Vec<Json> = results
@@ -1016,6 +1043,17 @@ fn render_connect_json(
                 pairs.retain(|(key, _)| key != "type" && key != "colors");
             }
             json
+        })
+        .collect();
+    let cancelled_json: Vec<Json> = cancelled
+        .iter()
+        .map(|(id, completed, skipped, bnb_nodes)| {
+            Json::object(vec![
+                ("id", Json::string(id.clone())),
+                ("components_completed", Json::Number(*completed as f64)),
+                ("components_skipped", Json::Number(*skipped as f64)),
+                ("bnb_nodes", Json::Number(*bnb_nodes as f64)),
+            ])
         })
         .collect();
     let errors_json: Vec<Json> = errors
@@ -1035,6 +1073,7 @@ fn render_connect_json(
     Json::object(vec![
         ("connect", Json::string(addr)),
         ("results", Json::Array(results_json)),
+        ("cancelled", Json::Array(cancelled_json)),
         ("errors", Json::Array(errors_json)),
     ])
     .to_string()
@@ -1069,6 +1108,7 @@ fn run_connect(addr: &str, options: &Options, tech: &Technology) -> ExitCode {
         submit.tile_size = options.tile_size;
         submit.halo = options.halo;
         submit.hier = options.hier;
+        submit.deadline_ms = options.deadline_ms;
         if let Err(error) = client.send(&Request::Submit(submit)) {
             eprintln!("cannot send to {addr}: {error}");
             return ExitCode::FAILURE;
@@ -1080,6 +1120,7 @@ fn run_connect(addr: &str, options: &Options, tech: &Technology) -> ExitCode {
         |id: &str| index_of(id).map_or_else(|| id.to_string(), |i| wire_inputs[i].label.clone());
     let mut results: Vec<Option<ResultPayload>> = wire_inputs.iter().map(|_| None).collect();
     let mut errors: Vec<(Option<String>, String, String)> = Vec::new();
+    let mut cancelled: Vec<(String, usize, usize, u64)> = Vec::new();
     let mut remaining = wire_inputs.len();
     while remaining > 0 {
         match client.recv() {
@@ -1121,6 +1162,24 @@ fn run_connect(addr: &str, options: &Options, tech: &Technology) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            Ok(Response::Cancelled {
+                id,
+                components_completed,
+                components_skipped,
+                bnb_nodes,
+            }) => {
+                eprintln!(
+                    "{}: cancelled ({components_completed} components completed, \
+                     {components_skipped} skipped, {bnb_nodes} B&B nodes)",
+                    label_of(&id)
+                );
+                let tagged = index_of(&id);
+                cancelled.push((id, components_completed, components_skipped, bnb_nodes));
+                match tagged {
+                    Some(index) if results[index].is_none() => remaining -= 1,
+                    _ => {}
+                }
+            }
             Ok(Response::Error { id, code, message }) => {
                 eprintln!(
                     "{}: {} error: {message}",
@@ -1155,7 +1214,10 @@ fn run_connect(addr: &str, options: &Options, tech: &Technology) -> ExitCode {
     }
 
     if options.json {
-        println!("{}", render_connect_json(addr, &results, &errors));
+        println!(
+            "{}",
+            render_connect_json(addr, &results, &cancelled, &errors)
+        );
     } else {
         for (input, result) in wire_inputs.iter().zip(&results) {
             let Some(payload) = result else { continue };
@@ -1172,6 +1234,19 @@ fn run_connect(addr: &str, options: &Options, tech: &Technology) -> ExitCode {
                 payload.cost,
                 payload.color_seconds
             );
+            if payload.deadline_exceeded || payload.cancelled {
+                println!(
+                    "  partial: {} of {} components completed, {} skipped{}",
+                    payload.components_completed,
+                    payload.components,
+                    payload.components_skipped,
+                    if payload.deadline_exceeded {
+                        " (deadline exceeded)"
+                    } else {
+                        " (cancelled)"
+                    }
+                );
+            }
             if let Some(violations) = payload.spacing_violations {
                 println!("  verification: {violations} same-mask spacing violations");
             }
@@ -1202,7 +1277,10 @@ fn run_connect(addr: &str, options: &Options, tech: &Technology) -> ExitCode {
             }
         }
     }
-    if errors.is_empty() {
+    // A cancelled submission produced no colors; like an error, that is a
+    // non-success exit (deadline-exceeded *partial results* still count as
+    // success — the flags travel in the JSON for callers that care).
+    if errors.is_empty() && cancelled.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

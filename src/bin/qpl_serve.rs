@@ -15,6 +15,11 @@
 //!                        submissions on the serial executor)
 //!   --addr-file <PATH>   write the bound address to PATH once listening —
 //!                        lets scripts using port 0 discover the port
+//!   --output-queue-frames <N>
+//!                        per-connection bound on frames queued for a slow
+//!                        reader (default 256).  When full, progress-class
+//!                        frames are shed first; result/error frames are
+//!                        never dropped
 //! ```
 //!
 //! The bound address is announced on stderr as `listening on <ADDR>`.
@@ -47,11 +52,18 @@ fn parse_options() -> Result<Options, String> {
                     .map_err(|e| format!("invalid --threads value: {e}"))?;
             }
             "--addr-file" => addr_file = Some(value("--addr-file")?),
+            "--output-queue-frames" => {
+                config.output_queue_frames = value("--output-queue-frames")?
+                    .parse()
+                    .map_err(|e| format!("invalid --output-queue-frames value: {e}"))?;
+                if config.output_queue_frames == 0 {
+                    return Err("--output-queue-frames must be at least 1".to_string());
+                }
+            }
             "--help" | "-h" => {
-                return Err(
-                    "usage: qpl-serve [--addr HOST:PORT] [--threads N] [--addr-file PATH]"
-                        .to_string(),
-                )
+                return Err("usage: qpl-serve [--addr HOST:PORT] [--threads N] \
+                            [--addr-file PATH] [--output-queue-frames N]"
+                    .to_string())
             }
             other => return Err(format!("unknown flag {other:?}")),
         }

@@ -89,7 +89,10 @@ proptest! {
                 }
                 instance
             },
-            &mpl_ilp::ExactOptions { time_limit: Some(Duration::from_secs(5)), warm_start: None },
+            &mpl_ilp::ExactOptions {
+                time_limit: Some(Duration::from_secs(5)),
+                ..Default::default()
+            },
         );
         // The decomposition-style solve: peel, color the kernel exactly, pop.
         use mpl_core::assign::{ColorAssigner, ExactAssigner};

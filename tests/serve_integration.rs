@@ -60,9 +60,9 @@ impl RawClient {
         }
     }
 
-    /// Skips `queued`/`progress` frames until the terminal frame (`result`
-    /// or `error`) for `id` arrives; terminal frames for other submissions
-    /// are stashed for their own `await_terminal` calls.
+    /// Skips `queued`/`progress` frames until the terminal frame (`result`,
+    /// `cancelled` or `error`) for `id` arrives; terminal frames for other
+    /// submissions are stashed for their own `await_terminal` calls.
     fn await_terminal(&mut self, id: &str) -> Json {
         if let Some(position) = self
             .stashed
@@ -76,7 +76,7 @@ impl RawClient {
             let frame_type = frame.get("type").and_then(Json::as_str).expect("type");
             match frame_type {
                 "queued" | "progress" | "tile_progress" | "hier_progress" => continue,
-                "result" | "error" => {
+                "result" | "cancelled" | "error" => {
                     if frame.get("id").and_then(Json::as_str) == Some(id) {
                         return frame;
                     }
